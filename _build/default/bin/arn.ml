@@ -1,0 +1,495 @@
+(* arn — command-line front end for the alternate-routing library.
+
+   Subcommands expose the building blocks (Erlang calculations,
+   protection levels, path enumeration, the traffic-matrix fit, the
+   cut-set bound) and full simulations of the paper's networks. *)
+
+open Cmdliner
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_sim
+open Arnet_core
+module Path_dv = Arnet_paths.Distance_vector
+module Dalfar = Arnet_paths.Dalfar
+
+let ppf = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* shared argument parsing *)
+
+let network_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "nsfnet" -> Ok `Nsfnet
+    | "quadrangle" | "k4" -> Ok `Quadrangle
+    | s -> (
+      match String.split_on_char ':' s with
+      | [ "mesh"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 2 -> Ok (`Mesh n)
+        | _ -> Error (`Msg "mesh:N needs N >= 2"))
+      | [ "ring"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 3 -> Ok (`Ring n)
+        | _ -> Error (`Msg "ring:N needs N >= 3"))
+      | "file" :: rest when rest <> [] ->
+        Ok (`File (String.concat ":" rest))
+      | _ -> Error (`Msg (Printf.sprintf "unknown network %S" s)))
+  in
+  let print ppf = function
+    | `Nsfnet -> Format.fprintf ppf "nsfnet"
+    | `Quadrangle -> Format.fprintf ppf "quadrangle"
+    | `Mesh n -> Format.fprintf ppf "mesh:%d" n
+    | `Ring n -> Format.fprintf ppf "ring:%d" n
+    | `File p -> Format.fprintf ppf "file:%s" p
+  in
+  Arg.conv (parse, print)
+
+let network_arg =
+  let doc =
+    "Network: $(b,nsfnet), $(b,quadrangle), $(b,mesh:N), $(b,ring:N) or \
+     $(b,file:PATH) (see the spec format in lib/serial)."
+  in
+  Arg.(value & opt network_conv `Nsfnet & info [ "network"; "n" ] ~doc)
+
+let capacity_arg =
+  let doc = "Link capacity (calls) for synthetic networks." in
+  Arg.(value & opt int 100 & info [ "capacity"; "c" ] ~doc)
+
+let load_spec path =
+  match Arnet_serial.Spec.of_file path with
+  | spec -> spec
+  | exception Arnet_serial.Spec.Parse_error (line, msg) ->
+    Printf.eprintf "%s:%d: %s\n" path line msg;
+    exit 1
+
+let build_graph network capacity =
+  match network with
+  | `Nsfnet -> Nsfnet.graph ()
+  | `Quadrangle -> Builders.full_mesh ~nodes:4 ~capacity
+  | `Mesh n -> Builders.full_mesh ~nodes:n ~capacity
+  | `Ring n -> Builders.ring ~nodes:n ~capacity
+  | `File path -> (load_spec path).Arnet_serial.Spec.graph
+
+(* the traffic matrix a network implies: NSFNet -> the fitted nominal,
+   file specs -> their demand lines, synthetic -> uniform demand *)
+let build_matrix network graph ~scale ~demand =
+  match network with
+  | `Nsfnet ->
+    let _, m = Arnet_experiments.Internet.nominal () in
+    Matrix.scale m scale
+  | `File path -> (
+    match (load_spec path).Arnet_serial.Spec.matrix with
+    | Some m -> Matrix.scale m scale
+    | None ->
+      Matrix.uniform ~nodes:(Graph.node_count graph) ~demand:(demand *. scale))
+  | `Quadrangle | `Mesh _ | `Ring _ ->
+    Matrix.uniform ~nodes:(Graph.node_count graph) ~demand:(demand *. scale)
+
+let quick_arg =
+  let doc = "Fewer seeds and a shorter window (for iteration)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let config_of_quick quick =
+  if quick then Arnet_experiments.Config.quick
+  else Arnet_experiments.Config.paper
+
+(* ------------------------------------------------------------------ *)
+(* arn erlang *)
+
+let erlang_cmd =
+  let offered =
+    Arg.(required & pos 0 (some float) None & info [] ~docv:"OFFERED")
+  in
+  let capacity =
+    Arg.(required & pos 1 (some int) None & info [] ~docv:"CAPACITY")
+  in
+  let run offered capacity =
+    let b = Arnet_erlang.Erlang_b.blocking ~offered ~capacity in
+    Format.fprintf ppf "B(%g, %d)        = %.8f@." offered capacity b;
+    Format.fprintf ppf "carried          = %.4f Erlangs@."
+      (Arnet_erlang.Erlang_b.mean_carried ~offered ~capacity);
+    Format.fprintf ppf "loss rate        = %.4f calls/unit time@."
+      (Arnet_erlang.Erlang_b.loss_rate ~offered ~capacity);
+    Format.fprintf ppf "d(loss)/d(load)  = %.6f@."
+      (Arnet_erlang.Erlang_b.loss_rate_derivative ~offered ~capacity)
+  in
+  Cmd.v
+    (Cmd.info "erlang" ~doc:"Erlang-B blocking and derived quantities")
+    Term.(const run $ offered $ capacity)
+
+(* ------------------------------------------------------------------ *)
+(* arn protection *)
+
+let protection_cmd =
+  let offered =
+    Arg.(required & pos 0 (some float) None & info [] ~docv:"LOAD")
+  in
+  let capacity =
+    Arg.(required & pos 1 (some int) None & info [] ~docv:"CAPACITY")
+  in
+  let h =
+    let doc = "Maximum alternate path hop length H." in
+    Arg.(value & opt int 6 & info [ "max-hops"; "H" ] ~doc)
+  in
+  let run offered capacity h =
+    let r = Protection.level ~offered ~capacity ~h in
+    Format.fprintf ppf
+      "smallest r with B(%g,%d)/B(%g,%d-r) <= 1/%d:  r = %d@." offered
+      capacity offered capacity h r;
+    Format.fprintf ppf "bound at that r: %.6f (target %.6f)@."
+      (Protection.bound ~offered ~capacity ~reserve:r)
+      (1. /. float_of_int h)
+  in
+  Cmd.v
+    (Cmd.info "protection"
+       ~doc:"State-protection level for a link (Section 3.1)")
+    Term.(const run $ offered $ capacity $ h)
+
+(* ------------------------------------------------------------------ *)
+(* arn paths *)
+
+let paths_cmd =
+  let src = Arg.(required & pos 0 (some int) None & info [] ~docv:"SRC") in
+  let dst = Arg.(required & pos 1 (some int) None & info [] ~docv:"DST") in
+  let h =
+    let doc = "Cap alternate hop length." in
+    Arg.(value & opt (some int) None & info [ "max-hops"; "H" ] ~doc)
+  in
+  let run network capacity src dst h =
+    let g = build_graph network capacity in
+    let routes = Route_table.build ?h g in
+    if not (Route_table.has_route routes ~src ~dst) then
+      Format.fprintf ppf "no route from %d to %d@." src dst
+    else begin
+      Format.fprintf ppf "primary:   %s@."
+        (Path.to_string (Route_table.primary routes ~src ~dst));
+      List.iteri
+        (fun i p ->
+          Format.fprintf ppf "alt %2d:    %s (%d hops)@." (i + 1)
+            (Path.to_string p) (Path.hops p))
+        (Route_table.alternates routes ~src ~dst)
+    end
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Primary and alternate paths for an O-D pair")
+    Term.(const run $ network_arg $ capacity_arg $ src $ dst $ h)
+
+(* ------------------------------------------------------------------ *)
+(* arn topology *)
+
+let topology_cmd =
+  let dot =
+    let doc = "Emit graphviz instead of a link table." in
+    Arg.(value & flag & info [ "dot" ] ~doc)
+  in
+  let run network capacity dot =
+    let g = build_graph network capacity in
+    if dot then print_string (Graph.to_dot g)
+    else Format.fprintf ppf "%a@." Graph.pp g
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Describe a built-in network")
+    Term.(const run $ network_arg $ capacity_arg $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* arn fit *)
+
+let fit_cmd =
+  let run () =
+    let _, fit = Fit.nsfnet_nominal () in
+    Format.fprintf ppf
+      "fitted NSFNet nominal matrix: %d iterations, max relative link-load \
+       error %.2e, total %.1f Erlangs@."
+      fit.Fit.iterations fit.Fit.max_relative_error
+      (Matrix.total fit.Fit.matrix);
+    Format.fprintf ppf "%a@." Matrix.pp fit.Fit.matrix
+  in
+  Cmd.v
+    (Cmd.info "fit"
+       ~doc:"Reconstruct the NSFNet traffic matrix from Table 1 loads")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* arn bound *)
+
+let bound_cmd =
+  let scale =
+    let doc = "Scale factor on the nominal/base traffic matrix." in
+    Arg.(value & opt float 1.0 & info [ "scale"; "s" ] ~doc)
+  in
+  let demand =
+    let doc = "Per-pair demand (synthetic networks only)." in
+    Arg.(value & opt float 80. & info [ "demand"; "d" ] ~doc)
+  in
+  let run network capacity scale demand =
+    let g = build_graph network capacity in
+    let matrix = build_matrix network g ~scale ~demand in
+    let bound, cut = Arnet_bound.Erlang_bound.compute_with_argmax g matrix in
+    Format.fprintf ppf "erlang cut-set bound: %.6f@." bound;
+    let members =
+      Array.to_list (Array.mapi (fun v b -> (v, b)) cut)
+      |> List.filter_map (fun (v, b) -> if b then Some (string_of_int v) else None)
+    in
+    Format.fprintf ppf "binding cut S = {%s}@." (String.concat "," members)
+  in
+  Cmd.v
+    (Cmd.info "bound" ~doc:"Erlang cut-set lower bound on network blocking")
+    Term.(const run $ network_arg $ capacity_arg $ scale $ demand)
+
+(* ------------------------------------------------------------------ *)
+(* arn simulate *)
+
+let simulate_cmd =
+  let scale =
+    let doc = "Traffic scale (NSFNet) or per-pair Erlangs (synthetic)." in
+    Arg.(value & opt float 1.0 & info [ "load"; "l" ] ~doc)
+  in
+  let h =
+    let doc = "Maximum alternate hop length." in
+    Arg.(value & opt (some int) None & info [ "max-hops"; "H" ] ~doc)
+  in
+  let with_ott =
+    let doc = "Include the Ott-Krishnan shadow-price scheme." in
+    Arg.(value & flag & info [ "ott-krishnan" ] ~doc)
+  in
+  let run network capacity scale h with_ott quick =
+    let config = config_of_quick quick in
+    let g = build_graph network capacity in
+    let matrix = build_matrix network g ~scale:1.0 ~demand:1.0 in
+    let matrix =
+      match network with
+      | `Nsfnet | `File _ -> Matrix.scale matrix scale
+      | `Quadrangle | `Mesh _ | `Ring _ ->
+        Matrix.uniform ~nodes:(Graph.node_count g) ~demand:scale
+    in
+    let routes = Route_table.build ?h g in
+    let policies =
+      [ Scheme.single_path routes;
+        Scheme.uncontrolled routes;
+        Scheme.controlled_auto ~matrix routes ]
+      @ (if with_ott then [ Scheme.ott_krishnan ~matrix routes ] else [])
+    in
+    let { Arnet_experiments.Config.seeds; duration; warmup } = config in
+    Format.fprintf ppf "simulating (%s)...@."
+      (Arnet_experiments.Config.describe config);
+    let results =
+      Engine.replicate ~warmup ~seeds ~duration ~graph:g ~matrix ~policies ()
+    in
+    List.iter
+      (fun (name, runs) ->
+        let s = Stats.blocking_summary runs in
+        let alt =
+          Stats.summarize (List.map Stats.alternate_fraction runs)
+        in
+        Format.fprintf ppf
+          "  %-22s blocking %.4f +/- %.4f   alternate-routed %.1f%%@." name
+          s.Stats.mean s.Stats.std_error (100. *. alt.Stats.mean))
+      results;
+    Format.fprintf ppf "  %-22s blocking %.4f@." "erlang-bound"
+      (Arnet_bound.Erlang_bound.compute g matrix)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Call-by-call simulation of the schemes")
+    Term.(
+      const run $ network_arg $ capacity_arg $ scale $ h $ with_ott
+      $ quick_arg)
+
+(* ------------------------------------------------------------------ *)
+(* arn experiment *)
+
+let experiment_cmd =
+  let exp_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "One of: fig1 fig2 fig3 fig6 table1 exp_h6 exp_fairness \
+             exp_minloss exp_overload ext_cellular ext_bistability \
+             ext_signalling ext_random_mesh")
+  in
+  let csv =
+    let doc = "Also write the sweep as CSV to this file (fig3/fig6 only)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~doc)
+  in
+  let write_csv csv points =
+    match csv with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Arnet_experiments.Sweep.to_csv points);
+      close_out oc;
+      Format.fprintf ppf "wrote %s@." path
+  in
+  let run name quick csv =
+    let config = config_of_quick quick in
+    let module E = Arnet_experiments in
+    match name with
+    | "fig1" -> E.Fig1.print ppf (E.Fig1.run ())
+    | "fig2" -> E.Fig2.print ppf (E.Fig2.run ())
+    | "fig3" ->
+      let points = E.Quadrangle.run ~config () in
+      E.Quadrangle.print ppf points;
+      write_csv csv points
+    | "fig6" ->
+      let points = E.Internet.run ~config () in
+      E.Internet.print ppf points;
+      write_csv csv points
+    | "table1" -> E.Internet.print_table1 ppf (E.Internet.table1 ())
+    | "exp_h6" ->
+      E.Internet.print ppf
+        (E.Internet.run ~h:6 ~with_ott_krishnan:false ~config ())
+    | "exp_fairness" -> E.Internet.print_fairness ppf (E.Internet.fairness ~config ())
+    | "exp_minloss" -> E.Minloss.print ppf (E.Minloss.run ~config ())
+    | "ext_cellular" -> E.Cellular_exp.print ppf (E.Cellular_exp.run ~config ())
+    | "ext_bistability" -> E.Bistability_exp.print ppf (E.Bistability_exp.run ~config ())
+    | "ext_signalling" -> E.Signalling_exp.print ppf (E.Signalling_exp.run ~config ())
+    | "ext_random_mesh" -> E.Random_mesh.print ppf (E.Random_mesh.run ~config ())
+    | "exp_overload" -> E.Overload_exp.print ppf (E.Overload_exp.run ~config ())
+    | other -> Format.fprintf ppf "unknown experiment %S@." other
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one reproduction experiment")
+    Term.(const run $ exp_name $ quick_arg $ csv)
+
+(* ------------------------------------------------------------------ *)
+(* arn dalfar *)
+
+let dalfar_cmd =
+  let src = Arg.(required & pos 0 (some int) None & info [] ~docv:"SRC") in
+  let dst = Arg.(required & pos 1 (some int) None & info [] ~docv:"DST") in
+  let h =
+    let doc = "Hop budget for the set-up packet." in
+    Arg.(value & opt int 11 & info [ "max-hops"; "H" ] ~doc)
+  in
+  let run network capacity src dst h =
+    let g = build_graph network capacity in
+    let dv = Path_dv.compute g in
+    Format.fprintf ppf
+      "distance-vector protocol: %d rounds, %d messages (agrees with \
+       centralized BFS: %b)@."
+      (Path_dv.rounds dv) (Path_dv.messages dv)
+      (Path_dv.agrees_with_bfs g dv);
+    let paths, stats = Dalfar.find_paths g dv ~src ~dst ~max_hops:h in
+    Format.fprintf ppf
+      "set-up exploration %d->%d (budget %d): %d paths, %d expansions, %d \
+       crankbacks@."
+      src dst h (List.length paths) stats.Dalfar.expansions
+      stats.Dalfar.crankbacks;
+    List.iteri
+      (fun i p ->
+        Format.fprintf ppf "  %2d. %s (%d hops)@." (i + 1) (Path.to_string p)
+          (Path.hops p))
+      paths
+  in
+  Cmd.v
+    (Cmd.info "dalfar"
+       ~doc:"Distributed alternate-route discovery with crankback")
+    Term.(const run $ network_arg $ capacity_arg $ src $ dst $ h)
+
+(* ------------------------------------------------------------------ *)
+(* arn spec *)
+
+let spec_cmd =
+  let with_matrix =
+    let doc = "Include the network's traffic matrix as demand lines." in
+    Arg.(value & flag & info [ "with-demands" ] ~doc)
+  in
+  let run network capacity with_matrix =
+    let g = build_graph network capacity in
+    let matrix =
+      if with_matrix then Some (build_matrix network g ~scale:1.0 ~demand:1.0)
+      else None
+    in
+    print_string (Arnet_serial.Spec.to_string ?matrix g)
+  in
+  Cmd.v
+    (Cmd.info "spec"
+       ~doc:"Dump a network (optionally with demands) in the text format")
+    Term.(const run $ network_arg $ capacity_arg $ with_matrix)
+
+(* ------------------------------------------------------------------ *)
+(* arn adaptive *)
+
+let adaptive_cmd =
+  let scale =
+    let doc = "Load scale on the nominal NSFNet matrix." in
+    Arg.(value & opt float 1.0 & info [ "load"; "l" ] ~doc)
+  in
+  let run scale quick =
+    let config = config_of_quick quick in
+    Format.fprintf ppf
+      "NSFNet at %.1fx nominal: a-priori vs estimated protection (%s)@."
+      scale
+      (Arnet_experiments.Config.describe config);
+    Arnet_experiments.Robustness.print_adaptive ppf
+      (Arnet_experiments.Robustness.adaptive ~scale ~config ())
+  in
+  Cmd.v
+    (Cmd.info "adaptive"
+       ~doc:"Distributed load estimation vs a-priori protection levels")
+    Term.(const run $ scale $ quick_arg)
+
+(* ------------------------------------------------------------------ *)
+(* arn mdp *)
+
+let mdp_cmd =
+  let load =
+    let doc = "Erlangs per stream on the triangle model." in
+    Arg.(value & opt float 7. & info [ "load"; "l" ] ~doc)
+  in
+  let capacity =
+    let doc = "Capacity of each of the three links." in
+    Arg.(value & opt int 8 & info [ "capacity"; "c" ] ~doc)
+  in
+  let run load capacity =
+    let module M = Arnet_mdp.Loss_mdp in
+    let m =
+      M.make
+        ~capacities:(Array.make 3 capacity)
+        ~arrivals:(Array.make 3 load)
+        ~routes:[ (0, [ 0 ]); (1, [ 1 ]); (2, [ 2 ]); (2, [ 0; 1 ]) ]
+    in
+    Format.fprintf ppf
+      "directed triangle, C=%d, %g Erlangs/stream (%d states, %d routes)@."
+      capacity load (M.state_count m) (M.route_count m);
+    let r = Protection.level ~offered:load ~capacity ~h:2 in
+    Format.fprintf ppf "  %-22s %.6f@." "optimal" (M.optimal_blocking m);
+    Format.fprintf ppf "  %-22s %.6f@." "single-path"
+      (M.policy_blocking m (M.single_path_policy m));
+    Format.fprintf ppf "  %-22s %.6f@." "uncontrolled"
+      (M.policy_blocking m (M.uncontrolled_policy m));
+    Format.fprintf ppf "  %-22s %.6f  (r=%d)@." "controlled (H=2)"
+      (M.policy_blocking m
+         (M.controlled_policy m ~reserves:(Array.make 3 r)))
+      r;
+    match M.alternate_acceptance_threshold m ~od:2 with
+    | Some r_star ->
+      Format.fprintf ppf
+        "  optimal policy is an occupancy threshold with r* = %d@." r_star
+    | None ->
+      Format.fprintf ppf
+        "  optimal policy is not a pure occupancy threshold (depends on \
+         call composition)@."
+  in
+  Cmd.v
+    (Cmd.info "mdp"
+       ~doc:"Exact Markov-decision analysis of the triangle model")
+    Term.(const run $ load $ capacity)
+
+let () =
+  let info =
+    Cmd.info "arn" ~version:"1.0.0"
+      ~doc:
+        "Controlled alternate routing in general-mesh loss networks \
+         (SIGCOMM '94 reproduction)"
+  in
+  let group =
+    Cmd.group info
+      [ erlang_cmd; protection_cmd; paths_cmd; topology_cmd; fit_cmd;
+        bound_cmd; simulate_cmd; experiment_cmd; dalfar_cmd; spec_cmd;
+        adaptive_cmd; mdp_cmd ]
+  in
+  exit (Cmd.eval group)

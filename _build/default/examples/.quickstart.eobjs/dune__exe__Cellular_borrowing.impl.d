@@ -1,0 +1,1 @@
+examples/cellular_borrowing.ml: Arnet_cellular Arnet_experiments Arnet_sim Array Borrowing Cell_grid Cellular_exp Config Format List Sys

@@ -1,0 +1,1 @@
+examples/fairness.ml: Arnet_experiments Arnet_sim Array Config Format Internet List Sys

@@ -1,0 +1,1 @@
+examples/link_failure.ml: Arnet_experiments Arnet_paths Arnet_topology Array Config Format Graph Internet Nsfnet Path Route_table Sys

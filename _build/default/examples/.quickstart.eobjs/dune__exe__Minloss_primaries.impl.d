@@ -1,0 +1,1 @@
+examples/minloss_primaries.ml: Arnet_experiments Arnet_optimize Arnet_paths Arnet_topology Array Config Format List Minloss Sys

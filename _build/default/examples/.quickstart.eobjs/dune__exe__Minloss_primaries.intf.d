@@ -1,0 +1,1 @@
+examples/minloss_primaries.mli:

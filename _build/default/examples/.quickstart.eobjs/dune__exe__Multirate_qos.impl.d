@@ -1,0 +1,1 @@
+examples/multirate_qos.ml: Arnet_experiments Arnet_multirate Array Config Format Kaufman_roberts List Multirate_exp Sys

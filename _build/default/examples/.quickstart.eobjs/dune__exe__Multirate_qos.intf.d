@@ -1,0 +1,1 @@
+examples/multirate_qos.mli:

@@ -1,0 +1,1 @@
+examples/nsfnet_study.ml: Arnet_experiments Arnet_traffic Array Config Format Internet Sys

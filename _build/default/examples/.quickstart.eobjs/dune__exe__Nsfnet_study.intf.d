@@ -1,0 +1,1 @@
+examples/nsfnet_study.mli:

@@ -1,0 +1,1 @@
+examples/overload_surge.ml: Arnet_experiments Array Config Format List Overload_exp Report Sys

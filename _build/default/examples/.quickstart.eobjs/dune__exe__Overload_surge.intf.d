@@ -1,0 +1,1 @@
+examples/overload_surge.mli:

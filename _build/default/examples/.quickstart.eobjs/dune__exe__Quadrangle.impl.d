@@ -1,0 +1,1 @@
+examples/quadrangle.ml: Arnet_experiments Array Format List Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arnet_bound Arnet_core Arnet_paths Arnet_sim Arnet_topology Arnet_traffic Array Engine Graph Link List Loads Matrix Path Printf Protection Route_table Scheme Stats String

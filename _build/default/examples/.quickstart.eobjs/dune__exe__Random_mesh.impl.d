@@ -1,0 +1,1 @@
+examples/random_mesh.ml: Arnet_experiments Arnet_paths Arnet_serial Arnet_topology Array Bfs Builders Config Format Graph Path Random_mesh Suurballe Sys

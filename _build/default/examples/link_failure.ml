@@ -1,0 +1,42 @@
+(* Link failures (Section 4.2.2): disable a pair of opposite links in
+   the NSFNet model, let routing and protection levels adapt to the new
+   topology, and check that the scheme ordering survives.
+
+   Run with: dune exec examples/link_failure.exe [-- SRC DST] *)
+
+open Arnet_topology
+open Arnet_paths
+open Arnet_experiments
+
+let () =
+  let src, dst =
+    if Array.length Sys.argv >= 3 then
+      (int_of_string Sys.argv.(1), int_of_string Sys.argv.(2))
+    else (2, 3)
+  in
+  let ppf = Format.std_formatter in
+  let config = Config.quick in
+  let g = Nsfnet.graph () in
+  (match Graph.find_link g ~src ~dst with
+  | None ->
+    Format.fprintf ppf "no link %d->%d in the backbone; links are:@." src dst;
+    Format.fprintf ppf "%a@." Graph.pp g;
+    exit 1
+  | Some _ -> ());
+  Format.fprintf ppf "disabling links %d->%d and %d->%d@." src dst dst src;
+
+  (* show how the primary path around the failure changes *)
+  let degraded = Graph.without_links g [ (src, dst); (dst, src) ] in
+  let before = Route_table.build g and after = Route_table.build degraded in
+  Format.fprintf ppf "primary %d->%d before: %s, after: %s@." src dst
+    (Path.to_string (Route_table.primary before ~src ~dst))
+    (Path.to_string (Route_table.primary after ~src ~dst));
+
+  Format.fprintf ppf "@.intact network:@.";
+  Internet.print ppf
+    (Internet.run ~scales:[ 0.8; 1.0; 1.2 ] ~with_ott_krishnan:false ~config ());
+  Format.fprintf ppf "@.with the failure (protection levels recomputed):@.";
+  Internet.print ppf
+    (Internet.run
+       ~failed_links:[ (src, dst); (dst, src) ]
+       ~scales:[ 0.8; 1.0; 1.2 ] ~config ())

@@ -1,0 +1,33 @@
+(* The NSFNet T3 backbone study (Table 1 + Figures 6/7): reconstruct the
+   nominal traffic matrix from the paper's published link loads, derive
+   the protection levels, and sweep load around nominal with all four
+   schemes.
+
+   Run with: dune exec examples/nsfnet_study.exe [-- quick] *)
+
+open Arnet_experiments
+
+let () =
+  let config =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" then Config.quick
+    else Config.paper
+  in
+  let ppf = Format.std_formatter in
+
+  Format.fprintf ppf "reconstructing the nominal traffic matrix...@.";
+  let routes, fit = Arnet_traffic.Fit.nsfnet_nominal () in
+  Format.fprintf ppf
+    "  fitted in %d iterations; max relative link-load error %.2e; total \
+     demand %.1f Erlangs@."
+    fit.Arnet_traffic.Fit.iterations
+    fit.Arnet_traffic.Fit.max_relative_error
+    (Arnet_traffic.Matrix.total fit.Arnet_traffic.Fit.matrix);
+  ignore routes;
+
+  Format.fprintf ppf "@.Table 1 (paper vs this reconstruction):@.";
+  Internet.print_table1 ppf (Internet.table1 ());
+
+  Format.fprintf ppf "@.blocking vs load (scale 1.0 = paper's Load=10), %s:@."
+    (Config.describe config);
+  let points = Internet.run ~config () in
+  Internet.print ppf points

@@ -1,0 +1,30 @@
+(* The paper's fully-connected quadrangle (Figures 3/4): sweep the
+   symmetric offered load and watch uncontrolled alternate routing
+   collapse past ~85 Erlangs while the controlled scheme tracks the
+   better of the two baselines.
+
+   Run with: dune exec examples/quadrangle.exe [-- quick] *)
+
+let () =
+  let config =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" then
+      Arnet_experiments.Config.quick
+    else Arnet_experiments.Config.paper
+  in
+  let ppf = Format.std_formatter in
+  Format.fprintf ppf "fully-connected quadrangle, C=100 per direction (%s)@."
+    (Arnet_experiments.Config.describe config);
+  let points = Arnet_experiments.Quadrangle.run ~config () in
+  Arnet_experiments.Quadrangle.print ppf points;
+  (* the guarantee of Section 3: controlled never worse than single-path *)
+  let violations =
+    List.filter
+      (fun p ->
+        let ctl = Arnet_experiments.Sweep.scheme_mean p "controlled" in
+        let sp = Arnet_experiments.Sweep.scheme_mean p "single-path" in
+        ctl > sp +. 0.01)
+      points
+  in
+  Format.fprintf ppf
+    "points where controlled does worse than single-path (beyond noise): %d@."
+    (List.length violations)

@@ -1,0 +1,1 @@
+lib/bound/cutset.ml: Arnet_topology Arnet_traffic Array Graph Link Matrix

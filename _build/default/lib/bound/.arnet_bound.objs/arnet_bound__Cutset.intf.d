@@ -1,0 +1,1 @@
+lib/bound/cutset.mli: Arnet_topology Arnet_traffic Graph Matrix

@@ -1,0 +1,1 @@
+lib/bound/erlang_bound.ml: Arnet_erlang Arnet_topology Arnet_traffic Array Cutset Erlang_b Graph Matrix

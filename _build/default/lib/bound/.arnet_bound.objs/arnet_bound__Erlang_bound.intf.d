@@ -1,0 +1,1 @@
+lib/bound/erlang_bound.mli: Arnet_topology Arnet_traffic Graph Matrix

@@ -1,0 +1,47 @@
+open Arnet_topology
+open Arnet_traffic
+
+type side = { traffic : float; capacity : int }
+
+type t = { members : bool array; forward : side; backward : side }
+
+let evaluate g matrix ~members =
+  let n = Graph.node_count g in
+  if Array.length members <> n then invalid_arg "Cutset.evaluate: bad size";
+  if Matrix.nodes matrix <> n then
+    invalid_arg "Cutset.evaluate: matrix size mismatch";
+  let inside = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 members in
+  if inside = 0 || inside = n then
+    invalid_arg "Cutset.evaluate: trivial cut";
+  let fwd_traffic = ref 0. and bwd_traffic = ref 0. in
+  Matrix.iter_demands matrix (fun i j d ->
+      match members.(i), members.(j) with
+      | true, false -> fwd_traffic := !fwd_traffic +. d
+      | false, true -> bwd_traffic := !bwd_traffic +. d
+      | true, true | false, false -> ());
+  let fwd_cap = ref 0 and bwd_cap = ref 0 in
+  Graph.iter_links
+    (fun l ->
+      match members.(l.Link.src), members.(l.Link.dst) with
+      | true, false -> fwd_cap := !fwd_cap + l.Link.capacity
+      | false, true -> bwd_cap := !bwd_cap + l.Link.capacity
+      | true, true | false, false -> ())
+    g;
+  { members = Array.copy members;
+    forward = { traffic = !fwd_traffic; capacity = !fwd_cap };
+    backward = { traffic = !bwd_traffic; capacity = !bwd_cap } }
+
+let cut_count g = (1 lsl Graph.node_count g) - 2
+
+let fold_cuts g ~init ~f =
+  let n = Graph.node_count g in
+  if n > 24 then invalid_arg "Cutset.fold_cuts: too many nodes";
+  let members = Array.make n false in
+  let acc = ref init in
+  for mask = 1 to (1 lsl n) - 2 do
+    for v = 0 to n - 1 do
+      members.(v) <- mask land (1 lsl v) <> 0
+    done;
+    acc := f !acc members
+  done;
+  !acc

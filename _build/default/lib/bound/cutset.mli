@@ -1,0 +1,32 @@
+(** Node cut sets and the traffic/capacity that crosses them.
+
+    A cut is a nonempty proper subset [S] of nodes.  The Erlang bound of
+    Section 4 maximizes over all cuts, which is feasible exactly for the
+    paper's network sizes (2^12 - 2 cuts for NSFNet). *)
+
+open Arnet_topology
+open Arnet_traffic
+
+type side = { traffic : float; capacity : int }
+(** Aggregate demand (Erlangs) and link capacity crossing a cut in one
+    direction. *)
+
+type t = {
+  members : bool array;  (** [members.(v)] iff node [v] is in [S] *)
+  forward : side;  (** from [S] to its complement *)
+  backward : side;  (** from the complement into [S] *)
+}
+
+val evaluate : Graph.t -> Matrix.t -> members:bool array -> t
+(** Demand and capacity across one cut.
+    @raise Invalid_argument when sizes disagree or the cut is trivial
+    (empty or full). *)
+
+val fold_cuts : Graph.t -> init:'a -> f:('a -> bool array -> 'a) -> 'a
+(** Applies [f] to every nonempty proper subset containing node 0 being
+    optional — i.e. all [2^n - 2] cuts are visited exactly once.  The
+    [bool array] is reused between calls; copy it if you keep it.
+    @raise Invalid_argument when the graph has more than 24 nodes
+    (enumeration would be unreasonable). *)
+
+val cut_count : Graph.t -> int

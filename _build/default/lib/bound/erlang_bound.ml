@@ -1,0 +1,26 @@
+open Arnet_topology
+open Arnet_traffic
+open Arnet_erlang
+
+let side_blocking { Cutset.traffic; capacity } =
+  if traffic <= 0. then 0.
+  else if capacity = 0 then 1.
+  else Erlang_b.blocking ~offered:traffic ~capacity
+
+let of_cut g matrix ~members =
+  let total = Matrix.total matrix in
+  if total <= 0. then invalid_arg "Erlang_bound.of_cut: empty matrix";
+  let cut = Cutset.evaluate g matrix ~members in
+  let share side = side.Cutset.traffic /. total in
+  (share cut.Cutset.forward *. side_blocking cut.Cutset.forward)
+  +. (share cut.Cutset.backward *. side_blocking cut.Cutset.backward)
+
+let compute_with_argmax g matrix =
+  if Matrix.total matrix <= 0. then
+    invalid_arg "Erlang_bound.compute: empty matrix";
+  Cutset.fold_cuts g ~init:(0., Array.make (Graph.node_count g) false)
+    ~f:(fun (best, argmax) members ->
+      let b = of_cut g matrix ~members in
+      if b > best then (b, Array.copy members) else (best, argmax))
+
+let compute g matrix = fst (compute_with_argmax g matrix)

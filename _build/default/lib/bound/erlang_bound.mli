@@ -1,0 +1,27 @@
+(** The Erlang lower bound on average network blocking (Section 4).
+
+    For each cut [S], all traffic crossing the cut in one direction must
+    share the total capacity crossing in that direction, so even perfect
+    routing (with re-packing) cannot block less than an Erlang link of
+    that aggregate capacity fed by that aggregate demand.  Weighted by
+    the share of total traffic crossing each way, every cut yields a
+    lower bound on *network average* blocking; the bound reported is the
+    maximum over cuts.  The bound is loose by design — it admits
+    re-packing, which none of the simulated schemes perform. *)
+
+open Arnet_topology
+open Arnet_traffic
+
+val of_cut : Graph.t -> Matrix.t -> members:bool array -> float
+(** The bound contributed by a single cut — the bracketed expression of
+    Section 4.  Directions without traffic contribute zero; a direction
+    with traffic but zero capacity contributes its full traffic share
+    (everything blocked). *)
+
+val compute : Graph.t -> Matrix.t -> float
+(** Maximum of {!of_cut} over all cuts.
+    @raise Invalid_argument when the matrix is empty of demand or sizes
+    disagree. *)
+
+val compute_with_argmax : Graph.t -> Matrix.t -> float * bool array
+(** Also returns the binding cut. *)

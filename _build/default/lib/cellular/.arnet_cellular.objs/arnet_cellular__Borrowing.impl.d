@@ -1,0 +1,1 @@
+lib/cellular/borrowing.ml: Arnet_core Array Cell_grid

@@ -1,0 +1,1 @@
+lib/cellular/borrowing.mli: Cell_grid

@@ -1,0 +1,1 @@
+lib/cellular/cell_grid.ml: Array List Stdlib

@@ -1,0 +1,1 @@
+lib/cellular/cell_sim.ml: Arnet_sim Array Borrowing Cell_grid Event_queue List Rng

@@ -1,0 +1,1 @@
+lib/cellular/cell_sim.mli: Arnet_sim Borrowing Cell_grid

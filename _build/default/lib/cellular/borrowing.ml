@@ -1,0 +1,30 @@
+type variant = No_borrowing | Uncontrolled | Controlled of int array
+
+let protection_levels grid ~offered_per_cell =
+  if Array.length offered_per_cell <> grid.Cell_grid.cells then
+    invalid_arg "Borrowing.protection_levels: length mismatch";
+  let h = Cell_grid.max_lock_set_size grid in
+  Array.map
+    (fun offered ->
+      if offered <= 0. then 0
+      else
+        Arnet_core.Protection.level ~offered ~capacity:grid.Cell_grid.capacity
+          ~h)
+    offered_per_cell
+
+let cell_admits grid variant ~occupancy cell =
+  let capacity = grid.Cell_grid.capacity in
+  match variant with
+  | No_borrowing -> false
+  | Uncontrolled -> occupancy.(cell) < capacity
+  | Controlled levels -> occupancy.(cell) < capacity - levels.(cell)
+
+let admits_borrow grid variant ~occupancy ~lock_set =
+  match variant with
+  | No_borrowing -> false
+  | _ -> Array.for_all (cell_admits grid variant ~occupancy) lock_set
+
+let variant_name = function
+  | No_borrowing -> "no-borrowing"
+  | Uncontrolled -> "uncontrolled-borrowing"
+  | Controlled _ -> "controlled-borrowing"

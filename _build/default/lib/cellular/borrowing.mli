@@ -1,0 +1,24 @@
+(** Channel-borrowing policies over a {!Cell_grid.t}.
+
+    Direct transcription of the controlled-alternate-routing machinery
+    onto the Multiple Service / Multiple Resource model of Section 3.2:
+    the "links" of an alternate "path" are the cells of a lock set, so
+    a lock set of size at most 3 is protected with the [H = 3] level. *)
+
+type variant =
+  | No_borrowing  (** blocked calls are lost — the single-path analogue *)
+  | Uncontrolled  (** borrow whenever every lock-set cell has a channel *)
+  | Controlled of int array
+      (** per-cell protection levels: a cell participates in a borrow
+          only below [capacity - level] *)
+
+val protection_levels : Cell_grid.t -> offered_per_cell:float array -> int array
+(** The Section-3.1 levels with [H = max lock-set size], per cell.
+    Cells with no offered traffic get level 0. *)
+
+val admits_borrow :
+  Cell_grid.t -> variant -> occupancy:int array -> lock_set:int array -> bool
+(** Whether every cell of [lock_set] accepts the borrowed channel under
+    the variant's rule ([No_borrowing] always refuses). *)
+
+val variant_name : variant -> string

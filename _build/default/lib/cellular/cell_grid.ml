@@ -1,0 +1,91 @@
+type t = {
+  cells : int;
+  capacity : int;
+  neighbors : int array array;
+  lock_sets : int array array array;
+}
+
+let make ~capacity ~neighbors ~lock_sets =
+  let cells = Array.length neighbors in
+  if cells < 2 then invalid_arg "Cell_grid.make: need >= 2 cells";
+  if capacity < 1 then invalid_arg "Cell_grid.make: capacity < 1";
+  if Array.length lock_sets <> cells then
+    invalid_arg "Cell_grid.make: lock_sets length mismatch";
+  let check_cell idx =
+    if idx < 0 || idx >= cells then
+      invalid_arg "Cell_grid.make: cell index out of range"
+  in
+  Array.iteri
+    (fun borrower nbrs ->
+      if Array.length lock_sets.(borrower) <> Array.length nbrs then
+        invalid_arg "Cell_grid.make: one lock set per neighbour required";
+      Array.iteri
+        (fun idx lender ->
+          check_cell lender;
+          if lender = borrower then
+            invalid_arg "Cell_grid.make: cannot borrow from self";
+          let ls = lock_sets.(borrower).(idx) in
+          if Array.length ls = 0 then
+            invalid_arg "Cell_grid.make: empty lock set";
+          Array.iter check_cell ls;
+          if not (Array.exists (fun c -> c = lender) ls) then
+            invalid_arg "Cell_grid.make: lock set must contain the lender")
+        nbrs)
+    neighbors;
+  { cells; capacity; neighbors; lock_sets }
+
+let reuse3_grid ~rows ~cols ~capacity =
+  if rows < 2 || cols < 3 then invalid_arg "Cell_grid.reuse3_grid: too small";
+  let cells = rows * cols in
+  let idx r c = (r * cols) + c in
+  let color r c = (r + c) mod 3 in
+  let in_grid r c = r >= 0 && r < rows && c >= 0 && c < cols in
+  let neighbour_coords r c =
+    List.filter
+      (fun (r', c') -> in_grid r' c')
+      [ (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1) ]
+  in
+  let neighbors =
+    Array.init cells (fun i ->
+        let r = i / cols and c = i mod cols in
+        Array.of_list (List.map (fun (r', c') -> idx r' c') (neighbour_coords r c)))
+  in
+  let lock_set borrower lender =
+    (* the lender plus up to two cells sharing the lender's channel
+       group within reuse distance (Manhattan <= 2) of the borrower —
+       there the borrowed channel must be locked *)
+    let lr = lender / cols and lc = lender mod cols in
+    let br = borrower / cols and bc = borrower mod cols in
+    let col = color lr lc in
+    let cocells = ref [] in
+    for r' = 0 to rows - 1 do
+      for c' = 0 to cols - 1 do
+        let dist = abs (r' - br) + abs (c' - bc) in
+        if
+          dist >= 1 && dist <= 2
+          && color r' c' = col
+          && idx r' c' <> lender
+        then cocells := (dist, idx r' c') :: !cocells
+      done
+    done;
+    let nearest_first = List.sort compare !cocells in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | (_, x) :: rest -> x :: take (n - 1) rest
+    in
+    Array.of_list (lender :: take 2 nearest_first)
+  in
+  let lock_sets =
+    Array.init cells (fun borrower ->
+        Array.map (lock_set borrower) neighbors.(borrower))
+  in
+  make ~capacity ~neighbors ~lock_sets
+
+let max_lock_set_size t =
+  Array.fold_left
+    (fun acc per_neighbour ->
+      Array.fold_left
+        (fun acc ls -> Stdlib.max acc (Array.length ls))
+        acc per_neighbour)
+    0 t.lock_sets

@@ -1,0 +1,41 @@
+(** Cellular layouts for channel borrowing (Section 3.2).
+
+    A call's primary resource is the channel pool of the cell it
+    originates in; its alternate resource set, when the cell is
+    exhausted, is a neighbouring cell's pool — but borrowing a channel
+    from neighbour [j] locks one channel in each cell of [j]'s *lock
+    set* (the borrowed channel becomes unusable in [j]'s co-channel
+    cells near the borrower).  With 3-cell lock sets, choosing the
+    protection level for [H = 3] gives the paper's guarantee that
+    borrowing never does worse than no borrowing. *)
+
+type t = {
+  cells : int;
+  capacity : int;  (** channels per cell *)
+  neighbors : int array array;  (** borrowing candidates, in attempt order *)
+  lock_sets : int array array array;
+      (** [lock_sets.(borrower).(idx)] is the set of cells that each lose
+          one channel when [borrower] borrows from
+          [neighbors.(borrower).(idx)]; always contains that lender *)
+}
+
+val make :
+  capacity:int ->
+  neighbors:int array array ->
+  lock_sets:int array array array ->
+  t
+(** Validates shapes: one lock set per neighbour, each containing the
+    lender, all indices in range, [capacity >= 1].
+    @raise Invalid_argument otherwise. *)
+
+val reuse3_grid : rows:int -> cols:int -> capacity:int -> t
+(** A [rows * cols] lattice under a 3-colour frequency reuse plan
+    (colour [(row + col) mod 3]).  Cell [(r, c)] has index
+    [r * cols + c]; its borrowing candidates are its 4-neighbours, and
+    borrowing from lender [j] locks [j] plus up to two of [j]'s
+    same-colour cells adjacent to the borrower's neighbourhood — lock
+    sets have at most 3 cells, the canonical case discussed in the
+    paper. *)
+
+val max_lock_set_size : t -> int
+(** The [H] to protect against. *)

@@ -1,0 +1,119 @@
+open Arnet_sim
+
+type call = { time : float; cell : int; holding : float }
+
+type outcome = {
+  variant : Borrowing.variant;
+  offered : int;
+  blocked : int;
+  borrowed : int;
+  blocked_per_cell : int array;
+  offered_per_cell : int array;
+}
+
+let generate_calls ~rng ~duration ~offered_per_cell =
+  if duration <= 0. then invalid_arg "Cell_sim.generate_calls: duration";
+  let n = Array.length offered_per_cell in
+  let total = Array.fold_left ( +. ) 0. offered_per_cell in
+  if total <= 0. then invalid_arg "Cell_sim.generate_calls: no traffic";
+  let cumulative = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i d ->
+      acc := !acc +. d;
+      cumulative.(i) <- !acc)
+    offered_per_cell;
+  let pick x =
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) > x then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  let out = ref [] in
+  let t = ref (Rng.exponential rng ~rate:total) in
+  while !t < duration do
+    let cell = pick (Rng.float rng total) in
+    let holding = Rng.exponential rng ~rate:1. in
+    out := { time = !t; cell; holding } :: !out;
+    t := !t +. Rng.exponential rng ~rate:total
+  done;
+  Array.of_list (List.rev !out)
+
+let run ?(warmup = 10.) ~grid ~variant calls =
+  let { Cell_grid.cells; capacity; neighbors; lock_sets } = grid in
+  let occupancy = Array.make cells 0 in
+  let departures : int array Event_queue.t = Event_queue.create () in
+  let offered = ref 0 and blocked = ref 0 and borrowed = ref 0 in
+  let offered_per_cell = Array.make cells 0 in
+  let blocked_per_cell = Array.make cells 0 in
+  let release _time held =
+    Array.iter
+      (fun c ->
+        occupancy.(c) <- occupancy.(c) - 1;
+        assert (occupancy.(c) >= 0))
+      held
+  in
+  let admit call held =
+    Array.iter (fun c -> occupancy.(c) <- occupancy.(c) + 1) held;
+    Event_queue.push departures ~time:(call.time +. call.holding) held
+  in
+  let try_borrow call =
+    let candidates = neighbors.(call.cell) in
+    let rec attempt idx =
+      if idx >= Array.length candidates then None
+      else
+        let lock_set = lock_sets.(call.cell).(idx) in
+        if Borrowing.admits_borrow grid variant ~occupancy ~lock_set then
+          Some lock_set
+        else attempt (idx + 1)
+    in
+    attempt 0
+  in
+  let handle call =
+    Event_queue.pop_until departures ~time:call.time ~f:release;
+    let measured = call.time >= warmup in
+    if measured then begin
+      incr offered;
+      offered_per_cell.(call.cell) <- offered_per_cell.(call.cell) + 1
+    end;
+    if occupancy.(call.cell) < capacity then admit call [| call.cell |]
+    else
+      match try_borrow call with
+      | Some lock_set ->
+        admit call (Array.copy lock_set);
+        if measured then incr borrowed
+      | None ->
+        if measured then begin
+          incr blocked;
+          blocked_per_cell.(call.cell) <- blocked_per_cell.(call.cell) + 1
+        end
+  in
+  Array.iter handle calls;
+  { variant;
+    offered = !offered;
+    blocked = !blocked;
+    borrowed = !borrowed;
+    blocked_per_cell;
+    offered_per_cell }
+
+let blocking o =
+  if o.offered = 0 then 0. else float_of_int o.blocked /. float_of_int o.offered
+
+let compare_variants ?warmup ~seeds ~duration ~grid ~offered_per_cell ~variants
+    () =
+  if seeds = [] then invalid_arg "Cell_sim.compare_variants: no seeds";
+  let results =
+    List.map (fun v -> (Borrowing.variant_name v, ref [])) variants
+  in
+  let one_seed seed =
+    let rng = Rng.substream (Rng.create ~seed) "cellular" in
+    let calls = generate_calls ~rng ~duration ~offered_per_cell in
+    List.iter2
+      (fun variant (_, acc) ->
+        acc := blocking (run ?warmup ~grid ~variant calls) :: !acc)
+      variants results
+  in
+  List.iter one_seed seeds;
+  List.map (fun (name, acc) -> (name, List.rev !acc)) results

@@ -1,0 +1,47 @@
+(** Call-by-call simulator for cellular channel borrowing.
+
+    Mirrors the network engine: pre-generated per-seed workloads are
+    replayed through each borrowing variant, an idle-start warm-up is
+    excluded, and per-cell blocking is reported. *)
+
+type call = { time : float; cell : int; holding : float }
+
+type outcome = {
+  variant : Borrowing.variant;
+  offered : int;
+  blocked : int;
+  borrowed : int;  (** carried on a borrowed channel *)
+  blocked_per_cell : int array;
+  offered_per_cell : int array;
+}
+
+val generate_calls :
+  rng:Arnet_sim.Rng.t -> duration:float -> offered_per_cell:float array ->
+  call array
+(** Aggregated Poisson arrivals over cells, unit-mean exponential
+    holding times, sorted by time.
+    @raise Invalid_argument when total offered traffic is not positive. *)
+
+val run :
+  ?warmup:float ->
+  grid:Cell_grid.t ->
+  variant:Borrowing.variant ->
+  call array ->
+  outcome
+(** Own-cell channel first; otherwise neighbours are tried in the
+    grid's order, and a successful borrow holds one channel in every
+    lock-set cell for the call's duration. *)
+
+val blocking : outcome -> float
+
+val compare_variants :
+  ?warmup:float ->
+  seeds:int list ->
+  duration:float ->
+  grid:Cell_grid.t ->
+  offered_per_cell:float array ->
+  variants:Borrowing.variant list ->
+  unit ->
+  (string * float list) list
+(** Per variant, the per-seed network blocking, each seed replaying the
+    same workload through every variant. *)

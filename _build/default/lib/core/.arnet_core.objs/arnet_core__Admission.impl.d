@@ -1,0 +1,1 @@
+lib/core/admission.ml: Arnet_paths Array Path Stdlib

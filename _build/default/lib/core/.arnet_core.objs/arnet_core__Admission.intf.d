@@ -1,0 +1,1 @@
+lib/core/admission.mli: Arnet_paths Path

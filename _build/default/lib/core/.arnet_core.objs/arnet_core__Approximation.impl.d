@@ -1,0 +1,1 @@
+lib/core/approximation.ml: Arnet_erlang Arnet_paths Arnet_topology Arnet_traffic Array Birth_death Float Graph Link List Matrix Path Route_table

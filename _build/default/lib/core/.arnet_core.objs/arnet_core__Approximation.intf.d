@@ -1,0 +1,1 @@
+lib/core/approximation.mli: Arnet_paths Arnet_traffic Matrix Route_table

@@ -1,0 +1,1 @@
+lib/core/bistability.ml: Arnet_erlang Array Birth_death Float List

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Admission Arnet_paths Arnet_sim Engine List Path Route_table Trace

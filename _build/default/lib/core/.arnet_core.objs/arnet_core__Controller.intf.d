@@ -1,0 +1,1 @@
+lib/core/controller.mli: Admission Arnet_paths Arnet_sim Engine Path Route_table Trace

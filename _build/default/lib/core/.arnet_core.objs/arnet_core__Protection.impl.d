@@ -1,0 +1,1 @@
+lib/core/protection.ml: Arnet_erlang Arnet_paths Arnet_topology Arnet_traffic Array Erlang_b List Loads Path Route_table

@@ -1,0 +1,1 @@
+lib/core/scheme.mli: Arnet_paths Arnet_sim Arnet_traffic Controller Engine Matrix Route_table

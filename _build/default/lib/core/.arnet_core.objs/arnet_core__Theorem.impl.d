@@ -1,0 +1,1 @@
+lib/core/theorem.ml: Arnet_erlang Birth_death Erlang_b

@@ -1,0 +1,41 @@
+open Arnet_paths
+
+type t = { capacities : int array; reserves : int array }
+
+let make ~capacities ~reserves =
+  if Array.length capacities <> Array.length reserves then
+    invalid_arg "Admission.make: length mismatch";
+  Array.iteri
+    (fun k r ->
+      if r < 0 || r > capacities.(k) then
+        invalid_arg "Admission.make: reserve out of range")
+    reserves;
+  { capacities = Array.copy capacities; reserves = Array.copy reserves }
+
+let unprotected ~capacities =
+  make ~capacities ~reserves:(Array.make (Array.length capacities) 0)
+
+let capacities t = Array.copy t.capacities
+let reserves t = Array.copy t.reserves
+
+let link_admits_primary t ~occupancy k = occupancy.(k) < t.capacities.(k)
+
+let link_admits_alternate t ~occupancy k =
+  occupancy.(k) < t.capacities.(k) - t.reserves.(k)
+
+let all_links p f =
+  let ids = p.Path.link_ids in
+  let n = Array.length ids in
+  let rec go i = i >= n || (f ids.(i) && go (i + 1)) in
+  go 0
+
+let path_admits_primary t ~occupancy p =
+  all_links p (link_admits_primary t ~occupancy)
+
+let path_admits_alternate t ~occupancy p =
+  all_links p (link_admits_alternate t ~occupancy)
+
+let free_circuits t ~occupancy p =
+  Array.fold_left
+    (fun acc k -> Stdlib.min acc (t.capacities.(k) - occupancy.(k)))
+    max_int p.Path.link_ids

@@ -1,0 +1,31 @@
+(** Link-level admission rules.
+
+    The distributed decision of Section 1: each link accepts a *primary*
+    call whenever it has a free circuit, and an *alternate-routed* call
+    only while its occupancy is below [capacity - reserve] (equivalently,
+    it refuses alternates in its last [reserve + 1] states
+    [C - r .. C]).  A path admits a call iff every link on it does. *)
+
+open Arnet_paths
+
+type t
+
+val make : capacities:int array -> reserves:int array -> t
+(** @raise Invalid_argument if lengths differ or any reserve is outside
+    [0 .. capacity]. *)
+
+val unprotected : capacities:int array -> t
+(** All reserves zero — uncontrolled alternate routing. *)
+
+val capacities : t -> int array
+val reserves : t -> int array
+
+val link_admits_primary : t -> occupancy:int array -> int -> bool
+val link_admits_alternate : t -> occupancy:int array -> int -> bool
+
+val path_admits_primary : t -> occupancy:int array -> Path.t -> bool
+val path_admits_alternate : t -> occupancy:int array -> Path.t -> bool
+
+val free_circuits : t -> occupancy:int array -> Path.t -> int
+(** Minimum spare capacity over the path's links (the "least busy"
+    metric of LBA-style schemes). *)

@@ -1,0 +1,143 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_erlang
+open Arnet_traffic
+
+type t = {
+  primary_blocking : float array;
+  alternate_blocking : float array;
+  network_blocking : float;
+  iterations : int;
+  converged : bool;
+}
+
+let path_pass blocking (p : Path.t) =
+  Array.fold_left (fun acc k -> acc *. (1. -. blocking.(k))) 1. p.Path.link_ids
+
+(* thinned load contributed to link k by a stream of rate [rate] offered
+   to path p: the stream reaches/holds k only if every *other* link
+   admits it *)
+let add_thinned loads blocking rate (p : Path.t) =
+  Array.iter
+    (fun k ->
+      let pass_others =
+        Array.fold_left
+          (fun acc k' -> if k' = k then acc else acc *. (1. -. blocking.(k')))
+          1. p.Path.link_ids
+      in
+      loads.(k) <- loads.(k) +. (rate *. pass_others))
+    p.Path.link_ids
+
+let solve ?(tolerance = 1e-8) ?(max_iterations = 2000) ?(damping = 0.5)
+    ~routes ~reserves matrix =
+  if damping <= 0. || damping > 1. then
+    invalid_arg "Approximation.solve: damping outside (0, 1]";
+  let g = Route_table.graph routes in
+  let m = Graph.link_count g in
+  if Array.length reserves <> m then
+    invalid_arg "Approximation.solve: reserves length mismatch";
+  if Matrix.nodes matrix <> Graph.node_count g then
+    invalid_arg "Approximation.solve: matrix size mismatch";
+  let capacities =
+    Array.map (fun (l : Link.t) -> l.capacity) (Graph.links g)
+  in
+  Array.iteri
+    (fun k r ->
+      if r < 0 || r > capacities.(k) then
+        invalid_arg "Approximation.solve: reserve out of range")
+    reserves;
+  (* pair data: demand, primary, ordered alternates *)
+  let pairs = ref [] in
+  Matrix.iter_demands matrix (fun src dst demand ->
+      if Route_table.has_route routes ~src ~dst then begin
+        let primary = Route_table.primary routes ~src ~dst in
+        let alternates =
+          Route_table.alternates_excluding routes ~src ~dst primary
+        in
+        pairs := (demand, primary, alternates) :: !pairs
+      end);
+  let pairs = List.rev !pairs in
+  let bp = Array.make m 0. and ba = Array.make m 0. in
+  let iterations = ref 0 and converged = ref false in
+  while (not !converged) && !iterations < max_iterations do
+    incr iterations;
+    (* implied offered loads under the current blocking estimates *)
+    let primary_loads = Array.make m 0. in
+    let overflow_loads = Array.make m 0. in
+    List.iter
+      (fun (demand, primary, alternates) ->
+        add_thinned primary_loads bp demand primary;
+        let blocked = demand *. (1. -. path_pass bp primary) in
+        let reach = ref blocked in
+        List.iter
+          (fun alt ->
+            if !reach > 1e-12 then begin
+              add_thinned overflow_loads ba !reach alt;
+              reach := !reach *. (1. -. path_pass ba alt)
+            end)
+          alternates)
+      pairs;
+    (* exact protected chain per link *)
+    let delta = ref 0. in
+    for k = 0 to m - 1 do
+      let capacity = capacities.(k) in
+      let nu = Float.max primary_loads.(k) 1e-9 in
+      let o = Float.max overflow_loads.(k) 0. in
+      let new_bp, new_ba =
+        if capacity = 0 then (1., 1.)
+        else begin
+          let chain =
+            Birth_death.protected_link ~primary:nu
+              ~overflow:(fun _ -> o +. 1e-12)
+              ~capacity ~reserve:reserves.(k)
+          in
+          let pi = Birth_death.stationary chain in
+          let full = pi.(capacity) in
+          let protected_band = ref 0. in
+          for s = capacity - reserves.(k) to capacity do
+            protected_band := !protected_band +. pi.(s)
+          done;
+          (full, !protected_band)
+        end
+      in
+      delta := Float.max !delta (Float.abs (new_bp -. bp.(k)));
+      delta := Float.max !delta (Float.abs (new_ba -. ba.(k)));
+      bp.(k) <- ((1. -. damping) *. bp.(k)) +. (damping *. new_bp);
+      ba.(k) <- ((1. -. damping) *. ba.(k)) +. (damping *. new_ba)
+    done;
+    if !delta <= tolerance then converged := true
+  done;
+  (* end-to-end loss *)
+  let lost = ref 0. and total = ref 0. in
+  List.iter
+    (fun (demand, primary, alternates) ->
+      total := !total +. demand;
+      let blocked = ref (demand *. (1. -. path_pass bp primary)) in
+      List.iter
+        (fun alt -> blocked := !blocked *. (1. -. path_pass ba alt))
+        alternates;
+      lost := !lost +. !blocked)
+    pairs;
+  (* demands between unrouted pairs are wholly lost *)
+  Matrix.iter_demands matrix (fun src dst demand ->
+      if not (Route_table.has_route routes ~src ~dst) then begin
+        total := !total +. demand;
+        lost := !lost +. demand
+      end);
+  { primary_blocking = bp;
+    alternate_blocking = ba;
+    network_blocking = (if !total = 0. then 0. else !lost /. !total);
+    iterations = !iterations;
+    converged = !converged }
+
+let pair_blocking t ~routes ~src ~dst =
+  if not (Route_table.has_route routes ~src ~dst) then 1.
+  else begin
+    let primary = Route_table.primary routes ~src ~dst in
+    let blocked = ref (1. -. path_pass t.primary_blocking primary) in
+    List.iter
+      (fun alt ->
+        blocked := !blocked *. (1. -. path_pass t.alternate_blocking alt))
+      (Route_table.alternates_excluding routes ~src ~dst primary);
+    !blocked
+  end

@@ -1,0 +1,52 @@
+(** Fixed-point (reduced-load) approximation of the controlled scheme.
+
+    The classical Erlang fixed point covers fixed-path routing; this
+    module extends it to the paper's two-tier scheme on a general mesh.
+    Under link-independence assumptions:
+
+    - a pair's primary path blocks with
+      [1 - prod (1 - Bp_k)] over its links;
+    - blocked calls try the stored alternates in order, each attempt
+      succeeding with [prod (1 - Ba_k)] over the alternate's links;
+    - every link is an exact protected birth-death chain
+      ({!Arnet_erlang.Birth_death.protected_link}) fed by its thinned
+      primary stream and the overflow stream implied by the traffic that
+      reaches it, giving back [Bp_k] (probability of a full link) and
+      [Ba_k] (probability of occupancy in the protected band);
+
+    iterated to a fixed point with damping.  The approximation lets the
+    operating point of the controlled scheme be estimated without
+    simulation; the [ext_analytic] bench section compares it against the
+    call-by-call simulator across loads. *)
+
+open Arnet_paths
+open Arnet_traffic
+
+type t = {
+  primary_blocking : float array;  (** per link, [P(occupancy = C)] *)
+  alternate_blocking : float array;
+      (** per link, [P(occupancy >= C - r)] *)
+  network_blocking : float;  (** demand-weighted end-to-end loss *)
+  iterations : int;
+  converged : bool;
+}
+
+val solve :
+  ?tolerance:float ->
+  ?max_iterations:int ->
+  ?damping:float ->
+  routes:Route_table.t ->
+  reserves:int array ->
+  Matrix.t ->
+  t
+(** [solve ~routes ~reserves matrix] — pass all-zero reserves for the
+    uncontrolled scheme, or reserves of [capacity] to recover the pure
+    single-path fixed point.  Damping defaults to 0.5; tolerance [1e-8]
+    on the largest per-link change; cap 2000 iterations ([converged]
+    reports whether the tolerance was met).
+    @raise Invalid_argument on size mismatches or bad parameters. *)
+
+val pair_blocking :
+  t -> routes:Route_table.t -> src:int -> dst:int -> float
+(** End-to-end loss probability of one pair at the fixed point ([1.0]
+    for unrouted pairs). *)

@@ -1,0 +1,35 @@
+open Arnet_paths
+open Arnet_sim
+
+type primary_choice =
+  | Table
+  | Sampled of (src:int -> dst:int -> u:float -> Path.t option)
+
+let primary_for routes choice (call : Trace.call) =
+  let src = call.Trace.src and dst = call.Trace.dst in
+  match choice with
+  | Table ->
+    if Route_table.has_route routes ~src ~dst then
+      Some (Route_table.primary routes ~src ~dst)
+    else None
+  | Sampled f -> f ~src ~dst ~u:call.Trace.u
+
+let decide ~routes ~admission ~choice ~allow_alternates ~occupancy ~call =
+  match primary_for routes choice call with
+  | None -> Engine.Lost
+  | Some primary ->
+    if Admission.path_admits_primary admission ~occupancy primary then
+      Engine.Routed primary
+    else if not allow_alternates then Engine.Lost
+    else begin
+      let src = call.Trace.src and dst = call.Trace.dst in
+      let alternates =
+        Route_table.alternates_excluding routes ~src ~dst primary
+      in
+      let admissible p =
+        Admission.path_admits_alternate admission ~occupancy p
+      in
+      match List.find_opt admissible alternates with
+      | Some p -> Engine.Routed p
+      | None -> Engine.Lost
+    end

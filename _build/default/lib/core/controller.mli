@@ -1,0 +1,38 @@
+(** The two-tier routing decision of Section 1.
+
+    Tier 1 (state-independent): a primary path is selected with no
+    knowledge of network state — either the route table's unique
+    minimum-hop path, or a sample from a bifurcated distribution using
+    the call's pre-drawn uniform variate.
+
+    Tier 2 (state-dependent): if the primary path is blocking, alternate
+    paths are attempted in order of increasing hop length; an alternate
+    completes only if every one of its links admits an alternate-routed
+    call under the supplied {!Admission.t} (reserves all zero =
+    uncontrolled alternate routing). *)
+
+open Arnet_paths
+open Arnet_sim
+
+type primary_choice =
+  | Table  (** the route table's deterministic primary *)
+  | Sampled of (src:int -> dst:int -> u:float -> Path.t option)
+      (** bifurcated SI policies: pick a primary using the call's
+          uniform variate; [None] means the pair is unroutable *)
+
+val primary_for :
+  Route_table.t -> primary_choice -> Trace.call -> Path.t option
+(** The primary path tier 1 assigns to this call. *)
+
+val decide :
+  routes:Route_table.t ->
+  admission:Admission.t ->
+  choice:primary_choice ->
+  allow_alternates:bool ->
+  occupancy:int array ->
+  call:Trace.call ->
+  Engine.outcome
+(** The full decision: try the primary under the primary rule; when it
+    blocks and [allow_alternates], try each stored alternate (excluding
+    the chosen primary) in length order under the alternate rule; first
+    fit wins, otherwise the call is lost. *)

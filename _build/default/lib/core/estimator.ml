@@ -1,0 +1,52 @@
+type t = {
+  window : float;
+  smoothing : float;
+  mean_holding : float;
+  mutable window_start : float;
+  mutable count : int;
+  mutable ewma : float;
+  mutable observations : int;
+  mutable last_time : float;
+}
+
+let create ?(window = 5.) ?(smoothing = 0.3) ?(mean_holding = 1.)
+    ?(initial = 0.) () =
+  if window <= 0. || not (Float.is_finite window) then
+    invalid_arg "Estimator.create: bad window";
+  if smoothing <= 0. || smoothing > 1. then
+    invalid_arg "Estimator.create: smoothing outside (0, 1]";
+  if mean_holding <= 0. then invalid_arg "Estimator.create: bad mean_holding";
+  if initial < 0. then invalid_arg "Estimator.create: negative initial";
+  { window;
+    smoothing;
+    mean_holding;
+    window_start = 0.;
+    count = 0;
+    ewma = initial;
+    observations = 0;
+    last_time = 0. }
+
+(* fold every window that has fully elapsed by [now] into the average *)
+let roll t ~now =
+  while now >= t.window_start +. t.window do
+    let rate = float_of_int t.count /. t.window in
+    t.ewma <- (t.smoothing *. rate) +. ((1. -. t.smoothing) *. t.ewma);
+    t.count <- 0;
+    t.window_start <- t.window_start +. t.window
+  done
+
+let observe t ~now =
+  if now < t.last_time then invalid_arg "Estimator.observe: time ran backwards";
+  t.last_time <- now;
+  roll t ~now;
+  t.count <- t.count + 1;
+  t.observations <- t.observations + 1
+
+let estimate t ~now =
+  if now >= t.last_time then begin
+    t.last_time <- now;
+    roll t ~now
+  end;
+  t.ewma *. t.mean_holding
+
+let observations t = t.observations

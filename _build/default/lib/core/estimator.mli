@@ -1,0 +1,41 @@
+(** On-line estimation of a link's primary traffic demand.
+
+    Section 1: each link's protection threshold "is based on its current
+    estimate of the resource demand on the link due to calls whose
+    primary path traverses that link.  The estimate can be found from
+    the primary call set-ups that fly past the link" — the paper leaves
+    the estimation procedure unspecified, and its simulations assume
+    Lambda is known a priori.  This module supplies the missing piece: a
+    windowed rate estimator with exponential smoothing.  With unit-mean
+    holding times the primary set-up arrival rate *is* the demand in
+    Erlangs, so no holding-time bookkeeping is needed; a mean-holding
+    scale factor covers the general case.
+
+    The companion experiment (bench section [exp_robustness]) confirms
+    the property the paper relies on (Key [21]): protection levels are
+    robust to estimation error, so a simple estimator suffices. *)
+
+type t
+
+val create :
+  ?window:float -> ?smoothing:float -> ?mean_holding:float ->
+  ?initial:float -> unit -> t
+(** [create ()] — a fresh estimator.  [window] (default 5 time units) is
+    the counting interval; at each boundary the finished window's rate
+    enters an exponentially-weighted moving average with weight
+    [smoothing] (default 0.3).  [initial] (default 0) seeds the average;
+    pass a planning estimate to avoid a cold start.
+    @raise Invalid_argument for nonpositive window/mean_holding or
+    smoothing outside (0, 1]. *)
+
+val observe : t -> now:float -> unit
+(** Record one primary call set-up passing the link at time [now].
+    Times must be nondecreasing across calls.
+    @raise Invalid_argument if time runs backwards. *)
+
+val estimate : t -> now:float -> float
+(** Current demand estimate in Erlangs (closing any windows that have
+    elapsed by [now]).  Never negative. *)
+
+val observations : t -> int
+(** Total set-ups recorded. *)

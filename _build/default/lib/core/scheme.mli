@@ -1,0 +1,88 @@
+(** Ready-made routing policies for the simulator — the four algorithms
+    compared throughout Section 4, plus a least-busy-alternative ablation.
+
+    All constructors share a {!Arnet_paths.Route_table.t} so that every
+    scheme sees the same primary paths and the same candidate alternates,
+    exactly as in the paper's experiments. *)
+
+open Arnet_paths
+open Arnet_traffic
+open Arnet_sim
+
+val single_path :
+  ?choice:Controller.primary_choice -> Route_table.t -> Engine.policy
+(** Tier 1 only: a call completes on its primary path or is lost. *)
+
+val uncontrolled :
+  ?choice:Controller.primary_choice -> Route_table.t -> Engine.policy
+(** Alternate routing with no protection: any alternate with a free
+    circuit on every link is taken. *)
+
+val controlled :
+  ?choice:Controller.primary_choice ->
+  reserves:int array -> Route_table.t -> Engine.policy
+(** The paper's scheme: alternates admitted per-link only below
+    [capacity - reserve].  [reserves] is indexed by link id — usually
+    {!Protection.levels}. *)
+
+val controlled_auto :
+  ?choice:Controller.primary_choice ->
+  ?h:int -> matrix:Matrix.t -> Route_table.t -> Engine.policy
+(** Convenience: computes reserves from the matrix via
+    {!Protection.levels} with [h] defaulting to the route table's own
+    alternate-length cap. *)
+
+val controlled_per_link_h :
+  ?choice:Controller.primary_choice ->
+  matrix:Matrix.t -> Route_table.t -> Engine.policy
+(** Footnote-5 ablation: protection levels from {!Protection.per_link_h}
+    — each link protects only against the longest alternate that
+    actually crosses it. *)
+
+val controlled_length_aware :
+  ?choice:Controller.primary_choice ->
+  matrix:Matrix.t -> Route_table.t -> Engine.policy
+(** The length-prioritized variant Section 3.2 discusses: a link judges
+    each alternate call against the protection level for *that call's
+    own path length* — an l-hop alternate is admitted below
+    [C - level (Lambda, C, l)] — so shorter (cheaper) alternates face
+    laxer thresholds.  The guarantee survives: an l-hop path's summed
+    bound is at most [l * (1/l) = 1].  The paper expects the gains to be
+    overwhelmed in practice; the ablation bench checks that. *)
+
+val controlled_adaptive :
+  ?choice:Controller.primary_choice ->
+  ?h:int ->
+  ?window:float ->
+  ?smoothing:float ->
+  ?refresh:float ->
+  ?initial_loads:float array ->
+  Route_table.t -> Engine.policy
+(** The fully distributed variant: no traffic matrix.  Every link
+    estimates its own primary demand from the call set-ups that fly past
+    it ({!Estimator}) and recomputes its protection level every
+    [refresh] time units (default 10).  [initial_loads] seeds the
+    estimators (planning values); without it links start unprotected and
+    converge within a few windows. *)
+
+val ott_krishnan :
+  ?revenue:float ->
+  ?reduced_load:bool ->
+  matrix:Matrix.t -> Route_table.t -> Engine.policy
+(** The separable shadow-price comparator [34]: a call is admitted on
+    the candidate path (primary or alternate, any stored length)
+    minimizing the sum of per-link implied costs
+    [B(nu_k, C_k) / B(nu_k, s_k)] at the current occupancies, unless
+    that minimum exceeds [revenue] (default 1, the paper's single-rate
+    calls), in which case the call is blocked.  [nu_k] is the primary
+    load; the paper uses the *unreduced* intensities (default); set
+    [reduced_load] for the Erlang-fixed-point variant. *)
+
+val least_busy :
+  ?reserves:int array -> Route_table.t -> Engine.policy
+(** Ablation: primary first; among admissible alternates of the
+    *shortest admissible length*, picks the one with most free circuits
+    (aggregated-least-busy-alternative in the style of [28, 29]), with
+    optional protection. *)
+
+val name_of : Engine.policy -> string

@@ -1,0 +1,27 @@
+open Arnet_erlang
+
+let chain ~primary ~overflow ~capacity ~reserve =
+  Birth_death.protected_link ~primary ~overflow ~capacity ~reserve
+
+let extra_loss_exact ~primary ~overflow ~capacity ~reserve ~state =
+  if state < 0 || state > capacity - reserve - 1 then
+    invalid_arg "Theorem.extra_loss_exact: state does not admit alternates";
+  let c = chain ~primary ~overflow ~capacity ~reserve in
+  let tau = Birth_death.expected_passage_time c state in
+  tau *. Birth_death.time_congestion c *. primary
+
+let extra_loss_worst_state ~primary ~overflow ~capacity ~reserve =
+  let worst = ref 0. in
+  for s = 0 to capacity - reserve - 1 do
+    let l = extra_loss_exact ~primary ~overflow ~capacity ~reserve ~state:s in
+    if l > !worst then worst := l
+  done;
+  !worst
+
+let bound ~primary ~capacity ~reserve =
+  Erlang_b.blocking_ratio ~offered:primary ~capacity ~reserve
+
+let verify ~primary ~overflow ~capacity ~reserve =
+  let lhs = extra_loss_worst_state ~primary ~overflow ~capacity ~reserve in
+  let rhs = bound ~primary ~capacity ~reserve in
+  lhs <= rhs +. 1e-9

@@ -1,0 +1,41 @@
+(** Numerical verification of Theorem 1.
+
+    [L] — the expected increase in lost primary calls caused by accepting
+    one alternate-routed call on a protected link — has the exact value
+    (Equation 3)
+
+    {v L(s) = E[tau_s] * B(lambda_vec, C) * nu v}
+
+    where [tau_s] is the first-passage time from the acceptance state [s]
+    to [s + 1] in the link's full birth-death chain (primary rate [nu]
+    plus state-dependent overflow rates, protection at [C - r]).
+    Theorem 1 asserts [L(s) <= B(nu, C) / B(nu, C - r)] for every
+    admissible [s] and *any* overflow pattern.  These helpers compute
+    both sides so tests and benches can check the inequality across
+    parameter sweeps. *)
+
+val extra_loss_exact :
+  primary:float ->
+  overflow:(int -> float) ->
+  capacity:int ->
+  reserve:int ->
+  state:int ->
+  float
+(** [L(state)] for an alternate call accepted while the link holds
+    [state] calls ([state <= capacity - reserve - 1], the only states
+    where alternates are admitted).
+    @raise Invalid_argument outside that range. *)
+
+val extra_loss_worst_state :
+  primary:float -> overflow:(int -> float) -> capacity:int -> reserve:int ->
+  float
+(** Maximum of {!extra_loss_exact} over all admissible states. *)
+
+val bound : primary:float -> capacity:int -> reserve:int -> float
+(** The right-hand side of Theorem 1 (does not depend on the overflow
+    rates — that is the theorem's point). *)
+
+val verify :
+  primary:float -> overflow:(int -> float) -> capacity:int -> reserve:int ->
+  bool
+(** [extra_loss_worst_state <= bound], with a tiny numerical slack. *)

@@ -1,0 +1,1 @@
+lib/erlang/birth_death.mli:

@@ -1,0 +1,1 @@
+lib/erlang/erlang_b.ml: Array Float

@@ -1,0 +1,1 @@
+lib/erlang/reduced_load.ml: Array Erlang_b Float List

@@ -1,0 +1,1 @@
+lib/erlang/reduced_load.mli:

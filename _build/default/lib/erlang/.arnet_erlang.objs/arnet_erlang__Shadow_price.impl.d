@@ -1,0 +1,1 @@
+lib/erlang/shadow_price.ml: Array Erlang_b Float

@@ -1,0 +1,1 @@
+lib/erlang/shadow_price.mli:

@@ -1,0 +1,99 @@
+type t = { births : float array; deaths : float array }
+
+let positive_finite name a =
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) || x <= 0. then
+        invalid_arg (Printf.sprintf "Birth_death: %s must be positive" name))
+    a
+
+let make ~births ~deaths =
+  if Array.length births = 0 then invalid_arg "Birth_death: empty chain";
+  if Array.length births <> Array.length deaths then
+    invalid_arg "Birth_death: births/deaths length mismatch";
+  positive_finite "births" births;
+  positive_finite "deaths" deaths;
+  { births = Array.copy births; deaths = Array.copy deaths }
+
+let erlang ~births =
+  let deaths = Array.init (Array.length births) (fun s -> float_of_int (s + 1)) in
+  make ~births ~deaths
+
+let protected_link ~primary ~overflow ~capacity ~reserve =
+  if capacity < 1 then invalid_arg "Birth_death.protected_link: capacity < 1";
+  if reserve < 0 || reserve > capacity then
+    invalid_arg "Birth_death.protected_link: reserve out of range";
+  if primary <= 0. then invalid_arg "Birth_death.protected_link: primary <= 0";
+  let threshold = capacity - reserve in
+  let birth s =
+    if s < threshold then begin
+      let o = overflow s in
+      if o < 0. || not (Float.is_finite o) then
+        invalid_arg "Birth_death.protected_link: bad overflow rate";
+      primary +. o
+    end
+    else primary
+  in
+  erlang ~births:(Array.init capacity birth)
+
+let capacity t = Array.length t.births
+
+let log_weights t =
+  let c = capacity t in
+  let lw = Array.make (c + 1) 0. in
+  for s = 0 to c - 1 do
+    lw.(s + 1) <- lw.(s) +. log t.births.(s) -. log t.deaths.(s)
+  done;
+  lw
+
+let stationary t =
+  let lw = log_weights t in
+  let m = Array.fold_left Float.max neg_infinity lw in
+  let exps = Array.map (fun l -> exp (l -. m)) lw in
+  let z = Array.fold_left ( +. ) 0. exps in
+  Array.map (fun e -> e /. z) exps
+
+let time_congestion t =
+  let pi = stationary t in
+  pi.(capacity t)
+
+let call_congestion t ~arrival_at_full =
+  if arrival_at_full < 0. then
+    invalid_arg "Birth_death.call_congestion: negative rate";
+  let pi = stationary t in
+  let c = capacity t in
+  let offered = ref (pi.(c) *. arrival_at_full) in
+  let total = ref !offered in
+  for s = 0 to c - 1 do
+    total := !total +. (pi.(s) *. t.births.(s))
+  done;
+  ignore offered;
+  if !total = 0. then 0. else pi.(c) *. arrival_at_full /. !total
+
+let mean_occupancy t =
+  let pi = stationary t in
+  let acc = ref 0. in
+  Array.iteri (fun s p -> acc := !acc +. (float_of_int s *. p)) pi;
+  !acc
+
+let death_from t s = if s = 0 then 0. else t.deaths.(s - 1)
+
+let expected_passage_time t s =
+  if s < 0 || s >= capacity t then
+    invalid_arg "Birth_death.expected_passage_time: state out of range";
+  (* m_j = (1 + d_j m_{j-1}) / b_j *)
+  let m = ref 0. in
+  for j = 0 to s do
+    m := (1. +. (death_from t j *. !m)) /. t.births.(j)
+  done;
+  !m
+
+let expected_accepted_until_up t s =
+  if s < 0 || s >= capacity t then
+    invalid_arg "Birth_death.expected_accepted_until_up: state out of range";
+  (* X_j = 1 + (d_j / b_j) X_{j-1}, X_0 = 1  (Equation 5) *)
+  let x = ref 0. in
+  for j = 0 to s do
+    x := 1. +. (death_from t j /. t.births.(j) *. !x)
+  done;
+  !x

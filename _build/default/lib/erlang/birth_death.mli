@@ -1,0 +1,58 @@
+(** Finite birth-death chains on states [0 .. capacity].
+
+    This is the Markov model of a single link in Section 2 (Figure 1):
+    birth rate from state [s] is the total call arrival rate accepted in
+    that state, death rate from state [s] is [s] (unit-mean exponential
+    holding times), though arbitrary death rates are supported for the
+    chain-comparison steps of the Theorem-1 proof. *)
+
+type t
+
+val make : births:float array -> deaths:float array -> t
+(** [make ~births ~deaths] builds a chain over states
+    [0 .. Array.length births].  [births.(s)] is the rate [s -> s+1];
+    [deaths.(s)] is the rate [s+1 -> s].  Both arrays share a length
+    [capacity]; all entries must be positive and finite.
+    @raise Invalid_argument otherwise. *)
+
+val erlang : births:float array -> t
+(** Chain with the link's natural death rates [s+1 -> s] equal to
+    [s+1]. *)
+
+val protected_link :
+  primary:float -> overflow:(int -> float) -> capacity:int -> reserve:int -> t
+(** The exact chain of Figure 1: below the protection threshold, births
+    are [primary + overflow s] (primary plus state-dependent
+    alternate-routed arrivals); in the top [reserve + 1] states
+    (from [capacity - reserve] on), alternates are rejected so births are
+    [primary] alone.  Deaths are the natural [s+1].  [overflow s] must be
+    [>= 0]. *)
+
+val capacity : t -> int
+
+val stationary : t -> float array
+(** Stationary distribution over [0 .. capacity]; computed in log space,
+    sums to 1. *)
+
+val time_congestion : t -> float
+(** Probability of the full state — the paper's generalized Erlang
+    blocking function [B(lambda_vector, capacity)]. *)
+
+val call_congestion : t -> arrival_at_full:float -> float
+(** Fraction of arriving calls blocked when the arrival rate in state
+    [s < capacity] is [births.(s)] and the rate at the full state is
+    [arrival_at_full].  (With state-dependent arrivals PASTA does not
+    apply, so this differs from {!time_congestion}.) *)
+
+val mean_occupancy : t -> float
+
+val expected_passage_time : t -> int -> float
+(** [expected_passage_time c s] is [E tau], the expected time for the
+    chain to go from state [s] to state [s + 1] for the first time
+    (the quantity bounded in the Theorem-1 proof).
+    @raise Invalid_argument unless [0 <= s < capacity]. *)
+
+val expected_accepted_until_up : t -> int -> float
+(** [X_{s,s+1}] of Equation 4: expected number of accepted arrivals from
+    the moment the chain sits at [s] until it first reaches [s + 1]
+    (counting the arrival that completes the passage). *)

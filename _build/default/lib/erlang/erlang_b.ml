@@ -1,0 +1,70 @@
+let check_offered offered =
+  if not (Float.is_finite offered) || offered <= 0. then
+    invalid_arg "Erlang_b: offered load must be positive and finite"
+
+let blocking_table ~offered ~capacity =
+  check_offered offered;
+  if capacity < 0 then invalid_arg "Erlang_b: negative capacity";
+  let table = Array.make (capacity + 1) 1. in
+  for x = 1 to capacity do
+    let prev = table.(x - 1) in
+    table.(x) <- offered *. prev /. (float_of_int x +. (offered *. prev))
+  done;
+  table
+
+let blocking ~offered ~capacity =
+  (blocking_table ~offered ~capacity).(capacity)
+
+(* log (exp a + exp b) without overflow *)
+let log_add a b =
+  if a = neg_infinity then b
+  else if b = neg_infinity then a
+  else
+    let hi = Float.max a b and lo = Float.min a b in
+    hi +. log1p (exp (lo -. hi))
+
+let log_inverse_table ~offered ~capacity =
+  check_offered offered;
+  if capacity < 0 then invalid_arg "Erlang_b: negative capacity";
+  let table = Array.make (capacity + 1) 0. in
+  for x = 1 to capacity do
+    (* y_x = 1 + (x/a) y_{x-1} *)
+    table.(x) <- log_add 0. (log (float_of_int x /. offered) +. table.(x - 1))
+  done;
+  table
+
+let blocking_ratio ~offered ~capacity ~reserve =
+  if reserve < 0 || reserve > capacity then
+    invalid_arg "Erlang_b.blocking_ratio: reserve out of range";
+  let ly = log_inverse_table ~offered ~capacity in
+  (* B(a,c)/B(a,c-r) = y_{c-r} / y_c *)
+  exp (ly.(capacity - reserve) -. ly.(capacity))
+
+let mean_carried ~offered ~capacity =
+  offered *. (1. -. blocking ~offered ~capacity)
+
+let loss_rate ~offered ~capacity = offered *. blocking ~offered ~capacity
+
+let dimension ~offered ~target_blocking =
+  check_offered offered;
+  if target_blocking <= 0. || target_blocking >= 1. then
+    invalid_arg "Erlang_b.dimension: target must be in (0, 1)";
+  (* B decreases in capacity; walk the stable forward recursion until
+     the target is met — O(answer), and the answer is near the offered
+     load for any practical target *)
+  let rec grow c b =
+    if b <= target_blocking then c
+    else begin
+      let c' = c + 1 in
+      let b' = offered *. b /. (float_of_int c' +. (offered *. b)) in
+      grow c' b'
+    end
+  in
+  grow 0 1.
+
+let loss_rate_derivative ~offered ~capacity =
+  let b = blocking ~offered ~capacity in
+  let db =
+    b *. ((float_of_int capacity /. offered) -. 1. +. b)
+  in
+  b +. (offered *. db)

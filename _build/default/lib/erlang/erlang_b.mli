@@ -1,0 +1,53 @@
+(** The Erlang blocking function and its inverse-recursion machinery.
+
+    [B(a, c)] is the blocking probability of an M/M/c/c link offered [a]
+    Erlangs of Poisson traffic with unit-mean holding times.  Section 2
+    of the paper leans on the classical recursion for the *inverse*
+    blocking function (Jagerman [17], Equation 12):
+
+    {v y_x = 1 + (x / a) * y_{x-1},   y_0 = 1,   B(a, x) = 1 / y_x v}
+
+    Everything here is numerically safe for the capacities of interest:
+    the direct recursion never overflows, and a log-space variant covers
+    extreme parameters. *)
+
+val blocking : offered:float -> capacity:int -> float
+(** [blocking ~offered ~capacity] is [B(offered, capacity)] computed with
+    the stable forward recursion [B_x = a B_{x-1} / (x + a B_{x-1})].
+    [blocking ~offered ~capacity:0 = 1].
+    @raise Invalid_argument if [offered <= 0] or [capacity < 0]. *)
+
+val blocking_table : offered:float -> capacity:int -> float array
+(** [B(a, x)] for [x = 0 .. capacity]; index [x] holds [B(a, x)]. *)
+
+val log_inverse_table : offered:float -> capacity:int -> float array
+(** [log y_x] for [x = 0 .. capacity], computed entirely in log space so
+    it cannot overflow even when [y] exceeds the float range
+    (e.g. huge capacity at tiny load).  [B(a,x) = exp (-. log y_x)]. *)
+
+val blocking_ratio : offered:float -> capacity:int -> reserve:int -> float
+(** [blocking_ratio ~offered ~capacity:c ~reserve:r] is
+    [B(a, c) / B(a, c - r)] — the Theorem-1 bound on the expected number
+    of primary calls lost by accepting one alternate-routed call on a
+    link with protection level [r].  Always in [0, 1]; equals 1 at
+    [r = 0].
+    @raise Invalid_argument unless [0 <= r <= c]. *)
+
+val mean_carried : offered:float -> capacity:int -> float
+(** Mean number of busy circuits [a * (1 - B(a, c))]. *)
+
+val loss_rate : offered:float -> capacity:int -> float
+(** Expected calls lost per unit time, [a * B(a, c)] — the convex link
+    cost of the min-link-loss SI policy (Krishnan [23] proves
+    convexity in [a]). *)
+
+val loss_rate_derivative : offered:float -> capacity:int -> float
+(** d/da [a * B(a, c)], computed from the closed form
+    [dB/da = B * (c/a - 1 + B)]; the marginal link cost used by the
+    Frank-Wolfe optimizer. *)
+
+val dimension : offered:float -> target_blocking:float -> int
+(** The classical inverse problem: the smallest capacity [c] with
+    [B(offered, c) <= target_blocking] — link dimensioning for a
+    grade-of-service target.
+    @raise Invalid_argument unless [0 < target_blocking < 1]. *)

@@ -1,0 +1,61 @@
+type route = { offered : float; links : int list }
+
+let validate ~capacities routes =
+  let m = Array.length capacities in
+  List.iter
+    (fun r ->
+      if r.offered <= 0. || not (Float.is_finite r.offered) then
+        invalid_arg "Reduced_load: offered load must be positive";
+      if r.links = [] then invalid_arg "Reduced_load: empty route";
+      List.iter
+        (fun k ->
+          if k < 0 || k >= m then invalid_arg "Reduced_load: unknown link")
+        r.links)
+    routes
+
+let reduced_link_loads ~capacities ~blocking routes =
+  let m = Array.length capacities in
+  if Array.length blocking <> m then
+    invalid_arg "Reduced_load: blocking length mismatch";
+  let loads = Array.make m 0. in
+  let add_route r =
+    let thin k =
+      let pass =
+        List.fold_left
+          (fun acc j -> if j = k then acc else acc *. (1. -. blocking.(j)))
+          1. r.links
+      in
+      loads.(k) <- loads.(k) +. (r.offered *. pass)
+    in
+    List.iter thin r.links
+  in
+  List.iter add_route routes;
+  loads
+
+let route_blocking ~blocking r =
+  1.
+  -. List.fold_left (fun acc j -> acc *. (1. -. blocking.(j))) 1. r.links
+
+let solve ?(tolerance = 1e-10) ?(max_iterations = 10_000) ~capacities routes =
+  validate ~capacities routes;
+  let m = Array.length capacities in
+  let blocking = Array.make m 0. in
+  let rec iterate remaining =
+    if remaining = 0 then
+      invalid_arg "Reduced_load.solve: no convergence";
+    let loads = reduced_link_loads ~capacities ~blocking routes in
+    let delta = ref 0. in
+    for k = 0 to m - 1 do
+      let b =
+        if loads.(k) <= 0. then 0.
+        else Erlang_b.blocking ~offered:loads.(k) ~capacity:capacities.(k)
+      in
+      delta := Float.max !delta (Float.abs (b -. blocking.(k)));
+      (* damped update keeps the iteration monotone enough to converge on
+         heavily loaded meshes *)
+      blocking.(k) <- (0.5 *. blocking.(k)) +. (0.5 *. b)
+    done;
+    if !delta > tolerance then iterate (remaining - 1)
+  in
+  iterate max_iterations;
+  blocking

@@ -1,0 +1,36 @@
+(** Erlang fixed-point (reduced-load) approximation.
+
+    Given routes [(offered, links)] — each a Poisson stream offered to a
+    fixed path — the classical approximation computes per-link blocking
+    [B_k] solving
+
+    {v B_k = B(sum over routes through k of a_r * prod_{j in r, j <> k}
+              (1 - B_j),  C_k) v}
+
+    by repeated substitution.  Kelly [19] shows the fixed point exists and
+    is unique for this single-rate model.  The paper's Ott-Krishnan
+    comparison deliberately uses *unreduced* loads; this module provides
+    the reduced variant so both can be exercised (Section 5 ablation). *)
+
+type route = { offered : float; links : int list }
+
+val solve :
+  ?tolerance:float ->
+  ?max_iterations:int ->
+  capacities:int array ->
+  route list ->
+  float array
+(** [solve ~capacities routes] returns per-link blocking probabilities
+    (indexed like [capacities]).  Iterates until the largest change is
+    below [tolerance] (default [1e-10]) or [max_iterations] (default
+    [10_000]) is hit.
+    @raise Invalid_argument on empty routes through unknown links,
+    nonpositive offered loads, or no convergence. *)
+
+val reduced_link_loads :
+  capacities:int array -> blocking:float array -> route list -> float array
+(** Thinned offered load per link implied by given per-link blocking. *)
+
+val route_blocking : blocking:float array -> route -> float
+(** [1 - prod (1 - B_j)] over the route's links — the approximation's
+    end-to-end blocking for that route. *)

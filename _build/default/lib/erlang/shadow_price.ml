@@ -1,0 +1,31 @@
+type t = { offered : float; capacity : int; prices : float array }
+
+let make ~offered ~capacity =
+  if capacity < 1 then invalid_arg "Shadow_price.make: capacity < 1";
+  if offered <= 0. || not (Float.is_finite offered) then
+    invalid_arg "Shadow_price.make: bad offered load";
+  (* p(s) = B(nu, C)/B(nu, s) = y_s / y_C, computed from the log inverse
+     table so extreme parameters cannot overflow. *)
+  let ly = Erlang_b.log_inverse_table ~offered ~capacity in
+  let prices =
+    Array.init capacity (fun s -> exp (ly.(s) -. ly.(capacity)))
+  in
+  { offered; capacity; prices }
+
+let price t s =
+  if s < 0 then invalid_arg "Shadow_price.price: negative state";
+  if s >= t.capacity then infinity else t.prices.(s)
+
+let capacity t = t.capacity
+let offered t = t.offered
+
+let path_price tables ~link_ids ~occupancy =
+  let total = ref 0. in
+  let i = ref 0 in
+  let n = Array.length link_ids in
+  while !i < n && Float.is_finite !total do
+    let id = link_ids.(!i) in
+    total := !total +. price tables.(id) (occupancy id);
+    incr i
+  done;
+  !total

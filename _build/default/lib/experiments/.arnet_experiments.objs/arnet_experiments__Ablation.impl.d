@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Arnet_core Arnet_paths Arnet_sim Arnet_topology Arnet_traffic Config Engine Internet List Matrix Printf Protection Report Route_table Scheme Stats Sweep

@@ -1,0 +1,1 @@
+lib/experiments/ablation.mli: Arnet_sim Config Format Stats Sweep

@@ -1,0 +1,1 @@
+lib/experiments/bistability_exp.mli: Config Format

@@ -1,0 +1,1 @@
+lib/experiments/cellular_exp.ml: Arnet_cellular Arnet_sim Array Borrowing Cell_grid Cell_sim Config List Report Stats

@@ -1,0 +1,1 @@
+lib/experiments/cellular_exp.mli: Arnet_sim Config Format

@@ -1,0 +1,1 @@
+lib/experiments/dimensioning.ml: Approximation Arnet_core Arnet_paths Arnet_sim Arnet_topology Array Config Engine Graph Internet Link List Nsfnet Printf Protection Report Route_table Scheme Stats

@@ -1,0 +1,1 @@
+lib/experiments/dimensioning.mli: Config Format

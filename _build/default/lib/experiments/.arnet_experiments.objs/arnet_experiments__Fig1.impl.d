@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Arnet_core Arnet_erlang Array Birth_death Format Printf Report Theorem

@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Arnet_core List Printf Protection Report

@@ -1,0 +1,1 @@
+lib/experiments/internet.ml: Arnet_core Arnet_paths Arnet_sim Arnet_topology Arnet_traffic Array Config Engine Fit Format Graph Link List Matrix Nsfnet Protection Route_table Scheme Stats Sweep

@@ -1,0 +1,1 @@
+lib/experiments/internet.mli: Arnet_paths Arnet_sim Arnet_traffic Config Format Matrix Route_table Sweep

@@ -1,0 +1,1 @@
+lib/experiments/minloss.mli: Arnet_optimize Config Flow Format Sweep

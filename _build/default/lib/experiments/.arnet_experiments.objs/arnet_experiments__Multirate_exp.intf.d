@@ -1,0 +1,1 @@
+lib/experiments/multirate_exp.mli: Config Format

@@ -1,0 +1,1 @@
+lib/experiments/optimality_exp.mli: Config Format

@@ -1,0 +1,1 @@
+lib/experiments/overload_exp.ml: Arnet_core Arnet_paths Arnet_sim Arnet_traffic Array Config Engine Float Internet List Matrix Printf Report Rng Scheme Stats Time_series Trace

@@ -1,0 +1,1 @@
+lib/experiments/overload_exp.mli: Config Format

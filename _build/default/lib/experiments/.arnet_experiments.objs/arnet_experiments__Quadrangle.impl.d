@@ -1,0 +1,1 @@
+lib/experiments/quadrangle.ml: Arnet_core Arnet_paths Arnet_topology Arnet_traffic Builders Matrix Route_table Scheme Sweep

@@ -1,0 +1,1 @@
+lib/experiments/quadrangle.mli: Config Format Sweep

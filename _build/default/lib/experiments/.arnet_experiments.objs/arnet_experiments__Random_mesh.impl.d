@@ -1,0 +1,1 @@
+lib/experiments/random_mesh.ml: Arnet_core Arnet_paths Arnet_sim Arnet_topology Arnet_traffic Array Bfs Builders Config Engine Float Format Graph Gravity List Loads Matrix Route_table Scheme Stats

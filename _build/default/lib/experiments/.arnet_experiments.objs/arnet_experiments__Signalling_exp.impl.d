@@ -1,0 +1,1 @@
+lib/experiments/signalling_exp.ml: Arnet_core Arnet_paths Arnet_signalling Arnet_sim Arnet_traffic Array Config Format Internet List Matrix Protection Rng Route_table Setup_sim Stdlib Trace

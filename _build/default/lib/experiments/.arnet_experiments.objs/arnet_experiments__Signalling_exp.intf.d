@@ -1,0 +1,1 @@
+lib/experiments/signalling_exp.mli: Config Format

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Arnet_bound Arnet_sim Buffer Config Engine List Printf Report Stats

@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Arnet_sim Arnet_topology Arnet_traffic Config Engine Format Graph Matrix Stats

@@ -1,0 +1,30 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    - [h_sweep]: how the global design parameter H trades low-load
+      permissiveness against protection strength (Section 3.2 leaves
+      "how to choose a good H" as future work; this maps the space).
+    - [per_link_h]: footnote 5's per-link [H^k] against the global H.
+    - [global_state]: the paper's localized scheme against a
+      least-busy-alternative router that consults global link state —
+      quantifying what the locality restriction costs.
+    - [ott_variants]: unreduced (the paper's choice) vs reduced-load
+      shadow prices. *)
+
+open Arnet_sim
+
+val h_sweep :
+  ?scales:float list -> ?hs:int list -> config:Config.t -> unit ->
+  (int * (float * Stats.summary) list) list
+(** Per H, the controlled scheme's blocking across load scales on the
+    NSFNet model.  Default H in {2, 4, 6, 8, 11}, scales {0.8, 1.0, 1.2}. *)
+
+val print_h_sweep :
+  Format.formatter -> (int * (float * Stats.summary) list) list -> unit
+
+val variants :
+  ?scales:float list -> config:Config.t -> unit -> Sweep.point list
+(** One sweep with: controlled (global H), controlled (per-link H^k),
+    least-busy with the same protection levels, Ott-Krishnan unreduced
+    and reduced. *)
+
+val print_variants : Format.formatter -> Sweep.point list -> unit

@@ -1,0 +1,132 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_sim
+open Arnet_core
+
+type analytic_row = {
+  load : float;
+  cold_free : float;
+  hot_free : float;
+  cold_protected : float;
+  hot_protected : float;
+}
+
+type t = {
+  protective_reserve : int;
+  rows : analytic_row list;
+  critical_free : float option;
+  critical_protected : float option;
+  sim_load : float;
+  sim_series : (string * (float * float) list) list;
+}
+
+let default_loads = [ 60.; 65.; 70.; 75.; 80.; 85.; 90.; 95.; 100. ]
+
+let run ?(capacity = 100) ?(loads = default_loads) ?(sim_load = 85.) ~config
+    () =
+  (* a representative protection level for the mid-band load, H = 2
+     (two-link alternates, the symmetric model's geometry) *)
+  let protective_reserve =
+    Protection.level ~offered:(0.85 *. float_of_int capacity) ~capacity ~h:2
+  in
+  let fp reserve start load =
+    (Bistability.fixed_point_from ~offered:load ~capacity ~reserve start)
+      .Bistability.network_blocking
+  in
+  let rows =
+    List.map
+      (fun load ->
+        { load;
+          cold_free = fp 0 `Cold load;
+          hot_free = fp 0 `Hot load;
+          cold_protected = fp protective_reserve `Cold load;
+          hot_protected = fp protective_reserve `Hot load })
+      loads
+  in
+  let critical_free = Bistability.critical_load ~capacity ~reserve:0 () in
+  let critical_protected =
+    Bistability.critical_load ~capacity ~reserve:protective_reserve ()
+  in
+  (* ignition run: K6 at a load inside the free band *)
+  let nodes = 6 in
+  let graph = Builders.full_mesh ~nodes ~capacity in
+  let routes = Route_table.build graph in
+  let matrix = Matrix.uniform ~nodes ~demand:sim_load in
+  let { Config.seeds; duration; warmup } = config in
+  let window = 10. in
+  let policies () =
+    [ Scheme.single_path routes;
+      Scheme.uncontrolled routes;
+      Scheme.controlled_auto ~matrix routes ]
+  in
+  let names = List.map (fun p -> p.Engine.name) (policies ()) in
+  let bins = int_of_float (ceil (duration /. window)) in
+  let sums = List.map (fun n -> (n, Array.make bins 0.)) names in
+  List.iter
+    (fun seed ->
+      let rng = Rng.substream (Rng.create ~seed) "trace" in
+      let trace = Trace.generate ~rng ~duration matrix in
+      List.iter
+        (fun policy ->
+          let recorder = Time_series.create ~window ~duration in
+          let wrapped = Time_series.wrap recorder policy in
+          let (_ : Stats.t) = Engine.run ~warmup ~graph ~policy:wrapped trace in
+          let acc = List.assoc policy.Engine.name sums in
+          List.iteri
+            (fun i (_, b) -> acc.(i) <- acc.(i) +. b)
+            (Time_series.blocking_series recorder))
+        (policies ()))
+    seeds;
+  let n_seeds = float_of_int (List.length seeds) in
+  let sim_series =
+    List.map
+      (fun name ->
+        let acc = List.assoc name sums in
+        ( name,
+          List.init bins (fun i ->
+              (float_of_int i *. window, acc.(i) /. n_seeds)) ))
+      names
+  in
+  { protective_reserve;
+    rows;
+    critical_free;
+    critical_protected;
+    sim_load;
+    sim_series }
+
+let print ppf t =
+  Report.note ppf
+    (Printf.sprintf
+       "mean-field fixed points (C=100, 10 alternate tries); protected \
+        case uses r=%d (the H=2 level)"
+       t.protective_reserve);
+  Report.series_header ppf
+    ~columns:
+      [ "erlangs"; "free-cold"; "free-hot"; "prot-cold"; "prot-hot" ];
+  List.iter
+    (fun r ->
+      Report.series_row ppf ~x:r.load
+        [ r.cold_free; r.hot_free; r.cold_protected; r.hot_protected ])
+    t.rows;
+  let show = function
+    | Some a -> Printf.sprintf "%.1f Erlangs" a
+    | None -> "none on the scanned range"
+  in
+  Report.note ppf
+    (Printf.sprintf "onset of bistability: free %s; protected %s"
+       (show t.critical_free) (show t.critical_protected));
+  Report.note ppf
+    (Printf.sprintf
+       "ignition run: K6 at %.0f Erlangs/pair, blocking per 10-unit window"
+       t.sim_load);
+  Report.series_header ppf
+    ~columns:("window" :: List.map fst t.sim_series);
+  (match t.sim_series with
+  | [] -> ()
+  | (_, first) :: _ ->
+    List.iteri
+      (fun i (start, _) ->
+        Report.series_row ppf ~x:start
+          (List.map (fun (_, pts) -> snd (List.nth pts i)) t.sim_series))
+      first)

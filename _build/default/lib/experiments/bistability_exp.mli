@@ -1,0 +1,39 @@
+(** The avalanche / bistability analysis behind Section 1's warning.
+
+    Two complementary views:
+
+    - {b mean-field}: cold- and hot-start fixed points of the symmetric
+      model ({!Arnet_core.Bistability}) across loads, without and with
+      state protection — the protected map loses its high-blocking
+      fixed point;
+    - {b simulation}: on a fully-connected 6-node network inside the
+      critical region, the uncontrolled scheme ignites spontaneously
+      from an idle start into a sustained high-blocking state (the
+      avalanche), while the controlled scheme holds blocking near the
+      single-path level throughout. *)
+
+type analytic_row = {
+  load : float;
+  cold_free : float;  (** network blocking, cold start, r = 0 *)
+  hot_free : float;  (** hot start, r = 0 *)
+  cold_protected : float;  (** cold start, protective r *)
+  hot_protected : float;
+}
+
+type t = {
+  protective_reserve : int;
+  rows : analytic_row list;
+  critical_free : float option;  (** onset of bistability at r = 0 *)
+  critical_protected : float option;
+  sim_load : float;  (** per-pair Erlangs of the ignition run *)
+  sim_series : (string * (float * float) list) list;
+      (** blocking time series per scheme *)
+}
+
+val run :
+  ?capacity:int -> ?loads:float list -> ?sim_load:float ->
+  config:Config.t -> unit -> t
+(** Defaults: C = 100, loads 60..100, ignition run at 85 Erlangs per
+    ordered pair on K6. *)
+
+val print : Format.formatter -> t -> unit

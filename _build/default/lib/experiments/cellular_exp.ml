@@ -1,0 +1,50 @@
+open Arnet_sim
+open Arnet_cellular
+
+type point = {
+  offered : float;
+  no_borrowing : Stats.summary;
+  uncontrolled : Stats.summary;
+  controlled : Stats.summary;
+}
+
+let default_offered = [ 30.; 35.; 40.; 45.; 50.; 55. ]
+
+let run ?(rows = 4) ?(cols = 5) ?(capacity = 50) ?(offered = default_offered)
+    ?(hot_spot = 1.5) ~config () =
+  let grid = Cell_grid.reuse3_grid ~rows ~cols ~capacity in
+  let { Config.seeds; duration; warmup } = config in
+  let one per_cell =
+    let offered_per_cell =
+      Array.init grid.Cell_grid.cells (fun c ->
+          if c = 0 then per_cell *. hot_spot else per_cell)
+    in
+    let levels = Borrowing.protection_levels grid ~offered_per_cell in
+    let variants =
+      [ Borrowing.No_borrowing;
+        Borrowing.Uncontrolled;
+        Borrowing.Controlled levels ]
+    in
+    let results =
+      Cell_sim.compare_variants ~warmup ~seeds ~duration ~grid
+        ~offered_per_cell ~variants ()
+    in
+    let summary name = Stats.summarize (List.assoc name results) in
+    { offered = per_cell;
+      no_borrowing = summary "no-borrowing";
+      uncontrolled = summary "uncontrolled-borrowing";
+      controlled = summary "controlled-borrowing" }
+  in
+  List.map one offered
+
+let print ppf points =
+  Report.series_header ppf
+    ~columns:
+      [ "erlang/cell"; "no-borrowing"; "uncontrolled"; "controlled" ];
+  List.iter
+    (fun p ->
+      Report.series_row ppf ~x:p.offered
+        [ p.no_borrowing.Stats.mean;
+          p.uncontrolled.Stats.mean;
+          p.controlled.Stats.mean ])
+    points

@@ -1,0 +1,47 @@
+open Arnet_erlang
+open Arnet_core
+
+type t = {
+  capacity : int;
+  reserve : int;
+  primary : float;
+  stationary : float array;
+  time_congestion : float;
+  worst_extra_loss : float;
+  theorem_bound : float;
+}
+
+let default_overflow s = 3. /. (1. +. float_of_int s)
+
+let run ?(capacity = 10) ?(reserve = 3) ?(primary = 7.)
+    ?(overflow = default_overflow) () =
+  let chain =
+    Birth_death.protected_link ~primary ~overflow ~capacity ~reserve
+  in
+  { capacity;
+    reserve;
+    primary;
+    stationary = Birth_death.stationary chain;
+    time_congestion = Birth_death.time_congestion chain;
+    worst_extra_loss =
+      Theorem.extra_loss_worst_state ~primary ~overflow ~capacity ~reserve;
+    theorem_bound = Theorem.bound ~primary ~capacity ~reserve }
+
+let print ppf t =
+  Report.note ppf
+    (Printf.sprintf "link chain: C=%d r=%d nu=%g (alternates refused from state %d)"
+       t.capacity t.reserve t.primary (t.capacity - t.reserve));
+  Format.fprintf ppf "  state:      ";
+  Array.iteri (fun s _ -> Format.fprintf ppf " %6d" s) t.stationary;
+  Format.fprintf ppf "@.  stationary: ";
+  Array.iter (fun p -> Format.fprintf ppf " %6.4f" p) t.stationary;
+  Format.fprintf ppf "@.";
+  Report.note ppf
+    (Printf.sprintf "generalized Erlang blocking B(lambda,C) = %.6f"
+       t.time_congestion);
+  Report.note ppf
+    (Printf.sprintf
+       "Theorem 1: worst exact extra loss L = %.6f <= bound %.6f (%s)"
+       t.worst_extra_loss t.theorem_bound
+       (if t.worst_extra_loss <= t.theorem_bound +. 1e-9 then "holds"
+        else "VIOLATED"))

@@ -1,0 +1,24 @@
+(** Figure 1: the Markov chain of a protected link.
+
+    The figure itself is a diagram; its reproducible content is the
+    chain's behaviour, so we expose the stationary distribution and the
+    derived quantities for a representative parameterization, plus a
+    numeric check of Theorem 1 on the same chain. *)
+
+type t = {
+  capacity : int;
+  reserve : int;
+  primary : float;
+  stationary : float array;
+  time_congestion : float;  (** the generalized Erlang blocking B(lambda, C) *)
+  worst_extra_loss : float;  (** exact max_s L(s) over admitting states *)
+  theorem_bound : float;  (** B(nu,C)/B(nu,C-r) *)
+}
+
+val run :
+  ?capacity:int -> ?reserve:int -> ?primary:float ->
+  ?overflow:(int -> float) -> unit -> t
+(** Defaults: C = 10, r = 3, nu = 7, overflow rate [3 / (1 + s)]
+    (state-dependent, as assumption A1 allows). *)
+
+val print : Format.formatter -> t -> unit

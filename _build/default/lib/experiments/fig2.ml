@@ -1,0 +1,24 @@
+open Arnet_core
+
+let hs = [ 2; 6; 120 ]
+
+let default_loads = List.init 100 (fun i -> float_of_int (i + 1))
+
+let run ?(capacity = 100) ?(loads = default_loads) () =
+  List.map (fun h -> (h, Protection.sweep ~capacity ~h ~loads)) hs
+
+let print ppf curves =
+  let loads =
+    match curves with [] -> [] | (_, pts) :: _ -> List.map fst pts
+  in
+  Report.series_header ppf
+    ~columns:("lambda" :: List.map (fun (h, _) -> Printf.sprintf "r(H=%d)" h) curves);
+  List.iter
+    (fun load ->
+      let rs =
+        List.map
+          (fun (_, pts) -> float_of_int (List.assoc load pts))
+          curves
+      in
+      Report.series_row ppf ~x:load rs)
+    loads

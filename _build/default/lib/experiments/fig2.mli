@@ -1,0 +1,13 @@
+(** Figure 2: protection level r versus primary load, C = 100,
+    H = 2 / 6 / 120. *)
+
+val hs : int list
+(** [2; 6; 120] as in the figure. *)
+
+val default_loads : float list
+(** 1 .. 100 Erlangs. *)
+
+val run : ?capacity:int -> ?loads:float list -> unit -> (int * (float * int) list) list
+(** Per H, the [(load, r)] curve. *)
+
+val print : Format.formatter -> (int * (float * int) list) list -> unit

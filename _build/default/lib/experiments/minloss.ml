@@ -1,0 +1,70 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_core
+open Arnet_optimize
+
+type result = {
+  objective_min_hop : float;
+  objective_optimized : float;
+  support : int;
+  average_hops : float;
+  flow : Flow.t;
+  minhop_points : Sweep.point list;
+  optimized_points : Sweep.point list;
+}
+
+let run ?(scales = [ 0.8; 1.0; 1.2 ]) ~config () =
+  let routes, matrix0 = Internet.nominal () in
+  let graph = Route_table.graph routes in
+  let capacities =
+    Array.map (fun (l : Link.t) -> l.capacity) (Graph.links graph)
+  in
+  let minhop_loads = Loads.primary_link_loads routes matrix0 in
+  let objective_min_hop =
+    Frank_wolfe.objective_of_loads ~capacities ~loads:minhop_loads
+  in
+  let opt = Frank_wolfe.minimize_link_loss ~graph ~matrix:matrix0 () in
+  let flow = opt.Frank_wolfe.flow in
+  let choice =
+    Controller.Sampled (fun ~src ~dst ~u -> Flow.sample flow ~src ~dst ~u)
+  in
+  let matrix_of scale = Matrix.scale matrix0 scale in
+  let minhop_policies matrix =
+    [ Scheme.single_path routes; Scheme.controlled_auto ~matrix routes ]
+  in
+  let optimized_policies matrix =
+    (* protection levels must reflect the bifurcated primary loads *)
+    let loads = Flow.link_loads flow matrix in
+    let reserves =
+      Protection.levels_of_loads ~capacities ~loads ~h:(Route_table.h routes)
+    in
+    [ Scheme.single_path ~choice routes;
+      Scheme.controlled ~choice ~reserves routes ]
+  in
+  let minhop_points =
+    Sweep.run ~config ~graph ~matrix_of ~policies_of:minhop_policies
+      ~xs:scales
+  in
+  let optimized_points =
+    Sweep.run ~config ~graph ~matrix_of ~policies_of:optimized_policies
+      ~xs:scales
+  in
+  { objective_min_hop;
+    objective_optimized = opt.Frank_wolfe.objective;
+    support = Flow.support_size flow;
+    average_hops = Flow.average_hops flow matrix0;
+    flow;
+    minhop_points;
+    optimized_points }
+
+let print ppf r =
+  Report.note ppf
+    (Printf.sprintf
+       "expected primary loss/time at nominal: min-hop %.2f -> optimized %.2f \
+        (%d path assignments, avg %.2f hops)"
+       r.objective_min_hop r.objective_optimized r.support r.average_hops);
+  Report.note ppf "min-hop primaries:";
+  Sweep.print ~x_label:"load-scale" ppf r.minhop_points;
+  Report.note ppf "min-loss (bifurcated) primaries:";
+  Sweep.print ~x_label:"load-scale" ppf r.optimized_points

@@ -1,0 +1,30 @@
+(** Section 4.2.2, "Primary paths chosen to minimize link loss".
+
+    Primaries are re-derived by convex minimization of the total expected
+    link loss (bifurcated flows), then the three routing schemes are
+    re-run on top.  The paper's findings: without alternate routing the
+    optimized primaries beat minimum-hop, but once controlled alternate
+    routing is added the two SI policies perform almost identically —
+    the scheme is insensitive to the primary-path rule. *)
+
+open Arnet_optimize
+
+type result = {
+  objective_min_hop : float;
+      (** expected lost primary calls/time under min-hop primaries
+          (independent-link model) *)
+  objective_optimized : float;  (** same after Frank-Wolfe *)
+  support : int;  (** number of (pair, path) assignments in the optimum *)
+  average_hops : float;  (** demand-weighted primary length after split *)
+  flow : Flow.t;
+  minhop_points : Sweep.point list;
+      (** single-path & controlled under min-hop primaries *)
+  optimized_points : Sweep.point list;
+      (** same schemes under bifurcated optimized primaries *)
+}
+
+val run : ?scales:float list -> config:Config.t -> unit -> result
+(** Optimizes at nominal load, then sweeps.  Default scales
+    [0.8; 1.0; 1.2]. *)
+
+val print : Format.formatter -> result -> unit

@@ -1,0 +1,99 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_sim
+open Arnet_multirate
+
+let two_class_workload ~nodes ~narrow_demand =
+  let narrow = Matrix.uniform ~nodes ~demand:narrow_demand in
+  let wide = Matrix.uniform ~nodes ~demand:(narrow_demand /. 12.) in
+  Mr_trace.workload [ (Call_class.narrowband, narrow); (Call_class.wideband, wide) ]
+
+let kaufman_roberts_check ?(capacity = 50) ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
+  let g =
+    Graph.create ~nodes:2 [ Link.make ~id:0 ~src:0 ~dst:1 ~capacity ]
+  in
+  let routes = Route_table.build g in
+  let narrow_load = 0.6 *. float_of_int capacity in
+  let narrow = Matrix.make ~nodes:2 (fun i _ -> if i = 0 then narrow_load else 0.) in
+  let wide = Matrix.make ~nodes:2 (fun i _ -> if i = 0 then narrow_load /. 12. else 0.) in
+  let workload =
+    Mr_trace.workload
+      [ (Call_class.narrowband, narrow); (Call_class.wideband, wide) ]
+  in
+  let analytic =
+    Kaufman_roberts.class_blocking ~capacity
+      [ { Kaufman_roberts.offered = narrow_load; bandwidth = 1 };
+        { Kaufman_roberts.offered = narrow_load /. 12.; bandwidth = 6 } ]
+  in
+  let results =
+    Mr_engine.replicate ~warmup:10. ~seeds ~duration:210. ~graph:g ~workload
+      ~policies:[ Mr_scheme.single_path routes workload ]
+      ()
+  in
+  let runs = List.assoc "mr-single-path" results in
+  let simulated ci =
+    let values = List.map (fun s -> Mr_engine.class_blocking s ci) runs in
+    (Stats.summarize values).Stats.mean
+  in
+  List.mapi (fun ci a -> (a, simulated ci)) analytic
+
+type point = {
+  load : float;
+  schemes : (string * float) list;
+  narrowband_controlled : float;
+  wideband_controlled : float;
+}
+
+let run ?(loads = [ 50.; 65.; 80.; 90. ]) ~config () =
+  let graph = Builders.full_mesh ~nodes:4 ~capacity:100 in
+  let routes = Route_table.build graph in
+  let { Config.seeds; duration; warmup } = config in
+  let one load =
+    let workload = two_class_workload ~nodes:4 ~narrow_demand:load in
+    let policies =
+      [ Mr_scheme.single_path routes workload;
+        Mr_scheme.uncontrolled routes workload;
+        Mr_scheme.controlled_auto routes workload ]
+    in
+    let results =
+      Mr_engine.replicate ~warmup ~seeds ~duration ~graph ~workload ~policies
+        ()
+    in
+    let mean_of f runs =
+      (Stats.summarize (List.map f runs)).Stats.mean
+    in
+    let ctl_runs = List.assoc "mr-controlled" results in
+    { load;
+      schemes =
+        List.map
+          (fun (name, runs) -> (name, mean_of Mr_engine.bandwidth_blocking runs))
+          results;
+      narrowband_controlled = mean_of (fun s -> Mr_engine.class_blocking s 0) ctl_runs;
+      wideband_controlled = mean_of (fun s -> Mr_engine.class_blocking s 1) ctl_runs }
+  in
+  List.map one loads
+
+let print ppf (kr, points) =
+  Report.note ppf
+    "Kaufman-Roberts validation on an isolated link (analytic vs simulated):";
+  List.iteri
+    (fun ci (a, s) ->
+      Report.note ppf
+        (Printf.sprintf "  class %d: analytic %.4f  simulated %.4f" ci a s))
+    kr;
+  Report.note ppf
+    "quadrangle, narrowband (1 unit) + wideband (6 units), bandwidth blocking:";
+  (match points with
+  | [] -> ()
+  | p :: _ ->
+    Report.series_header ppf
+      ~columns:
+        ("nb-erlangs"
+        :: (List.map fst p.schemes @ [ "ctl-narrow"; "ctl-wide" ])));
+  List.iter
+    (fun p ->
+      Report.series_row ppf ~x:p.load
+        (List.map snd p.schemes
+        @ [ p.narrowband_controlled; p.wideband_controlled ]))
+    points

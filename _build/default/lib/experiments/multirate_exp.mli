@@ -1,0 +1,28 @@
+(** Multi-rate extension experiment (the paper's "multiple call types"
+    future work).
+
+    A fully-connected quadrangle carries a narrowband (1 unit) and a
+    wideband (6 unit) class.  We check that (a) the Kaufman-Roberts
+    model agrees with the simulator on an isolated link, and (b) the
+    bandwidth-unit generalization of state protection preserves the
+    headline behaviour: uncontrolled alternate routing collapses at
+    overload, controlled stays at or below single-path. *)
+
+type point = {
+  load : float;  (** narrowband Erlangs per ordered pair; wideband is
+                     scaled to 1/12 of it so both classes contribute
+                     comparable bandwidth *)
+  schemes : (string * float) list;  (** mean bandwidth blocking *)
+  narrowband_controlled : float;  (** per-class call blocking *)
+  wideband_controlled : float;
+}
+
+val kaufman_roberts_check :
+  ?capacity:int -> ?seeds:int list -> unit -> (float * float) list
+(** [(analytic, simulated)] per class on one isolated link at a fixed
+    two-class load — the substrate validation. *)
+
+val run : ?loads:float list -> config:Config.t -> unit -> point list
+
+val print :
+  Format.formatter -> (float * float) list * point list -> unit

@@ -1,0 +1,32 @@
+(** How close is the controlled scheme to the true optimum?
+
+    On a network small enough for exact Markov-decision analysis (a
+    directed triangle: three streams, one of which has a two-link
+    alternate), we compute, with no simulation noise:
+
+    - the optimal blocking over {e all} stationary policies,
+    - the exact blocking of single-path, uncontrolled, and controlled
+      (Section-3.1 levels, H = 2) routing,
+    - and, as a simulator calibration, the call-by-call engine's
+      estimate for the controlled scheme on the same model.
+
+    The paper's qualitative claims become exact statements here:
+    uncontrolled overtakes single-path beyond a critical load, the
+    controlled scheme tracks the better of the two, and single-path is
+    near-optimal at high load. *)
+
+type row = {
+  load : float;  (** Erlangs per stream *)
+  optimal : float;
+  single_path : float;
+  uncontrolled : float;
+  controlled : float;
+  controlled_simulated : float;  (** engine estimate of the same policy *)
+  reserve : int;  (** the H=2 level in force on the alternate's links *)
+}
+
+val run :
+  ?capacity:int -> ?loads:float list -> config:Config.t -> unit -> row list
+(** Defaults: C = 8 per link, loads 4..10 per stream. *)
+
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,121 @@
+open Arnet_traffic
+open Arnet_sim
+open Arnet_core
+
+type series = { scheme : string; points : (float * float) list }
+
+type result = {
+  surge_start : float;
+  surge_stop : float;
+  hot_node : int;
+  series : series list;
+  peak : (string * float) list;
+  during_surge : (string * float) list;
+}
+
+let run ?(hot_node = 10) ?(surge_factor = 4.) ?(window = 10.) ~config () =
+  let { Config.seeds; duration; warmup } = config in
+  let routes, nominal = Internet.nominal () in
+  let graph = Arnet_paths.Route_table.graph routes in
+  let measured = duration -. warmup in
+  let surge_start = warmup +. (measured /. 3.) in
+  let surge_stop = warmup +. (2. *. measured /. 3.) in
+  let surge_extra =
+    Matrix.map nominal (fun i j d ->
+        if i = hot_node || j = hot_node then d *. (surge_factor -. 1.) else 0.)
+  in
+  (* protection engineered for the nominal load: the surge is unforeseen *)
+  let policies () =
+    [ Scheme.single_path routes;
+      Scheme.uncontrolled routes;
+      Scheme.controlled_auto ~matrix:nominal routes ]
+  in
+  let names = List.map (fun p -> p.Engine.name) (policies ()) in
+  let bins = int_of_float (ceil (duration /. window)) in
+  let sums = List.map (fun n -> (n, Array.make bins 0.)) names in
+  let surge_offered = List.map (fun n -> (n, ref 0)) names in
+  let surge_blocked = List.map (fun n -> (n, ref 0)) names in
+  let peaks = List.map (fun n -> (n, ref 0.)) names in
+  let one_seed seed =
+    let rng = Rng.create ~seed in
+    let background =
+      Trace.generate ~rng:(Rng.substream rng "background") ~duration nominal
+    in
+    let surge =
+      Trace.generate
+        ~rng:(Rng.substream rng "surge")
+        ~duration:(surge_stop -. surge_start)
+        surge_extra
+    in
+    let trace = Trace.merge background (Trace.shift surge surge_start) in
+    List.iter
+      (fun policy ->
+        let recorder = Time_series.create ~window ~duration in
+        let wrapped = Time_series.wrap recorder policy in
+        let (_ : Stats.t) = Engine.run ~warmup ~graph ~policy:wrapped trace in
+        let name = policy.Engine.name in
+        List.iteri
+          (fun i (_, b) ->
+            let acc = List.assoc name sums in
+            acc.(i) <- acc.(i) +. b)
+          (Time_series.blocking_series recorder);
+        let p = List.assoc name peaks in
+        p := Float.max !p (Time_series.peak_blocking recorder);
+        List.iter
+          (fun w ->
+            if
+              w.Time_series.start >= surge_start
+              && w.Time_series.start < surge_stop
+            then begin
+              let o = List.assoc name surge_offered in
+              let bl = List.assoc name surge_blocked in
+              o := !o + w.Time_series.offered;
+              bl := !bl + w.Time_series.blocked
+            end)
+          (Time_series.windows recorder))
+      (policies ())
+  in
+  List.iter one_seed seeds;
+  let n_seeds = float_of_int (List.length seeds) in
+  let series =
+    List.map
+      (fun name ->
+        let acc = List.assoc name sums in
+        { scheme = name;
+          points =
+            List.init bins (fun i ->
+                (float_of_int i *. window, acc.(i) /. n_seeds)) })
+      names
+  in
+  { surge_start;
+    surge_stop;
+    hot_node;
+    series;
+    peak = List.map (fun (n, p) -> (n, !p)) peaks;
+    during_surge =
+      List.map
+        (fun name ->
+          let o = !(List.assoc name surge_offered) in
+          let b = !(List.assoc name surge_blocked) in
+          (name, if o = 0 then 0. else float_of_int b /. float_of_int o))
+        names }
+
+let print ppf r =
+  Report.note ppf
+    (Printf.sprintf
+       "surge: all traffic to/from node %d multiplied during [%g, %g)"
+       r.hot_node r.surge_start r.surge_stop);
+  Report.series_header ppf
+    ~columns:("window" :: List.map (fun s -> s.scheme) r.series);
+  (match r.series with
+  | [] -> ()
+  | first :: _ ->
+    List.iteri
+      (fun i (start, _) ->
+        Report.series_row ppf ~x:start
+          (List.map (fun s -> snd (List.nth s.points i)) r.series))
+      first.points);
+  Report.note ppf "blocking pooled over the surge windows:";
+  List.iter
+    (fun (name, b) -> Report.note ppf (Printf.sprintf "  %-14s %.4f" name b))
+    r.during_surge

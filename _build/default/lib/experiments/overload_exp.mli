@@ -1,0 +1,37 @@
+(** Focused overload on the NSFNet model.
+
+    The paper motivates controlled alternate routing with the AT&T
+    experience under extraordinary loads (Thanksgiving-day traffic,
+    Section 1) and with uncontrolled alternate routing's avalanche
+    behaviour.  Here a stationary nominal background runs for the whole
+    experiment while, during a mid-run surge window, all traffic into
+    and out of one hot node is multiplied several-fold.  The time series
+    of network blocking shows how each scheme absorbs the surge: the
+    uncontrolled scheme lets overflow traffic drag the whole network
+    into a high-blocking state that outlasts the surge region, while
+    state protection contains the damage near the hot spot. *)
+
+type series = { scheme : string; points : (float * float) list }
+(** [(window start, blocking in window)] per scheme. *)
+
+type result = {
+  surge_start : float;
+  surge_stop : float;
+  hot_node : int;
+  series : series list;
+  peak : (string * float) list;  (** per scheme, worst window *)
+  during_surge : (string * float) list;  (** per scheme, pooled over surge *)
+}
+
+val run :
+  ?hot_node:int ->
+  ?surge_factor:float ->
+  ?window:float ->
+  config:Config.t ->
+  unit ->
+  result
+(** Defaults: hot node 10 (Ithaca, the busiest), surge factor 4 on its
+    row and column, surge during the middle third of the measurement
+    window, 10-unit windows. *)
+
+val print : Format.formatter -> result -> unit

@@ -1,0 +1,22 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_core
+
+let capacity = 100
+
+let default_loads =
+  [ 60.; 65.; 70.; 75.; 80.; 82.5; 85.; 87.5; 90.; 92.5; 95.; 100. ]
+
+let run ?(loads = default_loads) ~config () =
+  let graph = Builders.full_mesh ~nodes:4 ~capacity in
+  let routes = Route_table.build graph in
+  let matrix_of load = Matrix.uniform ~nodes:4 ~demand:load in
+  let policies_of matrix =
+    [ Scheme.single_path routes;
+      Scheme.uncontrolled routes;
+      Scheme.controlled_auto ~matrix routes ]
+  in
+  Sweep.run ~config ~graph ~matrix_of ~policies_of ~xs:loads
+
+let print ppf points = Sweep.print ~x_label:"erlangs" ppf points

@@ -1,0 +1,23 @@
+(** The fully-connected quadrangle experiment — Figures 3 and 4.
+
+    Four nodes, every ordered pair directly linked (C = 100 per
+    direction) and offered the same symmetric demand; primaries are the
+    one-hop direct links, alternates the two- and three-hop detours
+    (H = 3).  The paper's reading: uncontrolled alternate routing wins
+    below about 85 Erlangs then degrades badly, single-path is poor
+    until about 90 then stays low, and the controlled scheme sticks with
+    the better of the two — strictly better than both in the 85-95
+    range — while never doing worse than single-path. *)
+
+val capacity : int
+(** 100 calls per directed link. *)
+
+val default_loads : float list
+(** 60 .. 100 Erlangs per ordered pair, step 5 (plus 82.5/87.5/92.5 for
+    detail around the crossover). *)
+
+val run : ?loads:float list -> config:Config.t -> unit -> Sweep.point list
+(** Single-path, uncontrolled and controlled alternate routing, plus the
+    Erlang bound. *)
+
+val print : Format.formatter -> Sweep.point list -> unit

@@ -1,0 +1,31 @@
+(** Does the guarantee generalize beyond the paper's two topologies?
+
+    The paper's pitch is *general-mesh* networks, but its evaluation
+    uses one full mesh and one backbone.  This experiment samples Waxman
+    random topologies, loads each with gravity traffic calibrated to a
+    target peak link utilization, and checks the central guarantee —
+    controlled alternate routing never worse than single-path — plus the
+    usual scheme ordering, on every sampled mesh. *)
+
+type row = {
+  seed : int;
+  nodes : int;
+  links : int;
+  diameter : int;
+  peak_utilization : float;  (** calibrated max primary load over C *)
+  single_path : float;
+  uncontrolled : float;
+  controlled : float;
+  guarantee_ok : bool;  (** controlled <= single-path within noise *)
+}
+
+val run :
+  ?topology_seeds:int list -> ?nodes:int -> ?capacity:int ->
+  ?target_utilization:float ->
+  config:Config.t -> unit -> row list
+(** Defaults: 6 topologies of 10 nodes, C = 50, calibrated so the
+    busiest link sees 1.6 C of primary demand (deep overload — where
+    uncontrolled alternate routing misbehaves and the guarantee is at
+    risk). *)
+
+val print : Format.formatter -> row list -> unit

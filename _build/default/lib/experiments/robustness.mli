@@ -1,0 +1,43 @@
+(** Robustness of state protection to load-estimation error, and the
+    fully distributed adaptive variant.
+
+    The paper justifies letting links *estimate* their primary demand by
+    the known robustness of trunk reservation (Key [21], Section 2.2):
+    a protection level optimized for one load works well under
+    variations.  Two experiments make that concrete on the NSFNet model:
+
+    - [misestimation]: run the controlled scheme with every protection
+      level computed from [Lambda * factor] for factors well away from
+      1; blocking should barely move (and the guarantee vs single-path
+      should survive since overestimating [r] degrades gracefully toward
+      single-path behaviour).
+    - [adaptive]: the {!Arnet_core.Scheme.controlled_adaptive} policy,
+      which learns Lambda from passing set-ups, compared against the
+      a-priori controlled scheme and single-path. *)
+
+type misestimation_point = {
+  factor : float;  (** multiplier applied to the true loads before
+                       computing protection levels *)
+  blocking : Arnet_sim.Stats.summary;
+}
+
+val misestimation :
+  ?scale:float -> ?factors:float list -> config:Config.t -> unit ->
+  misestimation_point list * Arnet_sim.Stats.summary
+(** Sweep of misestimation factors (default 0.5 .. 2.0) at a given load
+    scale (default 1.2, where protection matters), plus the single-path
+    reference on the same traces. *)
+
+val print_misestimation :
+  Format.formatter ->
+  misestimation_point list * Arnet_sim.Stats.summary ->
+  unit
+
+type adaptive_result = {
+  schemes : (string * Arnet_sim.Stats.summary) list;
+      (** single-path, a-priori controlled, adaptive controlled *)
+}
+
+val adaptive : ?scale:float -> config:Config.t -> unit -> adaptive_result
+
+val print_adaptive : Format.formatter -> adaptive_result -> unit

@@ -1,0 +1,70 @@
+open Arnet_paths
+open Arnet_traffic
+open Arnet_sim
+open Arnet_core
+open Arnet_signalling
+
+type point = {
+  hop_latency : float;
+  scheme : string;
+  blocking : float;
+  glare_per_carried : float;
+  mean_setup_latency : float;
+}
+
+let run ?(latencies = [ 0.; 0.001; 0.01; 0.05 ]) ?(scale = 1.0) ~config () =
+  let routes, nominal = Internet.nominal () in
+  let graph = Route_table.graph routes in
+  let matrix = Matrix.scale nominal scale in
+  let reserves = Protection.levels routes matrix ~h:(Route_table.h routes) in
+  let zero = Array.make (Array.length reserves) 0 in
+  let { Config.seeds; duration; warmup } = config in
+  let schemes = [ ("controlled", reserves); ("uncontrolled", zero) ] in
+  let acc = ref [] in
+  List.iter
+    (fun hop_latency ->
+      List.iter
+        (fun (name, reserves) ->
+          let totals = ref (0., 0., 0.) in
+          List.iter
+            (fun seed ->
+              let rng = Rng.substream (Rng.create ~seed) "trace" in
+              let trace = Trace.generate ~rng ~duration matrix in
+              let s =
+                Setup_sim.run ~warmup ~hop_latency ~graph ~routes ~reserves
+                  ~allow_alternates:true trace
+              in
+              let carried =
+                Stdlib.max 1
+                  (s.Setup_sim.carried_primary + s.Setup_sim.carried_alternate)
+              in
+              let b, g, l = !totals in
+              totals :=
+                ( b +. Setup_sim.blocking s,
+                  g
+                  +. (float_of_int s.Setup_sim.glare_events
+                     /. float_of_int carried),
+                  l +. Setup_sim.mean_setup_latency s ))
+            seeds;
+          let n = float_of_int (List.length seeds) in
+          let b, g, l = !totals in
+          acc :=
+            { hop_latency;
+              scheme = name;
+              blocking = b /. n;
+              glare_per_carried = g /. n;
+              mean_setup_latency = l /. n }
+            :: !acc)
+        schemes)
+    latencies;
+  List.rev !acc
+
+let print ppf points =
+  Format.fprintf ppf "  %10s %-14s %10s %14s %14s@." "hop-delay" "scheme"
+    "blocking" "glare/carried" "setup-latency";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %10.3f %-14s %10.4f %14.4f %14.4f@."
+        p.hop_latency p.scheme p.blocking p.glare_per_carried
+        p.mean_setup_latency)
+    points

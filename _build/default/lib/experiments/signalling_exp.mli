@@ -1,0 +1,25 @@
+(** How fast must signalling be for the atomic-admission abstraction to
+    hold?
+
+    The paper's protocol checks resources on the set-up packet's forward
+    pass and books them on the way back, and assumes the exchange is
+    effectively instantaneous.  This experiment runs the packet-level
+    protocol ({!Arnet_signalling.Setup_sim}) on the NSFNet model across
+    per-hop latencies and reports blocking, glare (capacity stolen
+    between check and booking), and set-up latency for the controlled
+    and uncontrolled schemes. *)
+
+type point = {
+  hop_latency : float;
+  scheme : string;
+  blocking : float;
+  glare_per_carried : float;
+  mean_setup_latency : float;
+}
+
+val run :
+  ?latencies:float list -> ?scale:float -> config:Config.t -> unit ->
+  point list
+(** Defaults: latencies {0, 0.001, 0.01, 0.05}, nominal load. *)
+
+val print : Format.formatter -> point list -> unit

@@ -1,0 +1,1 @@
+lib/mdp/loss_mdp.ml: Array Float Hashtbl List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/mdp/loss_mdp.mli:

@@ -1,0 +1,355 @@
+type t = {
+  capacities : int array;
+  arrivals : float array;
+  route_links : int array array;  (* per global route *)
+  od_routes : int array array;  (* per od, global route ids in preference order *)
+  states : int array array;  (* state id -> per-route call counts *)
+  occupancy : int array array;  (* state id -> per-link occupancy *)
+  total_calls : int array;
+  succ_up : int array array;  (* state id -> per route: state id after +1, or -1 *)
+  succ_down : int array array;  (* state id -> per route: state id after -1, or -1 *)
+}
+
+let state_limit = 5_000_000
+
+let make ~capacities ~arrivals ~routes =
+  let n_links = Array.length capacities in
+  let n_ods = Array.length arrivals in
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Loss_mdp.make: negative capacity")
+    capacities;
+  Array.iter
+    (fun a ->
+      if a <= 0. || not (Float.is_finite a) then
+        invalid_arg "Loss_mdp.make: arrival rates must be positive")
+    arrivals;
+  if routes = [] then invalid_arg "Loss_mdp.make: no routes";
+  List.iter
+    (fun (od, links) ->
+      if od < 0 || od >= n_ods then invalid_arg "Loss_mdp.make: bad od";
+      if links = [] then invalid_arg "Loss_mdp.make: empty route";
+      List.iter
+        (fun k ->
+          if k < 0 || k >= n_links then
+            invalid_arg "Loss_mdp.make: bad link index")
+        links)
+    routes;
+  let route_links =
+    Array.of_list (List.map (fun (_, links) -> Array.of_list links) routes)
+  in
+  let route_od = Array.of_list (List.map fst routes) in
+  let od_routes =
+    Array.init n_ods (fun od ->
+        Array.of_list
+          (List.filter
+             (fun i -> route_od.(i) = od)
+             (List.init (Array.length route_od) (fun i -> i))))
+  in
+  Array.iteri
+    (fun od rs ->
+      if Array.length rs = 0 then
+        invalid_arg
+          (Printf.sprintf "Loss_mdp.make: stream %d has no routes" od))
+    od_routes;
+  let nr = Array.length route_links in
+  (* enumerate feasible states by DFS over route counts *)
+  let states = ref [] and count = ref 0 in
+  let occ = Array.make n_links 0 in
+  let vec = Array.make nr 0 in
+  let rec enumerate r =
+    if r = nr then begin
+      incr count;
+      if !count > state_limit then
+        invalid_arg "Loss_mdp.make: state space too large";
+      states := Array.copy vec :: !states
+    end
+    else begin
+      (* n_r from 0 while capacity allows *)
+      let rec fill n =
+        let fits =
+          Array.for_all (fun k -> occ.(k) + 1 <= capacities.(k))
+            route_links.(r)
+        in
+        vec.(r) <- n;
+        enumerate (r + 1);
+        if fits then begin
+          Array.iter (fun k -> occ.(k) <- occ.(k) + 1) route_links.(r);
+          fill (n + 1)
+        end
+        else ()
+      in
+      let before = Array.copy occ in
+      fill 0;
+      Array.blit before 0 occ 0 n_links;
+      vec.(r) <- 0
+    end
+  in
+  enumerate 0;
+  let states = Array.of_list (List.rev !states) in
+  let ns = Array.length states in
+  let index = Hashtbl.create (2 * ns) in
+  Array.iteri (fun i s -> Hashtbl.replace index s i) states;
+  let occupancy =
+    Array.map
+      (fun s ->
+        let o = Array.make n_links 0 in
+        Array.iteri
+          (fun r n ->
+            if n > 0 then
+              Array.iter (fun k -> o.(k) <- o.(k) + n) route_links.(r))
+          s;
+        o)
+      states
+  in
+  let total_calls = Array.map (fun s -> Array.fold_left ( + ) 0 s) states in
+  let succ_up =
+    Array.mapi
+      (fun i s ->
+        Array.init nr (fun r ->
+            let fits =
+              Array.for_all
+                (fun k -> occupancy.(i).(k) + 1 <= capacities.(k))
+                route_links.(r)
+            in
+            if not fits then -1
+            else begin
+              let s' = Array.copy s in
+              s'.(r) <- s'.(r) + 1;
+              match Hashtbl.find_opt index s' with
+              | Some j -> j
+              | None -> -1
+            end))
+      states
+  in
+  let succ_down =
+    Array.mapi
+      (fun _ s ->
+        Array.init nr (fun r ->
+            if s.(r) = 0 then -1
+            else begin
+              let s' = Array.copy s in
+              s'.(r) <- s'.(r) - 1;
+              match Hashtbl.find_opt index s' with
+              | Some j -> j
+              | None -> -1
+            end))
+      states
+  in
+  { capacities;
+    arrivals;
+    route_links;
+    od_routes;
+    states;
+    occupancy;
+    total_calls;
+    succ_up;
+    succ_down }
+
+let state_count t = Array.length t.states
+let route_count t = Array.length t.route_links
+
+type policy = occupancy:int array -> od:int -> int option
+
+(* relative value iteration; [choose] returns, per state and od, the
+   value contribution of the arrival decision.  Returns the gain and the
+   converged relative value function. *)
+let relative_vi_h ?(tolerance = 1e-9) ?(max_iterations = 200_000) t ~choose =
+  let ns = Array.length t.states in
+  let n_ods = Array.length t.arrivals in
+  let total_arrivals = Array.fold_left ( +. ) 0. t.arrivals in
+  let max_calls = Array.fold_left Stdlib.max 0 t.total_calls in
+  let uniform = total_arrivals +. float_of_int max_calls in
+  let h = Array.make ns 0. and th = Array.make ns 0. in
+  let rec iterate n =
+    if n > max_iterations then
+      invalid_arg "Loss_mdp: value iteration did not converge";
+    for s = 0 to ns - 1 do
+      let acc = ref 0. in
+      for od = 0 to n_ods - 1 do
+        acc := !acc +. (t.arrivals.(od) *. choose h s od)
+      done;
+      let vec = t.states.(s) in
+      Array.iteri
+        (fun r nr_calls ->
+          if nr_calls > 0 then
+            acc := !acc +. (float_of_int nr_calls *. h.(t.succ_down.(s).(r))))
+        vec;
+      let stay =
+        uniform -. total_arrivals -. float_of_int t.total_calls.(s)
+      in
+      acc := !acc +. (stay *. h.(s));
+      th.(s) <- !acc /. uniform
+    done;
+    (* span of the difference *)
+    let mn = ref infinity and mx = ref neg_infinity in
+    for s = 0 to ns - 1 do
+      let d = th.(s) -. h.(s) in
+      if d < !mn then mn := d;
+      if d > !mx then mx := d
+    done;
+    if !mx -. !mn < tolerance then uniform *. ((!mx +. !mn) /. 2.)
+    else begin
+      let offset = th.(0) in
+      for s = 0 to ns - 1 do
+        h.(s) <- th.(s) -. offset
+      done;
+      iterate (n + 1)
+    end
+  in
+  let gain = iterate 1 in
+  (1. -. (gain /. total_arrivals), h)
+
+let relative_vi ?tolerance ?max_iterations t ~choose =
+  fst (relative_vi_h ?tolerance ?max_iterations t ~choose)
+
+let optimal_blocking ?tolerance ?max_iterations t =
+  let choose h s od =
+    let best = ref h.(s) in
+    Array.iter
+      (fun r ->
+        let up = t.succ_up.(s).(r) in
+        if up >= 0 then begin
+          let v = 1. +. h.(up) in
+          if v > !best then best := v
+        end)
+      t.od_routes.(od);
+    !best
+  in
+  relative_vi ?tolerance ?max_iterations t ~choose
+
+let policy_blocking ?tolerance ?max_iterations t policy =
+  let choose h s od =
+    match policy ~occupancy:t.occupancy.(s) ~od with
+    | None -> h.(s)
+    | Some pref_idx ->
+      if pref_idx < 0 || pref_idx >= Array.length t.od_routes.(od) then
+        invalid_arg "Loss_mdp: policy chose an unknown route";
+      let r = t.od_routes.(od).(pref_idx) in
+      let up = t.succ_up.(s).(r) in
+      if up < 0 then invalid_arg "Loss_mdp: policy chose an infeasible route";
+      1. +. h.(up)
+  in
+  relative_vi ?tolerance ?max_iterations t ~choose
+
+type decision_record = {
+  occupancy : int array;
+  od : int;
+  action : int option;
+}
+
+let optimal_choose t h s od =
+  let best = ref h.(s) in
+  Array.iter
+    (fun r ->
+      let up = t.succ_up.(s).(r) in
+      if up >= 0 then begin
+        let v = 1. +. h.(up) in
+        if v > !best then best := v
+      end)
+    t.od_routes.(od);
+  !best
+
+let optimal_decisions ?tolerance ?max_iterations t =
+  let _, h =
+    relative_vi_h ?tolerance ?max_iterations t ~choose:(fun h s od ->
+        optimal_choose t h s od)
+  in
+  let ns = Array.length t.states in
+  let n_ods = Array.length t.arrivals in
+  let acc = ref [] in
+  for s = ns - 1 downto 0 do
+    for od = n_ods - 1 downto 0 do
+      let reject = h.(s) in
+      let best = ref None and best_v = ref reject in
+      Array.iteri
+        (fun pref r ->
+          let up = t.succ_up.(s).(r) in
+          if up >= 0 then begin
+            let v = 1. +. h.(up) in
+            if v > !best_v +. 1e-9 then begin
+              best_v := v;
+              best := Some pref
+            end
+          end)
+        t.od_routes.(od);
+      acc :=
+        { occupancy = Array.copy t.occupancy.(s); od; action = !best }
+        :: !acc
+    done
+  done;
+  !acc
+
+let alternate_acceptance_threshold ?tolerance ?max_iterations t ~od =
+  if Array.length t.od_routes.(od) <> 2 then
+    invalid_arg
+      "Loss_mdp.alternate_acceptance_threshold: stream needs exactly two \
+       routes";
+  let primary = t.od_routes.(od).(0) and alt = t.od_routes.(od).(1) in
+  let decisions = optimal_decisions ?tolerance ?max_iterations t in
+  let alt_slack occupancy =
+    Array.fold_left
+      (fun acc k -> Stdlib.min acc (t.capacities.(k) - occupancy.(k)))
+      max_int t.route_links.(alt)
+  in
+  let primary_full occupancy =
+    Array.exists
+      (fun k -> occupancy.(k) >= t.capacities.(k))
+      t.route_links.(primary)
+  in
+  (* collect slacks at which the optimum accepts / rejects the alternate
+     when the primary is full and the alternate is feasible *)
+  let max_rejected = ref (-1) and min_accepted = ref max_int in
+  List.iter
+    (fun d ->
+      if d.od = od && primary_full d.occupancy && alt_slack d.occupancy > 0
+      then begin
+        match d.action with
+        | Some 1 ->
+          if alt_slack d.occupancy < !min_accepted then
+            min_accepted := alt_slack d.occupancy
+        | None | Some _ ->
+          if alt_slack d.occupancy > !max_rejected then
+            max_rejected := alt_slack d.occupancy
+      end)
+    decisions;
+  if !min_accepted = max_int then
+    (* never accepts: full reservation *)
+    Some (Array.fold_left Stdlib.min max_int t.capacities)
+  else if !max_rejected < !min_accepted then Some (Stdlib.max 0 !max_rejected)
+  else None
+
+let route_fits t ~occupancy ~headroom r =
+  Array.for_all
+    (fun k -> occupancy.(k) + 1 <= t.capacities.(k) - headroom.(k))
+    t.route_links.(r)
+
+let single_path_policy t ~occupancy ~od =
+  let zero = Array.make (Array.length t.capacities) 0 in
+  let r = t.od_routes.(od).(0) in
+  if route_fits t ~occupancy ~headroom:zero r then Some 0 else None
+
+let uncontrolled_policy t ~occupancy ~od =
+  let zero = Array.make (Array.length t.capacities) 0 in
+  let routes = t.od_routes.(od) in
+  let rec find i =
+    if i >= Array.length routes then None
+    else if route_fits t ~occupancy ~headroom:zero routes.(i) then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let controlled_policy t ~reserves ~occupancy ~od =
+  if Array.length reserves <> Array.length t.capacities then
+    invalid_arg "Loss_mdp.controlled_policy: reserves length mismatch";
+  let zero = Array.make (Array.length t.capacities) 0 in
+  let routes = t.od_routes.(od) in
+  if route_fits t ~occupancy ~headroom:zero routes.(0) then Some 0
+  else begin
+    let rec find i =
+      if i >= Array.length routes then None
+      else if route_fits t ~occupancy ~headroom:reserves routes.(i) then
+        Some i
+      else find (i + 1)
+    in
+    find 1
+  end

@@ -1,0 +1,98 @@
+(** Exact Markov-decision analysis of small loss networks.
+
+    The paper's stronger proof of Theorem 1 lives in Markov decision
+    theory ([37], via Howard's policy iteration [15]); this module makes
+    that world concrete for networks small enough to enumerate.  The
+    state is the vector of calls in progress *per route* (per-link
+    occupancy does not suffice: a departure must free exactly the links
+    its call held).  Arrivals are Poisson per O-D stream, holding times
+    unit-mean exponential, rewards count carried calls.  Relative value
+    iteration on the uniformized chain yields:
+
+    - the {e optimal} long-run blocking over all admission/routing
+      policies (including ones the paper's scheme cannot express), and
+    - the {e exact} blocking of any given stationary policy — a
+      noise-free reference for the simulator and the schemes.
+
+    State spaces grow quickly; {!state_count} tells you what you are in
+    for (a triangle at C = 10 is a few thousand states). *)
+
+type t
+
+val make :
+  capacities:int array ->
+  arrivals:float array ->
+  routes:(int * int list) list ->
+  t
+(** [make ~capacities ~arrivals ~routes] — [arrivals.(od)] is stream
+    [od]'s rate; [routes] lists [(od, links)] in each stream's
+    preference order (first listed = primary).  Every stream must have
+    at least one route; links index [capacities].
+    @raise Invalid_argument on malformed input or if the state space
+    exceeds [5_000_000] states. *)
+
+val state_count : t -> int
+val route_count : t -> int
+
+val optimal_blocking :
+  ?tolerance:float -> ?max_iterations:int -> t -> float
+(** Minimum achievable long-run blocking (maximum carried-call rate)
+    over all stationary policies, by relative value iteration.
+    @raise Invalid_argument if iteration fails to converge. *)
+
+type policy = occupancy:int array -> od:int -> int option
+(** For an arrival of stream [od] seeing per-link [occupancy]: the
+    index (within the stream's preference list) of the route to use, or
+    [None] to reject.  The chosen route must be feasible. *)
+
+val policy_blocking :
+  ?tolerance:float -> ?max_iterations:int -> t -> policy -> float
+(** Exact long-run blocking of the given stationary policy. *)
+
+(** {1 Structure of the optimal policy} *)
+
+type decision_record = {
+  occupancy : int array;  (** per-link occupancy at the arrival *)
+  od : int;
+  action : int option;  (** optimal route (preference index) or reject *)
+}
+
+val optimal_decisions :
+  ?tolerance:float -> ?max_iterations:int -> t -> decision_record list
+(** The optimal action at every (state, stream) pair, extracted from the
+    converged value function.  Lets one test the classical claim (Nguyen
+    [33], which the paper cites for trunk reservation's optimality) that
+    the optimal control of overflow traffic is threshold-shaped: on this
+    model, whether the alternate is taken depends on link occupancies
+    through a reservation-style cutoff. *)
+
+val alternate_acceptance_threshold :
+  ?tolerance:float -> ?max_iterations:int -> t -> od:int -> int option
+(** For a stream with exactly two routes (primary + one alternate):
+    checks whether the optimal decisions for that stream are a pure
+    trunk-reservation policy *in link occupancies* — the alternate is
+    taken exactly when the primary is full and every alternate link has
+    more than [r] free circuits — and returns that [r] when they are.
+
+    [None] means the optimal actions are not determined by occupancy
+    alone.  That happens in genuinely loaded networks: the route-level
+    state (how many of the busy circuits belong to alternate-routed
+    calls) carries information that occupancy discards, so Nguyen's
+    single-link threshold-optimality [33] does not lift verbatim to
+    networks — while the occupancy-threshold scheme still lands within
+    a fraction of a percent of the optimum (see the [ext_optimality]
+    bench section).
+    @raise Invalid_argument if the stream does not have exactly two
+    routes. *)
+
+(** {1 The paper's policies, expressed over this model} *)
+
+val single_path_policy : t -> policy
+(** First-listed route if feasible, else reject. *)
+
+val uncontrolled_policy : t -> policy
+(** First feasible route in preference order. *)
+
+val controlled_policy : t -> reserves:int array -> policy
+(** Primary under the plain capacity rule; alternates only where every
+    link is below [capacity - reserve]. *)

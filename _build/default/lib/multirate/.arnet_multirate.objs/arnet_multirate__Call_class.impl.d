@@ -1,0 +1,1 @@
+lib/multirate/call_class.ml: Float Printf

@@ -1,0 +1,1 @@
+lib/multirate/kaufman_roberts.mli:

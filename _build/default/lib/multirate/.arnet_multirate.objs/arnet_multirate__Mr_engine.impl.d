@@ -1,0 +1,1 @@
+lib/multirate/mr_engine.ml: Arnet_paths Arnet_sim Arnet_topology Array Bfs Call_class Event_queue Graph Hashtbl Link List Mr_trace Path Rng

@@ -1,0 +1,1 @@
+lib/multirate/mr_engine.mli: Arnet_paths Arnet_topology Graph Mr_trace Path

@@ -1,0 +1,1 @@
+lib/multirate/mr_scheme.ml: Arnet_core Arnet_paths Arnet_topology Arnet_traffic Array Call_class Graph Link List Matrix Mr_engine Mr_trace Path Route_table

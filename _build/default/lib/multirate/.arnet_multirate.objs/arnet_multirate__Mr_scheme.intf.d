@@ -1,0 +1,1 @@
+lib/multirate/mr_scheme.mli: Arnet_paths Mr_engine Mr_trace Route_table

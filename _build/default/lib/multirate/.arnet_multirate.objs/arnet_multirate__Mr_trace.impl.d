@@ -1,0 +1,1 @@
+lib/multirate/mr_trace.ml: Arnet_sim Arnet_traffic Array Call_class List Matrix Rng

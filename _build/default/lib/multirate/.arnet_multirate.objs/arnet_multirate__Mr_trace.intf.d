@@ -1,0 +1,1 @@
+lib/multirate/mr_trace.mli: Arnet_sim Arnet_traffic Call_class Matrix

@@ -1,0 +1,13 @@
+type t = { name : string; bandwidth : int; mean_holding : float }
+
+let make ?name ?(mean_holding = 1.) ~bandwidth () =
+  if bandwidth < 1 then invalid_arg "Call_class.make: bandwidth < 1";
+  if mean_holding <= 0. || not (Float.is_finite mean_holding) then
+    invalid_arg "Call_class.make: bad mean holding";
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "b%d" bandwidth
+  in
+  { name; bandwidth; mean_holding }
+
+let narrowband = make ~name:"narrowband" ~bandwidth:1 ()
+let wideband = make ~name:"wideband" ~bandwidth:6 ()

@@ -1,0 +1,21 @@
+(** Call classes for the multi-rate extension.
+
+    The paper's preliminary study assumes identical calls and lists
+    multiple call types as future work (Section 1).  A class is a
+    Poisson stream with its own bandwidth demand (in the same integer
+    units as link capacity) and mean holding time. *)
+
+type t = private {
+  name : string;
+  bandwidth : int;  (** units of capacity reserved per call *)
+  mean_holding : float;
+}
+
+val make : ?name:string -> ?mean_holding:float -> bandwidth:int -> unit -> t
+(** @raise Invalid_argument if [bandwidth < 1] or [mean_holding <= 0]. *)
+
+val narrowband : t
+(** 1 unit, unit holding — the paper's prototype call. *)
+
+val wideband : t
+(** 6 units, unit holding — a video-conference-like class. *)

@@ -1,0 +1,124 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_sim
+
+type outcome = Routed of Path.t | Lost
+
+type policy = {
+  name : string;
+  decide : occupancy:int array -> call:Mr_trace.call -> outcome;
+}
+
+type stats = {
+  offered : int array;
+  blocked : int array;
+  carried_alternate : int;
+  total_offered_bandwidth : int;
+  total_blocked_bandwidth : int;
+}
+
+let run ?(warmup = 10.) ~graph ~workload ~policy ~duration calls =
+  if warmup < 0. || warmup >= duration then
+    invalid_arg "Mr_engine.run: warmup must be in [0, duration)";
+  if Mr_trace.nodes workload <> Graph.node_count graph then
+    invalid_arg "Mr_engine.run: workload/graph size mismatch";
+  let classes = workload.Mr_trace.classes in
+  let nc = Array.length classes in
+  let m = Graph.link_count graph in
+  let capacity = Array.make m 0 in
+  Graph.iter_links (fun l -> capacity.(l.Link.id) <- l.Link.capacity) graph;
+  let occupancy = Array.make m 0 in
+  let departures : (int array * int) Event_queue.t = Event_queue.create () in
+  let offered = Array.make nc 0 and blocked = Array.make nc 0 in
+  let carried_alternate = ref 0 in
+  let offered_bw = ref 0 and blocked_bw = ref 0 in
+  let routes_primary_hops = Hashtbl.create 64 in
+  let primary_hops src dst =
+    match Hashtbl.find_opt routes_primary_hops (src, dst) with
+    | Some h -> h
+    | None ->
+      let h =
+        match Bfs.min_hop_path graph ~src ~dst with
+        | Some p -> Path.hops p
+        | None -> -1
+      in
+      Hashtbl.add routes_primary_hops (src, dst) h;
+      h
+  in
+  let release _time (link_ids, bandwidth) =
+    Array.iter
+      (fun id ->
+        occupancy.(id) <- occupancy.(id) - bandwidth;
+        assert (occupancy.(id) >= 0))
+      link_ids
+  in
+  let admit (call : Mr_trace.call) (p : Path.t) bandwidth =
+    Array.iter
+      (fun id ->
+        if occupancy.(id) + bandwidth > capacity.(id) then
+          invalid_arg "Mr_engine.run: policy oversubscribed a link";
+        occupancy.(id) <- occupancy.(id) + bandwidth)
+      p.Path.link_ids;
+    Event_queue.push departures
+      ~time:(call.Mr_trace.time +. call.Mr_trace.holding)
+      (Array.copy p.Path.link_ids, bandwidth)
+  in
+  let handle (call : Mr_trace.call) =
+    Event_queue.pop_until departures ~time:call.Mr_trace.time ~f:release;
+    let ci = call.Mr_trace.class_index in
+    let bandwidth = classes.(ci).Call_class.bandwidth in
+    let measured = call.Mr_trace.time >= warmup in
+    if measured then begin
+      offered.(ci) <- offered.(ci) + 1;
+      offered_bw := !offered_bw + bandwidth
+    end;
+    match policy.decide ~occupancy ~call with
+    | Lost ->
+      if measured then begin
+        blocked.(ci) <- blocked.(ci) + 1;
+        blocked_bw := !blocked_bw + bandwidth
+      end
+    | Routed p ->
+      if Path.src p <> call.Mr_trace.src || Path.dst p <> call.Mr_trace.dst
+      then invalid_arg "Mr_engine.run: wrong endpoints";
+      admit call p bandwidth;
+      if
+        measured
+        && Path.hops p > primary_hops call.Mr_trace.src call.Mr_trace.dst
+      then incr carried_alternate
+  in
+  Array.iter handle calls;
+  { offered;
+    blocked;
+    carried_alternate = !carried_alternate;
+    total_offered_bandwidth = !offered_bw;
+    total_blocked_bandwidth = !blocked_bw }
+
+let class_blocking s ci =
+  if s.offered.(ci) = 0 then 0.
+  else float_of_int s.blocked.(ci) /. float_of_int s.offered.(ci)
+
+let call_blocking s =
+  let o = Array.fold_left ( + ) 0 s.offered in
+  if o = 0 then 0.
+  else float_of_int (Array.fold_left ( + ) 0 s.blocked) /. float_of_int o
+
+let bandwidth_blocking s =
+  if s.total_offered_bandwidth = 0 then 0.
+  else
+    float_of_int s.total_blocked_bandwidth
+    /. float_of_int s.total_offered_bandwidth
+
+let replicate ?warmup ~seeds ~duration ~graph ~workload ~policies () =
+  if seeds = [] then invalid_arg "Mr_engine.replicate: no seeds";
+  let results = List.map (fun p -> (p.name, ref [])) policies in
+  let one_seed seed =
+    let rng = Rng.substream (Rng.create ~seed) "mr-trace" in
+    let calls = Mr_trace.generate ~rng ~duration workload in
+    List.iter2
+      (fun policy (_, acc) ->
+        acc := run ?warmup ~graph ~workload ~policy ~duration calls :: !acc)
+      policies results
+  in
+  List.iter one_seed seeds;
+  List.map (fun (name, acc) -> (name, List.rev !acc)) results

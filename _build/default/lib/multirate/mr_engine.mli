@@ -1,0 +1,52 @@
+(** Discrete-event engine for multi-rate calls.
+
+    Like {!Arnet_sim.Engine} but occupancy is counted in bandwidth
+    units: a class-[c] call seizes [bandwidth_c] units on every link of
+    its path for its holding time. *)
+
+open Arnet_topology
+open Arnet_paths
+
+type outcome = Routed of Path.t | Lost
+
+type policy = {
+  name : string;
+  decide : occupancy:int array -> call:Mr_trace.call -> outcome;
+}
+
+type stats = {
+  offered : int array;  (** per class *)
+  blocked : int array;  (** per class *)
+  carried_alternate : int;
+  total_offered_bandwidth : int;  (** units requested in the window *)
+  total_blocked_bandwidth : int;  (** units refused in the window *)
+}
+
+val run :
+  ?warmup:float ->
+  graph:Graph.t -> workload:Mr_trace.workload -> policy:policy ->
+  duration:float -> Mr_trace.call array -> stats
+(** @raise Invalid_argument if the policy oversubscribes a link or on
+    size mismatches. *)
+
+val class_blocking : stats -> int -> float
+(** Blocking of one class; 0 when it offered nothing. *)
+
+val call_blocking : stats -> float
+(** All classes pooled, per call. *)
+
+val bandwidth_blocking : stats -> float
+(** Blocked bandwidth over offered bandwidth — weights wideband calls by
+    their size. *)
+
+val replicate :
+  ?warmup:float ->
+  seeds:int list ->
+  duration:float ->
+  graph:Graph.t ->
+  workload:Mr_trace.workload ->
+  policies:policy list ->
+  unit ->
+  (string * stats list) list
+(** Shared traces across policies, fresh trace per seed — the same
+    methodology as the single-rate engine. *)

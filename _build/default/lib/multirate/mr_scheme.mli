@@ -1,0 +1,37 @@
+(** Controlled alternate routing for multi-rate calls.
+
+    Extension of the paper's scheme to its declared future work.  The
+    admission rules generalize naturally: a link accepts a *primary*
+    class-[c] call while [occupancy + bandwidth_c <= C], and an
+    *alternate-routed* one only while
+    [occupancy + bandwidth_c <= C - r] — the protected band now counts
+    bandwidth units rather than calls.
+
+    Protection levels come from the single-rate machinery applied to the
+    link's offered *bandwidth* load (sum over classes of
+    [bandwidth_c * Lambda_c]), with capacity in units.  This is a
+    heuristic, not a theorem: Theorem 1's chain analysis is per-call.
+    The multi-rate experiment checks the guarantee empirically
+    (controlled never worse than single-path on bandwidth blocking). *)
+
+open Arnet_paths
+
+val bandwidth_loads : Route_table.t -> Mr_trace.workload -> float array
+(** Per link: offered bandwidth units per unit time along primaries —
+    the multi-rate Equation 1. *)
+
+val protection_levels :
+  Route_table.t -> Mr_trace.workload -> h:int -> int array
+(** Section 3.1 levels on the bandwidth loads. *)
+
+val single_path :
+  Route_table.t -> Mr_trace.workload -> Mr_engine.policy
+
+val uncontrolled :
+  Route_table.t -> Mr_trace.workload -> Mr_engine.policy
+
+val controlled :
+  reserves:int array -> Route_table.t -> Mr_trace.workload -> Mr_engine.policy
+
+val controlled_auto :
+  ?h:int -> Route_table.t -> Mr_trace.workload -> Mr_engine.policy

@@ -1,0 +1,31 @@
+(** Multi-class replayable workloads. *)
+
+open Arnet_traffic
+
+type workload = private {
+  classes : Call_class.t array;
+  demands : Matrix.t array;  (** per class, demand in *calls* (Erlangs) *)
+}
+
+val workload : (Call_class.t * Matrix.t) list -> workload
+(** @raise Invalid_argument on empty input or mismatched matrix sizes. *)
+
+val nodes : workload -> int
+
+val offered_bandwidth : workload -> float
+(** Total offered bandwidth load: [sum_c bandwidth_c * total demand_c]. *)
+
+type call = {
+  time : float;
+  src : int;
+  dst : int;
+  holding : float;
+  class_index : int;
+  u : float;
+}
+
+val generate :
+  rng:Arnet_sim.Rng.t -> duration:float -> workload -> call array
+(** Superposed Poisson arrivals over classes and pairs, holding times
+    exponential with each class's mean; sorted by time.
+    @raise Invalid_argument when total demand is zero. *)

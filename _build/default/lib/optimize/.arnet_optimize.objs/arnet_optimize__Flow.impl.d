@@ -1,0 +1,1 @@
+lib/optimize/flow.ml: Arnet_paths Arnet_topology Arnet_traffic Array Float Graph Hashtbl List Matrix Path

@@ -1,0 +1,1 @@
+lib/optimize/flow.mli: Arnet_paths Arnet_topology Arnet_traffic Graph Matrix Path

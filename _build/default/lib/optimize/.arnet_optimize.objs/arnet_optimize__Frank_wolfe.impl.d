@@ -1,0 +1,1 @@
+lib/optimize/frank_wolfe.ml: Arnet_erlang Arnet_paths Arnet_topology Arnet_traffic Array Erlang_b Float Flow Graph Hashtbl Line_search Link List Matrix Path Yen

@@ -1,0 +1,1 @@
+lib/optimize/frank_wolfe.mli: Arnet_topology Arnet_traffic Flow Graph Matrix

@@ -1,0 +1,1 @@
+lib/optimize/line_search.mli:

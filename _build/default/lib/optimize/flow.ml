@@ -1,0 +1,83 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+
+type t = { graph : Graph.t; table : (int * int, (Path.t * float) list) Hashtbl.t }
+
+let make g assignments =
+  let table = Hashtbl.create (List.length assignments) in
+  let add ((src, dst), entries) =
+    if src = dst then invalid_arg "Flow.make: src = dst";
+    if Hashtbl.mem table (src, dst) then
+      invalid_arg "Flow.make: duplicate pair";
+    let positive = List.filter (fun (_, f) -> f > 0.) entries in
+    if positive = [] then ()
+    else begin
+      let total =
+        List.fold_left
+          (fun acc (p, f) ->
+            if f < 0. || not (Float.is_finite f) then
+              invalid_arg "Flow.make: bad fraction";
+            if Path.src p <> src || Path.dst p <> dst then
+              invalid_arg "Flow.make: path endpoints mismatch";
+            acc +. f)
+          0. positive
+      in
+      if Float.abs (total -. 1.) > 1e-6 then
+        invalid_arg "Flow.make: fractions must sum to 1";
+      let normalized = List.map (fun (p, f) -> (p, f /. total)) positive in
+      Hashtbl.add table (src, dst) normalized
+    end
+  in
+  List.iter add assignments;
+  { graph = g; table }
+
+let graph t = t.graph
+
+let paths t ~src ~dst =
+  match Hashtbl.find_opt t.table (src, dst) with
+  | None -> []
+  | Some l -> l
+
+let link_loads t matrix =
+  if Matrix.nodes matrix <> Graph.node_count t.graph then
+    invalid_arg "Flow.link_loads: size mismatch";
+  let loads = Array.make (Graph.link_count t.graph) 0. in
+  Matrix.iter_demands matrix (fun i j d ->
+      List.iter
+        (fun (p, f) ->
+          Array.iter
+            (fun k -> loads.(k) <- loads.(k) +. (d *. f))
+            p.Path.link_ids)
+        (paths t ~src:i ~dst:j));
+  loads
+
+let sample t ~src ~dst ~u =
+  if u < 0. || u >= 1. then invalid_arg "Flow.sample: u outside [0,1)";
+  match paths t ~src ~dst with
+  | [] -> None
+  | entries ->
+    let rec pick acc = function
+      | [] -> None
+      | [ (p, _) ] -> Some p  (* absorb rounding in the last entry *)
+      | (p, f) :: rest ->
+        let acc = acc +. f in
+        if u < acc then Some p else pick acc rest
+    in
+    pick 0. entries
+
+let average_hops t matrix =
+  let weighted = ref 0. and demand = ref 0. in
+  Matrix.iter_demands matrix (fun i j d ->
+      match paths t ~src:i ~dst:j with
+      | [] -> ()
+      | entries ->
+        demand := !demand +. d;
+        List.iter
+          (fun (p, f) ->
+            weighted := !weighted +. (d *. f *. float_of_int (Path.hops p)))
+          entries);
+  if !demand = 0. then 0. else !weighted /. !demand
+
+let support_size t =
+  Hashtbl.fold (fun _ entries acc -> acc + List.length entries) t.table 0

@@ -1,0 +1,41 @@
+(** Bifurcated primary flows.
+
+    The min-link-loss SI policy of Section 4.2.2 splits each pair's
+    demand over several paths with fixed probabilities ("bifurcated
+    primary flows, where a path would be a primary path for an O-D pair
+    with a certain probability").  A {!t} stores those splits; the
+    simulator samples a primary per call with the call's pre-drawn
+    uniform variate, keeping runs comparable across schemes. *)
+
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+
+type t
+
+val make : Graph.t -> ((int * int) * (Path.t * float) list) list -> t
+(** [make g assignments] — for each listed ordered pair, its paths and
+    fractions.  Fractions must be nonnegative and sum to 1 (within
+    1e-6; they are renormalized); paths must connect the pair.  Pairs
+    not listed carry no flow.
+    @raise Invalid_argument on violations. *)
+
+val graph : t -> Graph.t
+
+val paths : t -> src:int -> dst:int -> (Path.t * float) list
+(** Empty when the pair carries no flow. *)
+
+val link_loads : t -> Matrix.t -> float array
+(** Expected primary load per link id:
+    [Lambda_k = sum T(i,j) * sum_{paths p of (i,j) through k} frac(p)] —
+    Equation 1 generalized to bifurcated primaries. *)
+
+val sample : t -> src:int -> dst:int -> u:float -> Path.t option
+(** Inverse-CDF sample with [u] in [0, 1); [None] when the pair has no
+    paths. *)
+
+val average_hops : t -> Matrix.t -> float
+(** Demand-weighted mean primary path length. *)
+
+val support_size : t -> int
+(** Total number of (pair, path) assignments with positive fraction. *)

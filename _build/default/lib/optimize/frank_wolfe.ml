@@ -1,0 +1,152 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_erlang
+open Arnet_traffic
+
+type result = {
+  flow : Flow.t;
+  objective : float;
+  iterations : int;
+  relative_gap : float;
+}
+
+(* below this load a link's marginal loss is numerically zero *)
+let load_floor = 1e-9
+
+let objective_of_loads ~capacities ~loads =
+  if Array.length capacities <> Array.length loads then
+    invalid_arg "Frank_wolfe.objective_of_loads: length mismatch";
+  let acc = ref 0. in
+  Array.iteri
+    (fun k c ->
+      if loads.(k) > load_floor then
+        acc := !acc +. Erlang_b.loss_rate ~offered:loads.(k) ~capacity:c)
+    capacities;
+  !acc
+
+let marginal ~capacity load =
+  if load <= load_floor then
+    (* lim_{a->0} d/da [a B(a,c)] = 0 for c >= 1, = 1 for c = 0 *)
+    if capacity = 0 then 1. else 0.
+  else Erlang_b.loss_rate_derivative ~offered:load ~capacity
+
+type pair = {
+  src : int;
+  dst : int;
+  demand : float;
+  candidates : Path.t array;
+  fractions : float array;  (* mutable in place; sums to 1 *)
+}
+
+let pair_loads ~m pairs fractions_of =
+  let loads = Array.make m 0. in
+  List.iter
+    (fun pr ->
+      let fr = fractions_of pr in
+      Array.iteri
+        (fun idx p ->
+          let f = fr.(idx) in
+          if f > 0. then
+            Array.iter
+              (fun k -> loads.(k) <- loads.(k) +. (pr.demand *. f))
+              p.Path.link_ids)
+        pr.candidates)
+    pairs;
+  loads
+
+let minimize_link_loss ?(candidates_per_pair = 8) ?(max_iterations = 200)
+    ?(tolerance = 1e-4) ~graph ~matrix () =
+  if candidates_per_pair < 1 then
+    invalid_arg "Frank_wolfe: candidates_per_pair < 1";
+  let m = Graph.link_count graph in
+  let capacities =
+    Array.map (fun (l : Link.t) -> l.capacity) (Graph.links graph)
+  in
+  let pairs = ref [] in
+  Matrix.iter_demands matrix (fun src dst demand ->
+      let candidates =
+        Array.of_list (Yen.k_shortest graph ~src ~dst ~k:candidates_per_pair)
+      in
+      if Array.length candidates = 0 then
+        invalid_arg "Frank_wolfe: demand between disconnected nodes";
+      let fractions = Array.make (Array.length candidates) 0. in
+      fractions.(0) <- 1.;  (* start from shortest-path all-or-nothing *)
+      pairs := { src; dst; demand; candidates; fractions } :: !pairs);
+  let pairs = List.rev !pairs in
+  let current_loads () = pair_loads ~m pairs (fun pr -> pr.fractions) in
+  let rec iterate n =
+    let loads = current_loads () in
+    let objective = objective_of_loads ~capacities ~loads in
+    let w = Array.mapi (fun k c -> marginal ~capacity:c loads.(k)) capacities in
+    let path_cost p =
+      Array.fold_left (fun acc k -> acc +. w.(k)) 0. p.Path.link_ids
+    in
+    (* all-or-nothing target + duality gap *)
+    let gap = ref 0. in
+    let targets =
+      List.map
+        (fun pr ->
+          let costs = Array.map path_cost pr.candidates in
+          let best = ref 0 in
+          Array.iteri (fun i c -> if c < costs.(!best) then best := i) costs;
+          let avg =
+            ref 0.
+          in
+          Array.iteri (fun i f -> avg := !avg +. (f *. costs.(i))) pr.fractions;
+          gap := !gap +. (pr.demand *. (!avg -. costs.(!best)));
+          !best)
+        pairs
+    in
+    let relative_gap = !gap /. Float.max objective 1e-12 in
+    if relative_gap <= tolerance || n >= max_iterations then begin
+      let assignments =
+        List.map
+          (fun pr ->
+            let entries =
+              Array.to_list
+                (Array.mapi (fun i p -> (p, pr.fractions.(i))) pr.candidates)
+              |> List.filter (fun (_, f) -> f > 1e-9)
+            in
+            let total = List.fold_left (fun a (_, f) -> a +. f) 0. entries in
+            ( (pr.src, pr.dst),
+              List.map (fun (p, f) -> (p, f /. total)) entries ))
+          pairs
+      in
+      { flow = Flow.make graph assignments;
+        objective;
+        iterations = n;
+        relative_gap }
+    end
+    else begin
+      let target_loads =
+        pair_loads ~m pairs
+          (let tbl = Hashtbl.create 16 in
+           List.iter2
+             (fun pr best ->
+               let fr = Array.make (Array.length pr.fractions) 0. in
+               fr.(best) <- 1.;
+               Hashtbl.add tbl (pr.src, pr.dst) fr)
+             pairs targets;
+           fun pr -> Hashtbl.find tbl (pr.src, pr.dst))
+      in
+      (* loads are linear in gamma, so the line search is cheap *)
+      let blended gamma =
+        let l =
+          Array.init m (fun k ->
+              ((1. -. gamma) *. loads.(k)) +. (gamma *. target_loads.(k)))
+        in
+        objective_of_loads ~capacities ~loads:l
+      in
+      let gamma = Line_search.golden_section ~f:blended ~lo:0. ~hi:1. () in
+      List.iter2
+        (fun pr best ->
+          Array.iteri
+            (fun i f ->
+              let t = if i = best then 1. else 0. in
+              pr.fractions.(i) <- ((1. -. gamma) *. f) +. (gamma *. t))
+            pr.fractions)
+        pairs targets;
+      iterate (n + 1)
+    end
+  in
+  iterate 0

@@ -1,0 +1,42 @@
+(** Minimum-link-loss primary flows by Frank-Wolfe (flow deviation).
+
+    Section 4.2.2: "primary paths were chosen so as to minimize overall
+    system blocking of primary calls, under the independent link
+    assumption ... The expected number of lost calls on a link of
+    capacity C fed by a Poisson stream of traffic intensity Lambda ...
+    is convex in Lambda [23].  Using this as a cost function we used an
+    iterative [method] to minimize the expected sum of link costs [3]."
+
+    The program is convex over the path-flow polytope, so Frank-Wolfe —
+    repeatedly shifting flow towards the minimum-marginal-cost candidate
+    path of each pair, with an exact line search — converges to the same
+    optimum as the paper's conjugate-gradient method (see DESIGN.md,
+    substitution table). *)
+
+open Arnet_topology
+open Arnet_traffic
+
+type result = {
+  flow : Flow.t;  (** the optimized bifurcated primaries *)
+  objective : float;  (** total expected lost primary calls per unit time *)
+  iterations : int;
+  relative_gap : float;  (** Frank-Wolfe duality-gap estimate at exit *)
+}
+
+val minimize_link_loss :
+  ?candidates_per_pair:int ->
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  graph:Graph.t ->
+  matrix:Matrix.t ->
+  unit ->
+  result
+(** Optimizes [sum_k Lambda_k * B(Lambda_k, C_k)] over splits of each
+    positive demand across its [candidates_per_pair] (default 8)
+    shortest candidate paths (Yen, hop metric).  Stops when the relative
+    duality gap drops below [tolerance] (default 1e-4) or after
+    [max_iterations] (default 200).
+    @raise Invalid_argument when some positive demand has no path. *)
+
+val objective_of_loads : capacities:int array -> loads:float array -> float
+(** [sum_k loss_rate Lambda_k C_k] — exposed for tests and ablations. *)

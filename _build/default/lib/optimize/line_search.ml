@@ -1,0 +1,28 @@
+let golden_ratio = (sqrt 5. -. 1.) /. 2.
+
+let golden_section ?(tolerance = 1e-6) ?(max_iterations = 200) ~f ~lo ~hi () =
+  if not (Float.is_finite lo && Float.is_finite hi) || lo > hi then
+    invalid_arg "Line_search.golden_section: bad interval";
+  let a = ref lo and b = ref hi in
+  let x1 = ref (!b -. (golden_ratio *. (!b -. !a))) in
+  let x2 = ref (!a +. (golden_ratio *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  let iterations = ref 0 in
+  while !b -. !a > tolerance && !iterations < max_iterations do
+    incr iterations;
+    if !f1 < !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (golden_ratio *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (golden_ratio *. (!b -. !a));
+      f2 := f !x2
+    end
+  done;
+  (!a +. !b) /. 2.

@@ -1,0 +1,10 @@
+(** Golden-section search on a unimodal function over an interval. *)
+
+val golden_section :
+  ?tolerance:float -> ?max_iterations:int -> f:(float -> float) ->
+  lo:float -> hi:float -> unit -> float
+(** [golden_section ~f ~lo ~hi ()] is the argmin of [f] over
+    [\[lo, hi\]] assuming unimodality (convexity suffices).  Default
+    tolerance [1e-6] on the interval width, cap 200 iterations.
+    @raise Invalid_argument when [lo > hi] or the interval is not
+    finite. *)

@@ -1,0 +1,1 @@
+lib/paths/bfs.ml: Arnet_topology Array Graph Link List Path Queue

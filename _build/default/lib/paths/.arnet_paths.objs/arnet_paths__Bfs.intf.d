@@ -1,0 +1,1 @@
+lib/paths/bfs.mli: Arnet_topology Graph Path

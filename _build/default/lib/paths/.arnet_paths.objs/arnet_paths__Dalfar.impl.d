@@ -1,0 +1,1 @@
+lib/paths/dalfar.ml: Arnet_topology Array Distance_vector Enumerate Graph List Path

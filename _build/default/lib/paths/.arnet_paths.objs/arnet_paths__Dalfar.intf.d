@@ -1,0 +1,1 @@
+lib/paths/dalfar.mli: Arnet_topology Distance_vector Graph Path

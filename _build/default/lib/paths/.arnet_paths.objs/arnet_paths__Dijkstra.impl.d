@@ -1,0 +1,1 @@
+lib/paths/dijkstra.ml: Arnet_topology Array Float Graph Link List Path

@@ -1,0 +1,1 @@
+lib/paths/dijkstra.mli: Arnet_topology Graph Link Path

@@ -1,0 +1,1 @@
+lib/paths/distance_vector.ml: Arnet_topology Array Bfs Graph Link List

@@ -1,0 +1,1 @@
+lib/paths/distance_vector.mli: Arnet_topology Graph

@@ -1,0 +1,1 @@
+lib/paths/enumerate.ml: Arnet_topology Array Graph List Path

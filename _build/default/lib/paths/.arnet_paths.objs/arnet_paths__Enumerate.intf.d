@@ -1,0 +1,1 @@
+lib/paths/enumerate.mli: Arnet_topology Graph Path

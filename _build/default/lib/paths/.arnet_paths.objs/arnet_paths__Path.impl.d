@@ -1,0 +1,1 @@
+lib/paths/path.ml: Arnet_topology Array Format Graph Hashtbl Link List Printf String

@@ -1,0 +1,1 @@
+lib/paths/path.mli: Arnet_topology Format Graph Link

@@ -1,0 +1,1 @@
+lib/paths/route_table.ml: Arnet_topology Array Bfs Enumerate Format Graph List Path

@@ -1,0 +1,1 @@
+lib/paths/route_table.mli: Arnet_topology Format Graph Path

@@ -1,0 +1,1 @@
+lib/paths/suurballe.ml: Arnet_topology Array Dijkstra Float Graph Hashtbl Link List Path Set

@@ -1,0 +1,1 @@
+lib/paths/suurballe.mli: Arnet_topology Graph Link Path

@@ -1,0 +1,1 @@
+lib/paths/yen.ml: Arnet_topology Array Float Graph Hashtbl Link List Path Set

@@ -1,0 +1,1 @@
+lib/paths/yen.mli: Arnet_topology Graph Link Path

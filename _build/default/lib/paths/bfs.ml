@@ -1,0 +1,65 @@
+open Arnet_topology
+
+let bfs n start neighbours =
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(start) <- 0;
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let relax w =
+      if dist.(w) = max_int then begin
+        dist.(w) <- dist.(v) + 1;
+        Queue.add w queue
+      end
+    in
+    List.iter relax (neighbours v)
+  done;
+  dist
+
+let distances g ~src =
+  if src < 0 || src >= Graph.node_count g then invalid_arg "Bfs.distances";
+  bfs (Graph.node_count g) src (Graph.successors g)
+
+let distances_to g ~dst =
+  if dst < 0 || dst >= Graph.node_count g then invalid_arg "Bfs.distances_to";
+  let preds v = List.map (fun (l : Link.t) -> l.Link.src) (Graph.in_links g v) in
+  bfs (Graph.node_count g) dst preds
+
+let min_hop_path g ~src ~dst =
+  if src = dst then invalid_arg "Bfs.min_hop_path: src = dst";
+  let dist = distances_to g ~dst in
+  if dist.(src) = max_int then None
+  else begin
+    (* Walk greedily towards dst, always taking the smallest-indexed
+       neighbour that lies on some shortest path.  Successors are sorted
+       ascending, so the first qualifying one gives the lexicographically
+       smallest min-hop node sequence. *)
+    let rec walk v acc =
+      if v = dst then List.rev (v :: acc)
+      else
+        let next =
+          List.find
+            (fun w -> dist.(w) <> max_int && dist.(w) = dist.(v) - 1)
+            (Graph.successors g v)
+        in
+        walk next (v :: acc)
+    in
+    Some (Path.of_nodes_unchecked g (Array.of_list (walk src [])))
+  end
+
+let eccentricity g v =
+  let dist = distances g ~src:v in
+  Array.fold_left
+    (fun acc d -> if d = max_int then acc else max acc d)
+    0 dist
+
+let diameter g =
+  let n = Graph.node_count g in
+  if not (Graph.is_strongly_connected g) then
+    invalid_arg "Bfs.diameter: graph not strongly connected";
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    best := max !best (eccentricity g v)
+  done;
+  !best

@@ -1,0 +1,83 @@
+open Arnet_topology
+
+type stats = { expansions : int; crankbacks : int }
+
+(* Depth-first expansion guided by local distance vectors, with
+   crankback.  [yield] sees each discovered node sequence and returns
+   [`Stop] to end the search. *)
+let search g dv ~src ~dst ~max_hops ~yield =
+  if src = dst then invalid_arg "Dalfar: src = dst";
+  if max_hops < 1 then invalid_arg "Dalfar: max_hops < 1";
+  let n = Graph.node_count g in
+  let cap = min max_hops (n - 1) in
+  let visited = Array.make n false in
+  let stack = Array.make (cap + 1) 0 in
+  let expansions = ref 0 and crankbacks = ref 0 in
+  let viable v budget =
+    (* neighbours ordered by the locally-estimated remaining length *)
+    Graph.successors g v
+    |> List.filter_map (fun w ->
+           if visited.(w) then None
+           else
+             let d = Distance_vector.distance dv ~from:w ~to_:dst in
+             if d = max_int || 1 + d > budget then None else Some (d, w))
+    |> List.sort compare
+    |> List.map snd
+  in
+  let rec explore v depth =
+    stack.(depth) <- v;
+    if v = dst then yield (Array.sub stack 0 (depth + 1))
+    else begin
+      visited.(v) <- true;
+      let budget = cap - depth in
+      let rec try_children = function
+        | [] -> `Continue
+        | w :: rest ->
+          incr expansions;
+          (match explore w (depth + 1) with
+          | `Stop -> `Stop
+          | `Continue -> try_children rest)
+      in
+      let outcome = try_children (viable v budget) in
+      (* the set-up packet returns to v's predecessor *)
+      incr crankbacks;
+      visited.(v) <- false;
+      outcome
+    end
+  in
+  visited.(src) <- true;
+  let (_ : [ `Stop | `Continue ]) = explore src 0 in
+  visited.(src) <- false;
+  { expansions = !expansions; crankbacks = !crankbacks }
+
+let find_paths ?max_paths g dv ~src ~dst ~max_hops =
+  let acc = ref [] in
+  let found = ref 0 in
+  let stats =
+    search g dv ~src ~dst ~max_hops ~yield:(fun nodes ->
+        acc := Path.of_nodes_unchecked g (Array.copy nodes) :: !acc;
+        incr found;
+        match max_paths with
+        | Some m when !found >= m -> `Stop
+        | _ -> `Continue)
+  in
+  (List.rev !acc, stats)
+
+let first_available g dv ~src ~dst ~max_hops ~admits =
+  let result = ref None in
+  let stats =
+    search g dv ~src ~dst ~max_hops ~yield:(fun nodes ->
+        let p = Path.of_nodes_unchecked g (Array.copy nodes) in
+        if admits p then begin
+          result := Some p;
+          `Stop
+        end
+        else `Continue)
+  in
+  match !result with Some p -> Some (p, stats) | None -> None
+
+let matches_enumeration g dv ~src ~dst ~max_hops =
+  let found, _ = find_paths g dv ~src ~dst ~max_hops in
+  let expected = Enumerate.simple_paths ~max_hops g ~src ~dst in
+  let key ps = List.sort compare (List.map Path.nodes ps) in
+  key found = key expected

@@ -1,0 +1,46 @@
+(** DALFAR-style distributed alternate-route discovery [14].
+
+    A call set-up packet carries the path walked so far and a remaining
+    hop budget.  Each node it visits consults only its *local* distance
+    vector: a neighbour [n] is a viable next hop when [n] is unvisited
+    and [1 + distance n destination <= budget].  Viable neighbours are
+    tried in order of increasing shortest-path-via-them length (ties by
+    index), and a dead end cranks the packet back one hop.  Because the
+    distance vector is a lower bound on the true remaining distance
+    (ignoring the visited set only ever shortens it), the search with
+    crankback is exhaustive: it discovers exactly the loop-free paths
+    within the budget, in a length-biased order, while using only
+    per-node local information — the paper's claim that alternate routes
+    "can be deduced with surprising ease from distributed minimum-hop
+    path information".
+
+    Crankbacks are counted so the signalling cost of on-demand alternate
+    routing can be compared against precomputed route tables. *)
+
+open Arnet_topology
+
+type stats = { expansions : int; crankbacks : int }
+
+val find_paths :
+  ?max_paths:int ->
+  Graph.t -> Distance_vector.t -> src:int -> dst:int -> max_hops:int ->
+  Path.t list * stats
+(** All loop-free paths from [src] to [dst] of at most [max_hops] links
+    in discovery order (first [max_paths] if given).  Discovery order is
+    greedy-by-local-estimate; it coincides with global
+    increasing-length order on the first (shortest) path but may differ
+    beyond it.
+    @raise Invalid_argument if [src = dst] or [max_hops < 1]. *)
+
+val first_available :
+  Graph.t -> Distance_vector.t -> src:int -> dst:int -> max_hops:int ->
+  admits:(Path.t -> bool) -> (Path.t * stats) option
+(** On-demand call set-up: walk the same search but stop at the first
+    discovered path accepted by [admits] — how a set-up packet with
+    crankback would actually place a call without any precomputed
+    alternate list. *)
+
+val matches_enumeration :
+  Graph.t -> Distance_vector.t -> src:int -> dst:int -> max_hops:int -> bool
+(** The discovered path *set* equals {!Enumerate.simple_paths} (used by
+    tests; order may differ). *)

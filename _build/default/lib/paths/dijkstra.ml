@@ -1,0 +1,116 @@
+open Arnet_topology
+
+module Pq = struct
+  (* tiny binary min-heap over (priority, payload) *)
+  type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let push h pri x =
+    if h.size = Array.length h.data then begin
+      let cap = max 16 (2 * h.size) in
+      let data = Array.make cap (pri, x) in
+      Array.blit h.data 0 data 0 h.size;
+      h.data <- data
+    end;
+    h.data.(h.size) <- (pri, x);
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      let pp, _ = h.data.(parent) and ip, _ = h.data.(!i) in
+      if ip < pp then begin
+        let tmp = h.data.(parent) in
+        h.data.(parent) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then
+          smallest := l;
+        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then
+          smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let check_weight w =
+  if not (Float.is_finite w) || w < 0. then
+    invalid_arg "Dijkstra: weights must be finite and nonnegative";
+  w
+
+let run g ~weight ~src =
+  let n = Graph.node_count g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra: bad source";
+  let dist = Array.make n infinity in
+  let hops = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Pq.create () in
+  dist.(src) <- 0.;
+  hops.(src) <- 0;
+  Pq.push heap 0. src;
+  let rec loop () =
+    match Pq.pop heap with
+    | None -> ()
+    | Some (_, v) ->
+      if not settled.(v) then begin
+        settled.(v) <- true;
+        let relax (l : Link.t) =
+          let w = check_weight (weight l) in
+          let d = dist.(v) +. w in
+          let better =
+            d < dist.(l.Link.dst)
+            || (d = dist.(l.Link.dst)
+                && (hops.(v) + 1 < hops.(l.Link.dst)
+                    || (hops.(v) + 1 = hops.(l.Link.dst)
+                        && v < parent.(l.Link.dst))))
+          in
+          if better then begin
+            dist.(l.Link.dst) <- d;
+            hops.(l.Link.dst) <- hops.(v) + 1;
+            parent.(l.Link.dst) <- v;
+            Pq.push heap d l.Link.dst
+          end
+        in
+        List.iter relax (Graph.out_links g v)
+      end;
+      loop ()
+  in
+  loop ();
+  (dist, parent)
+
+let distances g ~weight ~src = fst (run g ~weight ~src)
+
+let shortest_path g ~weight ~src ~dst =
+  if src = dst then invalid_arg "Dijkstra.shortest_path: src = dst";
+  let dist, parent = run g ~weight ~src in
+  if dist.(dst) = infinity then None
+  else begin
+    let rec collect v acc =
+      if v = src then v :: acc else collect parent.(v) (v :: acc)
+    in
+    Some (Path.of_nodes_unchecked g (Array.of_list (collect dst [])))
+  end

@@ -1,0 +1,21 @@
+(** Single-source shortest paths under arbitrary nonnegative link
+    weights.
+
+    Used by the Frank-Wolfe primary-flow optimizer, which repeatedly
+    needs minimum-marginal-cost paths, and available as an alternative
+    state-independent base policy. *)
+
+open Arnet_topology
+
+val shortest_path :
+  Graph.t -> weight:(Link.t -> float) -> src:int -> dst:int -> Path.t option
+(** [shortest_path g ~weight ~src ~dst] is a minimum-total-weight path,
+    or [None] when unreachable.  Ties are broken towards fewer hops and
+    then lexicographically smaller node sequences, so results are
+    deterministic.
+    @raise Invalid_argument if a weight is negative or not finite, or if
+    [src = dst]. *)
+
+val distances : Graph.t -> weight:(Link.t -> float) -> src:int -> float array
+(** Weighted distance from [src] to every node; [infinity] where
+    unreachable. *)

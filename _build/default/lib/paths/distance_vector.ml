@@ -1,0 +1,81 @@
+open Arnet_topology
+
+type t = {
+  graph : Graph.t;
+  dist : int array array;  (* dist.(v).(d) *)
+  rounds : int;
+  messages : int;
+}
+
+let infinite = max_int
+
+let compute g =
+  let n = Graph.node_count g in
+  let dist =
+    Array.init n (fun v ->
+        Array.init n (fun d -> if v = d then 0 else infinite))
+  in
+  (* each round, v learns min over in-neighbours' vectors; messages flow
+     along links (a neighbour's vector travels over the link towards v,
+     so v hears from nodes it has a link *to*? No: distances must follow
+     link direction — v can reach d via n when link v->n exists, so v
+     needs n's vector, delivered over the reverse channel of v->n.  We
+     count one message per link per round. *)
+  let rounds = ref 0 and messages = ref 0 and changed = ref true in
+  while !changed do
+    incr rounds;
+    messages := !messages + Graph.link_count g;
+    changed := false;
+    let snapshot = Array.map Array.copy dist in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun (l : Link.t) ->
+          let via = snapshot.(l.Link.dst) in
+          for d = 0 to n - 1 do
+            if via.(d) <> infinite && via.(d) + 1 < dist.(v).(d) then begin
+              dist.(v).(d) <- via.(d) + 1;
+              changed := true
+            end
+          done)
+        (Graph.out_links g v)
+    done
+  done;
+  { graph = g; dist; rounds = !rounds; messages = !messages }
+
+let check t v =
+  if v < 0 || v >= Graph.node_count t.graph then
+    invalid_arg "Distance_vector: bad node"
+
+let distance t ~from ~to_ =
+  check t from;
+  check t to_;
+  t.dist.(from).(to_)
+
+let table t v =
+  check t v;
+  Array.copy t.dist.(v)
+
+let next_hops t ~from ~to_ =
+  check t from;
+  check t to_;
+  if from = to_ then []
+  else
+    let target = t.dist.(from).(to_) in
+    if target = infinite then []
+    else
+      Graph.successors t.graph from
+      |> List.filter (fun n -> t.dist.(n).(to_) = target - 1)
+
+let rounds t = t.rounds
+let messages t = t.messages
+
+let agrees_with_bfs g t =
+  let n = Graph.node_count g in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    let d = Bfs.distances g ~src:v in
+    for u = 0 to n - 1 do
+      if d.(u) <> t.dist.(v).(u) then ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,40 @@
+(** Distributed minimum-hop distance computation (synchronous
+    Bellman-Ford / distance-vector).
+
+    The paper leans on the fact that "minimum-hop paths can be computed
+    in a distributed fashion with ease" and that alternate paths can be
+    deduced from that same information (DALFAR [14]).  This module runs
+    the distance-vector protocol in simulated synchronous rounds — each
+    round, every node sends its current vector to every neighbour — and
+    reports the exchanged-message count, so the control-plane cost of
+    the scheme can be quantified. *)
+
+open Arnet_topology
+
+type t
+
+val compute : Graph.t -> t
+(** Runs the protocol to quiescence (at most [diameter] + 1 rounds). *)
+
+val distance : t -> from:int -> to_:int -> int
+(** Minimum hop count; [max_int] when unreachable.  [distance ~from:v
+    ~to_:v = 0]. *)
+
+val table : t -> int -> int array
+(** [table t v] is node [v]'s full distance vector (indexed by
+    destination).  Fresh copy. *)
+
+val next_hops : t -> from:int -> to_:int -> int list
+(** Neighbours of [from] that lie on some minimum-hop path to [to_]
+    (i.e. [distance n to_ = distance from to_ - 1]), ascending — the
+    deterministic min-hop primary of {!Bfs.min_hop_path} always starts
+    with the first of these. *)
+
+val rounds : t -> int
+(** Synchronous rounds until no vector changed. *)
+
+val messages : t -> int
+(** Total neighbour-to-neighbour vector transmissions. *)
+
+val agrees_with_bfs : Graph.t -> t -> bool
+(** Cross-check against the centralized computation (used by tests). *)

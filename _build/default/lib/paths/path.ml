@@ -1,0 +1,49 @@
+open Arnet_topology
+
+type t = { nodes : int array; link_ids : int array }
+
+let resolve g nodes =
+  let n = Array.length nodes in
+  if n < 2 then invalid_arg "Path: need at least two nodes";
+  let link_ids =
+    Array.init (n - 1) (fun i ->
+        match Graph.find_link g ~src:nodes.(i) ~dst:nodes.(i + 1) with
+        | Some l -> l.Link.id
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Path: no link %d->%d" nodes.(i) nodes.(i + 1)))
+  in
+  { nodes; link_ids }
+
+let of_nodes_unchecked g nodes = resolve g nodes
+
+let make g node_list =
+  let nodes = Array.of_list node_list in
+  let seen = Hashtbl.create (Array.length nodes) in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem seen v then invalid_arg "Path: repeated node";
+      Hashtbl.add seen v ())
+    nodes;
+  resolve g nodes
+
+let hops p = Array.length p.link_ids
+let src p = p.nodes.(0)
+let dst p = p.nodes.(Array.length p.nodes - 1)
+let nodes p = Array.to_list p.nodes
+let link_ids p = Array.to_list p.link_ids
+let links g p = List.map (Graph.link g) (link_ids p)
+let mem_node p v = Array.exists (fun x -> x = v) p.nodes
+let mem_link p i = Array.exists (fun x -> x = i) p.link_ids
+let equal a b = a.nodes = b.nodes
+
+let compare_by_length a b =
+  match compare (hops a) (hops b) with
+  | 0 -> compare a.nodes b.nodes
+  | c -> c
+
+let pp ppf p =
+  Format.fprintf ppf "[%s]"
+    (String.concat "-" (Array.to_list (Array.map string_of_int p.nodes)))
+
+let to_string p = Format.asprintf "%a" pp p

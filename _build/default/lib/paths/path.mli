@@ -1,0 +1,45 @@
+(** Loop-free directed paths through a {!Arnet_topology.Graph.t}.
+
+    A path is stored as its node sequence; the link sequence is derived
+    and cached at construction, so simulators can walk link ids without
+    hash lookups. *)
+
+open Arnet_topology
+
+type t = private {
+  nodes : int array;  (** node sequence, length [hops + 1] *)
+  link_ids : int array;  (** ids of the traversed links, length [hops] *)
+}
+
+val make : Graph.t -> int list -> t
+(** [make g nodes] checks that consecutive nodes are linked in [g] and
+    that no node repeats.
+    @raise Invalid_argument on a malformed or looping sequence. *)
+
+val of_nodes_unchecked : Graph.t -> int array -> t
+(** Trusted constructor for algorithms that already guarantee validity.
+    Still resolves (and therefore checks existence of) every link. *)
+
+val hops : t -> int
+(** Number of links. *)
+
+val src : t -> int
+val dst : t -> int
+val nodes : t -> int list
+val link_ids : t -> int list
+
+val links : Graph.t -> t -> Link.t list
+(** The traversed links, in order. *)
+
+val mem_node : t -> int -> bool
+val mem_link : t -> int -> bool
+
+val equal : t -> t -> bool
+
+val compare_by_length : t -> t -> int
+(** Orders by hop count first, then lexicographically by node sequence —
+    the deterministic "increasing length" order in which alternates are
+    attempted. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,107 @@
+open Arnet_topology
+
+type entry = { primary : Path.t option; candidates : Path.t list }
+(* candidates: all simple paths <= h hops, sorted by length; may or may
+   not contain the primary (which can be longer than h). *)
+
+type t = { graph : Graph.t; h : int; entries : entry array array }
+
+let build ?h ?primary g =
+  let n = Graph.node_count g in
+  let h = match h with None -> n - 1 | Some h -> h in
+  if h < 1 then invalid_arg "Route_table.build: h < 1";
+  let primary_of =
+    match primary with
+    | Some f -> f
+    | None -> fun ~src ~dst -> Bfs.min_hop_path g ~src ~dst
+  in
+  let entry src dst =
+    if src = dst then { primary = None; candidates = [] }
+    else
+      let primary = primary_of ~src ~dst in
+      let candidates = Enumerate.simple_paths ~max_hops:h g ~src ~dst in
+      (match primary, candidates with
+      | None, _ :: _ ->
+        invalid_arg "Route_table.build: primary policy returned no path \
+                     for a connected pair"
+      | _ -> ());
+      { primary; candidates }
+  in
+  let entries = Array.init n (fun src -> Array.init n (entry src)) in
+  { graph = g; h; entries }
+
+let graph t = t.graph
+let h t = t.h
+
+let get t src dst =
+  let n = Graph.node_count t.graph in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Route_table: bad node index";
+  t.entries.(src).(dst)
+
+let primary t ~src ~dst =
+  match (get t src dst).primary with
+  | Some p -> p
+  | None -> invalid_arg "Route_table.primary: no route"
+
+let has_route t ~src ~dst = (get t src dst).primary <> None
+
+let alternates_excluding t ~src ~dst p =
+  List.filter (fun q -> not (Path.equal q p)) (get t src dst).candidates
+
+let alternates t ~src ~dst =
+  match (get t src dst).primary with
+  | None -> []
+  | Some p -> alternates_excluding t ~src ~dst p
+
+let all_paths t ~src ~dst =
+  let e = get t src dst in
+  match e.primary with
+  | None -> e.candidates
+  | Some p ->
+    if List.exists (Path.equal p) e.candidates then e.candidates
+    else List.sort Path.compare_by_length (p :: e.candidates)
+
+let max_alternate_hops t =
+  let n = Graph.node_count t.graph in
+  let best = ref 0 in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then
+        List.iter
+          (fun p -> best := max !best (Path.hops p))
+          (alternates t ~src ~dst)
+    done
+  done;
+  !best
+
+let alternate_count_stats t ~min:mn ~max:mx =
+  let n = Graph.node_count t.graph in
+  mn := max_int;
+  mx := 0;
+  let total = ref 0 and pairs = ref 0 in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst && has_route t ~src ~dst then begin
+        let c = List.length (alternates t ~src ~dst) in
+        incr pairs;
+        total := !total + c;
+        if c < !mn then mn := c;
+        if c > !mx then mx := c
+      end
+    done
+  done;
+  if !pairs = 0 then 0. else float_of_int !total /. float_of_int !pairs
+
+let pp ppf t =
+  let n = Graph.node_count t.graph in
+  Format.fprintf ppf "@[<v>route table (H=%d)" t.h;
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst && has_route t ~src ~dst then
+        Format.fprintf ppf "@,  %d->%d: primary %a, %d alternates" src dst
+          Path.pp (primary t ~src ~dst)
+          (List.length (alternates t ~src ~dst))
+    done
+  done;
+  Format.fprintf ppf "@]"

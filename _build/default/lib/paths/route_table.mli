@@ -1,0 +1,63 @@
+(** Precomputed routing tables: one primary path plus ordered alternates
+    per ordered O-D pair.
+
+    This is the static product of the paper's two-tier design: the SI
+    tier fixes the unique primary path; the SD tier will attempt the
+    alternates in the stored order (increasing hop length, as computed in
+    a distributed fashion by DALFAR [14] — here centralized but
+    identical in result).  An alternate whose hop count exceeds [H] is
+    excluded (Section 3.1); primaries are never length-capped
+    (Section 3.2: "H has nothing to do with the length of primary
+    paths"). *)
+
+open Arnet_topology
+
+type t
+
+val build :
+  ?h:int ->
+  ?primary:(src:int -> dst:int -> Path.t option) ->
+  Graph.t -> t
+(** [build ?h ?primary g] computes routes for every ordered pair.
+
+    [h] is the maximum alternate hop length [H]; default: [node_count - 1]
+    (unrestricted loop-free, the paper's "H = 11" case on NSFNet).
+    [primary] overrides the default deterministic minimum-hop primary —
+    use it for bifurcated or custom SI policies (alternates always exclude
+    whatever primary path is in force at call time, see
+    {!alternates_excluding}).
+
+    @raise Invalid_argument if [h < 1] or some pair has no primary path
+    while the graph claims connectivity for it. *)
+
+val graph : t -> Graph.t
+val h : t -> int
+
+val primary : t -> src:int -> dst:int -> Path.t
+(** @raise Invalid_argument when [src = dst] or no route exists. *)
+
+val has_route : t -> src:int -> dst:int -> bool
+
+val alternates : t -> src:int -> dst:int -> Path.t list
+(** Loop-free paths of at most [h] hops, excluding the primary, in
+    attempt order. *)
+
+val alternates_excluding : t -> src:int -> dst:int -> Path.t -> Path.t list
+(** Alternates when the pair's primary for this particular call is the
+    given path (used with bifurcated primaries): all stored candidate
+    paths minus that path. *)
+
+val all_paths : t -> src:int -> dst:int -> Path.t list
+(** Primary-eligible plus alternate candidates: every loop-free path of at
+    most [h] hops, plus the primary even if longer than [h]; sorted by
+    increasing length. *)
+
+val max_alternate_hops : t -> int
+(** Longest alternate stored in the table — by construction [<= h]. *)
+
+val alternate_count_stats : t -> min:int ref -> max:int ref -> float
+(** Average alternate count over connected ordered pairs; also writes the
+    min and max (the paper reports avg ~9, max 15, min 5 for NSFNet at
+    H = 11). *)
+
+val pp : Format.formatter -> t -> unit

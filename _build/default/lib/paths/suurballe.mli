@@ -1,0 +1,30 @@
+(** Suurballe's algorithm: a minimum-total-weight pair of link-disjoint
+    paths.
+
+    Alternate routing leans on path diversity; a natural hardening of
+    the scheme is to keep one alternate that shares *no link* with the
+    primary, so any single link failure (Section 4.2.2) leaves the pair
+    connected.  Suurballe's two-pass construction finds the cheapest
+    such pair: shortest-path potentials turn all reduced costs
+    nonnegative, the first path's links are reversed in a residual
+    graph, a second Dijkstra runs there, and overlapping opposite links
+    cancel. *)
+
+open Arnet_topology
+
+val disjoint_pair :
+  ?weight:(Link.t -> float) ->
+  Graph.t -> src:int -> dst:int -> (Path.t * Path.t) option
+(** [disjoint_pair g ~src ~dst] is a pair of link-disjoint paths
+    minimizing summed weight (default: hop count), with the shorter
+    first; [None] when no two link-disjoint paths exist.  Ties broken
+    deterministically.
+    @raise Invalid_argument when [src = dst] or a weight is negative or
+    non-finite. *)
+
+val is_link_disjoint : Path.t -> Path.t -> bool
+
+val edge_connectivity_at_least_two : Graph.t -> bool
+(** Every ordered pair of distinct nodes admits a link-disjoint pair —
+    i.e. single-link failures never disconnect any O-D pair.  (True of
+    the NSFNet backbone; checked in tests.) *)

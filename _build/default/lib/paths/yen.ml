@@ -1,0 +1,155 @@
+open Arnet_topology
+
+let path_weight g weight p =
+  List.fold_left (fun acc l -> acc +. weight l) 0. (Path.links g p)
+
+(* Dijkstra restricted to a subgraph: nodes and links may be banned. *)
+let restricted_shortest g ~weight ~banned_nodes ~banned_links ~src ~dst =
+  let adjusted (l : Link.t) =
+    if banned_links l.Link.id || banned_nodes l.Link.dst then infinity
+    else weight l
+  in
+  (* Dijkstra rejects non-finite weights, so filter via a wrapper graph
+     walk instead: run our own small Dijkstra here. *)
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let module Pq = Set.Make (struct
+    type t = float * int
+
+    let compare = compare
+  end) in
+  let pq = ref (Pq.singleton (0., src)) in
+  dist.(src) <- 0.;
+  let rec loop () =
+    match Pq.min_elt_opt !pq with
+    | None -> ()
+    | Some ((d, v) as elt) ->
+      pq := Pq.remove elt !pq;
+      if not settled.(v) then begin
+        settled.(v) <- true;
+        let relax (l : Link.t) =
+          let w = adjusted l in
+          if Float.is_finite w then begin
+            let nd = d +. w in
+            let u = l.Link.dst in
+            if
+              nd < dist.(u)
+              || (nd = dist.(u) && parent.(u) >= 0 && v < parent.(u))
+            then begin
+              dist.(u) <- nd;
+              parent.(u) <- v;
+              pq := Pq.add (nd, u) !pq
+            end
+          end
+        in
+        List.iter relax (Graph.out_links g v)
+      end;
+      loop ()
+  in
+  loop ();
+  if dist.(dst) = infinity then None
+  else begin
+    let rec collect v acc =
+      if v = src then v :: acc else collect parent.(v) (v :: acc)
+    in
+    Some (Path.of_nodes_unchecked g (Array.of_list (collect dst [])))
+  end
+
+module Path_set = Set.Make (struct
+  type t = Path.t
+
+  let compare a b = compare (Path.nodes a) (Path.nodes b)
+end)
+
+let k_shortest ?weight g ~src ~dst ~k =
+  if k < 1 then invalid_arg "Yen.k_shortest: k < 1";
+  if src = dst then invalid_arg "Yen.k_shortest: src = dst";
+  let weight = match weight with None -> fun _ -> 1. | Some w -> w in
+  let order a b =
+    match compare (path_weight g weight a) (path_weight g weight b) with
+    | 0 -> Path.compare_by_length a b
+    | c -> c
+  in
+  match
+    restricted_shortest g ~weight
+      ~banned_nodes:(fun _ -> false)
+      ~banned_links:(fun _ -> false)
+      ~src ~dst
+  with
+  | None -> []
+  | Some first ->
+    let accepted = ref [ first ] in
+    let seen = ref (Path_set.singleton first) in
+    let candidates = ref [] in
+    let add_candidate p =
+      if not (Path_set.mem p !seen) then begin
+        seen := Path_set.add p !seen;
+        candidates := p :: !candidates
+      end
+    in
+    let rec grow () =
+      if List.length !accepted >= k then ()
+      else begin
+        let last = List.hd !accepted in
+        let last_nodes = Array.of_list (Path.nodes last) in
+        (* spur from every prefix of the latest accepted path *)
+        for i = 0 to Array.length last_nodes - 2 do
+          let spur = last_nodes.(i) in
+          let root = Array.sub last_nodes 0 (i + 1) in
+          let root_list = Array.to_list root in
+          (* links leaving the spur node that coincide with an accepted
+             path sharing this root are banned *)
+          let banned_link_tbl = Hashtbl.create 8 in
+          let ban_from p =
+            let ns = Array.of_list (Path.nodes p) in
+            if Array.length ns > i + 1 then begin
+              let same_root = ref true in
+              for j = 0 to i do
+                if ns.(j) <> root.(j) then same_root := false
+              done;
+              if !same_root then
+                match Graph.find_link g ~src:ns.(i) ~dst:ns.(i + 1) with
+                | Some l -> Hashtbl.replace banned_link_tbl l.Link.id ()
+                | None -> ()
+            end
+          in
+          List.iter ban_from !accepted;
+          let banned_node_tbl = Hashtbl.create 8 in
+          List.iteri
+            (fun j v -> if j < i then Hashtbl.replace banned_node_tbl v ())
+            root_list;
+          let spur_path =
+            restricted_shortest g ~weight
+              ~banned_nodes:(Hashtbl.mem banned_node_tbl)
+              ~banned_links:(Hashtbl.mem banned_link_tbl)
+              ~src:spur ~dst
+          in
+          match spur_path with
+          | None -> ()
+          | Some tail ->
+            let tail_nodes = Array.of_list (Path.nodes tail) in
+            let full =
+              Array.append root (Array.sub tail_nodes 1 (Array.length tail_nodes - 1))
+            in
+            (* reject if the splice repeats a node *)
+            let tbl = Hashtbl.create (Array.length full) in
+            let ok = ref true in
+            Array.iter
+              (fun v ->
+                if Hashtbl.mem tbl v then ok := false
+                else Hashtbl.add tbl v ())
+              full;
+            if !ok then add_candidate (Path.of_nodes_unchecked g full)
+        done;
+        match List.sort order !candidates with
+        | [] -> ()
+        | best :: rest ->
+          candidates := rest;
+          accepted := best :: !accepted;
+          grow ()
+      end
+    in
+    grow ();
+    List.sort order !accepted

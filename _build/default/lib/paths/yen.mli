@@ -1,0 +1,18 @@
+(** Yen's algorithm: K shortest loop-free paths.
+
+    The paper computes "primary paths and (loop-free) alternate paths
+    ordered by increasing length ... using a K-shortest path algorithm"
+    (Section 4.2.1).  This module provides that algorithm for hop counts
+    or arbitrary nonnegative weights; it also feeds the candidate-path
+    sets of the min-link-loss optimizer. *)
+
+open Arnet_topology
+
+val k_shortest :
+  ?weight:(Link.t -> float) ->
+  Graph.t -> src:int -> dst:int -> k:int -> Path.t list
+(** [k_shortest g ~src ~dst ~k] returns up to [k] distinct loop-free
+    paths in nondecreasing weight order (default weight: 1 per link,
+    i.e. hop count).  Equal-weight paths are ordered by
+    {!Path.compare_by_length}, so results are deterministic.
+    @raise Invalid_argument when [k < 1] or [src = dst]. *)

@@ -1,0 +1,1 @@
+lib/serial/spec.ml: Arnet_topology Arnet_traffic Array Buffer Graph Hashtbl Link List Matrix Printf String

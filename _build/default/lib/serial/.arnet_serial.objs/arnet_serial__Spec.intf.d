@@ -1,0 +1,1 @@
+lib/serial/spec.mli: Arnet_topology Arnet_traffic Graph Matrix

@@ -1,0 +1,190 @@
+open Arnet_topology
+open Arnet_traffic
+
+type t = { graph : Graph.t; matrix : Matrix.t option }
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+type accum = {
+  mutable nodes : int option;
+  mutable labels : (int * string) list;
+  mutable links : (int * int * int) list;  (* src, dst, capacity *)
+  mutable demands : ((int * int) * float) list;
+}
+
+let parse_int line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "expected an integer %s, got %S" what s)
+
+let parse_float line what s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "expected a number %s, got %S" what s)
+
+let node_in_range acc line v =
+  match acc.nodes with
+  | None -> fail line "directive before 'nodes'"
+  | Some n ->
+    if v < 0 || v >= n then
+      fail line (Printf.sprintf "node %d out of range [0, %d)" v n);
+    v
+
+let add_link acc line src dst capacity =
+  if src = dst then fail line "self-loop link";
+  if capacity < 0 then fail line "negative capacity";
+  if List.exists (fun (s, d, _) -> s = src && d = dst) acc.links then
+    fail line (Printf.sprintf "duplicate link %d->%d" src dst);
+  acc.links <- (src, dst, capacity) :: acc.links
+
+let handle_line acc lineno raw =
+  let stripped =
+    match String.index_opt raw '#' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  let words =
+    String.split_on_char ' ' (String.trim stripped)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> ()
+  | [ "nodes"; n ] ->
+    if acc.nodes <> None then fail lineno "duplicate 'nodes'";
+    let n = parse_int lineno "node count" n in
+    if n < 2 then fail lineno "need at least 2 nodes";
+    acc.nodes <- Some n
+  | "nodes" :: _ -> fail lineno "usage: nodes N"
+  | [ "label"; v; name ] ->
+    let v = node_in_range acc lineno (parse_int lineno "node" v) in
+    if List.mem_assoc v acc.labels then fail lineno "duplicate label";
+    acc.labels <- (v, name) :: acc.labels
+  | "label" :: _ -> fail lineno "usage: label NODE NAME"
+  | [ "link"; src; dst; cap ] ->
+    let src = node_in_range acc lineno (parse_int lineno "src" src) in
+    let dst = node_in_range acc lineno (parse_int lineno "dst" dst) in
+    add_link acc lineno src dst (parse_int lineno "capacity" cap)
+  | "link" :: _ -> fail lineno "usage: link SRC DST CAPACITY"
+  | [ "edge"; a; b; cap ] ->
+    let a = node_in_range acc lineno (parse_int lineno "endpoint" a) in
+    let b = node_in_range acc lineno (parse_int lineno "endpoint" b) in
+    let cap = parse_int lineno "capacity" cap in
+    add_link acc lineno a b cap;
+    add_link acc lineno b a cap
+  | "edge" :: _ -> fail lineno "usage: edge A B CAPACITY"
+  | [ "demand"; src; dst; erlangs ] ->
+    let src = node_in_range acc lineno (parse_int lineno "src" src) in
+    let dst = node_in_range acc lineno (parse_int lineno "dst" dst) in
+    if src = dst then fail lineno "demand to self";
+    let d = parse_float lineno "demand" erlangs in
+    if d < 0. then fail lineno "negative demand";
+    if List.mem_assoc (src, dst) acc.demands then
+      fail lineno (Printf.sprintf "duplicate demand %d->%d" src dst);
+    acc.demands <- ((src, dst), d) :: acc.demands
+  | "demand" :: _ -> fail lineno "usage: demand SRC DST ERLANGS"
+  | word :: _ -> fail lineno (Printf.sprintf "unknown directive %S" word)
+
+let of_string text =
+  let acc = { nodes = None; labels = []; links = []; demands = [] } in
+  List.iteri
+    (fun i line -> handle_line acc (i + 1) line)
+    (String.split_on_char '\n' text);
+  match acc.nodes with
+  | None -> fail 0 "missing 'nodes' directive"
+  | Some n ->
+    let labels =
+      Array.init n (fun v ->
+          match List.assoc_opt v acc.labels with
+          | Some name -> name
+          | None -> string_of_int v)
+    in
+    let links =
+      List.rev acc.links
+      |> List.mapi (fun id (src, dst, capacity) ->
+             Link.make ~id ~src ~dst ~capacity)
+    in
+    let graph = Graph.create ~labels ~nodes:n links in
+    let matrix =
+      if acc.demands = [] then None
+      else
+        Some
+          (Matrix.make ~nodes:n (fun i j ->
+               match List.assoc_opt (i, j) acc.demands with
+               | Some d -> d
+               | None -> 0.))
+    in
+    { graph; matrix }
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text
+
+let to_string ?matrix graph =
+  let buf = Buffer.create 256 in
+  let n = Graph.node_count graph in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" n);
+  for v = 0 to n - 1 do
+    let label = Graph.label graph v in
+    if label <> string_of_int v then
+      Buffer.add_string buf (Printf.sprintf "label %d %s\n" v label)
+  done;
+  let emitted = Hashtbl.create 16 in
+  Graph.iter_links
+    (fun l ->
+      if not (Hashtbl.mem emitted l.Link.id) then begin
+        let twin =
+          Graph.find_link graph ~src:l.Link.dst ~dst:l.Link.src
+        in
+        match twin with
+        | Some r when r.Link.capacity = l.Link.capacity ->
+          Hashtbl.add emitted l.Link.id ();
+          Hashtbl.add emitted r.Link.id ();
+          Buffer.add_string buf
+            (Printf.sprintf "edge %d %d %d\n" l.Link.src l.Link.dst
+               l.Link.capacity)
+        | _ ->
+          Hashtbl.add emitted l.Link.id ();
+          Buffer.add_string buf
+            (Printf.sprintf "link %d %d %d\n" l.Link.src l.Link.dst
+               l.Link.capacity)
+      end)
+    graph;
+  (match matrix with
+  | None -> ()
+  | Some m ->
+    Matrix.iter_demands m (fun i j d ->
+        Buffer.add_string buf (Printf.sprintf "demand %d %d %.12g\n" i j d)));
+  Buffer.contents buf
+
+let graphs_equal a b =
+  Graph.node_count a = Graph.node_count b
+  && Graph.link_count a = Graph.link_count b
+  && Graph.fold_links
+       (fun l ok ->
+         ok
+         &&
+         match Graph.find_link b ~src:l.Link.src ~dst:l.Link.dst with
+         | Some r -> r.Link.capacity = l.Link.capacity
+         | None -> false)
+       a true
+  && List.for_all
+       (fun v -> Graph.label a v = Graph.label b v)
+       (List.init (Graph.node_count a) (fun i -> i))
+
+let roundtrip_ok ?matrix graph =
+  let { graph = graph'; matrix = matrix' } =
+    of_string (to_string ?matrix graph)
+  in
+  graphs_equal graph graph'
+  &&
+  match (matrix, matrix') with
+  | None, None -> true
+  | Some m, Some m' -> Matrix.max_abs_diff m m' < 1e-9
+  | Some m, None -> Matrix.total m = 0.
+  | None, Some _ -> false

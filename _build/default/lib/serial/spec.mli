@@ -1,0 +1,43 @@
+(** Plain-text network specifications.
+
+    A line-oriented format for loading user topologies and traffic
+    matrices into the CLI and examples:
+
+    {v
+    # comment (blank lines ignored)
+    nodes 4
+    label 0 Seattle
+    edge 0 1 100        # a pair of opposite links, capacity 100 each
+    link 2 3 50         # a single directed link
+    demand 0 1 12.5     # Erlangs offered from 0 to 1
+    v}
+
+    [nodes] must come before any other directive.  Labels, links/edges
+    and demands may appear in any order after it.  Duplicate links (in
+    the same direction) and duplicate demands are errors. *)
+
+open Arnet_topology
+open Arnet_traffic
+
+type t = {
+  graph : Graph.t;
+  matrix : Matrix.t option;  (** present iff any [demand] line appeared *)
+}
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val of_file : string -> t
+(** @raise Sys_error when unreadable, [Parse_error] when malformed. *)
+
+val to_string : ?matrix:Matrix.t -> Graph.t -> string
+(** Render a spec that {!of_string} parses back to an equal network:
+    opposite equal-capacity link pairs become [edge] lines, the rest
+    [link] lines; positive demands become [demand] lines. *)
+
+val roundtrip_ok : ?matrix:Matrix.t -> Graph.t -> bool
+(** Structural equality of graph (and matrix) after a
+    render-parse cycle — used by tests. *)

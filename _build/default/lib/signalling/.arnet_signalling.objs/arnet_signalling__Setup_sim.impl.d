@@ -1,0 +1,1 @@
+lib/signalling/setup_sim.ml: Admission Arnet_core Arnet_paths Arnet_sim Arnet_topology Arnet_traffic Array Engine Event_queue Float Graph Link List Path Route_table Scheme Stats Trace

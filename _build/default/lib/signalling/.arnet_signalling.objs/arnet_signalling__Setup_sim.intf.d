@@ -1,0 +1,1 @@
+lib/signalling/setup_sim.mli: Arnet_paths Arnet_sim Arnet_topology Graph Route_table

@@ -1,0 +1,70 @@
+(** Packet-level call-signalling simulation.
+
+    The paper's set-up protocol (Section 1): "A call set-up packet ...
+    zips along the primary path checking to see whether sufficient
+    resources exist on each link of the primary path.  If they do,
+    resources are booked on its way back, and the call commences.  If
+    resources are not available on the primary path, alternate paths are
+    successively attempted."
+
+    The main engine treats that whole exchange as atomic — valid when
+    signalling is instantaneous relative to holding times, which the
+    paper assumes ("the amount of bandwidth required for this purpose
+    should be typically negligible").  This module removes the
+    assumption: the set-up packet takes [hop_latency] per link in each
+    direction, admission is *checked* on the forward pass but capacity is
+    only *booked* on the backward pass, and a competing call can steal
+    the capacity in between (glare).  A booking failure releases the
+    partial reservation and the set-up retries on the next path, exactly
+    like a forward-pass rejection.
+
+    With [hop_latency = 0] the semantics coincide with
+    {!Arnet_sim.Engine} (verified by tests); the experiment section
+    quantifies how blocking and glare grow as signalling slows. *)
+
+open Arnet_topology
+open Arnet_paths
+
+type stats = {
+  offered : int;
+  blocked : int;
+  carried_primary : int;
+  carried_alternate : int;
+  glare_events : int;
+      (** backward-pass booking failures (capacity stolen between check
+          and booking) *)
+  setup_attempts : int;  (** path attempts over all calls *)
+  total_setup_latency : float;
+      (** summed time from arrival to successful booking, carried calls
+          only *)
+}
+
+val blocking : stats -> float
+val mean_setup_latency : stats -> float
+(** Over carried calls; 0 when none. *)
+
+val run :
+  ?warmup:float ->
+  ?hop_latency:float ->
+  graph:Graph.t ->
+  routes:Route_table.t ->
+  reserves:int array ->
+  allow_alternates:bool ->
+  Arnet_sim.Trace.t ->
+  stats
+(** Replay a trace through the signalling protocol under the given
+    admission rules (reserves all zero = uncontrolled; see
+    {!Arnet_core.Admission}).  [hop_latency] (default 0.01 time units)
+    is the one-way per-link signalling delay.  Holding starts when the
+    backward pass completes at the origin.
+    @raise Invalid_argument on size mismatches or a negative latency. *)
+
+val compare_with_atomic :
+  ?warmup:float ->
+  graph:Graph.t ->
+  routes:Route_table.t ->
+  reserves:int array ->
+  Arnet_sim.Trace.t ->
+  bool
+(** At zero latency, carried/blocked counts must equal the atomic
+    engine's controlled scheme on the same trace (test hook). *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Arnet_paths Arnet_topology Arnet_traffic Array Event_queue Graph Link List Path Rng Stats Trace

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Arnet_paths Arnet_topology Arnet_traffic Graph Path Stats Trace

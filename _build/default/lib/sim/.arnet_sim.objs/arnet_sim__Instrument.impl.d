@@ -1,0 +1,1 @@
+lib/sim/instrument.ml: Arnet_paths Arnet_topology Array Engine Graph Link List Stdlib Trace

@@ -1,0 +1,1 @@
+lib/sim/instrument.mli: Arnet_topology Engine Graph

@@ -1,0 +1,1 @@
+lib/sim/time_series.ml: Array Engine Float List Stdlib Trace

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Arnet_traffic Array Float List Matrix Rng

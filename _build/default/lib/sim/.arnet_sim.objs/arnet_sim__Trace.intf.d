@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Arnet_traffic Matrix Rng

@@ -1,0 +1,89 @@
+open Arnet_topology
+open Arnet_paths
+
+type outcome = Routed of Path.t | Lost
+
+type policy = {
+  name : string;
+  decide : occupancy:int array -> call:Trace.call -> outcome;
+  is_primary : call:Trace.call -> Path.t -> bool;
+}
+
+let run ?(warmup = 10.) ~graph ~policy trace =
+  let { Trace.calls; duration; matrix } = trace in
+  if warmup < 0. || warmup >= duration then
+    invalid_arg "Engine.run: warmup must be in [0, duration)";
+  if Arnet_traffic.Matrix.nodes matrix <> Graph.node_count graph then
+    invalid_arg "Engine.run: trace/graph size mismatch";
+  let m = Graph.link_count graph in
+  let capacity = Array.make m 0 in
+  Graph.iter_links
+    (fun l -> capacity.(l.Link.id) <- l.Link.capacity)
+    graph;
+  let occupancy = Array.make m 0 in
+  let departures : int array Event_queue.t = Event_queue.create () in
+  let stats = Stats.empty ~nodes:(Graph.node_count graph) in
+  let release _time link_ids =
+    Array.iter
+      (fun id ->
+        occupancy.(id) <- occupancy.(id) - 1;
+        assert (occupancy.(id) >= 0))
+      link_ids
+  in
+  let admit (call : Trace.call) (p : Path.t) =
+    let ids = p.Path.link_ids in
+    Array.iter
+      (fun id ->
+        if id < 0 || id >= m then
+          invalid_arg "Engine.run: policy routed over unknown link";
+        if occupancy.(id) >= capacity.(id) then
+          invalid_arg "Engine.run: policy routed over a full link";
+        occupancy.(id) <- occupancy.(id) + 1)
+      ids;
+    Event_queue.push departures ~time:(call.Trace.time +. call.Trace.holding)
+      (Array.copy ids)
+  in
+  let handle (call : Trace.call) =
+    Event_queue.pop_until departures ~time:call.Trace.time ~f:release;
+    let measured = call.Trace.time >= warmup in
+    if measured then
+      Stats.record_offered stats ~src:call.Trace.src ~dst:call.Trace.dst;
+    match policy.decide ~occupancy ~call with
+    | Lost ->
+      if measured then
+        Stats.record_blocked stats ~src:call.Trace.src ~dst:call.Trace.dst
+    | Routed p ->
+      if Path.src p <> call.Trace.src || Path.dst p <> call.Trace.dst then
+        invalid_arg "Engine.run: policy routed to wrong endpoints";
+      admit call p;
+      if measured then
+        if policy.is_primary ~call p then Stats.record_primary stats
+        else Stats.record_alternate stats ~hops:(Path.hops p)
+  in
+  Array.iter handle calls;
+  stats
+
+let replicate_fresh ?warmup ?mean_holding ~seeds ~duration ~graph ~matrix
+    ~policies () =
+  if seeds = [] then invalid_arg "Engine.replicate: no seeds";
+  let names = List.map (fun p -> p.name) (policies ()) in
+  let results = List.map (fun name -> (name, ref [])) names in
+  let one_seed seed =
+    let rng = Rng.substream (Rng.create ~seed) "trace" in
+    let trace = Trace.generate ?mean_holding ~rng ~duration matrix in
+    let fresh = policies () in
+    if List.map (fun p -> p.name) fresh <> names then
+      invalid_arg "Engine.replicate_fresh: factory changed policy names";
+    List.iter2
+      (fun policy (_, acc) ->
+        acc := run ?warmup ~graph ~policy trace :: !acc)
+      fresh results
+  in
+  List.iter one_seed seeds;
+  List.map (fun (name, acc) -> (name, List.rev !acc)) results
+
+let replicate ?warmup ?mean_holding ~seeds ~duration ~graph ~matrix ~policies
+    () =
+  replicate_fresh ?warmup ?mean_holding ~seeds ~duration ~graph ~matrix
+    ~policies:(fun () -> policies)
+    ()

@@ -1,0 +1,70 @@
+(** The call-by-call discrete-event simulator.
+
+    Reproduces the paper's experimental methodology (Section 4): a run
+    replays a pre-generated {!Trace} through a routing policy over a
+    network, with an idle-start warm-up period excluded from statistics;
+    replications re-generate the trace under fresh seeds and replay the
+    *same* trace through every policy being compared. *)
+
+open Arnet_topology
+open Arnet_paths
+
+type outcome =
+  | Routed of Path.t  (** call admitted on this path *)
+  | Lost  (** call blocked *)
+
+type policy = {
+  name : string;
+  decide : occupancy:int array -> call:Trace.call -> outcome;
+      (** Given current per-link occupancy (indexed by link id; read
+          only), choose a path or block.  The engine verifies that a
+          returned path has spare capacity on every link and connects the
+          call's endpoints. *)
+  is_primary : call:Trace.call -> Path.t -> bool;
+      (** Classifies a routed path for the primary/alternate counters. *)
+}
+
+val run :
+  ?warmup:float -> graph:Graph.t -> policy:policy -> Trace.t -> Stats.t
+(** [run ~graph ~policy trace] simulates the whole trace and returns
+    statistics over the window [\[warmup, duration)] (default warm-up
+    10 time units, the paper's choice; must be [< duration]).
+
+    @raise Invalid_argument if the policy routes over a full or
+    nonexistent link (a policy bug), or on size mismatches. *)
+
+val replicate :
+  ?warmup:float ->
+  ?mean_holding:float ->
+  seeds:int list ->
+  duration:float ->
+  graph:Graph.t ->
+  matrix:Arnet_traffic.Matrix.t ->
+  policies:policy list ->
+  unit ->
+  (string * Stats.t list) list
+(** For each seed: generate one trace and replay it through every policy.
+    Returns, per policy (in the given order), the per-seed statistics.
+    This is the paper's "run for each of 10 different seeds ... each
+    algorithm was run with identical call arrivals and call holding
+    times".
+
+    Policies are reused across seeds, so they must be stateless between
+    runs — true of every {!Arnet_core.Scheme} constructor except the
+    adaptive one.  For policies with internal state use
+    {!replicate_fresh}. *)
+
+val replicate_fresh :
+  ?warmup:float ->
+  ?mean_holding:float ->
+  seeds:int list ->
+  duration:float ->
+  graph:Graph.t ->
+  matrix:Arnet_traffic.Matrix.t ->
+  policies:(unit -> policy list) ->
+  unit ->
+  (string * Stats.t list) list
+(** Like {!replicate} but rebuilds the policy list for every seed, so
+    policies that learn during a run (estimators, adaptive thresholds)
+    start each replication clean.  The factory must produce the same
+    policy names in the same order each time. *)

@@ -1,0 +1,72 @@
+type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+let clear h = h.size <- 0
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let push h ~time x =
+  if not (Float.is_finite time) then invalid_arg "Event_queue.push: bad time";
+  if h.size = Array.length h.data then begin
+    let cap = Stdlib.max 16 (2 * h.size) in
+    let data = Array.make cap (time, x) in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end;
+  h.data.(h.size) <- (time, x);
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if fst h.data.(!i) < fst h.data.(parent) then begin
+      swap h !i parent;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek_time h = if h.size = 0 then None else Some (fst h.data.(0))
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then
+          smallest := l;
+        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then
+          smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some top
+  end
+
+let pop_until h ~time ~f =
+  let continue = ref true in
+  while !continue do
+    match peek_time h with
+    | Some t when t <= time -> begin
+      match pop h with
+      | Some (t, x) -> f t x
+      | None -> continue := false
+    end
+    | _ -> continue := false
+  done

@@ -1,0 +1,23 @@
+(** Binary-heap priority queue keyed by simulated time.
+
+    The discrete-event core: departures are queued here, arrivals come
+    pre-sorted from the {!Trace}.  Pops are in nondecreasing time order;
+    ties pop in unspecified (but deterministic) order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument when [time] is not finite. *)
+
+val peek_time : 'a t -> float option
+(** Earliest queued time without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+val pop_until : 'a t -> time:float -> f:(float -> 'a -> unit) -> unit
+(** Pops and applies [f] to every event with time [<= time], in order. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,86 @@
+open Arnet_topology
+
+type record = {
+  time : float;
+  src : int;
+  dst : int;
+  routed_hops : int option;
+}
+
+type t = {
+  capacities : int array;
+  mutable samples : int;
+  occupancy_sum : float array;
+  peak : int array;
+  hop_counts : int array;  (* index 0 = lost *)
+  log_limit : int;
+  mutable log_rev : record list;
+  mutable logged : int;
+}
+
+let create ?(log_limit = 0) g =
+  if log_limit < 0 then invalid_arg "Instrument.create: negative log limit";
+  let m = Graph.link_count g in
+  let capacities = Array.make m 0 in
+  Graph.iter_links (fun l -> capacities.(l.Link.id) <- l.Link.capacity) g;
+  { capacities;
+    samples = 0;
+    occupancy_sum = Array.make m 0.;
+    peak = Array.make m 0;
+    hop_counts = Array.make (Graph.node_count g) 0;
+    log_limit;
+    log_rev = [];
+    logged = 0 }
+
+let observe t ~occupancy ~(call : Trace.call) outcome =
+  t.samples <- t.samples + 1;
+  Array.iteri
+    (fun k occ ->
+      t.occupancy_sum.(k) <- t.occupancy_sum.(k) +. float_of_int occ;
+      if occ > t.peak.(k) then t.peak.(k) <- occ)
+    occupancy;
+  let routed_hops =
+    match outcome with
+    | Engine.Lost ->
+      t.hop_counts.(0) <- t.hop_counts.(0) + 1;
+      None
+    | Engine.Routed p ->
+      let h = Arnet_paths.Path.hops p in
+      if h < Array.length t.hop_counts then
+        t.hop_counts.(h) <- t.hop_counts.(h) + 1;
+      Some h
+  in
+  if t.logged < t.log_limit then begin
+    t.logged <- t.logged + 1;
+    t.log_rev <-
+      { time = call.Trace.time;
+        src = call.Trace.src;
+        dst = call.Trace.dst;
+        routed_hops }
+      :: t.log_rev
+  end
+
+let wrap t (policy : Engine.policy) =
+  { policy with
+    Engine.decide =
+      (fun ~occupancy ~call ->
+        let outcome = policy.Engine.decide ~occupancy ~call in
+        observe t ~occupancy ~call outcome;
+        outcome) }
+
+let samples t = t.samples
+
+let mean_occupancy t =
+  let n = float_of_int (Stdlib.max 1 t.samples) in
+  Array.map (fun s -> s /. n) t.occupancy_sum
+
+let mean_utilization t =
+  let mean = mean_occupancy t in
+  Array.mapi
+    (fun k m ->
+      if t.capacities.(k) = 0 then 0. else m /. float_of_int t.capacities.(k))
+    mean
+
+let peak_occupancy t = Array.copy t.peak
+let hop_histogram t = Array.copy t.hop_counts
+let log t = List.rev t.log_rev

@@ -1,0 +1,45 @@
+(** Observability for simulation runs.
+
+    Wraps a policy so that every routing decision is recorded: per-link
+    occupancy statistics (sampled at call arrivals — unbiased time
+    averages by PASTA, since arrivals are Poisson), the distribution of
+    carried path lengths, and an optional bounded decision log for
+    replay/debugging.  The wrapped policy makes byte-identical decisions
+    to the original. *)
+
+open Arnet_topology
+
+type t
+
+type record = {
+  time : float;
+  src : int;
+  dst : int;
+  routed_hops : int option;  (** [None] = the call was lost *)
+}
+
+val create : ?log_limit:int -> Graph.t -> t
+(** [log_limit] caps the decision log (default 0: no log kept). *)
+
+val wrap : t -> Engine.policy -> Engine.policy
+(** The instrumented policy.  One recorder should wrap one policy for
+    one run; create a fresh recorder per run. *)
+
+val samples : t -> int
+(** Number of decisions observed. *)
+
+val mean_occupancy : t -> float array
+(** Per link id: time-average calls in progress. *)
+
+val mean_utilization : t -> float array
+(** Per link id: mean occupancy over capacity (0 for zero-capacity
+    links). *)
+
+val peak_occupancy : t -> int array
+
+val hop_histogram : t -> int array
+(** Index [h] counts calls carried on [h]-hop paths; index 0 counts
+    lost calls. *)
+
+val log : t -> record list
+(** Oldest first; at most [log_limit] entries (the earliest are kept). *)

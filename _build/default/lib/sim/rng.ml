@@ -1,0 +1,29 @@
+type t = { seed : int; state : Random.State.t }
+
+let make_state seed =
+  Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5bd1e995 |]
+
+let create ~seed = { seed; state = make_state seed }
+
+let substream t name =
+  let h = Hashtbl.hash (t.seed, name) in
+  { seed = h; state = make_state h }
+
+let float t bound = Random.State.float t.state bound
+let uniform t = Random.State.float t.state 1.
+let int t bound = Random.State.int t.state bound
+
+let exponential t ~rate =
+  if rate <= 0. || not (Float.is_finite rate) then
+    invalid_arg "Rng.exponential: rate must be positive";
+  let u = 1. -. uniform t (* in (0, 1] *) in
+  -.log u /. rate
+
+let poisson t ~mean =
+  if mean <= 0. || mean > 700. then invalid_arg "Rng.poisson: bad mean";
+  let l = exp (-.mean) in
+  let rec draw k p =
+    let p = p *. uniform t in
+    if p <= l then k else draw (k + 1) p
+  in
+  draw 0 1.

@@ -1,0 +1,29 @@
+(** Windowed blocking time series.
+
+    For nonstationary experiments (focused overloads, surges) the
+    interesting quantity is blocking *over time*, not the run average.
+    A recorder wraps a policy — decisions are unchanged — and bins
+    offered/blocked counts into fixed windows. *)
+
+type t
+
+type window = {
+  start : float;
+  offered : int;
+  blocked : int;
+}
+
+val create : window:float -> duration:float -> t
+(** Windows [k*window, (k+1)*window) covering [0, duration).
+    @raise Invalid_argument unless [0 < window <= duration]. *)
+
+val wrap : t -> Engine.policy -> Engine.policy
+(** One recorder per run. *)
+
+val windows : t -> window list
+(** In time order, one entry per window (empty windows included). *)
+
+val blocking_series : t -> (float * float) list
+(** [(window start, blocking)] with 0 for empty windows. *)
+
+val peak_blocking : t -> float

@@ -1,0 +1,112 @@
+open Arnet_traffic
+
+type call = {
+  time : float;
+  src : int;
+  dst : int;
+  holding : float;
+  u : float;
+}
+
+type t = { calls : call array; duration : float; matrix : Matrix.t }
+
+let generate ?(mean_holding = 1.) ~rng ~duration matrix =
+  if duration <= 0. then invalid_arg "Trace.generate: duration <= 0";
+  if mean_holding <= 0. then invalid_arg "Trace.generate: mean_holding <= 0";
+  let total = Matrix.total matrix in
+  if total <= 0. then invalid_arg "Trace.generate: empty traffic matrix";
+  (* cumulative demand over positive pairs, for inverse-cdf pair choice *)
+  let pairs = ref [] in
+  Matrix.iter_demands matrix (fun i j d -> pairs := (i, j, d) :: !pairs);
+  let pairs = Array.of_list (List.rev !pairs) in
+  let np = Array.length pairs in
+  let cumulative = Array.make np 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun idx (_, _, d) ->
+      acc := !acc +. d;
+      cumulative.(idx) <- !acc)
+    pairs;
+  let pick_pair x =
+    (* smallest idx with cumulative.(idx) > x *)
+    let lo = ref 0 and hi = ref (np - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) > x then hi := mid else lo := mid + 1
+    done;
+    pairs.(!lo)
+  in
+  let holding_rate = 1. /. mean_holding in
+  let out = ref [] in
+  let count = ref 0 in
+  let t = ref (Rng.exponential rng ~rate:total) in
+  while !t < duration do
+    let src, dst, _ = pick_pair (Rng.float rng !acc) in
+    let holding = Rng.exponential rng ~rate:holding_rate in
+    let u = Rng.uniform rng in
+    out := { time = !t; src; dst; holding; u } :: !out;
+    incr count;
+    t := !t +. Rng.exponential rng ~rate:total
+  done;
+  { calls = Array.of_list (List.rev !out); duration; matrix }
+
+let of_calls ~matrix ~duration calls =
+  if duration <= 0. then invalid_arg "Trace.of_calls: duration <= 0";
+  let n = Matrix.nodes matrix in
+  let check prev c =
+    if c.time < prev then invalid_arg "Trace.of_calls: calls not sorted";
+    if c.time < 0. || c.time >= duration then
+      invalid_arg "Trace.of_calls: call outside [0, duration)";
+    if c.holding <= 0. || not (Float.is_finite c.holding) then
+      invalid_arg "Trace.of_calls: bad holding time";
+    if c.u < 0. || c.u >= 1. then invalid_arg "Trace.of_calls: u outside [0,1)";
+    if c.src < 0 || c.src >= n || c.dst < 0 || c.dst >= n || c.src = c.dst
+    then invalid_arg "Trace.of_calls: bad endpoints";
+    c.time
+  in
+  let (_ : float) = List.fold_left check 0. calls in
+  { calls = Array.of_list calls; duration; matrix }
+
+let shift t dt =
+  if dt < 0. || not (Float.is_finite dt) then
+    invalid_arg "Trace.shift: negative shift";
+  { t with
+    calls = Array.map (fun c -> { c with time = c.time +. dt }) t.calls;
+    duration = t.duration +. dt }
+
+let merge a b =
+  if Matrix.nodes a.matrix <> Matrix.nodes b.matrix then
+    invalid_arg "Trace.merge: node count mismatch";
+  let na = Array.length a.calls and nb = Array.length b.calls in
+  let out = Array.make (na + nb) { time = 0.; src = 0; dst = 1; holding = 1.; u = 0. } in
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to na + nb - 1 do
+    let take_a =
+      !j >= nb || (!i < na && a.calls.(!i).time <= b.calls.(!j).time)
+    in
+    if take_a then begin
+      out.(k) <- a.calls.(!i);
+      incr i
+    end
+    else begin
+      out.(k) <- b.calls.(!j);
+      incr j
+    end
+  done;
+  { calls = out;
+    duration = Float.max a.duration b.duration;
+    matrix = Matrix.add a.matrix b.matrix }
+
+let call_count t = Array.length t.calls
+
+let offered_between t lo hi =
+  Array.fold_left
+    (fun acc c -> if c.time >= lo && c.time < hi then acc + 1 else acc)
+    0 t.calls
+
+let check_sorted t =
+  let ok = ref true in
+  for i = 1 to Array.length t.calls - 1 do
+    if t.calls.(i).time < t.calls.(i - 1).time then ok := false
+  done;
+  !ok

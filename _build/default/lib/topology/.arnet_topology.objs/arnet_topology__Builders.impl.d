@@ -1,0 +1,1 @@
+lib/topology/builders.ml: Array Float Graph Hashtbl List Random

@@ -1,0 +1,1 @@
+lib/topology/graph.ml: Array Buffer Format Hashtbl Link List Printf Queue

@@ -1,0 +1,1 @@
+lib/topology/nsfnet.ml: Graph List

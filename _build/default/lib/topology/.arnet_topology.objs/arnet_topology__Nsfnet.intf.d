@@ -1,0 +1,1 @@
+lib/topology/nsfnet.mli: Graph

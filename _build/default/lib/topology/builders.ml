@@ -1,0 +1,62 @@
+let full_mesh ~nodes ~capacity =
+  if nodes < 2 then invalid_arg "Builders.full_mesh: need >= 2 nodes";
+  let edges = ref [] in
+  for i = 0 to nodes - 1 do
+    for j = i + 1 to nodes - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges ~nodes ~capacity (List.rev !edges)
+
+let ring ~nodes ~capacity =
+  if nodes < 3 then invalid_arg "Builders.ring: need >= 3 nodes";
+  let edges = List.init nodes (fun i -> (i, (i + 1) mod nodes)) in
+  Graph.of_edges ~nodes ~capacity edges
+
+let line ~nodes ~capacity =
+  if nodes < 2 then invalid_arg "Builders.line: need >= 2 nodes";
+  let edges = List.init (nodes - 1) (fun i -> (i, i + 1)) in
+  Graph.of_edges ~nodes ~capacity edges
+
+let star ~nodes ~capacity =
+  if nodes < 2 then invalid_arg "Builders.star: need >= 2 nodes";
+  let edges = List.init (nodes - 1) (fun i -> (0, i + 1)) in
+  Graph.of_edges ~nodes ~capacity edges
+
+let waxman ?(alpha = 0.7) ?(beta = 0.35) ~seed ~nodes ~capacity () =
+  if nodes < 2 then invalid_arg "Builders.waxman: need >= 2 nodes";
+  if alpha <= 0. || alpha > 1. then invalid_arg "Builders.waxman: bad alpha";
+  if beta <= 0. then invalid_arg "Builders.waxman: bad beta";
+  let st = Random.State.make [| seed; 0x77ab; seed lxor 0x1f2e3d |] in
+  let xs = Array.init nodes (fun _ -> Random.State.float st 1.) in
+  let ys = Array.init nodes (fun _ -> Random.State.float st 1.) in
+  let dist i j = Float.hypot (xs.(i) -. xs.(j)) (ys.(i) -. ys.(j)) in
+  let scale = beta *. sqrt 2. in
+  let edges = Hashtbl.create (4 * nodes) in
+  (* random spanning tree keeps the graph connected: attach each node to
+     a uniformly chosen earlier node *)
+  for v = 1 to nodes - 1 do
+    let u = Random.State.int st v in
+    Hashtbl.replace edges (min u v, max u v) ()
+  done;
+  for i = 0 to nodes - 1 do
+    for j = i + 1 to nodes - 1 do
+      let p = alpha *. exp (-.dist i j /. scale) in
+      if Random.State.float st 1. < p then Hashtbl.replace edges (i, j) ()
+    done
+  done;
+  let pairs = Hashtbl.fold (fun e () acc -> e :: acc) edges [] in
+  Graph.of_edges ~nodes ~capacity (List.sort compare pairs)
+
+let grid ~rows ~cols ~capacity =
+  if rows < 1 || cols < 1 || rows * cols < 2 then
+    invalid_arg "Builders.grid: too small";
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (idx r c, idx r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (idx r c, idx (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~nodes:(rows * cols) ~capacity (List.rev !edges)

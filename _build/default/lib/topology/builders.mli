@@ -1,0 +1,34 @@
+(** Standard topologies used in the paper's experiments and tests.
+
+    Every builder produces pairs of opposite unidirectional links of equal
+    capacity, matching the paper's network model. *)
+
+val full_mesh : nodes:int -> capacity:int -> Graph.t
+(** Fully-connected network: every ordered node pair gets a link.  The
+    paper's quadrangle experiment (Section 4.1) is [full_mesh ~nodes:4]. *)
+
+val ring : nodes:int -> capacity:int -> Graph.t
+(** Cycle 0-1-...-(n-1)-0.  Needs [nodes >= 3]. *)
+
+val line : nodes:int -> capacity:int -> Graph.t
+(** Path graph 0-1-...-(n-1). Needs [nodes >= 2]. *)
+
+val star : nodes:int -> capacity:int -> Graph.t
+(** Node 0 connected to every other node. Needs [nodes >= 2]. *)
+
+val grid : rows:int -> cols:int -> capacity:int -> Graph.t
+(** [rows * cols] lattice with 4-neighbour edges; node [(r, c)] has index
+    [r * cols + c]. *)
+
+val waxman :
+  ?alpha:float -> ?beta:float -> seed:int -> nodes:int -> capacity:int ->
+  unit -> Graph.t
+(** Waxman random topology: nodes placed uniformly in the unit square;
+    each node pair is joined with probability
+    [alpha * exp (-distance / (beta * sqrt 2))] (defaults
+    [alpha = 0.7], [beta = 0.35] — sparse mesh territory).  A random
+    spanning tree is always included, so the result is connected.
+    Deterministic in [seed].  Used to check that the scheme's behaviour
+    generalizes beyond the paper's two topologies.
+    @raise Invalid_argument unless [nodes >= 2], parameters positive
+    and [alpha <= 1]. *)

@@ -1,0 +1,13 @@
+type t = { id : int; src : int; dst : int; capacity : int }
+
+let make ~id ~src ~dst ~capacity =
+  if capacity < 0 then invalid_arg "Link.make: negative capacity";
+  if src = dst then invalid_arg "Link.make: self-loop";
+  if id < 0 || src < 0 || dst < 0 then invalid_arg "Link.make: negative index";
+  { id; src; dst; capacity }
+
+let reversed l ~id = make ~id ~src:l.dst ~dst:l.src ~capacity:l.capacity
+let equal a b = a.id = b.id && a.src = b.src && a.dst = b.dst && a.capacity = b.capacity
+let compare a b = Stdlib.compare (a.src, a.dst, a.id) (b.src, b.dst, b.id)
+let pp ppf l = Format.fprintf ppf "%d->%d(#%d,C=%d)" l.src l.dst l.id l.capacity
+let to_string l = Format.asprintf "%a" pp l

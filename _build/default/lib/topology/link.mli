@@ -1,0 +1,29 @@
+(** Directed, capacitated links.
+
+    A link carries calls in one direction only.  The paper models every
+    physical connection as a pair of unidirectional links; builders in
+    {!Builders} follow that convention.  Capacity is expressed in calls:
+    all calls demand one unit of bandwidth (Section 2 of the paper), so a
+    155 Mb/s link with 100 Mb/s reserved for rate-based traffic and 1 Mb/s
+    calls has capacity 100. *)
+
+type t = private {
+  id : int;  (** index of the link in its graph, [0 .. m-1] *)
+  src : int;  (** origin node *)
+  dst : int;  (** destination node *)
+  capacity : int;  (** simultaneous calls the link can carry *)
+}
+
+val make : id:int -> src:int -> dst:int -> capacity:int -> t
+(** [make ~id ~src ~dst ~capacity] builds a link.
+    @raise Invalid_argument if [capacity < 0], [src = dst], or any index is
+    negative. *)
+
+val reversed : t -> id:int -> t
+(** [reversed l ~id] is the link carrying traffic in the opposite
+    direction, with a fresh id. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

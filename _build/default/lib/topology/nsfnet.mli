@@ -1,0 +1,35 @@
+(** The 12-node NSFNet T3 backbone model of Section 4.2.
+
+    The adjacency, per-link capacities (C = 100 calls of 1 Mb/s over the
+    100 Mb/s reserved share of a 155 Mb/s link) and nominal primary loads
+    come directly from Table 1 of the paper.  The city labels are
+    illustrative — the evaluation depends only on indices, adjacency,
+    capacities and loads. *)
+
+val node_count : int
+(** 12. *)
+
+val edges : (int * int) list
+(** The 15 undirected edges of Figure 5 / Table 1. *)
+
+val capacity : int
+(** 100 calls per directed link under the paper's forecast. *)
+
+val graph : unit -> Graph.t
+(** Fresh copy of the backbone graph: 12 nodes, 30 directed links. *)
+
+val labels : string array
+(** Illustrative node names, length 12. *)
+
+val table1_loads : ((int * int) * float) list
+(** [((src, dst), lambda)] — the nominal primary traffic demand in
+    Erlangs on each directed link, as published in Table 1 (rounded to
+    integers there; stored as floats here). *)
+
+val table1_protection : ((int * int) * (int * int)) list
+(** [((src, dst), (r_h6, r_h11))] — the state-protection levels the
+    paper reports for H = 6 and H = 11 under the nominal load. *)
+
+val load_of : src:int -> dst:int -> float
+(** Table-1 nominal load of a directed link.
+    @raise Not_found for non-links. *)

@@ -1,0 +1,1 @@
+lib/traffic/fit.ml: Arnet_paths Arnet_topology Array Float Graph Gravity Link List Loads Matrix Nsfnet Path Route_table

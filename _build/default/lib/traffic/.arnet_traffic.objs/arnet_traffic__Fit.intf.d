@@ -1,0 +1,1 @@
+lib/traffic/fit.mli: Arnet_paths Matrix Route_table

@@ -1,0 +1,1 @@
+lib/traffic/gravity.ml: Arnet_topology Array Float Graph Matrix Stdlib

@@ -1,0 +1,1 @@
+lib/traffic/loads.ml: Arnet_erlang Arnet_paths Arnet_topology Array Float Graph List Matrix Path Route_table

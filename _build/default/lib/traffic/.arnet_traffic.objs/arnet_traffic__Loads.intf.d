@@ -1,0 +1,1 @@
+lib/traffic/loads.mli: Arnet_erlang Arnet_paths Matrix Route_table

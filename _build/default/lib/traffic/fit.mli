@@ -1,0 +1,47 @@
+(** Reconstructing a traffic matrix from per-link primary loads.
+
+    The paper's NSFNet traffic matrix was derived from unpublished
+    Internet traffic projections and is not recoverable from the text —
+    but Table 1 publishes the 30 per-link primary loads [Lambda^k] it
+    induces under minimum-hop primaries.  Because Equation 1 is linear in
+    [T], any nonnegative matrix reproducing those loads yields the same
+    per-link offered traffic, which is what drives both the protection
+    levels and the blocking behaviour (see DESIGN.md, substitution
+    table).
+
+    The fit is multiplicative (iterative proportional fitting): each
+    demand is repeatedly scaled by the geometric mean of
+    [target_k / current_k] over the links of its primary path.  Positive
+    seeds stay positive; fixed points reproduce the targets exactly when
+    the system is consistent. *)
+
+open Arnet_paths
+
+type result = {
+  matrix : Matrix.t;  (** the fitted traffic matrix *)
+  achieved : float array;  (** link loads it induces (Equation 1) *)
+  max_relative_error : float;  (** vs targets, per {!Loads.link_load_error} *)
+  iterations : int;
+}
+
+val to_link_loads :
+  ?seed:Matrix.t ->
+  ?tolerance:float ->
+  ?max_iterations:int ->
+  Route_table.t ->
+  target:float array ->
+  result
+(** [to_link_loads routes ~target] fits a matrix whose primary link loads
+    match [target] (indexed by link id).  Default seed: a degree-weighted
+    gravity matrix of matching total; default [tolerance] [1e-6] on the
+    maximum relative link-load error; default [max_iterations] [5_000].
+    Stops at tolerance or iteration cap, whichever first (the result
+    reports which quality was reached).
+    @raise Invalid_argument on a size mismatch, a nonpositive target on a
+    link that some primary path uses, or a seed with zero demand for a
+    pair whose primary path crosses a positive-target link when no other
+    pair can cover it. *)
+
+val nsfnet_nominal : unit -> Route_table.t * result
+(** Convenience: the NSFNet backbone with unrestricted route table and
+    the matrix fitted to Table 1's nominal loads. *)

@@ -1,0 +1,29 @@
+open Arnet_topology
+
+let with_weights ~weights ~total =
+  let n = Array.length weights in
+  if n < 2 then invalid_arg "Gravity.with_weights: need >= 2 nodes";
+  if total <= 0. || not (Float.is_finite total) then
+    invalid_arg "Gravity.with_weights: bad total";
+  Array.iter
+    (fun w ->
+      if w <= 0. || not (Float.is_finite w) then
+        invalid_arg "Gravity.with_weights: weights must be positive")
+    weights;
+  let z = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then z := !z +. (weights.(i) *. weights.(j))
+    done
+  done;
+  Matrix.make ~nodes:n (fun i j -> total *. weights.(i) *. weights.(j) /. !z)
+
+let degree_weighted g ~total =
+  let n = Graph.node_count g in
+  let weights =
+    Array.init n (fun v -> float_of_int (Stdlib.max 1 (Graph.degree_out g v)))
+  in
+  with_weights ~weights ~total
+
+let uniform_total ~nodes ~total =
+  with_weights ~weights:(Array.make nodes 1.) ~total

@@ -1,0 +1,22 @@
+(** Gravity-model traffic matrices.
+
+    [T(i, j)] proportional to [w_i * w_j] for node weights [w], a standard
+    prior for backbone traffic when only aggregate information is known.
+    Used to seed {!Fit} (which then reconciles the matrix with the
+    published per-link loads of Table 1) and to generate synthetic
+    workloads for tests and examples. *)
+
+open Arnet_topology
+
+val with_weights : weights:float array -> total:float -> Matrix.t
+(** Matrix over [Array.length weights] nodes with
+    [T(i,j) = total * w_i * w_j / Z] where [Z] normalizes over ordered
+    pairs [i <> j].  Weights must be positive.
+    @raise Invalid_argument otherwise or if [total <= 0]. *)
+
+val degree_weighted : Graph.t -> total:float -> Matrix.t
+(** Weights each node by its out-degree — hub nodes attract more
+    traffic. *)
+
+val uniform_total : nodes:int -> total:float -> Matrix.t
+(** Equal weights: every ordered pair carries [total / (n (n-1))]. *)

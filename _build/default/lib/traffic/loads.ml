@@ -1,0 +1,37 @@
+open Arnet_topology
+open Arnet_paths
+
+let primary_link_loads routes t =
+  let g = Route_table.graph routes in
+  if Graph.node_count g <> Matrix.nodes t then
+    invalid_arg "Loads.primary_link_loads: size mismatch";
+  let loads = Array.make (Graph.link_count g) 0. in
+  Matrix.iter_demands t (fun i j d ->
+      if Route_table.has_route routes ~src:i ~dst:j then
+        let p = Route_table.primary routes ~src:i ~dst:j in
+        List.iter
+          (fun id -> loads.(id) <- loads.(id) +. d)
+          (Path.link_ids p));
+  loads
+
+let link_load_error ~target got =
+  if Array.length target <> Array.length got then
+    invalid_arg "Loads.link_load_error: length mismatch";
+  let err = ref 0. in
+  Array.iteri
+    (fun k t ->
+      let scale = Float.max t 1. in
+      err := Float.max !err (Float.abs (got.(k) -. t) /. scale))
+    target;
+  !err
+
+let offered_to_pair_paths routes t =
+  let acc = ref [] in
+  Matrix.iter_demands t (fun i j d ->
+      if Route_table.has_route routes ~src:i ~dst:j then begin
+        let p = Route_table.primary routes ~src:i ~dst:j in
+        acc :=
+          { Arnet_erlang.Reduced_load.offered = d; links = Path.link_ids p }
+          :: !acc
+      end);
+  List.rev !acc

@@ -1,0 +1,24 @@
+(** Primary traffic demand per link — Equation 1 of the paper:
+
+    {v Lambda^k = sum over (i,j) with k on P*(i,j) of T(i,j) v}
+
+    The protection levels of Section 3.1 are computed from these loads;
+    each node only needs the loads of its incident links, which it can
+    estimate from passing primary call set-ups. *)
+
+open Arnet_paths
+
+val primary_link_loads : Route_table.t -> Matrix.t -> float array
+(** [primary_link_loads routes t] sums, for every link id, the demands of
+    all ordered pairs whose primary path crosses the link.  Pairs without
+    a route contribute nothing.
+    @raise Invalid_argument if matrix and graph sizes disagree. *)
+
+val link_load_error : target:float array -> float array -> float
+(** Maximum relative error [|got - target| / max target 1] over links —
+    the fit-quality metric for {!Fit}. *)
+
+val offered_to_pair_paths :
+  Route_table.t -> Matrix.t -> Arnet_erlang.Reduced_load.route list
+(** One reduced-load route per positive demand, following its primary
+    path — input to the Erlang fixed point. *)

@@ -1,0 +1,84 @@
+type t = { n : int; demand : float array array }
+
+let check_entry x =
+  if not (Float.is_finite x) || x < 0. then
+    invalid_arg "Matrix: demands must be nonnegative and finite";
+  x
+
+let make ~nodes f =
+  if nodes < 2 then invalid_arg "Matrix.make: need >= 2 nodes";
+  let row i =
+    Array.init nodes (fun j -> if i = j then 0. else check_entry (f i j))
+  in
+  { n = nodes; demand = Array.init nodes row }
+
+let uniform ~nodes ~demand = make ~nodes (fun _ _ -> demand)
+let zero ~nodes = uniform ~nodes ~demand:0.
+
+let of_array rows =
+  let n = Array.length rows in
+  if n < 2 then invalid_arg "Matrix.of_array: need >= 2 nodes";
+  Array.iter
+    (fun r ->
+      if Array.length r <> n then invalid_arg "Matrix.of_array: not square")
+    rows;
+  Array.iteri
+    (fun i r ->
+      if r.(i) <> 0. then invalid_arg "Matrix.of_array: nonzero diagonal")
+    rows;
+  make ~nodes:n (fun i j -> rows.(i).(j))
+
+let nodes t = t.n
+
+let get t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then
+    invalid_arg "Matrix.get: index out of range";
+  t.demand.(i).(j)
+
+let total t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left ( +. ) acc row)
+    0. t.demand
+
+let scale t factor =
+  if not (Float.is_finite factor) || factor < 0. then
+    invalid_arg "Matrix.scale: bad factor";
+  make ~nodes:t.n (fun i j -> t.demand.(i).(j) *. factor)
+
+let add a b =
+  if a.n <> b.n then invalid_arg "Matrix.add: size mismatch";
+  make ~nodes:a.n (fun i j -> a.demand.(i).(j) +. b.demand.(i).(j))
+
+let map t f = make ~nodes:t.n (fun i j -> f i j t.demand.(i).(j))
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      if i <> j then acc := f !acc i j t.demand.(i).(j)
+    done
+  done;
+  !acc
+
+let iter_demands t f =
+  fold t ~init:() ~f:(fun () i j d -> if d > 0. then f i j d)
+
+let demand_count t =
+  fold t ~init:0 ~f:(fun acc _ _ d -> if d > 0. then acc + 1 else acc)
+
+let max_abs_diff a b =
+  if a.n <> b.n then invalid_arg "Matrix.max_abs_diff: size mismatch";
+  fold a ~init:0. ~f:(fun acc i j d -> Float.max acc (Float.abs (d -. b.demand.(i).(j))))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i row ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Array.iteri
+        (fun j d ->
+          if j > 0 then Format.fprintf ppf " ";
+          Format.fprintf ppf "%6.2f" d)
+        row)
+    t.demand;
+  Format.fprintf ppf "@]"

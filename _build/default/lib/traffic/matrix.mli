@@ -1,0 +1,48 @@
+(** Traffic matrices.
+
+    [T(i, j)] is the demand in Erlangs of calls originating at node [i]
+    and destined for node [j] (Section 2).  Matrices are immutable;
+    load sweeps are expressed with {!scale}. *)
+
+type t
+
+val make : nodes:int -> (int -> int -> float) -> t
+(** [make ~nodes f] fills entry [(i, j)] with [f i j] for [i <> j]; the
+    diagonal is forced to 0.  Entries must be nonnegative and finite.
+    @raise Invalid_argument otherwise. *)
+
+val uniform : nodes:int -> demand:float -> t
+(** Every ordered pair offered the same demand — the symmetric load of
+    the quadrangle experiment. *)
+
+val of_array : float array array -> t
+(** Copies; rows must be square, diagonal zero, entries nonnegative. *)
+
+val zero : nodes:int -> t
+
+val nodes : t -> int
+val get : t -> int -> int -> float
+val total : t -> float
+(** Sum of all demands — the network's total offered load. *)
+
+val scale : t -> float -> t
+(** Multiply every demand. Factor must be nonnegative and finite. *)
+
+val add : t -> t -> t
+(** Entrywise sum; sizes must agree. *)
+
+val map : t -> (int -> int -> float -> float) -> t
+
+val fold : t -> init:'a -> f:('a -> int -> int -> float -> 'a) -> 'a
+(** Folds over ordered pairs [i <> j] in row-major order, including zero
+    entries. *)
+
+val iter_demands : t -> (int -> int -> float -> unit) -> unit
+(** Visits only the strictly positive entries. *)
+
+val demand_count : t -> int
+(** Number of strictly positive entries. *)
+
+val max_abs_diff : t -> t -> float
+
+val pp : Format.formatter -> t -> unit

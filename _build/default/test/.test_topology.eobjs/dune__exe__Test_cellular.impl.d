@@ -1,0 +1,1 @@
+test/test_cellular.ml: Alcotest Arnet_cellular Arnet_core Arnet_sim Array Borrowing Cell_grid Cell_sim List Rng Stats

@@ -1,0 +1,1 @@
+test/test_dalfar.ml: Alcotest Arnet_paths Arnet_topology Array Bfs Builders Dalfar Distance_vector Graph List Nsfnet Option Path Printf QCheck2 QCheck_alcotest

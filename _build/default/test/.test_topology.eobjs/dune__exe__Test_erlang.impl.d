@@ -1,0 +1,1 @@
+test/test_erlang.ml: Alcotest Arnet_erlang Array Birth_death Erlang_b Float List Printf QCheck2 QCheck_alcotest Reduced_load Shadow_price

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Arnet_core Arnet_paths Arnet_sim Arnet_topology Arnet_traffic Array Builders Engine Graph Instrument Link List Matrix Rng Route_table Stats Trace

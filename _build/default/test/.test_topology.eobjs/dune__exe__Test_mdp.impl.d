@@ -1,0 +1,1 @@
+test/test_mdp.ml: Alcotest Arnet_core Arnet_erlang Arnet_experiments Arnet_mdp Array Float List Loss_mdp Printf

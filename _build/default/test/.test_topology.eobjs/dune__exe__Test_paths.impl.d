@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Arnet_paths Arnet_topology Array Bfs Builders Dijkstra Enumerate Graph Link List Nsfnet Option Path Printf QCheck2 QCheck_alcotest Route_table Suurballe Yen

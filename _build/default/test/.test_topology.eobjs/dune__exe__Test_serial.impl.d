@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Arnet_serial Arnet_topology Arnet_traffic Filename Fit Graph Link List Matrix Nsfnet QCheck2 QCheck_alcotest Spec String Sys

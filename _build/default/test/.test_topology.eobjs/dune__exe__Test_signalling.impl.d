@@ -1,0 +1,1 @@
+test/test_signalling.ml: Alcotest Arnet_core Arnet_paths Arnet_signalling Arnet_sim Arnet_topology Arnet_traffic Array Builders Graph List Matrix Printf Protection Rng Route_table Setup_sim Trace

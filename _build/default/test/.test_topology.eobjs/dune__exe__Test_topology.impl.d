@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Arnet_topology Array Builders Graph Link List Nsfnet Printf QCheck2 QCheck_alcotest String

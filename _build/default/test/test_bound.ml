@@ -1,0 +1,145 @@
+open Arnet_topology
+open Arnet_traffic
+open Arnet_bound
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let feq_at tol = Alcotest.(check (float tol))
+
+let two_node capacity = Graph.of_edges ~nodes:2 ~capacity [ (0, 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* Cutset *)
+
+let test_cutset_evaluate () =
+  let g = two_node 10 in
+  let m = Matrix.of_array [| [| 0.; 8. |]; [| 3.; 0. |] |] in
+  let cut = Cutset.evaluate g m ~members:[| true; false |] in
+  feq_at 1e-12 "forward traffic" 8. cut.Cutset.forward.Cutset.traffic;
+  Alcotest.(check int) "forward capacity" 10 cut.Cutset.forward.Cutset.capacity;
+  feq_at 1e-12 "backward traffic" 3. cut.Cutset.backward.Cutset.traffic;
+  Alcotest.(check int) "backward capacity" 10
+    cut.Cutset.backward.Cutset.capacity
+
+let test_cutset_validation () =
+  let g = two_node 10 in
+  let m = Matrix.uniform ~nodes:2 ~demand:1. in
+  check_invalid "empty cut" (fun () ->
+      ignore (Cutset.evaluate g m ~members:[| false; false |]));
+  check_invalid "full cut" (fun () ->
+      ignore (Cutset.evaluate g m ~members:[| true; true |]));
+  check_invalid "wrong size" (fun () ->
+      ignore (Cutset.evaluate g m ~members:[| true |]))
+
+let test_fold_cuts_visits_all () =
+  let g = Builders.ring ~nodes:4 ~capacity:1 in
+  let seen = Hashtbl.create 16 in
+  let count =
+    Cutset.fold_cuts g ~init:0 ~f:(fun acc members ->
+        let key = Array.to_list members in
+        Alcotest.(check bool) "distinct" false (Hashtbl.mem seen key);
+        Hashtbl.add seen key ();
+        acc + 1)
+  in
+  Alcotest.(check int) "2^4 - 2 cuts" 14 count;
+  Alcotest.(check int) "cut_count agrees" 14 (Cutset.cut_count g)
+
+(* ------------------------------------------------------------------ *)
+(* Erlang_bound *)
+
+let test_bound_single_edge_exact () =
+  (* one edge, traffic only 0->1: the only binding cut gives exactly the
+     weighted Erlang blocking of the two directions *)
+  let g = two_node 10 in
+  let m = Matrix.of_array [| [| 0.; 12. |]; [| 6.; 0. |] |] in
+  let expected =
+    (12. /. 18. *. Arnet_erlang.Erlang_b.blocking ~offered:12. ~capacity:10)
+    +. (6. /. 18. *. Arnet_erlang.Erlang_b.blocking ~offered:6. ~capacity:10)
+  in
+  feq_at 1e-12 "two-node bound" expected (Erlang_bound.compute g m)
+
+let test_bound_monotone_in_load () =
+  let g = Builders.full_mesh ~nodes:4 ~capacity:50 in
+  let m = Matrix.uniform ~nodes:4 ~demand:30. in
+  let b1 = Erlang_bound.compute g m in
+  let b2 = Erlang_bound.compute g (Matrix.scale m 1.5) in
+  Alcotest.(check bool) "higher load, higher bound" true (b2 > b1)
+
+let test_bound_argmax_consistent () =
+  let g = Nsfnet.graph () in
+  let _, fit = Fit.nsfnet_nominal () in
+  let m = fit.Fit.matrix in
+  let bound, cut = Erlang_bound.compute_with_argmax g m in
+  feq_at 1e-12 "argmax cut achieves the bound" bound
+    (Erlang_bound.of_cut g m ~members:cut);
+  (* regression: nominal NSFNet bound is about 10% *)
+  Alcotest.(check bool) "nominal bound plausible" true
+    (bound > 0.06 && bound < 0.14)
+
+let test_bound_zero_capacity_direction () =
+  (* traffic crossing a cut with zero capacity in that direction is all
+     lost: bound includes the full traffic share *)
+  let g =
+    Graph.create ~nodes:2
+      [ Link.make ~id:0 ~src:0 ~dst:1 ~capacity:5 ]
+  in
+  let m = Matrix.of_array [| [| 0.; 2. |]; [| 2.; 0. |] |] in
+  let b = Erlang_bound.of_cut g m ~members:[| true; false |] in
+  (* backward direction: traffic 2, capacity 0 -> contributes 0.5 *)
+  Alcotest.(check bool) "at least half lost" true (b >= 0.5);
+  check_invalid "empty matrix" (fun () ->
+      ignore (Erlang_bound.compute g (Matrix.zero ~nodes:2)))
+
+let test_bound_below_simulated_blocking () =
+  (* the bound must lie below what any of our schemes achieve *)
+  let g = Builders.full_mesh ~nodes:4 ~capacity:30 in
+  let m = Matrix.uniform ~nodes:4 ~demand:35. in
+  let bound = Erlang_bound.compute g m in
+  let routes = Arnet_paths.Route_table.build g in
+  let results =
+    Arnet_sim.Engine.replicate ~warmup:5. ~seeds:[ 1; 2; 3 ] ~duration:60.
+      ~graph:g ~matrix:m
+      ~policies:
+        [ Arnet_core.Scheme.single_path routes;
+          Arnet_core.Scheme.uncontrolled routes;
+          Arnet_core.Scheme.controlled_auto ~matrix:m routes ]
+      ()
+  in
+  List.iter
+    (fun (name, runs) ->
+      let s = Arnet_sim.Stats.blocking_summary runs in
+      Alcotest.(check bool)
+        (Printf.sprintf "bound below %s (within noise)" name)
+        true
+        (bound <= s.Arnet_sim.Stats.mean +. (3. *. s.Arnet_sim.Stats.std_error) +. 0.01))
+    results
+
+let prop_bound_in_unit_interval =
+  QCheck2.Test.make ~count:50 ~name:"bound lies in [0, 1]"
+    QCheck2.Gen.(float_range 1. 100.)
+    (fun demand ->
+      let g = Builders.ring ~nodes:5 ~capacity:40 in
+      let m = Matrix.uniform ~nodes:5 ~demand in
+      let b = Erlang_bound.compute g m in
+      b >= 0. && b <= 1.)
+
+let () =
+  Alcotest.run "bound"
+    [ ( "cutset",
+        [ Alcotest.test_case "evaluate" `Quick test_cutset_evaluate;
+          Alcotest.test_case "validation" `Quick test_cutset_validation;
+          Alcotest.test_case "fold visits all" `Quick test_fold_cuts_visits_all ] );
+      ( "erlang-bound",
+        [ Alcotest.test_case "single edge exact" `Quick
+            test_bound_single_edge_exact;
+          Alcotest.test_case "monotone in load" `Quick
+            test_bound_monotone_in_load;
+          Alcotest.test_case "argmax consistent" `Quick
+            test_bound_argmax_consistent;
+          Alcotest.test_case "zero-capacity direction" `Quick
+            test_bound_zero_capacity_direction;
+          Alcotest.test_case "below simulation" `Slow
+            test_bound_below_simulated_blocking;
+          QCheck_alcotest.to_alcotest prop_bound_in_unit_interval ] ) ]

@@ -1,0 +1,174 @@
+open Arnet_sim
+open Arnet_cellular
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* ------------------------------------------------------------------ *)
+(* Cell_grid *)
+
+let test_reuse3_structure () =
+  let grid = Cell_grid.reuse3_grid ~rows:4 ~cols:5 ~capacity:50 in
+  Alcotest.(check int) "cells" 20 grid.Cell_grid.cells;
+  Alcotest.(check int) "capacity" 50 grid.Cell_grid.capacity;
+  Alcotest.(check int) "corner has 2 neighbours" 2
+    (Array.length grid.Cell_grid.neighbors.(0));
+  Alcotest.(check int) "interior has 4 neighbours" 4
+    (Array.length grid.Cell_grid.neighbors.(6));
+  Alcotest.(check int) "lock sets capped at 3" 3
+    (Cell_grid.max_lock_set_size grid);
+  (* every lock set contains its lender and has size in [1, 3] *)
+  Array.iteri
+    (fun borrower per_neighbour ->
+      Array.iteri
+        (fun idx lock_set ->
+          let lender = grid.Cell_grid.neighbors.(borrower).(idx) in
+          Alcotest.(check bool) "contains lender" true
+            (Array.exists (fun c -> c = lender) lock_set);
+          Alcotest.(check bool) "size in range" true
+            (Array.length lock_set >= 1 && Array.length lock_set <= 3))
+        per_neighbour)
+    grid.Cell_grid.lock_sets
+
+let test_grid_make_validation () =
+  check_invalid "self borrow" (fun () ->
+      ignore
+        (Cell_grid.make ~capacity:5
+           ~neighbors:[| [| 0 |]; [| 0 |] |]
+           ~lock_sets:[| [| [| 0 |] |]; [| [| 0 |] |] |]));
+  check_invalid "lock set must contain lender" (fun () ->
+      ignore
+        (Cell_grid.make ~capacity:5
+           ~neighbors:[| [| 1 |]; [| 0 |] |]
+           ~lock_sets:[| [| [| 0 |] |]; [| [| 0 |] |] |]));
+  check_invalid "capacity < 1" (fun () ->
+      ignore (Cell_grid.reuse3_grid ~rows:4 ~cols:5 ~capacity:0));
+  check_invalid "grid too small" (fun () ->
+      ignore (Cell_grid.reuse3_grid ~rows:1 ~cols:2 ~capacity:5))
+
+(* ------------------------------------------------------------------ *)
+(* Borrowing *)
+
+let test_protection_levels () =
+  let grid = Cell_grid.reuse3_grid ~rows:4 ~cols:5 ~capacity:50 in
+  let offered = Array.make 20 40. in
+  offered.(3) <- 0.;
+  let levels = Borrowing.protection_levels grid ~offered_per_cell:offered in
+  Alcotest.(check int) "idle cell unprotected" 0 levels.(3);
+  Alcotest.(check bool) "loaded cell protected" true (levels.(0) > 0);
+  (* H = 3 for 3-cell lock sets; same as the network formula *)
+  Alcotest.(check int) "matches Section 3.1 level"
+    (Arnet_core.Protection.level ~offered:40. ~capacity:50 ~h:3)
+    levels.(0);
+  check_invalid "length mismatch" (fun () ->
+      ignore (Borrowing.protection_levels grid ~offered_per_cell:[| 1. |]))
+
+let test_admits_borrow () =
+  let grid = Cell_grid.reuse3_grid ~rows:4 ~cols:5 ~capacity:10 in
+  let occupancy = Array.make 20 0 in
+  let lock_set = grid.Cell_grid.lock_sets.(0).(0) in
+  Alcotest.(check bool) "no-borrowing refuses" false
+    (Borrowing.admits_borrow grid Borrowing.No_borrowing ~occupancy ~lock_set);
+  Alcotest.(check bool) "uncontrolled admits on empty" true
+    (Borrowing.admits_borrow grid Borrowing.Uncontrolled ~occupancy ~lock_set);
+  let levels = Array.make 20 3 in
+  Alcotest.(check bool) "controlled admits below threshold" true
+    (Borrowing.admits_borrow grid (Borrowing.Controlled levels) ~occupancy
+       ~lock_set);
+  (* fill one lock cell to the threshold: 10 - 3 = 7 *)
+  occupancy.(lock_set.(0)) <- 7;
+  Alcotest.(check bool) "controlled refuses at threshold" false
+    (Borrowing.admits_borrow grid (Borrowing.Controlled levels) ~occupancy
+       ~lock_set);
+  Alcotest.(check bool) "uncontrolled still admits" true
+    (Borrowing.admits_borrow grid Borrowing.Uncontrolled ~occupancy ~lock_set);
+  Alcotest.(check string) "names" "controlled-borrowing"
+    (Borrowing.variant_name (Borrowing.Controlled levels))
+
+(* ------------------------------------------------------------------ *)
+(* Cell_sim *)
+
+let test_generate_calls () =
+  let rng = Rng.create ~seed:4 in
+  let calls =
+    Cell_sim.generate_calls ~rng ~duration:50.
+      ~offered_per_cell:[| 10.; 5.; 0. |]
+  in
+  Alcotest.(check bool) "plausible volume" true
+    (Array.length calls > 600 && Array.length calls < 900);
+  let sorted = ref true and prev = ref 0. in
+  Array.iter
+    (fun c ->
+      if c.Cell_sim.time < !prev then sorted := false;
+      prev := c.Cell_sim.time;
+      Alcotest.(check bool) "no calls to idle cell" true (c.Cell_sim.cell <> 2))
+    calls;
+  Alcotest.(check bool) "sorted" true !sorted;
+  check_invalid "no traffic" (fun () ->
+      ignore (Cell_sim.generate_calls ~rng ~duration:1. ~offered_per_cell:[| 0. |]))
+
+let test_borrowing_happens_under_hot_spot () =
+  let grid = Cell_grid.reuse3_grid ~rows:3 ~cols:3 ~capacity:10 in
+  let offered = Array.make 9 2. in
+  offered.(0) <- 25.;  (* overloaded corner *)
+  let rng = Rng.create ~seed:5 in
+  let calls = Cell_sim.generate_calls ~rng ~duration:60. ~offered_per_cell:offered in
+  let unc = Cell_sim.run ~grid ~variant:Borrowing.Uncontrolled calls in
+  let nob = Cell_sim.run ~grid ~variant:Borrowing.No_borrowing calls in
+  Alcotest.(check bool) "borrowing used" true (unc.Cell_sim.borrowed > 0);
+  Alcotest.(check int) "no borrowing never borrows" 0 nob.Cell_sim.borrowed;
+  Alcotest.(check bool) "borrowing relieves the hot spot" true
+    (Cell_sim.blocking unc < Cell_sim.blocking nob);
+  Alcotest.(check int) "same offered (same workload)" nob.Cell_sim.offered
+    unc.Cell_sim.offered
+
+let test_controlled_never_worse_than_no_borrowing () =
+  let grid = Cell_grid.reuse3_grid ~rows:3 ~cols:4 ~capacity:20 in
+  let offered = Array.make 12 16. in
+  offered.(0) <- 26.;
+  let levels = Borrowing.protection_levels grid ~offered_per_cell:offered in
+  let results =
+    Cell_sim.compare_variants ~warmup:5. ~seeds:[ 1; 2; 3; 4 ] ~duration:60.
+      ~grid ~offered_per_cell:offered
+      ~variants:
+        [ Borrowing.No_borrowing; Borrowing.Controlled levels;
+          Borrowing.Uncontrolled ]
+      ()
+  in
+  let mean name =
+    (Stats.summarize (List.assoc name results)).Stats.mean
+  in
+  Alcotest.(check bool) "controlled <= no borrowing (within noise)" true
+    (mean "controlled-borrowing" <= mean "no-borrowing" +. 0.01)
+
+let test_per_cell_accounting () =
+  let grid = Cell_grid.reuse3_grid ~rows:2 ~cols:3 ~capacity:5 in
+  let offered = [| 10.; 1.; 1.; 1.; 1.; 1. |] in
+  let rng = Rng.create ~seed:6 in
+  let calls = Cell_sim.generate_calls ~rng ~duration:40. ~offered_per_cell:offered in
+  let o = Cell_sim.run ~grid ~variant:Borrowing.No_borrowing calls in
+  Alcotest.(check int) "per-cell offered sums to total" o.Cell_sim.offered
+    (Array.fold_left ( + ) 0 o.Cell_sim.offered_per_cell);
+  Alcotest.(check int) "per-cell blocked sums to total" o.Cell_sim.blocked
+    (Array.fold_left ( + ) 0 o.Cell_sim.blocked_per_cell);
+  Alcotest.(check bool) "hot cell blocks most" true
+    (o.Cell_sim.blocked_per_cell.(0)
+    >= Array.fold_left max 0 (Array.sub o.Cell_sim.blocked_per_cell 1 5))
+
+let () =
+  Alcotest.run "cellular"
+    [ ( "cell-grid",
+        [ Alcotest.test_case "reuse3 structure" `Quick test_reuse3_structure;
+          Alcotest.test_case "validation" `Quick test_grid_make_validation ] );
+      ( "borrowing",
+        [ Alcotest.test_case "protection levels" `Quick test_protection_levels;
+          Alcotest.test_case "admits borrow" `Quick test_admits_borrow ] );
+      ( "cell-sim",
+        [ Alcotest.test_case "workload generation" `Quick test_generate_calls;
+          Alcotest.test_case "borrowing under hot spot" `Quick
+            test_borrowing_happens_under_hot_spot;
+          Alcotest.test_case "controlled never worse" `Slow
+            test_controlled_never_worse_than_no_borrowing;
+          Alcotest.test_case "per-cell accounting" `Quick
+            test_per_cell_accounting ] ) ]

@@ -1,0 +1,717 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_sim
+open Arnet_core
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let feq_at tol = Alcotest.(check (float tol))
+
+(* ------------------------------------------------------------------ *)
+(* Protection *)
+
+let test_protection_table1 () =
+  (* Table 1 regression: from the paper's (rounded) loads, H=11 levels
+     reproduce exactly and H=6 levels within 2 (rounding of Lambda). *)
+  List.iter
+    (fun ((src, dst), (r6, r11)) ->
+      let offered = Nsfnet.load_of ~src ~dst in
+      let got6 = Protection.level ~offered ~capacity:100 ~h:6 in
+      let got11 = Protection.level ~offered ~capacity:100 ~h:11 in
+      Alcotest.(check bool)
+        (Printf.sprintf "H=6 %d->%d (paper %d, got %d)" src dst r6 got6)
+        true
+        (abs (got6 - r6) <= 2);
+      Alcotest.(check bool)
+        (Printf.sprintf "H=11 %d->%d (paper %d, got %d)" src dst r11 got11)
+        true
+        (abs (got11 - r11) <= 2))
+    Nsfnet.table1_protection;
+  (* and the exact-match rate is high *)
+  let exact6 =
+    List.length
+      (List.filter
+         (fun ((src, dst), (r6, _)) ->
+           Protection.level ~offered:(Nsfnet.load_of ~src ~dst) ~capacity:100
+             ~h:6
+           = r6)
+         Nsfnet.table1_protection)
+  in
+  Alcotest.(check bool) "at least 26/30 exact at H=6" true (exact6 >= 26)
+
+let test_protection_properties_small () =
+  (* h = 1: an alternate call is as good as a primary, no protection *)
+  Alcotest.(check int) "h=1 gives r=0" 0
+    (Protection.level ~offered:50. ~capacity:100 ~h:1);
+  (* huge overload: every state protected *)
+  Alcotest.(check int) "overload clamps to C" 100
+    (Protection.level ~offered:500. ~capacity:100 ~h:6);
+  (* the chosen level meets the target, the one below does not *)
+  let offered = 74. and capacity = 100 and h = 6 in
+  let r = Protection.level ~offered ~capacity ~h in
+  Alcotest.(check bool) "meets target" true
+    (Protection.bound ~offered ~capacity ~reserve:r <= 1. /. 6.);
+  Alcotest.(check bool) "minimal" true
+    (Protection.bound ~offered ~capacity ~reserve:(r - 1) > 1. /. 6.);
+  check_invalid "h < 1" (fun () ->
+      ignore (Protection.level ~offered:1. ~capacity:10 ~h:0));
+  check_invalid "bad capacity" (fun () ->
+      ignore (Protection.level ~offered:1. ~capacity:0 ~h:2))
+
+let test_protection_levels_of_loads () =
+  let levels =
+    Protection.levels_of_loads ~capacities:[| 100; 100; 10 |]
+      ~loads:[| 74.; 0.; 8. |] ~h:6
+  in
+  Alcotest.(check int) "loaded link" 7 levels.(0);
+  Alcotest.(check int) "idle link unprotected" 0 levels.(1);
+  Alcotest.(check bool) "small link protected" true (levels.(2) > 0);
+  check_invalid "length mismatch" (fun () ->
+      ignore (Protection.levels_of_loads ~capacities:[| 1 |] ~loads:[||] ~h:2))
+
+let test_protection_levels_from_matrix () =
+  let g = Nsfnet.graph () in
+  let routes = Route_table.build g in
+  let _, fit = Fit.nsfnet_nominal () in
+  let levels = Protection.levels routes fit.Fit.matrix ~h:11 in
+  Alcotest.(check int) "one level per link" 30 (Array.length levels);
+  (* spot-check against Table 1 H=11 column *)
+  let id = (Graph.find_link_exn g ~src:6 ~dst:5).Link.id in
+  Alcotest.(check int) "6->5 level" 26 levels.(id)
+
+let test_protection_sweep_monotone () =
+  let sweep =
+    Protection.sweep ~capacity:100 ~h:6
+      ~loads:(List.init 100 (fun i -> float_of_int (i + 1)))
+  in
+  let rec check_monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+      Alcotest.(check bool) "r nondecreasing in load" true (b >= a);
+      check_monotone rest
+    | _ -> ()
+  in
+  check_monotone sweep
+
+let test_path_guarantee () =
+  let g = Nsfnet.graph () in
+  let routes = Route_table.build ~h:6 g in
+  let _, fit = Fit.nsfnet_nominal () in
+  (* recompute Equation-1 loads under the H=6 table's primaries *)
+  let loads = Loads.primary_link_loads routes fit.Fit.matrix in
+  let capacities =
+    Array.map (fun (l : Link.t) -> l.Link.capacity) (Graph.links g)
+  in
+  let reserves = Protection.levels_of_loads ~capacities ~loads ~h:6 in
+  (* the scheme's invariant: every alternate path the scheme can ever
+     admit displaces at most one primary call in expectation.  Paths
+     through a fully-protected link (r = C, the overloaded links where
+     no level meets 1/H) are never admitted, so they are exempt. *)
+  let admissible p =
+    List.for_all (fun k -> reserves.(k) < capacities.(k)) (Path.link_ids p)
+  in
+  let checked = ref 0 in
+  for src = 0 to 11 do
+    for dst = 0 to 11 do
+      if src <> dst then
+        List.iter
+          (fun p ->
+            if admissible p then begin
+              incr checked;
+              let guarantee =
+                Protection.path_guarantee ~capacities ~loads ~reserves
+                  ~link_ids:(Path.link_ids p)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "guarantee on %s" (Path.to_string p))
+                true
+                (guarantee <= 1. +. 1e-9)
+            end)
+          (Route_table.alternates routes ~src ~dst)
+    done
+  done;
+  Alcotest.(check bool) "checked a substantial path set" true (!checked > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+let test_admission_rules () =
+  let a = Admission.make ~capacities:[| 10; 10 |] ~reserves:[| 0; 3 |] in
+  let occ = [| 9; 6 |] in
+  Alcotest.(check bool) "primary below capacity" true
+    (Admission.link_admits_primary a ~occupancy:occ 0);
+  Alcotest.(check bool) "alternate same as primary at r=0" true
+    (Admission.link_admits_alternate a ~occupancy:occ 0);
+  (* link 1: threshold 10-3=7; occupancy 6 admits, 7 refuses *)
+  Alcotest.(check bool) "alternate below threshold" true
+    (Admission.link_admits_alternate a ~occupancy:occ 1);
+  Alcotest.(check bool) "alternate at threshold refused" false
+    (Admission.link_admits_alternate a ~occupancy:[| 0; 7 |] 1);
+  Alcotest.(check bool) "primary still fine at threshold" true
+    (Admission.link_admits_primary a ~occupancy:[| 0; 7 |] 1);
+  Alcotest.(check bool) "primary refused at capacity" false
+    (Admission.link_admits_primary a ~occupancy:[| 10; 0 |] 0)
+
+let test_admission_paths () =
+  let g = Builders.line ~nodes:3 ~capacity:5 in
+  let a =
+    Admission.make
+      ~capacities:(Array.map (fun (l : Link.t) -> l.Link.capacity) (Graph.links g))
+      ~reserves:(Array.make (Graph.link_count g) 2)
+  in
+  let p = Path.make g [ 0; 1; 2 ] in
+  let occ = Array.make (Graph.link_count g) 0 in
+  Alcotest.(check bool) "empty admits both" true
+    (Admission.path_admits_primary a ~occupancy:occ p
+    && Admission.path_admits_alternate a ~occupancy:occ p);
+  Alcotest.(check int) "free circuits" 5
+    (Admission.free_circuits a ~occupancy:occ p);
+  (* saturate one link for alternates but not primaries *)
+  let ids = Path.link_ids p in
+  occ.(List.hd ids) <- 3;
+  Alcotest.(check bool) "alternate refused" false
+    (Admission.path_admits_alternate a ~occupancy:occ p);
+  Alcotest.(check bool) "primary admitted" true
+    (Admission.path_admits_primary a ~occupancy:occ p);
+  Alcotest.(check int) "free circuits updated" 2
+    (Admission.free_circuits a ~occupancy:occ p)
+
+let test_admission_validation () =
+  check_invalid "reserve above capacity" (fun () ->
+      ignore (Admission.make ~capacities:[| 5 |] ~reserves:[| 6 |]));
+  check_invalid "negative reserve" (fun () ->
+      ignore (Admission.make ~capacities:[| 5 |] ~reserves:[| -1 |]));
+  check_invalid "length mismatch" (fun () ->
+      ignore (Admission.make ~capacities:[| 5 |] ~reserves:[| 1; 2 |]));
+  let u = Admission.unprotected ~capacities:[| 3; 4 |] in
+  Alcotest.(check (list int)) "unprotected reserves" [ 0; 0 ]
+    (Array.to_list (Admission.reserves u));
+  Alcotest.(check (list int)) "capacities copied" [ 3; 4 ]
+    (Array.to_list (Admission.capacities u))
+
+(* ------------------------------------------------------------------ *)
+(* Controller *)
+
+let mk_call ?(u = 0.) time src dst holding = { Trace.time; src; dst; holding; u }
+
+let test_controller_primary_for () =
+  let g = Builders.full_mesh ~nodes:3 ~capacity:4 in
+  let routes = Route_table.build g in
+  let call = mk_call 0. 0 1 1. in
+  (match Controller.primary_for routes Controller.Table call with
+  | Some p -> Alcotest.(check (list int)) "table primary" [ 0; 1 ] (Path.nodes p)
+  | None -> Alcotest.fail "primary expected");
+  let sampled =
+    Controller.Sampled
+      (fun ~src ~dst ~u:_ -> Some (Path.make g [ src; 2; dst ]))
+  in
+  (match Controller.primary_for routes sampled call with
+  | Some p -> Alcotest.(check (list int)) "sampled primary" [ 0; 2; 1 ] (Path.nodes p)
+  | None -> Alcotest.fail "primary expected");
+  let never = Controller.Sampled (fun ~src:_ ~dst:_ ~u:_ -> None) in
+  Alcotest.(check bool) "unroutable" true
+    (Controller.primary_for routes never call = None)
+
+let test_controller_decide () =
+  let g = Builders.full_mesh ~nodes:3 ~capacity:2 in
+  let routes = Route_table.build g in
+  let capacities =
+    Array.map (fun (l : Link.t) -> l.Link.capacity) (Graph.links g)
+  in
+  let admission = Admission.unprotected ~capacities in
+  let occ = Array.make (Graph.link_count g) 0 in
+  let call = mk_call 0. 0 1 1. in
+  let decide occ allow =
+    Controller.decide ~routes ~admission ~choice:Controller.Table
+      ~allow_alternates:allow ~occupancy:occ ~call
+  in
+  (match decide occ true with
+  | Engine.Routed p -> Alcotest.(check int) "primary when free" 1 (Path.hops p)
+  | Engine.Lost -> Alcotest.fail "should route");
+  (* saturate the direct link *)
+  let direct = (Graph.find_link_exn g ~src:0 ~dst:1).Link.id in
+  occ.(direct) <- 2;
+  (match decide occ true with
+  | Engine.Routed p ->
+    Alcotest.(check (list int)) "shortest alternate" [ 0; 2; 1 ] (Path.nodes p)
+  | Engine.Lost -> Alcotest.fail "alternate expected");
+  (match decide occ false with
+  | Engine.Lost -> ()
+  | Engine.Routed _ -> Alcotest.fail "single-path must lose");
+  (* saturate everything out of node 0 *)
+  let out02 = (Graph.find_link_exn g ~src:0 ~dst:2).Link.id in
+  occ.(out02) <- 2;
+  match decide occ true with
+  | Engine.Lost -> ()
+  | Engine.Routed _ -> Alcotest.fail "no capacity left"
+
+(* ------------------------------------------------------------------ *)
+(* Scheme *)
+
+let run_scheme g matrix policy calls =
+  let trace = Trace.of_calls ~matrix ~duration:100. calls in
+  Engine.run ~warmup:0. ~graph:g ~policy trace
+
+let test_scheme_single_path () =
+  let g = Builders.full_mesh ~nodes:3 ~capacity:1 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:3 ~demand:1. in
+  let stats =
+    run_scheme g matrix
+      (Scheme.single_path routes)
+      [ mk_call 1. 0 1 10.; mk_call 2. 0 1 1. ]
+  in
+  Alcotest.(check int) "second call lost" 1 stats.Stats.blocked;
+  Alcotest.(check int) "no alternates ever" 0 stats.Stats.carried_alternate
+
+let test_scheme_uncontrolled_vs_controlled () =
+  let g = Builders.full_mesh ~nodes:3 ~capacity:2 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:3 ~demand:1. in
+  let calls = [ mk_call 1. 0 1 10.; mk_call 2. 0 1 10.; mk_call 3. 0 1 10. ] in
+  (* uncontrolled: third call detours via 2 *)
+  let unc = run_scheme g matrix (Scheme.uncontrolled routes) calls in
+  Alcotest.(check int) "uncontrolled carries all" 0 unc.Stats.blocked;
+  Alcotest.(check int) "one alternate" 1 unc.Stats.carried_alternate;
+  (* full protection (r = C on every link): alternates never admitted *)
+  let reserves = Array.make (Graph.link_count g) 2 in
+  let ctl = run_scheme g matrix (Scheme.controlled ~reserves routes) calls in
+  Alcotest.(check int) "fully protected blocks the third" 1 ctl.Stats.blocked;
+  Alcotest.(check int) "no alternates" 0 ctl.Stats.carried_alternate
+
+let test_scheme_controlled_threshold () =
+  (* C=2, r=1: a link takes an alternate call only when empty *)
+  let g = Builders.full_mesh ~nodes:3 ~capacity:2 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:3 ~demand:1. in
+  let reserves = Array.make (Graph.link_count g) 1 in
+  let policy = Scheme.controlled ~reserves routes in
+  (* occupy 0->2 with a primary, then saturate 0->1: the alternate
+     0->2->1 must be refused because 0->2 is at occupancy 1 = C - r *)
+  let calls =
+    [ mk_call 1. 0 2 10.;  (* primary on 0->2 *)
+      mk_call 2. 0 1 10.;
+      mk_call 3. 0 1 10.;
+      mk_call 4. 0 1 1.  (* primary full; alternate via 2 refused *) ]
+  in
+  let stats = run_scheme g matrix policy calls in
+  Alcotest.(check int) "alternate refused by protection" 1 stats.Stats.blocked;
+  (* same story without the first call: alternate admitted *)
+  let calls' = [ mk_call 2. 0 1 10.; mk_call 3. 0 1 10.; mk_call 4. 0 1 1. ] in
+  let stats' = run_scheme g matrix policy calls' in
+  Alcotest.(check int) "alternate admitted when links empty" 0
+    stats'.Stats.blocked
+
+let test_scheme_controlled_auto_matches_manual () =
+  let g = Builders.full_mesh ~nodes:4 ~capacity:30 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:25. in
+  let auto = Scheme.controlled_auto ~matrix routes in
+  let manual =
+    Scheme.controlled
+      ~reserves:(Protection.levels routes matrix ~h:(Route_table.h routes))
+      routes
+  in
+  let rng = Rng.create ~seed:33 in
+  let trace = Trace.generate ~rng ~duration:50. matrix in
+  let s1 = Engine.run ~warmup:5. ~graph:g ~policy:auto trace in
+  let s2 = Engine.run ~warmup:5. ~graph:g ~policy:manual trace in
+  Alcotest.(check int) "identical decisions" s1.Stats.blocked s2.Stats.blocked
+
+let test_scheme_ott_krishnan_basic () =
+  let g = Builders.full_mesh ~nodes:3 ~capacity:5 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:3 ~demand:3. in
+  let policy = Scheme.ott_krishnan ~matrix routes in
+  (* an empty network must route the (cheap) primary *)
+  let stats = run_scheme g matrix policy [ mk_call 1. 0 1 1. ] in
+  Alcotest.(check int) "carried" 0 stats.Stats.blocked;
+  Alcotest.(check int) "on primary" 1 stats.Stats.carried_primary
+
+let test_scheme_ott_krishnan_blocks_on_price () =
+  (* tiny capacities and heavy load make shadow prices ~1 per link; a
+     2-hop alternate then costs more than the call's revenue, so O-K
+     blocks even though capacity exists *)
+  let g = Builders.full_mesh ~nodes:3 ~capacity:1 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:3 ~demand:50. in
+  let policy = Scheme.ott_krishnan ~matrix routes in
+  let calls = [ mk_call 1. 0 1 10.; mk_call 2. 0 1 1. ] in
+  let stats = run_scheme g matrix policy calls in
+  (* direct link full; alternate 0->2->1 costs ~ 2 * B(50,1)/B(50,0) ~ 2 *)
+  Alcotest.(check int) "blocked by price despite capacity" 1 stats.Stats.blocked;
+  (* with a generous revenue the same call is admitted *)
+  let generous = Scheme.ott_krishnan ~revenue:10. ~matrix routes in
+  let stats' = run_scheme g matrix generous calls in
+  Alcotest.(check int) "admitted at high revenue" 0 stats'.Stats.blocked
+
+let test_scheme_ott_krishnan_reduced () =
+  let g = Builders.full_mesh ~nodes:3 ~capacity:5 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:3 ~demand:4. in
+  let policy = Scheme.ott_krishnan ~reduced_load:true ~matrix routes in
+  Alcotest.(check string) "name marks variant" "ott-krishnan-reduced"
+    (Scheme.name_of policy);
+  let stats = run_scheme g matrix policy [ mk_call 1. 0 1 1. ] in
+  Alcotest.(check int) "works" 0 stats.Stats.blocked
+
+let test_scheme_length_aware () =
+  (* K4, C=4: thresholds are laxer for 2-hop than for 3-hop alternates *)
+  let g = Builders.full_mesh ~nodes:4 ~capacity:4 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:3.5 in
+  let policy = Scheme.controlled_length_aware ~matrix routes in
+  Alcotest.(check string) "name" "controlled-length-aware"
+    (Scheme.name_of policy);
+  (* empty network: primary rules unchanged *)
+  let stats = run_scheme g matrix policy [ mk_call 1. 0 1 1. ] in
+  Alcotest.(check int) "primary carried" 1 stats.Stats.carried_primary;
+  (* and the per-length thresholds are ordered correctly *)
+  let r2 = Protection.level ~offered:3.5 ~capacity:4 ~h:2 in
+  let r3 = Protection.level ~offered:3.5 ~capacity:4 ~h:3 in
+  Alcotest.(check bool) "longer paths face tighter thresholds" true (r3 >= r2);
+  (* guarantee argument: every l-hop alternate's summed bound <= 1 *)
+  let loads = Loads.primary_link_loads routes matrix in
+  let capacities =
+    Array.map (fun (l : Link.t) -> l.Link.capacity) (Graph.links g)
+  in
+  for src = 0 to 3 do
+    for dst = 0 to 3 do
+      if src <> dst then
+        List.iter
+          (fun p ->
+            let l = Path.hops p in
+            let reserves =
+              Array.mapi
+                (fun k c ->
+                  if loads.(k) <= 0. then 0
+                  else Protection.level ~offered:loads.(k) ~capacity:c ~h:l)
+                capacities
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "guarantee on %s" (Path.to_string p))
+              true
+              (Protection.path_guarantee ~capacities ~loads ~reserves
+                 ~link_ids:(Path.link_ids p)
+              <= 1. +. 1e-9))
+          (Route_table.alternates routes ~src ~dst)
+    done
+  done
+
+let test_scheme_least_busy () =
+  let g = Builders.full_mesh ~nodes:4 ~capacity:4 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:1. in
+  let policy = Scheme.least_busy routes in
+  (* fill 0->1; make detour via 2 busier than via 3 *)
+  let calls =
+    [ mk_call 1. 0 1 20.; mk_call 1.5 0 1 20.; mk_call 2. 0 1 20.;
+      mk_call 2.5 0 1 20.;  (* 0->1 now full *)
+      mk_call 3. 0 2 20.; mk_call 3.5 0 2 20.;  (* 0->2 at 2/4 *)
+      mk_call 4. 0 1 1.  (* should detour via 3, the less busy *) ]
+  in
+  let trace = Trace.of_calls ~matrix ~duration:100. calls in
+  (* instrument by wrapping decide *)
+  let chosen = ref [] in
+  let spy =
+    { policy with
+      Engine.decide =
+        (fun ~occupancy ~call ->
+          let d = policy.Engine.decide ~occupancy ~call in
+          (match d with
+          | Engine.Routed p -> chosen := Path.nodes p :: !chosen
+          | Engine.Lost -> ());
+          d) }
+  in
+  let _ = Engine.run ~warmup:0. ~graph:g ~policy:spy trace in
+  match !chosen with
+  | last :: _ ->
+    Alcotest.(check (list int)) "least busy detour via 3" [ 0; 3; 1 ] last
+  | [] -> Alcotest.fail "no decisions recorded"
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1 *)
+
+let test_theorem_holds_across_grid () =
+  List.iter
+    (fun (primary, capacity, reserve) ->
+      List.iter
+        (fun overflow ->
+          Alcotest.(check bool)
+            (Printf.sprintf "nu=%g C=%d r=%d" primary capacity reserve)
+            true
+            (Theorem.verify ~primary ~overflow ~capacity ~reserve))
+        [ (fun _ -> 0.);
+          (fun _ -> 5.);
+          (fun s -> float_of_int s);
+          (fun s -> 20. /. (1. +. float_of_int s)) ])
+    [ (5., 10, 2); (7., 10, 3); (50., 60, 5); (80., 100, 10); (120., 100, 30) ]
+
+let test_theorem_exact_loss_positive_and_bounded () =
+  let primary = 7. and capacity = 10 and reserve = 3 in
+  let overflow _ = 2. in
+  let bound = Theorem.bound ~primary ~capacity ~reserve in
+  for s = 0 to capacity - reserve - 1 do
+    let l = Theorem.extra_loss_exact ~primary ~overflow ~capacity ~reserve ~state:s in
+    Alcotest.(check bool) "positive" true (l > 0.);
+    Alcotest.(check bool) "below bound" true (l <= bound +. 1e-9)
+  done;
+  check_invalid "state in protected region" (fun () ->
+      ignore
+        (Theorem.extra_loss_exact ~primary ~overflow ~capacity ~reserve
+           ~state:(capacity - reserve)))
+
+let test_theorem_loss_increases_with_state () =
+  (* seizing a circuit on a fuller link displaces more future primaries *)
+  let primary = 7. and capacity = 10 and reserve = 3 in
+  let overflow _ = 1. in
+  let prev = ref 0. in
+  for s = 0 to capacity - reserve - 1 do
+    let l = Theorem.extra_loss_exact ~primary ~overflow ~capacity ~reserve ~state:s in
+    Alcotest.(check bool) "monotone in state" true (l >= !prev);
+    prev := l
+  done
+
+let test_theorem_bound_independent_of_overflow () =
+  let b1 = Theorem.bound ~primary:10. ~capacity:20 ~reserve:4 in
+  feq_at 1e-12 "bound is the blocking ratio"
+    (Arnet_erlang.Erlang_b.blocking_ratio ~offered:10. ~capacity:20 ~reserve:4)
+    b1
+
+(* ------------------------------------------------------------------ *)
+(* Approximation (fixed point of the controlled scheme) *)
+
+let test_approx_single_link_is_erlang () =
+  (* one isolated link: the fixed point is plain Erlang B *)
+  let g = Graph.create ~nodes:2 [ Link.make ~id:0 ~src:0 ~dst:1 ~capacity:20 ] in
+  let routes = Route_table.build g in
+  let matrix = Matrix.make ~nodes:2 (fun i _ -> if i = 0 then 15. else 0.) in
+  let t = Approximation.solve ~routes ~reserves:[| 0 |] matrix in
+  Alcotest.(check bool) "converged" true t.Approximation.converged;
+  feq_at 1e-6 "Erlang B recovered"
+    (Arnet_erlang.Erlang_b.blocking ~offered:15. ~capacity:20)
+    t.Approximation.network_blocking
+
+let test_approx_full_reserve_is_single_path () =
+  (* reserves = capacity: alternates never admitted, so the fixed point
+     must match the primaries-only reduced-load model *)
+  let g = Builders.full_mesh ~nodes:4 ~capacity:30 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:28. in
+  let capacities =
+    Array.map (fun (l : Link.t) -> l.Link.capacity) (Graph.links g)
+  in
+  let t = Approximation.solve ~routes ~reserves:capacities matrix in
+  (* primaries in K4 are single links: expected loss = B(28, 30) per pair *)
+  feq_at 1e-4 "single-path fixed point"
+    (Arnet_erlang.Erlang_b.blocking ~offered:28. ~capacity:30)
+    t.Approximation.network_blocking
+
+let test_approx_matches_simulation () =
+  let routes, nominal = Arnet_experiments.Internet.nominal () in
+  let g = Route_table.graph routes in
+  let reserves = Protection.levels routes nominal ~h:(Route_table.h routes) in
+  let approx = Approximation.solve ~routes ~reserves nominal in
+  Alcotest.(check bool) "converged" true approx.Approximation.converged;
+  let results =
+    Engine.replicate ~warmup:10. ~seeds:[ 1; 2; 3 ] ~duration:60. ~graph:g
+      ~matrix:nominal
+      ~policies:[ Scheme.controlled ~reserves routes ]
+      ()
+  in
+  let sim =
+    (Stats.blocking_summary (List.assoc "controlled" results)).Stats.mean
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "approx %.4f within 2pp of sim %.4f"
+       approx.Approximation.network_blocking sim)
+    true
+    (Float.abs (approx.Approximation.network_blocking -. sim) < 0.02)
+
+let test_approx_pair_blocking_consistent () =
+  let routes, nominal = Arnet_experiments.Internet.nominal () in
+  let reserves = Protection.levels routes nominal ~h:11 in
+  let t = Approximation.solve ~routes ~reserves nominal in
+  (* demand-weighted pair blocking re-aggregates to the network figure *)
+  let lost = ref 0. and total = ref 0. in
+  Matrix.iter_demands nominal (fun src dst d ->
+      total := !total +. d;
+      lost := !lost +. (d *. Approximation.pair_blocking t ~routes ~src ~dst));
+  feq_at 1e-9 "aggregation consistent" t.Approximation.network_blocking
+    (!lost /. !total);
+  (* unrouted pairs are fully blocked *)
+  let g2 = Graph.of_edges ~nodes:3 ~capacity:5 [ (0, 1) ] in
+  let r2 = Route_table.build g2 in
+  let m2 = Matrix.make ~nodes:3 (fun i j -> if i = 0 && j = 1 then 1. else 0.) in
+  let t2 = Approximation.solve ~routes:r2 ~reserves:[| 0; 0 |] m2 in
+  feq_at 1e-12 "unrouted pair" 1.
+    (Approximation.pair_blocking t2 ~routes:r2 ~src:0 ~dst:2)
+
+let test_approx_validation () =
+  let g = Builders.full_mesh ~nodes:3 ~capacity:5 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:3 ~demand:1. in
+  check_invalid "reserves length" (fun () ->
+      ignore (Approximation.solve ~routes ~reserves:[| 0 |] matrix));
+  check_invalid "bad damping" (fun () ->
+      ignore
+        (Approximation.solve ~damping:0.
+           ~routes
+           ~reserves:(Array.make (Graph.link_count g) 0)
+           matrix));
+  check_invalid "matrix size" (fun () ->
+      ignore
+        (Approximation.solve ~routes
+           ~reserves:(Array.make (Graph.link_count g) 0)
+           (Matrix.uniform ~nodes:4 ~demand:1.)))
+
+(* ------------------------------------------------------------------ *)
+(* Bistability (mean-field avalanche model) *)
+
+let test_bistability_band () =
+  (* inside the band: cold and hot starts settle on different regimes *)
+  let cold = Bistability.fixed_point_from ~offered:75. ~capacity:100 ~reserve:0 `Cold in
+  let hot = Bistability.fixed_point_from ~offered:75. ~capacity:100 ~reserve:0 `Hot in
+  Alcotest.(check bool) "cold regime is low" true
+    (cold.Bistability.network_blocking < 0.01);
+  Alcotest.(check bool) "hot regime is high" true
+    (hot.Bistability.network_blocking > 0.10);
+  Alcotest.(check bool) "bistable at 75" true
+    (Bistability.is_bistable ~offered:75. ~capacity:100 ~reserve:0 ());
+  (* outside the band on both sides: unique fixed point *)
+  Alcotest.(check bool) "monostable at 60" false
+    (Bistability.is_bistable ~offered:60. ~capacity:100 ~reserve:0 ());
+  Alcotest.(check bool) "monostable at 100 (high)" false
+    (Bistability.is_bistable ~offered:100. ~capacity:100 ~reserve:0 ())
+
+let test_bistability_protection_removes_it () =
+  List.iter
+    (fun offered ->
+      Alcotest.(check bool)
+        (Printf.sprintf "r=5 monostable at %g" offered)
+        false
+        (Bistability.is_bistable ~offered ~capacity:100 ~reserve:5 ()))
+    [ 70.; 75.; 80.; 85. ];
+  (* and the protected overload blocking is far below the free hot state *)
+  let free = Bistability.fixed_point_from ~offered:100. ~capacity:100 ~reserve:0 `Hot in
+  let prot = Bistability.fixed_point_from ~offered:100. ~capacity:100 ~reserve:5 `Hot in
+  Alcotest.(check bool) "protection tames the overload regime" true
+    (prot.Bistability.network_blocking
+    < 0.5 *. free.Bistability.network_blocking)
+
+let test_bistability_critical_load () =
+  (match Bistability.critical_load ~capacity:100 ~reserve:0 () with
+  | Some a -> Alcotest.(check bool) "onset in [60, 75]" true (a > 60. && a < 75.)
+  | None -> Alcotest.fail "free model must be bistable somewhere");
+  Alcotest.(check bool) "protected model never bistable" true
+    (Bistability.critical_load ~capacity:100 ~reserve:10 () = None)
+
+let test_bistability_validation () =
+  check_invalid "bad load" (fun () ->
+      ignore
+        (Bistability.fixed_point_from ~offered:0. ~capacity:10 ~reserve:0 `Cold));
+  check_invalid "reserve = capacity" (fun () ->
+      ignore
+        (Bistability.fixed_point_from ~offered:1. ~capacity:10 ~reserve:10
+           `Cold));
+  check_invalid "attempts < 1" (fun () ->
+      ignore
+        (Bistability.fixed_point_from ~attempts:0 ~offered:1. ~capacity:10
+           ~reserve:0 `Cold))
+
+let prop_bistability_cold_below_hot =
+  QCheck2.Test.make ~count:40 ~name:"cold fixed point never above hot"
+    QCheck2.Gen.(
+      let* offered = float_range 10. 120. in
+      let* reserve = int_range 0 10 in
+      let* attempts = int_range 1 12 in
+      return (offered, reserve, attempts))
+    (fun (offered, reserve, attempts) ->
+      let fp start =
+        Bistability.fixed_point_from ~attempts ~offered ~capacity:100
+          ~reserve start
+      in
+      let cold = fp `Cold and hot = fp `Hot in
+      cold.Bistability.network_blocking
+      <= hot.Bistability.network_blocking +. 1e-6
+      && cold.Bistability.network_blocking >= 0.
+      && hot.Bistability.network_blocking <= 1.)
+
+let prop_theorem_random_overflow =
+  QCheck2.Test.make ~count:60 ~name:"Theorem 1 under random overflow patterns"
+    QCheck2.Gen.(
+      let* nu = float_range 1. 60. in
+      let* c = int_range 3 60 in
+      let* r = int_range 0 3 in
+      let* o = float_range 0. 50. in
+      let* decay = float_range 0.1 2. in
+      return (nu, c, min r (c - 1), o, decay))
+    (fun (nu, c, r, o, decay) ->
+      let overflow s = o *. exp (-.decay *. float_of_int s) in
+      Theorem.verify ~primary:nu ~overflow ~capacity:c ~reserve:r)
+
+let () =
+  Alcotest.run "core"
+    [ ( "protection",
+        [ Alcotest.test_case "table 1 regression" `Quick test_protection_table1;
+          Alcotest.test_case "small properties" `Quick
+            test_protection_properties_small;
+          Alcotest.test_case "levels of loads" `Quick
+            test_protection_levels_of_loads;
+          Alcotest.test_case "levels from matrix" `Quick
+            test_protection_levels_from_matrix;
+          Alcotest.test_case "sweep monotone" `Quick
+            test_protection_sweep_monotone;
+          Alcotest.test_case "path guarantee <= 1" `Quick test_path_guarantee ] );
+      ( "admission",
+        [ Alcotest.test_case "link rules" `Quick test_admission_rules;
+          Alcotest.test_case "path rules" `Quick test_admission_paths;
+          Alcotest.test_case "validation" `Quick test_admission_validation ] );
+      ( "controller",
+        [ Alcotest.test_case "primary_for" `Quick test_controller_primary_for;
+          Alcotest.test_case "decide" `Quick test_controller_decide ] );
+      ( "scheme",
+        [ Alcotest.test_case "single-path" `Quick test_scheme_single_path;
+          Alcotest.test_case "uncontrolled vs controlled" `Quick
+            test_scheme_uncontrolled_vs_controlled;
+          Alcotest.test_case "protection threshold" `Quick
+            test_scheme_controlled_threshold;
+          Alcotest.test_case "controlled_auto" `Quick
+            test_scheme_controlled_auto_matches_manual;
+          Alcotest.test_case "ott-krishnan basic" `Quick
+            test_scheme_ott_krishnan_basic;
+          Alcotest.test_case "ott-krishnan price blocking" `Quick
+            test_scheme_ott_krishnan_blocks_on_price;
+          Alcotest.test_case "ott-krishnan reduced" `Quick
+            test_scheme_ott_krishnan_reduced;
+          Alcotest.test_case "least-busy" `Quick test_scheme_least_busy;
+          Alcotest.test_case "length-aware" `Quick test_scheme_length_aware ] );
+      ( "approximation",
+        [ Alcotest.test_case "single link = Erlang" `Quick
+            test_approx_single_link_is_erlang;
+          Alcotest.test_case "full reserve = single-path" `Quick
+            test_approx_full_reserve_is_single_path;
+          Alcotest.test_case "matches simulation" `Slow
+            test_approx_matches_simulation;
+          Alcotest.test_case "pair blocking consistent" `Quick
+            test_approx_pair_blocking_consistent;
+          Alcotest.test_case "validation" `Quick test_approx_validation ] );
+      ( "bistability",
+        [ Alcotest.test_case "bistable band" `Quick test_bistability_band;
+          Alcotest.test_case "protection removes it" `Quick
+            test_bistability_protection_removes_it;
+          Alcotest.test_case "critical load" `Quick
+            test_bistability_critical_load;
+          Alcotest.test_case "validation" `Quick test_bistability_validation;
+          QCheck_alcotest.to_alcotest prop_bistability_cold_below_hot ] );
+      ( "theorem",
+        [ Alcotest.test_case "grid" `Quick test_theorem_holds_across_grid;
+          Alcotest.test_case "exact loss bounded" `Quick
+            test_theorem_exact_loss_positive_and_bounded;
+          Alcotest.test_case "loss monotone in state" `Quick
+            test_theorem_loss_increases_with_state;
+          Alcotest.test_case "bound formula" `Quick
+            test_theorem_bound_independent_of_overflow;
+          QCheck_alcotest.to_alcotest prop_theorem_random_overflow ] ) ]

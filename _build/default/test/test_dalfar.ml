@@ -1,0 +1,154 @@
+open Arnet_topology
+open Arnet_paths
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* ------------------------------------------------------------------ *)
+(* Distance_vector *)
+
+let test_dv_agrees_with_bfs () =
+  List.iter
+    (fun g ->
+      let dv = Distance_vector.compute g in
+      Alcotest.(check bool) "matches centralized BFS" true
+        (Distance_vector.agrees_with_bfs g dv))
+    [ Nsfnet.graph ();
+      Builders.full_mesh ~nodes:5 ~capacity:1;
+      Builders.ring ~nodes:7 ~capacity:1;
+      Graph.of_edges ~nodes:4 ~capacity:1 [ (0, 1); (2, 3) ] (* disconnected *) ]
+
+let test_dv_convergence_cost () =
+  let g = Builders.line ~nodes:6 ~capacity:1 in
+  let dv = Distance_vector.compute g in
+  (* information must travel the diameter: at least diameter rounds,
+     plus one quiescent round *)
+  Alcotest.(check bool) "rounds ~ diameter" true
+    (Distance_vector.rounds dv >= Bfs.diameter g
+    && Distance_vector.rounds dv <= Bfs.diameter g + 2);
+  Alcotest.(check int) "messages = links x rounds"
+    (Graph.link_count g * Distance_vector.rounds dv)
+    (Distance_vector.messages dv)
+
+let test_dv_queries () =
+  let g = Nsfnet.graph () in
+  let dv = Distance_vector.compute g in
+  Alcotest.(check int) "self distance" 0 (Distance_vector.distance dv ~from:3 ~to_:3);
+  Alcotest.(check int) "adjacent" 1 (Distance_vector.distance dv ~from:0 ~to_:1);
+  let tbl = Distance_vector.table dv 0 in
+  Alcotest.(check int) "table agrees" (Distance_vector.distance dv ~from:0 ~to_:6)
+    tbl.(6);
+  (* next hops lie on shortest paths *)
+  let hops = Distance_vector.next_hops dv ~from:0 ~to_:6 in
+  Alcotest.(check bool) "at least one next hop" true (hops <> []);
+  List.iter
+    (fun n ->
+      Alcotest.(check int) "next hop one closer"
+        (Distance_vector.distance dv ~from:0 ~to_:6 - 1)
+        (Distance_vector.distance dv ~from:n ~to_:6))
+    hops;
+  (* the deterministic primary's first hop is the smallest next hop *)
+  let p = Option.get (Bfs.min_hop_path g ~src:0 ~dst:6) in
+  (match Path.nodes p with
+  | _ :: second :: _ ->
+    Alcotest.(check int) "primary starts at first next hop" (List.hd hops) second
+  | _ -> Alcotest.fail "path too short")
+
+(* ------------------------------------------------------------------ *)
+(* Dalfar *)
+
+let test_dalfar_matches_enumeration_nsfnet () =
+  let g = Nsfnet.graph () in
+  let dv = Distance_vector.compute g in
+  for src = 0 to 11 do
+    for dst = 0 to 11 do
+      if src <> dst then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "pair %d->%d full" src dst)
+          true
+          (Dalfar.matches_enumeration g dv ~src ~dst ~max_hops:11);
+        Alcotest.(check bool)
+          (Printf.sprintf "pair %d->%d capped" src dst)
+          true
+          (Dalfar.matches_enumeration g dv ~src ~dst ~max_hops:4)
+      end
+    done
+  done
+
+let test_dalfar_first_path_is_shortest () =
+  let g = Nsfnet.graph () in
+  let dv = Distance_vector.compute g in
+  let paths, stats = Dalfar.find_paths g dv ~src:0 ~dst:6 ~max_hops:11 in
+  (match paths with
+  | first :: _ ->
+    let shortest = Option.get (Bfs.min_hop_path g ~src:0 ~dst:6) in
+    Alcotest.(check int) "first discovered has min hops" (Path.hops shortest)
+      (Path.hops first)
+  | [] -> Alcotest.fail "paths expected");
+  Alcotest.(check bool) "crankbacks recorded" true (stats.Dalfar.crankbacks > 0);
+  Alcotest.(check bool) "expansions recorded" true (stats.Dalfar.expansions > 0)
+
+let test_dalfar_max_paths () =
+  let g = Builders.full_mesh ~nodes:4 ~capacity:1 in
+  let dv = Distance_vector.compute g in
+  let paths, _ = Dalfar.find_paths ~max_paths:2 g dv ~src:0 ~dst:1 ~max_hops:3 in
+  Alcotest.(check int) "stops at limit" 2 (List.length paths)
+
+let test_dalfar_first_available () =
+  let g = Builders.full_mesh ~nodes:4 ~capacity:1 in
+  let dv = Distance_vector.compute g in
+  (* refuse the direct path; the set-up must crank back and settle on a
+     2-hop detour *)
+  let admits p = Path.hops p >= 2 in
+  (match Dalfar.first_available g dv ~src:0 ~dst:1 ~max_hops:3 ~admits with
+  | Some (p, _) -> Alcotest.(check int) "detour found" 2 (Path.hops p)
+  | None -> Alcotest.fail "path expected");
+  (* admitting nothing exhausts the search *)
+  Alcotest.(check bool) "no admissible path" true
+    (Dalfar.first_available g dv ~src:0 ~dst:1 ~max_hops:3
+       ~admits:(fun _ -> false)
+    = None)
+
+let test_dalfar_validation () =
+  let g = Builders.full_mesh ~nodes:3 ~capacity:1 in
+  let dv = Distance_vector.compute g in
+  check_invalid "src = dst" (fun () ->
+      ignore (Dalfar.find_paths g dv ~src:0 ~dst:0 ~max_hops:2));
+  check_invalid "bad max_hops" (fun () ->
+      ignore (Dalfar.find_paths g dv ~src:0 ~dst:1 ~max_hops:0))
+
+let prop_dalfar_equals_enumeration =
+  QCheck2.Test.make ~count:60 ~name:"dalfar = enumeration on random graphs"
+    QCheck2.Gen.(
+      let* n = int_range 3 6 in
+      let all =
+        List.concat_map
+          (fun i -> List.init (n - i - 1) (fun j -> (i, i + j + 1)))
+          (List.init n (fun i -> i))
+      in
+      let spanning = List.init (n - 1) (fun i -> (i, i + 1)) in
+      let* extra = list_size (int_range 0 5) (oneofl all) in
+      let* h = int_range 1 5 in
+      return (n, List.sort_uniq compare (spanning @ extra), h))
+    (fun (n, edges, h) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:1 edges in
+      let dv = Distance_vector.compute g in
+      Dalfar.matches_enumeration g dv ~src:0 ~dst:(n - 1) ~max_hops:h)
+
+let () =
+  Alcotest.run "dalfar"
+    [ ( "distance-vector",
+        [ Alcotest.test_case "agrees with bfs" `Quick test_dv_agrees_with_bfs;
+          Alcotest.test_case "convergence cost" `Quick test_dv_convergence_cost;
+          Alcotest.test_case "queries" `Quick test_dv_queries ] );
+      ( "dalfar",
+        [ Alcotest.test_case "matches enumeration (nsfnet)" `Quick
+            test_dalfar_matches_enumeration_nsfnet;
+          Alcotest.test_case "first path shortest" `Quick
+            test_dalfar_first_path_is_shortest;
+          Alcotest.test_case "max paths" `Quick test_dalfar_max_paths;
+          Alcotest.test_case "first available" `Quick
+            test_dalfar_first_available;
+          Alcotest.test_case "validation" `Quick test_dalfar_validation;
+          QCheck_alcotest.to_alcotest prop_dalfar_equals_enumeration ] ) ]

@@ -1,0 +1,94 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_sim
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let mk_call time src dst holding = { Trace.time; src; dst; holding; u = 0. }
+
+let setup () =
+  let g = Graph.of_edges ~nodes:2 ~capacity:2 [ (0, 1) ] in
+  let routes = Route_table.build g in
+  let matrix = Matrix.make ~nodes:2 (fun i _ -> if i = 0 then 1. else 0.) in
+  (g, Arnet_core.Scheme.single_path routes, matrix)
+
+let test_identical_decisions () =
+  let g, policy, matrix = setup () in
+  let rng = Rng.create ~seed:3 in
+  let trace = Trace.generate ~rng ~duration:40. matrix in
+  let plain = Engine.run ~warmup:5. ~graph:g ~policy trace in
+  let recorder = Instrument.create g in
+  let wrapped = Instrument.wrap recorder policy in
+  let instrumented = Engine.run ~warmup:5. ~graph:g ~policy:wrapped trace in
+  Alcotest.(check int) "same blocked" plain.Stats.blocked
+    instrumented.Stats.blocked;
+  Alcotest.(check int) "same offered" plain.Stats.offered
+    instrumented.Stats.offered;
+  Alcotest.(check int) "every decision observed" (Trace.call_count trace)
+    (Instrument.samples recorder)
+
+let test_occupancy_statistics () =
+  let g, policy, matrix = setup () in
+  let recorder = Instrument.create g in
+  let wrapped = Instrument.wrap recorder policy in
+  (* one long call occupies the link when the later calls arrive; the
+     third arrives before the second departs *)
+  let trace =
+    Trace.of_calls ~matrix ~duration:20.
+      [ mk_call 1. 0 1 15.; mk_call 2. 0 1 1.; mk_call 2.5 0 1 1. ]
+  in
+  let _ = Engine.run ~warmup:0. ~graph:g ~policy:wrapped trace in
+  let id = (Graph.find_link_exn g ~src:0 ~dst:1).Link.id in
+  (* occupancies seen at the 3 arrivals: 0, 1, 2 -> mean 1 *)
+  Alcotest.(check (float 1e-9)) "mean occupancy" 1.
+    (Instrument.mean_occupancy recorder).(id);
+  Alcotest.(check (float 1e-9)) "mean utilization" 0.5
+    (Instrument.mean_utilization recorder).(id);
+  Alcotest.(check int) "peak" 2 (Instrument.peak_occupancy recorder).(id)
+
+let test_hop_histogram_and_log () =
+  let g = Builders.full_mesh ~nodes:3 ~capacity:1 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.make ~nodes:3 (fun i j -> if i = 0 && j = 1 then 1. else 0.) in
+  let policy = Arnet_core.Scheme.uncontrolled routes in
+  let recorder = Instrument.create ~log_limit:2 g in
+  let wrapped = Instrument.wrap recorder policy in
+  (* first call direct (1 hop), second detours (2 hops), third lost *)
+  let trace =
+    Trace.of_calls ~matrix ~duration:20.
+      [ mk_call 1. 0 1 10.; mk_call 2. 0 1 10.; mk_call 3. 0 1 10. ]
+  in
+  let _ = Engine.run ~warmup:0. ~graph:g ~policy:wrapped trace in
+  let h = Instrument.hop_histogram recorder in
+  Alcotest.(check int) "lost" 1 h.(0);
+  Alcotest.(check int) "direct" 1 h.(1);
+  Alcotest.(check int) "two-hop" 1 h.(2);
+  (* the bounded log kept the first two decisions *)
+  match Instrument.log recorder with
+  | [ a; b ] ->
+    Alcotest.(check (option int)) "first routed direct" (Some 1)
+      a.Instrument.routed_hops;
+    Alcotest.(check (option int)) "second routed detour" (Some 2)
+      b.Instrument.routed_hops;
+    Alcotest.(check bool) "chronological" true
+      (a.Instrument.time < b.Instrument.time)
+  | l -> Alcotest.failf "expected 2 log entries, got %d" (List.length l)
+
+let test_validation () =
+  let g, _, _ = setup () in
+  check_invalid "negative log limit" (fun () ->
+      ignore (Instrument.create ~log_limit:(-1) g))
+
+let () =
+  Alcotest.run "instrument"
+    [ ( "instrument",
+        [ Alcotest.test_case "identical decisions" `Quick
+            test_identical_decisions;
+          Alcotest.test_case "occupancy statistics" `Quick
+            test_occupancy_statistics;
+          Alcotest.test_case "hop histogram and log" `Quick
+            test_hop_histogram_and_log;
+          Alcotest.test_case "validation" `Quick test_validation ] ) ]

@@ -1,0 +1,191 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_optimize
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let feq_at tol = Alcotest.(check (float tol))
+
+(* ------------------------------------------------------------------ *)
+(* Flow *)
+
+let diamond () =
+  Graph.of_edges ~nodes:4 ~capacity:10 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_flow_make_and_query () =
+  let g = diamond () in
+  let upper = Path.make g [ 0; 1; 3 ] and lower = Path.make g [ 0; 2; 3 ] in
+  let flow = Flow.make g [ ((0, 3), [ (upper, 0.25); (lower, 0.75) ]) ] in
+  (match Flow.paths flow ~src:0 ~dst:3 with
+  | [ (_, f1); (_, f2) ] ->
+    feq_at 1e-12 "first fraction" 0.25 f1;
+    feq_at 1e-12 "second fraction" 0.75 f2
+  | _ -> Alcotest.fail "two entries expected");
+  Alcotest.(check (list (pair (list int) (float 0.)))) "unlisted pair empty" []
+    (List.map (fun (p, f) -> (Path.nodes p, f)) (Flow.paths flow ~src:1 ~dst:0));
+  Alcotest.(check int) "support" 2 (Flow.support_size flow)
+
+let test_flow_validation () =
+  let g = diamond () in
+  let upper = Path.make g [ 0; 1; 3 ] in
+  check_invalid "fractions must sum to 1" (fun () ->
+      ignore (Flow.make g [ ((0, 3), [ (upper, 0.4) ]) ]));
+  check_invalid "wrong endpoints" (fun () ->
+      ignore (Flow.make g [ ((1, 3), [ (upper, 1.) ]) ]));
+  check_invalid "duplicate pair" (fun () ->
+      ignore
+        (Flow.make g
+           [ ((0, 3), [ (upper, 1.) ]); ((0, 3), [ (upper, 1.) ]) ]));
+  check_invalid "negative fraction" (fun () ->
+      ignore
+        (Flow.make g
+           [ ((0, 3), [ (upper, 1.5); (Path.make g [ 0; 2; 3 ], -0.5) ]) ]))
+
+let test_flow_sample () =
+  let g = diamond () in
+  let upper = Path.make g [ 0; 1; 3 ] and lower = Path.make g [ 0; 2; 3 ] in
+  let flow = Flow.make g [ ((0, 3), [ (upper, 0.25); (lower, 0.75) ]) ] in
+  (match Flow.sample flow ~src:0 ~dst:3 ~u:0.1 with
+  | Some p -> Alcotest.(check (list int)) "low u -> first" [ 0; 1; 3 ] (Path.nodes p)
+  | None -> Alcotest.fail "sample expected");
+  (match Flow.sample flow ~src:0 ~dst:3 ~u:0.9 with
+  | Some p -> Alcotest.(check (list int)) "high u -> second" [ 0; 2; 3 ] (Path.nodes p)
+  | None -> Alcotest.fail "sample expected");
+  Alcotest.(check bool) "missing pair" true
+    (Flow.sample flow ~src:1 ~dst:0 ~u:0.5 = None);
+  check_invalid "u out of range" (fun () ->
+      ignore (Flow.sample flow ~src:0 ~dst:3 ~u:1.))
+
+let test_flow_link_loads_and_hops () =
+  let g = diamond () in
+  let upper = Path.make g [ 0; 1; 3 ] and lower = Path.make g [ 0; 2; 3 ] in
+  let flow = Flow.make g [ ((0, 3), [ (upper, 0.5); (lower, 0.5) ]) ] in
+  let m = Matrix.make ~nodes:4 (fun i j -> if i = 0 && j = 3 then 8. else 0.) in
+  let loads = Flow.link_loads flow m in
+  let id01 = (Graph.find_link_exn g ~src:0 ~dst:1).Link.id in
+  let id02 = (Graph.find_link_exn g ~src:0 ~dst:2).Link.id in
+  feq_at 1e-12 "split load upper" 4. loads.(id01);
+  feq_at 1e-12 "split load lower" 4. loads.(id02);
+  feq_at 1e-12 "average hops" 2. (Flow.average_hops flow m)
+
+(* ------------------------------------------------------------------ *)
+(* Line_search *)
+
+let test_line_search_quadratic () =
+  let f x = ((x -. 0.3) ** 2.) +. 1. in
+  feq_at 1e-4 "quadratic min" 0.3
+    (Line_search.golden_section ~f ~lo:0. ~hi:1. ());
+  feq_at 1e-4 "boundary min" 0.
+    (Line_search.golden_section ~f:(fun x -> x) ~lo:0. ~hi:1. ());
+  check_invalid "bad interval" (fun () ->
+      ignore (Line_search.golden_section ~f ~lo:1. ~hi:0. ()))
+
+(* ------------------------------------------------------------------ *)
+(* Frank_wolfe *)
+
+let test_objective_of_loads () =
+  let v =
+    Frank_wolfe.objective_of_loads ~capacities:[| 10; 5 |] ~loads:[| 8.; 0. |]
+  in
+  feq_at 1e-12 "sums loss rates"
+    (Arnet_erlang.Erlang_b.loss_rate ~offered:8. ~capacity:10)
+    v;
+  check_invalid "length mismatch" (fun () ->
+      ignore (Frank_wolfe.objective_of_loads ~capacities:[| 1 |] ~loads:[||]))
+
+let test_frank_wolfe_splits_parallel_paths () =
+  (* diamond with equal-capacity branches and heavy demand: the optimum
+     splits close to 50/50 *)
+  let g = diamond () in
+  let m = Matrix.make ~nodes:4 (fun i j -> if i = 0 && j = 3 then 16. else 0.) in
+  let r = Frank_wolfe.minimize_link_loss ~graph:g ~matrix:m () in
+  Alcotest.(check bool) "converged" true (r.Frank_wolfe.relative_gap <= 1e-3);
+  (match Flow.paths r.Frank_wolfe.flow ~src:0 ~dst:3 with
+  | [ (_, f1); (_, f2) ] ->
+    feq_at 0.05 "balanced split" 0.5 f1;
+    feq_at 0.05 "balanced split" 0.5 f2
+  | other ->
+    Alcotest.failf "expected a bifurcated pair, got %d entries"
+      (List.length other));
+  (* splitting 16 over two C=10 branches loses far less than 16 on one *)
+  let all_on_one =
+    Arnet_erlang.Erlang_b.loss_rate ~offered:16. ~capacity:10 *. 2.
+  in
+  Alcotest.(check bool) "objective beats all-on-one-path" true
+    (r.Frank_wolfe.objective < all_on_one)
+
+let test_frank_wolfe_respects_low_load () =
+  (* at trivial load everything stays on the shortest path *)
+  let g = diamond () in
+  let m = Matrix.make ~nodes:4 (fun i j -> if i = 0 && j = 3 then 0.1 else 0.) in
+  let r = Frank_wolfe.minimize_link_loss ~graph:g ~matrix:m () in
+  Alcotest.(check bool) "near-zero objective" true
+    (r.Frank_wolfe.objective < 1e-6)
+
+let test_frank_wolfe_nsfnet_improves () =
+  let routes, fit = Fit.nsfnet_nominal () in
+  let g = Route_table.graph routes in
+  let capacities =
+    Array.map (fun (l : Link.t) -> l.Link.capacity) (Graph.links g)
+  in
+  let minhop =
+    Frank_wolfe.objective_of_loads ~capacities
+      ~loads:(Loads.primary_link_loads routes fit.Fit.matrix)
+  in
+  let r =
+    Frank_wolfe.minimize_link_loss ~max_iterations:60 ~graph:g
+      ~matrix:fit.Fit.matrix ()
+  in
+  Alcotest.(check bool) "optimized below min-hop" true
+    (r.Frank_wolfe.objective < minhop);
+  Alcotest.(check bool) "some pairs bifurcated" true
+    (Flow.support_size r.Frank_wolfe.flow > Matrix.demand_count fit.Fit.matrix)
+
+let test_frank_wolfe_validation () =
+  let g = Graph.of_edges ~nodes:3 ~capacity:5 [ (0, 1) ] in
+  let m = Matrix.make ~nodes:3 (fun i j -> if i = 0 && j = 2 then 1. else 0.) in
+  check_invalid "disconnected demand" (fun () ->
+      ignore (Frank_wolfe.minimize_link_loss ~graph:g ~matrix:m ()))
+
+let prop_frank_wolfe_never_worse_than_shortest =
+  QCheck2.Test.make ~count:10 ~name:"optimum <= shortest-path assignment"
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let g = Builders.full_mesh ~nodes:4 ~capacity:8 in
+      let st = Random.State.make [| seed |] in
+      let m = Matrix.make ~nodes:4 (fun _ _ -> 1. +. Random.State.float st 10.) in
+      let routes = Route_table.build g in
+      let capacities =
+        Array.map (fun (l : Link.t) -> l.Link.capacity) (Graph.links g)
+      in
+      let shortest =
+        Frank_wolfe.objective_of_loads ~capacities
+          ~loads:(Loads.primary_link_loads routes m)
+      in
+      let r = Frank_wolfe.minimize_link_loss ~max_iterations:80 ~graph:g ~matrix:m () in
+      r.Frank_wolfe.objective <= shortest +. 1e-6)
+
+let () =
+  Alcotest.run "optimize"
+    [ ( "flow",
+        [ Alcotest.test_case "make/query" `Quick test_flow_make_and_query;
+          Alcotest.test_case "validation" `Quick test_flow_validation;
+          Alcotest.test_case "sample" `Quick test_flow_sample;
+          Alcotest.test_case "link loads/hops" `Quick
+            test_flow_link_loads_and_hops ] );
+      ( "line-search",
+        [ Alcotest.test_case "quadratic" `Quick test_line_search_quadratic ] );
+      ( "frank-wolfe",
+        [ Alcotest.test_case "objective" `Quick test_objective_of_loads;
+          Alcotest.test_case "splits parallel paths" `Quick
+            test_frank_wolfe_splits_parallel_paths;
+          Alcotest.test_case "low load stays shortest" `Quick
+            test_frank_wolfe_respects_low_load;
+          Alcotest.test_case "nsfnet improves" `Slow
+            test_frank_wolfe_nsfnet_improves;
+          Alcotest.test_case "validation" `Quick test_frank_wolfe_validation;
+          QCheck_alcotest.to_alcotest
+            prop_frank_wolfe_never_worse_than_shortest ] ) ]

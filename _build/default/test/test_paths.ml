@@ -1,0 +1,480 @@
+open Arnet_topology
+open Arnet_paths
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let triangle () = Graph.of_edges ~nodes:3 ~capacity:5 [ (0, 1); (1, 2); (0, 2) ]
+let k4 () = Builders.full_mesh ~nodes:4 ~capacity:10
+
+(* a diamond where 0->3 has two 2-hop routes: via 1 and via 2 *)
+let diamond () =
+  Graph.of_edges ~nodes:4 ~capacity:5 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* Path *)
+
+let test_path_make () =
+  let g = triangle () in
+  let p = Path.make g [ 0; 1; 2 ] in
+  Alcotest.(check int) "hops" 2 (Path.hops p);
+  Alcotest.(check int) "src" 0 (Path.src p);
+  Alcotest.(check int) "dst" 2 (Path.dst p);
+  Alcotest.(check (list int)) "nodes" [ 0; 1; 2 ] (Path.nodes p);
+  let ids = Path.link_ids p in
+  Alcotest.(check int) "two links" 2 (List.length ids);
+  let links = Path.links g p in
+  Alcotest.(check (list (pair int int))) "link endpoints" [ (0, 1); (1, 2) ]
+    (List.map (fun (l : Link.t) -> (l.Link.src, l.Link.dst)) links)
+
+let test_path_validation () =
+  let g = triangle () in
+  check_invalid "repeated node" (fun () -> ignore (Path.make g [ 0; 1; 0 ]));
+  check_invalid "single node" (fun () -> ignore (Path.make g [ 0 ]));
+  check_invalid "missing link" (fun () ->
+      ignore
+        (Path.make (Graph.of_edges ~nodes:3 ~capacity:1 [ (0, 1) ]) [ 0; 2 ]))
+
+let test_path_mem () =
+  let g = triangle () in
+  let p = Path.make g [ 0; 1; 2 ] in
+  Alcotest.(check bool) "mem node" true (Path.mem_node p 1);
+  Alcotest.(check bool) "not mem node" false (Path.mem_node p 3);
+  let id01 = (Graph.find_link_exn g ~src:0 ~dst:1).Link.id in
+  let id20 = (Graph.find_link_exn g ~src:2 ~dst:0).Link.id in
+  Alcotest.(check bool) "mem link" true (Path.mem_link p id01);
+  Alcotest.(check bool) "not mem link" false (Path.mem_link p id20)
+
+let test_path_ordering () =
+  let g = k4 () in
+  let short = Path.make g [ 0; 1 ] in
+  let long = Path.make g [ 0; 2; 1 ] in
+  let long' = Path.make g [ 0; 3; 1 ] in
+  Alcotest.(check bool) "shorter first" true
+    (Path.compare_by_length short long < 0);
+  Alcotest.(check bool) "lexicographic among equals" true
+    (Path.compare_by_length long long' < 0);
+  Alcotest.(check bool) "equal" true (Path.equal short (Path.make g [ 0; 1 ]));
+  Alcotest.(check string) "to_string" "[0-2-1]" (Path.to_string long)
+
+(* ------------------------------------------------------------------ *)
+(* Bfs *)
+
+let test_bfs_distances () =
+  let g = Builders.line ~nodes:5 ~capacity:1 in
+  let d = Bfs.distances g ~src:0 in
+  Alcotest.(check (list int)) "line distances" [ 0; 1; 2; 3; 4 ]
+    (Array.to_list d);
+  let d' = Bfs.distances_to g ~dst:0 in
+  Alcotest.(check (list int)) "to-distances equal on symmetric graph"
+    (Array.to_list d) (Array.to_list d')
+
+let test_bfs_unreachable () =
+  let g = Graph.of_edges ~nodes:3 ~capacity:1 [ (0, 1) ] in
+  let d = Bfs.distances g ~src:0 in
+  Alcotest.(check bool) "node 2 unreachable" true (d.(2) = max_int);
+  Alcotest.(check bool) "no path" true (Bfs.min_hop_path g ~src:0 ~dst:2 = None)
+
+let test_bfs_deterministic_tie_break () =
+  let g = diamond () in
+  match Bfs.min_hop_path g ~src:0 ~dst:3 with
+  | None -> Alcotest.fail "path expected"
+  | Some p ->
+    Alcotest.(check (list int)) "lexicographically smallest shortest"
+      [ 0; 1; 3 ] (Path.nodes p)
+
+let test_bfs_min_hop_correct () =
+  let g = Builders.ring ~nodes:6 ~capacity:1 in
+  (match Bfs.min_hop_path g ~src:0 ~dst:2 with
+  | Some p -> Alcotest.(check int) "2 hops around ring" 2 (Path.hops p)
+  | None -> Alcotest.fail "expected path");
+  check_invalid "src = dst" (fun () ->
+      ignore (Bfs.min_hop_path g ~src:1 ~dst:1))
+
+let test_eccentricity_diameter () =
+  let ring = Builders.ring ~nodes:6 ~capacity:1 in
+  Alcotest.(check int) "ring eccentricity" 3 (Bfs.eccentricity ring 0);
+  Alcotest.(check int) "ring diameter" 3 (Bfs.diameter ring);
+  let line = Builders.line ~nodes:5 ~capacity:1 in
+  Alcotest.(check int) "line diameter" 4 (Bfs.diameter line);
+  Alcotest.(check int) "nsfnet diameter" 5 (Bfs.diameter (Nsfnet.graph ()))
+
+(* ------------------------------------------------------------------ *)
+(* Dijkstra *)
+
+let test_dijkstra_unit_weights_match_bfs () =
+  let g = Nsfnet.graph () in
+  for src = 0 to 11 do
+    for dst = 0 to 11 do
+      if src <> dst then begin
+        let bfs = Option.get (Bfs.min_hop_path g ~src ~dst) in
+        let dij =
+          Option.get (Dijkstra.shortest_path g ~weight:(fun _ -> 1.) ~src ~dst)
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "same length %d->%d" src dst)
+          (Path.hops bfs) (Path.hops dij)
+      end
+    done
+  done
+
+let test_dijkstra_routes_around_expensive_link () =
+  let g = triangle () in
+  let direct = (Graph.find_link_exn g ~src:0 ~dst:2).Link.id in
+  let weight (l : Link.t) = if l.Link.id = direct then 10. else 1. in
+  match Dijkstra.shortest_path g ~weight ~src:0 ~dst:2 with
+  | Some p -> Alcotest.(check (list int)) "detour" [ 0; 1; 2 ] (Path.nodes p)
+  | None -> Alcotest.fail "path expected"
+
+let test_dijkstra_validation () =
+  let g = triangle () in
+  check_invalid "negative weight" (fun () ->
+      ignore (Dijkstra.shortest_path g ~weight:(fun _ -> -1.) ~src:0 ~dst:2));
+  check_invalid "src = dst" (fun () ->
+      ignore (Dijkstra.shortest_path g ~weight:(fun _ -> 1.) ~src:0 ~dst:0));
+  let d = Dijkstra.distances g ~weight:(fun _ -> 2.) ~src:0 in
+  Alcotest.(check (float 1e-9)) "distance scaled" 2. d.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Enumerate *)
+
+let test_enumerate_k4 () =
+  let g = k4 () in
+  let paths = Enumerate.simple_paths g ~src:0 ~dst:1 in
+  (* 1 direct + 2 two-hop + 2 three-hop *)
+  Alcotest.(check int) "five simple paths in K4" 5 (List.length paths);
+  Alcotest.(check (list int)) "sorted by length" [ 1; 2; 2; 3; 3 ]
+    (List.map Path.hops paths);
+  Alcotest.(check int) "count agrees" 5
+    (Enumerate.count_simple_paths g ~src:0 ~dst:1);
+  let capped = Enumerate.simple_paths ~max_hops:2 g ~src:0 ~dst:1 in
+  Alcotest.(check int) "cap at 2 hops" 3 (List.length capped)
+
+let test_enumerate_validation () =
+  let g = k4 () in
+  check_invalid "src = dst" (fun () ->
+      ignore (Enumerate.simple_paths g ~src:1 ~dst:1));
+  check_invalid "bad max_hops" (fun () ->
+      ignore (Enumerate.simple_paths ~max_hops:0 g ~src:0 ~dst:1))
+
+let test_enumerate_census_nsfnet () =
+  let g = Nsfnet.graph () in
+  let census = Enumerate.path_census g in
+  Alcotest.(check int) "132 ordered pairs" 132 (List.length census);
+  let counts = List.map (fun (_, _, c) -> c) census in
+  let mn = List.fold_left min max_int counts in
+  let mx = List.fold_left max 0 counts in
+  (* paper: ~9 alternates avg, min 5, max 15 -> total paths 6..16 *)
+  Alcotest.(check int) "min total paths" 6 mn;
+  Alcotest.(check int) "max total paths" 16 mx
+
+(* ------------------------------------------------------------------ *)
+(* Yen *)
+
+let test_yen_equals_enumeration_on_hop_metric () =
+  let g = Nsfnet.graph () in
+  let pairs = [ (0, 6); (3, 10); (11, 2) ] in
+  List.iter
+    (fun (src, dst) ->
+      let all = Enumerate.simple_paths g ~src ~dst in
+      let k = min 7 (List.length all) in
+      let yen = Yen.k_shortest g ~src ~dst ~k in
+      let expect = List.filteri (fun i _ -> i < k) all |> List.map Path.nodes in
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "yen = first-k of enumeration %d->%d" src dst)
+        expect (List.map Path.nodes yen))
+    pairs
+
+let test_yen_weighted () =
+  let g = triangle () in
+  let direct = (Graph.find_link_exn g ~src:0 ~dst:2).Link.id in
+  let weight (l : Link.t) = if l.Link.id = direct then 10. else 1. in
+  let paths = Yen.k_shortest ~weight g ~src:0 ~dst:2 ~k:2 in
+  Alcotest.(check (list (list int))) "cheap detour first"
+    [ [ 0; 1; 2 ]; [ 0; 2 ] ]
+    (List.map Path.nodes paths)
+
+let test_yen_validation_and_k () =
+  let g = triangle () in
+  check_invalid "k < 1" (fun () -> ignore (Yen.k_shortest g ~src:0 ~dst:1 ~k:0));
+  check_invalid "src = dst" (fun () ->
+      ignore (Yen.k_shortest g ~src:0 ~dst:0 ~k:1));
+  Alcotest.(check int) "k larger than path count" 2
+    (List.length (Yen.k_shortest g ~src:0 ~dst:1 ~k:10));
+  let disconnected = Graph.of_edges ~nodes:3 ~capacity:1 [ (0, 1) ] in
+  Alcotest.(check int) "no paths" 0
+    (List.length (Yen.k_shortest disconnected ~src:0 ~dst:2 ~k:3))
+
+(* ------------------------------------------------------------------ *)
+(* Suurballe *)
+
+let test_suurballe_diamond () =
+  let g = diamond () in
+  match Suurballe.disjoint_pair g ~src:0 ~dst:3 with
+  | Some (a, b) ->
+    Alcotest.(check bool) "disjoint" true (Suurballe.is_link_disjoint a b);
+    Alcotest.(check int) "total hops" 4 (Path.hops a + Path.hops b);
+    Alcotest.(check bool) "shorter first" true (Path.hops a <= Path.hops b)
+  | None -> Alcotest.fail "pair expected"
+
+let test_suurballe_trap () =
+  (* classic trap: both 2-hop-ish shortest routes share link 0->1; the
+     optimum pair must avoid the greedy choice *)
+  let g =
+    Graph.of_edges ~nodes:6 ~capacity:1
+      [ (0, 1); (1, 5); (0, 2); (2, 3); (3, 5); (1, 3) ]
+  in
+  match Suurballe.disjoint_pair g ~src:0 ~dst:5 with
+  | Some (a, b) ->
+    Alcotest.(check bool) "disjoint" true (Suurballe.is_link_disjoint a b);
+    Alcotest.(check int) "optimal total" 5 (Path.hops a + Path.hops b)
+  | None -> Alcotest.fail "pair expected"
+
+let test_suurballe_no_pair () =
+  let line = Builders.line ~nodes:3 ~capacity:1 in
+  Alcotest.(check bool) "bridge graph has no pair" true
+    (Suurballe.disjoint_pair line ~src:0 ~dst:2 = None);
+  check_invalid "src = dst" (fun () ->
+      ignore (Suurballe.disjoint_pair line ~src:1 ~dst:1));
+  check_invalid "negative weight" (fun () ->
+      ignore
+        (Suurballe.disjoint_pair ~weight:(fun _ -> -1.) (k4 ()) ~src:0 ~dst:1))
+
+let test_suurballe_nsfnet () =
+  Alcotest.(check bool) "backbone survives single-link failures" true
+    (Suurballe.edge_connectivity_at_least_two (Nsfnet.graph ()))
+
+(* brute-force optimum over all link-disjoint path pairs *)
+let brute_force_pair g ~src ~dst =
+  let all = Enumerate.simple_paths g ~src ~dst in
+  let best = ref None in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if Suurballe.is_link_disjoint a b then begin
+            let total = Path.hops a + Path.hops b in
+            match !best with
+            | Some t when t <= total -> ()
+            | _ -> best := Some total
+          end)
+        all)
+    all;
+  !best
+
+let graph_gen_small =
+  QCheck2.Gen.(
+    let* n = int_range 3 6 in
+    let all =
+      List.concat_map
+        (fun i -> List.init (n - i - 1) (fun j -> (i, i + j + 1)))
+        (List.init n (fun i -> i))
+    in
+    let spanning = List.init (n - 1) (fun i -> (i, i + 1)) in
+    let* extra = list_size (int_range 0 5) (oneofl all) in
+    return (n, List.sort_uniq compare (spanning @ extra)))
+
+let prop_suurballe_optimal =
+  QCheck2.Test.make ~count:60
+    ~name:"suurballe matches brute-force optimal disjoint total"
+    graph_gen_small
+    (fun (n, edges) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:1 edges in
+      let brute = brute_force_pair g ~src:0 ~dst:(n - 1) in
+      match Suurballe.disjoint_pair g ~src:0 ~dst:(n - 1) with
+      | None -> brute = None
+      | Some (a, b) -> (
+        Suurballe.is_link_disjoint a b
+        && Path.src a = 0
+        && Path.dst b = n - 1
+        &&
+        match brute with
+        | Some t -> Path.hops a + Path.hops b = t
+        | None -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Route_table *)
+
+let test_route_table_basics () =
+  let g = k4 () in
+  let t = Route_table.build g in
+  Alcotest.(check int) "default h" 3 (Route_table.h t);
+  let p = Route_table.primary t ~src:0 ~dst:3 in
+  Alcotest.(check int) "primary is direct" 1 (Path.hops p);
+  let alts = Route_table.alternates t ~src:0 ~dst:3 in
+  Alcotest.(check int) "four alternates" 4 (List.length alts);
+  Alcotest.(check bool) "primary excluded" true
+    (not (List.exists (Path.equal p) alts));
+  Alcotest.(check (list int)) "attempt order by length" [ 2; 2; 3; 3 ]
+    (List.map Path.hops alts);
+  Alcotest.(check bool) "has_route" true (Route_table.has_route t ~src:1 ~dst:2)
+
+let test_route_table_h_cap () =
+  let g = k4 () in
+  let t = Route_table.build ~h:2 g in
+  Alcotest.(check (list int)) "3-hop alternates dropped" [ 2; 2 ]
+    (List.map Path.hops (Route_table.alternates t ~src:0 ~dst:3));
+  Alcotest.(check int) "max_alternate_hops" 2 (Route_table.max_alternate_hops t);
+  check_invalid "h < 1" (fun () -> ignore (Route_table.build ~h:0 g))
+
+let test_route_table_primary_longer_than_h () =
+  (* ring of 6 with h=1: far pairs have a primary but no alternates *)
+  let g = Builders.ring ~nodes:6 ~capacity:1 in
+  let t = Route_table.build ~h:1 g in
+  let p = Route_table.primary t ~src:0 ~dst:3 in
+  Alcotest.(check int) "primary 3 hops" 3 (Path.hops p);
+  Alcotest.(check int) "no alternates at h=1" 0
+    (List.length (Route_table.alternates t ~src:0 ~dst:3));
+  Alcotest.(check bool) "all_paths includes primary" true
+    (List.exists (Path.equal p) (Route_table.all_paths t ~src:0 ~dst:3))
+
+let test_route_table_custom_primary () =
+  let g = k4 () in
+  let detour ~src ~dst =
+    (* deliberately 2-hop primaries via the smallest third node *)
+    let via = List.find (fun v -> v <> src && v <> dst) [ 0; 1; 2; 3 ] in
+    Some (Path.make g [ src; via; dst ])
+  in
+  let t = Route_table.build ~primary:detour g in
+  let p = Route_table.primary t ~src:2 ~dst:3 in
+  Alcotest.(check int) "custom primary 2 hops" 2 (Path.hops p);
+  let alts = Route_table.alternates t ~src:2 ~dst:3 in
+  Alcotest.(check bool) "direct path among alternates now" true
+    (List.exists (fun q -> Path.hops q = 1) alts);
+  Alcotest.(check bool) "custom primary excluded" true
+    (not (List.exists (Path.equal p) alts))
+
+let test_route_table_disconnected () =
+  let g = Graph.of_edges ~nodes:3 ~capacity:1 [ (0, 1) ] in
+  let t = Route_table.build g in
+  Alcotest.(check bool) "no route" false (Route_table.has_route t ~src:0 ~dst:2);
+  check_invalid "primary of unrouted pair" (fun () ->
+      ignore (Route_table.primary t ~src:0 ~dst:2));
+  Alcotest.(check int) "no alternates" 0
+    (List.length (Route_table.alternates t ~src:0 ~dst:2))
+
+let test_route_table_stats () =
+  let g = Nsfnet.graph () in
+  let t = Route_table.build g in
+  let mn = ref 0 and mx = ref 0 in
+  let avg = Route_table.alternate_count_stats t ~min:mn ~max:mx in
+  Alcotest.(check int) "min 5 (paper)" 5 !mn;
+  Alcotest.(check int) "max 15 (paper)" 15 !mx;
+  Alcotest.(check bool) "avg near paper's ~9" true (avg > 7.5 && avg < 9.5)
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let graph_gen =
+  QCheck2.Gen.(
+    let* n = int_range 3 6 in
+    let all =
+      List.concat_map
+        (fun i -> List.init (n - i - 1) (fun j -> (i, i + j + 1)))
+        (List.init n (fun i -> i))
+    in
+    let spanning = List.init (n - 1) (fun i -> (i, i + 1)) in
+    let* extra = list_size (int_range 0 5) (oneofl all) in
+    return (n, List.sort_uniq compare (spanning @ extra)))
+
+let prop_enumerated_paths_valid =
+  QCheck2.Test.make ~count:80 ~name:"enumerated paths are valid and distinct"
+    graph_gen (fun (n, edges) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:1 edges in
+      let paths = Enumerate.simple_paths g ~src:0 ~dst:(n - 1) in
+      let all_valid =
+        List.for_all
+          (fun p ->
+            Path.src p = 0
+            && Path.dst p = n - 1
+            && List.length (List.sort_uniq compare (Path.nodes p))
+               = List.length (Path.nodes p))
+          paths
+      in
+      let distinct =
+        List.length (List.sort_uniq compare (List.map Path.nodes paths))
+        = List.length paths
+      in
+      all_valid && distinct)
+
+let prop_yen_prefix_of_enumeration =
+  QCheck2.Test.make ~count:60
+    ~name:"yen (hop metric) = shortest prefix of full enumeration" graph_gen
+    (fun (n, edges) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:1 edges in
+      let all = Enumerate.simple_paths g ~src:0 ~dst:(n - 1) in
+      let k = min 5 (List.length all) in
+      if k = 0 then true
+      else
+        let yen = Yen.k_shortest g ~src:0 ~dst:(n - 1) ~k in
+        List.map Path.nodes yen
+        = List.map Path.nodes (List.filteri (fun i _ -> i < k) all))
+
+let prop_bfs_is_shortest =
+  QCheck2.Test.make ~count:80 ~name:"bfs path length equals distance"
+    graph_gen (fun (n, edges) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:1 edges in
+      let d = Bfs.distances g ~src:0 in
+      List.for_all
+        (fun dst ->
+          dst = 0
+          ||
+          match Bfs.min_hop_path g ~src:0 ~dst with
+          | Some p -> Path.hops p = d.(dst)
+          | None -> d.(dst) = max_int)
+        (List.init n (fun i -> i)))
+
+let () =
+  Alcotest.run "paths"
+    [ ( "path",
+        [ Alcotest.test_case "make" `Quick test_path_make;
+          Alcotest.test_case "validation" `Quick test_path_validation;
+          Alcotest.test_case "membership" `Quick test_path_mem;
+          Alcotest.test_case "ordering" `Quick test_path_ordering ] );
+      ( "bfs",
+        [ Alcotest.test_case "distances" `Quick test_bfs_distances;
+          Alcotest.test_case "unreachable" `Quick test_bfs_unreachable;
+          Alcotest.test_case "tie-break" `Quick test_bfs_deterministic_tie_break;
+          Alcotest.test_case "min-hop" `Quick test_bfs_min_hop_correct;
+          Alcotest.test_case "eccentricity/diameter" `Quick
+            test_eccentricity_diameter ] );
+      ( "dijkstra",
+        [ Alcotest.test_case "unit weights = bfs" `Quick
+            test_dijkstra_unit_weights_match_bfs;
+          Alcotest.test_case "weighted detour" `Quick
+            test_dijkstra_routes_around_expensive_link;
+          Alcotest.test_case "validation" `Quick test_dijkstra_validation ] );
+      ( "enumerate",
+        [ Alcotest.test_case "K4" `Quick test_enumerate_k4;
+          Alcotest.test_case "validation" `Quick test_enumerate_validation;
+          Alcotest.test_case "nsfnet census" `Quick
+            test_enumerate_census_nsfnet ] );
+      ( "yen",
+        [ Alcotest.test_case "equals enumeration prefix" `Quick
+            test_yen_equals_enumeration_on_hop_metric;
+          Alcotest.test_case "weighted" `Quick test_yen_weighted;
+          Alcotest.test_case "validation and k" `Quick
+            test_yen_validation_and_k ] );
+      ( "suurballe",
+        [ Alcotest.test_case "diamond" `Quick test_suurballe_diamond;
+          Alcotest.test_case "trap graph" `Quick test_suurballe_trap;
+          Alcotest.test_case "no pair / validation" `Quick
+            test_suurballe_no_pair;
+          Alcotest.test_case "nsfnet 2-edge-connected" `Quick
+            test_suurballe_nsfnet;
+          QCheck_alcotest.to_alcotest prop_suurballe_optimal ] );
+      ( "route-table",
+        [ Alcotest.test_case "basics" `Quick test_route_table_basics;
+          Alcotest.test_case "h cap" `Quick test_route_table_h_cap;
+          Alcotest.test_case "primary longer than h" `Quick
+            test_route_table_primary_longer_than_h;
+          Alcotest.test_case "custom primary" `Quick
+            test_route_table_custom_primary;
+          Alcotest.test_case "disconnected" `Quick test_route_table_disconnected;
+          Alcotest.test_case "nsfnet stats" `Quick test_route_table_stats ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_enumerated_paths_valid;
+            prop_yen_prefix_of_enumeration;
+            prop_bfs_is_shortest ] ) ]

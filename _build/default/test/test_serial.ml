@@ -1,0 +1,121 @@
+open Arnet_topology
+open Arnet_traffic
+open Arnet_serial
+
+let parse_fails name text =
+  Alcotest.test_case name `Quick (fun () ->
+      match Spec.of_string text with
+      | exception Spec.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected a parse error for %S" text)
+
+let test_basic_parse () =
+  let spec =
+    Spec.of_string
+      "# a comment\n\
+       nodes 3\n\
+       label 0 west\n\
+       edge 0 1 10\n\
+       link 1 2 5\n\
+       demand 0 2 3.5\n\
+       demand 2 0 1\n"
+  in
+  let g = spec.Spec.graph in
+  Alcotest.(check int) "nodes" 3 (Graph.node_count g);
+  Alcotest.(check int) "links: 2 from edge + 1" 3 (Graph.link_count g);
+  Alcotest.(check string) "label" "west" (Graph.label g 0);
+  Alcotest.(check string) "default label" "2" (Graph.label g 2);
+  Alcotest.(check int) "edge capacity" 10
+    (Graph.find_link_exn g ~src:1 ~dst:0).Link.capacity;
+  Alcotest.(check bool) "directed link has no twin" true
+    (Graph.find_link g ~src:2 ~dst:1 = None);
+  match spec.Spec.matrix with
+  | None -> Alcotest.fail "matrix expected"
+  | Some m ->
+    Alcotest.(check (float 1e-12)) "demand" 3.5 (Matrix.get m 0 2);
+    Alcotest.(check (float 1e-12)) "total" 4.5 (Matrix.total m)
+
+let test_no_demands_no_matrix () =
+  let spec = Spec.of_string "nodes 2\nedge 0 1 4\n" in
+  Alcotest.(check bool) "no matrix" true (spec.Spec.matrix = None)
+
+let test_comments_and_whitespace () =
+  let spec =
+    Spec.of_string "\n  nodes 2  # trailing\n\t edge\t0   1  7\n\n# end\n"
+  in
+  Alcotest.(check int) "parsed through noise" 2
+    (Graph.link_count spec.Spec.graph)
+
+let test_error_line_numbers () =
+  (match Spec.of_string "nodes 2\nbogus 1 2\n" with
+  | exception Spec.Parse_error (2, msg) ->
+    Alcotest.(check bool) "mentions directive" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected parse error on line 2");
+  match Spec.of_string "" with
+  | exception Spec.Parse_error (_, _) -> ()
+  | _ -> Alcotest.fail "empty spec must fail"
+
+let test_roundtrip_builtin () =
+  let g = Nsfnet.graph () in
+  Alcotest.(check bool) "nsfnet roundtrips" true (Spec.roundtrip_ok g);
+  let _, fit = Fit.nsfnet_nominal () in
+  Alcotest.(check bool) "nsfnet + matrix roundtrips" true
+    (Spec.roundtrip_ok ~matrix:fit.Fit.matrix g)
+
+let test_roundtrip_asymmetric () =
+  let g =
+    Graph.create ~nodes:3
+      [ Link.make ~id:0 ~src:0 ~dst:1 ~capacity:5;
+        Link.make ~id:1 ~src:1 ~dst:0 ~capacity:7;  (* unequal pair *)
+        Link.make ~id:2 ~src:1 ~dst:2 ~capacity:3 ]
+  in
+  Alcotest.(check bool) "asymmetric graph roundtrips" true
+    (Spec.roundtrip_ok g)
+
+let test_of_file () =
+  let path = Filename.temp_file "arnet" ".net" in
+  let oc = open_out path in
+  output_string oc (Spec.to_string (Nsfnet.graph ()));
+  close_out oc;
+  let spec = Spec.of_file path in
+  Sys.remove path;
+  Alcotest.(check int) "loaded from file" 30
+    (Graph.link_count spec.Spec.graph)
+
+let prop_random_graph_roundtrip =
+  QCheck2.Test.make ~count:60 ~name:"random graphs roundtrip"
+    QCheck2.Gen.(
+      let* n = int_range 2 7 in
+      let all =
+        List.concat_map
+          (fun i -> List.init (n - i - 1) (fun j -> (i, i + j + 1)))
+          (List.init n (fun i -> i))
+      in
+      let* chosen = list_size (int_range 1 8) (oneofl all) in
+      let* cap = int_range 0 50 in
+      return (n, List.sort_uniq compare chosen, cap))
+    (fun (n, edges, cap) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:cap edges in
+      Spec.roundtrip_ok g)
+
+let () =
+  Alcotest.run "serial"
+    [ ( "parse",
+        [ Alcotest.test_case "basic" `Quick test_basic_parse;
+          Alcotest.test_case "no demands" `Quick test_no_demands_no_matrix;
+          Alcotest.test_case "comments/whitespace" `Quick
+            test_comments_and_whitespace;
+          Alcotest.test_case "error lines" `Quick test_error_line_numbers;
+          parse_fails "directive before nodes" "edge 0 1 5\nnodes 2\n";
+          parse_fails "duplicate nodes" "nodes 2\nnodes 3\n";
+          parse_fails "node out of range" "nodes 2\nedge 0 5 1\n";
+          parse_fails "duplicate link" "nodes 2\nlink 0 1 5\nlink 0 1 6\n";
+          parse_fails "edge conflicts with link" "nodes 2\nlink 0 1 5\nedge 0 1 5\n";
+          parse_fails "self demand" "nodes 2\nedge 0 1 5\ndemand 1 1 2\n";
+          parse_fails "negative demand" "nodes 2\nedge 0 1 5\ndemand 0 1 -2\n";
+          parse_fails "garbage int" "nodes two\n" ] );
+      ( "roundtrip",
+        [ Alcotest.test_case "builtin networks" `Quick test_roundtrip_builtin;
+          Alcotest.test_case "asymmetric" `Quick test_roundtrip_asymmetric;
+          Alcotest.test_case "file io" `Quick test_of_file;
+          QCheck_alcotest.to_alcotest prop_random_graph_roundtrip ] ) ]

@@ -1,0 +1,167 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_sim
+open Arnet_core
+open Arnet_signalling
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let feq_at tol = Alcotest.(check (float tol))
+
+let mk_call time src dst holding = { Trace.time; src; dst; holding; u = 0. }
+
+let one_link capacity =
+  let g = Graph.of_edges ~nodes:2 ~capacity [ (0, 1) ] in
+  (g, Route_table.build g, Matrix.make ~nodes:2 (fun i _ -> if i = 0 then 1. else 0.))
+
+(* ------------------------------------------------------------------ *)
+
+let test_zero_latency_equivalence () =
+  List.iter
+    (fun (label, graph, matrix, h) ->
+      let routes = Route_table.build ?h graph in
+      let reserves = Protection.levels routes matrix ~h:(Route_table.h routes) in
+      List.iter
+        (fun seed ->
+          let rng = Rng.substream (Rng.create ~seed) "trace" in
+          let trace = Trace.generate ~rng ~duration:40. matrix in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed %d" label seed)
+            true
+            (Setup_sim.compare_with_atomic ~warmup:5. ~graph ~routes ~reserves
+               trace))
+        [ 1; 2; 3 ])
+    [ ( "quadrangle",
+        Builders.full_mesh ~nodes:4 ~capacity:30,
+        Matrix.uniform ~nodes:4 ~demand:25.,
+        None );
+      ( "ring",
+        Builders.ring ~nodes:5 ~capacity:10,
+        Matrix.uniform ~nodes:5 ~demand:4.,
+        Some 4 ) ]
+
+let test_glare_micro_scenario () =
+  (* C = 1, hop latency 0.5: B's forward check passes before A books,
+     then B's booking collides *)
+  let g, routes, matrix = one_link 1 in
+  let reserves = [| 0; 0 |] in
+  let trace =
+    Trace.of_calls ~matrix ~duration:20.
+      [ mk_call 0. 0 1 10.; mk_call 0.4 0 1 10. ]
+  in
+  let s =
+    Setup_sim.run ~warmup:0. ~hop_latency:0.5 ~graph:g ~routes ~reserves
+      ~allow_alternates:true trace
+  in
+  Alcotest.(check int) "one glare" 1 s.Setup_sim.glare_events;
+  Alcotest.(check int) "one carried" 1 s.Setup_sim.carried_primary;
+  Alcotest.(check int) "one blocked" 1 s.Setup_sim.blocked;
+  (* at zero latency the same trace has no glare: B is cleanly refused
+     at the forward check *)
+  let s0 =
+    Setup_sim.run ~warmup:0. ~hop_latency:0. ~graph:g ~routes ~reserves
+      ~allow_alternates:true trace
+  in
+  Alcotest.(check int) "no glare at zero latency" 0 s0.Setup_sim.glare_events;
+  Alcotest.(check int) "still one blocked" 1 s0.Setup_sim.blocked
+
+let test_setup_latency_accounting () =
+  (* a single uncontested 1-hop call: established after 2 * latency *)
+  let g, routes, matrix = one_link 5 in
+  let trace = Trace.of_calls ~matrix ~duration:20. [ mk_call 1. 0 1 2. ] in
+  let s =
+    Setup_sim.run ~warmup:0. ~hop_latency:0.25 ~graph:g ~routes
+      ~reserves:[| 0; 0 |] ~allow_alternates:false trace
+  in
+  feq_at 1e-9 "round trip = 2 hops x latency" 0.5
+    (Setup_sim.mean_setup_latency s);
+  Alcotest.(check int) "one attempt" 1 s.Setup_sim.setup_attempts
+
+let test_crankback_then_alternate () =
+  (* triangle: direct link full, the set-up cranks back and succeeds on
+     the 2-hop detour; latency = 1 round trip on direct + 1 on detour *)
+  let g = Builders.full_mesh ~nodes:3 ~capacity:1 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.make ~nodes:3 (fun i j -> if i = 0 && j = 1 then 1. else 0.) in
+  let reserves = Array.make (Graph.link_count g) 0 in
+  let trace =
+    Trace.of_calls ~matrix ~duration:30.
+      [ mk_call 1. 0 1 20.; mk_call 5. 0 1 5. ]
+  in
+  let s =
+    Setup_sim.run ~warmup:0. ~hop_latency:0.1 ~graph:g ~routes ~reserves
+      ~allow_alternates:true trace
+  in
+  Alcotest.(check int) "both carried" 0 s.Setup_sim.blocked;
+  Alcotest.(check int) "one alternate" 1 s.Setup_sim.carried_alternate;
+  (* call 2: direct check fails immediately at the origin (0 hops
+     crossed), then the 2-hop detour takes 4 x 0.1 *)
+  feq_at 1e-9 "latency sums the attempts"
+    ((0.2 +. 0.4) /. 2.)
+    (Setup_sim.mean_setup_latency s)
+
+let test_protection_respected_under_latency () =
+  (* protected link never accepts an alternate booking even mid-flight *)
+  let g = Builders.full_mesh ~nodes:3 ~capacity:2 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:3 ~demand:1. in
+  let reserves = Array.make (Graph.link_count g) 2 in
+  (* full protection: r = C *)
+  let trace =
+    Trace.of_calls ~matrix ~duration:30.
+      [ mk_call 1. 0 1 20.; mk_call 2. 0 1 20.; mk_call 3. 0 1 5. ]
+  in
+  let s =
+    Setup_sim.run ~warmup:0. ~hop_latency:0.05 ~graph:g ~routes ~reserves
+      ~allow_alternates:true trace
+  in
+  Alcotest.(check int) "third call blocked (alternates protected)" 1
+    s.Setup_sim.blocked;
+  Alcotest.(check int) "no alternates carried" 0 s.Setup_sim.carried_alternate
+
+let test_blocking_grows_with_latency () =
+  let g = Builders.full_mesh ~nodes:4 ~capacity:20 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:18. in
+  let reserves = Protection.levels routes matrix ~h:3 in
+  let rng = Rng.substream (Rng.create ~seed:7) "trace" in
+  let trace = Trace.generate ~rng ~duration:60. matrix in
+  let blocking d =
+    Setup_sim.blocking
+      (Setup_sim.run ~warmup:10. ~hop_latency:d ~graph:g ~routes ~reserves
+         ~allow_alternates:true trace)
+  in
+  let b0 = blocking 0. and b_slow = blocking 0.2 in
+  Alcotest.(check bool) "slow signalling hurts" true (b_slow > b0)
+
+let test_validation () =
+  let g, routes, matrix = one_link 2 in
+  let trace = Trace.of_calls ~matrix ~duration:10. [ mk_call 1. 0 1 1. ] in
+  check_invalid "negative latency" (fun () ->
+      ignore
+        (Setup_sim.run ~hop_latency:(-1.) ~graph:g ~routes ~reserves:[| 0; 0 |]
+           ~allow_alternates:true trace));
+  check_invalid "warmup out of range" (fun () ->
+      ignore
+        (Setup_sim.run ~warmup:10. ~graph:g ~routes ~reserves:[| 0; 0 |]
+           ~allow_alternates:true trace))
+
+let () =
+  Alcotest.run "signalling"
+    [ ( "setup-sim",
+        [ Alcotest.test_case "zero-latency = atomic engine" `Quick
+            test_zero_latency_equivalence;
+          Alcotest.test_case "glare micro-scenario" `Quick
+            test_glare_micro_scenario;
+          Alcotest.test_case "latency accounting" `Quick
+            test_setup_latency_accounting;
+          Alcotest.test_case "crankback then alternate" `Quick
+            test_crankback_then_alternate;
+          Alcotest.test_case "protection under latency" `Quick
+            test_protection_respected_under_latency;
+          Alcotest.test_case "blocking grows with latency" `Quick
+            test_blocking_grows_with_latency;
+          Alcotest.test_case "validation" `Quick test_validation ] ) ]

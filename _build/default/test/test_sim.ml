@@ -1,0 +1,473 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_sim
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let feq_at tol = Alcotest.(check (float tol))
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  let seq r = List.init 20 (fun _ -> Rng.uniform r) in
+  Alcotest.(check (list (float 0.))) "same seed same stream" (seq a) (seq b);
+  let c = Rng.create ~seed:8 in
+  Alcotest.(check bool) "different seed differs" true (seq a <> seq c)
+
+let test_rng_substreams () =
+  let master = Rng.create ~seed:3 in
+  let s1 = Rng.substream master "trace" in
+  let s2 = Rng.substream master "trace" in
+  let s3 = Rng.substream master "routing" in
+  let seq r = List.init 10 (fun _ -> Rng.uniform r) in
+  Alcotest.(check (list (float 0.))) "same name same stream" (seq s1) (seq s2);
+  Alcotest.(check bool) "different name differs" true (seq s1 <> seq s3)
+
+let test_rng_exponential () =
+  let r = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.exponential r ~rate:4. in
+    Alcotest.(check bool) "positive" true (x > 0.);
+    total := !total +. x
+  done;
+  feq_at 0.01 "mean 1/rate" 0.25 (!total /. float_of_int n);
+  check_invalid "bad rate" (fun () -> ignore (Rng.exponential r ~rate:0.))
+
+let test_rng_poisson () =
+  let r = Rng.create ~seed:12 in
+  let n = 5_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Rng.poisson r ~mean:3.
+  done;
+  feq_at 0.15 "poisson mean" 3. (float_of_int !total /. float_of_int n);
+  check_invalid "mean too large" (fun () -> ignore (Rng.poisson r ~mean:1000.))
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue *)
+
+let test_event_queue_ordering () =
+  let q = Event_queue.create () in
+  List.iter
+    (fun t -> Event_queue.push q ~time:t (int_of_float (10. *. t)))
+    [ 3.; 1.; 2.; 0.5; 2.5 ];
+  Alcotest.(check int) "length" 5 (Event_queue.length q);
+  Alcotest.(check (option (float 0.))) "peek" (Some 0.5)
+    (Event_queue.peek_time q);
+  let popped = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (t, _) ->
+      popped := t :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.))) "sorted"
+    [ 0.5; 1.; 2.; 2.5; 3. ]
+    (List.rev !popped);
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let test_event_queue_pop_until () =
+  let q = Event_queue.create () in
+  List.iter (fun t -> Event_queue.push q ~time:t ()) [ 1.; 2.; 3.; 4. ];
+  let count = ref 0 in
+  Event_queue.pop_until q ~time:2.5 ~f:(fun _ () -> incr count);
+  Alcotest.(check int) "popped two" 2 !count;
+  Alcotest.(check int) "two remain" 2 (Event_queue.length q);
+  Event_queue.clear q;
+  Alcotest.(check int) "cleared" 0 (Event_queue.length q);
+  check_invalid "non-finite time" (fun () ->
+      Event_queue.push q ~time:Float.nan ())
+
+let prop_event_queue_sorts =
+  QCheck2.Test.make ~count:100 ~name:"event queue pops in sorted order"
+    QCheck2.Gen.(list_size (int_range 0 50) (float_range 0. 100.))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:t t) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | Some (t, _) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort compare times)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_generation () =
+  let rng = Rng.create ~seed:5 in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:10. in
+  (* total rate 120; over 50 time units expect ~6000 calls *)
+  let trace = Trace.generate ~rng ~duration:50. matrix in
+  Alcotest.(check bool) "sorted" true (Trace.check_sorted trace);
+  let n = Trace.call_count trace in
+  Alcotest.(check bool) "call volume plausible" true (n > 5400 && n < 6600);
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "within duration" true
+        (c.Trace.time >= 0. && c.Trace.time < 50.);
+      Alcotest.(check bool) "endpoints distinct" true (c.Trace.src <> c.Trace.dst);
+      Alcotest.(check bool) "holding positive" true (c.Trace.holding > 0.);
+      Alcotest.(check bool) "u in range" true (c.Trace.u >= 0. && c.Trace.u < 1.))
+    trace.Trace.calls
+
+let test_trace_pair_frequencies () =
+  let rng = Rng.create ~seed:6 in
+  let matrix =
+    Matrix.make ~nodes:3 (fun i j ->
+        match (i, j) with 0, 1 -> 30. | 1, 2 -> 10. | _ -> 0.)
+  in
+  let trace = Trace.generate ~rng ~duration:100. matrix in
+  let count01 = ref 0 and count12 = ref 0 in
+  Array.iter
+    (fun c ->
+      match (c.Trace.src, c.Trace.dst) with
+      | 0, 1 -> incr count01
+      | 1, 2 -> incr count12
+      | _ -> Alcotest.fail "unexpected pair")
+    trace.Trace.calls;
+  feq_at 0.3 "3:1 split" 3.
+    (float_of_int !count01 /. float_of_int !count12)
+
+let test_trace_holding_mean () =
+  let rng = Rng.create ~seed:7 in
+  let matrix = Matrix.uniform ~nodes:3 ~demand:20. in
+  let trace = Trace.generate ~mean_holding:2. ~rng ~duration:100. matrix in
+  let total =
+    Array.fold_left (fun acc c -> acc +. c.Trace.holding) 0. trace.Trace.calls
+  in
+  feq_at 0.1 "mean holding" 2.
+    (total /. float_of_int (Trace.call_count trace))
+
+let test_trace_validation () =
+  let rng = Rng.create ~seed:1 in
+  check_invalid "empty matrix" (fun () ->
+      ignore (Trace.generate ~rng ~duration:10. (Matrix.zero ~nodes:3)));
+  check_invalid "bad duration" (fun () ->
+      ignore
+        (Trace.generate ~rng ~duration:0. (Matrix.uniform ~nodes:3 ~demand:1.)))
+
+let mk_call time src dst holding =
+  { Trace.time; src; dst; holding; u = 0. }
+
+let test_trace_of_calls () =
+  let matrix = Matrix.uniform ~nodes:3 ~demand:1. in
+  let trace =
+    Trace.of_calls ~matrix ~duration:10.
+      [ mk_call 1. 0 1 2.; mk_call 2. 1 2 1. ]
+  in
+  Alcotest.(check int) "count" 2 (Trace.call_count trace);
+  Alcotest.(check int) "offered in window" 1 (Trace.offered_between trace 1.5 10.);
+  check_invalid "unsorted" (fun () ->
+      ignore
+        (Trace.of_calls ~matrix ~duration:10.
+           [ mk_call 2. 0 1 1.; mk_call 1. 1 2 1. ]));
+  check_invalid "outside duration" (fun () ->
+      ignore (Trace.of_calls ~matrix ~duration:10. [ mk_call 11. 0 1 1. ]));
+  check_invalid "self call" (fun () ->
+      ignore (Trace.of_calls ~matrix ~duration:10. [ mk_call 1. 1 1 1. ]))
+
+let test_trace_shift_merge () =
+  let matrix = Matrix.uniform ~nodes:3 ~demand:1. in
+  let a =
+    Trace.of_calls ~matrix ~duration:10. [ mk_call 1. 0 1 1.; mk_call 5. 1 2 1. ]
+  in
+  let b = Trace.of_calls ~matrix ~duration:4. [ mk_call 2. 2 0 1. ] in
+  let shifted = Trace.shift b 3. in
+  Alcotest.(check (float 1e-12)) "shifted call time" 5.
+    shifted.Trace.calls.(0).Trace.time;
+  Alcotest.(check (float 1e-12)) "shifted duration" 7. shifted.Trace.duration;
+  let merged = Trace.merge a shifted in
+  Alcotest.(check int) "merged count" 3 (Trace.call_count merged);
+  Alcotest.(check bool) "merged sorted" true (Trace.check_sorted merged);
+  Alcotest.(check (float 1e-12)) "merged duration" 10. merged.Trace.duration;
+  Alcotest.(check (float 1e-12)) "matrices summed" 12.
+    (Matrix.total merged.Trace.matrix);
+  check_invalid "negative shift" (fun () -> ignore (Trace.shift a (-1.)));
+  check_invalid "merge size mismatch" (fun () ->
+      ignore
+        (Trace.merge a
+           (Trace.of_calls
+              ~matrix:(Matrix.uniform ~nodes:4 ~demand:1.)
+              ~duration:5. [])))
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_counters () =
+  let s = Stats.empty ~nodes:3 in
+  Stats.record_offered s ~src:0 ~dst:1;
+  Stats.record_offered s ~src:0 ~dst:1;
+  Stats.record_offered s ~src:1 ~dst:2;
+  Stats.record_blocked s ~src:0 ~dst:1;
+  Stats.record_primary s;
+  Stats.record_alternate s ~hops:3;
+  feq_at 1e-12 "network blocking" (1. /. 3.) (Stats.blocking s);
+  (match Stats.od_blocking s ~src:0 ~dst:1 with
+  | Some b -> feq_at 1e-12 "od blocking" 0.5 b
+  | None -> Alcotest.fail "expected blocking");
+  Alcotest.(check (option (float 0.))) "no traffic pair" None
+    (Stats.od_blocking s ~src:2 ~dst:0);
+  feq_at 1e-12 "alternate fraction" 0.5 (Stats.alternate_fraction s);
+  Alcotest.(check int) "alternate hops" 3 s.Stats.alternate_hops
+
+let test_stats_merge () =
+  let a = Stats.empty ~nodes:2 and b = Stats.empty ~nodes:2 in
+  Stats.record_offered a ~src:0 ~dst:1;
+  Stats.record_blocked a ~src:0 ~dst:1;
+  Stats.record_offered b ~src:0 ~dst:1;
+  let m = Stats.merge a b in
+  Alcotest.(check int) "offered pooled" 2 m.Stats.offered;
+  feq_at 1e-12 "blocking pooled" 0.5 (Stats.blocking m);
+  check_invalid "size mismatch" (fun () ->
+      ignore (Stats.merge a (Stats.empty ~nodes:3)))
+
+let test_stats_summarize () =
+  let s = Stats.summarize [ 1.; 2.; 3. ] in
+  feq_at 1e-12 "mean" 2. s.Stats.mean;
+  (* sample std dev 1, stderr 1/sqrt(3) *)
+  feq_at 1e-9 "stderr" (1. /. sqrt 3.) s.Stats.std_error;
+  Alcotest.(check int) "replications" 3 s.Stats.replications;
+  let single = Stats.summarize [ 5. ] in
+  feq_at 1e-12 "single mean" 5. single.Stats.mean;
+  feq_at 1e-12 "single stderr 0" 0. single.Stats.std_error;
+  check_invalid "empty" (fun () -> ignore (Stats.summarize []))
+
+let test_stats_skew () =
+  let s = Stats.empty ~nodes:2 in
+  (* pair 0->1 blocks 50%, pair 1->0 blocks 0% *)
+  Stats.record_offered s ~src:0 ~dst:1;
+  Stats.record_offered s ~src:0 ~dst:1;
+  Stats.record_blocked s ~src:0 ~dst:1;
+  Stats.record_offered s ~src:1 ~dst:0;
+  let skew = Stats.od_skew s in
+  feq_at 1e-12 "min" 0. skew.Stats.min_blocking;
+  feq_at 1e-12 "max" 0.5 skew.Stats.max_blocking;
+  feq_at 1e-12 "mean" 0.25 skew.Stats.mean_blocking;
+  feq_at 1e-9 "cv" 1. skew.Stats.coefficient_of_variation;
+  check_invalid "no traffic" (fun () ->
+      ignore (Stats.od_skew (Stats.empty ~nodes:2)))
+
+(* ------------------------------------------------------------------ *)
+(* Engine: deterministic micro-scenarios *)
+
+let one_link_graph capacity =
+  Graph.of_edges ~nodes:2 ~capacity [ (0, 1) ]
+
+let direct_policy g =
+  let routes = Route_table.build g in
+  { Engine.name = "direct";
+    decide =
+      (fun ~occupancy ~call ->
+        let p = Route_table.primary routes ~src:call.Trace.src ~dst:call.Trace.dst in
+        let free =
+          Array.for_all
+            (fun id -> occupancy.(id) < (Graph.link g id).Link.capacity)
+            p.Path.link_ids
+        in
+        if free then Engine.Routed p else Engine.Lost);
+    is_primary = (fun ~call:_ _ -> true) }
+
+let test_time_series () =
+  let g = one_link_graph 1 in
+  let matrix = Matrix.make ~nodes:2 (fun i _ -> if i = 0 then 1. else 0.) in
+  let recorder = Time_series.create ~window:5. ~duration:20. in
+  let policy = Time_series.wrap recorder (direct_policy g) in
+  (* window 0: one carried; window 1: one carried, one blocked;
+     window 3: one carried *)
+  let trace =
+    Trace.of_calls ~matrix ~duration:20.
+      [ mk_call 1. 0 1 6.; mk_call 6. 0 1 0.5; mk_call 8. 0 1 1.;
+        mk_call 16. 0 1 1. ]
+  in
+  let (_ : Stats.t) = Engine.run ~warmup:0. ~graph:g ~policy trace in
+  (match Time_series.windows recorder with
+  | [ w0; w1; w2; w3 ] ->
+    Alcotest.(check (pair int int)) "w0" (1, 0) (w0.Time_series.offered, w0.Time_series.blocked);
+    Alcotest.(check (pair int int)) "w1" (2, 1) (w1.Time_series.offered, w1.Time_series.blocked);
+    Alcotest.(check (pair int int)) "w2 empty" (0, 0) (w2.Time_series.offered, w2.Time_series.blocked);
+    Alcotest.(check (pair int int)) "w3" (1, 0) (w3.Time_series.offered, w3.Time_series.blocked)
+  | l -> Alcotest.failf "expected 4 windows, got %d" (List.length l));
+  Alcotest.(check (float 1e-12)) "peak" 0.5 (Time_series.peak_blocking recorder);
+  check_invalid "bad window" (fun () ->
+      ignore (Time_series.create ~window:0. ~duration:10.))
+
+let test_engine_blocking_on_full_link () =
+  let g = one_link_graph 1 in
+  let matrix = Matrix.make ~nodes:2 (fun i _ -> if i = 0 then 1. else 0.) in
+  (* two overlapping calls then a third after the first departs *)
+  let trace =
+    Trace.of_calls ~matrix ~duration:10.
+      [ mk_call 1. 0 1 3.;  (* holds [1,4) *)
+        mk_call 2. 0 1 1.;  (* blocked: link full *)
+        mk_call 5. 0 1 1.  (* free again *) ]
+  in
+  let stats = Engine.run ~warmup:0. ~graph:g ~policy:(direct_policy g) trace in
+  Alcotest.(check int) "offered" 3 stats.Stats.offered;
+  Alcotest.(check int) "blocked" 1 stats.Stats.blocked;
+  feq_at 1e-12 "blocking third" (1. /. 3.) (Stats.blocking stats)
+
+let test_engine_departure_frees_capacity () =
+  let g = one_link_graph 1 in
+  let matrix = Matrix.make ~nodes:2 (fun i _ -> if i = 0 then 1. else 0.) in
+  let trace =
+    Trace.of_calls ~matrix ~duration:10.
+      [ mk_call 1. 0 1 1.; mk_call 2.5 0 1 1. ]
+  in
+  let stats = Engine.run ~warmup:0. ~graph:g ~policy:(direct_policy g) trace in
+  Alcotest.(check int) "none blocked" 0 stats.Stats.blocked
+
+let test_engine_warmup_exclusion () =
+  let g = one_link_graph 1 in
+  let matrix = Matrix.make ~nodes:2 (fun i _ -> if i = 0 then 1. else 0.) in
+  (* the warm-up call occupies the link but is not counted; the second
+     call is measured and blocked by it *)
+  let trace =
+    Trace.of_calls ~matrix ~duration:20.
+      [ mk_call 1. 0 1 100.; mk_call 11. 0 1 1. ]
+  in
+  let stats = Engine.run ~warmup:10. ~graph:g ~policy:(direct_policy g) trace in
+  Alcotest.(check int) "only measured call offered" 1 stats.Stats.offered;
+  Alcotest.(check int) "it was blocked" 1 stats.Stats.blocked
+
+let test_engine_rejects_bad_policy () =
+  let g = one_link_graph 1 in
+  let matrix = Matrix.make ~nodes:2 (fun i _ -> if i = 0 then 1. else 0.) in
+  let routes = Route_table.build g in
+  let p = Route_table.primary routes ~src:0 ~dst:1 in
+  let always_route =
+    { Engine.name = "bad";
+      decide = (fun ~occupancy:_ ~call:_ -> Engine.Routed p);
+      is_primary = (fun ~call:_ _ -> true) }
+  in
+  let trace =
+    Trace.of_calls ~matrix ~duration:10.
+      [ mk_call 1. 0 1 5.; mk_call 2. 0 1 5. ]
+  in
+  check_invalid "routing over full link detected" (fun () ->
+      ignore (Engine.run ~warmup:0. ~graph:g ~policy:always_route trace))
+
+let test_engine_alternate_accounting () =
+  (* triangle: direct 0->1 full, detour 0->2->1 counted as alternate *)
+  let g = Graph.of_edges ~nodes:3 ~capacity:1 [ (0, 1); (1, 2); (0, 2) ] in
+  let routes = Route_table.build g in
+  let admission =
+    Arnet_core.Admission.unprotected
+      ~capacities:(Array.map (fun (l : Link.t) -> l.Link.capacity) (Graph.links g))
+  in
+  let policy =
+    { Engine.name = "two-tier";
+      decide =
+        (fun ~occupancy ~call ->
+          Arnet_core.Controller.decide ~routes ~admission
+            ~choice:Arnet_core.Controller.Table ~allow_alternates:true
+            ~occupancy ~call);
+      is_primary =
+        (fun ~call p ->
+          Path.equal p
+            (Route_table.primary routes ~src:call.Trace.src ~dst:call.Trace.dst))
+    }
+  in
+  let matrix = Matrix.make ~nodes:3 (fun i j -> if i = 0 && j = 1 then 1. else 0.) in
+  let trace =
+    Trace.of_calls ~matrix ~duration:10.
+      [ mk_call 1. 0 1 5.; mk_call 2. 0 1 5. ]
+  in
+  let stats = Engine.run ~warmup:0. ~graph:g ~policy trace in
+  Alcotest.(check int) "primary carried" 1 stats.Stats.carried_primary;
+  Alcotest.(check int) "alternate carried" 1 stats.Stats.carried_alternate;
+  Alcotest.(check int) "alternate hops" 2 stats.Stats.alternate_hops;
+  Alcotest.(check int) "none blocked" 0 stats.Stats.blocked
+
+let test_engine_determinism_and_replication () =
+  let g = Builders.full_mesh ~nodes:3 ~capacity:5 in
+  let matrix = Matrix.uniform ~nodes:3 ~demand:4. in
+  let routes = Route_table.build g in
+  let policy = Arnet_core.Scheme.uncontrolled routes in
+  let rng () = Rng.substream (Rng.create ~seed:9) "trace" in
+  let trace = Trace.generate ~rng:(rng ()) ~duration:30. matrix in
+  let s1 = Engine.run ~warmup:5. ~graph:g ~policy trace in
+  let s2 = Engine.run ~warmup:5. ~graph:g ~policy trace in
+  Alcotest.(check int) "identical reruns: offered" s1.Stats.offered s2.Stats.offered;
+  Alcotest.(check int) "identical reruns: blocked" s1.Stats.blocked s2.Stats.blocked;
+  (* replicate shares the trace across policies: same offered count *)
+  let results =
+    Engine.replicate ~warmup:5. ~seeds:[ 1; 2 ] ~duration:30. ~graph:g ~matrix
+      ~policies:
+        [ Arnet_core.Scheme.uncontrolled routes;
+          Arnet_core.Scheme.single_path routes ]
+      ()
+  in
+  (match results with
+  | [ (_, [ u1; u2 ]); (_, [ s1; s2 ]) ] ->
+    Alcotest.(check int) "seed1 same offered" u1.Stats.offered s1.Stats.offered;
+    Alcotest.(check int) "seed2 same offered" u2.Stats.offered s2.Stats.offered;
+    Alcotest.(check bool) "different seeds different traces" true
+      (u1.Stats.offered <> u2.Stats.offered)
+  | _ -> Alcotest.fail "unexpected result shape");
+  check_invalid "no seeds" (fun () ->
+      ignore
+        (Engine.replicate ~seeds:[] ~duration:30. ~graph:g ~matrix ~policies:[]
+           ()))
+
+let test_engine_validation () =
+  let g = one_link_graph 1 in
+  let matrix = Matrix.make ~nodes:2 (fun i _ -> if i = 0 then 1. else 0.) in
+  let trace = Trace.of_calls ~matrix ~duration:10. [ mk_call 1. 0 1 1. ] in
+  check_invalid "warmup >= duration" (fun () ->
+      ignore (Engine.run ~warmup:10. ~graph:g ~policy:(direct_policy g) trace));
+  let bigger = Builders.full_mesh ~nodes:3 ~capacity:1 in
+  check_invalid "graph size mismatch" (fun () ->
+      ignore
+        (Engine.run ~warmup:0. ~graph:bigger ~policy:(direct_policy bigger)
+           trace))
+
+let () =
+  Alcotest.run "sim"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "substreams" `Quick test_rng_substreams;
+          Alcotest.test_case "exponential" `Quick test_rng_exponential;
+          Alcotest.test_case "poisson" `Quick test_rng_poisson ] );
+      ( "event-queue",
+        [ Alcotest.test_case "ordering" `Quick test_event_queue_ordering;
+          Alcotest.test_case "pop_until" `Quick test_event_queue_pop_until;
+          QCheck_alcotest.to_alcotest prop_event_queue_sorts ] );
+      ( "trace",
+        [ Alcotest.test_case "generation" `Quick test_trace_generation;
+          Alcotest.test_case "pair frequencies" `Quick
+            test_trace_pair_frequencies;
+          Alcotest.test_case "holding mean" `Quick test_trace_holding_mean;
+          Alcotest.test_case "validation" `Quick test_trace_validation;
+          Alcotest.test_case "of_calls" `Quick test_trace_of_calls;
+          Alcotest.test_case "shift/merge" `Quick test_trace_shift_merge ] );
+      ( "stats",
+        [ Alcotest.test_case "counters" `Quick test_stats_counters;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "summarize" `Quick test_stats_summarize;
+          Alcotest.test_case "skew" `Quick test_stats_skew ] );
+      ( "engine",
+        [ Alcotest.test_case "blocking on full link" `Quick
+            test_engine_blocking_on_full_link;
+          Alcotest.test_case "departure frees capacity" `Quick
+            test_engine_departure_frees_capacity;
+          Alcotest.test_case "warmup exclusion" `Quick
+            test_engine_warmup_exclusion;
+          Alcotest.test_case "bad policy rejected" `Quick
+            test_engine_rejects_bad_policy;
+          Alcotest.test_case "alternate accounting" `Quick
+            test_engine_alternate_accounting;
+          Alcotest.test_case "determinism/replication" `Quick
+            test_engine_determinism_and_replication;
+          Alcotest.test_case "validation" `Quick test_engine_validation ] );
+      ( "time-series",
+        [ Alcotest.test_case "windows" `Quick test_time_series ] ) ]

@@ -1,0 +1,339 @@
+open Arnet_topology
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "")
+    (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* ------------------------------------------------------------------ *)
+(* Link *)
+
+let test_link_make () =
+  let l = Link.make ~id:3 ~src:1 ~dst:2 ~capacity:7 in
+  Alcotest.(check int) "id" 3 l.Link.id;
+  Alcotest.(check int) "src" 1 l.Link.src;
+  Alcotest.(check int) "dst" 2 l.Link.dst;
+  Alcotest.(check int) "capacity" 7 l.Link.capacity
+
+let test_link_validation () =
+  check_invalid "negative capacity" (fun () ->
+      ignore (Link.make ~id:0 ~src:0 ~dst:1 ~capacity:(-1)));
+  check_invalid "self loop" (fun () ->
+      ignore (Link.make ~id:0 ~src:2 ~dst:2 ~capacity:1));
+  check_invalid "negative id" (fun () ->
+      ignore (Link.make ~id:(-1) ~src:0 ~dst:1 ~capacity:1));
+  check_invalid "negative node" (fun () ->
+      ignore (Link.make ~id:0 ~src:(-2) ~dst:1 ~capacity:1))
+
+let test_link_reversed () =
+  let l = Link.make ~id:0 ~src:1 ~dst:2 ~capacity:9 in
+  let r = Link.reversed l ~id:5 in
+  Alcotest.(check int) "src swapped" 2 r.Link.src;
+  Alcotest.(check int) "dst swapped" 1 r.Link.dst;
+  Alcotest.(check int) "fresh id" 5 r.Link.id;
+  Alcotest.(check int) "capacity kept" 9 r.Link.capacity
+
+let test_link_equal_compare () =
+  let a = Link.make ~id:0 ~src:0 ~dst:1 ~capacity:5 in
+  let b = Link.make ~id:0 ~src:0 ~dst:1 ~capacity:5 in
+  let c = Link.make ~id:1 ~src:0 ~dst:2 ~capacity:5 in
+  Alcotest.(check bool) "equal" true (Link.equal a b);
+  Alcotest.(check bool) "not equal" false (Link.equal a c);
+  Alcotest.(check bool) "ordered by dst" true (Link.compare a c < 0);
+  Alcotest.(check bool) "to_string mentions endpoints" true
+    (String.length (Link.to_string a) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Graph *)
+
+let triangle () = Graph.of_edges ~nodes:3 ~capacity:10 [ (0, 1); (1, 2); (0, 2) ]
+
+let test_graph_create_valid () =
+  let links =
+    [ Link.make ~id:0 ~src:0 ~dst:1 ~capacity:4;
+      Link.make ~id:1 ~src:1 ~dst:0 ~capacity:4 ]
+  in
+  let g = Graph.create ~nodes:2 links in
+  Alcotest.(check int) "nodes" 2 (Graph.node_count g);
+  Alcotest.(check int) "links" 2 (Graph.link_count g);
+  Alcotest.(check int) "capacity" 8 (Graph.total_capacity g)
+
+let test_graph_create_validation () =
+  let l01 = Link.make ~id:0 ~src:0 ~dst:1 ~capacity:1 in
+  check_invalid "duplicate id" (fun () ->
+      ignore
+        (Graph.create ~nodes:2
+           [ l01; Link.make ~id:0 ~src:1 ~dst:0 ~capacity:1 ]));
+  check_invalid "duplicate pair" (fun () ->
+      ignore
+        (Graph.create ~nodes:3
+           [ l01; Link.make ~id:1 ~src:0 ~dst:1 ~capacity:2 ]));
+  check_invalid "endpoint out of range" (fun () ->
+      ignore (Graph.create ~nodes:1 [ l01 ]));
+  check_invalid "label length" (fun () ->
+      ignore (Graph.create ~labels:[| "a" |] ~nodes:2 [ l01 ]));
+  check_invalid "id out of range" (fun () ->
+      ignore (Graph.create ~nodes:2 [ Link.make ~id:1 ~src:0 ~dst:1 ~capacity:1 ]))
+
+let test_of_edges () =
+  let g = triangle () in
+  Alcotest.(check int) "6 directed links" 6 (Graph.link_count g);
+  (* ids assigned pairwise in order *)
+  let l = Graph.link g 0 in
+  Alcotest.(check (pair int int)) "link 0 is 0->1" (0, 1) (l.Link.src, l.Link.dst);
+  let l = Graph.link g 1 in
+  Alcotest.(check (pair int int)) "link 1 is 1->0" (1, 0) (l.Link.src, l.Link.dst);
+  check_invalid "duplicate edge either order" (fun () ->
+      ignore (Graph.of_edges ~nodes:3 ~capacity:1 [ (0, 1); (1, 0) ]));
+  check_invalid "self loop edge" (fun () ->
+      ignore (Graph.of_edges ~nodes:3 ~capacity:1 [ (1, 1) ]))
+
+let test_find_link () =
+  let g = triangle () in
+  (match Graph.find_link g ~src:2 ~dst:0 with
+  | Some l -> Alcotest.(check int) "capacity" 10 l.Link.capacity
+  | None -> Alcotest.fail "2->0 should exist");
+  Alcotest.(check bool) "missing pair" true
+    (Graph.find_link g ~src:0 ~dst:0 = None);
+  Alcotest.check_raises "find_link_exn missing" Not_found (fun () ->
+      ignore (Graph.find_link_exn g ~src:0 ~dst:0))
+
+let test_adjacency () =
+  let g = triangle () in
+  Alcotest.(check (list int)) "successors ascending" [ 1; 2 ]
+    (Graph.successors g 0);
+  Alcotest.(check int) "out degree" 2 (Graph.degree_out g 1);
+  Alcotest.(check int) "in degree" 2 (Graph.degree_in g 1);
+  let out = Graph.out_links g 2 in
+  Alcotest.(check (list int)) "out links sorted by dst" [ 0; 1 ]
+    (List.map (fun (l : Link.t) -> l.Link.dst) out);
+  let into = Graph.in_links g 2 in
+  Alcotest.(check (list int)) "in links sorted by src" [ 0; 1 ]
+    (List.map (fun (l : Link.t) -> l.Link.src) into)
+
+let test_without_links () =
+  let g = triangle () in
+  let g' = Graph.without_links g [ (0, 1) ] in
+  Alcotest.(check int) "one fewer link" 5 (Graph.link_count g');
+  Alcotest.(check bool) "0->1 gone" true (Graph.find_link g' ~src:0 ~dst:1 = None);
+  Alcotest.(check bool) "1->0 kept" true (Graph.find_link g' ~src:1 ~dst:0 <> None);
+  (* ids renumbered densely *)
+  let ids = Array.to_list (Array.map (fun (l : Link.t) -> l.Link.id) (Graph.links g')) in
+  Alcotest.(check (list int)) "dense ids" [ 0; 1; 2; 3; 4 ] (List.sort compare ids);
+  check_invalid "unknown pair" (fun () ->
+      ignore (Graph.without_links g [ (0, 0) ]))
+
+let test_with_capacities () =
+  let g = triangle () in
+  let g' = Graph.with_capacities g [ (0, 1, 3); (1, 0, 4) ] in
+  Alcotest.(check int) "updated fwd" 3
+    (Graph.find_link_exn g' ~src:0 ~dst:1).Link.capacity;
+  Alcotest.(check int) "updated bwd" 4
+    (Graph.find_link_exn g' ~src:1 ~dst:0).Link.capacity;
+  Alcotest.(check int) "others kept" 10
+    (Graph.find_link_exn g' ~src:1 ~dst:2).Link.capacity;
+  Alcotest.(check bool) "asymmetric now" false (Graph.is_symmetric g');
+  check_invalid "unknown link" (fun () ->
+      ignore (Graph.with_capacities g [ (2, 2, 1) ]));
+  check_invalid "negative capacity" (fun () ->
+      ignore (Graph.with_capacities g [ (0, 1, -1) ]))
+
+let test_symmetry_connectivity () =
+  let g = triangle () in
+  Alcotest.(check bool) "symmetric" true (Graph.is_symmetric g);
+  Alcotest.(check bool) "strongly connected" true (Graph.is_strongly_connected g);
+  let g' = Graph.without_links g [ (0, 1) ] in
+  Alcotest.(check bool) "asymmetric after removal" false (Graph.is_symmetric g');
+  Alcotest.(check bool) "still strongly connected via 2" true
+    (Graph.is_strongly_connected g');
+  let g'' = Graph.without_links g' [ (0, 2); (2, 0) ] in
+  (* node 0 now unreachable-from / cannot-reach parts *)
+  Alcotest.(check bool) "broken connectivity" false
+    (Graph.is_strongly_connected g'')
+
+let test_labels_and_dot () =
+  let g =
+    Graph.of_edges ~labels:[| "a"; "b"; "c" |] ~nodes:3 ~capacity:5
+      [ (0, 1); (1, 2) ]
+  in
+  Alcotest.(check string) "label" "b" (Graph.label g 1);
+  let dot = Graph.to_dot g in
+  Alcotest.(check bool) "dot has digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  (* symmetric pairs collapse: 2 edges, not 4 arrows *)
+  let count_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i acc =
+      if i + m > n then acc
+      else if String.sub s i m = sub then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "two dir=both edges" 2 (count_sub dot "dir=both")
+
+let test_fold_iter () =
+  let g = triangle () in
+  let sum = Graph.fold_links (fun l acc -> acc + l.Link.capacity) g 0 in
+  Alcotest.(check int) "fold capacities" 60 sum;
+  let count = ref 0 in
+  Graph.iter_links (fun _ -> incr count) g;
+  Alcotest.(check int) "iter visits all" 6 !count;
+  Alcotest.(check int) "total_capacity" 60 (Graph.total_capacity g)
+
+(* ------------------------------------------------------------------ *)
+(* Builders *)
+
+let test_full_mesh () =
+  let g = Builders.full_mesh ~nodes:5 ~capacity:2 in
+  Alcotest.(check int) "n(n-1) links" 20 (Graph.link_count g);
+  Alcotest.(check bool) "symmetric" true (Graph.is_symmetric g);
+  Alcotest.(check bool) "connected" true (Graph.is_strongly_connected g);
+  check_invalid "too small" (fun () ->
+      ignore (Builders.full_mesh ~nodes:1 ~capacity:1))
+
+let test_ring_line_star () =
+  let ring = Builders.ring ~nodes:6 ~capacity:1 in
+  Alcotest.(check int) "ring links" 12 (Graph.link_count ring);
+  Alcotest.(check int) "ring degree" 2 (Graph.degree_out ring 3);
+  let line = Builders.line ~nodes:4 ~capacity:1 in
+  Alcotest.(check int) "line links" 6 (Graph.link_count line);
+  Alcotest.(check int) "line end degree" 1 (Graph.degree_out line 0);
+  let star = Builders.star ~nodes:5 ~capacity:1 in
+  Alcotest.(check int) "star center degree" 4 (Graph.degree_out star 0);
+  Alcotest.(check int) "star leaf degree" 1 (Graph.degree_out star 3);
+  check_invalid "ring too small" (fun () ->
+      ignore (Builders.ring ~nodes:2 ~capacity:1))
+
+let test_waxman () =
+  let g = Builders.waxman ~seed:42 ~nodes:12 ~capacity:10 () in
+  Alcotest.(check int) "nodes" 12 (Graph.node_count g);
+  Alcotest.(check bool) "connected (spanning tree forced)" true
+    (Graph.is_strongly_connected g);
+  Alcotest.(check bool) "symmetric" true (Graph.is_symmetric g);
+  (* deterministic in the seed *)
+  let g' = Builders.waxman ~seed:42 ~nodes:12 ~capacity:10 () in
+  Alcotest.(check int) "same seed same size" (Graph.link_count g)
+    (Graph.link_count g');
+  let other = Builders.waxman ~seed:43 ~nodes:12 ~capacity:10 () in
+  Alcotest.(check bool) "different seed usually differs" true
+    (Graph.link_count other <> Graph.link_count g
+    || Graph.to_dot other <> Graph.to_dot g);
+  (* a denser parameterization yields more links *)
+  let dense = Builders.waxman ~alpha:1.0 ~beta:2.0 ~seed:42 ~nodes:12 ~capacity:10 () in
+  Alcotest.(check bool) "alpha/beta control density" true
+    (Graph.link_count dense > Graph.link_count g);
+  check_invalid "bad alpha" (fun () ->
+      ignore (Builders.waxman ~alpha:1.5 ~seed:1 ~nodes:5 ~capacity:1 ()));
+  check_invalid "too few nodes" (fun () ->
+      ignore (Builders.waxman ~seed:1 ~nodes:1 ~capacity:1 ()))
+
+let test_grid () =
+  let g = Builders.grid ~rows:3 ~cols:4 ~capacity:1 in
+  (* edges: 3*(4-1) horizontal + (3-1)*4 vertical = 17 -> 34 links *)
+  Alcotest.(check int) "grid links" 34 (Graph.link_count g);
+  Alcotest.(check int) "corner degree" 2 (Graph.degree_out g 0);
+  Alcotest.(check int) "center degree" 4 (Graph.degree_out g 5);
+  Alcotest.(check bool) "connected" true (Graph.is_strongly_connected g)
+
+(* ------------------------------------------------------------------ *)
+(* NSFNet data *)
+
+let test_nsfnet_shape () =
+  let g = Nsfnet.graph () in
+  Alcotest.(check int) "nodes" 12 (Graph.node_count g);
+  Alcotest.(check int) "links" 30 (Graph.link_count g);
+  Alcotest.(check bool) "symmetric" true (Graph.is_symmetric g);
+  Alcotest.(check bool) "connected" true (Graph.is_strongly_connected g);
+  Alcotest.(check int) "capacity everywhere" (30 * 100) (Graph.total_capacity g)
+
+let test_nsfnet_tables () =
+  let g = Nsfnet.graph () in
+  Alcotest.(check int) "30 load entries" 30 (List.length Nsfnet.table1_loads);
+  Alcotest.(check int) "30 protection entries" 30
+    (List.length Nsfnet.table1_protection);
+  List.iter
+    (fun ((src, dst), lam) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "link %d->%d exists" src dst)
+        true
+        (Graph.find_link g ~src ~dst <> None);
+      Alcotest.(check bool) "positive load" true (lam > 0.))
+    Nsfnet.table1_loads;
+  Alcotest.(check (float 0.01)) "load_of lookup" 167. (Nsfnet.load_of ~src:10 ~dst:11);
+  (* every directed link has a load entry *)
+  Graph.iter_links
+    (fun l ->
+      Alcotest.(check bool) "load known" true
+        (List.mem_assoc (l.Link.src, l.Link.dst) Nsfnet.table1_loads))
+    g
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let edge_list_gen =
+  (* connected-ish random undirected edge sets over up to 7 nodes *)
+  QCheck2.Gen.(
+    let* n = int_range 3 7 in
+    let all =
+      List.concat_map
+        (fun i -> List.init (n - i - 1) (fun j -> (i, i + j + 1)))
+        (List.init n (fun i -> i))
+    in
+    let spanning = List.init (n - 1) (fun i -> (i, i + 1)) in
+    let* extra = QCheck2.Gen.(list_size (int_range 0 6) (oneofl all)) in
+    let dedup =
+      List.sort_uniq compare (spanning @ extra)
+    in
+    return (n, dedup))
+
+let prop_of_edges_symmetric =
+  QCheck2.Test.make ~count:100 ~name:"of_edges graphs are symmetric"
+    edge_list_gen (fun (n, edges) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:3 edges in
+      Graph.is_symmetric g
+      && Graph.link_count g = 2 * List.length edges
+      && Graph.total_capacity g = 6 * List.length edges)
+
+let prop_without_twin_links_symmetric =
+  QCheck2.Test.make ~count:100
+    ~name:"removing both directions keeps symmetry" edge_list_gen
+    (fun (n, edges) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:3 edges in
+      match edges with
+      | [] -> true
+      | (a, b) :: _ ->
+        let g' = Graph.without_links g [ (a, b); (b, a) ] in
+        Graph.is_symmetric g' && Graph.link_count g' = Graph.link_count g - 2)
+
+let () =
+  Alcotest.run "topology"
+    [ ( "link",
+        [ Alcotest.test_case "make" `Quick test_link_make;
+          Alcotest.test_case "validation" `Quick test_link_validation;
+          Alcotest.test_case "reversed" `Quick test_link_reversed;
+          Alcotest.test_case "equal/compare" `Quick test_link_equal_compare ] );
+      ( "graph",
+        [ Alcotest.test_case "create" `Quick test_graph_create_valid;
+          Alcotest.test_case "create validation" `Quick
+            test_graph_create_validation;
+          Alcotest.test_case "of_edges" `Quick test_of_edges;
+          Alcotest.test_case "find_link" `Quick test_find_link;
+          Alcotest.test_case "adjacency" `Quick test_adjacency;
+          Alcotest.test_case "without_links" `Quick test_without_links;
+          Alcotest.test_case "with_capacities" `Quick test_with_capacities;
+          Alcotest.test_case "symmetry/connectivity" `Quick
+            test_symmetry_connectivity;
+          Alcotest.test_case "labels and dot" `Quick test_labels_and_dot;
+          Alcotest.test_case "fold/iter" `Quick test_fold_iter ] );
+      ( "builders",
+        [ Alcotest.test_case "full mesh" `Quick test_full_mesh;
+          Alcotest.test_case "ring/line/star" `Quick test_ring_line_star;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "waxman" `Quick test_waxman ] );
+      ( "nsfnet",
+        [ Alcotest.test_case "shape" `Quick test_nsfnet_shape;
+          Alcotest.test_case "tables" `Quick test_nsfnet_tables ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_of_edges_symmetric; prop_without_twin_links_symmetric ] ) ]

@@ -1,0 +1,245 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let feq = Alcotest.(check (float 1e-9))
+let feq_at tol = Alcotest.(check (float tol))
+
+(* ------------------------------------------------------------------ *)
+(* Matrix *)
+
+let test_matrix_make () =
+  let m = Matrix.make ~nodes:3 (fun i j -> float_of_int ((10 * i) + j)) in
+  feq "entry" 12. (Matrix.get m 1 2);
+  feq "diagonal forced to zero" 0. (Matrix.get m 1 1);
+  Alcotest.(check int) "nodes" 3 (Matrix.nodes m);
+  check_invalid "negative demand" (fun () ->
+      ignore (Matrix.make ~nodes:2 (fun _ _ -> -1.)));
+  check_invalid "nan demand" (fun () ->
+      ignore (Matrix.make ~nodes:2 (fun _ _ -> Float.nan)));
+  check_invalid "too few nodes" (fun () ->
+      ignore (Matrix.make ~nodes:1 (fun _ _ -> 1.)))
+
+let test_matrix_uniform_total () =
+  let m = Matrix.uniform ~nodes:4 ~demand:2.5 in
+  feq "total = n(n-1)d" 30. (Matrix.total m);
+  feq "zero matrix" 0. (Matrix.total (Matrix.zero ~nodes:4))
+
+let test_matrix_of_array () =
+  let m = Matrix.of_array [| [| 0.; 1. |]; [| 2.; 0. |] |] in
+  feq "entry" 2. (Matrix.get m 1 0);
+  check_invalid "not square" (fun () ->
+      ignore (Matrix.of_array [| [| 0.; 1. |] |]));
+  check_invalid "nonzero diagonal" (fun () ->
+      ignore (Matrix.of_array [| [| 1.; 1. |]; [| 2.; 0. |] |]))
+
+let test_matrix_scale_add_map () =
+  let m = Matrix.uniform ~nodes:3 ~demand:2. in
+  feq "scale" 24. (Matrix.total (Matrix.scale m 2.));
+  feq "add" 24. (Matrix.total (Matrix.add m m));
+  let doubled = Matrix.map m (fun _ _ d -> 2. *. d) in
+  feq "map" 0. (Matrix.max_abs_diff doubled (Matrix.scale m 2.));
+  check_invalid "negative scale" (fun () -> ignore (Matrix.scale m (-1.)));
+  check_invalid "add size mismatch" (fun () ->
+      ignore (Matrix.add m (Matrix.uniform ~nodes:4 ~demand:1.)))
+
+let test_matrix_iteration () =
+  let m =
+    Matrix.make ~nodes:3 (fun i j -> if i = 0 && j = 1 then 5. else 0.)
+  in
+  Alcotest.(check int) "demand_count" 1 (Matrix.demand_count m);
+  let visited = ref [] in
+  Matrix.iter_demands m (fun i j d -> visited := (i, j, d) :: !visited);
+  Alcotest.(check int) "only positive visited" 1 (List.length !visited);
+  let pairs = Matrix.fold m ~init:0 ~f:(fun acc _ _ _ -> acc + 1) in
+  Alcotest.(check int) "fold visits all ordered pairs" 6 pairs;
+  check_invalid "get out of range" (fun () -> ignore (Matrix.get m 0 3))
+
+(* ------------------------------------------------------------------ *)
+(* Gravity *)
+
+let test_gravity_proportionality () =
+  let weights = [| 1.; 2.; 3. |] in
+  let m = Gravity.with_weights ~weights ~total:60. in
+  feq_at 1e-9 "total preserved" 60. (Matrix.total m);
+  (* T(1,2)/T(0,1) = (2*3)/(1*2) = 3 *)
+  feq_at 1e-9 "proportionality" 3. (Matrix.get m 1 2 /. Matrix.get m 0 1);
+  check_invalid "zero weight" (fun () ->
+      ignore (Gravity.with_weights ~weights:[| 0.; 1. |] ~total:1.));
+  check_invalid "bad total" (fun () ->
+      ignore (Gravity.with_weights ~weights:[| 1.; 1. |] ~total:0.))
+
+let test_gravity_uniform_and_degree () =
+  let u = Gravity.uniform_total ~nodes:4 ~total:12. in
+  feq "uniform entries equal" 1. (Matrix.get u 0 1);
+  feq "matches Matrix.uniform" 0.
+    (Matrix.max_abs_diff u (Matrix.uniform ~nodes:4 ~demand:1.));
+  let star = Builders.star ~nodes:4 ~capacity:1 in
+  let dm = Gravity.degree_weighted star ~total:10. in
+  feq_at 1e-9 "total" 10. (Matrix.total dm);
+  Alcotest.(check bool) "hub attracts more" true
+    (Matrix.get dm 0 1 > Matrix.get dm 2 1)
+
+(* ------------------------------------------------------------------ *)
+(* Loads *)
+
+let test_loads_line_graph () =
+  (* line 0-1-2: primary 0->2 and 1->2 both cross link 1->2 *)
+  let g = Builders.line ~nodes:3 ~capacity:10 in
+  let routes = Route_table.build g in
+  let m =
+    Matrix.make ~nodes:3 (fun i j ->
+        match (i, j) with 0, 2 -> 4. | 1, 2 -> 2. | _ -> 0.)
+  in
+  let loads = Loads.primary_link_loads routes m in
+  let id12 = (Graph.find_link_exn g ~src:1 ~dst:2).Link.id in
+  let id01 = (Graph.find_link_exn g ~src:0 ~dst:1).Link.id in
+  let id21 = (Graph.find_link_exn g ~src:2 ~dst:1).Link.id in
+  feq "shared link load" 6. loads.(id12);
+  feq "first hop load" 4. loads.(id01);
+  feq "unused direction zero" 0. loads.(id21)
+
+let test_loads_conservation () =
+  (* sum over links of Lambda = sum over pairs of demand * primary hops *)
+  let g = Nsfnet.graph () in
+  let routes = Route_table.build g in
+  let m = Gravity.degree_weighted g ~total:500. in
+  let loads = Loads.primary_link_loads routes m in
+  let total_load = Array.fold_left ( +. ) 0. loads in
+  let expected =
+    Matrix.fold m ~init:0. ~f:(fun acc i j d ->
+        if d > 0. then
+          acc +. (d *. float_of_int (Path.hops (Route_table.primary routes ~src:i ~dst:j)))
+        else acc)
+  in
+  feq_at 1e-6 "conservation" expected total_load
+
+let test_link_load_error () =
+  feq "zero error" 0. (Loads.link_load_error ~target:[| 5.; 10. |] [| 5.; 10. |]);
+  feq "relative to target" 0.1
+    (Loads.link_load_error ~target:[| 10.; 100. |] [| 11.; 100. |]);
+  (* small targets measured against 1, not the tiny target *)
+  feq "small target guarded" 0.5
+    (Loads.link_load_error ~target:[| 0.1 |] [| 0.6 |]);
+  check_invalid "length mismatch" (fun () ->
+      ignore (Loads.link_load_error ~target:[| 1. |] [| 1.; 2. |]))
+
+let test_offered_to_pair_paths () =
+  let g = Builders.line ~nodes:3 ~capacity:10 in
+  let routes = Route_table.build g in
+  let m =
+    Matrix.make ~nodes:3 (fun i j -> if i = 0 && j = 2 then 3. else 0.)
+  in
+  match Loads.offered_to_pair_paths routes m with
+  | [ r ] ->
+    feq "offered" 3. r.Arnet_erlang.Reduced_load.offered;
+    Alcotest.(check int) "two links" 2
+      (List.length r.Arnet_erlang.Reduced_load.links)
+  | l -> Alcotest.failf "expected one route, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Fit *)
+
+let test_fit_recovers_consistent_loads () =
+  (* loads induced by a known matrix are recoverable essentially exactly *)
+  let g = Nsfnet.graph () in
+  let routes = Route_table.build g in
+  let secret = Gravity.degree_weighted g ~total:800. in
+  let target = Loads.primary_link_loads routes secret in
+  let fit = Fit.to_link_loads routes ~target in
+  Alcotest.(check bool) "tight fit" true (fit.Fit.max_relative_error < 1e-5);
+  Alcotest.(check bool) "converged before cap" true (fit.Fit.iterations < 5_000);
+  (* achieved loads match the report *)
+  let again = Loads.primary_link_loads routes fit.Fit.matrix in
+  feq_at 1e-9 "achieved loads consistent" 0.
+    (Array.fold_left Float.max 0.
+       (Array.mapi (fun i a -> Float.abs (a -. again.(i))) fit.Fit.achieved))
+
+let test_fit_nsfnet_nominal () =
+  let _, fit = Fit.nsfnet_nominal () in
+  Alcotest.(check bool) "table-1 loads reproduced" true
+    (fit.Fit.max_relative_error < 1e-5);
+  let total = Matrix.total fit.Fit.matrix in
+  Alcotest.(check bool) "plausible total demand" true
+    (total > 500. && total < 2000.);
+  (* all demands nonnegative by construction; spot check positivity *)
+  Alcotest.(check bool) "positive demands exist" true
+    (Matrix.demand_count fit.Fit.matrix > 100)
+
+let test_fit_validation () =
+  let g = Builders.line ~nodes:3 ~capacity:10 in
+  let routes = Route_table.build g in
+  check_invalid "target length" (fun () ->
+      ignore (Fit.to_link_loads routes ~target:[| 1. |]));
+  check_invalid "negative target" (fun () ->
+      ignore
+        (Fit.to_link_loads routes
+           ~target:(Array.make (Graph.link_count g) (-1.))));
+  check_invalid "seed size mismatch" (fun () ->
+      ignore
+        (Fit.to_link_loads routes
+           ~seed:(Matrix.uniform ~nodes:4 ~demand:1.)
+           ~target:(Array.make (Graph.link_count g) 1.)))
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let prop_scale_linear =
+  QCheck2.Test.make ~count:100 ~name:"link loads scale linearly with demand"
+    QCheck2.Gen.(float_range 0.1 5.)
+    (fun factor ->
+      let g = Builders.ring ~nodes:5 ~capacity:10 in
+      let routes = Route_table.build g in
+      let m = Matrix.uniform ~nodes:5 ~demand:2. in
+      let base = Loads.primary_link_loads routes m in
+      let scaled = Loads.primary_link_loads routes (Matrix.scale m factor) in
+      Array.for_all
+        (fun ok -> ok)
+        (Array.mapi
+           (fun k l -> Float.abs (l -. (factor *. base.(k))) < 1e-9)
+           scaled))
+
+let prop_fit_random_consistent_targets =
+  QCheck2.Test.make ~count:15 ~name:"fit recovers loads of random matrices"
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let g = Builders.full_mesh ~nodes:5 ~capacity:10 in
+      let routes = Route_table.build g in
+      let st = Random.State.make [| seed |] in
+      let m =
+        Matrix.make ~nodes:5 (fun _ _ -> 0.5 +. Random.State.float st 10.)
+      in
+      let target = Loads.primary_link_loads routes m in
+      let fit = Fit.to_link_loads routes ~target in
+      fit.Fit.max_relative_error < 1e-4)
+
+let () =
+  Alcotest.run "traffic"
+    [ ( "matrix",
+        [ Alcotest.test_case "make" `Quick test_matrix_make;
+          Alcotest.test_case "uniform/total" `Quick test_matrix_uniform_total;
+          Alcotest.test_case "of_array" `Quick test_matrix_of_array;
+          Alcotest.test_case "scale/add/map" `Quick test_matrix_scale_add_map;
+          Alcotest.test_case "iteration" `Quick test_matrix_iteration ] );
+      ( "gravity",
+        [ Alcotest.test_case "proportionality" `Quick
+            test_gravity_proportionality;
+          Alcotest.test_case "uniform/degree" `Quick
+            test_gravity_uniform_and_degree ] );
+      ( "loads",
+        [ Alcotest.test_case "line graph" `Quick test_loads_line_graph;
+          Alcotest.test_case "conservation" `Quick test_loads_conservation;
+          Alcotest.test_case "load error" `Quick test_link_load_error;
+          Alcotest.test_case "pair paths" `Quick test_offered_to_pair_paths ] );
+      ( "fit",
+        [ Alcotest.test_case "recovers consistent loads" `Quick
+            test_fit_recovers_consistent_loads;
+          Alcotest.test_case "nsfnet nominal" `Quick test_fit_nsfnet_nominal;
+          Alcotest.test_case "validation" `Quick test_fit_validation ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_scale_linear; prop_fit_random_consistent_targets ] ) ]
