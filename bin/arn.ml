@@ -411,6 +411,164 @@ let spec_cmd =
     Term.(const run $ network_arg $ capacity_arg $ with_matrix)
 
 (* ------------------------------------------------------------------ *)
+(* arn lint *)
+
+let lint_cmd =
+  let format_conv =
+    let parse = function
+      | "text" -> Ok `Text
+      | "json" -> Ok `Json
+      | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))
+    in
+    let print ppf = function
+      | `Text -> Format.fprintf ppf "text"
+      | `Json -> Format.fprintf ppf "json"
+    in
+    Arg.conv (parse, print)
+  in
+  let format_arg =
+    let doc = "Output format: $(b,text) or $(b,json)." in
+    Arg.(value & opt format_conv `Text & info [ "format"; "f" ] ~doc)
+  in
+  let strict =
+    let doc = "Treat warnings and infos as findings (nonzero exit)." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let h =
+    let doc = "Maximum alternate hop length H for the route table." in
+    Arg.(value & opt (some int) None & info [ "max-hops"; "H" ] ~doc)
+  in
+  let demand =
+    let doc = "Per-pair demand in Erlangs (synthetic networks only)." in
+    Arg.(value & opt float 80. & info [ "demand"; "d" ] ~doc)
+  in
+  let scale =
+    let doc = "Scale factor on the nominal/base traffic matrix." in
+    Arg.(value & opt float 1.0 & info [ "scale"; "s" ] ~doc)
+  in
+  let reserve_conv =
+    let parse s =
+      match String.split_on_char '=' s with
+      | [ k; r ] -> (
+        match (int_of_string_opt k, int_of_string_opt r) with
+        | Some k, Some r -> Ok (k, r)
+        | _ -> Error (`Msg "expected LINK=RESERVE with integer parts"))
+      | _ -> Error (`Msg "expected LINK=RESERVE")
+    in
+    let print ppf (k, r) = Format.fprintf ppf "%d=%d" k r in
+    Arg.conv (parse, print)
+  in
+  let overrides =
+    let doc =
+      "Override the protection level of link $(i,LINK) (by id) to \
+       $(i,RESERVE) before linting; repeatable.  The default levels come \
+       from Protection.levels and are minimal by construction — use this \
+       to audit a hand-tuned (or corrupted) deployment."
+    in
+    Arg.(
+      value
+      & opt_all reserve_conv []
+      & info [ "reserve"; "r" ] ~docv:"LINK=RESERVE" ~doc)
+  in
+  let only =
+    let doc =
+      "Run only this check (repeatable): one of the names shown by \
+       $(b,--list-checks)."
+    in
+    Arg.(value & opt_all string [] & info [ "check" ] ~docv:"NAME" ~doc)
+  in
+  let list_checks =
+    let doc = "List the registered checks and exit." in
+    Arg.(value & flag & info [ "list-checks" ] ~doc)
+  in
+  let run network capacity h scale demand format strict overrides only
+      list_checks =
+    let module A = Arnet_analysis in
+    if list_checks then
+      List.iter
+        (fun (c : A.Check.t) ->
+          Format.fprintf ppf "%-12s %s@." c.A.Check.name c.A.Check.describe)
+        (A.Check.registered ())
+    else begin
+      let config =
+        (* exit 2 on anything that prevents even assembling the
+           configuration: unreadable spec files, out-of-range overrides,
+           a bad H *)
+        try
+          (* load file specs directly: parse failures must reach the
+             catch below (exit 2), not load_spec's generic [exit 1],
+             which would collide with "1 = findings" *)
+          let g, spec_matrix =
+            match network with
+            | `File path ->
+              let spec = Arnet_serial.Spec.of_file path in
+              (spec.Arnet_serial.Spec.graph, spec.Arnet_serial.Spec.matrix)
+            | _ -> (build_graph network capacity, None)
+          in
+          let matrix =
+            match (network, spec_matrix) with
+            | `File _, Some m -> Matrix.scale m scale
+            | `File _, None ->
+              Matrix.uniform
+                ~nodes:(Graph.node_count g)
+                ~demand:(demand *. scale)
+            | _ -> build_matrix network g ~scale ~demand
+          in
+          let routes = Route_table.build ?h g in
+          let reserves =
+            Protection.levels routes matrix ~h:(Route_table.h routes)
+          in
+          List.iter
+            (fun (k, r) ->
+              if k < 0 || k >= Array.length reserves then
+                invalid_arg
+                  (Printf.sprintf "--reserve %d=%d: no link with id %d" k r k);
+              reserves.(k) <- r)
+            overrides;
+          A.Check.config ~routes ~matrix ~reserves g
+        with
+        | Invalid_argument msg | Failure msg | Sys_error msg ->
+          Printf.eprintf "arn lint: invalid configuration: %s\n" msg;
+          exit 2
+        | Arnet_serial.Spec.Parse_error (line, msg) ->
+          Printf.eprintf "arn lint: invalid configuration: line %d: %s\n"
+            line msg;
+          exit 2
+      in
+      let only = match only with [] -> None | names -> Some names in
+      let findings =
+        try A.Lint.run ?only config
+        with Invalid_argument msg ->
+          Printf.eprintf "arn lint: %s\n" msg;
+          exit 2
+      in
+      (match format with
+      | `Text -> Format.fprintf ppf "%a" A.Lint.pp_text findings
+      | `Json -> Format.fprintf ppf "%s@." (A.Lint.to_json findings));
+      exit (A.Lint.exit_code ~strict findings)
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify a routing configuration (topology, routes, \
+          protection levels, traffic) before running it"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "0 on a clean configuration (no error-severity findings;";
+           `Noblank;
+           `P "with $(b,--strict), no findings at all);";
+           `Noblank;
+           `P "1 when findings remain;";
+           `Noblank;
+           `P "2 when the configuration cannot be loaded at all.";
+         ])
+    Term.(
+      const run $ network_arg $ capacity_arg $ h $ scale $ demand
+      $ format_arg $ strict $ overrides $ only $ list_checks)
+
+(* ------------------------------------------------------------------ *)
 (* arn adaptive *)
 
 let adaptive_cmd =
@@ -490,6 +648,6 @@ let () =
     Cmd.group info
       [ erlang_cmd; protection_cmd; paths_cmd; topology_cmd; fit_cmd;
         bound_cmd; simulate_cmd; experiment_cmd; dalfar_cmd; spec_cmd;
-        adaptive_cmd; mdp_cmd ]
+        lint_cmd; adaptive_cmd; mdp_cmd ]
   in
   exit (Cmd.eval group)

@@ -1,0 +1,55 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+
+type config = {
+  graph : Graph.t;
+  routes : Route_table.t option;
+  matrix : Matrix.t option;
+  reserves : int array option;
+  loads : float array option;
+}
+
+let config ?routes ?matrix ?reserves ?loads graph =
+  { graph; routes; matrix; reserves; loads }
+
+let effective_loads c =
+  match c.loads with
+  | Some _ as l -> l
+  | None -> (
+    match (c.routes, c.matrix) with
+    | Some routes, Some matrix
+      when Matrix.nodes matrix = Graph.node_count c.graph ->
+      Some (Loads.primary_link_loads routes matrix)
+    | _ -> None)
+
+type t = {
+  name : string;
+  describe : string;
+  run : config -> Diagnostic.t list;
+}
+
+let make ~name ~describe run = { name; describe; run }
+
+let registry : t list ref = ref []
+
+let register check =
+  registry := List.filter (fun c -> c.name <> check.name) !registry @ [ check ]
+
+let registered () = !registry
+let find name = List.find_opt (fun c -> c.name = name) !registry
+
+let run ?only config =
+  let checks =
+    match only with
+    | None -> !registry
+    | Some names ->
+      List.map
+        (fun name ->
+          match find name with
+          | Some c -> c
+          | None -> invalid_arg ("Check.run: unknown check " ^ name))
+        names
+  in
+  List.concat_map (fun c -> c.run config) checks
+  |> List.sort_uniq Diagnostic.compare

@@ -1,0 +1,60 @@
+(** The check registry: named static-analysis passes over a routing
+    configuration.
+
+    A configuration bundles everything the simulator consumes — the
+    topology, the two-tier route table, the traffic matrix and the
+    per-link protection levels — plus the optional per-link primary
+    loads a deployment might declare instead of deriving them from the
+    matrix (Equation 1).  Individual checks tolerate missing pieces:
+    a check that needs the matrix reports nothing when no matrix is
+    given. *)
+
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+
+type config = {
+  graph : Graph.t;
+  routes : Route_table.t option;
+  matrix : Matrix.t option;
+  reserves : int array option;  (** protection level [r^k] per link id *)
+  loads : float array option;
+      (** declared primary load [Lambda^k] per link id; when absent,
+          checks derive loads from [routes] and [matrix] by Equation 1 *)
+}
+
+val config :
+  ?routes:Route_table.t ->
+  ?matrix:Matrix.t ->
+  ?reserves:int array ->
+  ?loads:float array ->
+  Graph.t ->
+  config
+
+val effective_loads : config -> float array option
+(** The declared [loads] when present, otherwise
+    [Loads.primary_link_loads routes matrix] when both are available. *)
+
+type t = {
+  name : string;  (** short identifier, e.g. ["topology"] *)
+  describe : string;  (** one-line summary for [--list-checks] *)
+  run : config -> Diagnostic.t list;
+}
+
+val make :
+  name:string -> describe:string -> (config -> Diagnostic.t list) -> t
+
+val register : t -> unit
+(** Add a check to the global registry.  Re-registering a name replaces
+    the previous entry (last registration wins); the built-in checks are
+    registered by {!Lint} at module-initialisation time. *)
+
+val registered : unit -> t list
+(** All registered checks, in registration order. *)
+
+val find : string -> t option
+
+val run : ?only:string list -> config -> Diagnostic.t list
+(** Run the registered checks — all of them, or the [only] named subset —
+    and return the combined findings sorted with {!Diagnostic.compare}.
+    @raise Invalid_argument when [only] names an unknown check. *)

@@ -1,0 +1,56 @@
+(** Findings produced by the static verification pass.
+
+    A diagnostic pins a violated (or suspicious) configuration invariant
+    to a location in the network: a link, an ordered O-D pair, a node, or
+    the configuration as a whole.  Codes are stable kebab-case strings
+    (e.g. ["prot-not-minimal"]) so scripts can filter on them; the full
+    table lives in docs/TUTORIAL.md. *)
+
+type severity =
+  | Error  (** the Theorem-1 guarantee (or basic well-formedness) is broken *)
+  | Warning  (** legal but dangerous — e.g. an overloaded link *)
+  | Info  (** noteworthy, no action required *)
+
+type location =
+  | Network  (** the configuration as a whole *)
+  | Node of int
+  | Link of { id : int; src : int; dst : int }
+  | Pair of { src : int; dst : int }  (** an ordered O-D pair *)
+
+type t = {
+  code : string;  (** stable kebab-case identifier *)
+  severity : severity;
+  location : location;
+  message : string;  (** human-readable, [Module.function: reason] style *)
+}
+
+val error : code:string -> location -> string -> t
+val warning : code:string -> location -> string -> t
+val info : code:string -> location -> string -> t
+
+val severity_label : severity -> string
+(** ["error"], ["warning"] or ["info"]. *)
+
+val is_error : t -> bool
+
+val compare : t -> t -> int
+(** Orders by severity (errors first), then code, then location — the
+    stable report order. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [severity[code] location: message]. *)
+
+val to_string : t -> string
+
+(** {1 JSON}
+
+    The emitted JSON is an array of objects
+    [{"code": ..., "severity": ..., "location": {...}, "message": ...}].
+    {!list_of_json} parses exactly that shape back (it is a minimal JSON
+    reader, not a general-purpose one), so
+    [list_of_json (json_of_list ds) = ds] for every diagnostic list. *)
+
+val json_of_list : t list -> string
+
+val list_of_json : string -> t list
+(** @raise Invalid_argument on input that is not in the emitted shape. *)

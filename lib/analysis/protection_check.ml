@@ -1,0 +1,79 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_core
+
+let loc_of (l : Link.t) =
+  Diagnostic.Link { id = l.id; src = l.src; dst = l.dst }
+
+let link_findings ~h (l : Link.t) ~offered ~reserve =
+  let loc = loc_of l in
+  if reserve < 0 || reserve > l.capacity then
+    [
+      Diagnostic.error ~code:"prot-range" loc
+        (Printf.sprintf "reserve %d outside [0, C = %d]" reserve l.capacity);
+    ]
+  else if offered <= 0. then
+    if reserve = 0 then []
+    else
+      [
+        Diagnostic.warning ~code:"prot-zero-load" loc
+          (Printf.sprintf
+             "reserve %d on a link with no primary demand: nothing to \
+              protect, alternate calls are refused for free"
+             reserve);
+      ]
+  else if l.capacity = 0 then
+    (* topology check already reports the unusable link *)
+    []
+  else
+    let minimal = Protection.level ~offered ~capacity:l.capacity ~h in
+    if reserve < minimal then
+      let ratio = Protection.bound ~offered ~capacity:l.capacity ~reserve in
+      [
+        Diagnostic.error ~code:"prot-unsafe" loc
+          (Printf.sprintf
+             "Theorem 1 violated: B(%.4g,%d)/B(%.4g,%d) = %.4g > 1/%d at \
+              r = %d (minimal safe r is %d)"
+             offered l.capacity offered (l.capacity - reserve) ratio h
+             reserve minimal);
+      ]
+    else if reserve > minimal then
+      [
+        Diagnostic.error ~code:"prot-not-minimal" loc
+          (Printf.sprintf
+             "r = %d is not minimal: the Theorem-1 ratio already meets \
+              1/%d at r = %d, so the extra %d protected states refuse \
+              alternate calls the guarantee would admit"
+             reserve h minimal (reserve - minimal));
+      ]
+    else []
+
+let run (c : Check.config) =
+  match (c.reserves, Check.effective_loads c, c.routes) with
+  | Some reserves, Some loads, Some routes ->
+    let g = c.graph in
+    let m = Graph.link_count g in
+    if Array.length reserves <> m || Array.length loads <> m then
+      [
+        Diagnostic.error ~code:"prot-length" Diagnostic.Network
+          (Printf.sprintf
+             "%d reserves and %d loads for %d links \
+              (Protection.levels_of_loads: length mismatch)"
+             (Array.length reserves) (Array.length loads) m);
+      ]
+    else
+      let h = Route_table.h routes in
+      Graph.fold_links
+        (fun l acc ->
+          link_findings ~h l ~offered:loads.(l.Link.id)
+            ~reserve:reserves.(l.Link.id)
+          @ acc)
+        g []
+  | _ -> []
+
+let check =
+  Check.make ~name:"protection"
+    ~describe:
+      "0 <= r <= C, Theorem-1 ratio <= 1/H at r and > 1/H at r-1 \
+       (minimality, cross-checked against Protection.level)"
+    run

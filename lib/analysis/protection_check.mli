@@ -1,0 +1,22 @@
+(** Protection-level invariants (Section 3.1, Theorem 1).
+
+    For every link [k] carrying primary demand [Lambda^k]: the reserve
+    must lie in [0 <= r^k <= C^k], the Theorem-1 ratio
+    [B(Lambda^k, C^k) / B(Lambda^k, C^k - r^k)] must be [<= 1/H] at
+    [r^k] (otherwise one accepted alternate call can displace more than
+    [1/H] primary calls in expectation — the guarantee is void), and
+    [> 1/H] at [r^k - 1] (otherwise [r^k] is not minimal and the scheme
+    refuses alternate traffic it could safely carry).  Both directions
+    are cross-checked against {!Arnet_core.Protection.level}.  Links with
+    no primary demand must carry [r = 0] — there is nothing to protect.
+
+    Requires reserves plus loads (declared, or derivable from routes and
+    matrix); reports nothing when they are absent.  [H] is taken from
+    the route table.
+
+    Codes: [prot-length] (E), [prot-range] (E), [prot-unsafe] (E),
+    [prot-not-minimal] (E), [prot-zero-load] (W). *)
+
+val check : Check.t
+
+val run : Check.config -> Diagnostic.t list

@@ -1,0 +1,123 @@
+open Arnet_topology
+open Arnet_paths
+
+let pair src dst = Diagnostic.Pair { src; dst }
+
+(* Re-run the Path.t constructor checks against the lint graph.  Paths
+   in a well-typed table were validated at build time, but against
+   *their* graph — linting a table against a different (e.g. degraded)
+   topology must catch paths that no longer exist.  The Invalid_argument
+   text of Path.make is reused verbatim as the diagnostic message. *)
+let path_findings g ~src ~dst ~role p =
+  let describe reason =
+    Diagnostic.error ~code:"route-malformed-path" (pair src dst)
+      (Printf.sprintf "%s path %s: %s" role (Path.to_string p) reason)
+  in
+  let endpoint_findings =
+    if Path.src p = src && Path.dst p = dst then []
+    else
+      [
+        Diagnostic.error ~code:"route-endpoints" (pair src dst)
+          (Printf.sprintf "%s path %s does not join %d to %d" role
+             (Path.to_string p) src dst);
+      ]
+  in
+  let shape_findings =
+    match Path.make g (Path.nodes p) with
+    | (_ : Path.t) -> []
+    | exception Invalid_argument reason -> [ describe reason ]
+  in
+  endpoint_findings @ shape_findings
+
+let pair_findings g routes ~dist ~src ~dst =
+  let connected = dist.(src).(dst) < max_int in
+  if not (Route_table.has_route routes ~src ~dst) then
+    if connected then
+      [
+        Diagnostic.error ~code:"route-missing-primary" (pair src dst)
+          "connected ordered pair has no primary path";
+      ]
+    else []
+  else
+    let primary = Route_table.primary routes ~src ~dst in
+    let alternates = Route_table.alternates routes ~src ~dst in
+    let h = Route_table.h routes in
+    let primary_findings = path_findings g ~src ~dst ~role:"primary" primary in
+    let detour_findings =
+      if dist.(src).(dst) < Path.hops primary then
+        [
+          Diagnostic.info ~code:"route-primary-detour" (pair src dst)
+            (Printf.sprintf
+               "primary %s takes %d hops where %d suffice (custom SI \
+                policy, or a stale table)"
+               (Path.to_string primary) (Path.hops primary)
+               dist.(src).(dst));
+        ]
+      else []
+    in
+    let alt_findings =
+      List.concat_map (path_findings g ~src ~dst ~role:"alternate") alternates
+    in
+    let hop_findings =
+      List.filter_map
+        (fun p ->
+          if Path.hops p > h then
+            Some
+              (Diagnostic.error ~code:"route-alt-hops" (pair src dst)
+                 (Printf.sprintf "alternate %s has %d hops, exceeding H = %d"
+                    (Path.to_string p) (Path.hops p) h))
+          else None)
+        alternates
+    in
+    let order_findings =
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          if Path.hops a > Path.hops b then
+            [
+              Diagnostic.error ~code:"route-alt-order" (pair src dst)
+                (Printf.sprintf
+                   "alternates out of order: %s (%d hops) attempted before \
+                    %s (%d hops)"
+                   (Path.to_string a) (Path.hops a) (Path.to_string b)
+                   (Path.hops b));
+            ]
+          else sorted rest
+        | _ -> []
+      in
+      sorted alternates
+    in
+    primary_findings @ detour_findings @ alt_findings @ hop_findings
+    @ order_findings
+
+let run (c : Check.config) =
+  match c.routes with
+  | None -> []
+  | Some routes ->
+    let g = c.graph in
+    let n = Graph.node_count g in
+    if Graph.node_count (Route_table.graph routes) <> n then
+      [
+        Diagnostic.error ~code:"route-graph-mismatch" Diagnostic.Network
+          (Printf.sprintf
+             "route table built over %d nodes, topology has %d"
+             (Graph.node_count (Route_table.graph routes))
+             n);
+      ]
+    else begin
+      let dist = Array.init n (fun src -> Bfs.distances g ~src) in
+      let acc = ref [] in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then
+            acc := pair_findings g routes ~dist ~src ~dst @ !acc
+        done
+      done;
+      !acc
+    end
+
+let check =
+  Check.make ~name:"routes"
+    ~describe:
+      "every connected pair has a primary; alternates simple, sorted by \
+       hop count and bounded by H"
+    run

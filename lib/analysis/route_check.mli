@@ -1,0 +1,18 @@
+(** Route-table invariants (Sections 3.1–3.2).
+
+    The two-tier scheme needs every connected ordered O-D pair to own a
+    unique primary path, and a candidate list of simple (loop-free)
+    alternates sorted by nondecreasing hop count and capped at [H] hops.
+    Primaries are exempt from the [H] cap ("H has nothing to do with the
+    length of primary paths").
+
+    Reported nothing when the configuration carries no route table.
+
+    Codes: [route-graph-mismatch] (E), [route-missing-primary] (E),
+    [route-endpoints] (E), [route-malformed-path] (E),
+    [route-alt-order] (E), [route-alt-hops] (E),
+    [route-primary-detour] (I). *)
+
+val check : Check.t
+
+val run : Check.config -> Diagnostic.t list

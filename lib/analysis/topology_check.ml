@@ -1,0 +1,92 @@
+open Arnet_topology
+
+let loc_of (l : Link.t) =
+  Diagnostic.Link { id = l.id; src = l.src; dst = l.dst }
+
+let capacity_findings g =
+  Graph.fold_links
+    (fun l acc ->
+      if l.Link.capacity < 0 then
+        (* same guard as Link.make — unreachable through the API, but a
+           foreign front end could produce it *)
+        Diagnostic.error ~code:"topo-capacity" (loc_of l)
+          "Link.make: negative capacity"
+        :: acc
+      else if l.Link.capacity = 0 then
+        Diagnostic.error ~code:"topo-capacity" (loc_of l)
+          "zero capacity: the link can carry no calls, every path through \
+           it is permanently blocked"
+        :: acc
+      else acc)
+    g []
+
+let self_loop_findings g =
+  Graph.fold_links
+    (fun l acc ->
+      if l.Link.src = l.Link.dst then
+        Diagnostic.error ~code:"topo-self-loop" (loc_of l) "Link.make: self-loop"
+        :: acc
+      else acc)
+    g []
+
+let duplicate_findings g =
+  let seen = Hashtbl.create 16 in
+  Graph.fold_links
+    (fun l acc ->
+      let key = (l.Link.src, l.Link.dst) in
+      if Hashtbl.mem seen key then
+        Diagnostic.error ~code:"topo-duplicate-link" (loc_of l)
+          "Graph.create: duplicate directed link"
+        :: acc
+      else begin
+        Hashtbl.add seen key ();
+        acc
+      end)
+    g []
+
+let symmetry_findings g =
+  Graph.fold_links
+    (fun l acc ->
+      match Graph.find_link g ~src:l.Link.dst ~dst:l.Link.src with
+      | None ->
+        Diagnostic.warning ~code:"topo-asymmetric" (loc_of l)
+          (Printf.sprintf
+             "no reverse link %d->%d: the paper models every edge as a \
+              pair of opposite unidirectional links"
+             l.Link.dst l.Link.src)
+        :: acc
+      | Some r when r.Link.capacity <> l.Link.capacity ->
+        Diagnostic.warning ~code:"topo-asymmetric" (loc_of l)
+          (Printf.sprintf "reverse link has capacity %d, this one %d"
+             r.Link.capacity l.Link.capacity)
+        :: acc
+      | Some _ -> acc)
+    g []
+
+let connectivity_findings g =
+  let n = Graph.node_count g in
+  if n <= 1 then []
+  else if Graph.link_count g = 0 then
+    [
+      Diagnostic.warning ~code:"topo-no-links" Diagnostic.Network
+        "the graph has no links at all";
+    ]
+  else if Graph.is_strongly_connected g then []
+  else
+    [
+      Diagnostic.error ~code:"topo-disconnected" Diagnostic.Network
+        "not strongly connected: some ordered O-D pairs have no path, so \
+         no route table can cover every pair";
+    ]
+
+let run (c : Check.config) =
+  let g = c.graph in
+  capacity_findings g @ self_loop_findings g @ duplicate_findings g
+  @ symmetry_findings g @ connectivity_findings g
+
+let check =
+  Check.make ~name:"topology"
+    ~describe:
+      "positive capacities, no self-loops or duplicate links, strong \
+       connectivity, reverse-link symmetry"
+    run

@@ -1,0 +1,17 @@
+(** Topology well-formedness.
+
+    The graph type already rejects most malformed inputs at construction
+    ({!Arnet_topology.Graph.create} raises), but configurations can reach
+    the lint pass from other front ends (file specs, generated code), and
+    some legal graphs are still unusable by the paper's model — links of
+    capacity zero, asymmetric edges, partitioned topologies.  This pass
+    re-verifies everything statically and reports instead of raising.
+
+    Codes: [topo-capacity] (E), [topo-self-loop] (E),
+    [topo-duplicate-link] (E), [topo-disconnected] (E),
+    [topo-asymmetric] (W), [topo-no-links] (W). *)
+
+val check : Check.t
+
+val run : Check.config -> Diagnostic.t list
+(** [run] is [check.run]. *)

@@ -1,0 +1,104 @@
+open Arnet_topology
+open Arnet_traffic
+
+let load_tolerance = 1e-6
+
+let loc_of (l : Link.t) =
+  Diagnostic.Link { id = l.id; src = l.src; dst = l.dst }
+
+let entry_findings matrix =
+  let off_diagonal =
+    Matrix.fold matrix ~init:[] ~f:(fun acc i j d ->
+        if Float.is_nan d || not (Float.is_finite d) || d < 0. then
+          Diagnostic.error ~code:"traffic-negative"
+            (Diagnostic.Pair { src = i; dst = j })
+            (Printf.sprintf
+               "demand %g is not a finite nonnegative Erlang load" d)
+          :: acc
+        else acc)
+  in
+  let diagonal = ref [] in
+  for v = 0 to Matrix.nodes matrix - 1 do
+    if Matrix.get matrix v v <> 0. then
+      diagonal :=
+        Diagnostic.error ~code:"traffic-diagonal" (Diagnostic.Node v)
+          (Printf.sprintf "self-demand %g; the diagonal must be zero"
+             (Matrix.get matrix v v))
+        :: !diagonal
+  done;
+  off_diagonal @ !diagonal
+
+let mismatch_findings g ~declared ~derived =
+  Graph.fold_links
+    (fun l acc ->
+      let target = derived.(l.Link.id) and got = declared.(l.Link.id) in
+      let rel = Float.abs (got -. target) /. Float.max target 1.0 in
+      if rel > load_tolerance then
+        Diagnostic.error ~code:"traffic-load-mismatch" (loc_of l)
+          (Printf.sprintf
+             "declared primary load %.6g, but Equation 1 derives %.6g from \
+              the route table and matrix (relative error %.2g)"
+             got target rel)
+        :: acc
+      else acc)
+    g []
+
+let overload_findings g loads =
+  Graph.fold_links
+    (fun l acc ->
+      let lambda = loads.(l.Link.id) in
+      if lambda >= float_of_int l.Link.capacity && l.Link.capacity > 0 then
+        Diagnostic.warning ~code:"traffic-overload" (loc_of l)
+          (Printf.sprintf
+             "primary demand %.4g Erlangs meets or exceeds capacity %d: \
+              the link will protect every state and refuse all alternate \
+              calls"
+             lambda l.Link.capacity)
+        :: acc
+      else acc)
+    g []
+
+let run (c : Check.config) =
+  match c.matrix with
+  | None -> (
+    (* no matrix: declared loads can still flag overloads *)
+    match c.loads with
+    | Some loads when Array.length loads = Graph.link_count c.graph ->
+      overload_findings c.graph loads
+    | _ -> [])
+  | Some matrix ->
+    if Matrix.nodes matrix <> Graph.node_count c.graph then
+      [
+        Diagnostic.error ~code:"traffic-size" Diagnostic.Network
+          (Printf.sprintf "matrix covers %d nodes, topology has %d"
+             (Matrix.nodes matrix)
+             (Graph.node_count c.graph));
+      ]
+    else
+      let entries = entry_findings matrix in
+      let m = Graph.link_count c.graph in
+      let derived =
+        match c.routes with
+        | Some routes -> Some (Loads.primary_link_loads routes matrix)
+        | None -> None
+      in
+      let mismatches =
+        match (c.loads, derived) with
+        | Some declared, Some derived when Array.length declared = m ->
+          mismatch_findings c.graph ~declared ~derived
+        | _ -> []
+      in
+      let overloads =
+        match Check.effective_loads c with
+        | Some loads when Array.length loads = m ->
+          overload_findings c.graph loads
+        | _ -> []
+      in
+      entries @ mismatches @ overloads
+
+let check =
+  Check.make ~name:"traffic"
+    ~describe:
+      "finite nonnegative demands, zero diagonal, declared loads agree \
+       with Equation 1, overloaded links flagged"
+    run

@@ -27,12 +27,12 @@ let link_blocking ~offered ~capacity ~reserve ~overflow_rate =
 
 let fixed_point_from ?(tolerance = 1e-10) ?(max_iterations = 10_000)
     ?(attempts = 10) ~offered ~capacity ~reserve start =
-  if attempts < 1 then invalid_arg "Bistability: attempts < 1";
+  if attempts < 1 then invalid_arg "Bistability.fixed_point_from: attempts < 1";
   if offered <= 0. || not (Float.is_finite offered) then
-    invalid_arg "Bistability: bad offered load";
-  if capacity < 1 then invalid_arg "Bistability: capacity < 1";
+    invalid_arg "Bistability.fixed_point_from: bad offered load";
+  if capacity < 1 then invalid_arg "Bistability.fixed_point_from: capacity < 1";
   if reserve < 0 || reserve >= capacity then
-    invalid_arg "Bistability: reserve outside [0, capacity)";
+    invalid_arg "Bistability.fixed_point_from: reserve outside [0, capacity)";
   let b_d = ref (match start with `Cold -> 0. | `Hot -> 1.) in
   let b_o = ref !b_d in
   let expected_tries b_o =

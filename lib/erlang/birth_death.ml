@@ -4,13 +4,13 @@ let positive_finite name a =
   Array.iter
     (fun x ->
       if not (Float.is_finite x) || x <= 0. then
-        invalid_arg (Printf.sprintf "Birth_death: %s must be positive" name))
+        invalid_arg (Printf.sprintf "Birth_death.make: %s must be positive" name))
     a
 
 let make ~births ~deaths =
-  if Array.length births = 0 then invalid_arg "Birth_death: empty chain";
+  if Array.length births = 0 then invalid_arg "Birth_death.make: empty chain";
   if Array.length births <> Array.length deaths then
-    invalid_arg "Birth_death: births/deaths length mismatch";
+    invalid_arg "Birth_death.make: births/deaths length mismatch";
   positive_finite "births" births;
   positive_finite "deaths" deaths;
   { births = Array.copy births; deaths = Array.copy deaths }

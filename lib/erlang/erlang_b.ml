@@ -1,10 +1,10 @@
 let check_offered offered =
   if not (Float.is_finite offered) || offered <= 0. then
-    invalid_arg "Erlang_b: offered load must be positive and finite"
+    invalid_arg "Erlang_b.check_offered: offered load must be positive and finite"
 
 let blocking_table ~offered ~capacity =
   check_offered offered;
-  if capacity < 0 then invalid_arg "Erlang_b: negative capacity";
+  if capacity < 0 then invalid_arg "Erlang_b.blocking_table: negative capacity";
   let table = Array.make (capacity + 1) 1. in
   for x = 1 to capacity do
     let prev = table.(x - 1) in
@@ -25,7 +25,7 @@ let log_add a b =
 
 let log_inverse_table ~offered ~capacity =
   check_offered offered;
-  if capacity < 0 then invalid_arg "Erlang_b: negative capacity";
+  if capacity < 0 then invalid_arg "Erlang_b.log_inverse_table: negative capacity";
   let table = Array.make (capacity + 1) 0. in
   for x = 1 to capacity do
     (* y_x = 1 + (x/a) y_{x-1} *)

@@ -5,18 +5,18 @@ let validate ~capacities routes =
   List.iter
     (fun r ->
       if r.offered <= 0. || not (Float.is_finite r.offered) then
-        invalid_arg "Reduced_load: offered load must be positive";
-      if r.links = [] then invalid_arg "Reduced_load: empty route";
+        invalid_arg "Reduced_load.validate: offered load must be positive";
+      if r.links = [] then invalid_arg "Reduced_load.validate: empty route";
       List.iter
         (fun k ->
-          if k < 0 || k >= m then invalid_arg "Reduced_load: unknown link")
+          if k < 0 || k >= m then invalid_arg "Reduced_load.validate: unknown link")
         r.links)
     routes
 
 let reduced_link_loads ~capacities ~blocking routes =
   let m = Array.length capacities in
   if Array.length blocking <> m then
-    invalid_arg "Reduced_load: blocking length mismatch";
+    invalid_arg "Reduced_load.reduced_link_loads: blocking length mismatch";
   let loads = Array.make m 0. in
   let add_route r =
     let thin k =

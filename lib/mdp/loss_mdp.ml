@@ -162,7 +162,7 @@ let relative_vi_h ?(tolerance = 1e-9) ?(max_iterations = 200_000) t ~choose =
   let h = Array.make ns 0. and th = Array.make ns 0. in
   let rec iterate n =
     if n > max_iterations then
-      invalid_arg "Loss_mdp: value iteration did not converge";
+      invalid_arg "Loss_mdp.relative_vi: value iteration did not converge";
     for s = 0 to ns - 1 do
       let acc = ref 0. in
       for od = 0 to n_ods - 1 do
@@ -223,10 +223,10 @@ let policy_blocking ?tolerance ?max_iterations t policy =
     | None -> h.(s)
     | Some pref_idx ->
       if pref_idx < 0 || pref_idx >= Array.length t.od_routes.(od) then
-        invalid_arg "Loss_mdp: policy chose an unknown route";
+        invalid_arg "Loss_mdp.policy_blocking: policy chose an unknown route";
       let r = t.od_routes.(od).(pref_idx) in
       let up = t.succ_up.(s).(r) in
-      if up < 0 then invalid_arg "Loss_mdp: policy chose an infeasible route";
+      if up < 0 then invalid_arg "Loss_mdp.policy_blocking: policy chose an infeasible route";
       1. +. h.(up)
   in
   relative_vi ?tolerance ?max_iterations t ~choose

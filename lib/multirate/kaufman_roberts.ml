@@ -1,14 +1,14 @@
 type class_load = { offered : float; bandwidth : int }
 
 let validate ~capacity classes =
-  if capacity < 1 then invalid_arg "Kaufman_roberts: capacity < 1";
-  if classes = [] then invalid_arg "Kaufman_roberts: no classes";
+  if capacity < 1 then invalid_arg "Kaufman_roberts.validate: capacity < 1";
+  if classes = [] then invalid_arg "Kaufman_roberts.validate: no classes";
   List.iter
     (fun { offered; bandwidth } ->
       if offered <= 0. || not (Float.is_finite offered) then
-        invalid_arg "Kaufman_roberts: bad offered load";
+        invalid_arg "Kaufman_roberts.validate: bad offered load";
       if bandwidth < 1 || bandwidth > capacity then
-        invalid_arg "Kaufman_roberts: bandwidth out of range")
+        invalid_arg "Kaufman_roberts.validate: bandwidth out of range")
     classes
 
 let distribution ~capacity classes =

@@ -57,7 +57,7 @@ let pair_loads ~m pairs fractions_of =
 let minimize_link_loss ?(candidates_per_pair = 8) ?(max_iterations = 200)
     ?(tolerance = 1e-4) ~graph ~matrix () =
   if candidates_per_pair < 1 then
-    invalid_arg "Frank_wolfe: candidates_per_pair < 1";
+    invalid_arg "Frank_wolfe.minimize_link_loss: candidates_per_pair < 1";
   let m = Graph.link_count graph in
   let capacities =
     Array.map (fun (l : Link.t) -> l.capacity) (Graph.links graph)
@@ -68,7 +68,7 @@ let minimize_link_loss ?(candidates_per_pair = 8) ?(max_iterations = 200)
         Array.of_list (Yen.k_shortest graph ~src ~dst ~k:candidates_per_pair)
       in
       if Array.length candidates = 0 then
-        invalid_arg "Frank_wolfe: demand between disconnected nodes";
+        invalid_arg "Frank_wolfe.minimize_link_loss: demand between disconnected nodes";
       let fractions = Array.make (Array.length candidates) 0. in
       fractions.(0) <- 1.;  (* start from shortest-path all-or-nothing *)
       pairs := { src; dst; demand; candidates; fractions } :: !pairs);

@@ -18,11 +18,11 @@ let bfs n start neighbours =
   dist
 
 let distances g ~src =
-  if src < 0 || src >= Graph.node_count g then invalid_arg "Bfs.distances";
+  if src < 0 || src >= Graph.node_count g then invalid_arg "Bfs.distances: bad source node";
   bfs (Graph.node_count g) src (Graph.successors g)
 
 let distances_to g ~dst =
-  if dst < 0 || dst >= Graph.node_count g then invalid_arg "Bfs.distances_to";
+  if dst < 0 || dst >= Graph.node_count g then invalid_arg "Bfs.distances_to: bad destination node";
   let preds v = List.map (fun (l : Link.t) -> l.Link.src) (Graph.in_links g v) in
   bfs (Graph.node_count g) dst preds
 

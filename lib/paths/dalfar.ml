@@ -6,8 +6,8 @@ type stats = { expansions : int; crankbacks : int }
    crankback.  [yield] sees each discovered node sequence and returns
    [`Stop] to end the search. *)
 let search g dv ~src ~dst ~max_hops ~yield =
-  if src = dst then invalid_arg "Dalfar: src = dst";
-  if max_hops < 1 then invalid_arg "Dalfar: max_hops < 1";
+  if src = dst then invalid_arg "Dalfar.search: src = dst";
+  if max_hops < 1 then invalid_arg "Dalfar.search: max_hops < 1";
   let n = Graph.node_count g in
   let cap = min max_hops (n - 1) in
   let visited = Array.make n false in

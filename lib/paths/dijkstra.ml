@@ -58,12 +58,12 @@ end
 
 let check_weight w =
   if not (Float.is_finite w) || w < 0. then
-    invalid_arg "Dijkstra: weights must be finite and nonnegative";
+    invalid_arg "Dijkstra.check_weight: weights must be finite and nonnegative";
   w
 
 let run g ~weight ~src =
   let n = Graph.node_count g in
-  if src < 0 || src >= n then invalid_arg "Dijkstra: bad source";
+  if src < 0 || src >= n then invalid_arg "Dijkstra.run: bad source";
   let dist = Array.make n infinity in
   let hops = Array.make n max_int in
   let parent = Array.make n (-1) in

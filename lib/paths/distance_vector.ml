@@ -44,7 +44,7 @@ let compute g =
 
 let check t v =
   if v < 0 || v >= Graph.node_count t.graph then
-    invalid_arg "Distance_vector: bad node"
+    invalid_arg "Distance_vector.check: bad node"
 
 let distance t ~from ~to_ =
   check t from;

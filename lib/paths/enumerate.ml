@@ -3,14 +3,14 @@ open Arnet_topology
 let check g src dst =
   let n = Graph.node_count g in
   if src < 0 || src >= n || dst < 0 || dst >= n then
-    invalid_arg "Enumerate: bad node index";
-  if src = dst then invalid_arg "Enumerate: src = dst"
+    invalid_arg "Enumerate.check: bad node index";
+  if src = dst then invalid_arg "Enumerate.check: src = dst"
 
 let dfs ?max_hops g ~src ~dst ~visit =
   check g src dst;
   let n = Graph.node_count g in
   let cap = match max_hops with None -> n - 1 | Some h -> min h (n - 1) in
-  if cap < 1 then invalid_arg "Enumerate: max_hops < 1";
+  if cap < 1 then invalid_arg "Enumerate.dfs: max_hops < 1";
   let on_path = Array.make n false in
   let stack = Array.make (cap + 1) 0 in
   let rec explore v depth =

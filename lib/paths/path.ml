@@ -4,14 +4,14 @@ type t = { nodes : int array; link_ids : int array }
 
 let resolve g nodes =
   let n = Array.length nodes in
-  if n < 2 then invalid_arg "Path: need at least two nodes";
+  if n < 2 then invalid_arg "Path.resolve: need at least two nodes";
   let link_ids =
     Array.init (n - 1) (fun i ->
         match Graph.find_link g ~src:nodes.(i) ~dst:nodes.(i + 1) with
         | Some l -> l.Link.id
         | None ->
           invalid_arg
-            (Printf.sprintf "Path: no link %d->%d" nodes.(i) nodes.(i + 1)))
+            (Printf.sprintf "Path.resolve: no link %d->%d" nodes.(i) nodes.(i + 1)))
   in
   { nodes; link_ids }
 
@@ -22,7 +22,7 @@ let make g node_list =
   let seen = Hashtbl.create (Array.length nodes) in
   Array.iter
     (fun v ->
-      if Hashtbl.mem seen v then invalid_arg "Path: repeated node";
+      if Hashtbl.mem seen v then invalid_arg "Path.make: repeated node";
       Hashtbl.add seen v ())
     nodes;
   resolve g nodes

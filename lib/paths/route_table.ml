@@ -36,7 +36,7 @@ let h t = t.h
 let get t src dst =
   let n = Graph.node_count t.graph in
   if src < 0 || src >= n || dst < 0 || dst >= n then
-    invalid_arg "Route_table: bad node index";
+    invalid_arg "Route_table.get: bad node index";
   t.entries.(src).(dst)
 
 let primary t ~src ~dst =

@@ -5,7 +5,7 @@ let is_link_disjoint a b =
 
 let check_weight w =
   if not (Float.is_finite w) || w < 0. then
-    invalid_arg "Suurballe: weights must be finite and nonnegative";
+    invalid_arg "Suurballe.check_weight: weights must be finite and nonnegative";
   w
 
 (* Dijkstra over an explicit residual edge list.  Edges: (src, dst,
@@ -68,7 +68,7 @@ let walk_one ~nodes ~out ~src ~dst =
     if v = dst then List.rev (v :: acc)
     else
       match out.(v) with
-      | [] -> invalid_arg "Suurballe: internal walk stuck"
+      | [] -> invalid_arg "Suurballe.walk_one: internal walk stuck"
       | next :: rest ->
         out.(v) <- rest;
         go next (v :: acc)

@@ -22,7 +22,7 @@ let empty ~nodes =
 
 let idx t src dst =
   if src < 0 || src >= t.nodes || dst < 0 || dst >= t.nodes then
-    invalid_arg "Stats: bad node index";
+    invalid_arg "Stats.idx: bad node index";
   (src * t.nodes) + dst
 
 let record_offered t ~src ~dst =

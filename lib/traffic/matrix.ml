@@ -2,7 +2,7 @@ type t = { n : int; demand : float array array }
 
 let check_entry x =
   if not (Float.is_finite x) || x < 0. then
-    invalid_arg "Matrix: demands must be nonnegative and finite";
+    invalid_arg "Matrix.make: demands must be nonnegative and finite";
   x
 
 let make ~nodes f =

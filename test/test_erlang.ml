@@ -378,7 +378,7 @@ let () =
           Alcotest.test_case "thinning" `Quick test_reduced_load_thinning;
           Alcotest.test_case "validation" `Quick test_reduced_load_validation ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_blocking_in_unit_interval;
             prop_blocking_monotone_in_capacity;
             prop_blocking_monotone_in_load;

@@ -474,7 +474,7 @@ let () =
           Alcotest.test_case "disconnected" `Quick test_route_table_disconnected;
           Alcotest.test_case "nsfnet stats" `Quick test_route_table_stats ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_enumerated_paths_valid;
             prop_yen_prefix_of_enumeration;
             prop_bfs_is_shortest ] ) ]

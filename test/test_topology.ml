@@ -335,5 +335,5 @@ let () =
         [ Alcotest.test_case "shape" `Quick test_nsfnet_shape;
           Alcotest.test_case "tables" `Quick test_nsfnet_tables ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_of_edges_symmetric; prop_without_twin_links_symmetric ] ) ]

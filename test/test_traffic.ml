@@ -241,5 +241,5 @@ let () =
           Alcotest.test_case "nsfnet nominal" `Quick test_fit_nsfnet_nominal;
           Alcotest.test_case "validation" `Quick test_fit_validation ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_scale_linear; prop_fit_random_consistent_targets ] ) ]
