@@ -448,11 +448,41 @@ let () =
      reproduction harness@.";
   Format.fprintf ppf "configuration: %s@."
     (Config.describe (Lazy.force config));
+  let recorder = Arnet_obs.Span.recorder () in
+  let calls_at_start = Arnet_sim.Engine.calls_simulated () in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some f -> f ()
+      | Some f -> Report.timed recorder name f
       | None ->
         Format.fprintf ppf "unknown section %S (available: %s)@." name
           (String.concat " " (List.map fst sections)))
-    requested
+    requested;
+  (* machine-readable run record: per-section wall clock, simulated
+     calls and throughput — the input for cross-version perf tracking *)
+  let module J = Arnet_obs.Jsonu in
+  let spans = Arnet_obs.Span.spans recorder in
+  let total_wall =
+    List.fold_left (fun acc s -> acc +. Arnet_obs.Span.elapsed s) 0. spans
+  in
+  let total_calls = Arnet_sim.Engine.calls_simulated () - calls_at_start in
+  let doc =
+    J.Obj
+      [ ("configuration", J.String (Config.describe (Lazy.force config)));
+        ("sections", Arnet_obs.Span.recorder_to_json recorder);
+        ("total_wall_s", J.Float total_wall);
+        ("total_calls", J.Int total_calls);
+        ("total_calls_per_s",
+         J.Float
+           (if total_wall > 0. then float_of_int total_calls /. total_wall
+            else 0.)) ]
+  in
+  let path =
+    Option.value ~default:"BENCH_2.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf ppf "@.wrote %s (%d sections, %.1fs wall, %d calls)@." path
+    (List.length spans) total_wall total_calls

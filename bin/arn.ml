@@ -12,6 +12,7 @@ open Arnet_sim
 open Arnet_core
 module Path_dv = Arnet_paths.Distance_vector
 module Dalfar = Arnet_paths.Dalfar
+module Obs = Arnet_obs
 
 let ppf = Format.std_formatter
 
@@ -90,6 +91,25 @@ let build_matrix network graph ~scale ~demand =
 let quick_arg =
   let doc = "Fewer seeds and a shorter window (for iteration)." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let format_conv =
+  let parse = function
+    | "text" -> Ok `Text
+    | "json" -> Ok `Json
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))
+  in
+  let print ppf = function
+    | `Text -> Format.fprintf ppf "text"
+    | `Json -> Format.fprintf ppf "json"
+  in
+  Arg.conv (parse, print)
+
+let network_to_string = function
+  | `Nsfnet -> "nsfnet"
+  | `Quadrangle -> "quadrangle"
+  | `Mesh n -> Printf.sprintf "mesh:%d" n
+  | `Ring n -> Printf.sprintf "ring:%d" n
+  | `File p -> Printf.sprintf "file:%s" p
 
 let config_of_quick quick =
   if quick then Arnet_experiments.Config.quick
@@ -254,7 +274,27 @@ let simulate_cmd =
     let doc = "Include the Ott-Krishnan shadow-price scheme." in
     Arg.(value & flag & info [ "ott-krishnan" ] ~doc)
   in
-  let run network capacity scale h with_ott quick =
+  let trace_file =
+    let doc =
+      "Stream every simulation event (arrivals, per-alternate \
+       trunk-reservation rejections, admits, blocks, departures) as JSON \
+       lines to $(docv).  Summarize later with $(b,arn trace summarize)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_file =
+    let doc =
+      "Write a Prometheus text-format metrics snapshot (counters, \
+       occupancy gauges, holding-time and hop histograms) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let json =
+    let doc = "Emit the results as JSON on stdout instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run network capacity scale h with_ott quick trace_file metrics_file
+      json =
     let config = config_of_quick quick in
     let g = build_graph network capacity in
     let matrix = build_matrix network g ~scale:1.0 ~demand:1.0 in
@@ -265,36 +305,111 @@ let simulate_cmd =
         Matrix.uniform ~nodes:(Graph.node_count g) ~demand:scale
     in
     let routes = Route_table.build ?h g in
+    (* observability: fan the event stream out to whichever consumers
+       were requested; [None] leaves the engine hot path untouched *)
+    let trace_sink = Option.map Obs.Jsonl.sink_of_file trace_file in
+    let metrics_feed =
+      Option.map
+        (fun path -> (path, Obs.Metrics_sink.create (Obs.Metrics.create ())))
+        metrics_file
+    in
+    let sink =
+      match
+        Option.to_list trace_sink
+        @ Option.to_list (Option.map (fun (_, m) -> Obs.Metrics_sink.sink m)
+                            metrics_feed)
+      with
+      | [] -> None
+      | [ s ] -> Some s
+      | sinks -> Some (Obs.Sink.tee sinks)
+    in
+    let observer = Option.map Obs.Sink.observer sink in
     let policies =
-      [ Scheme.single_path routes;
-        Scheme.uncontrolled routes;
-        Scheme.controlled_auto ~matrix routes ]
+      [ Scheme.single_path ?observer routes;
+        Scheme.uncontrolled ?observer routes;
+        Scheme.controlled_auto ?observer ~matrix routes ]
       @ (if with_ott then [ Scheme.ott_krishnan ~matrix routes ] else [])
     in
     let { Arnet_experiments.Config.seeds; duration; warmup } = config in
-    Format.fprintf ppf "simulating (%s)...@."
-      (Arnet_experiments.Config.describe config);
-    let results =
-      Engine.replicate ~warmup ~seeds ~duration ~graph:g ~matrix ~policies ()
+    if not json then
+      Format.fprintf ppf "simulating (%s)...@."
+        (Arnet_experiments.Config.describe config);
+    let observe =
+      Option.map (fun f ~seed:_ ~policy:_ -> Some f) observer
     in
-    List.iter
-      (fun (name, runs) ->
-        let s = Stats.blocking_summary runs in
-        let alt =
-          Stats.summarize (List.map Stats.alternate_fraction runs)
-        in
-        Format.fprintf ppf
-          "  %-22s blocking %.4f +/- %.4f   alternate-routed %.1f%%@." name
-          s.Stats.mean s.Stats.std_error (100. *. alt.Stats.mean))
-      results;
-    Format.fprintf ppf "  %-22s blocking %.4f@." "erlang-bound"
-      (Arnet_bound.Erlang_bound.compute g matrix)
+    let results =
+      Engine.replicate ~warmup ?observe ~seeds ~duration ~graph:g ~matrix
+        ~policies ()
+    in
+    Option.iter Obs.Sink.close sink;
+    Option.iter
+      (fun (path, m) ->
+        let oc = open_out path in
+        output_string oc (Obs.Metrics.to_prometheus (Obs.Metrics_sink.registry m));
+        close_out oc;
+        if not json then Format.fprintf ppf "wrote %s@." path)
+      metrics_feed;
+    (match trace_file with
+    | Some path when not json -> Format.fprintf ppf "wrote %s@." path
+    | _ -> ());
+    let bound = Arnet_bound.Erlang_bound.compute g matrix in
+    if json then begin
+      let summary_json (s : Stats.summary) =
+        Obs.Jsonu.Obj
+          [ ("mean", Obs.Jsonu.Float s.Stats.mean);
+            ("std_error", Obs.Jsonu.Float s.Stats.std_error);
+            ("replications", Obs.Jsonu.Int s.Stats.replications) ]
+      in
+      let run_json (st : Stats.t) =
+        Obs.Jsonu.Obj
+          [ ("offered", Obs.Jsonu.Int st.Stats.offered);
+            ("blocked", Obs.Jsonu.Int st.Stats.blocked);
+            ("carried_primary", Obs.Jsonu.Int st.Stats.carried_primary);
+            ("carried_alternate", Obs.Jsonu.Int st.Stats.carried_alternate);
+            ("blocking", Obs.Jsonu.Float (Stats.blocking st));
+            ("alternate_fraction",
+             Obs.Jsonu.Float (Stats.alternate_fraction st)) ]
+      in
+      let policy_json (name, runs) =
+        Obs.Jsonu.Obj
+          [ ("policy", Obs.Jsonu.String name);
+            ("blocking", summary_json (Stats.blocking_summary runs));
+            ("alternate_fraction",
+             summary_json
+               (Stats.summarize (List.map Stats.alternate_fraction runs)));
+            ("runs", Obs.Jsonu.List (List.map run_json runs)) ]
+      in
+      let doc =
+        Obs.Jsonu.Obj
+          [ ("network", Obs.Jsonu.String (network_to_string network));
+            ("load", Obs.Jsonu.Float scale);
+            ("seeds", Obs.Jsonu.List (List.map (fun s -> Obs.Jsonu.Int s) seeds));
+            ("duration", Obs.Jsonu.Float duration);
+            ("warmup", Obs.Jsonu.Float warmup);
+            ("policies", Obs.Jsonu.List (List.map policy_json results));
+            ("erlang_bound", Obs.Jsonu.Float bound) ]
+      in
+      print_endline (Obs.Jsonu.to_string doc)
+    end
+    else begin
+      List.iter
+        (fun (name, runs) ->
+          let s = Stats.blocking_summary runs in
+          let alt =
+            Stats.summarize (List.map Stats.alternate_fraction runs)
+          in
+          Format.fprintf ppf
+            "  %-22s blocking %.4f +/- %.4f   alternate-routed %.1f%%@." name
+            s.Stats.mean s.Stats.std_error (100. *. alt.Stats.mean))
+        results;
+      Format.fprintf ppf "  %-22s blocking %.4f@." "erlang-bound" bound
+    end
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Call-by-call simulation of the schemes")
     Term.(
       const run $ network_arg $ capacity_arg $ scale $ h $ with_ott
-      $ quick_arg)
+      $ quick_arg $ trace_file $ metrics_file $ json)
 
 (* ------------------------------------------------------------------ *)
 (* arn experiment *)
@@ -414,18 +529,6 @@ let spec_cmd =
 (* arn lint *)
 
 let lint_cmd =
-  let format_conv =
-    let parse = function
-      | "text" -> Ok `Text
-      | "json" -> Ok `Json
-      | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))
-    in
-    let print ppf = function
-      | `Text -> Format.fprintf ppf "text"
-      | `Json -> Format.fprintf ppf "json"
-    in
-    Arg.conv (parse, print)
-  in
   let format_arg =
     let doc = "Output format: $(b,text) or $(b,json)." in
     Arg.(value & opt format_conv `Text & info [ "format"; "f" ] ~doc)
@@ -569,6 +672,152 @@ let lint_cmd =
       $ format_arg $ strict $ overrides $ only $ list_checks)
 
 (* ------------------------------------------------------------------ *)
+(* arn trace *)
+
+let trace_summarize_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE"
+           ~doc:"JSON-lines trace written by $(b,arn simulate --trace).")
+  in
+  let format_arg =
+    let doc = "Output format: $(b,text) or $(b,json)." in
+    Arg.(value & opt format_conv `Text & info [ "format"; "f" ] ~doc)
+  in
+  let run file format =
+    let counters = Obs.Counters.create () in
+    (try
+       Obs.Jsonl.fold_file file ~init:() ~f:(fun () ev ->
+           Obs.Counters.emit counters ev)
+     with
+    | Sys_error msg ->
+      Printf.eprintf "arn trace summarize: %s\n" msg;
+      exit 2
+    | Obs.Jsonu.Parse_error msg ->
+      Printf.eprintf "arn trace summarize: %s\n" msg;
+      exit 2);
+    let groups = Obs.Counters.by_policy counters in
+    if groups = [] then begin
+      Printf.eprintf "arn trace summarize: %s holds no events\n" file;
+      exit 2
+    end;
+    (* pool decision detail across a policy's replications *)
+    let pooled_rejections runs =
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun (link, n) ->
+              let prev = Option.value ~default:0 (Hashtbl.find_opt tbl link) in
+              Hashtbl.replace tbl link (prev + n))
+            (Obs.Counters.rejections_by_link r))
+        runs;
+      Hashtbl.fold (fun link n acc -> (link, n) :: acc) tbl []
+      |> List.sort compare
+    in
+    let sum f runs = List.fold_left (fun acc r -> acc + f r) 0 runs in
+    match format with
+    | `Json ->
+      let policy_json (policy, runs) =
+        let blocking =
+          Stats.summarize (List.map Obs.Counters.blocking runs)
+        in
+        let alt =
+          Stats.summarize (List.map Obs.Counters.alternate_fraction runs)
+        in
+        Obs.Jsonu.Obj
+          [ ("policy", Obs.Jsonu.String policy);
+            ("runs", Obs.Jsonu.Int (List.length runs));
+            ("blocking",
+             Obs.Jsonu.Obj
+               [ ("mean", Obs.Jsonu.Float blocking.Stats.mean);
+                 ("std_error", Obs.Jsonu.Float blocking.Stats.std_error) ]);
+            ("alternate_fraction", Obs.Jsonu.Float alt.Stats.mean);
+            ("offered", Obs.Jsonu.Int (sum (fun r -> r.Obs.Counters.offered) runs));
+            ("blocked", Obs.Jsonu.Int (sum (fun r -> r.Obs.Counters.blocked) runs));
+            ("carried_primary",
+             Obs.Jsonu.Int (sum (fun r -> r.Obs.Counters.carried_primary) runs));
+            ("carried_alternate",
+             Obs.Jsonu.Int (sum (fun r -> r.Obs.Counters.carried_alternate) runs));
+            ("primary_attempts",
+             Obs.Jsonu.Int (sum (fun r -> r.Obs.Counters.primary_attempts) runs));
+            ("primary_admitted",
+             Obs.Jsonu.Int (sum (fun r -> r.Obs.Counters.primary_admitted) runs));
+            ("alternate_rejections",
+             Obs.Jsonu.Int
+               (sum (fun r -> r.Obs.Counters.alternate_rejections) runs));
+            ("rejections_by_link",
+             Obs.Jsonu.Obj
+               (List.map
+                  (fun (link, n) -> (string_of_int link, Obs.Jsonu.Int n))
+                  (pooled_rejections runs))) ]
+      in
+      let doc =
+        Obs.Jsonu.Obj
+          [ ("file", Obs.Jsonu.String file);
+            ("events", Obs.Jsonu.Int (Obs.Counters.total_events counters));
+            ("runs",
+             Obs.Jsonu.Int (List.length (Obs.Counters.runs counters)));
+            ("policies", Obs.Jsonu.List (List.map policy_json groups)) ]
+      in
+      print_endline (Obs.Jsonu.to_string doc)
+    | `Text ->
+      Format.fprintf ppf "%s: %d events, %d runs, %d policies@." file
+        (Obs.Counters.total_events counters)
+        (List.length (Obs.Counters.runs counters))
+        (List.length groups);
+      List.iter
+        (fun (policy, runs) ->
+          let blocking =
+            Stats.summarize (List.map Obs.Counters.blocking runs)
+          in
+          let alt =
+            Stats.summarize (List.map Obs.Counters.alternate_fraction runs)
+          in
+          Format.fprintf ppf
+            "  %-22s blocking %.4f +/- %.4f   alternate-routed %.1f%%@."
+            policy blocking.Stats.mean blocking.Stats.std_error
+            (100. *. alt.Stats.mean);
+          let attempts = sum (fun r -> r.Obs.Counters.primary_attempts) runs in
+          let admitted = sum (fun r -> r.Obs.Counters.primary_admitted) runs in
+          if attempts > 0 then
+            Format.fprintf ppf
+              "    primary attempts %d admitted %d (%.1f%%)@." attempts
+              admitted
+              (100. *. float_of_int admitted /. float_of_int attempts);
+          let rejections =
+            sum (fun r -> r.Obs.Counters.alternate_rejections) runs
+          in
+          if rejections > 0 then begin
+            let by_link =
+              pooled_rejections runs
+              |> List.sort (fun (_, a) (_, b) -> compare b a)
+            in
+            let top = List.filteri (fun i _ -> i < 8) by_link in
+            Format.fprintf ppf
+              "    trunk-reservation rejections %d on %d links (top:%s%s)@."
+              rejections (List.length by_link)
+              (String.concat ""
+                 (List.map
+                    (fun (link, n) -> Printf.sprintf " %d=%d" link n)
+                    top))
+              (if List.length by_link > 8 then " ..." else "")
+          end)
+        groups
+  in
+  Cmd.v
+    (Cmd.info "summarize"
+       ~doc:
+         "Reconstruct blocking and overflow statistics from a trace file \
+          (warm-up windows honoured per run, so the figures match the \
+          originating simulation)")
+    Term.(const run $ file $ format_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Inspect JSON-lines event traces")
+    [ trace_summarize_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* arn adaptive *)
 
 let adaptive_cmd =
@@ -648,6 +897,6 @@ let () =
     Cmd.group info
       [ erlang_cmd; protection_cmd; paths_cmd; topology_cmd; fit_cmd;
         bound_cmd; simulate_cmd; experiment_cmd; dalfar_cmd; spec_cmd;
-        lint_cmd; adaptive_cmd; mdp_cmd ]
+        lint_cmd; adaptive_cmd; mdp_cmd; trace_cmd ]
   in
   exit (Cmd.eval group)

@@ -35,6 +35,21 @@ let path_admits_primary t ~occupancy p =
 let path_admits_alternate t ~occupancy p =
   all_links p (link_admits_alternate t ~occupancy)
 
+let alternate_refusal t ~occupancy p =
+  let ids = p.Path.link_ids in
+  let n = Array.length ids in
+  let rec go i =
+    if i >= n then None
+    else begin
+      let k = ids.(i) in
+      let threshold = t.capacities.(k) - t.reserves.(k) in
+      if occupancy.(k) >= threshold then
+        Some (k, occupancy.(k), threshold)
+      else go (i + 1)
+    end
+  in
+  go 0
+
 let free_circuits t ~occupancy p =
   Array.fold_left
     (fun acc k -> Stdlib.min acc (t.capacities.(k) - occupancy.(k)))

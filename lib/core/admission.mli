@@ -26,6 +26,15 @@ val link_admits_alternate : t -> occupancy:int array -> int -> bool
 val path_admits_primary : t -> occupancy:int array -> Path.t -> bool
 val path_admits_alternate : t -> occupancy:int array -> Path.t -> bool
 
+val alternate_refusal :
+  t -> occupancy:int array -> Path.t -> (int * int * int) option
+(** The first link (in path order) that refuses an alternate-routed
+    call, as [(link id, occupancy, threshold)] where
+    [threshold = capacity - reserve] and the refusal is
+    [occupancy >= threshold]; [None] iff {!path_admits_alternate}.
+    This is the explain-side of the admission rule, feeding
+    [Alternate_rejected] trace events. *)
+
 val free_circuits : t -> occupancy:int array -> Path.t -> int
 (** Minimum spare capacity over the path's links (the "least busy"
     metric of LBA-style schemes). *)

@@ -14,22 +14,55 @@ let primary_for routes choice (call : Trace.call) =
     else None
   | Sampled f -> f ~src ~dst ~u:call.Trace.u
 
-let decide ~routes ~admission ~choice ~allow_alternates ~occupancy ~call =
+let decide ?observer ~routes ~admission ~choice ~allow_alternates ~occupancy
+    (call : Trace.call) =
   match primary_for routes choice call with
   | None -> Engine.Lost
   | Some primary ->
-    if Admission.path_admits_primary admission ~occupancy primary then
-      Engine.Routed primary
+    let primary_ok = Admission.path_admits_primary admission ~occupancy primary in
+    (match observer with
+    | Some f ->
+      f
+        (Arnet_obs.Event.Primary_attempt
+           { time = call.Trace.time;
+             src = call.Trace.src;
+             dst = call.Trace.dst;
+             hops = Path.hops primary;
+             admitted = primary_ok })
+    | None -> ());
+    if primary_ok then Engine.Routed primary
     else if not allow_alternates then Engine.Lost
     else begin
       let src = call.Trace.src and dst = call.Trace.dst in
       let alternates =
         Route_table.alternates_excluding routes ~src ~dst primary
       in
-      let admissible p =
-        Admission.path_admits_alternate admission ~occupancy p
-      in
-      match List.find_opt admissible alternates with
-      | Some p -> Engine.Routed p
-      | None -> Engine.Lost
+      match observer with
+      | None -> (
+        (* hot path: no event construction, no refusal analysis *)
+        let admissible p =
+          Admission.path_admits_alternate admission ~occupancy p
+        in
+        match List.find_opt admissible alternates with
+        | Some p -> Engine.Routed p
+        | None -> Engine.Lost)
+      | Some f ->
+        let rec attempt = function
+          | [] -> Engine.Lost
+          | p :: rest -> (
+            match Admission.alternate_refusal admission ~occupancy p with
+            | None -> Engine.Routed p
+            | Some (link, occ, threshold) ->
+              f
+                (Arnet_obs.Event.Alternate_rejected
+                   { time = call.Trace.time;
+                     src;
+                     dst;
+                     hops = Path.hops p;
+                     link;
+                     occupancy = occ;
+                     threshold });
+              attempt rest)
+        in
+        attempt alternates
     end

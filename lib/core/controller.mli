@@ -25,14 +25,22 @@ val primary_for :
 (** The primary path tier 1 assigns to this call. *)
 
 val decide :
+  ?observer:(Arnet_obs.Event.t -> unit) ->
   routes:Route_table.t ->
   admission:Admission.t ->
   choice:primary_choice ->
   allow_alternates:bool ->
   occupancy:int array ->
-  call:Trace.call ->
+  Trace.call ->
   Engine.outcome
 (** The full decision: try the primary under the primary rule; when it
     blocks and [allow_alternates], try each stored alternate (excluding
     the chosen primary) in length order under the alternate rule; first
-    fit wins, otherwise the call is lost. *)
+    fit wins, otherwise the call is lost.
+
+    With an [observer], the decision explains itself as it goes: one
+    [Primary_attempt] per routable call, then one [Alternate_rejected]
+    per refused alternate carrying the first refusing link, its
+    occupancy and the trunk-reservation threshold [C - r] that turned
+    the call away.  Without one, the original allocation-free scan
+    runs. *)

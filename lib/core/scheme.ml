@@ -13,38 +13,40 @@ let is_primary_checker routes choice ~call p =
   | Some primary -> Path.equal p primary
   | None -> false
 
-let two_tier ~name ~choice ~allow_alternates ~admission routes =
+let two_tier ?observer ~name ~choice ~allow_alternates ~admission routes =
   { Engine.name;
     decide =
       (fun ~occupancy ~call ->
-        Controller.decide ~routes ~admission ~choice ~allow_alternates
-          ~occupancy ~call);
+        Controller.decide ?observer ~routes ~admission ~choice
+          ~allow_alternates ~occupancy call);
     is_primary = is_primary_checker routes choice }
 
-let single_path ?(choice = Controller.Table) routes =
+let single_path ?(choice = Controller.Table) ?observer routes =
   let admission = Admission.unprotected ~capacities:(capacities_of routes) in
-  two_tier ~name:"single-path" ~choice ~allow_alternates:false ~admission
-    routes
+  two_tier ?observer ~name:"single-path" ~choice ~allow_alternates:false
+    ~admission routes
 
-let uncontrolled ?(choice = Controller.Table) routes =
+let uncontrolled ?(choice = Controller.Table) ?observer routes =
   let admission = Admission.unprotected ~capacities:(capacities_of routes) in
-  two_tier ~name:"uncontrolled" ~choice ~allow_alternates:true ~admission
-    routes
+  two_tier ?observer ~name:"uncontrolled" ~choice ~allow_alternates:true
+    ~admission routes
 
-let controlled ?(choice = Controller.Table) ~reserves routes =
+let controlled ?(choice = Controller.Table) ?observer ~reserves routes =
   let admission = Admission.make ~capacities:(capacities_of routes) ~reserves in
-  two_tier ~name:"controlled" ~choice ~allow_alternates:true ~admission routes
+  two_tier ?observer ~name:"controlled" ~choice ~allow_alternates:true
+    ~admission routes
 
-let controlled_auto ?(choice = Controller.Table) ?h ~matrix routes =
+let controlled_auto ?(choice = Controller.Table) ?observer ?h ~matrix routes =
   let h = match h with None -> Route_table.h routes | Some h -> h in
   let reserves = Protection.levels routes matrix ~h in
-  controlled ~choice ~reserves routes
+  controlled ~choice ?observer ~reserves routes
 
-let controlled_per_link_h ?(choice = Controller.Table) ~matrix routes =
+let controlled_per_link_h ?(choice = Controller.Table) ?observer ~matrix
+    routes =
   let reserves = Protection.levels_per_link_h routes matrix in
   let admission = Admission.make ~capacities:(capacities_of routes) ~reserves in
-  two_tier ~name:"controlled-per-link-h" ~choice ~allow_alternates:true
-    ~admission routes
+  two_tier ?observer ~name:"controlled-per-link-h" ~choice
+    ~allow_alternates:true ~admission routes
 
 let controlled_length_aware ?(choice = Controller.Table) ~matrix routes =
   let capacities = capacities_of routes in
@@ -92,8 +94,8 @@ let controlled_length_aware ?(choice = Controller.Table) ~matrix routes =
     decide;
     is_primary = is_primary_checker routes choice }
 
-let controlled_adaptive ?(choice = Controller.Table) ?h ?window ?smoothing
-    ?(refresh = 10.) ?initial_loads routes =
+let controlled_adaptive ?(choice = Controller.Table) ?observer ?h ?window
+    ?smoothing ?(refresh = 10.) ?initial_loads routes =
   if refresh <= 0. then invalid_arg "Scheme.controlled_adaptive: bad refresh";
   let h = match h with None -> Route_table.h routes | Some h -> h in
   let capacities = capacities_of routes in
@@ -133,8 +135,8 @@ let controlled_adaptive ?(choice = Controller.Table) ?h ?window ?smoothing
       admission := Admission.make ~capacities ~reserves;
       next_refresh := !next_refresh +. refresh
     end;
-    Controller.decide ~routes ~admission:!admission ~choice
-      ~allow_alternates:true ~occupancy ~call
+    Controller.decide ?observer ~routes ~admission:!admission ~choice
+      ~allow_alternates:true ~occupancy call
   in
   { Engine.name = "controlled-adaptive";
     decide;

@@ -3,23 +3,36 @@
 
     All constructors share a {!Arnet_paths.Route_table.t} so that every
     scheme sees the same primary paths and the same candidate alternates,
-    exactly as in the paper's experiments. *)
+    exactly as in the paper's experiments.
+
+    Constructors built on {!Controller.decide} accept an [?observer]:
+    decision-level trace events ([Primary_attempt], [Alternate_rejected]
+    with the refusing link, occupancy and trunk-reservation threshold)
+    are emitted through it during simulation.  Omit it (the default) and
+    the decision path is byte-identical to the unobserved scheme.  The
+    custom-decide schemes ({!ott_krishnan}, {!least_busy}) have no
+    trunk-reservation scan to narrate and take no observer. *)
 
 open Arnet_paths
 open Arnet_traffic
 open Arnet_sim
 
 val single_path :
-  ?choice:Controller.primary_choice -> Route_table.t -> Engine.policy
+  ?choice:Controller.primary_choice ->
+  ?observer:(Arnet_obs.Event.t -> unit) ->
+  Route_table.t -> Engine.policy
 (** Tier 1 only: a call completes on its primary path or is lost. *)
 
 val uncontrolled :
-  ?choice:Controller.primary_choice -> Route_table.t -> Engine.policy
+  ?choice:Controller.primary_choice ->
+  ?observer:(Arnet_obs.Event.t -> unit) ->
+  Route_table.t -> Engine.policy
 (** Alternate routing with no protection: any alternate with a free
     circuit on every link is taken. *)
 
 val controlled :
   ?choice:Controller.primary_choice ->
+  ?observer:(Arnet_obs.Event.t -> unit) ->
   reserves:int array -> Route_table.t -> Engine.policy
 (** The paper's scheme: alternates admitted per-link only below
     [capacity - reserve].  [reserves] is indexed by link id — usually
@@ -27,6 +40,7 @@ val controlled :
 
 val controlled_auto :
   ?choice:Controller.primary_choice ->
+  ?observer:(Arnet_obs.Event.t -> unit) ->
   ?h:int -> matrix:Matrix.t -> Route_table.t -> Engine.policy
 (** Convenience: computes reserves from the matrix via
     {!Protection.levels} with [h] defaulting to the route table's own
@@ -34,6 +48,7 @@ val controlled_auto :
 
 val controlled_per_link_h :
   ?choice:Controller.primary_choice ->
+  ?observer:(Arnet_obs.Event.t -> unit) ->
   matrix:Matrix.t -> Route_table.t -> Engine.policy
 (** Footnote-5 ablation: protection levels from {!Protection.per_link_h}
     — each link protects only against the longest alternate that
@@ -52,6 +67,7 @@ val controlled_length_aware :
 
 val controlled_adaptive :
   ?choice:Controller.primary_choice ->
+  ?observer:(Arnet_obs.Event.t -> unit) ->
   ?h:int ->
   ?window:float ->
   ?smoothing:float ->

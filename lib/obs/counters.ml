@@ -1,0 +1,167 @@
+type run = {
+  policy : string;
+  warmup : float;
+  duration : float;
+  mutable arrivals : int;
+  mutable offered : int;
+  mutable blocked : int;
+  mutable carried_primary : int;
+  mutable carried_alternate : int;
+  mutable alternate_hops : int;
+  mutable departures : int;
+  mutable primary_attempts : int;
+  mutable primary_admitted : int;
+  mutable alternate_rejections : int;
+  rejections_by_link : (int, int) Hashtbl.t;
+  mutable hop_hist : int array;
+  mutable events : int;
+  mutable calls : int option;
+}
+
+type t = {
+  default_warmup : float;
+  mutable current : run option;
+  mutable completed_rev : run list;
+  mutable total_events : int;
+}
+
+let new_run ~policy ~warmup ~duration =
+  { policy;
+    warmup;
+    duration;
+    arrivals = 0;
+    offered = 0;
+    blocked = 0;
+    carried_primary = 0;
+    carried_alternate = 0;
+    alternate_hops = 0;
+    departures = 0;
+    primary_attempts = 0;
+    primary_admitted = 0;
+    alternate_rejections = 0;
+    rejections_by_link = Hashtbl.create 16;
+    hop_hist = Array.make 8 0;
+    events = 0;
+    calls = None }
+
+let create ?(warmup = 0.) () =
+  if warmup < 0. then invalid_arg "Counters.create: negative warmup";
+  { default_warmup = warmup;
+    current = None;
+    completed_rev = [];
+    total_events = 0 }
+
+let current_run t =
+  match t.current with
+  | Some r -> r
+  | None ->
+    let r = new_run ~policy:"" ~warmup:t.default_warmup ~duration:0. in
+    t.current <- Some r;
+    r
+
+let bump_hop r h =
+  let len = Array.length r.hop_hist in
+  if h >= len then begin
+    let grown = Array.make (Stdlib.max (h + 1) (2 * len)) 0 in
+    Array.blit r.hop_hist 0 grown 0 len;
+    r.hop_hist <- grown
+  end;
+  r.hop_hist.(h) <- r.hop_hist.(h) + 1
+
+let emit t ev =
+  t.total_events <- t.total_events + 1;
+  match ev with
+  | Event.Run_start { policy; warmup; duration; _ } ->
+    (match t.current with
+    | Some r when r.events > 0 -> t.completed_rev <- r :: t.completed_rev
+    | _ -> ());
+    let r = new_run ~policy ~warmup ~duration in
+    r.events <- 1;
+    t.current <- Some r
+  | ev ->
+    let r = current_run t in
+    r.events <- r.events + 1;
+    let measured time = time >= r.warmup in
+    (match ev with
+    | Event.Run_start _ -> assert false
+    | Event.Arrival { time; _ } ->
+      r.arrivals <- r.arrivals + 1;
+      if measured time then r.offered <- r.offered + 1
+    | Event.Primary_attempt { time; admitted; _ } ->
+      if measured time then begin
+        r.primary_attempts <- r.primary_attempts + 1;
+        if admitted then r.primary_admitted <- r.primary_admitted + 1
+      end
+    | Event.Alternate_rejected { time; link; _ } ->
+      if measured time then begin
+        r.alternate_rejections <- r.alternate_rejections + 1;
+        let prev =
+          Option.value ~default:0 (Hashtbl.find_opt r.rejections_by_link link)
+        in
+        Hashtbl.replace r.rejections_by_link link (prev + 1)
+      end
+    | Event.Admit { time; hops; primary; _ } ->
+      if measured time then begin
+        if primary then r.carried_primary <- r.carried_primary + 1
+        else begin
+          r.carried_alternate <- r.carried_alternate + 1;
+          r.alternate_hops <- r.alternate_hops + hops
+        end;
+        bump_hop r hops
+      end
+    | Event.Block { time; _ } ->
+      if measured time then begin
+        r.blocked <- r.blocked + 1;
+        bump_hop r 0
+      end
+    | Event.Departure { time; _ } ->
+      if measured time then r.departures <- r.departures + 1
+    | Event.Run_end { calls; _ } -> r.calls <- Some calls)
+
+let sink t = Sink.make (emit t)
+
+let runs t =
+  let tail =
+    match t.current with Some r when r.events > 0 -> [ r ] | _ -> []
+  in
+  List.rev_append t.completed_rev tail
+
+let total_events t = t.total_events
+
+(* ------------------------------------------------------------------ *)
+(* derived figures *)
+
+let blocking r =
+  if r.offered = 0 then 0.
+  else float_of_int r.blocked /. float_of_int r.offered
+
+let alternate_fraction r =
+  let carried = r.carried_primary + r.carried_alternate in
+  if carried = 0 then 0.
+  else float_of_int r.carried_alternate /. float_of_int carried
+
+let hop_histogram r =
+  (* trim trailing zeros so the shape is independent of growth steps *)
+  let last = ref 0 in
+  Array.iteri (fun i c -> if c > 0 then last := i) r.hop_hist;
+  Array.sub r.hop_hist 0 (!last + 1)
+
+let rejections_by_link r =
+  Hashtbl.fold (fun link count acc -> (link, count) :: acc) r.rejections_by_link
+    []
+  |> List.sort compare
+
+let by_policy t =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt tbl r.policy with
+      | Some acc -> acc := r :: !acc
+      | None ->
+        order := r.policy :: !order;
+        Hashtbl.add tbl r.policy (ref [ r ]))
+    (runs t);
+  List.rev_map
+    (fun policy -> (policy, List.rev !(Hashtbl.find tbl policy)))
+    !order

@@ -1,0 +1,163 @@
+type t =
+  | Run_start of {
+      policy : string;
+      warmup : float;
+      duration : float;
+      nodes : int;
+      links : int;
+    }
+  | Arrival of { time : float; src : int; dst : int; holding : float }
+  | Primary_attempt of {
+      time : float;
+      src : int;
+      dst : int;
+      hops : int;
+      admitted : bool;
+    }
+  | Alternate_rejected of {
+      time : float;
+      src : int;
+      dst : int;
+      hops : int;
+      link : int;
+      occupancy : int;
+      threshold : int;
+    }
+  | Admit of {
+      time : float;
+      src : int;
+      dst : int;
+      hops : int;
+      primary : bool;
+      links : int array;
+    }
+  | Block of { time : float; src : int; dst : int }
+  | Departure of { time : float; links : int array }
+  | Run_end of { time : float; calls : int }
+
+let kind = function
+  | Run_start _ -> "run_start"
+  | Arrival _ -> "arrival"
+  | Primary_attempt _ -> "primary_attempt"
+  | Alternate_rejected _ -> "alternate_rejected"
+  | Admit _ -> "admit"
+  | Block _ -> "block"
+  | Departure _ -> "departure"
+  | Run_end _ -> "run_end"
+
+let kinds =
+  [ "run_start"; "arrival"; "primary_attempt"; "alternate_rejected";
+    "admit"; "block"; "departure"; "run_end" ]
+
+let time = function
+  | Run_start _ -> 0.
+  | Arrival { time; _ }
+  | Primary_attempt { time; _ }
+  | Alternate_rejected { time; _ }
+  | Admit { time; _ }
+  | Block { time; _ }
+  | Departure { time; _ }
+  | Run_end { time; _ } -> time
+
+(* ------------------------------------------------------------------ *)
+(* JSON round trip: one flat object per event, keyed by "ev" *)
+
+let links_json ids = Jsonu.List (Array.to_list (Array.map (fun i -> Jsonu.Int i) ids))
+
+let to_json ev =
+  let open Jsonu in
+  let fields =
+    match ev with
+    | Run_start { policy; warmup; duration; nodes; links } ->
+      [ ("policy", String policy); ("warmup", Float warmup);
+        ("duration", Float duration); ("nodes", Int nodes);
+        ("links", Int links) ]
+    | Arrival { time; src; dst; holding } ->
+      [ ("t", Float time); ("src", Int src); ("dst", Int dst);
+        ("holding", Float holding) ]
+    | Primary_attempt { time; src; dst; hops; admitted } ->
+      [ ("t", Float time); ("src", Int src); ("dst", Int dst);
+        ("hops", Int hops); ("admitted", Bool admitted) ]
+    | Alternate_rejected { time; src; dst; hops; link; occupancy; threshold }
+      ->
+      [ ("t", Float time); ("src", Int src); ("dst", Int dst);
+        ("hops", Int hops); ("link", Int link); ("occ", Int occupancy);
+        ("threshold", Int threshold) ]
+    | Admit { time; src; dst; hops; primary; links } ->
+      [ ("t", Float time); ("src", Int src); ("dst", Int dst);
+        ("hops", Int hops); ("primary", Bool primary);
+        ("links", links_json links) ]
+    | Block { time; src; dst } ->
+      [ ("t", Float time); ("src", Int src); ("dst", Int dst) ]
+    | Departure { time; links } ->
+      [ ("t", Float time); ("links", links_json links) ]
+    | Run_end { time; calls } -> [ ("t", Float time); ("calls", Int calls) ]
+  in
+  Obj (("ev", String (kind ev)) :: fields)
+
+let to_json_string ev = Jsonu.to_string (to_json ev)
+
+let of_json v =
+  let open Jsonu in
+  let f key = member_exn key v in
+  let links key = Array.of_list (List.map as_int (as_list (f key))) in
+  match as_string (f "ev") with
+  | "run_start" ->
+    Run_start
+      {
+        policy = as_string (f "policy");
+        warmup = as_float (f "warmup");
+        duration = as_float (f "duration");
+        nodes = as_int (f "nodes");
+        links = as_int (f "links");
+      }
+  | "arrival" ->
+    Arrival
+      {
+        time = as_float (f "t");
+        src = as_int (f "src");
+        dst = as_int (f "dst");
+        holding = as_float (f "holding");
+      }
+  | "primary_attempt" ->
+    Primary_attempt
+      {
+        time = as_float (f "t");
+        src = as_int (f "src");
+        dst = as_int (f "dst");
+        hops = as_int (f "hops");
+        admitted = as_bool (f "admitted");
+      }
+  | "alternate_rejected" ->
+    Alternate_rejected
+      {
+        time = as_float (f "t");
+        src = as_int (f "src");
+        dst = as_int (f "dst");
+        hops = as_int (f "hops");
+        link = as_int (f "link");
+        occupancy = as_int (f "occ");
+        threshold = as_int (f "threshold");
+      }
+  | "admit" ->
+    Admit
+      {
+        time = as_float (f "t");
+        src = as_int (f "src");
+        dst = as_int (f "dst");
+        hops = as_int (f "hops");
+        primary = as_bool (f "primary");
+        links = links "links";
+      }
+  | "block" ->
+    Block
+      { time = as_float (f "t"); src = as_int (f "src"); dst = as_int (f "dst") }
+  | "departure" -> Departure { time = as_float (f "t"); links = links "links" }
+  | "run_end" -> Run_end { time = as_float (f "t"); calls = as_int (f "calls") }
+  | k -> raise (Parse_error ("unknown event kind " ^ k))
+
+let of_json_string s = of_json (Jsonu.parse s)
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf ev = Format.pp_print_string ppf (to_json_string ev)

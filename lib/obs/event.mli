@@ -1,0 +1,71 @@
+(** The typed simulation event stream.
+
+    One event per observable step of the call-by-call simulator: the
+    engine emits call lifecycle events (arrival, admit, block,
+    departure) plus per-run framing records, and the routing controller
+    emits decision detail (the primary attempt and every alternate path
+    refused by trunk reservation, with the offending link, its
+    occupancy and the [C - r] threshold that refused it).
+
+    Events serialize to one flat JSON object per event — the JSONL
+    trace format consumed by [arn trace summarize] — and parse back
+    losslessly. *)
+
+type t =
+  | Run_start of {
+      policy : string;  (** routing policy name for this run *)
+      warmup : float;  (** statistics window start, as passed to the engine *)
+      duration : float;  (** trace duration *)
+      nodes : int;
+      links : int;
+    }  (** Frames the start of one engine run inside a shared stream. *)
+  | Arrival of { time : float; src : int; dst : int; holding : float }
+  | Primary_attempt of {
+      time : float;
+      src : int;
+      dst : int;
+      hops : int;  (** primary path length *)
+      admitted : bool;  (** false when some primary link was full *)
+    }
+  | Alternate_rejected of {
+      time : float;
+      src : int;
+      dst : int;
+      hops : int;  (** length of the refused alternate *)
+      link : int;  (** first link that refused the call *)
+      occupancy : int;  (** its occupancy at decision time *)
+      threshold : int;
+          (** the trunk-reservation bar [capacity - reserve]; the call
+              was refused because [occupancy >= threshold] *)
+    }
+  | Admit of {
+      time : float;
+      src : int;
+      dst : int;
+      hops : int;
+      primary : bool;  (** carried on the primary (vs an alternate) path *)
+      links : int array;  (** link ids now holding one more circuit *)
+    }
+  | Block of { time : float; src : int; dst : int }
+  | Departure of { time : float; links : int array }
+  | Run_end of { time : float; calls : int }
+      (** [calls] = total arrivals replayed (including warm-up). *)
+
+val kind : t -> string
+(** Stable snake_case tag, also the JSON "ev" field. *)
+
+val kinds : string list
+(** Every tag, in declaration order. *)
+
+val time : t -> float
+(** Event timestamp in simulated time; 0 for [Run_start]. *)
+
+val to_json : t -> Jsonu.t
+val to_json_string : t -> string
+
+val of_json : Jsonu.t -> t
+val of_json_string : string -> t
+(** @raise Jsonu.Parse_error on malformed or unknown-kind input. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+let write_event oc ev =
+  let buf = Buffer.create 128 in
+  Jsonu.to_buffer buf (Event.to_json ev);
+  Buffer.add_char buf '\n';
+  output_string oc (Buffer.contents buf)
+
+let sink_of_channel ?(close_channel = false) oc =
+  Sink.make (write_event oc)
+    ~flush:(fun () -> flush oc)
+    ~close:
+      (let closed = ref false in
+       fun () ->
+         if not !closed then begin
+           closed := true;
+           flush oc;
+           if close_channel then close_out oc
+         end)
+
+let sink_of_file path = sink_of_channel ~close_channel:true (open_out path)
+
+let fold_file path ~init ~f =
+  let ic = open_in path in
+  let lineno = ref 0 in
+  let rec loop acc =
+    match input_line ic with
+    | exception End_of_file -> acc
+    | line ->
+      incr lineno;
+      let trimmed = String.trim line in
+      if trimmed = "" then loop acc
+      else begin
+        let ev =
+          try Event.of_json_string trimmed
+          with Jsonu.Parse_error msg ->
+            close_in_noerr ic;
+            raise
+              (Jsonu.Parse_error
+                 (Printf.sprintf "%s:%d: %s" path !lineno msg))
+        in
+        loop (f acc ev)
+      end
+  in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> loop init)
+
+let read_file path =
+  List.rev (fold_file path ~init:[] ~f:(fun acc ev -> ev :: acc))

@@ -1,0 +1,26 @@
+(** JSON-lines trace files: one {!Event.t} per line.
+
+    The durable form of the event stream — [arn simulate --trace]
+    writes one, [arn trace summarize] folds one back.  Writing is
+    line-buffered through the channel; reading is streaming, so
+    arbitrarily long traces summarize in constant memory. *)
+
+val sink_of_channel : ?close_channel:bool -> out_channel -> Sink.t
+(** Events append as single lines.  [Sink.close] flushes, and closes
+    the channel when [close_channel] (default false). *)
+
+val sink_of_file : string -> Sink.t
+(** Truncate-open [path]; [Sink.close] closes it. *)
+
+val write_event : out_channel -> Event.t -> unit
+
+val fold_file :
+  string -> init:'a -> f:('a -> Event.t -> 'a) -> 'a
+(** Fold over every event in the file, in order; blank lines are
+    skipped.
+    @raise Jsonu.Parse_error (prefixed with [path:line]) on a malformed
+    line.
+    @raise Sys_error when the file cannot be read. *)
+
+val read_file : string -> Event.t list
+(** Materialize a whole trace (tests and small files). *)

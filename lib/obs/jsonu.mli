@@ -1,0 +1,42 @@
+(** A minimal JSON value type with a round-trippable printer/parser.
+
+    The observability layer emits and re-reads its own JSONL traces and
+    JSON metric dumps; the container ships no JSON library, so we keep a
+    dependency-free reader for exactly the values we print (the same
+    convention as [Arnet_analysis.Diagnostic], extended with floats,
+    booleans and null).  Floats print with enough digits ([%.17g]) to
+    round-trip bit-exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val float_to_string : float -> string
+(** The printer's float convention, exposed for non-[t] emitters (the
+    Prometheus renderer). *)
+
+(** Accessors; all but {!member} raise {!Parse_error} on a shape
+    mismatch, so readers surface one uniform error type. *)
+
+val member : string -> t -> t option
+val member_exn : string -> t -> t
+val as_int : t -> int
+val as_float : t -> float
+(** Accepts both [Int] and [Float] (JSON does not distinguish). *)
+
+val as_string : t -> string
+val as_bool : t -> bool
+val as_list : t -> t list

@@ -1,0 +1,122 @@
+type t = {
+  registry : Metrics.t;
+  started_at : float;
+  mutable events : int;
+  by_kind : (string, Metrics.counter) Hashtbl.t;
+  occupancy : (int, Metrics.gauge) Hashtbl.t;
+  rejected : (int, Metrics.counter) Hashtbl.t;
+  offered : Metrics.counter;
+  blocked : Metrics.counter;
+  admitted_primary : Metrics.counter;
+  admitted_alternate : Metrics.counter;
+  holding : Metrics.histogram;
+  hops : Metrics.histogram;
+  events_per_second : Metrics.gauge;
+  wall_seconds : Metrics.gauge;
+}
+
+let create registry =
+  { registry;
+    started_at = Unix.gettimeofday ();
+    events = 0;
+    by_kind = Hashtbl.create 8;
+    occupancy = Hashtbl.create 64;
+    rejected = Hashtbl.create 64;
+    offered =
+      Metrics.counter registry ~help:"Calls offered (arrivals)"
+        "arnet_calls_offered_total";
+    blocked =
+      Metrics.counter registry ~help:"Calls lost" "arnet_calls_blocked_total";
+    admitted_primary =
+      Metrics.counter registry
+        ~labels:[ ("route", "primary") ]
+        ~help:"Calls admitted by route class" "arnet_calls_admitted_total";
+    admitted_alternate =
+      Metrics.counter registry
+        ~labels:[ ("route", "alternate") ]
+        ~help:"Calls admitted by route class" "arnet_calls_admitted_total";
+    holding =
+      Metrics.histogram registry
+        ~buckets:(Metrics.log_buckets ~lo:0.001 ~hi:1000. ~per_decade:1)
+        ~help:"Holding time of offered calls (simulated time units)"
+        "arnet_call_holding_time";
+    hops =
+      Metrics.histogram registry
+        ~buckets:[| 1.; 2.; 3.; 4.; 6.; 8.; 12.; 16. |]
+        ~help:"Path length of admitted calls (hops)" "arnet_admitted_hops";
+    events_per_second =
+      Metrics.gauge registry
+        ~help:"Observed event throughput over the wall clock"
+        "arnet_events_per_second";
+    wall_seconds =
+      Metrics.gauge registry ~help:"Wall-clock seconds since sink creation"
+        "arnet_wall_seconds" }
+
+let kind_counter t kind =
+  match Hashtbl.find_opt t.by_kind kind with
+  | Some c -> c
+  | None ->
+    let c =
+      Metrics.counter t.registry
+        ~labels:[ ("kind", kind) ]
+        ~help:"Simulation events by kind" "arnet_events_total"
+    in
+    Hashtbl.add t.by_kind kind c;
+    c
+
+let link_gauge t link =
+  match Hashtbl.find_opt t.occupancy link with
+  | Some g -> g
+  | None ->
+    let g =
+      Metrics.gauge t.registry
+        ~labels:[ ("link", string_of_int link) ]
+        ~help:"Calls in progress on the link" "arnet_link_occupancy"
+    in
+    Hashtbl.add t.occupancy link g;
+    g
+
+let rejected_counter t link =
+  match Hashtbl.find_opt t.rejected link with
+  | Some c -> c
+  | None ->
+    let c =
+      Metrics.counter t.registry
+        ~labels:[ ("link", string_of_int link) ]
+        ~help:"Alternate-routed calls refused by trunk reservation"
+        "arnet_alt_rejected_total"
+    in
+    Hashtbl.add t.rejected link c;
+    c
+
+let refresh_rates t =
+  let wall = Unix.gettimeofday () -. t.started_at in
+  Metrics.set t.wall_seconds wall;
+  Metrics.set t.events_per_second
+    (if wall > 0. then float_of_int t.events /. wall else 0.)
+
+let emit t ev =
+  t.events <- t.events + 1;
+  Metrics.inc (kind_counter t (Event.kind ev));
+  match ev with
+  | Event.Arrival { holding; _ } ->
+    Metrics.inc t.offered;
+    Metrics.observe t.holding holding
+  | Event.Block _ -> Metrics.inc t.blocked
+  | Event.Admit { primary; hops; links; _ } ->
+    Metrics.inc (if primary then t.admitted_primary else t.admitted_alternate);
+    Metrics.observe t.hops (float_of_int hops);
+    Array.iter (fun k -> Metrics.add (link_gauge t k) 1.) links
+  | Event.Departure { links; _ } ->
+    Array.iter (fun k -> Metrics.add (link_gauge t k) (-1.)) links
+  | Event.Alternate_rejected { link; _ } ->
+    Metrics.inc (rejected_counter t link)
+  | Event.Run_start _ | Event.Run_end _ | Event.Primary_attempt _ -> ()
+
+let sink t =
+  Sink.make (emit t)
+    ~flush:(fun () -> refresh_rates t)
+    ~close:(fun () -> refresh_rates t)
+
+let events t = t.events
+let registry t = t.registry

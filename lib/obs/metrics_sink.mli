@@ -1,0 +1,32 @@
+(** The engine-to-metrics bridge: a sink that keeps a {!Metrics.t}
+    registry current as simulation events stream through it.
+
+    Maintained series:
+    - [arnet_events_total{kind=...}] — every event, by kind
+    - [arnet_calls_offered_total], [arnet_calls_blocked_total],
+      [arnet_calls_admitted_total{route="primary"|"alternate"}]
+    - [arnet_alt_rejected_total{link=...}] — per-link trunk-reservation
+      rejections
+    - [arnet_link_occupancy{link=...}] — live occupancy gauge,
+      maintained from admit/departure link sets
+    - [arnet_call_holding_time] — log-bucket histogram
+    - [arnet_admitted_hops] — path-length histogram
+    - [arnet_events_per_second], [arnet_wall_seconds] — wall-clock
+      throughput, refreshed on [flush]/[close]
+
+    Per-link series are cached in hash tables, so the per-event cost is
+    O(path length), not O(registered series). *)
+
+type t
+
+val create : Metrics.t -> t
+(** Registers the series above into the given registry (names must not
+    already be taken by other types). *)
+
+val emit : t -> Event.t -> unit
+val sink : t -> Sink.t
+
+val events : t -> int
+(** Events seen so far. *)
+
+val registry : t -> Metrics.t

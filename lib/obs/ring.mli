@@ -1,0 +1,31 @@
+(** Bounded in-memory event buffer.
+
+    Keeps the most recent [capacity] events — the "flight recorder" for
+    interactive debugging: run with a ring attached, then inspect the
+    tail of the stream after something interesting happens.  Constant
+    memory regardless of run length. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity <= 0]. *)
+
+val push : t -> Event.t -> unit
+(** O(1); evicts the oldest event once full. *)
+
+val sink : t -> Sink.t
+
+val contents : t -> Event.t list
+(** Oldest first; at most [capacity] events. *)
+
+val capacity : t -> int
+val length : t -> int
+(** Events currently held. *)
+
+val seen : t -> int
+(** Total events ever pushed. *)
+
+val dropped : t -> int
+(** [seen - length]: how many fell off the back. *)
+
+val clear : t -> unit

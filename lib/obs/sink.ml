@@ -1,0 +1,25 @@
+type t = {
+  emit : Event.t -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+let make ?(flush = fun () -> ()) ?(close = fun () -> ()) emit =
+  { emit; flush; close }
+
+let null = make (fun _ -> ())
+
+let tee sinks =
+  {
+    emit = (fun ev -> List.iter (fun s -> s.emit ev) sinks);
+    flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
+    close = (fun () -> List.iter (fun s -> s.close ()) sinks);
+  }
+
+let filter pred sink =
+  { sink with emit = (fun ev -> if pred ev then sink.emit ev) }
+
+let observer sink = sink.emit
+let emit sink ev = sink.emit ev
+let flush sink = sink.flush ()
+let close sink = sink.close ()

@@ -1,0 +1,34 @@
+(** Pluggable consumers of the event stream.
+
+    A sink is where emitted {!Event.t}s go: an in-memory {!Ring}, a
+    {!Jsonl} file writer, an aggregating {!Counters}, a {!Metrics_sink}
+    registry feed — or several at once via {!tee}.  The simulator side
+    only ever sees the bare [emit] function ({!observer}), so the engine
+    hot path stays a single closure call. *)
+
+type t = {
+  emit : Event.t -> unit;
+  flush : unit -> unit;  (** push buffered output downstream *)
+  close : unit -> unit;  (** flush and release resources; idempotent *)
+}
+
+val make :
+  ?flush:(unit -> unit) -> ?close:(unit -> unit) -> (Event.t -> unit) -> t
+(** [flush] and [close] default to no-ops. *)
+
+val null : t
+(** Discards everything. *)
+
+val tee : t list -> t
+(** Broadcast each event to every sink, in order. *)
+
+val filter : (Event.t -> bool) -> t -> t
+(** Forward only events satisfying the predicate. *)
+
+val observer : t -> Event.t -> unit
+(** The emission function, in the shape the engine's [?observer]
+    parameter expects. *)
+
+val emit : t -> Event.t -> unit
+val flush : t -> unit
+val close : t -> unit

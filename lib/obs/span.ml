@@ -1,0 +1,53 @@
+type t = {
+  name : string;
+  started_at : float;
+  mutable duration : float option;
+  mutable meta : (string * Jsonu.t) list;
+}
+
+let now () = Unix.gettimeofday ()
+
+let start name = { name; started_at = now (); duration = None; meta = [] }
+
+let stop t =
+  match t.duration with
+  | Some d -> d
+  | None ->
+    let d = now () -. t.started_at in
+    t.duration <- Some d;
+    d
+
+let elapsed t =
+  match t.duration with Some d -> d | None -> now () -. t.started_at
+
+let name t = t.name
+let finished t = t.duration <> None
+
+let set_meta t key v = t.meta <- (key, v) :: List.remove_assoc key t.meta
+
+let to_json t =
+  Jsonu.Obj
+    (("name", Jsonu.String t.name)
+    :: ("wall_s", Jsonu.Float (elapsed t))
+    :: List.rev t.meta)
+
+(* ------------------------------------------------------------------ *)
+(* recorder *)
+
+type recorder = { mutable spans_rev : t list }
+
+let recorder () = { spans_rev = [] }
+
+let record r name f =
+  let span = start name in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (stop span);
+      r.spans_rev <- span :: r.spans_rev)
+    f
+
+let note r span = r.spans_rev <- span :: r.spans_rev
+let spans r = List.rev r.spans_rev
+
+let recorder_to_json r =
+  Jsonu.List (List.map to_json (spans r))

@@ -1,0 +1,47 @@
+(** Wall-clock phase timing.
+
+    A span measures one named phase of real (not simulated) time — an
+    experiment section, a benchmark run, a route-table build.  Spans
+    carry optional metadata (calls simulated, items processed) and
+    serialize to JSON, which is how [bench/main.exe] populates
+    [BENCH_2.json] with the perf trajectory. *)
+
+type t
+
+val start : string -> t
+(** Starts timing immediately ([Unix.gettimeofday]). *)
+
+val stop : t -> float
+(** Freeze and return the duration in seconds.  Idempotent: later calls
+    return the first recorded duration. *)
+
+val elapsed : t -> float
+(** Seconds so far (or the frozen duration once stopped). *)
+
+val name : t -> string
+val finished : t -> bool
+
+val set_meta : t -> string -> Jsonu.t -> unit
+(** Attach a metadata field (replacing any previous value for the key);
+    appears in {!to_json}. *)
+
+val to_json : t -> Jsonu.t
+(** [{"name": ..., "wall_s": ..., <meta fields>}]. *)
+
+(** {1 Recording several phases} *)
+
+type recorder
+
+val recorder : unit -> recorder
+
+val record : recorder -> string -> (unit -> 'a) -> 'a
+(** Time [f] under the given name; the span is recorded even when [f]
+    raises. *)
+
+val note : recorder -> t -> unit
+(** Add an externally managed span. *)
+
+val spans : recorder -> t list
+(** In recording order. *)
+
+val recorder_to_json : recorder -> Jsonu.t

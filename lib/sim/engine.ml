@@ -9,7 +9,13 @@ type policy = {
   is_primary : call:Trace.call -> Path.t -> bool;
 }
 
-let run ?(warmup = 10.) ~graph ~policy trace =
+(* process-wide odometer: Array.length per run, so the per-call hot path
+   pays nothing.  Benchmarks read the delta to report calls/sec. *)
+let simulated_calls = ref 0
+
+let calls_simulated () = !simulated_calls
+
+let run ?(warmup = 10.) ?observer ~graph ~policy trace =
   let { Trace.calls; duration; matrix } = trace in
   if warmup < 0. || warmup >= duration then
     invalid_arg "Engine.run: warmup must be in [0, duration)";
@@ -20,15 +26,29 @@ let run ?(warmup = 10.) ~graph ~policy trace =
   Graph.iter_links
     (fun l -> capacity.(l.Link.id) <- l.Link.capacity)
     graph;
+  simulated_calls := !simulated_calls + Array.length calls;
   let occupancy = Array.make m 0 in
   let departures : int array Event_queue.t = Event_queue.create () in
   let stats = Stats.empty ~nodes:(Graph.node_count graph) in
-  let release _time link_ids =
+  (match observer with
+  | Some f ->
+    f
+      (Arnet_obs.Event.Run_start
+         { policy = policy.name;
+           warmup;
+           duration;
+           nodes = Graph.node_count graph;
+           links = m })
+  | None -> ());
+  let release time link_ids =
     Array.iter
       (fun id ->
         occupancy.(id) <- occupancy.(id) - 1;
         assert (occupancy.(id) >= 0))
-      link_ids
+      link_ids;
+    match observer with
+    | Some f -> f (Arnet_obs.Event.Departure { time; links = link_ids })
+    | None -> ()
   in
   let admit (call : Trace.call) (p : Path.t) =
     let ids = p.Path.link_ids in
@@ -46,25 +66,62 @@ let run ?(warmup = 10.) ~graph ~policy trace =
   let handle (call : Trace.call) =
     Event_queue.pop_until departures ~time:call.Trace.time ~f:release;
     let measured = call.Trace.time >= warmup in
+    (match observer with
+    | Some f ->
+      f
+        (Arnet_obs.Event.Arrival
+           { time = call.Trace.time;
+             src = call.Trace.src;
+             dst = call.Trace.dst;
+             holding = call.Trace.holding })
+    | None -> ());
     if measured then
       Stats.record_offered stats ~src:call.Trace.src ~dst:call.Trace.dst;
     match policy.decide ~occupancy ~call with
     | Lost ->
+      (match observer with
+      | Some f ->
+        f
+          (Arnet_obs.Event.Block
+             { time = call.Trace.time;
+               src = call.Trace.src;
+               dst = call.Trace.dst })
+      | None -> ());
       if measured then
         Stats.record_blocked stats ~src:call.Trace.src ~dst:call.Trace.dst
     | Routed p ->
       if Path.src p <> call.Trace.src || Path.dst p <> call.Trace.dst then
         invalid_arg "Engine.run: policy routed to wrong endpoints";
       admit call p;
-      if measured then
-        if policy.is_primary ~call p then Stats.record_primary stats
-        else Stats.record_alternate stats ~hops:(Path.hops p)
+      if measured || Option.is_some observer then begin
+        let primary = policy.is_primary ~call p in
+        (match observer with
+        | Some f ->
+          f
+            (Arnet_obs.Event.Admit
+               { time = call.Trace.time;
+                 src = call.Trace.src;
+                 dst = call.Trace.dst;
+                 hops = Path.hops p;
+                 primary;
+                 links = p.Path.link_ids })
+        | None -> ());
+        if measured then
+          if primary then Stats.record_primary stats
+          else Stats.record_alternate stats ~hops:(Path.hops p)
+      end
   in
   Array.iter handle calls;
+  (match observer with
+  | Some f ->
+    (* drain departures that fall inside the run so the trace balances *)
+    Event_queue.pop_until departures ~time:duration ~f:release;
+    f (Arnet_obs.Event.Run_end { time = duration; calls = Array.length calls })
+  | None -> ());
   stats
 
-let replicate_fresh ?warmup ?mean_holding ~seeds ~duration ~graph ~matrix
-    ~policies () =
+let replicate_fresh ?warmup ?mean_holding ?observe ~seeds ~duration ~graph
+    ~matrix ~policies () =
   if seeds = [] then invalid_arg "Engine.replicate: no seeds";
   let names = List.map (fun p -> p.name) (policies ()) in
   let results = List.map (fun name -> (name, ref [])) names in
@@ -76,14 +133,20 @@ let replicate_fresh ?warmup ?mean_holding ~seeds ~duration ~graph ~matrix
       invalid_arg "Engine.replicate_fresh: factory changed policy names";
     List.iter2
       (fun policy (_, acc) ->
-        acc := run ?warmup ~graph ~policy trace :: !acc)
+        let observer =
+          match observe with
+          | None -> None
+          | Some choose -> choose ~seed ~policy:policy.name
+        in
+        acc := run ?warmup ?observer ~graph ~policy trace :: !acc)
       fresh results
   in
   List.iter one_seed seeds;
   List.map (fun (name, acc) -> (name, List.rev !acc)) results
 
-let replicate ?warmup ?mean_holding ~seeds ~duration ~graph ~matrix ~policies
-    () =
-  replicate_fresh ?warmup ?mean_holding ~seeds ~duration ~graph ~matrix
+let replicate ?warmup ?mean_holding ?observe ~seeds ~duration ~graph ~matrix
+    ~policies () =
+  replicate_fresh ?warmup ?mean_holding ?observe ~seeds ~duration ~graph
+    ~matrix
     ~policies:(fun () -> policies)
     ()

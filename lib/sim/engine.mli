@@ -25,17 +25,37 @@ type policy = {
 }
 
 val run :
-  ?warmup:float -> graph:Graph.t -> policy:policy -> Trace.t -> Stats.t
+  ?warmup:float ->
+  ?observer:(Arnet_obs.Event.t -> unit) ->
+  graph:Graph.t ->
+  policy:policy ->
+  Trace.t ->
+  Stats.t
 (** [run ~graph ~policy trace] simulates the whole trace and returns
     statistics over the window [\[warmup, duration)] (default warm-up
     10 time units, the paper's choice; must be [< duration]).
 
+    When [observer] is given, every step of the run streams through it
+    as typed events: a [Run_start] frame, then per call an [Arrival],
+    any in-between [Departure]s, and the [Admit]/[Block] verdict, and
+    finally the remaining in-window [Departure]s and a [Run_end].
+    Decision detail ([Primary_attempt], [Alternate_rejected]) is emitted
+    by observer-aware policies (see [Arnet_core.Scheme]), not the
+    engine.  Without an observer the hot path is untouched: no events
+    are constructed and the only cost is a branch per step.
+
     @raise Invalid_argument if the policy routes over a full or
     nonexistent link (a policy bug), or on size mismatches. *)
+
+val calls_simulated : unit -> int
+(** Process-wide total of trace calls replayed by {!run} — a free-running
+    odometer for benchmark harnesses (calls/sec over a wall-clock span).
+    Monotonic; never reset. *)
 
 val replicate :
   ?warmup:float ->
   ?mean_holding:float ->
+  ?observe:(seed:int -> policy:string -> (Arnet_obs.Event.t -> unit) option) ->
   seeds:int list ->
   duration:float ->
   graph:Graph.t ->
@@ -49,6 +69,11 @@ val replicate :
     algorithm was run with identical call arrivals and call holding
     times".
 
+    [observe] selects an event observer per (seed, policy) run — return
+    [None] to leave that run unobserved.  Runs execute seed-major in
+    policy order, so a single shared sink sees well-formed
+    [Run_start]/[Run_end] frames in sequence.
+
     Policies are reused across seeds, so they must be stateless between
     runs — true of every {!Arnet_core.Scheme} constructor except the
     adaptive one.  For policies with internal state use
@@ -57,6 +82,7 @@ val replicate :
 val replicate_fresh :
   ?warmup:float ->
   ?mean_holding:float ->
+  ?observe:(seed:int -> policy:string -> (Arnet_obs.Event.t -> unit) option) ->
   seeds:int list ->
   duration:float ->
   graph:Graph.t ->

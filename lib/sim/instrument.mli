@@ -5,7 +5,14 @@
     averages by PASTA, since arrivals are Poisson), the distribution of
     carried path lengths, and an optional bounded decision log for
     replay/debugging.  The wrapped policy makes byte-identical decisions
-    to the original. *)
+    to the original.
+
+    The call-count bookkeeping is carried by an embedded
+    {!Arnet_obs.Counters} sink: each observed decision is replayed into
+    it as synthetic [Arrival] + [Admit]/[Block] events (with warm-up 0,
+    so everything counts), and {!hop_histogram} reads back out of it.
+    {!counters} exposes the sink, so a recorder interoperates with any
+    consumer of the event-stream aggregates. *)
 
 open Arnet_topology
 
@@ -18,8 +25,17 @@ type record = {
   routed_hops : int option;  (** [None] = the call was lost *)
 }
 
-val create : ?log_limit:int -> Graph.t -> t
-(** [log_limit] caps the decision log (default 0: no log kept). *)
+type keep = [ `Earliest | `Newest ]
+
+val create : ?log_limit:int -> ?keep:keep -> Graph.t -> t
+(** [log_limit] caps the decision log (default 0: no log kept).
+
+    [keep] selects which side of a too-long run survives (default
+    [`Earliest], the historical semantics): [`Earliest] stops logging
+    after the first [log_limit] decisions — reproducible prefixes for
+    regression comparison; [`Newest] keeps a ring of the last
+    [log_limit] decisions — what you want when debugging live (the
+    interesting decisions are the ones just before the anomaly). *)
 
 val wrap : t -> Engine.policy -> Engine.policy
 (** The instrumented policy.  One recorder should wrap one policy for
@@ -39,7 +55,14 @@ val peak_occupancy : t -> int array
 
 val hop_histogram : t -> int array
 (** Index [h] counts calls carried on [h]-hop paths; index 0 counts
-    lost calls. *)
+    lost calls.  Length = node count; longer paths (impossible for
+    simple paths) are not counted. *)
+
+val counters : t -> Arnet_obs.Counters.t
+(** The embedded counter sink (a single implicit run): offered/blocked/
+    carried splits equal to the run's {!Stats} when the run is measured
+    from warm-up 0. *)
 
 val log : t -> record list
-(** Oldest first; at most [log_limit] entries (the earliest are kept). *)
+(** Oldest first; at most [log_limit] entries — the earliest ones under
+    [`Earliest] (default), the latest under [`Newest]. *)

@@ -225,7 +225,7 @@ let test_controller_decide () =
   let call = mk_call 0. 0 1 1. in
   let decide occ allow =
     Controller.decide ~routes ~admission ~choice:Controller.Table
-      ~allow_alternates:allow ~occupancy:occ ~call
+      ~allow_alternates:allow ~occupancy:occ call
   in
   (match decide occ true with
   | Engine.Routed p -> Alcotest.(check int) "primary when free" 1 (Path.hops p)

@@ -77,6 +77,47 @@ let test_hop_histogram_and_log () =
       (a.Instrument.time < b.Instrument.time)
   | l -> Alcotest.failf "expected 2 log entries, got %d" (List.length l)
 
+let test_log_keep_newest () =
+  let g = Builders.full_mesh ~nodes:3 ~capacity:1 in
+  let routes = Route_table.build g in
+  let matrix =
+    Matrix.make ~nodes:3 (fun i j -> if i = 0 && j = 1 then 1. else 0.)
+  in
+  let policy = Arnet_core.Scheme.uncontrolled routes in
+  let recorder = Instrument.create ~log_limit:2 ~keep:`Newest g in
+  let wrapped = Instrument.wrap recorder policy in
+  (* same workload as the histogram test: routed, detoured, lost — a
+     rolling window keeps the LAST two decisions *)
+  let trace =
+    Trace.of_calls ~matrix ~duration:20.
+      [ mk_call 1. 0 1 10.; mk_call 2. 0 1 10.; mk_call 3. 0 1 10. ]
+  in
+  let _ = Engine.run ~warmup:0. ~graph:g ~policy:wrapped trace in
+  match Instrument.log recorder with
+  | [ a; b ] ->
+    Alcotest.(check (option int)) "oldest kept is the detour" (Some 2)
+      a.Instrument.routed_hops;
+    Alcotest.(check (option int)) "newest is the loss" None
+      b.Instrument.routed_hops;
+    Alcotest.(check bool) "chronological" true
+      (a.Instrument.time < b.Instrument.time)
+  | l -> Alcotest.failf "expected 2 log entries, got %d" (List.length l)
+
+let test_counters_accessor () =
+  let g, policy, matrix = setup () in
+  let recorder = Instrument.create g in
+  let wrapped = Instrument.wrap recorder policy in
+  let rng = Rng.create ~seed:5 in
+  let trace = Trace.generate ~rng ~duration:30. matrix in
+  let stats = Engine.run ~warmup:0. ~graph:g ~policy:wrapped trace in
+  match Arnet_obs.Counters.runs (Instrument.counters recorder) with
+  | [ run ] ->
+    Alcotest.(check int) "offered via counter sink" stats.Stats.offered
+      run.Arnet_obs.Counters.offered;
+    Alcotest.(check int) "blocked via counter sink" stats.Stats.blocked
+      run.Arnet_obs.Counters.blocked
+  | runs -> Alcotest.failf "expected 1 run, got %d" (List.length runs)
+
 let test_validation () =
   let g, _, _ = setup () in
   check_invalid "negative log limit" (fun () ->
@@ -91,4 +132,7 @@ let () =
             test_occupancy_statistics;
           Alcotest.test_case "hop histogram and log" `Quick
             test_hop_histogram_and_log;
+          Alcotest.test_case "log keep newest" `Quick test_log_keep_newest;
+          Alcotest.test_case "counters accessor" `Quick
+            test_counters_accessor;
           Alcotest.test_case "validation" `Quick test_validation ] ) ]

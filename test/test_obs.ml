@@ -1,0 +1,550 @@
+(* The observability subsystem: JSON encoding, event round-trips, the
+   sinks (ring, JSONL, counters, metrics), spans — and the load-bearing
+   property that a counter sink fed by an observed run reproduces the
+   run's Stats exactly. *)
+
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_sim
+module Obs = Arnet_obs
+module E = Obs.Event
+module J = Obs.Jsonu
+
+let check_invalid name f =
+  Alcotest.check_raises name (Invalid_argument "") (fun () ->
+      try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let event = Alcotest.testable E.pp E.equal
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains what hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: %S not found in %S" what needle hay
+
+(* one event of every kind *)
+let specimen_events =
+  [ E.Run_start
+      { policy = "controlled"; warmup = 5.; duration = 50.; nodes = 4;
+        links = 12 };
+    E.Arrival { time = 6.25; src = 0; dst = 3; holding = 1.5 };
+    E.Primary_attempt { time = 6.25; src = 0; dst = 3; hops = 1;
+                        admitted = false };
+    E.Alternate_rejected
+      { time = 6.25; src = 0; dst = 3; hops = 2; link = 7; occupancy = 19;
+        threshold = 18 };
+    E.Admit { time = 6.25; src = 0; dst = 3; hops = 2; primary = false;
+              links = [| 4; 7 |] };
+    E.Block { time = 7.5; src = 1; dst = 2 };
+    E.Departure { time = 7.75; links = [| 4; 7 |] };
+    E.Run_end { time = 50.; calls = 123 } ]
+
+(* ------------------------------------------------------------------ *)
+(* Jsonu *)
+
+let test_jsonu_round_trip () =
+  let v =
+    J.Obj
+      [ ("s", J.String "a\"b\\c\nd\tz");
+        ("i", J.Int (-42));
+        ("f", J.Float 0.1);
+        ("big", J.Float 1.2345678901234567e300);
+        ("null", J.Null);
+        ("flags", J.List [ J.Bool true; J.Bool false ]);
+        ("nested", J.Obj [ ("empty_list", J.List []); ("empty", J.Obj []) ]) ]
+  in
+  let reparsed = J.parse (J.to_string v) in
+  Alcotest.(check string) "stable under reparse" (J.to_string v)
+    (J.to_string reparsed);
+  (match J.member_exn "f" reparsed with
+  | J.Float f -> Alcotest.(check (float 0.)) "float exact" 0.1 f
+  | _ -> Alcotest.fail "f not a float");
+  Alcotest.(check int) "int exact" (-42) (J.as_int (J.member_exn "i" reparsed));
+  Alcotest.(check string) "string with escapes" "a\"b\\c\nd\tz"
+    (J.as_string (J.member_exn "s" reparsed))
+
+let test_jsonu_errors () =
+  let raises s =
+    match J.parse s with
+    | exception J.Parse_error _ -> ()
+    | _ -> Alcotest.failf "parse %S should have failed" s
+  in
+  raises "{";
+  raises "[1,]";
+  raises "{\"a\":1,}";
+  raises "nul";
+  raises "\"unterminated";
+  raises "1 2"
+
+(* ------------------------------------------------------------------ *)
+(* Event *)
+
+let test_event_round_trip () =
+  List.iter
+    (fun ev ->
+      Alcotest.check event (E.kind ev) ev
+        (E.of_json_string (E.to_json_string ev)))
+    specimen_events;
+  Alcotest.(check (list string)) "every kind exercised" (List.sort compare E.kinds)
+    (List.sort_uniq compare (List.map E.kind specimen_events));
+  match E.of_json_string {|{"ev":"martian","t":0}|} with
+  | exception J.Parse_error _ -> ()
+  | _ -> Alcotest.fail "unknown kind should not decode"
+
+(* ------------------------------------------------------------------ *)
+(* Ring *)
+
+let test_ring_wraparound () =
+  let r = Obs.Ring.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Obs.Ring.length r);
+  let ev t = E.Block { time = t; src = 0; dst = 1 } in
+  List.iter (fun t -> Obs.Ring.push r (ev t)) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check int) "length capped" 3 (Obs.Ring.length r);
+  Alcotest.(check int) "seen all" 5 (Obs.Ring.seen r);
+  Alcotest.(check int) "dropped oldest" 2 (Obs.Ring.dropped r);
+  Alcotest.(check (list event)) "kept the newest, oldest first"
+    [ ev 3.; ev 4.; ev 5. ] (Obs.Ring.contents r);
+  Obs.Ring.clear r;
+  Alcotest.(check int) "cleared" 0 (Obs.Ring.length r);
+  Alcotest.(check int) "capacity unchanged" 3 (Obs.Ring.capacity r);
+  check_invalid "zero capacity" (fun () ->
+      ignore (Obs.Ring.create ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* Sink combinators *)
+
+let test_sink_tee_filter () =
+  let a = Obs.Ring.create ~capacity:10 and b = Obs.Ring.create ~capacity:10 in
+  let only_blocks =
+    Obs.Sink.filter (fun ev -> E.kind ev = "block") (Obs.Ring.sink b)
+  in
+  let sink = Obs.Sink.tee [ Obs.Ring.sink a; only_blocks ] in
+  List.iter (Obs.Sink.emit sink) specimen_events;
+  Alcotest.(check int) "tee broadcast" (List.length specimen_events)
+    (Obs.Ring.length a);
+  Alcotest.(check (list event)) "filter kept only blocks"
+    [ E.Block { time = 7.5; src = 1; dst = 2 } ]
+    (Obs.Ring.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* Jsonl *)
+
+let temp_file () = Filename.temp_file "arnet_obs_test" ".jsonl"
+
+let test_jsonl_round_trip () =
+  let path = temp_file () in
+  let sink = Obs.Jsonl.sink_of_file path in
+  List.iter (Obs.Sink.emit sink) specimen_events;
+  Obs.Sink.close sink;
+  Alcotest.(check (list event)) "file round-trips the stream"
+    specimen_events (Obs.Jsonl.read_file path);
+  let n =
+    Obs.Jsonl.fold_file path ~init:0 ~f:(fun acc _ -> acc + 1)
+  in
+  Alcotest.(check int) "fold sees every line" (List.length specimen_events) n;
+  Sys.remove path
+
+let test_jsonl_malformed () =
+  let path = temp_file () in
+  let oc = open_out path in
+  output_string oc (E.to_json_string (List.hd specimen_events));
+  output_string oc "\n\nnot json\n";
+  close_out oc;
+  (match Obs.Jsonl.fold_file path ~init:0 ~f:(fun acc _ -> acc + 1) with
+  | exception J.Parse_error msg ->
+    (* the error names the file and the (blank-line-counting) line *)
+    check_contains "error location" msg (path ^ ":3")
+  | _ -> Alcotest.fail "malformed line should raise");
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let test_counters_framing () =
+  let c = Obs.Counters.create () in
+  let emit = Obs.Counters.emit c in
+  emit (E.Run_start
+          { policy = "a"; warmup = 5.; duration = 50.; nodes = 3; links = 6 });
+  (* warm-up arrival: counted as an arrival but not offered *)
+  emit (E.Arrival { time = 1.; src = 0; dst = 1; holding = 1. });
+  emit (E.Block { time = 1.; src = 0; dst = 1 });
+  emit (E.Arrival { time = 6.; src = 0; dst = 1; holding = 1. });
+  emit (E.Admit { time = 6.; src = 0; dst = 1; hops = 1; primary = true;
+                  links = [| 0 |] });
+  emit (E.Arrival { time = 7.; src = 0; dst = 2; holding = 1. });
+  emit (E.Admit { time = 7.; src = 0; dst = 2; hops = 2; primary = false;
+                  links = [| 0; 1 |] });
+  emit (E.Run_end { time = 50.; calls = 3 });
+  emit (E.Run_start
+          { policy = "b"; warmup = 5.; duration = 50.; nodes = 3; links = 6 });
+  emit (E.Arrival { time = 8.; src = 0; dst = 1; holding = 1. });
+  emit (E.Block { time = 8.; src = 0; dst = 1 });
+  (match Obs.Counters.runs c with
+  | [ ra; rb ] ->
+    Alcotest.(check string) "first policy" "a" ra.Obs.Counters.policy;
+    Alcotest.(check int) "arrivals include warm-up" 3 ra.Obs.Counters.arrivals;
+    Alcotest.(check int) "offered excludes warm-up" 2 ra.Obs.Counters.offered;
+    Alcotest.(check int) "warm-up block not counted" 0 ra.Obs.Counters.blocked;
+    Alcotest.(check int) "primary carried" 1 ra.Obs.Counters.carried_primary;
+    Alcotest.(check int) "alternate carried" 1
+      ra.Obs.Counters.carried_alternate;
+    Alcotest.(check (option int)) "calls from run_end" (Some 3)
+      ra.Obs.Counters.calls;
+    Alcotest.(check (float 1e-12)) "run a blocking" 0.
+      (Obs.Counters.blocking ra);
+    Alcotest.(check (float 1e-12)) "run a alternate fraction" 0.5
+      (Obs.Counters.alternate_fraction ra);
+    Alcotest.(check (array int)) "hop histogram" [| 0; 1; 1 |]
+      (Obs.Counters.hop_histogram ra);
+    Alcotest.(check string) "second policy" "b" rb.Obs.Counters.policy;
+    Alcotest.(check (float 1e-12)) "run b blocking" 1.
+      (Obs.Counters.blocking rb)
+  | runs -> Alcotest.failf "expected 2 runs, got %d" (List.length runs));
+  Alcotest.(check (list string)) "grouped by policy" [ "a"; "b" ]
+    (List.map fst (Obs.Counters.by_policy c))
+
+let test_counters_implicit_run_warmup () =
+  let c = Obs.Counters.create ~warmup:5. () in
+  let emit = Obs.Counters.emit c in
+  emit (E.Arrival { time = 1.; src = 0; dst = 1; holding = 1. });
+  emit (E.Arrival { time = 6.; src = 0; dst = 1; holding = 1. });
+  emit (E.Alternate_rejected
+          { time = 6.; src = 0; dst = 1; hops = 2; link = 3; occupancy = 9;
+            threshold = 8 });
+  emit (E.Alternate_rejected
+          { time = 6.5; src = 0; dst = 1; hops = 3; link = 3; occupancy = 9;
+            threshold = 8 });
+  emit (E.Block { time = 6.5; src = 0; dst = 1 });
+  match Obs.Counters.runs c with
+  | [ r ] ->
+    Alcotest.(check string) "implicit run has no policy" ""
+      r.Obs.Counters.policy;
+    Alcotest.(check int) "offered" 1 r.Obs.Counters.offered;
+    Alcotest.(check int) "rejections" 2 r.Obs.Counters.alternate_rejections;
+    Alcotest.(check (list (pair int int))) "per-link rejections" [ (3, 2) ]
+      (Obs.Counters.rejections_by_link r)
+  | runs -> Alcotest.failf "expected 1 run, got %d" (List.length runs)
+
+(* ------------------------------------------------------------------ *)
+(* observed engine runs: the stream reproduces Stats *)
+
+let quadrangle_setup ~demand =
+  let g = Builders.full_mesh ~nodes:4 ~capacity:10 in
+  let routes = Route_table.build g in
+  let matrix = Matrix.uniform ~nodes:4 ~demand in
+  (g, routes, matrix)
+
+let check_run_matches_stats run (stats : Stats.t) =
+  Alcotest.(check int) "offered" stats.Stats.offered run.Obs.Counters.offered;
+  Alcotest.(check int) "blocked" stats.Stats.blocked run.Obs.Counters.blocked;
+  Alcotest.(check int) "carried primary" stats.Stats.carried_primary
+    run.Obs.Counters.carried_primary;
+  Alcotest.(check int) "carried alternate" stats.Stats.carried_alternate
+    run.Obs.Counters.carried_alternate;
+  Alcotest.(check int) "alternate hops" stats.Stats.alternate_hops
+    run.Obs.Counters.alternate_hops;
+  Alcotest.(check (float 1e-12)) "blocking" (Stats.blocking stats)
+    (Obs.Counters.blocking run);
+  Alcotest.(check (float 1e-12)) "alternate fraction"
+    (Stats.alternate_fraction stats)
+    (Obs.Counters.alternate_fraction run)
+
+let test_counter_sink_matches_run_stats () =
+  let g, routes, matrix = quadrangle_setup ~demand:9. in
+  let counters = Obs.Counters.create () in
+  let observer = Obs.Counters.emit counters in
+  let policy =
+    Arnet_core.Scheme.controlled ~observer
+      ~reserves:(Array.make (Graph.link_count g) 2)
+      routes
+  in
+  let rng = Rng.create ~seed:17 in
+  let trace = Trace.generate ~rng ~duration:30. matrix in
+  let stats = Engine.run ~warmup:5. ~observer ~graph:g ~policy trace in
+  match Obs.Counters.runs counters with
+  | [ run ] ->
+    Alcotest.(check string) "policy name" "controlled"
+      run.Obs.Counters.policy;
+    Alcotest.(check (option int)) "run_end call count"
+      (Some (Trace.call_count trace))
+      run.Obs.Counters.calls;
+    check_run_matches_stats run stats;
+    Alcotest.(check bool) "stream carries decision detail" true
+      (run.Obs.Counters.primary_attempts > 0);
+    (* every measured call that was offered attempted its primary *)
+    Alcotest.(check int) "one primary attempt per offered call"
+      run.Obs.Counters.offered run.Obs.Counters.primary_attempts;
+    (* in-window departures were streamed too *)
+    Alcotest.(check bool) "departures observed" true
+      (run.Obs.Counters.departures > 0)
+  | runs -> Alcotest.failf "expected 1 run, got %d" (List.length runs)
+
+let test_replicate_observed_matches_stats () =
+  let g, routes, matrix = quadrangle_setup ~demand:9. in
+  let counters = Obs.Counters.create () in
+  let emit = Obs.Counters.emit counters in
+  let policies =
+    [ Arnet_core.Scheme.single_path ~observer:emit routes;
+      Arnet_core.Scheme.uncontrolled ~observer:emit routes ]
+  in
+  let results =
+    Engine.replicate ~warmup:5. ~observe:(fun ~seed:_ ~policy:_ -> Some emit)
+      ~seeds:[ 41; 42 ] ~duration:25. ~graph:g ~matrix ~policies ()
+  in
+  let groups = Obs.Counters.by_policy counters in
+  Alcotest.(check (list string)) "policy grouping mirrors replicate"
+    (List.map fst results) (List.map fst groups);
+  List.iter2
+    (fun (_, stats_list) (_, runs) ->
+      Alcotest.(check int) "one frame per seed" (List.length stats_list)
+        (List.length runs);
+      List.iter2 check_run_matches_stats runs stats_list)
+    results groups
+
+let test_unobserved_runs_emit_nothing () =
+  (* the zero-cost default: no observer, no events — and identical
+     decisions whether or not a run is observed *)
+  let g, routes, matrix = quadrangle_setup ~demand:9. in
+  let counters = Obs.Counters.create () in
+  let observer = Obs.Counters.emit counters in
+  let rng = Rng.create ~seed:23 in
+  let trace = Trace.generate ~rng ~duration:20. matrix in
+  let plain =
+    Engine.run ~warmup:5. ~graph:g
+      ~policy:(Arnet_core.Scheme.uncontrolled routes) trace
+  in
+  Alcotest.(check int) "no events without an observer" 0
+    (Obs.Counters.total_events counters);
+  let observed =
+    Engine.run ~warmup:5. ~observer ~graph:g
+      ~policy:(Arnet_core.Scheme.uncontrolled ~observer routes)
+      trace
+  in
+  Alcotest.(check int) "same blocked either way" plain.Stats.blocked
+    observed.Stats.blocked;
+  Alcotest.(check bool) "observed run streamed" true
+    (Obs.Counters.total_events counters > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_registry () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg ~help:"calls in" "calls_total" in
+  Obs.Metrics.inc c;
+  Obs.Metrics.inc_by c 2.;
+  Alcotest.(check (float 0.)) "counter value" 3. (Obs.Metrics.counter_value c);
+  check_invalid "negative increment" (fun () -> Obs.Metrics.inc_by c (-1.));
+  let c' = Obs.Metrics.counter reg "calls_total" in
+  Obs.Metrics.inc c';
+  Alcotest.(check (float 0.)) "same (name,labels) shares the series" 4.
+    (Obs.Metrics.counter_value c);
+  let g0 = Obs.Metrics.gauge reg ~labels:[ ("link", "0") ] "occupancy" in
+  let g1 = Obs.Metrics.gauge reg ~labels:[ ("link", "1") ] "occupancy" in
+  Obs.Metrics.set g0 5.;
+  Obs.Metrics.add g0 (-2.);
+  Obs.Metrics.set g1 7.;
+  Alcotest.(check (float 0.)) "gauge set/add" 3. (Obs.Metrics.gauge_value g0);
+  Alcotest.(check (float 0.)) "labels separate series" 7.
+    (Obs.Metrics.gauge_value g1);
+  check_invalid "kind mismatch on a taken name" (fun () ->
+      ignore (Obs.Metrics.gauge reg "calls_total"));
+  check_invalid "invalid metric name" (fun () ->
+      ignore (Obs.Metrics.counter reg "0bad"));
+  check_invalid "invalid label name" (fun () ->
+      ignore (Obs.Metrics.counter reg ~labels:[ ("0bad", "1") ] "ok_name"))
+
+let test_metrics_histogram () =
+  let reg = Obs.Metrics.create () in
+  let h =
+    Obs.Metrics.histogram reg ~buckets:[| 1.; 2.; 4. |] "holding_time"
+  in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 1.5; 3.; 8. ];
+  Alcotest.(check int) "count" 4 (Obs.Metrics.histogram_count h);
+  Alcotest.(check (float 1e-12)) "sum" 13. (Obs.Metrics.histogram_sum h);
+  (match Obs.Metrics.histogram_buckets h with
+  | [ (b1, c1); (b2, c2); (b3, c3); (binf, cinf) ] ->
+    Alcotest.(check (float 0.)) "bound 1" 1. b1;
+    Alcotest.(check int) "le 1" 1 c1;
+    Alcotest.(check (float 0.)) "bound 2" 2. b2;
+    Alcotest.(check int) "le 2 cumulative" 2 c2;
+    Alcotest.(check (float 0.)) "bound 4" 4. b3;
+    Alcotest.(check int) "le 4 cumulative" 3 c3;
+    Alcotest.(check bool) "+Inf bound" true (binf = infinity);
+    Alcotest.(check int) "+Inf holds all" 4 cinf
+  | l -> Alcotest.failf "expected 4 buckets, got %d" (List.length l));
+  check_invalid "non-increasing buckets" (fun () ->
+      ignore (Obs.Metrics.histogram reg ~buckets:[| 2.; 1. |] "bad"));
+  check_invalid "re-register with different buckets" (fun () ->
+      ignore (Obs.Metrics.histogram reg ~buckets:[| 1. |] "holding_time"));
+  let lb = Obs.Metrics.log_buckets ~lo:0.01 ~hi:100. ~per_decade:1 in
+  Alcotest.(check int) "one bound per decade" 5 (Array.length lb);
+  Array.iteri
+    (fun i b ->
+      Alcotest.(check (float 1e-9)) "log spacing" (0.01 *. (10. ** float_of_int i)) b)
+    lb
+
+let test_metrics_rendering () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg ~help:"total simulation events" "events_total" in
+  Obs.Metrics.inc_by c 7.;
+  let g =
+    Obs.Metrics.gauge reg ~labels:[ ("link", "a\\b\n") ] "occupancy"
+  in
+  Obs.Metrics.set g 2.;
+  let h = Obs.Metrics.histogram reg ~buckets:[| 1. |] "latency" in
+  Obs.Metrics.observe h 0.5;
+  let text = Obs.Metrics.to_prometheus reg in
+  check_contains "help line" text "# HELP events_total total simulation events";
+  check_contains "type line" text "# TYPE events_total counter";
+  check_contains "counter sample" text "events_total 7.0";
+  check_contains "escaped label value" text
+    {|occupancy{link="a\\b\n"} 2.0|};
+  check_contains "histogram bucket" text {|latency_bucket{le="1.0"} 1|};
+  check_contains "inf bucket" text {|latency_bucket{le="+Inf"} 1|};
+  check_contains "histogram sum" text "latency_sum 0.5";
+  check_contains "histogram count" text "latency_count 1";
+  (* JSON rendering parses and carries the same figures *)
+  let json = J.parse (Obs.Metrics.to_json_string reg) in
+  let counter_family = J.member_exn "events_total" json in
+  Alcotest.(check string) "json kind" "counter"
+    (J.as_string (J.member_exn "type" counter_family));
+  (match J.as_list (J.member_exn "series" counter_family) with
+  | [ s ] ->
+    Alcotest.(check (float 0.)) "json value" 7.
+      (J.as_float (J.member_exn "value" s))
+  | l -> Alcotest.failf "expected 1 series, got %d" (List.length l))
+
+let test_metrics_sink () =
+  let m = Obs.Metrics_sink.create (Obs.Metrics.create ()) in
+  let emit = Obs.Metrics_sink.emit m in
+  emit (E.Run_start
+          { policy = "p"; warmup = 0.; duration = 10.; nodes = 2; links = 2 });
+  emit (E.Arrival { time = 1.; src = 0; dst = 1; holding = 2. });
+  emit (E.Admit { time = 1.; src = 0; dst = 1; hops = 1; primary = true;
+                  links = [| 0 |] });
+  emit (E.Arrival { time = 2.; src = 0; dst = 1; holding = 2. });
+  emit (E.Alternate_rejected
+          { time = 2.; src = 0; dst = 1; hops = 2; link = 1; occupancy = 5;
+            threshold = 4 });
+  emit (E.Block { time = 2.; src = 0; dst = 1 });
+  emit (E.Departure { time = 3.; links = [| 0 |] });
+  emit (E.Run_end { time = 10.; calls = 2 });
+  Alcotest.(check int) "events seen" 8 (Obs.Metrics_sink.events m);
+  let reg = Obs.Metrics_sink.registry m in
+  let value name labels =
+    Obs.Metrics.counter_value (Obs.Metrics.counter reg ~labels name)
+  in
+  Alcotest.(check (float 0.)) "offered" 2. (value "arnet_calls_offered_total" []);
+  Alcotest.(check (float 0.)) "blocked" 1. (value "arnet_calls_blocked_total" []);
+  Alcotest.(check (float 0.)) "admitted primary" 1.
+    (value "arnet_calls_admitted_total" [ ("route", "primary") ]);
+  Alcotest.(check (float 0.)) "per-link rejections" 1.
+    (value "arnet_alt_rejected_total" [ ("link", "1") ]);
+  Alcotest.(check (float 0.)) "arrival events counted" 2.
+    (value "arnet_events_total" [ ("kind", "arrival") ]);
+  let occupancy =
+    Obs.Metrics.gauge_value
+      (Obs.Metrics.gauge reg ~labels:[ ("link", "0") ] "arnet_link_occupancy")
+  in
+  Alcotest.(check (float 0.)) "occupancy back to zero after departure" 0.
+    occupancy;
+  Obs.Sink.close (Obs.Metrics_sink.sink m);
+  let text = Obs.Metrics.to_prometheus reg in
+  check_contains "throughput gauge rendered" text "arnet_events_per_second"
+
+(* ------------------------------------------------------------------ *)
+(* Instrument rides the counter sink *)
+
+let test_instrument_counters_equivalence () =
+  let g, routes, matrix = quadrangle_setup ~demand:9. in
+  let policy =
+    Arnet_core.Scheme.controlled
+      ~reserves:(Array.make (Graph.link_count g) 2)
+      routes
+  in
+  let recorder = Instrument.create g in
+  let rng = Rng.create ~seed:31 in
+  let trace = Trace.generate ~rng ~duration:25. matrix in
+  (* warm-up 0 on both sides: the recorder counts everything it sees *)
+  let stats =
+    Engine.run ~warmup:0. ~graph:g ~policy:(Instrument.wrap recorder policy)
+      trace
+  in
+  match Obs.Counters.runs (Instrument.counters recorder) with
+  | [ run ] -> check_run_matches_stats run stats
+  | runs -> Alcotest.failf "expected 1 run, got %d" (List.length runs)
+
+(* ------------------------------------------------------------------ *)
+(* Span *)
+
+let test_span () =
+  let s = Obs.Span.start "phase" in
+  Alcotest.(check bool) "running" false (Obs.Span.finished s);
+  let d = Obs.Span.stop s in
+  Alcotest.(check bool) "finished" true (Obs.Span.finished s);
+  Alcotest.(check bool) "non-negative" true (d >= 0.);
+  Alcotest.(check (float 0.)) "stop is idempotent" d (Obs.Span.stop s);
+  Alcotest.(check (float 0.)) "elapsed frozen" d (Obs.Span.elapsed s);
+  Obs.Span.set_meta s "calls" (J.Int 1);
+  Obs.Span.set_meta s "calls" (J.Int 2);
+  let json = Obs.Span.to_json s in
+  Alcotest.(check string) "name serialized" "phase"
+    (J.as_string (J.member_exn "name" json));
+  Alcotest.(check bool) "wall clock serialized" true
+    (J.as_float (J.member_exn "wall_s" json) >= 0.);
+  Alcotest.(check int) "meta replaced, not duplicated" 2
+    (J.as_int (J.member_exn "calls" json))
+
+let test_span_recorder () =
+  let r = Obs.Span.recorder () in
+  let x = Obs.Span.record r "first" (fun () -> 41 + 1) in
+  Alcotest.(check int) "record returns the result" 42 x;
+  (match Obs.Span.record r "second" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception should propagate");
+  match Obs.Span.spans r with
+  | [ a; b ] ->
+    Alcotest.(check string) "order kept" "first" (Obs.Span.name a);
+    Alcotest.(check string) "raising phase still recorded" "second"
+      (Obs.Span.name b);
+    Alcotest.(check bool) "both finished" true
+      (Obs.Span.finished a && Obs.Span.finished b)
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "json",
+        [ Alcotest.test_case "jsonu round trip" `Quick test_jsonu_round_trip;
+          Alcotest.test_case "jsonu errors" `Quick test_jsonu_errors;
+          Alcotest.test_case "event round trip" `Quick test_event_round_trip ] );
+      ( "sinks",
+        [ Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "tee and filter" `Quick test_sink_tee_filter;
+          Alcotest.test_case "jsonl round trip" `Quick test_jsonl_round_trip;
+          Alcotest.test_case "jsonl malformed line" `Quick
+            test_jsonl_malformed ] );
+      ( "counters",
+        [ Alcotest.test_case "run framing" `Quick test_counters_framing;
+          Alcotest.test_case "implicit run warm-up" `Quick
+            test_counters_implicit_run_warmup;
+          Alcotest.test_case "counter sink matches run stats" `Quick
+            test_counter_sink_matches_run_stats;
+          Alcotest.test_case "replicate observed matches stats" `Quick
+            test_replicate_observed_matches_stats;
+          Alcotest.test_case "unobserved runs emit nothing" `Quick
+            test_unobserved_runs_emit_nothing;
+          Alcotest.test_case "instrument rides the counter sink" `Quick
+            test_instrument_counters_equivalence ] );
+      ( "metrics",
+        [ Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "rendering" `Quick test_metrics_rendering;
+          Alcotest.test_case "engine bridge" `Quick test_metrics_sink ] );
+      ( "spans",
+        [ Alcotest.test_case "span lifecycle" `Quick test_span;
+          Alcotest.test_case "recorder" `Quick test_span_recorder ] ) ]

@@ -200,6 +200,49 @@ let test_trace_shift_merge () =
               ~matrix:(Matrix.uniform ~nodes:4 ~demand:1.)
               ~duration:5. [])))
 
+let test_trace_shift_merge_edges () =
+  let matrix = Matrix.uniform ~nodes:3 ~demand:1. in
+  let a =
+    Trace.of_calls ~matrix ~duration:10.
+      [ mk_call 1. 0 1 1.; mk_call 5. 1 2 1. ]
+  in
+  (* zero shift is the identity *)
+  let z = Trace.shift a 0. in
+  Alcotest.(check (float 1e-12)) "zero shift keeps times" 1.
+    z.Trace.calls.(0).Trace.time;
+  Alcotest.(check (float 1e-12)) "zero shift keeps duration" 10.
+    z.Trace.duration;
+  Alcotest.(check int) "zero shift keeps count" (Trace.call_count a)
+    (Trace.call_count z);
+  (* disjoint windows: every call of the shifted component lands after
+     every call of the base, and the merge stays sorted *)
+  let b = Trace.of_calls ~matrix ~duration:4. [ mk_call 2. 2 0 1. ] in
+  let far = Trace.shift b 100. in
+  let merged = Trace.merge a far in
+  Alcotest.(check int) "disjoint merge count" 3 (Trace.call_count merged);
+  Alcotest.(check bool) "disjoint merge sorted" true
+    (Trace.check_sorted merged);
+  Alcotest.(check (float 1e-12)) "disjoint merge duration" 104.
+    merged.Trace.duration;
+  Alcotest.(check (float 1e-12)) "last call is the shifted one" 102.
+    merged.Trace.calls.(2).Trace.time;
+  (* merging in either order superposes the same summed matrix *)
+  let m1 = Trace.merge a far and m2 = Trace.merge far a in
+  Alcotest.(check (float 1e-12)) "summed matrix"
+    (Matrix.total a.Trace.matrix +. Matrix.total b.Trace.matrix)
+    (Matrix.total m1.Trace.matrix);
+  Alcotest.(check (float 1e-12)) "merge commutes on the matrix"
+    (Matrix.total m1.Trace.matrix) (Matrix.total m2.Trace.matrix);
+  Alcotest.(check int) "merge commutes on the calls"
+    (Trace.call_count m1) (Trace.call_count m2);
+  (* merging with an empty trace is the identity on calls *)
+  let empty = Trace.of_calls ~matrix ~duration:2. [] in
+  let with_empty = Trace.merge a empty in
+  Alcotest.(check int) "empty merge keeps calls" (Trace.call_count a)
+    (Trace.call_count with_empty);
+  Alcotest.(check (float 1e-12)) "empty merge keeps duration" 10.
+    with_empty.Trace.duration
+
 (* ------------------------------------------------------------------ *)
 (* Stats *)
 
@@ -370,7 +413,7 @@ let test_engine_alternate_accounting () =
         (fun ~occupancy ~call ->
           Arnet_core.Controller.decide ~routes ~admission
             ~choice:Arnet_core.Controller.Table ~allow_alternates:true
-            ~occupancy ~call);
+            ~occupancy call);
       is_primary =
         (fun ~call p ->
           Path.equal p
@@ -449,7 +492,9 @@ let () =
           Alcotest.test_case "holding mean" `Quick test_trace_holding_mean;
           Alcotest.test_case "validation" `Quick test_trace_validation;
           Alcotest.test_case "of_calls" `Quick test_trace_of_calls;
-          Alcotest.test_case "shift/merge" `Quick test_trace_shift_merge ] );
+          Alcotest.test_case "shift/merge" `Quick test_trace_shift_merge;
+          Alcotest.test_case "shift/merge edge cases" `Quick
+            test_trace_shift_merge_edges ] );
       ( "stats",
         [ Alcotest.test_case "counters" `Quick test_stats_counters;
           Alcotest.test_case "merge" `Quick test_stats_merge;
