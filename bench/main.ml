@@ -9,7 +9,8 @@
                ext_optimality ext_dimensioning perf
      default: all of them.
    Environment: ARNET_QUICK=1 for a fast pass (3 seeds, short window),
-   ARNET_SEEDS=n to override the seed count. *)
+   ARNET_SEEDS=n to override the seed count, ARNET_DOMAINS=n to shard
+   replication runs across n OCaml domains (bit-identical results). *)
 
 open Arnet_experiments
 
@@ -448,12 +449,13 @@ let () =
      reproduction harness@.";
   Format.fprintf ppf "configuration: %s@."
     (Config.describe (Lazy.force config));
+  let domains = (Lazy.force config).Config.domains in
   let recorder = Arnet_obs.Span.recorder () in
   let calls_at_start = Arnet_sim.Engine.calls_simulated () in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some f -> Report.timed recorder name f
+      | Some f -> Report.timed ~domains recorder name f
       | None ->
         Format.fprintf ppf "unknown section %S (available: %s)@." name
           (String.concat " " (List.map fst sections)))
@@ -469,6 +471,7 @@ let () =
   let doc =
     J.Obj
       [ ("configuration", J.String (Config.describe (Lazy.force config)));
+        ("domains", J.Int domains);
         ("sections", Arnet_obs.Span.recorder_to_json recorder);
         ("total_wall_s", J.Float total_wall);
         ("total_calls", J.Int total_calls);
@@ -478,7 +481,7 @@ let () =
             else 0.)) ]
   in
   let path =
-    Option.value ~default:"BENCH_2.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
+    Option.value ~default:"BENCH_3.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
   in
   let oc = open_out path in
   output_string oc (J.to_string doc);

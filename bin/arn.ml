@@ -112,8 +112,13 @@ let network_to_string = function
   | `File p -> Printf.sprintf "file:%s" p
 
 let config_of_quick quick =
-  if quick then Arnet_experiments.Config.quick
-  else Arnet_experiments.Config.paper
+  let base =
+    if quick then Arnet_experiments.Config.quick
+    else Arnet_experiments.Config.paper
+  in
+  (* ARNET_DOMAINS parallelizes replications everywhere a config flows;
+     results are bit-identical to the sequential run *)
+  { base with Arnet_experiments.Config.domains = Pool.of_env () }
 
 (* ------------------------------------------------------------------ *)
 (* arn erlang *)
@@ -293,8 +298,27 @@ let simulate_cmd =
     let doc = "Emit the results as JSON on stdout instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let domains_opt =
+    let doc =
+      "Shard the (seed, policy) replication runs across $(docv) OCaml \
+       domains.  Statistics are bit-identical to a sequential run.  \
+       Defaults to the ARNET_DOMAINS environment variable, or 1.  \
+       Forced to 1 when $(b,--trace) or $(b,--metrics) streams events \
+       to a shared sink."
+    in
+    let positive =
+      Arg.conv'
+        ( (fun s ->
+            match int_of_string_opt (String.trim s) with
+            | Some n when n >= 1 -> Ok n
+            | Some _ | None -> Error "expected a domain count >= 1"),
+          Format.pp_print_int )
+    in
+    Arg.(
+      value & opt (some positive) None & info [ "domains"; "j" ] ~docv:"N" ~doc)
+  in
   let run network capacity scale h with_ott quick trace_file metrics_file
-      json =
+      json domains_opt =
     let config = config_of_quick quick in
     let g = build_graph network capacity in
     let matrix = build_matrix network g ~scale:1.0 ~demand:1.0 in
@@ -330,7 +354,11 @@ let simulate_cmd =
         Scheme.controlled_auto ?observer ~matrix routes ]
       @ (if with_ott then [ Scheme.ott_krishnan ~matrix routes ] else [])
     in
-    let { Arnet_experiments.Config.seeds; duration; warmup } = config in
+    let { Arnet_experiments.Config.seeds; duration; warmup; domains } =
+      config
+    in
+    let domains = Option.value ~default:domains domains_opt in
+    let config = { config with Arnet_experiments.Config.domains } in
     if not json then
       Format.fprintf ppf "simulating (%s)...@."
         (Arnet_experiments.Config.describe config);
@@ -338,8 +366,8 @@ let simulate_cmd =
       Option.map (fun f ~seed:_ ~policy:_ -> Some f) observer
     in
     let results =
-      Engine.replicate ~warmup ?observe ~seeds ~duration ~graph:g ~matrix
-        ~policies ()
+      Engine.replicate ~warmup ?observe ~domains ~seeds ~duration ~graph:g
+        ~matrix ~policies ()
     in
     Option.iter Obs.Sink.close sink;
     Option.iter
@@ -409,7 +437,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Call-by-call simulation of the schemes")
     Term.(
       const run $ network_arg $ capacity_arg $ scale $ h $ with_ott
-      $ quick_arg $ trace_file $ metrics_file $ json)
+      $ quick_arg $ trace_file $ metrics_file $ json $ domains_opt)
 
 (* ------------------------------------------------------------------ *)
 (* arn experiment *)

@@ -53,7 +53,7 @@ let run ?(capacity = 100) ?(loads = default_loads) ?(sim_load = 85.) ~config
   let graph = Builders.full_mesh ~nodes ~capacity in
   let routes = Route_table.build graph in
   let matrix = Matrix.uniform ~nodes ~demand:sim_load in
-  let { Config.seeds; duration; warmup } = config in
+  let { Config.seeds; duration; warmup; _ } = config in
   let window = 10. in
   let policies () =
     [ Scheme.single_path routes;

@@ -13,7 +13,7 @@ let default_offered = [ 30.; 35.; 40.; 45.; 50.; 55. ]
 let run ?(rows = 4) ?(cols = 5) ?(capacity = 50) ?(offered = default_offered)
     ?(hot_spot = 1.5) ~config () =
   let grid = Cell_grid.reuse3_grid ~rows ~cols ~capacity in
-  let { Config.seeds; duration; warmup } = config in
+  let { Config.seeds; duration; warmup; _ } = config in
   let one per_cell =
     let offered_per_cell =
       Array.init grid.Cell_grid.cells (fun c ->

@@ -48,7 +48,7 @@ type point = {
 let run ?(loads = [ 50.; 65.; 80.; 90. ]) ~config () =
   let graph = Builders.full_mesh ~nodes:4 ~capacity:100 in
   let routes = Route_table.build graph in
-  let { Config.seeds; duration; warmup } = config in
+  let { Config.seeds; duration; warmup; domains } = config in
   let one load =
     let workload = two_class_workload ~nodes:4 ~narrow_demand:load in
     let policies =
@@ -57,7 +57,7 @@ let run ?(loads = [ 50.; 65.; 80.; 90. ]) ~config () =
         Mr_scheme.controlled_auto routes workload ]
     in
     let results =
-      Mr_engine.replicate ~warmup ~seeds ~duration ~graph ~workload ~policies
+      Mr_engine.replicate ~warmup ~domains ~seeds ~duration ~graph ~workload ~policies
         ()
     in
     let mean_of f runs =

@@ -14,7 +14,7 @@ type result = {
 }
 
 let run ?(hot_node = 10) ?(surge_factor = 4.) ?(window = 10.) ~config () =
-  let { Config.seeds; duration; warmup } = config in
+  let { Config.seeds; duration; warmup; _ } = config in
   let routes, nominal = Internet.nominal () in
   let graph = Arnet_paths.Route_table.graph routes in
   let measured = duration -. warmup in

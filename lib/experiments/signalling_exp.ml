@@ -18,7 +18,7 @@ let run ?(latencies = [ 0.; 0.001; 0.01; 0.05 ]) ?(scale = 1.0) ~config () =
   let matrix = Matrix.scale nominal scale in
   let reserves = Protection.levels routes matrix ~h:(Route_table.h routes) in
   let zero = Array.make (Array.length reserves) 0 in
-  let { Config.seeds; duration; warmup } = config in
+  let { Config.seeds; duration; warmup; _ } = config in
   let schemes = [ ("controlled", reserves); ("uncontrolled", zero) ] in
   let acc = ref [] in
   List.iter

@@ -41,6 +41,7 @@ val bandwidth_blocking : stats -> float
 
 val replicate :
   ?warmup:float ->
+  ?domains:int ->
   seeds:int list ->
   duration:float ->
   graph:Graph.t ->
@@ -49,4 +50,9 @@ val replicate :
   unit ->
   (string * stats list) list
 (** Shared traces across policies, fresh trace per seed — the same
-    methodology as the single-rate engine. *)
+    methodology as the single-rate engine.  [domains] (default 1)
+    shards the independent (seed, policy) runs across OCaml domains
+    exactly like {!Arnet_sim.Engine.replicate}: results are
+    bit-identical to the sequential run, policies must be safe for
+    concurrent use, and a failing run cancels the pool and re-raises as
+    {!Arnet_sim.Engine.Replication_failure}. *)

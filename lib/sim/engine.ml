@@ -9,11 +9,24 @@ type policy = {
   is_primary : call:Trace.call -> Path.t -> bool;
 }
 
-(* process-wide odometer: Array.length per run, so the per-call hot path
-   pays nothing.  Benchmarks read the delta to report calls/sec. *)
-let simulated_calls = ref 0
+(* process-wide odometer: one Array.length per run, so the per-call hot
+   path pays nothing.  Atomic because replications may run on several
+   domains at once; benchmarks read the delta to report calls/sec. *)
+let simulated_calls = Atomic.make 0
 
-let calls_simulated () = !simulated_calls
+let calls_simulated () = Atomic.get simulated_calls
+
+exception
+  Replication_failure of { seed : int; policy : string; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Replication_failure { seed; policy; exn } ->
+      Some
+        (Printf.sprintf
+           "Arnet_sim.Engine.Replication_failure(seed=%d, policy=%S): %s"
+           seed policy (Printexc.to_string exn))
+    | _ -> None)
 
 let run ?(warmup = 10.) ?observer ~graph ~policy trace =
   let { Trace.calls; duration; matrix } = trace in
@@ -26,7 +39,7 @@ let run ?(warmup = 10.) ?observer ~graph ~policy trace =
   Graph.iter_links
     (fun l -> capacity.(l.Link.id) <- l.Link.capacity)
     graph;
-  simulated_calls := !simulated_calls + Array.length calls;
+  ignore (Atomic.fetch_and_add simulated_calls (Array.length calls) : int);
   let occupancy = Array.make m 0 in
   let departures : int array Event_queue.t = Event_queue.create () in
   let stats = Stats.empty ~nodes:(Graph.node_count graph) in
@@ -120,33 +133,78 @@ let run ?(warmup = 10.) ?observer ~graph ~policy trace =
   | None -> ());
   stats
 
-let replicate_fresh ?warmup ?mean_holding ?observe ~seeds ~duration ~graph
-    ~matrix ~policies () =
+let replicate_fresh ?warmup ?mean_holding ?observe ?(domains = 1) ~seeds
+    ~duration ~graph ~matrix ~policies () =
   if seeds = [] then invalid_arg "Engine.replicate: no seeds";
+  if domains < 1 then invalid_arg "Engine.replicate: domains must be >= 1";
   let names = List.map (fun p -> p.name) (policies ()) in
-  let results = List.map (fun name -> (name, ref [])) names in
-  let one_seed seed =
+  (* a shared observer sink must see whole Run_start..Run_end frames in
+     seed-major sequence, so observed replications stay on one domain *)
+  let domains = if Option.is_some observe then 1 else domains in
+  let trace_for seed =
     let rng = Rng.substream (Rng.create ~seed) "trace" in
-    let trace = Trace.generate ?mean_holding ~rng ~duration matrix in
+    Trace.generate ?mean_holding ~rng ~duration matrix
+  in
+  let fresh_policies () =
     let fresh = policies () in
     if List.map (fun p -> p.name) fresh <> names then
       invalid_arg "Engine.replicate_fresh: factory changed policy names";
-    List.iter2
-      (fun policy (_, acc) ->
-        let observer =
-          match observe with
-          | None -> None
-          | Some choose -> choose ~seed ~policy:policy.name
-        in
-        acc := run ?warmup ?observer ~graph ~policy trace :: !acc)
-      fresh results
+    fresh
   in
-  List.iter one_seed seeds;
-  List.map (fun (name, acc) -> (name, List.rev !acc)) results
+  if domains = 1 then begin
+    let results = List.map (fun name -> (name, ref [])) names in
+    let one_seed seed =
+      let trace = trace_for seed in
+      List.iter2
+        (fun policy (_, acc) ->
+          let observer =
+            match observe with
+            | None -> None
+            | Some choose -> choose ~seed ~policy:policy.name
+          in
+          acc := run ?warmup ?observer ~graph ~policy trace :: !acc)
+        (fresh_policies ()) results
+    in
+    List.iter one_seed seeds;
+    List.map (fun (name, acc) -> (name, List.rev !acc)) results
+  end
+  else begin
+    (* shard at (seed x policy) granularity; every job rebuilds its own
+       trace and policy from the seed, so no mutable state crosses
+       domains and each run is bit-identical to its sequential twin *)
+    let seed_arr = Array.of_list seeds in
+    let name_arr = Array.of_list names in
+    let np = Array.length name_arr in
+    let jobs =
+      List.concat_map
+        (fun si -> List.init np (fun pi -> (si, pi)))
+        (List.init (Array.length seed_arr) Fun.id)
+    in
+    let one (si, pi) =
+      let trace = trace_for seed_arr.(si) in
+      run ?warmup ~graph ~policy:(List.nth (fresh_policies ()) pi) trace
+    in
+    let stats =
+      try Pool.map ~domains one jobs
+      with Pool.Worker { index; exn } ->
+        raise
+          (Replication_failure
+             { seed = seed_arr.(index / np);
+               policy = name_arr.(index mod np);
+               exn })
+    in
+    let flat = Array.of_list stats in
+    List.mapi
+      (fun pi name ->
+        ( name,
+          List.init (Array.length seed_arr) (fun si ->
+              flat.((si * np) + pi)) ))
+      names
+  end
 
-let replicate ?warmup ?mean_holding ?observe ~seeds ~duration ~graph ~matrix
-    ~policies () =
-  replicate_fresh ?warmup ?mean_holding ?observe ~seeds ~duration ~graph
-    ~matrix
+let replicate ?warmup ?mean_holding ?observe ?domains ~seeds ~duration ~graph
+    ~matrix ~policies () =
+  replicate_fresh ?warmup ?mean_holding ?observe ?domains ~seeds ~duration
+    ~graph ~matrix
     ~policies:(fun () -> policies)
     ()

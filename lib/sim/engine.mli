@@ -50,12 +50,23 @@ val run :
 val calls_simulated : unit -> int
 (** Process-wide total of trace calls replayed by {!run} — a free-running
     odometer for benchmark harnesses (calls/sec over a wall-clock span).
-    Monotonic; never reset. *)
+    Monotonic and never reset; the counter is atomic, so runs executing
+    concurrently on several domains (see [?domains] below) lose no
+    counts. *)
+
+exception
+  Replication_failure of { seed : int; policy : string; exn : exn }
+(** A parallel replication run raised [exn].  The failing run is
+    identified by its trace [seed] and [policy] name; the remaining
+    queued runs were cancelled.  (Sequential replications, [domains =
+    1], re-raise the original exception unwrapped, exactly as before.)
+    A registered printer renders the payload. *)
 
 val replicate :
   ?warmup:float ->
   ?mean_holding:float ->
   ?observe:(seed:int -> policy:string -> (Arnet_obs.Event.t -> unit) option) ->
+  ?domains:int ->
   seeds:int list ->
   duration:float ->
   graph:Graph.t ->
@@ -69,10 +80,24 @@ val replicate :
     algorithm was run with identical call arrivals and call holding
     times".
 
+    [domains] (default 1) shards the independent (seed, policy) runs
+    across that many OCaml domains via {!Pool.map}.  Each run
+    regenerates its trace from its seed inside the worker, so no
+    mutable state crosses domains and the returned statistics are
+    bit-identical to a sequential run, reassembled in the same
+    seed-major order.  With [domains > 1] the policies themselves are
+    shared across domains, so their [decide] functions must be safe for
+    concurrent use — true of every {!Arnet_core.Scheme} constructor
+    except the adaptive one (whose closures mutate estimators).  A run
+    that raises cancels the pool and re-raises as
+    {!Replication_failure}.
+
     [observe] selects an event observer per (seed, policy) run — return
     [None] to leave that run unobserved.  Runs execute seed-major in
     policy order, so a single shared sink sees well-formed
-    [Run_start]/[Run_end] frames in sequence.
+    [Run_start]/[Run_end] frames in sequence.  Because that ordering is
+    part of the observer contract, supplying [observe] forces
+    [domains = 1]: an observed replication always runs sequentially.
 
     Policies are reused across seeds, so they must be stateless between
     runs — true of every {!Arnet_core.Scheme} constructor except the
@@ -83,6 +108,7 @@ val replicate_fresh :
   ?warmup:float ->
   ?mean_holding:float ->
   ?observe:(seed:int -> policy:string -> (Arnet_obs.Event.t -> unit) option) ->
+  ?domains:int ->
   seeds:int list ->
   duration:float ->
   graph:Graph.t ->
@@ -93,4 +119,11 @@ val replicate_fresh :
 (** Like {!replicate} but rebuilds the policy list for every seed, so
     policies that learn during a run (estimators, adaptive thresholds)
     start each replication clean.  The factory must produce the same
-    policy names in the same order each time. *)
+    policy names in the same order each time.
+
+    With [domains > 1] the factory is invoked once per (seed, policy)
+    run, inside the worker domain, and only the run's own policy is
+    taken from the returned list; each policy still starts every
+    replication clean, and factories therefore must be safe to call
+    concurrently.  Statistics are bit-identical to the sequential
+    run. *)

@@ -1,8 +1,13 @@
 open Arnet_experiments
 
+let env_domains = Arnet_sim.Pool.of_env ()
+
 let tiny =
-  (* even faster than Config.quick: enough to smoke the machinery *)
-  { Config.seeds = [ 1; 2 ]; duration = 30.; warmup = 5. }
+  (* even faster than Config.quick: enough to smoke the machinery;
+     domains from ARNET_DOMAINS so the CI parallel job reruns every
+     sweep through the Domain pool (results are bit-identical) *)
+  { Config.seeds = [ 1; 2 ]; duration = 30.; warmup = 5.;
+    domains = env_domains }
 
 let feq_at tol = Alcotest.(check (float tol))
 
@@ -17,6 +22,16 @@ let test_config () =
   Unix.putenv "ARNET_SEEDS" "5";
   Alcotest.(check int) "env seed override" 5
     (List.length (Config.of_env ()).Config.seeds);
+  let saved_domains = Sys.getenv_opt "ARNET_DOMAINS" in
+  Unix.putenv "ARNET_DOMAINS" "4";
+  Alcotest.(check int) "env domains" 4 (Config.of_env ()).Config.domains;
+  Unix.putenv "ARNET_DOMAINS" "";
+  Alcotest.(check int) "domains default to 1" 1
+    (Config.of_env ()).Config.domains;
+  Alcotest.(check int) "paper config is sequential" 1
+    Config.paper.Config.domains;
+  (* leave the environment as we found it for later tests *)
+  Unix.putenv "ARNET_DOMAINS" (Option.value ~default:"" saved_domains);
   Unix.putenv "ARNET_QUICK" "";
   Unix.putenv "ARNET_SEEDS" ""
 
@@ -84,6 +99,46 @@ let test_quadrangle_sweep () =
   ignore (Sweep.scheme_mean p "controlled");
   Alcotest.check_raises "unknown scheme" Not_found (fun () ->
       ignore (Sweep.scheme_mean p "nonesuch"))
+
+let test_quadrangle_golden () =
+  (* Frozen ARNET_QUICK-config blocking means for the fig3/fig4 sweep
+     (fig4 is the same data on log axes).  These pin the whole
+     simulator stack — RNG, trace generation, engine, schemes,
+     protection levels: a refactor that silently changes any of them
+     fails tier-1 here instead of drifting EXPERIMENTS.md.  The sweep
+     runs under the environment's domain count, so the CI parallel job
+     also re-proves parallel == sequential against numbers frozen from
+     a sequential run. *)
+  let config = { Config.quick with Config.domains = env_domains } in
+  let points = Quadrangle.run ~loads:[ 80.; 90.; 95. ] ~config () in
+  let expected =
+    [ ( 80.,
+        [ ("single-path", 0.0035970687657719772);
+          ("uncontrolled", 6.1275743528842823e-05);
+          ("controlled", 0.00018421195274935021) ] );
+      ( 90.,
+        [ ("single-path", 0.027233159266010543);
+          ("uncontrolled", 0.077561753680641332);
+          ("controlled", 0.022825224504288543) ] );
+      ( 95.,
+        [ ("single-path", 0.049777383949227538);
+          ("uncontrolled", 0.15722272030961867);
+          ("controlled", 0.048939295052836028) ] ) ]
+  in
+  List.iter2
+    (fun p (x, golden) ->
+      feq_at 1e-15 "sweep coordinate" x p.Sweep.x;
+      Alcotest.(check (list string))
+        (Printf.sprintf "scheme order at %g E" x)
+        (List.map fst golden)
+        (List.map fst p.Sweep.schemes);
+      List.iter2
+        (fun (name, mean) (_, s) ->
+          feq_at 1e-12
+            (Printf.sprintf "golden blocking for %s at %g E" name x)
+            mean s.Arnet_sim.Stats.mean)
+        golden p.Sweep.schemes)
+    points expected
 
 let test_internet_sweep_smoke () =
   let points =
@@ -159,7 +214,9 @@ let test_ablation_h_sweep_smoke () =
 let test_overload_smoke () =
   (* one seed at full duration so the 10-unit windows nest cleanly
      inside the surge interval *)
-  let config = { Config.seeds = [ 1 ]; duration = 110.; warmup = 10. } in
+  let config =
+    { Config.seeds = [ 1 ]; duration = 110.; warmup = 10.; domains = 1 }
+  in
   let r = Overload_exp.run ~window:10. ~config () in
   Alcotest.(check int) "three schemes" 3 (List.length r.Overload_exp.series);
   Alcotest.(check bool) "surge inside the run" true
@@ -235,7 +292,8 @@ let test_signalling_smoke () =
 let test_bistability_smoke () =
   let r =
     Bistability_exp.run ~loads:[ 75.; 95. ] ~sim_load:85.
-      ~config:{ Config.seeds = [ 1 ]; duration = 60.; warmup = 10. }
+      ~config:
+        { Config.seeds = [ 1 ]; duration = 60.; warmup = 10.; domains = 1 }
       ()
   in
   Alcotest.(check int) "two analytic rows" 2 (List.length r.Bistability_exp.rows);
@@ -302,6 +360,9 @@ let () =
         [ Alcotest.test_case "fig1" `Quick test_fig1;
           Alcotest.test_case "fig2" `Quick test_fig2;
           Alcotest.test_case "table1 quality" `Quick test_table1_quality ] );
+      ( "golden",
+        [ Alcotest.test_case "quadrangle fig3/fig4 numbers" `Slow
+            test_quadrangle_golden ] );
       ( "sweeps",
         [ Alcotest.test_case "quadrangle" `Slow test_quadrangle_sweep;
           Alcotest.test_case "internet" `Slow test_internet_sweep_smoke;

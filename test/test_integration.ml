@@ -7,7 +7,13 @@ open Arnet_traffic
 open Arnet_sim
 open Arnet_core
 
-let config = { Arnet_experiments.Config.seeds = [ 1; 2; 3 ]; duration = 60.; warmup = 10. }
+(* domains from ARNET_DOMAINS so CI's parallel job drives the end-to-end
+   checks through the Domain pool; results are bit-identical either way *)
+let config =
+  { Arnet_experiments.Config.seeds = [ 1; 2; 3 ];
+    duration = 60.;
+    warmup = 10.;
+    domains = Arnet_sim.Pool.of_env () }
 
 let run_schemes ~graph ~routes ~matrix ~with_ott =
   let policies =
@@ -16,8 +22,11 @@ let run_schemes ~graph ~routes ~matrix ~with_ott =
       Scheme.controlled_auto ~matrix routes ]
     @ (if with_ott then [ Scheme.ott_krishnan ~matrix routes ] else [])
   in
-  let { Arnet_experiments.Config.seeds; duration; warmup } = config in
-  Engine.replicate ~warmup ~seeds ~duration ~graph ~matrix ~policies ()
+  let { Arnet_experiments.Config.seeds; duration; warmup; domains } =
+    config
+  in
+  Engine.replicate ~warmup ~domains ~seeds ~duration ~graph ~matrix ~policies
+    ()
   |> List.map (fun (name, runs) -> (name, Stats.blocking_summary runs))
 
 let mean results name = (List.assoc name results).Stats.mean
@@ -108,9 +117,11 @@ let test_alternate_usage_shrinks_under_control () =
   let graph = Builders.full_mesh ~nodes:4 ~capacity:100 in
   let routes = Route_table.build graph in
   let matrix = Matrix.uniform ~nodes:4 ~demand:100. in
-  let { Arnet_experiments.Config.seeds; duration; warmup } = config in
+  let { Arnet_experiments.Config.seeds; duration; warmup; domains } =
+    config
+  in
   let results =
-    Engine.replicate ~warmup ~seeds ~duration ~graph ~matrix
+    Engine.replicate ~warmup ~domains ~seeds ~duration ~graph ~matrix
       ~policies:
         [ Scheme.uncontrolled routes; Scheme.controlled_auto ~matrix routes ]
       ()

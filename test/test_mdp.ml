@@ -154,7 +154,8 @@ let test_simulation_cross_check () =
       ~config:
         { Arnet_experiments.Config.seeds = [ 1; 2; 3; 4; 5 ];
           duration = 110.;
-          warmup = 10. }
+          warmup = 10.;
+          domains = Arnet_sim.Pool.of_env () }
       ()
   in
   match rows with
