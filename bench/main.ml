@@ -6,7 +6,7 @@
                exp_failures exp_fairness exp_minloss exp_robustness
                exp_ablation exp_overload ext_cellular ext_multirate
                ext_bistability ext_signalling ext_random_mesh ext_analytic
-               ext_optimality ext_dimensioning perf
+               ext_optimality ext_dimensioning serve perf
      default: all of them.
    Environment: ARNET_QUICK=1 for a fast pass (3 seeds, short window),
    ARNET_SEEDS=n to override the seed count, ARNET_DOMAINS=n to shard
@@ -360,6 +360,58 @@ let ext_bistability () =
     ~measured:"prot-cold = prot-hot everywhere; ignition run stays low"
 
 (* ------------------------------------------------------------------ *)
+(* the admission-control daemon, measured over its own wire *)
+
+(* stashed by the serve section for the machine-readable run record *)
+let serve_result : Arnet_service.Loadgen.result option ref = ref None
+
+let serve () =
+  Report.section ppf ~id:"serve"
+    ~title:"arnet_service daemon: wire requests/sec over a Unix socket";
+  let module Service = Arnet_service in
+  let calls =
+    match Option.bind (Sys.getenv_opt "ARNET_SERVE_CALLS") int_of_string_opt with
+    | Some n when n >= 1 -> n
+    | _ -> 20_000
+  in
+  let g = Arnet_topology.Builders.full_mesh ~nodes:4 ~capacity:20 in
+  let matrix =
+    Arnet_traffic.Matrix.uniform
+      ~nodes:(Arnet_topology.Graph.node_count g)
+      ~demand:15.
+  in
+  let addr =
+    Service.Server.Unix_sock
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "arnet-bench-%d.sock" (Unix.getpid ())))
+  in
+  let state = Service.State.create ~matrix g in
+  let server = Thread.create (fun () -> Service.Server.serve ~state addr) () in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        (* drain whether or not the load ran: the daemon exits once
+           every admitted call is gone, and loadgen tears its own down *)
+        (try
+           let ic, oc = Service.Server.connect ~retry_for:5. addr in
+           ignore (Service.Server.request ic oc Service.Wire.Drain);
+           close_out_noerr oc;
+           ignore ic
+         with _ -> ());
+        Thread.join server)
+      (fun () ->
+        Service.Loadgen.run ~retry_for:5. ~seed:42 ~calls ~matrix ~addr ())
+  in
+  serve_result := Some result;
+  Format.fprintf ppf "%a@." Service.Loadgen.print result;
+  Report.paper_vs_measured ppf ~what:"daemon vs batch simulator decisions"
+    ~paper:"(extension) same two-tier rule, call-by-call"
+    ~measured:
+      (Printf.sprintf "%d/%d blocked over the wire, %.0f req/s"
+         result.Service.Loadgen.blocked result.Service.Loadgen.calls
+         (Service.Loadgen.requests_per_second result))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels *)
 
 let perf () =
@@ -436,7 +488,8 @@ let sections =
     ("ext_multirate", ext_multirate); ("ext_bistability", ext_bistability);
     ("ext_signalling", ext_signalling); ("ext_random_mesh", ext_random_mesh);
     ("ext_analytic", ext_analytic); ("ext_optimality", ext_optimality);
-    ("ext_dimensioning", ext_dimensioning); ("perf", perf) ]
+    ("ext_dimensioning", ext_dimensioning); ("serve", serve);
+    ("perf", perf) ]
 
 let () =
   let requested =
@@ -470,18 +523,22 @@ let () =
   let total_calls = Arnet_sim.Engine.calls_simulated () - calls_at_start in
   let doc =
     J.Obj
-      [ ("configuration", J.String (Config.describe (Lazy.force config)));
-        ("domains", J.Int domains);
-        ("sections", Arnet_obs.Span.recorder_to_json recorder);
-        ("total_wall_s", J.Float total_wall);
-        ("total_calls", J.Int total_calls);
-        ("total_calls_per_s",
-         J.Float
-           (if total_wall > 0. then float_of_int total_calls /. total_wall
-            else 0.)) ]
+      ([ ("configuration", J.String (Config.describe (Lazy.force config)));
+         ("domains", J.Int domains);
+         ("sections", Arnet_obs.Span.recorder_to_json recorder);
+         ("total_wall_s", J.Float total_wall);
+         ("total_calls", J.Int total_calls);
+         ("total_calls_per_s",
+          J.Float
+            (if total_wall > 0. then float_of_int total_calls /. total_wall
+             else 0.)) ]
+      @
+      match !serve_result with
+      | None -> []
+      | Some r -> [ ("service", Arnet_service.Loadgen.to_json r) ])
   in
   let path =
-    Option.value ~default:"BENCH_3.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
+    Option.value ~default:"BENCH_4.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
   in
   let oc = open_out path in
   output_string oc (J.to_string doc);

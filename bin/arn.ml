@@ -307,12 +307,9 @@ let simulate_cmd =
        to a shared sink."
     in
     let positive =
-      Arg.conv'
-        ( (fun s ->
-            match int_of_string_opt (String.trim s) with
-            | Some n when n >= 1 -> Ok n
-            | Some _ | None -> Error "expected a domain count >= 1"),
-          Format.pp_print_int )
+      (* shared validation with ARNET_DOMAINS parsing: one line naming
+         the valid range, e.g. on --domains 0 or a negative count *)
+      Arg.conv' (Pool.domains_of_string, Format.pp_print_int)
     in
     Arg.(
       value & opt (some positive) None & info [ "domains"; "j" ] ~docv:"N" ~doc)
@@ -914,6 +911,253 @@ let mdp_cmd =
        ~doc:"Exact Markov-decision analysis of the triangle model")
     Term.(const run $ load $ capacity)
 
+(* ------------------------------------------------------------------ *)
+(* arn serve / arn load *)
+
+module Service = Arnet_service
+
+let addr_conv =
+  Arg.conv'
+    ( Service.Server.addr_of_string,
+      fun ppf a -> Format.pp_print_string ppf (Service.Server.addr_to_string a)
+    )
+
+let default_addr = Service.Server.Tcp ("127.0.0.1", 4791)
+
+let serve_cmd =
+  let listen =
+    let doc =
+      "Address to listen on: $(b,unix:PATH), $(b,tcp:HOST:PORT), \
+       $(b,HOST:PORT) or a bare port (loopback)."
+    in
+    Arg.(value & opt addr_conv default_addr & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let h =
+    let doc = "Maximum alternate hop length H for the route table." in
+    Arg.(value & opt (some int) None & info [ "max-hops"; "H" ] ~doc)
+  in
+  let scale =
+    let doc = "Scale factor on the planning traffic matrix." in
+    Arg.(value & opt float 1.0 & info [ "scale"; "s" ] ~doc)
+  in
+  let demand =
+    let doc = "Per-pair planning demand in Erlangs (synthetic networks)." in
+    Arg.(value & opt float 80. & info [ "demand"; "d" ] ~doc)
+  in
+  let unprotected =
+    let doc =
+      "Start with no planning matrix: every protection level begins at 0 \
+       and converges as the estimators observe live demand (reload to \
+       apply)."
+    in
+    Arg.(value & flag & info [ "unprotected" ] ~doc)
+  in
+  let seed =
+    let doc =
+      "Run seed, echoed in the banner and the event trace.  The daemon \
+       itself draws no randomness — decisions depend only on the command \
+       stream — so matching seeds between $(b,arn serve) and $(b,arn \
+       load) labels the pair of logs as one reproducible run."
+    in
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc)
+  in
+  let reload_every =
+    let doc =
+      "Recompute the Theorem-1 protection levels automatically after \
+       every $(docv) admission decisions (RELOAD on the wire works \
+       either way)."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "reload-every" ] ~docv:"N" ~doc)
+  in
+  let snapshot =
+    let doc =
+      "Write the drained state (spec, occupancy, reserves, failures, \
+       counters) to $(docv) through lib/serial when the daemon exits."
+    in
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let trace_file =
+    let doc =
+      "Stream the daemon's decision events (arrivals, per-alternate \
+       rejections, admits, blocks, departures) as JSON lines to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_file =
+    let doc =
+      "Write a Prometheus text-format snapshot of the service metrics to \
+       $(docv) when the daemon drains."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let window =
+    let doc = "Demand-estimator window length (virtual time)." in
+    Arg.(value & opt (some float) None & info [ "window" ] ~doc)
+  in
+  let smoothing =
+    let doc = "Demand-estimator smoothing factor in (0, 1]." in
+    Arg.(value & opt (some float) None & info [ "smoothing" ] ~doc)
+  in
+  let run network capacity listen h scale demand unprotected seed
+      reload_every snapshot trace_file metrics_file window smoothing =
+    let g = build_graph network capacity in
+    let matrix =
+      if unprotected then None
+      else Some (build_matrix network g ~scale ~demand)
+    in
+    let trace_sink = Option.map Obs.Jsonl.sink_of_file trace_file in
+    let observer = Option.map Obs.Sink.observer trace_sink in
+    let state =
+      try
+        Service.State.create ?h ?matrix ?window ?smoothing ?reload_every
+          ?observer g
+      with Invalid_argument msg ->
+        Printf.eprintf "arn serve: %s\n" msg;
+        exit 2
+    in
+    let metrics = Service.Service_metrics.create () in
+    let on_listen addr =
+      Format.fprintf ppf
+        "arn serve: %s (%d nodes, %d links, H=%d, seed %d) listening on %s@."
+        (network_to_string network)
+        (Graph.node_count g) (Graph.link_count g)
+        (Route_table.h (Service.State.routes state))
+        seed
+        (Service.Server.addr_to_string addr);
+      Format.pp_print_flush ppf ()
+    in
+    (try Service.Server.serve ~metrics ?snapshot ~on_listen ~state listen
+     with Unix.Unix_error (err, fn, arg) ->
+       Printf.eprintf "arn serve: cannot listen on %s: %s (%s %s)\n"
+         (Service.Server.addr_to_string listen)
+         (Unix.error_message err) fn arg;
+       exit 2);
+    Option.iter Obs.Sink.close trace_sink;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Service.Service_metrics.to_prometheus metrics);
+        close_out oc;
+        Format.fprintf ppf "wrote %s@." path)
+      metrics_file;
+    (match trace_file with
+    | Some path -> Format.fprintf ppf "wrote %s@." path
+    | None -> ());
+    Option.iter (fun path -> Format.fprintf ppf "wrote %s@." path) snapshot;
+    let s = Service.State.stats state in
+    Format.fprintf ppf
+      "arn serve: drained after %d accepted, %d blocked, %d torn down, %d \
+       dropped, %d reloads@."
+      s.Service.Wire.accepted s.Service.Wire.blocked s.Service.Wire.torn_down
+      s.Service.Wire.dropped s.Service.Wire.reloads
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the live admission-control daemon (SETUP/TEARDOWN over a \
+          line protocol; FAIL/REPAIR reroute, RELOAD reprotects, DRAIN \
+          exits cleanly)")
+    Term.(
+      const run $ network_arg $ capacity_arg $ listen $ h $ scale $ demand
+      $ unprotected $ seed $ reload_every $ snapshot $ trace_file
+      $ metrics_file $ window $ smoothing)
+
+let load_cmd =
+  let connect =
+    let doc = "Daemon address (same forms as $(b,arn serve --listen))." in
+    Arg.(
+      value & opt addr_conv default_addr & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let seed =
+    let doc = "Master seed for the Poisson workload." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  in
+  let calls =
+    let doc = "Number of call arrivals to send." in
+    Arg.(value & opt int 10_000 & info [ "calls" ] ~doc)
+  in
+  let connections =
+    let doc =
+      "Shard the workload round-robin across $(docv) concurrent \
+       connections (one thread each).  More than one trades the \
+       single-connection determinism for a throughput measurement."
+    in
+    Arg.(value & opt int 1 & info [ "connections" ] ~docv:"N" ~doc)
+  in
+  let scale =
+    let doc = "Scale factor on the offered traffic matrix." in
+    Arg.(value & opt float 1.0 & info [ "scale"; "s" ] ~doc)
+  in
+  let demand =
+    let doc = "Per-pair offered demand in Erlangs (synthetic networks)." in
+    Arg.(value & opt float 80. & info [ "demand"; "d" ] ~doc)
+  in
+  let no_timestamps =
+    let doc =
+      "Send untimed SETUPs: the daemon's virtual clock (and hence its \
+       demand estimators) stands still."
+    in
+    Arg.(value & flag & info [ "no-timestamps" ] ~doc)
+  in
+  let retry_for =
+    let doc = "Seconds to retry a refused connection (daemon start-up)." in
+    Arg.(value & opt float 5.0 & info [ "retry-for" ] ~doc)
+  in
+  let json =
+    let doc = "Emit the results as JSON on stdout instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let drain =
+    let doc =
+      "Send DRAIN when the run finishes.  The generator tears down every \
+       call it admitted, so a daemon serving only this client exits \
+       cleanly right away."
+    in
+    Arg.(value & flag & info [ "drain" ] ~doc)
+  in
+  let run network capacity connect seed calls connections scale demand
+      no_timestamps retry_for json drain =
+    let g = build_graph network capacity in
+    let matrix = build_matrix network g ~scale ~demand in
+    let result =
+      try
+        Service.Loadgen.run ~connections ~timestamps:(not no_timestamps)
+          ~retry_for ~seed ~calls ~matrix ~addr:connect ()
+      with
+      | Invalid_argument msg ->
+        Printf.eprintf "arn load: %s\n" msg;
+        exit 2
+      | Unix.Unix_error (err, fn, arg) ->
+        Printf.eprintf "arn load: cannot reach %s: %s (%s %s)\n"
+          (Service.Server.addr_to_string connect)
+          (Unix.error_message err) fn arg;
+        exit 2
+    in
+    if drain then begin
+      let ic, oc = Service.Server.connect ~retry_for connect in
+      (match Service.Server.request ic oc Service.Wire.Drain with
+      | Service.Wire.Done -> ()
+      | r ->
+        Printf.eprintf "arn load: DRAIN answered %s\n"
+          (Service.Wire.print_response r);
+        exit 1);
+      close_out_noerr oc
+    end;
+    if json then
+      print_endline (Obs.Jsonu.to_string (Service.Loadgen.to_json result))
+    else Format.fprintf ppf "%a@." Service.Loadgen.print result
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive a daemon with a seeded Poisson workload and report \
+          accept/block counts and wire-latency quantiles")
+    Term.(
+      const run $ network_arg $ capacity_arg $ connect $ seed $ calls
+      $ connections $ scale $ demand $ no_timestamps $ retry_for $ json
+      $ drain)
+
 let () =
   let info =
     Cmd.info "arn" ~version:"1.0.0"
@@ -925,6 +1169,6 @@ let () =
     Cmd.group info
       [ erlang_cmd; protection_cmd; paths_cmd; topology_cmd; fit_cmd;
         bound_cmd; simulate_cmd; experiment_cmd; dalfar_cmd; spec_cmd;
-        lint_cmd; adaptive_cmd; mdp_cmd; trace_cmd ]
+        lint_cmd; adaptive_cmd; mdp_cmd; trace_cmd; serve_cmd; load_cmd ]
   in
   exit (Cmd.eval group)

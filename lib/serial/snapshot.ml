@@ -1,0 +1,236 @@
+open Arnet_topology
+
+type t = {
+  graph : Graph.t;
+  reserves : int array;
+  occupancy : int array;
+  failed : int list;
+  clock : float;
+  counters : (string * int) list;
+}
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let snapshot_directives = [ "clock"; "reserve"; "occupancy"; "failed"; "counter" ]
+
+let make ?reserves ?occupancy ?failed ?clock ?counters graph =
+  let m = Graph.link_count graph in
+  let reserves = Option.value ~default:(Array.make m 0) reserves in
+  let occupancy = Option.value ~default:(Array.make m 0) occupancy in
+  let failed = Option.value ~default:[] failed in
+  let clock = Option.value ~default:0. clock in
+  let counters = Option.value ~default:[] counters in
+  if Array.length reserves <> m then
+    invalid_arg "Snapshot.make: reserves length <> link count";
+  if Array.length occupancy <> m then
+    invalid_arg "Snapshot.make: occupancy length <> link count";
+  if Array.exists (fun r -> r < 0) reserves then
+    invalid_arg "Snapshot.make: negative reserve";
+  if Array.exists (fun o -> o < 0) occupancy then
+    invalid_arg "Snapshot.make: negative occupancy";
+  if List.exists (fun k -> k < 0 || k >= m) failed then
+    invalid_arg "Snapshot.make: failed link id out of range";
+  if not (Float.is_finite clock) || clock < 0. then
+    invalid_arg "Snapshot.make: clock must be finite and >= 0";
+  List.iter
+    (fun (name, _) ->
+      if name = "" || String.contains name ' ' || String.contains name '\t'
+      then invalid_arg "Snapshot.make: counter name must be one token")
+    counters;
+  { graph;
+    reserves;
+    occupancy;
+    failed = List.sort_uniq compare failed;
+    clock;
+    counters }
+
+let float_to_text f =
+  let shortest = Printf.sprintf "%.12g" f in
+  if float_of_string shortest = f then shortest else Printf.sprintf "%.17g" f
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Spec.to_string t.graph);
+  Buffer.add_string buf (Printf.sprintf "clock %s\n" (float_to_text t.clock));
+  let per_link keyword values =
+    Graph.iter_links
+      (fun (l : Link.t) ->
+        if values.(l.Link.id) <> 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d %d %d\n" keyword l.Link.src l.Link.dst
+               values.(l.Link.id)))
+      t.graph
+  in
+  per_link "reserve" t.reserves;
+  per_link "occupancy" t.occupancy;
+  List.iter
+    (fun k ->
+      let l = Graph.link t.graph k in
+      Buffer.add_string buf
+        (Printf.sprintf "failed %d %d\n" l.Link.src l.Link.dst))
+    t.failed;
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "counter %s %d\n" name v))
+    t.counters;
+  Buffer.contents buf
+
+(* the spec body is the prefix before the first snapshot directive (the
+   order [to_string] writes), so [Spec.of_string]'s line numbers align *)
+let split_sections text =
+  let lines = String.split_on_char '\n' text in
+  let is_snapshot_line line =
+    let stripped =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match
+      String.split_on_char ' ' (String.trim stripped)
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun w -> w <> "")
+    with
+    | keyword :: _ -> List.mem keyword snapshot_directives
+    | [] -> false
+  in
+  let rec split i prefix = function
+    | [] -> (List.rev prefix, [], i)
+    | line :: rest when is_snapshot_line line ->
+      (List.rev prefix, line :: rest, i)
+    | line :: rest -> split (i + 1) (line :: prefix) rest
+  in
+  split 1 [] lines
+
+let parse_int line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line (Printf.sprintf "expected an integer %s, got %S" what s)
+
+let of_string text =
+  let spec_lines, snap_lines, first_snap_line = split_sections text in
+  let graph =
+    match Spec.of_string (String.concat "\n" spec_lines) with
+    | { Spec.graph; matrix = None } -> graph
+    | { Spec.matrix = Some _; _ } ->
+      fail first_snap_line "snapshots carry no demand lines"
+    | exception Spec.Parse_error (line, msg) -> fail line msg
+  in
+  let m = Graph.link_count graph in
+  let reserves = Array.make m 0 in
+  let occupancy = Array.make m 0 in
+  let reserve_seen = Array.make m false in
+  let occupancy_seen = Array.make m false in
+  let failed = ref [] in
+  let clock = ref None in
+  let counters = ref [] in
+  let resolve_link lineno src dst =
+    match Graph.find_link graph ~src ~dst with
+    | Some l -> l.Link.id
+    | None -> fail lineno (Printf.sprintf "no link %d->%d" src dst)
+  in
+  let handle lineno raw =
+    let stripped =
+      match String.index_opt raw '#' with
+      | Some i -> String.sub raw 0 i
+      | None -> raw
+    in
+    let words =
+      String.split_on_char ' ' (String.trim stripped)
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun w -> w <> "")
+    in
+    match words with
+    | [] -> ()
+    | [ "clock"; v ] -> (
+      if !clock <> None then fail lineno "duplicate 'clock'";
+      match float_of_string_opt v with
+      | Some c when Float.is_finite c && c >= 0. -> clock := Some c
+      | Some _ | None -> fail lineno "clock must be finite and >= 0")
+    | "clock" :: _ -> fail lineno "usage: clock TIME"
+    | [ "reserve"; src; dst; r ] ->
+      let k =
+        resolve_link lineno
+          (parse_int lineno "src" src)
+          (parse_int lineno "dst" dst)
+      in
+      if reserve_seen.(k) then fail lineno "duplicate reserve for this link";
+      reserve_seen.(k) <- true;
+      let r = parse_int lineno "reserve" r in
+      if r < 0 then fail lineno "negative reserve";
+      reserves.(k) <- r
+    | "reserve" :: _ -> fail lineno "usage: reserve SRC DST LEVEL"
+    | [ "occupancy"; src; dst; o ] ->
+      let k =
+        resolve_link lineno
+          (parse_int lineno "src" src)
+          (parse_int lineno "dst" dst)
+      in
+      if occupancy_seen.(k) then
+        fail lineno "duplicate occupancy for this link";
+      occupancy_seen.(k) <- true;
+      let o = parse_int lineno "occupancy" o in
+      if o < 0 then fail lineno "negative occupancy";
+      occupancy.(k) <- o
+    | "occupancy" :: _ -> fail lineno "usage: occupancy SRC DST CIRCUITS"
+    | [ "failed"; src; dst ] ->
+      let k =
+        resolve_link lineno
+          (parse_int lineno "src" src)
+          (parse_int lineno "dst" dst)
+      in
+      if List.mem k !failed then fail lineno "duplicate failed link";
+      failed := k :: !failed
+    | "failed" :: _ -> fail lineno "usage: failed SRC DST"
+    | [ "counter"; name; v ] ->
+      if List.mem_assoc name !counters then
+        fail lineno (Printf.sprintf "duplicate counter %S" name)
+      else counters := (name, parse_int lineno "counter value" v) :: !counters
+    | "counter" :: _ -> fail lineno "usage: counter NAME VALUE"
+    | word :: _ -> fail lineno (Printf.sprintf "unknown directive %S" word)
+  in
+  List.iteri (fun i line -> handle (first_snap_line + i) line) snap_lines;
+  { graph;
+    reserves;
+    occupancy;
+    failed = List.sort_uniq compare !failed;
+    clock = Option.value ~default:0. !clock;
+    counters = List.rev !counters }
+
+let to_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text
+
+(* per-link data compared through endpoint lookup: parsing may renumber
+   link ids, so raw array equality would compare the wrong links *)
+let equal a b =
+  Graph.node_count a.graph = Graph.node_count b.graph
+  && Graph.link_count a.graph = Graph.link_count b.graph
+  && List.for_all
+       (fun v -> Graph.label a.graph v = Graph.label b.graph v)
+       (List.init (Graph.node_count a.graph) (fun i -> i))
+  && Float.equal a.clock b.clock
+  && a.counters = b.counters
+  && Graph.fold_links
+       (fun (l : Link.t) ok ->
+         ok
+         &&
+         match Graph.find_link b.graph ~src:l.Link.src ~dst:l.Link.dst with
+         | None -> false
+         | Some r ->
+           r.Link.capacity = l.Link.capacity
+           && a.reserves.(l.Link.id) = b.reserves.(r.Link.id)
+           && a.occupancy.(l.Link.id) = b.occupancy.(r.Link.id)
+           && List.mem l.Link.id a.failed = List.mem r.Link.id b.failed)
+       a.graph true
+
+let roundtrip_ok t = equal t (of_string (to_string t))

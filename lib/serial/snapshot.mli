@@ -1,0 +1,67 @@
+(** Plain-text daemon state snapshots.
+
+    The durable record an admission-control daemon writes when it
+    drains: the network it was serving (embedded {!Spec} directives)
+    plus the dynamic state layered on top — protection levels,
+    occupancy, failed links, the virtual clock and its counters.
+
+    The format extends the {!Spec} grammar with directives that appear
+    after every spec line:
+
+    {v
+    nodes 4
+    edge 0 1 100          # ... the Spec body (graph only) ...
+    clock 1250.5          # virtual time at snapshot
+    reserve 0 1 5         # r^k for link 0->1 (unlisted links: 0)
+    occupancy 0 1 37      # circuits held on link 0->1 (unlisted: 0)
+    failed 2 3            # link 2->3 was out of service
+    counter accepted 902  # free-form integer counters, order kept
+    v}
+
+    Per-link directives name links by their endpoints, because parsing
+    a spec may renumber link ids; {!of_string} re-resolves them against
+    the parsed graph.  Rendering then parsing yields an {!equal}
+    snapshot. *)
+
+open Arnet_topology
+
+type t = {
+  graph : Graph.t;
+  reserves : int array;  (** per link id *)
+  occupancy : int array;  (** per link id *)
+  failed : int list;  (** failed link ids, ascending *)
+  clock : float;
+  counters : (string * int) list;  (** order preserved *)
+}
+
+exception Parse_error of int * string
+(** Line number (1-based) and message — the {!Spec.Parse_error}
+    convention. *)
+
+val make :
+  ?reserves:int array ->
+  ?occupancy:int array ->
+  ?failed:int list ->
+  ?clock:float ->
+  ?counters:(string * int) list ->
+  Graph.t ->
+  t
+(** Defaults: all-zero arrays, no failures, clock 0, no counters.
+    @raise Invalid_argument on wrong array lengths, negative entries,
+    out-of-range failed ids, a negative or non-finite clock, or a
+    counter name that is not one nonempty space-free token. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val to_file : string -> t -> unit
+val of_file : string -> t
+(** @raise Sys_error when unreadable, [Parse_error] when malformed. *)
+
+val equal : t -> t -> bool
+(** Structural equality (graph compared as in {!Spec.roundtrip_ok}:
+    same nodes, labels, links and capacities). *)
+
+val roundtrip_ok : t -> bool
+(** [equal s (of_string (to_string s))] — used by tests. *)

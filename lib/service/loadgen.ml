@@ -1,0 +1,250 @@
+open Arnet_traffic
+open Arnet_sim
+module J = Arnet_obs.Jsonu
+
+type result = {
+  calls : int;
+  accepted : int;
+  blocked : int;
+  errors : int;
+  teardowns : int;
+  requests : int;
+  wall_s : float;
+  latency_buckets : (float * int) list;
+  latency_sum : float;
+  latency_count : int;
+}
+
+let latency_bounds =
+  Arnet_obs.Metrics.log_buckets ~lo:1e-6 ~hi:1.0 ~per_decade:3
+
+(* enough virtual time to cover [calls] arrivals at the matrix's
+   aggregate rate; regenerated (same seed, fresh stream) with a doubled
+   window in the rare case the Poisson draw came up short *)
+let generate_calls ~seed ~calls matrix =
+  let total = Matrix.total matrix in
+  if total <= 0. then invalid_arg "Loadgen.run: matrix offers no traffic";
+  let rec attempt duration =
+    let rng = Rng.create ~seed in
+    let trace = Trace.generate ~rng ~duration matrix in
+    if Trace.call_count trace >= calls then
+      Array.sub trace.Trace.calls 0 calls
+    else attempt (2. *. duration)
+  in
+  attempt ((float_of_int calls /. total *. 1.2) +. 1.)
+
+type per_conn = {
+  mutable c_accepted : int;
+  mutable c_blocked : int;
+  mutable c_errors : int;
+  mutable c_teardowns : int;
+  histogram : Arnet_obs.Metrics.histogram;
+}
+
+let drive ~timestamps ~retry_for ~addr (calls : Trace.call array) =
+  let registry = Arnet_obs.Metrics.create () in
+  let acc =
+    { c_accepted = 0;
+      c_blocked = 0;
+      c_errors = 0;
+      c_teardowns = 0;
+      histogram =
+        Arnet_obs.Metrics.histogram registry ~buckets:latency_bounds
+          "arn_load_request_latency_seconds" }
+  in
+  let ic, oc = Server.connect ~retry_for addr in
+  Fun.protect
+    ~finally:(fun () ->
+      (try ignore (Server.request ic oc Wire.Quit : Wire.response)
+       with End_of_file | Failure _ | Sys_error _ -> ());
+      try close_in ic with Sys_error _ -> ())
+    (fun () ->
+      let departures = Event_queue.create () in
+      let timed_request cmd =
+        let t0 = Unix.gettimeofday () in
+        let response = Server.request ic oc cmd in
+        Arnet_obs.Metrics.observe acc.histogram (Unix.gettimeofday () -. t0);
+        response
+      in
+      let teardown id =
+        (match timed_request (Wire.Teardown { id }) with
+        | Wire.Done -> ()
+        | _ -> acc.c_errors <- acc.c_errors + 1);
+        acc.c_teardowns <- acc.c_teardowns + 1
+      in
+      let setup (call : Trace.call) =
+        let time = if timestamps then Some call.Trace.time else None in
+        match
+          timed_request
+            (Wire.Setup { src = call.Trace.src; dst = call.Trace.dst; time })
+        with
+        | Wire.Admitted { id; _ } ->
+          acc.c_accepted <- acc.c_accepted + 1;
+          Event_queue.push departures
+            ~time:(call.Trace.time +. call.Trace.holding)
+            id
+        | Wire.Blocked -> acc.c_blocked <- acc.c_blocked + 1
+        | _ -> acc.c_errors <- acc.c_errors + 1
+      in
+      Array.iter
+        (fun (call : Trace.call) ->
+          (* engine order: departures at or before the arrival instant
+             release their circuits first *)
+          Event_queue.pop_until departures ~time:call.Trace.time
+            ~f:(fun _ id -> teardown id);
+          setup call)
+        calls;
+      let rec flush_departures () =
+        match Event_queue.pop departures with
+        | Some (_, id) ->
+          teardown id;
+          flush_departures ()
+        | None -> ()
+      in
+      flush_departures ());
+  acc
+
+let run ?(connections = 1) ?(timestamps = true) ?(retry_for = 5.) ~seed ~calls
+    ~matrix ~addr () =
+  if calls < 1 then invalid_arg "Loadgen.run: calls < 1";
+  if connections < 1 then invalid_arg "Loadgen.run: connections < 1";
+  let workload = generate_calls ~seed ~calls matrix in
+  let shards =
+    if connections = 1 then [ workload ]
+    else
+      List.init connections (fun c ->
+          Array.of_seq
+            (Seq.filter_map
+               (fun i -> if i mod connections = c then Some workload.(i) else None)
+               (Seq.init calls Fun.id)))
+      |> List.filter (fun shard -> Array.length shard > 0)
+  in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    match shards with
+    | [ only ] -> [ drive ~timestamps ~retry_for ~addr only ]
+    | shards ->
+      (* threads cannot return values: collect per-connection results
+         (or the first failure) through slots *)
+      let slots = Array.make (List.length shards) None in
+      let threads =
+        List.mapi
+          (fun i shard ->
+            Thread.create
+              (fun () ->
+                slots.(i) <-
+                  Some
+                    (try Ok (drive ~timestamps ~retry_for ~addr shard)
+                     with e -> Error e))
+              ())
+          shards
+      in
+      List.iter Thread.join threads;
+      Array.to_list slots
+      |> List.map (function
+           | Some (Ok r) -> r
+           | Some (Error e) -> raise e
+           | None -> failwith "Loadgen.run: connection thread died silently")
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 results in
+  let accepted = sum (fun r -> r.c_accepted)
+  and blocked = sum (fun r -> r.c_blocked)
+  and errors = sum (fun r -> r.c_errors)
+  and teardowns = sum (fun r -> r.c_teardowns) in
+  (* bucket bounds are shared, so cumulative counts merge by addition *)
+  let merged_buckets =
+    List.fold_left
+      (fun acc r ->
+        let buckets = Arnet_obs.Metrics.histogram_buckets r.histogram in
+        match acc with
+        | [] -> buckets
+        | acc ->
+          List.map2
+            (fun (bound, n) (_, n') -> (bound, n + n'))
+            acc buckets)
+      [] results
+  in
+  let latency_sum =
+    List.fold_left
+      (fun a r -> a +. Arnet_obs.Metrics.histogram_sum r.histogram)
+      0. results
+  in
+  let latency_count =
+    List.fold_left
+      (fun a r -> a + Arnet_obs.Metrics.histogram_count r.histogram)
+      0 results
+  in
+  { calls;
+    accepted;
+    blocked;
+    errors;
+    teardowns;
+    requests = calls + teardowns;
+    wall_s;
+    latency_buckets = merged_buckets;
+    latency_sum;
+    latency_count }
+
+let requests_per_second r =
+  if r.wall_s > 0. then float_of_int r.requests /. r.wall_s else 0.
+
+let mean_latency r =
+  if r.latency_count = 0 then 0.
+  else r.latency_sum /. float_of_int r.latency_count
+
+let quantile r q =
+  if q <= 0. || q > 1. then invalid_arg "Loadgen.quantile: q outside (0, 1]";
+  match r.latency_buckets with
+  | [] -> 0.
+  | buckets ->
+    let total =
+      match List.rev buckets with (_, n) :: _ -> n | [] -> 0
+    in
+    if total = 0 then 0.
+    else begin
+      let target =
+        int_of_float (ceil (q *. float_of_int total))
+      in
+      let rec find last_finite = function
+        | [] -> last_finite
+        | (bound, n) :: rest ->
+          if n >= target then
+            if Float.is_finite bound then bound else last_finite
+          else
+            find (if Float.is_finite bound then bound else last_finite) rest
+      in
+      find 0. buckets
+    end
+
+let to_json r =
+  J.Obj
+    [ ("calls", J.Int r.calls);
+      ("accepted", J.Int r.accepted);
+      ("blocked", J.Int r.blocked);
+      ("errors", J.Int r.errors);
+      ("teardowns", J.Int r.teardowns);
+      ("requests", J.Int r.requests);
+      ("wall_s", J.Float r.wall_s);
+      ("requests_per_s", J.Float (requests_per_second r));
+      ("blocking",
+       J.Float
+         (if r.calls > 0 then float_of_int r.blocked /. float_of_int r.calls
+          else 0.));
+      ("latency_mean_s", J.Float (mean_latency r));
+      ("latency_p50_s", J.Float (quantile r 0.5));
+      ("latency_p99_s", J.Float (quantile r 0.99)) ]
+
+let print ppf r =
+  Format.fprintf ppf "calls      %d (accepted %d, blocked %d, errors %d)@."
+    r.calls r.accepted r.blocked r.errors;
+  Format.fprintf ppf "blocking   %.4f@."
+    (if r.calls > 0 then float_of_int r.blocked /. float_of_int r.calls
+     else 0.);
+  Format.fprintf ppf "requests   %d in %.2fs  (%.0f req/s)@." r.requests
+    r.wall_s (requests_per_second r);
+  Format.fprintf ppf
+    "latency    mean %.1f us   p50 %.1f us   p99 %.1f us@."
+    (1e6 *. mean_latency r)
+    (1e6 *. quantile r 0.5)
+    (1e6 *. quantile r 0.99)

@@ -1,0 +1,206 @@
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_of_string s =
+  let invalid = Printf.sprintf "invalid address %S (unix:PATH, tcp:HOST:PORT, HOST:PORT or PORT)" s in
+  match String.index_opt s ':' with
+  | None -> (
+    match int_of_string_opt s with
+    | Some port when port > 0 && port < 65536 -> Ok (Tcp ("127.0.0.1", port))
+    | _ -> Error invalid)
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" -> if rest = "" then Error invalid else Ok (Unix_sock rest)
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> Error invalid
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+        | _ -> Error invalid))
+    | host -> (
+      match int_of_string_opt rest with
+      | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+      | _ -> Error invalid))
+
+let addr_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } ->
+      raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host))
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+    | exception Not_found ->
+      raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host)))
+
+let sockaddr_of = function
+  | Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (resolve_host host, port))
+
+(* ------------------------------------------------------------------ *)
+(* client side *)
+
+let connect ?(retry_for = 0.) addr =
+  let domain, sockaddr = sockaddr_of addr in
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec attempt () =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> fd
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when Unix.gettimeofday () < deadline ->
+      Unix.close fd;
+      ignore (Unix.select [] [] [] 0.05);
+      attempt ()
+    | exception e ->
+      Unix.close fd;
+      raise e
+  in
+  let fd = attempt () in
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let request ic oc cmd =
+  output_string oc (Wire.print_command cmd);
+  output_char oc '\n';
+  flush oc;
+  let line = input_line ic in
+  match Wire.parse_response line with
+  | Ok r -> r
+  | Error msg -> failwith (Printf.sprintf "bad response %S: %s" line msg)
+
+(* ------------------------------------------------------------------ *)
+(* server side *)
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** bytes read but not yet framed into a line *)
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* complete lines accumulated in [buf]; the tail stays buffered *)
+let drain_lines buf =
+  let data = Buffer.contents buf in
+  Buffer.clear buf;
+  let rec split acc start =
+    match String.index_from_opt data start '\n' with
+    | Some i ->
+      let line = String.sub data start (i - start) in
+      let line =
+        (* tolerate CRLF clients (telnet, nc -C) *)
+        if line <> "" && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      split (line :: acc) (i + 1)
+    | None ->
+      Buffer.add_substring buf data start (String.length data - start);
+      List.rev acc
+  in
+  split [] 0
+
+let serve ?metrics ?snapshot ?on_listen ~state addr =
+  (* a client that disconnects mid-response must cost a dropped
+     connection, not the whole daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let domain, sockaddr = sockaddr_of addr in
+  (match addr with
+  | Unix_sock path when Sys.file_exists path -> Unix.unlink path
+  | _ -> ());
+  let listener = Unix.socket domain Unix.SOCK_STREAM 0 in
+  let cleanup_listener () =
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    match addr with
+    | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    | Tcp _ -> ()
+  in
+  (try
+     (match addr with
+     | Tcp _ -> Unix.setsockopt listener Unix.SO_REUSEADDR true
+     | Unix_sock _ -> ());
+     Unix.bind listener sockaddr;
+     Unix.listen listener 64
+   with e ->
+     cleanup_listener ();
+     raise e);
+  (match on_listen with Some f -> f addr | None -> ());
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let close_conn c =
+    Hashtbl.remove conns c.fd;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let handle_command c line =
+    let cmd_result = Wire.parse_command line in
+    let cmd, response =
+      match cmd_result with
+      | Error (code, detail) -> (None, Wire.Err { code; detail })
+      | Ok cmd -> (Some cmd, Session.handle state cmd)
+    in
+    (match (metrics, cmd) with
+    | Some m, Some cmd -> Service_metrics.record m state cmd response
+    | Some m, None -> Service_metrics.record_malformed m
+    | None, _ -> ());
+    (try write_all c.fd (Wire.print_response response ^ "\n")
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+       close_conn c);
+    match cmd with Some Wire.Quit -> close_conn c | _ -> ()
+  in
+  let chunk = Bytes.create 4096 in
+  let handle_readable c =
+    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> close_conn c
+    | n ->
+      Buffer.add_subbytes c.buf chunk 0 n;
+      List.iter
+        (fun line -> if Hashtbl.mem conns c.fd then handle_command c line)
+        (drain_lines c.buf)
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn c
+  in
+  let rec loop () =
+    if State.drained state then ()
+    else begin
+      let fds = listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+      match Unix.select fds [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = listener then begin
+              let conn_fd, _ = Unix.accept listener in
+              Hashtbl.replace conns conn_fd
+                { fd = conn_fd; buf = Buffer.create 256 }
+            end
+            else
+              match Hashtbl.find_opt conns fd with
+              | Some c -> handle_readable c
+              | None -> ())
+          readable;
+        loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+      cleanup_listener ())
+    (fun () ->
+      loop ();
+      State.finish state;
+      match snapshot with
+      | Some path -> Arnet_serial.Snapshot.to_file path (State.snapshot state)
+      | None -> ())

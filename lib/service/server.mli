@@ -1,0 +1,49 @@
+(** The socket front end of the daemon.
+
+    A single-threaded [Unix.select] loop multiplexing any number of
+    client connections over a Unix-domain or TCP listening socket.
+    Commands are applied to the shared {!State.t} in the order the
+    loop reads them — that serialization is the daemon's concurrency
+    model (admission decisions are a total order, as in the paper's
+    call-by-call semantics), so no locking exists anywhere.
+
+    The loop runs until the state reports {!State.drained}: a [DRAIN]
+    followed by the teardown of every active call ends the serve,
+    after the final state is (optionally) snapshotted through
+    {!Arnet_serial.Snapshot}. *)
+
+type addr =
+  | Unix_sock of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port *)
+
+val addr_of_string : string -> (addr, string) result
+(** [unix:PATH], [tcp:HOST:PORT], [HOST:PORT], or a bare port number
+    (loopback). *)
+
+val addr_to_string : addr -> string
+(** Round-trips through {!addr_of_string}. *)
+
+val serve :
+  ?metrics:Service_metrics.t ->
+  ?snapshot:string ->
+  ?on_listen:(addr -> unit) ->
+  state:State.t ->
+  addr ->
+  unit
+(** Bind, listen, serve until drained.  [snapshot] is the path the
+    drain-time {!State.snapshot} is written to.  [on_listen] fires
+    once the socket is accepting (the bench and tests use it to
+    release the client).  A pre-existing Unix-socket path is replaced.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val connect : ?retry_for:float -> addr -> in_channel * out_channel
+(** Client side: connect to a serving daemon, retrying refused
+    connections for [retry_for] seconds (default 0: one attempt) to
+    absorb server start-up.  The channels are buffered; callers flush
+    after each command line.
+    @raise Unix.Unix_error when the connection cannot be made. *)
+
+val request : in_channel -> out_channel -> Wire.command -> Wire.response
+(** Send one command and read its response line.
+    @raise End_of_file when the server closes early, [Failure] on an
+    unparseable response. *)

@@ -1,0 +1,94 @@
+module M = Arnet_obs.Metrics
+
+type t = {
+  registry : M.t;
+  commands : (string, M.counter) Hashtbl.t;
+  admitted : M.counter;
+  blocked : M.counter;
+  errors : M.counter;
+  torn_down : M.counter;
+  reloads : M.counter;
+  active : M.gauge;
+  occupancy : M.gauge;
+  failed : M.gauge;
+  hops : M.histogram;
+}
+
+let create () =
+  let registry = M.create () in
+  { registry;
+    commands = Hashtbl.create 8;
+    admitted =
+      M.counter registry ~help:"Calls admitted" "arn_service_admitted_total";
+    blocked =
+      M.counter registry ~help:"Calls refused" "arn_service_blocked_total";
+    errors =
+      M.counter registry ~help:"Commands answered with ERR"
+        "arn_service_errors_total";
+    torn_down =
+      M.counter registry ~help:"Calls released by TEARDOWN"
+        "arn_service_teardown_total";
+    reloads =
+      M.counter registry ~help:"Protection-level recomputations"
+        "arn_service_reloads_total";
+    active =
+      M.gauge registry ~help:"Calls currently holding circuits"
+        "arn_service_active_calls";
+    occupancy =
+      M.gauge registry ~help:"Circuits held over all links"
+        "arn_service_occupancy_circuits";
+    failed =
+      M.gauge registry ~help:"Links currently failed"
+        "arn_service_failed_links";
+    hops =
+      M.histogram registry ~help:"Admitted path length (hops)"
+        ~buckets:[| 1.; 2.; 3.; 4.; 6.; 8.; 12. |]
+        "arn_service_admitted_hops" }
+
+let registry t = t.registry
+
+let verb = function
+  | Wire.Setup _ -> "setup"
+  | Wire.Teardown _ -> "teardown"
+  | Wire.Fail _ -> "fail"
+  | Wire.Repair _ -> "repair"
+  | Wire.Reload -> "reload"
+  | Wire.Stats -> "stats"
+  | Wire.Drain -> "drain"
+  | Wire.Quit -> "quit"
+
+let command_counter t v =
+  match Hashtbl.find_opt t.commands v with
+  | Some c -> c
+  | None ->
+    let c =
+      M.counter t.registry ~labels:[ ("verb", v) ]
+        ~help:"Wire commands handled" "arn_service_commands_total"
+    in
+    Hashtbl.add t.commands v c;
+    c
+
+let record t st cmd resp =
+  M.inc (command_counter t (verb cmd));
+  (match resp with
+  | Wire.Admitted { path; _ } ->
+    M.inc t.admitted;
+    M.observe t.hops (float_of_int (List.length path - 1))
+  | Wire.Blocked -> M.inc t.blocked
+  | Wire.Err _ -> M.inc t.errors
+  | Wire.Reloaded _ -> ()
+  | Wire.Done -> (
+    match cmd with Wire.Teardown _ -> M.inc t.torn_down | _ -> ())
+  | Wire.Stats_reply _ -> ());
+  (* sync rather than inc: [--reload-every] cadence reloads happen inside
+     State without a RELOAD command on the wire *)
+  M.inc_by t.reloads
+    (float_of_int (State.stats st).Wire.reloads -. M.counter_value t.reloads);
+  M.set t.active (float_of_int (State.active_calls st));
+  M.set t.occupancy
+    (float_of_int (Array.fold_left ( + ) 0 (State.occupancy st)));
+  M.set t.failed (float_of_int (List.length (State.failed_links st)))
+
+let record_malformed t = M.inc t.errors
+
+let to_prometheus t = M.to_prometheus t.registry

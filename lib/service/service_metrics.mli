@@ -1,0 +1,19 @@
+(** Server-side metrics, on the {!Arnet_obs.Metrics} registry.
+
+    One record per daemon: command/verdict counters, an active-call and
+    total-occupancy gauge pair, and log-scale histograms of admitted
+    path lengths — the Prometheus snapshot [arn serve --metrics] writes
+    at drain time. *)
+
+type t
+
+val create : unit -> t
+val registry : t -> Arnet_obs.Metrics.t
+
+val record : t -> State.t -> Wire.command -> Wire.response -> unit
+(** Account one handled command and refresh the state gauges. *)
+
+val record_malformed : t -> unit
+(** Account an input line that failed to parse (answered [ERR]). *)
+
+val to_prometheus : t -> string

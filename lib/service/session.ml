@@ -1,0 +1,15 @@
+let handle st = function
+  | Wire.Setup { src; dst; time } -> State.setup st ~src ~dst ~time
+  | Wire.Teardown { id } -> State.teardown st ~id
+  | Wire.Fail { link } -> State.fail st ~link
+  | Wire.Repair { link } -> State.repair st ~link
+  | Wire.Reload -> State.reload st
+  | Wire.Stats -> Wire.Stats_reply (State.stats st)
+  | Wire.Drain -> State.drain st
+  | Wire.Quit -> Wire.Done
+
+let handle_line st line =
+  match Wire.parse_command line with
+  | Error (code, detail) -> (Wire.Err { code; detail }, `Continue)
+  | Ok Wire.Quit -> (handle st Wire.Quit, `Quit)
+  | Ok cmd -> (handle st cmd, `Continue)

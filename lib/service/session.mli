@@ -1,0 +1,15 @@
+(** One protocol step: a wire command applied to the daemon state.
+
+    The session layer is the pure bridge between {!Wire} and {!State}
+    — no sockets — so the whole protocol is exercisable in-process by
+    tests, and the server loop reduces to line framing plus
+    {!handle_line}. *)
+
+val handle : State.t -> Wire.command -> Wire.response
+(** Dispatch one parsed command.  [Quit] answers [Done]; closing the
+    connection is the transport's job. *)
+
+val handle_line : State.t -> string -> Wire.response * [ `Continue | `Quit ]
+(** Parse then dispatch one raw input line; malformed input yields the
+    typed [Err] of {!Wire.parse_command}.  [`Quit] tells the transport
+    to close this connection after writing the response. *)

@@ -1,0 +1,329 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_core
+module Obs = Arnet_obs
+
+type call = {
+  links : int array;  (** link ids holding one circuit for this call *)
+}
+
+type t = {
+  graph : Graph.t;
+  routes : Route_table.t;
+  h : int;  (** protection-rule H: the route table's alternate cap *)
+  capacities : int array;
+  reserves : int array;
+  mutable admission : Admission.t;
+  occupancy : int array;
+  failed : bool array;
+  estimators : Estimator.t array;
+  active : (int, call) Hashtbl.t;
+  mutable next_id : int;
+  mutable clock : float;
+  mutable accepted : int;
+  mutable blocked : int;
+  mutable torn_down : int;
+  mutable dropped : int;
+  mutable reloads : int;
+  mutable draining : bool;
+  mutable finished : bool;
+  reload_every : int option;
+  mutable decisions : int;  (** setups that reached a verdict *)
+  observer : (Obs.Event.t -> unit) option;
+}
+
+let create ?h ?matrix ?window ?smoothing ?reload_every ?observer g =
+  (match reload_every with
+  | Some n when n < 1 -> invalid_arg "State.create: reload_every < 1"
+  | _ -> ());
+  let routes = Route_table.build ?h g in
+  let h = Route_table.h routes in
+  let capacities =
+    Array.map (fun (l : Link.t) -> l.Link.capacity) (Graph.links g)
+  in
+  let m = Array.length capacities in
+  let reserves =
+    match matrix with
+    | Some matrix -> Protection.levels routes matrix ~h
+    | None -> Array.make m 0
+  in
+  let initial_loads =
+    match matrix with
+    | Some matrix -> Loads.primary_link_loads routes matrix
+    | None -> Array.make m 0.
+  in
+  let estimators =
+    Array.init m (fun k ->
+        Estimator.create ?window ?smoothing ~initial:initial_loads.(k) ())
+  in
+  (match observer with
+  | Some f ->
+    f
+      (Obs.Event.Run_start
+         { policy = "arnet-service";
+           warmup = 0.;
+           duration = 0.;
+           nodes = Graph.node_count g;
+           links = m })
+  | None -> ());
+  { graph = g;
+    routes;
+    h;
+    capacities;
+    reserves;
+    admission = Admission.make ~capacities ~reserves;
+    occupancy = Array.make m 0;
+    failed = Array.make m false;
+    estimators;
+    active = Hashtbl.create 1024;
+    next_id = 1;
+    clock = 0.;
+    accepted = 0;
+    blocked = 0;
+    torn_down = 0;
+    dropped = 0;
+    reloads = 0;
+    draining = false;
+    finished = false;
+    reload_every;
+    decisions = 0;
+    observer }
+
+let emit t ev = match t.observer with Some f -> f ev | None -> ()
+
+let graph t = t.graph
+let routes t = t.routes
+let clock t = t.clock
+let active_calls t = Hashtbl.length t.active
+let draining t = t.draining
+let drained t = t.draining && Hashtbl.length t.active = 0
+let occupancy t = Array.copy t.occupancy
+let reserves t = Array.copy t.reserves
+
+let estimated_loads t =
+  Array.map (fun e -> Estimator.estimate e ~now:t.clock) t.estimators
+
+let failed_links t =
+  let acc = ref [] in
+  for k = Array.length t.failed - 1 downto 0 do
+    if t.failed.(k) then acc := k :: !acc
+  done;
+  !acc
+
+let err code detail = Wire.Err { code; detail }
+
+(* ------------------------------------------------------------------ *)
+(* RELOAD: the Theorem-1 rule at the current demand estimates *)
+
+let do_reload t =
+  let changed = ref 0 in
+  Array.iteri
+    (fun k e ->
+      let offered = Estimator.estimate e ~now:t.clock in
+      let level =
+        if offered <= 0. then 0
+        else Protection.level ~offered ~capacity:t.capacities.(k) ~h:t.h
+      in
+      if level <> t.reserves.(k) then begin
+        incr changed;
+        t.reserves.(k) <- level
+      end)
+    t.estimators;
+  t.admission <- Admission.make ~capacities:t.capacities ~reserves:t.reserves;
+  t.reloads <- t.reloads + 1;
+  Wire.Reloaded { changed = !changed }
+
+let reload t = do_reload t
+
+(* ------------------------------------------------------------------ *)
+(* SETUP: Controller.decide restricted to all-alive paths *)
+
+let path_alive t (p : Path.t) =
+  Array.for_all (fun k -> not t.failed.(k)) p.Path.link_ids
+
+let admit t ~now ~src ~dst ~primary (p : Path.t) =
+  let links = Array.copy p.Path.link_ids in
+  Array.iter (fun k -> t.occupancy.(k) <- t.occupancy.(k) + 1) links;
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.active id { links };
+  t.accepted <- t.accepted + 1;
+  emit t
+    (Obs.Event.Admit
+       { time = now; src; dst; hops = Path.hops p; primary; links });
+  Wire.Admitted { id; path = Path.nodes p }
+
+let block t ~now ~src ~dst =
+  t.blocked <- t.blocked + 1;
+  emit t (Obs.Event.Block { time = now; src; dst });
+  Wire.Blocked
+
+let after_decision t response =
+  t.decisions <- t.decisions + 1;
+  (match t.reload_every with
+  | Some n when t.decisions mod n = 0 -> ignore (do_reload t : Wire.response)
+  | _ -> ());
+  response
+
+let setup t ~src ~dst ~time =
+  if t.draining then err "draining" "daemon is draining, not admitting"
+  else begin
+    let n = Graph.node_count t.graph in
+    if src < 0 || src >= n || dst < 0 || dst >= n then
+      err "bad-argument" (Printf.sprintf "node out of range [0, %d)" n)
+    else if src = dst then err "bad-argument" "src = dst"
+    else begin
+      (* the clock only moves forward: stale client timestamps clamp *)
+      (match time with Some u -> t.clock <- Float.max t.clock u | None -> ());
+      let now = t.clock in
+      emit t (Obs.Event.Arrival { time = now; src; dst; holding = 0. });
+      if not (Route_table.has_route t.routes ~src ~dst) then
+        after_decision t (block t ~now ~src ~dst)
+      else begin
+        let primary = Route_table.primary t.routes ~src ~dst in
+        let primary_alive = path_alive t primary in
+        (* every link of an intact primary path sees the set-up packet,
+           admitted or not — the estimator feed of Section 1 *)
+        if primary_alive then
+          Array.iter
+            (fun k -> Estimator.observe t.estimators.(k) ~now)
+            primary.Path.link_ids;
+        let primary_ok =
+          primary_alive
+          && Admission.path_admits_primary t.admission
+               ~occupancy:t.occupancy primary
+        in
+        emit t
+          (Obs.Event.Primary_attempt
+             { time = now;
+               src;
+               dst;
+               hops = Path.hops primary;
+               admitted = primary_ok });
+        if primary_ok then
+          after_decision t (admit t ~now ~src ~dst ~primary:true primary)
+        else begin
+          let alternates =
+            Route_table.alternates_excluding t.routes ~src ~dst primary
+          in
+          let rec attempt = function
+            | [] -> block t ~now ~src ~dst
+            | p :: rest ->
+              if not (path_alive t p) then attempt rest
+              else begin
+                match
+                  Admission.alternate_refusal t.admission
+                    ~occupancy:t.occupancy p
+                with
+                | None -> admit t ~now ~src ~dst ~primary:false p
+                | Some (link, occ, threshold) ->
+                  emit t
+                    (Obs.Event.Alternate_rejected
+                       { time = now;
+                         src;
+                         dst;
+                         hops = Path.hops p;
+                         link;
+                         occupancy = occ;
+                         threshold });
+                  attempt rest
+              end
+          in
+          after_decision t (attempt alternates)
+        end
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let release t (c : call) =
+  Array.iter
+    (fun k ->
+      assert (t.occupancy.(k) > 0);
+      t.occupancy.(k) <- t.occupancy.(k) - 1)
+    c.links
+
+let teardown t ~id =
+  match Hashtbl.find_opt t.active id with
+  | None -> err "unknown-call" (Printf.sprintf "no active call %d" id)
+  | Some c ->
+    release t c;
+    Hashtbl.remove t.active id;
+    t.torn_down <- t.torn_down + 1;
+    emit t (Obs.Event.Departure { time = t.clock; links = c.links });
+    Wire.Done
+
+let check_link t link =
+  if link < 0 || link >= Array.length t.failed then
+    Some
+      (err "no-such-link"
+         (Printf.sprintf "link id out of range [0, %d)"
+            (Array.length t.failed)))
+  else None
+
+let fail t ~link =
+  match check_link t link with
+  | Some e -> e
+  | None ->
+    if not t.failed.(link) then begin
+      t.failed.(link) <- true;
+      (* calls holding a circuit on the dead link are lost with it *)
+      let victims =
+        Hashtbl.fold
+          (fun id c acc ->
+            if Array.exists (fun k -> k = link) c.links then (id, c) :: acc
+            else acc)
+          t.active []
+      in
+      List.iter
+        (fun (id, c) ->
+          release t c;
+          Hashtbl.remove t.active id;
+          t.dropped <- t.dropped + 1;
+          emit t (Obs.Event.Departure { time = t.clock; links = c.links }))
+        (List.sort compare victims)
+    end;
+    Wire.Done
+
+let repair t ~link =
+  match check_link t link with
+  | Some e -> e
+  | None ->
+    t.failed.(link) <- false;
+    Wire.Done
+
+let drain t =
+  t.draining <- true;
+  Wire.Done
+
+let stats t =
+  { Wire.accepted = t.accepted;
+    blocked = t.blocked;
+    torn_down = t.torn_down;
+    dropped = t.dropped;
+    active = Hashtbl.length t.active;
+    reloads = t.reloads;
+    failed = failed_links t;
+    draining = t.draining }
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    emit t
+      (Obs.Event.Run_end
+         { time = t.clock; calls = t.accepted + t.blocked })
+  end
+
+let snapshot t =
+  Arnet_serial.Snapshot.make ~reserves:(Array.copy t.reserves)
+    ~occupancy:(Array.copy t.occupancy) ~failed:(failed_links t)
+    ~clock:t.clock
+    ~counters:
+      [ ("accepted", t.accepted);
+        ("blocked", t.blocked);
+        ("torn_down", t.torn_down);
+        ("dropped", t.dropped);
+        ("reloads", t.reloads) ]
+    t.graph

@@ -1,0 +1,83 @@
+(** The daemon's line-oriented wire protocol.
+
+    One command per line from the client, one response line back — the
+    shape of the classic text control protocols (SMTP, redis inline)
+    so a session is drivable from [nc].  The codec is pure: printing
+    then parsing any command or response yields the original value
+    (the qcheck round-trip property in [test/test_service.ml]), and
+    malformed input parses to a typed error, never an exception.
+
+    Grammar (one space between tokens, LF-terminated):
+
+    {v
+    SETUP <src> <dst> [<time>]      admit a call src -> dst (virtual time)
+    TEARDOWN <id>                   release an admitted call
+    FAIL <link>                     fail a link by id (drops calls on it)
+    REPAIR <link>                   bring a failed link back
+    RELOAD                          recompute protection levels r^k now
+    STATS                           one-line state summary
+    DRAIN                           stop admitting; exit when empty
+    QUIT                            close this connection
+
+    ADMITTED <id> <n0-n1-...-nk>    call admitted on that node path
+    BLOCKED                         call refused (no admissible path)
+    OK                              generic success
+    RELOADED <changed>              r^k recomputed; links that changed
+    STATS accepted=..blocked=..     the summary (see {!stats})
+    ERR <code> <detail>             typed error, code is one token
+    v} *)
+
+type command =
+  | Setup of { src : int; dst : int; time : float option }
+      (** [time] is the call's virtual arrival instant; omitted means
+          "now" (the daemon's clock does not advance). *)
+  | Teardown of { id : int }
+  | Fail of { link : int }
+  | Repair of { link : int }
+  | Reload
+  | Stats
+  | Drain
+  | Quit
+
+type stats = {
+  accepted : int;  (** calls admitted since start *)
+  blocked : int;  (** calls refused *)
+  torn_down : int;  (** calls released by TEARDOWN *)
+  dropped : int;  (** calls killed by link failures *)
+  active : int;  (** calls currently holding circuits *)
+  reloads : int;  (** protection-level recomputations *)
+  failed : int list;  (** currently failed link ids, ascending *)
+  draining : bool;
+}
+
+type response =
+  | Admitted of { id : int; path : int list }
+      (** [path] is the node sequence, at least two nodes. *)
+  | Blocked
+  | Done
+  | Reloaded of { changed : int }
+  | Stats_reply of stats
+  | Err of { code : string; detail : string }
+      (** [code] is a single lowercase token ([bad-command],
+          [bad-argument], [unknown-call], [no-such-link], [draining]);
+          [detail] is free text without newlines. *)
+
+val print_command : command -> string
+(** Without the trailing newline.
+    @raise Invalid_argument on a non-finite or negative [Setup] time. *)
+
+val parse_command : string -> (command, string * string) result
+(** [Error (code, detail)] mirrors the payload of {!Err}. *)
+
+val print_response : response -> string
+(** @raise Invalid_argument on an {!Admitted} path shorter than two
+    nodes, an {!Err} code containing spaces, or a detail containing a
+    newline. *)
+
+val parse_response : string -> (response, string) result
+
+val equal_command : command -> command -> bool
+val equal_response : response -> response -> bool
+
+val pp_command : Format.formatter -> command -> unit
+val pp_response : Format.formatter -> response -> unit

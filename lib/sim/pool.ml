@@ -10,13 +10,26 @@ let () =
 
 let available () = Stdlib.max 1 (Domain.recommended_domain_count ())
 
+let domains_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok n
+  | Some n ->
+    Error
+      (Printf.sprintf
+         "domain count must be at least 1 (got %d); valid range is 1 to the \
+          machine's core count"
+         n)
+  | None ->
+    Error
+      (Printf.sprintf
+         "domain count must be an integer >= 1 (got %S); valid range is 1 to \
+          the machine's core count"
+         (String.trim s))
+
 let of_env ?(var = "ARNET_DOMAINS") () =
   match Sys.getenv_opt var with
   | None -> 1
-  | Some s ->
-    (match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some _ | None -> 1)
+  | Some s -> ( match domains_of_string s with Ok n -> n | Error _ -> 1)
 
 let map_seq f xs =
   List.mapi

@@ -38,6 +38,11 @@ val available : unit -> int
 (** The runtime's recommendation for how many domains this machine runs
     well ([Domain.recommended_domain_count ()]); at least 1. *)
 
+val domains_of_string : string -> (int, string) result
+(** Parse a user-supplied domain count: [Ok n] for an integer [>= 1],
+    otherwise a one-line error naming the valid range — the shared
+    validation behind the [--domains] flag and {!of_env}. *)
+
 val of_env : ?var:string -> unit -> int
 (** Domain count requested through the environment: parses [var]
     (default [ARNET_DOMAINS]) as a positive integer.  Unset, empty,

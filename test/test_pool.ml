@@ -169,6 +169,37 @@ let test_pool_map_basics () =
     (Invalid_argument "Pool.map: domains must be >= 1") (fun () ->
       ignore (Pool.map ~domains:0 succ [ 1 ]))
 
+let test_domains_of_string () =
+  (* the shared validation behind [arn simulate --domains] and of_env:
+     out-of-range counts answer one line naming the valid range *)
+  Alcotest.(check (result int string))
+    "4 parses" (Ok 4)
+    (Pool.domains_of_string "4");
+  Alcotest.(check (result int string))
+    "trimmed" (Ok 2)
+    (Pool.domains_of_string " 2 ");
+  let expect_error input =
+    match Pool.domains_of_string input with
+    | Ok n -> Alcotest.failf "%S accepted as %d" input n
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S error is one line" input)
+        false (String.contains msg '\n');
+      Alcotest.(check bool)
+        (Printf.sprintf "%S error names the valid range" input)
+        true
+        (let sub = "valid range" in
+         let n = String.length msg and m = String.length sub in
+         let rec scan i =
+           i + m <= n && (String.sub msg i m = sub || scan (i + 1))
+         in
+         scan 0)
+  in
+  expect_error "0";
+  expect_error "-3";
+  expect_error "many";
+  expect_error ""
+
 let test_pool_of_env () =
   let var = "ARNET_POOL_TEST" in
   Unix.putenv var "6";
@@ -231,6 +262,7 @@ let () =
             test_odometer_concurrent_runs ] );
       ( "pool-map",
         [ Alcotest.test_case "basics" `Quick test_pool_map_basics;
+          Alcotest.test_case "domains_of_string" `Quick test_domains_of_string;
           Alcotest.test_case "of_env" `Quick test_pool_of_env;
           qcheck prop_map_matches_list_map;
           qcheck prop_exception_index ] ) ]

@@ -1,0 +1,519 @@
+(* The admission-control daemon: wire codec round-trips (qcheck),
+   protocol error handling, decision equivalence with the batch
+   simulator, failure rerouting, online reload under drifting load,
+   drain/snapshot semantics, and end-to-end determinism over a real
+   Unix socket. *)
+
+open Arnet_topology
+open Arnet_paths
+open Arnet_traffic
+open Arnet_sim
+open Arnet_core
+open Arnet_service
+
+(* ------------------------------------------------------------------ *)
+(* wire codec: print/parse round-trips for every constructor *)
+
+let time_gen =
+  (* None, exact decimals, and repeating fractions that need the long
+     float form — all must survive the wire *)
+  QCheck.Gen.(
+    oneof
+      [ return None;
+        map (fun n -> Some (float_of_int n /. 8.)) (int_bound 10_000);
+        map2
+          (fun a b -> Some (float_of_int a /. float_of_int (b + 1)))
+          (int_bound 1_000_000) (int_bound 997) ])
+
+let command_gen =
+  QCheck.Gen.(
+    oneof
+      [ map3
+          (fun src dst time -> Wire.Setup { src; dst; time })
+          (int_range (-3) 40) (int_range (-3) 40) time_gen;
+        map (fun id -> Wire.Teardown { id }) (int_bound 1_000_000);
+        map (fun link -> Wire.Fail { link }) (int_range (-2) 500);
+        map (fun link -> Wire.Repair { link }) (int_range (-2) 500);
+        return Wire.Reload;
+        return Wire.Stats;
+        return Wire.Drain;
+        return Wire.Quit ])
+
+let word_gen =
+  QCheck.Gen.(
+    string_size ~gen:(map Char.chr (int_range 97 122)) (int_range 1 8))
+
+let response_gen =
+  QCheck.Gen.(
+    oneof
+      [ map2
+          (fun id path -> Wire.Admitted { id; path })
+          (int_bound 1_000_000)
+          (list_size (int_range 2 6) (int_bound 50));
+        return Wire.Blocked;
+        return Wire.Done;
+        map (fun changed -> Wire.Reloaded { changed }) (int_bound 200);
+        map3
+          (fun (accepted, blocked, torn_down) (dropped, active, reloads)
+               (failed, draining) ->
+            Wire.Stats_reply
+              { Wire.accepted; blocked; torn_down; dropped; active; reloads;
+                failed; draining })
+          (triple (int_bound 9999) (int_bound 9999) (int_bound 9999))
+          (triple (int_bound 9999) (int_bound 9999) (int_bound 9999))
+          (pair (list_size (int_bound 5) (int_bound 40)) bool);
+        map2
+          (fun code words ->
+            Wire.Err { code; detail = String.concat " " words })
+          word_gen
+          (list_size (int_bound 4) word_gen) ])
+
+let prop_command_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"Wire: parse (print cmd) = cmd"
+    (QCheck.make command_gen ~print:Wire.print_command)
+    (fun c ->
+      match Wire.parse_command (Wire.print_command c) with
+      | Ok c' -> Wire.equal_command c c'
+      | Error _ -> false)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"Wire: parse (print resp) = resp"
+    (QCheck.make response_gen ~print:Wire.print_response)
+    (fun r ->
+      match Wire.parse_response (Wire.print_response r) with
+      | Ok r' -> Wire.equal_response r r'
+      | Error _ -> false)
+
+let test_malformed_commands () =
+  let expect code line =
+    match Wire.parse_command line with
+    | Error (c, _) -> Alcotest.(check string) line code c
+    | Ok c ->
+      Alcotest.failf "%S parsed as %s" line (Wire.print_command c)
+  in
+  expect "bad-command" "";
+  expect "bad-command" "   ";
+  expect "bad-command" "FLOOP 1 2";
+  expect "bad-argument" "SETUP 1";
+  expect "bad-argument" "SETUP 1 2 3 4";
+  expect "bad-argument" "SETUP one 2";
+  expect "bad-argument" "SETUP 1 2 -0.5";
+  expect "bad-argument" "SETUP 1 2 nan";
+  expect "bad-argument" "TEARDOWN";
+  expect "bad-argument" "TEARDOWN 1.5";
+  expect "bad-argument" "FAIL";
+  expect "bad-argument" "REPAIR x";
+  expect "bad-argument" "RELOAD now";
+  expect "bad-argument" "STATS 1";
+  expect "bad-argument" "DRAIN please";
+  expect "bad-argument" "QUIT 0";
+  (* case-insensitive verbs, tolerant spacing *)
+  (match Wire.parse_command "  setup  0   2  " with
+  | Ok (Wire.Setup { src = 0; dst = 2; time = None }) -> ()
+  | _ -> Alcotest.fail "lowercase SETUP with extra spaces should parse")
+
+let test_malformed_responses () =
+  let expect line =
+    match Wire.parse_response line with
+    | Error _ -> ()
+    | Ok r ->
+      Alcotest.failf "%S parsed as %s" line (Wire.print_response r)
+  in
+  expect "";
+  expect "WAT";
+  expect "ADMITTED 3";
+  expect "ADMITTED 3 5";
+  (* single-node path *)
+  expect "ADMITTED x 0-1";
+  expect "RELOADED soon";
+  expect "STATS accepted=1";
+  (* missing fields *)
+  expect "ERR";
+  (* ERR detail keeps inner spacing *)
+  match Wire.parse_response "ERR bad-argument usage: SETUP <src> <dst>" with
+  | Ok (Wire.Err { code = "bad-argument"; detail }) ->
+    Alcotest.(check string) "detail" "usage: SETUP <src> <dst>" detail
+  | _ -> Alcotest.fail "ERR with detail should parse"
+
+(* ------------------------------------------------------------------ *)
+(* protocol: session-level errors *)
+
+let quadrangle ?(capacity = 20) () = Builders.full_mesh ~nodes:4 ~capacity
+
+let test_session_errors () =
+  let st = State.create (quadrangle ()) in
+  let expect_err code resp =
+    match resp with
+    | Wire.Err { code = c; _ } -> Alcotest.(check string) "error code" code c
+    | r -> Alcotest.failf "expected ERR %s, got %s" code (Wire.print_response r)
+  in
+  expect_err "bad-argument" (State.setup st ~src:0 ~dst:0 ~time:None);
+  expect_err "bad-argument" (State.setup st ~src:(-1) ~dst:2 ~time:None);
+  expect_err "bad-argument" (State.setup st ~src:0 ~dst:99 ~time:None);
+  expect_err "unknown-call" (State.teardown st ~id:7);
+  expect_err "no-such-link" (State.fail st ~link:999);
+  expect_err "no-such-link" (State.repair st ~link:(-1));
+  (* double teardown *)
+  (match State.setup st ~src:0 ~dst:1 ~time:None with
+  | Wire.Admitted { id; _ } ->
+    (match State.teardown st ~id with
+    | Wire.Done -> ()
+    | r -> Alcotest.failf "teardown: %s" (Wire.print_response r));
+    expect_err "unknown-call" (State.teardown st ~id)
+  | r -> Alcotest.failf "setup: %s" (Wire.print_response r));
+  (* malformed lines answer a typed ERR and keep the connection *)
+  (match Session.handle_line st "SETUP 1" with
+  | Wire.Err { code = "bad-argument"; _ }, `Continue -> ()
+  | r, _ ->
+    Alcotest.failf "handle_line: %s" (Wire.print_response r));
+  (match Session.handle_line st "QUIT" with
+  | Wire.Done, `Quit -> ()
+  | r, _ -> Alcotest.failf "QUIT: %s" (Wire.print_response r));
+  (* draining refuses new work but allows teardown *)
+  (match State.setup st ~src:0 ~dst:1 ~time:None with
+  | Wire.Admitted { id; _ } ->
+    ignore (State.drain st : Wire.response);
+    expect_err "draining" (State.setup st ~src:0 ~dst:2 ~time:None);
+    Alcotest.(check bool) "not drained yet" false (State.drained st);
+    (match State.teardown st ~id with
+    | Wire.Done -> ()
+    | r -> Alcotest.failf "teardown while draining: %s" (Wire.print_response r));
+    Alcotest.(check bool) "drained" true (State.drained st)
+  | r -> Alcotest.failf "setup: %s" (Wire.print_response r))
+
+(* ------------------------------------------------------------------ *)
+(* decisions: the daemon is Controller.decide, call for call *)
+
+(* replay a trace through the state in the engine's event order:
+   departures due at or before each arrival go first *)
+let replay st (trace : Trace.t) =
+  let departures = Event_queue.create () in
+  let accepted = ref 0 and blocked = ref 0 in
+  Array.iter
+    (fun (call : Trace.call) ->
+      Event_queue.pop_until departures ~time:call.Trace.time
+        ~f:(fun _ id ->
+          match State.teardown st ~id with
+          | Wire.Done -> ()
+          | r -> Alcotest.failf "teardown: %s" (Wire.print_response r));
+      match
+        State.setup st ~src:call.Trace.src ~dst:call.Trace.dst
+          ~time:(Some call.Trace.time)
+      with
+      | Wire.Admitted { id; _ } ->
+        incr accepted;
+        Event_queue.push departures
+          ~time:(call.Trace.time +. call.Trace.holding)
+          id
+      | Wire.Blocked -> incr blocked
+      | r -> Alcotest.failf "setup: %s" (Wire.print_response r))
+    trace.Trace.calls;
+  (!accepted, !blocked)
+
+let test_matches_batch_simulator () =
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let trace =
+    Trace.generate ~rng:(Rng.create ~seed:7) ~duration:80. matrix
+  in
+  let routes = Route_table.build g in
+  let stats =
+    Engine.run ~warmup:0. ~graph:g
+      ~policy:(Scheme.controlled_auto ~matrix routes)
+      trace
+  in
+  let st = State.create ~matrix g in
+  let accepted, blocked = replay st trace in
+  Alcotest.(check int) "same offered" stats.Stats.offered (accepted + blocked);
+  Alcotest.(check int) "same blocked" stats.Stats.blocked blocked;
+  let s = State.stats st in
+  Alcotest.(check int) "stats agree" accepted s.Wire.accepted;
+  Alcotest.(check int) "stats agree" blocked s.Wire.blocked
+
+let test_failure_rerouting () =
+  let g = quadrangle ~capacity:5 () in
+  let st = State.create g in
+  let direct =
+    (Route_table.primary (State.routes st) ~src:0 ~dst:1).Path.link_ids.(0)
+  in
+  (* an admitted call holding the link is dropped with it *)
+  let id =
+    match State.setup st ~src:0 ~dst:1 ~time:None with
+    | Wire.Admitted { id; path } ->
+      Alcotest.(check (list int)) "direct path" [ 0; 1 ] path;
+      id
+    | r -> Alcotest.failf "setup: %s" (Wire.print_response r)
+  in
+  (match State.fail st ~link:direct with
+  | Wire.Done -> ()
+  | r -> Alcotest.failf "fail: %s" (Wire.print_response r));
+  Alcotest.(check int) "call dropped" 0 (State.active_calls st);
+  Alcotest.(check int) "dropped counted" 1 (State.stats st).Wire.dropped;
+  (match State.teardown st ~id with
+  | Wire.Err { code = "unknown-call"; _ } -> ()
+  | r -> Alcotest.failf "teardown of dropped call: %s" (Wire.print_response r));
+  Alcotest.(check (list int)) "failed listed" [ direct ]
+    (State.failed_links st);
+  (* new calls route around the dead link *)
+  (match State.setup st ~src:0 ~dst:1 ~time:None with
+  | Wire.Admitted { path; _ } ->
+    Alcotest.(check bool) "rerouted on an alternate" true
+      (List.length path > 2)
+  | r -> Alcotest.failf "setup after fail: %s" (Wire.print_response r));
+  (* repair restores the primary *)
+  (match State.repair st ~link:direct with
+  | Wire.Done -> ()
+  | r -> Alcotest.failf "repair: %s" (Wire.print_response r));
+  Alcotest.(check (list int)) "none failed" [] (State.failed_links st);
+  match State.setup st ~src:0 ~dst:1 ~time:None with
+  | Wire.Admitted { path; _ } ->
+    Alcotest.(check (list int)) "direct again" [ 0; 1 ] path
+  | r -> Alcotest.failf "setup after repair: %s" (Wire.print_response r)
+
+let test_all_paths_dead_blocks () =
+  let g = quadrangle ~capacity:5 () in
+  let st = State.create g in
+  (* kill every link out of node 0: nothing can leave *)
+  Array.iter
+    (fun (l : Link.t) ->
+      if l.Link.src = 0 then
+        match State.fail st ~link:l.Link.id with
+        | Wire.Done -> ()
+        | r -> Alcotest.failf "fail: %s" (Wire.print_response r))
+    (Graph.links g);
+  match State.setup st ~src:0 ~dst:1 ~time:None with
+  | Wire.Blocked -> ()
+  | r -> Alcotest.failf "expected BLOCKED, got %s" (Wire.print_response r)
+
+(* ------------------------------------------------------------------ *)
+(* online reconfiguration: reload tracks a drifting load *)
+
+let test_reload_tracks_load_step () =
+  (* unprotected start; a deterministic arrival stream on one pair at
+     rate lambda1, then a step down to lambda2.  After enough windows
+     the estimate converges and RELOAD must set the primary link's
+     protection to Protection.level at the *new* demand. *)
+  let g = quadrangle ~capacity:24 () in
+  let st = State.create ~window:5. ~smoothing:0.5 g in
+  let h = Route_table.h (State.routes st) in
+  let link =
+    (Route_table.primary (State.routes st) ~src:0 ~dst:1).Path.link_ids.(0)
+  in
+  let drive ~from ~until ~rate =
+    let dt = 1. /. rate in
+    let t = ref from in
+    while !t < until do
+      (match State.setup st ~src:0 ~dst:1 ~time:(Some !t) with
+      | Wire.Admitted { id; _ } ->
+        (* tear straight down: we are feeding the estimator, not
+           filling the link *)
+        ignore (State.teardown st ~id : Wire.response)
+      | Wire.Blocked -> ()
+      | r -> Alcotest.failf "setup: %s" (Wire.print_response r));
+      t := !t +. dt
+    done
+  in
+  let lambda1 = 30. and lambda2 = 18. in
+  drive ~from:0. ~until:100. ~rate:lambda1;
+  (match State.reload st with
+  | Wire.Reloaded { changed } ->
+    Alcotest.(check bool) "first reload changes the hot link" true
+      (changed >= 1)
+  | r -> Alcotest.failf "reload: %s" (Wire.print_response r));
+  let r1 = (State.reserves st).(link) in
+  Alcotest.(check int) "level at lambda1"
+    (Protection.level ~offered:lambda1 ~capacity:24 ~h)
+    r1;
+  drive ~from:100. ~until:300. ~rate:lambda2;
+  ignore (State.reload st : Wire.response);
+  let r2 = (State.reserves st).(link) in
+  Alcotest.(check int) "level follows the step to lambda2"
+    (Protection.level ~offered:lambda2 ~capacity:24 ~h)
+    r2;
+  Alcotest.(check bool) "the step actually moved the level" true (r1 <> r2);
+  (* unexercised links saw no set-ups: still unprotected *)
+  Array.iteri
+    (fun k r -> if k <> link then Alcotest.(check int) "idle link" 0 r)
+    (State.reserves st);
+  Alcotest.(check int) "reloads counted" 2 (State.stats st).Wire.reloads
+
+let test_reload_every_cadence () =
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let st = State.create ~matrix ~reload_every:10 g in
+  for i = 0 to 24 do
+    match State.setup st ~src:(i mod 3) ~dst:3 ~time:(Some (float_of_int i)) with
+    | Wire.Admitted _ | Wire.Blocked -> ()
+    | r -> Alcotest.failf "setup: %s" (Wire.print_response r)
+  done;
+  (* 25 decisions at a 10-decision cadence: reloads at 10 and 20 *)
+  Alcotest.(check int) "automatic reloads" 2 (State.stats st).Wire.reloads
+
+(* ------------------------------------------------------------------ *)
+(* snapshots *)
+
+let test_snapshot_roundtrip () =
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let st = State.create ~matrix g in
+  let trace =
+    Trace.generate ~rng:(Rng.create ~seed:3) ~duration:30. matrix
+  in
+  ignore (replay st trace : int * int);
+  ignore (State.fail st ~link:2 : Wire.response);
+  let snap = State.snapshot st in
+  Alcotest.(check bool) "snapshot round-trips" true
+    (Arnet_serial.Snapshot.roundtrip_ok snap);
+  let back =
+    Arnet_serial.Snapshot.of_string (Arnet_serial.Snapshot.to_string snap)
+  in
+  Alcotest.(check bool) "equal after reparse" true
+    (Arnet_serial.Snapshot.equal snap back)
+
+let test_snapshot_parse_error () =
+  let snap = State.snapshot (State.create (quadrangle ())) in
+  let text = Arnet_serial.Snapshot.to_string snap ^ "occupancy 0 1 nope\n" in
+  match Arnet_serial.Snapshot.of_string text with
+  | _ -> Alcotest.fail "bad occupancy line should raise"
+  | exception Arnet_serial.Snapshot.Parse_error (_, msg) ->
+    Alcotest.(check bool) "message mentions the directive" true
+      (String.length msg > 0)
+
+(* ------------------------------------------------------------------ *)
+(* end to end over a real socket *)
+
+let socket_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "arnet-test-%d-%d.sock" (Unix.getpid ()) !counter)
+
+let serve_and_load ?snapshot ~seed ~calls ~matrix g =
+  let addr = Server.Unix_sock (socket_path ()) in
+  let st = State.create ~matrix g in
+  let server =
+    Thread.create (fun () -> Server.serve ?snapshot ~state:st addr) ()
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        (try
+           let ic, oc = Server.connect ~retry_for:5. addr in
+           ignore (Server.request ic oc Wire.Drain : Wire.response);
+           close_out_noerr oc;
+           ignore (ic : in_channel)
+         with _ -> ());
+        Thread.join server)
+      (fun () -> Loadgen.run ~retry_for:5. ~seed ~calls ~matrix ~addr ())
+  in
+  (st, result)
+
+let test_socket_determinism () =
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let go () = serve_and_load ~seed:42 ~calls:2000 ~matrix g in
+  let st1, r1 = go () in
+  let st2, r2 = go () in
+  Alcotest.(check int) "all calls sent" 2000 r1.Loadgen.calls;
+  Alcotest.(check int) "no wire errors" 0 r1.Loadgen.errors;
+  Alcotest.(check bool) "some accepted" true (r1.Loadgen.accepted > 0);
+  Alcotest.(check bool) "some blocked" true (r1.Loadgen.blocked > 0);
+  Alcotest.(check int) "accepted reproduce" r1.Loadgen.accepted
+    r2.Loadgen.accepted;
+  Alcotest.(check int) "blocked reproduce" r1.Loadgen.blocked
+    r2.Loadgen.blocked;
+  (* the daemon saw what the client counted, and drained clean *)
+  List.iter
+    (fun st ->
+      let s = State.stats st in
+      Alcotest.(check int) "daemon accepted" r1.Loadgen.accepted
+        s.Wire.accepted;
+      Alcotest.(check int) "every call torn down" s.Wire.accepted
+        s.Wire.torn_down;
+      Alcotest.(check bool) "drained" true (State.drained st))
+    [ st1; st2 ]
+
+let test_socket_drain_snapshot () =
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let path = Filename.temp_file "arnet-drain" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let st, result =
+        serve_and_load ~snapshot:path ~seed:5 ~calls:500 ~matrix g
+      in
+      let snap = Arnet_serial.Snapshot.of_file path in
+      Alcotest.(check bool) "drained state is empty" true
+        (Array.for_all (fun o -> o = 0) snap.Arnet_serial.Snapshot.occupancy);
+      Alcotest.(check (option int)) "accepted counter persisted"
+        (Some result.Loadgen.accepted)
+        (List.assoc_opt "accepted" snap.Arnet_serial.Snapshot.counters);
+      Alcotest.(check int) "daemon agreed" result.Loadgen.accepted
+        (State.stats st).Wire.accepted)
+
+let test_socket_sharded_connections () =
+  (* throughput mode: counts still conserved, daemon still drains *)
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let addr = Server.Unix_sock (socket_path ()) in
+  let st = State.create ~matrix g in
+  let server = Thread.create (fun () -> Server.serve ~state:st addr) () in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        (try
+           let ic, oc = Server.connect ~retry_for:5. addr in
+           ignore (Server.request ic oc Wire.Drain : Wire.response);
+           close_out_noerr oc;
+           ignore (ic : in_channel)
+         with _ -> ());
+        Thread.join server)
+      (fun () ->
+        Loadgen.run ~connections:4 ~retry_for:5. ~seed:11 ~calls:1000
+          ~matrix ~addr ())
+  in
+  Alcotest.(check int) "all calls sent" 1000 result.Loadgen.calls;
+  Alcotest.(check int) "accept + block = calls" 1000
+    (result.Loadgen.accepted + result.Loadgen.blocked);
+  Alcotest.(check int) "no wire errors" 0 result.Loadgen.errors;
+  Alcotest.(check bool) "drained" true (State.drained st)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "service"
+    [ ( "wire",
+        [ qcheck prop_command_roundtrip;
+          qcheck prop_response_roundtrip;
+          Alcotest.test_case "malformed commands" `Quick
+            test_malformed_commands;
+          Alcotest.test_case "malformed responses" `Quick
+            test_malformed_responses ] );
+      ( "protocol",
+        [ Alcotest.test_case "session errors" `Quick test_session_errors ] );
+      ( "decisions",
+        [ Alcotest.test_case "matches the batch simulator" `Quick
+            test_matches_batch_simulator;
+          Alcotest.test_case "failure rerouting" `Quick
+            test_failure_rerouting;
+          Alcotest.test_case "all paths dead blocks" `Quick
+            test_all_paths_dead_blocks ] );
+      ( "reload",
+        [ Alcotest.test_case "tracks a load step" `Quick
+            test_reload_tracks_load_step;
+          Alcotest.test_case "reload-every cadence" `Quick
+            test_reload_every_cadence ] );
+      ( "snapshot",
+        [ Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "parse error" `Quick test_snapshot_parse_error ] );
+      ( "socket",
+        [ Alcotest.test_case "determinism across fresh daemons" `Slow
+            test_socket_determinism;
+          Alcotest.test_case "drain writes the snapshot" `Slow
+            test_socket_drain_snapshot;
+          Alcotest.test_case "sharded connections" `Slow
+            test_socket_sharded_connections ] ) ]
