@@ -2,12 +2,14 @@
    Bechamel micro-benchmarks of the computational kernels.
 
    Usage: main.exe [section ...]
-     sections: fig1 fig2 fig3 fig4 fig5 table1 fig6 fig7 exp_h6
-               exp_failures exp_fairness exp_minloss exp_robustness
+     sections: fig1 fig2 fig3 fig4 fig3_d1 fig5 table1 fig6 fig7 fig6_d1
+               exp_h6 exp_failures exp_fairness exp_minloss exp_robustness
                exp_ablation exp_overload ext_cellular ext_multirate
                ext_bistability ext_signalling ext_random_mesh ext_analytic
                ext_optimality ext_dimensioning serve perf
-     default: all of them.
+     default: all of them.  fig3_d1/fig6_d1 rerun the headline sweeps
+     pinned to a single domain so their calls/s stays comparable with
+     BENCH_2.json whatever ARNET_DOMAINS says.
    Environment: ARNET_QUICK=1 for a fast pass (3 seeds, short window),
    ARNET_SEEDS=n to override the seed count, ARNET_DOMAINS=n to shard
    replication runs across n OCaml domains (bit-identical results). *)
@@ -26,6 +28,11 @@ let quadrangle_points = lazy (Quadrangle.run ~config:(Lazy.force config) ())
 
 let internet_points =
   lazy (Internet.run ~h:11 ~config:(Lazy.force config) ())
+
+(* the headline sweeps again, pinned to one domain: BENCH_3/BENCH_4 ran
+   with domains=4 on a 1-core container, which made their totals
+   incomparable with BENCH_2's sequential numbers *)
+let config_d1 = lazy { (Lazy.force config) with Config.domains = 1 }
 
 let print_log_view points =
   Report.note ppf "log10 of blocking (emphasizing low-load behaviour):";
@@ -103,6 +110,18 @@ let fig4 () =
   Report.section ppf ~id:"fig4"
     ~title:"Blocking for a fully-connected quadrangle (log axes)";
   print_log_view (Lazy.force quadrangle_points)
+
+let fig3_d1 () =
+  Report.section ppf ~id:"fig3_d1"
+    ~title:"Quadrangle sweep, single-domain rerun (comparability baseline)";
+  Report.note ppf (Config.describe (Lazy.force config_d1));
+  Quadrangle.print ppf (Quadrangle.run ~config:(Lazy.force config_d1) ())
+
+let fig6_d1 () =
+  Report.section ppf ~id:"fig6_d1"
+    ~title:"Internet sweep, single-domain rerun (comparability baseline)";
+  Report.note ppf (Config.describe (Lazy.force config_d1));
+  Internet.print ppf (Internet.run ~h:11 ~config:(Lazy.force config_d1) ())
 
 let fig5 () =
   Report.section ppf ~id:"fig5" ~title:"The NSFNet T3 backbone model";
@@ -480,7 +499,8 @@ let perf () =
 
 let sections =
   [ ("fig1", fig1); ("fig2", fig2); ("fig3", fig3); ("fig4", fig4);
-    ("fig5", fig5); ("table1", table1); ("fig6", fig6); ("fig7", fig7);
+    ("fig3_d1", fig3_d1); ("fig5", fig5); ("table1", table1);
+    ("fig6", fig6); ("fig7", fig7); ("fig6_d1", fig6_d1);
     ("exp_h6", exp_h6); ("exp_failures", exp_failures);
     ("exp_fairness", exp_fairness); ("exp_minloss", exp_minloss);
     ("exp_robustness", exp_robustness); ("exp_ablation", exp_ablation);
@@ -505,10 +525,15 @@ let () =
   let domains = (Lazy.force config).Config.domains in
   let recorder = Arnet_obs.Span.recorder () in
   let calls_at_start = Arnet_sim.Engine.calls_simulated () in
+  (* sections that are single-domain by construction, whatever the
+     configured count: the pinned reruns and the Bechamel kernels *)
+  let single_domain = [ "fig3_d1"; "fig6_d1"; "perf" ] in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some f -> Report.timed ~domains recorder name f
+      | Some f ->
+        let domains = if List.mem name single_domain then 1 else domains in
+        Report.timed ~domains recorder name f
       | None ->
         Format.fprintf ppf "unknown section %S (available: %s)@." name
           (String.concat " " (List.map fst sections)))
@@ -538,7 +563,7 @@ let () =
       | Some r -> [ ("service", Arnet_service.Loadgen.to_json r) ])
   in
   let path =
-    Option.value ~default:"BENCH_4.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
+    Option.value ~default:"BENCH_5.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
   in
   let oc = open_out path in
   output_string oc (J.to_string doc);

@@ -1,0 +1,97 @@
+(* CI perf smoke: a fig3-sized check that the hot path stays both
+   correct and allocation-free.
+
+   1. Runs the quick-config quadrangle sweep sequentially and asserts
+      the frozen golden blocking means (the same table tier-1 pins in
+      test_experiments.ml) still hold bit-identically.
+   2. Replays a warm trace through the controlled scheme twice and
+      measures minor-heap words allocated per call on the second run.
+      The steady-state budget is zero (admit + departure +
+      blocked-primary probe); the ceiling below is generous so the job
+      catches accidental re-boxing — a float crossing a function
+      boundary costs >= 2 words/call — and never micro-noise.
+
+   Exits nonzero on any failure, so CI blocks the regression. *)
+
+open Arnet_experiments
+
+let failed = ref false
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("perf_smoke: FAIL " ^ s);
+      failed := true)
+    fmt
+
+let golden_check () =
+  let config = { Config.quick with Config.domains = 1 } in
+  let points = Quadrangle.run ~loads:[ 80.; 90.; 95. ] ~config () in
+  let expected =
+    [ ( 80.,
+        [ ("single-path", 0.0035970687657719772);
+          ("uncontrolled", 6.1275743528842823e-05);
+          ("controlled", 0.00018421195274935021) ] );
+      ( 90.,
+        [ ("single-path", 0.027233159266010543);
+          ("uncontrolled", 0.077561753680641332);
+          ("controlled", 0.022825224504288543) ] );
+      ( 95.,
+        [ ("single-path", 0.049777383949227538);
+          ("uncontrolled", 0.15722272030961867);
+          ("controlled", 0.048939295052836028) ] ) ]
+  in
+  if List.length points <> List.length expected then
+    fail "expected %d sweep points, got %d" (List.length expected)
+      (List.length points)
+  else
+    List.iter2
+      (fun p (x, golden) ->
+        if p.Sweep.x <> x then fail "sweep coordinate %g <> %g" p.Sweep.x x;
+        if List.map fst golden <> List.map fst p.Sweep.schemes then
+          fail "scheme order changed at %g E" x
+        else
+          List.iter2
+            (fun (name, mean) (_, s) ->
+              let got = s.Arnet_sim.Stats.mean in
+              if Float.abs (got -. mean) > 1e-12 then
+                fail "golden blocking for %s at %g E: expected %.17g got %.17g"
+                  name x mean got)
+            golden p.Sweep.schemes)
+      points expected;
+  if not !failed then print_endline "perf_smoke: goldens OK (9 frozen means)"
+
+(* generous: steady state measures ~0.01 words/call; one re-boxed float
+   in the per-call path costs >= 2 *)
+let words_per_call_ceiling = 1.0
+
+let allocation_check () =
+  let g = Arnet_topology.Builders.full_mesh ~nodes:4 ~capacity:100 in
+  let routes = Arnet_paths.Route_table.build g in
+  let matrix = Arnet_traffic.Matrix.uniform ~nodes:4 ~demand:90. in
+  let rng = Arnet_sim.Rng.substream (Arnet_sim.Rng.create ~seed:42) "trace" in
+  let trace = Arnet_sim.Trace.generate ~rng ~duration:50. matrix in
+  let policy = Arnet_core.Scheme.controlled_auto ~matrix routes in
+  let run () =
+    ignore (Arnet_sim.Engine.run ~warmup:5. ~graph:g ~policy trace
+            : Arnet_sim.Stats.t)
+  in
+  (* first run warms the trace, the compiled plans and the queue *)
+  run ();
+  let before = Gc.minor_words () in
+  run ();
+  let words = Gc.minor_words () -. before in
+  let calls = Arnet_sim.Trace.call_count trace in
+  let per_call = words /. float_of_int calls in
+  Printf.printf
+    "perf_smoke: controlled replay %d calls, %.0f minor words, %.4f words/call\n"
+    calls words per_call;
+  if per_call > words_per_call_ceiling then
+    fail "controlled hot path allocates %.4f minor words/call (ceiling %.1f)"
+      per_call words_per_call_ceiling
+
+let () =
+  golden_check ();
+  allocation_check ();
+  if !failed then exit 1;
+  print_endline "perf_smoke: PASS"

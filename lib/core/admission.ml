@@ -23,17 +23,28 @@ let link_admits_primary t ~occupancy k = occupancy.(k) < t.capacities.(k)
 let link_admits_alternate t ~occupancy k =
   occupancy.(k) < t.capacities.(k) - t.reserves.(k)
 
-let all_links p f =
-  let ids = p.Path.link_ids in
-  let n = Array.length ids in
-  let rec go i = i >= n || (f ids.(i) && go (i + 1)) in
-  go 0
+(* the per-path walks recurse with plain arguments instead of taking a
+   predicate closure: partially applying [link_admits_*] would allocate
+   a closure on every call, and these two run once per simulated call *)
+let rec primary_from caps occ ids i =
+  i >= Array.length ids
+  || begin
+       let k = Array.unsafe_get ids i in
+       occ.(k) < caps.(k) && primary_from caps occ ids (i + 1)
+     end
+
+let rec alternate_from caps res occ ids i =
+  i >= Array.length ids
+  || begin
+       let k = Array.unsafe_get ids i in
+       occ.(k) < caps.(k) - res.(k) && alternate_from caps res occ ids (i + 1)
+     end
 
 let path_admits_primary t ~occupancy p =
-  all_links p (link_admits_primary t ~occupancy)
+  primary_from t.capacities occupancy p.Path.link_ids 0
 
 let path_admits_alternate t ~occupancy p =
-  all_links p (link_admits_alternate t ~occupancy)
+  alternate_from t.capacities t.reserves occupancy p.Path.link_ids 0
 
 let alternate_refusal t ~occupancy p =
   let ids = p.Path.link_ids in

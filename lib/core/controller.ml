@@ -1,3 +1,4 @@
+open Arnet_topology
 open Arnet_paths
 open Arnet_sim
 
@@ -13,6 +14,70 @@ let primary_for routes choice (call : Trace.call) =
       Some (Route_table.primary routes ~src ~dst)
     else None
   | Sampled f -> f ~src ~dst ~u:call.Trace.u
+
+(* ------------------------------------------------------------------ *)
+(* compiled decision tables: the allocation-free fast path for the
+   table-primary, unobserved case (every paper scheme in its benchmark
+   configuration).  All decision material — the primary, its [Routed]
+   outcome, the primary-excluded alternates and *their* [Routed]
+   outcomes — is built once per ordered O-D pair, so deciding a call is
+   array indexing plus per-link occupancy compares: no list filter, no
+   closure, no option, no variant allocation. *)
+
+type plan = {
+  plan_primary : Path.t option;  (* prebuilt; never allocated per call *)
+  routed_primary : Engine.outcome;  (* Routed primary, or Lost if none *)
+  alt_paths : Path.t array;  (* attempt order, table primary excluded *)
+  alt_outcomes : Engine.outcome array;  (* Routed alt_paths.(i) *)
+}
+
+let unroutable =
+  { plan_primary = None;
+    routed_primary = Engine.Lost;
+    alt_paths = [||];
+    alt_outcomes = [||] }
+
+let rec scan_alternates admission occupancy paths outcomes i =
+  if i >= Array.length paths then Engine.Lost
+  else if
+    Admission.path_admits_alternate admission ~occupancy
+      (Array.unsafe_get paths i)
+  then Array.unsafe_get outcomes i
+  else scan_alternates admission occupancy paths outcomes (i + 1)
+
+let compile ~name ~routes ~admission ~allow_alternates =
+  let n = Graph.node_count (Route_table.graph routes) in
+  let plans =
+    Array.init (n * n) (fun idx ->
+        let src = idx / n and dst = idx mod n in
+        if src = dst || not (Route_table.has_route routes ~src ~dst) then
+          unroutable
+        else begin
+          let p = Route_table.primary routes ~src ~dst in
+          let alts = Route_table.alternate_array routes ~src ~dst in
+          { plan_primary = Some p;
+            routed_primary = Engine.Routed p;
+            alt_paths = alts;
+            alt_outcomes = Array.map (fun q -> Engine.Routed q) alts }
+        end)
+  in
+  let decide ~occupancy ~(call : Trace.call) =
+    let plan = plans.((call.Trace.src * n) + call.Trace.dst) in
+    match plan.plan_primary with
+    | None -> Engine.Lost
+    | Some p ->
+      if Admission.path_admits_primary admission ~occupancy p then
+        plan.routed_primary
+      else if not allow_alternates then Engine.Lost
+      else
+        scan_alternates admission occupancy plan.alt_paths plan.alt_outcomes 0
+  in
+  let is_primary ~(call : Trace.call) q =
+    match plans.((call.Trace.src * n) + call.Trace.dst).plan_primary with
+    | Some p -> q == p || Path.equal q p
+    | None -> false
+  in
+  { Engine.name; decide; is_primary }
 
 let decide ?observer ~routes ~admission ~choice ~allow_alternates ~occupancy
     (call : Trace.call) =

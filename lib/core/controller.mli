@@ -24,6 +24,23 @@ val primary_for :
   Route_table.t -> primary_choice -> Trace.call -> Path.t option
 (** The primary path tier 1 assigns to this call. *)
 
+val compile :
+  name:string ->
+  routes:Route_table.t ->
+  admission:Admission.t ->
+  allow_alternates:bool ->
+  Engine.policy
+(** The allocation-free form of {!decide} for the table-primary,
+    unobserved case — what every scheme in the paper's benchmark
+    configuration runs.  Decision material is precomputed once per
+    ordered O-D pair: the primary path, its [Routed] outcome, the
+    primary-excluded alternates (the route table's prebuilt attempt
+    order) and their [Routed] outcomes.  Deciding a call is then plan
+    lookup plus per-link occupancy compares; the steady-state per-call
+    hot path (admit, departure, blocked-primary probe) allocates no
+    minor-heap words.  Decisions are identical to
+    [decide ~choice:Table] with no observer. *)
+
 val decide :
   ?observer:(Arnet_obs.Event.t -> unit) ->
   routes:Route_table.t ->

@@ -14,12 +14,18 @@ let is_primary_checker routes choice ~call p =
   | None -> false
 
 let two_tier ?observer ~name ~choice ~allow_alternates ~admission routes =
-  { Engine.name;
-    decide =
-      (fun ~occupancy ~call ->
-        Controller.decide ?observer ~routes ~admission ~choice
-          ~allow_alternates ~occupancy call);
-    is_primary = is_primary_checker routes choice }
+  match (observer, choice) with
+  | None, Controller.Table ->
+    (* the benchmark configuration: compiled, allocation-free decisions
+       (identical outcomes to the generic path below) *)
+    Controller.compile ~name ~routes ~admission ~allow_alternates
+  | _ ->
+    { Engine.name;
+      decide =
+        (fun ~occupancy ~call ->
+          Controller.decide ?observer ~routes ~admission ~choice
+            ~allow_alternates ~occupancy call);
+      is_primary = is_primary_checker routes choice }
 
 let single_path ?(choice = Controller.Table) ?observer routes =
   let admission = Admission.unprotected ~capacities:(capacities_of routes) in

@@ -1,8 +1,15 @@
 open Arnet_topology
 
-type entry = { primary : Path.t option; candidates : Path.t list }
+type entry = {
+  primary : Path.t option;
+  candidates : Path.t list;
+  primary_alternates : Path.t array;
+}
 (* candidates: all simple paths <= h hops, sorted by length; may or may
-   not contain the primary (which can be longer than h). *)
+   not contain the primary (which can be longer than h).
+   primary_alternates: candidates minus the table primary, in attempt
+   order — precomputed at build time so the per-call decision never
+   filters a list (Controller iterates it index-wise, allocation-free). *)
 
 type t = { graph : Graph.t; h : int; entries : entry array array }
 
@@ -16,7 +23,8 @@ let build ?h ?primary g =
     | None -> fun ~src ~dst -> Bfs.min_hop_path g ~src ~dst
   in
   let entry src dst =
-    if src = dst then { primary = None; candidates = [] }
+    if src = dst then
+      { primary = None; candidates = []; primary_alternates = [||] }
     else
       let primary = primary_of ~src ~dst in
       let candidates = Enumerate.simple_paths ~max_hops:h g ~src ~dst in
@@ -25,7 +33,14 @@ let build ?h ?primary g =
         invalid_arg "Route_table.build: primary policy returned no path \
                      for a connected pair"
       | _ -> ());
-      { primary; candidates }
+      let primary_alternates =
+        match primary with
+        | None -> [||]
+        | Some p ->
+          Array.of_list
+            (List.filter (fun q -> not (Path.equal q p)) candidates)
+      in
+      { primary; candidates; primary_alternates }
   in
   let entries = Array.init n (fun src -> Array.init n (entry src)) in
   { graph = g; h; entries }
@@ -47,12 +62,18 @@ let primary t ~src ~dst =
 let has_route t ~src ~dst = (get t src dst).primary <> None
 
 let alternates_excluding t ~src ~dst p =
-  List.filter (fun q -> not (Path.equal q p)) (get t src dst).candidates
+  let e = get t src dst in
+  match e.primary with
+  | Some prim when prim == p || Path.equal prim p ->
+    Array.to_list e.primary_alternates
+  | _ -> List.filter (fun q -> not (Path.equal q p)) e.candidates
 
 let alternates t ~src ~dst =
   match (get t src dst).primary with
   | None -> []
-  | Some p -> alternates_excluding t ~src ~dst p
+  | Some _ -> Array.to_list (get t src dst).primary_alternates
+
+let alternate_array t ~src ~dst = (get t src dst).primary_alternates
 
 let all_paths t ~src ~dst =
   let e = get t src dst in

@@ -45,7 +45,17 @@ val alternates : t -> src:int -> dst:int -> Path.t list
 val alternates_excluding : t -> src:int -> dst:int -> Path.t -> Path.t list
 (** Alternates when the pair's primary for this particular call is the
     given path (used with bifurcated primaries): all stored candidate
-    paths minus that path. *)
+    paths minus that path.  When the excluded path is the table's own
+    primary this returns the precomputed list; other exclusions filter
+    the candidates on the fly. *)
+
+val alternate_array : t -> src:int -> dst:int -> Path.t array
+(** The precomputed table-primary-excluded alternates, in attempt order
+    (increasing hops) — same contents as {!alternates}, but the array
+    the table already holds, so per-call consumers (the compiled
+    controller) iterate it index-wise with zero allocation.  Aliased,
+    not copied: treat as read-only.  Empty when the pair has no
+    route. *)
 
 val all_paths : t -> src:int -> dst:int -> Path.t list
 (** Primary-eligible plus alternate candidates: every loop-free path of at

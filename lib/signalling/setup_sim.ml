@@ -41,7 +41,7 @@ type event =
 
 let run ?(warmup = 10.) ?(hop_latency = 0.01) ~graph ~routes ~reserves
     ~allow_alternates trace =
-  let { Trace.calls; duration; matrix } = trace in
+  let { Trace.calls; duration; matrix; _ } = trace in
   if hop_latency < 0. || not (Float.is_finite hop_latency) then
     invalid_arg "Setup_sim.run: bad hop latency";
   if warmup < 0. || warmup >= duration then

@@ -28,8 +28,11 @@ let () =
            seed policy (Printexc.to_string exn))
     | _ -> None)
 
+(* closure-free per-link walks: defined once per run (they close over
+   the run's occupancy/capacity arrays) and recurse with int arguments
+   only, so the admit/release hot path allocates nothing *)
 let run ?(warmup = 10.) ?observer ~graph ~policy trace =
-  let { Trace.calls; duration; matrix } = trace in
+  let { Trace.calls; times; ends; duration; matrix; _ } = trace in
   if warmup < 0. || warmup >= duration then
     invalid_arg "Engine.run: warmup must be in [0, duration)";
   if Arnet_traffic.Matrix.nodes matrix <> Graph.node_count graph then
@@ -53,31 +56,46 @@ let run ?(warmup = 10.) ?observer ~graph ~policy trace =
            nodes = Graph.node_count graph;
            links = m })
   | None -> ());
+  let rec release_ids link_ids i =
+    if i < Array.length link_ids then begin
+      let id = Array.unsafe_get link_ids i in
+      occupancy.(id) <- occupancy.(id) - 1;
+      assert (occupancy.(id) >= 0);
+      release_ids link_ids (i + 1)
+    end
+  in
   let release time link_ids =
-    Array.iter
-      (fun id ->
-        occupancy.(id) <- occupancy.(id) - 1;
-        assert (occupancy.(id) >= 0))
-      link_ids;
+    release_ids link_ids 0;
     match observer with
     | Some f -> f (Arnet_obs.Event.Departure { time; links = link_ids })
     | None -> ()
   in
-  let admit (call : Trace.call) (p : Path.t) =
-    let ids = p.Path.link_ids in
-    Array.iter
-      (fun id ->
-        if id < 0 || id >= m then
-          invalid_arg "Engine.run: policy routed over unknown link";
-        if occupancy.(id) >= capacity.(id) then
-          invalid_arg "Engine.run: policy routed over a full link";
-        occupancy.(id) <- occupancy.(id) + 1)
-      ids;
-    Event_queue.push departures ~time:(call.Trace.time +. call.Trace.holding)
-      (Array.copy ids)
+  let rec occupy ids i =
+    if i < Array.length ids then begin
+      let id = Array.unsafe_get ids i in
+      if id < 0 || id >= m then
+        invalid_arg "Engine.run: policy routed over unknown link";
+      if occupancy.(id) >= capacity.(id) then
+        invalid_arg "Engine.run: policy routed over a full link";
+      occupancy.(id) <- occupancy.(id) + 1;
+      occupy ids (i + 1)
+    end
   in
-  let handle (call : Trace.call) =
-    Event_queue.pop_until departures ~time:call.Trace.time ~f:release;
+  (* the departure payload aliases the path's own immutable link_ids
+     (see Path.t) — no per-admit copy; the deadline is read from the
+     trace's packed [ends] column so no float is boxed *)
+  let admit i (p : Path.t) =
+    occupy p.Path.link_ids 0;
+    Event_queue.push_at departures ~times:ends i p.Path.link_ids
+  in
+  let handle i (call : Trace.call) =
+    (match observer with
+    | None ->
+      while Event_queue.next_due departures ~deadlines:times i do
+        release_ids (Event_queue.pop_payload departures) 0
+      done
+    | Some _ ->
+      Event_queue.pop_until departures ~time:call.Trace.time ~f:release);
     let measured = call.Trace.time >= warmup in
     (match observer with
     | Some f ->
@@ -105,7 +123,7 @@ let run ?(warmup = 10.) ?observer ~graph ~policy trace =
     | Routed p ->
       if Path.src p <> call.Trace.src || Path.dst p <> call.Trace.dst then
         invalid_arg "Engine.run: policy routed to wrong endpoints";
-      admit call p;
+      admit i p;
       if measured || Option.is_some observer then begin
         let primary = policy.is_primary ~call p in
         (match observer with
@@ -124,7 +142,9 @@ let run ?(warmup = 10.) ?observer ~graph ~policy trace =
           else Stats.record_alternate stats ~hops:(Path.hops p)
       end
   in
-  Array.iter handle calls;
+  for i = 0 to Array.length calls - 1 do
+    handle i (Array.unsafe_get calls i)
+  done;
   (match observer with
   | Some f ->
     (* drain departures that fall inside the run so the trace balances *)

@@ -1,72 +1,130 @@
-type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+(* Structure-of-arrays binary heap: a parallel unboxed [float array] of
+   times and an [Obj.t array] of payloads.  Compared to a heap of boxed
+   [(float * 'a)] tuples this eliminates two minor-heap allocations per
+   push and keeps sift comparisons reading a flat float array (better
+   cache locality, no pointer chase per comparison).
 
-let create () = { data = [||]; size = 0 }
+   The payload array is untyped ([Obj.t]) for one reason only: vacated
+   slots must be overwritten with a dummy so a popped payload is not
+   kept reachable by the queue (the [()] immediate serves as the null).
+   The [Obj] use is confined to this module; the interface stays a
+   plain ['a t].
+
+   Hot-path discipline (no flambda): a [float] argument crosses a
+   function boundary boxed, so the allocation-free entry points
+   ([push_at], [next_due]) take a [float array] and an index and read
+   the time inside the callee.  Tie-breaking and sift order are
+   bit-identical to the previous tuple heap. *)
+
+type 'a t = {
+  mutable times : float array;
+  mutable data : Obj.t array;  (* parallel to [times]; >= size slots are nil *)
+  mutable size : int;
+}
+
+let nil = Obj.repr ()
+
+let create () = { times = [||]; data = [||]; size = 0 }
 let length h = h.size
 let is_empty h = h.size = 0
-let clear h = h.size <- 0
+
+let clear h =
+  Array.fill h.data 0 h.size nil;
+  h.size <- 0
 
 let swap h i j =
-  let tmp = h.data.(i) in
+  let t = h.times.(i) in
+  h.times.(i) <- h.times.(j);
+  h.times.(j) <- t;
+  let d = h.data.(i) in
   h.data.(i) <- h.data.(j);
-  h.data.(j) <- tmp
+  h.data.(j) <- d
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.times.(i) < h.times.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < h.size && h.times.(l) < h.times.(i) then l else i in
+  let smallest =
+    if r < h.size && h.times.(r) < h.times.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
+  end
+
+let ensure_capacity h =
+  if h.size = Array.length h.times then begin
+    let cap = Stdlib.max 16 (2 * h.size) in
+    let times = Array.make cap 0. in
+    let data = Array.make cap nil in
+    Array.blit h.times 0 times 0 h.size;
+    Array.blit h.data 0 data 0 h.size;
+    h.times <- times;
+    h.data <- data
+  end
 
 let push h ~time x =
   if not (Float.is_finite time) then invalid_arg "Event_queue.push: bad time";
-  if h.size = Array.length h.data then begin
-    let cap = Stdlib.max 16 (2 * h.size) in
-    let data = Array.make cap (time, x) in
-    Array.blit h.data 0 data 0 h.size;
-    h.data <- data
-  end;
-  h.data.(h.size) <- (time, x);
-  let i = ref h.size in
-  h.size <- h.size + 1;
-  let continue = ref true in
-  while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if fst h.data.(!i) < fst h.data.(parent) then begin
-      swap h !i parent;
-      i := parent
-    end
-    else continue := false
-  done
+  ensure_capacity h;
+  let i = h.size in
+  h.times.(i) <- time;
+  h.data.(i) <- Obj.repr x;
+  h.size <- i + 1;
+  sift_up h i
 
-let peek_time h = if h.size = 0 then None else Some (fst h.data.(0))
+let push_at h ~times i x =
+  let time = times.(i) in
+  (* [x -. x = 0.] iff x is finite; an inline check so the float is
+     never passed (boxed) to a predicate *)
+  if not (time -. time = 0.) then invalid_arg "Event_queue.push_at: bad time";
+  ensure_capacity h;
+  let j = h.size in
+  h.times.(j) <- time;
+  h.data.(j) <- Obj.repr x;
+  h.size <- j + 1;
+  sift_up h j
+
+let peek_time h = if h.size = 0 then None else Some h.times.(0)
+
+let next_due h ~deadlines i = h.size > 0 && h.times.(0) <= deadlines.(i)
+
+let pop_payload h =
+  if h.size = 0 then invalid_arg "Event_queue.pop_payload: empty queue";
+  let x = h.data.(0) in
+  let n = h.size - 1 in
+  h.size <- n;
+  if n > 0 then begin
+    h.times.(0) <- h.times.(n);
+    h.data.(0) <- h.data.(n);
+    h.data.(n) <- nil;
+    sift_down h 0
+  end
+  else h.data.(0) <- nil;
+  Obj.obj x
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then
-          smallest := l;
-        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then
-          smallest := r;
-        if !smallest <> !i then begin
-          swap h !i !smallest;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some top
+    let t = h.times.(0) in
+    let x = pop_payload h in
+    Some (t, x)
   end
 
 let pop_until h ~time ~f =
   let continue = ref true in
   while !continue do
-    match peek_time h with
-    | Some t when t <= time -> begin
-      match pop h with
-      | Some (t, x) -> f t x
-      | None -> continue := false
+    if h.size > 0 && h.times.(0) <= time then begin
+      let t = h.times.(0) in
+      let x = pop_payload h in
+      f t x
     end
-    | _ -> continue := false
+    else continue := false
   done

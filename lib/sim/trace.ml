@@ -8,7 +8,39 @@ type call = {
   u : float;
 }
 
-type t = { calls : call array; duration : float; matrix : Matrix.t }
+type t = {
+  calls : call array;
+  times : float array;
+  srcs : int array;
+  dsts : int array;
+  holdings : float array;
+  us : float array;
+  ends : float array;
+  duration : float;
+  matrix : Matrix.t;
+}
+
+(* every constructor funnels through [pack]: the packed columns are
+   filled from the record view in one pass, with the departure deadline
+   [time + holding] computed straight into its float array (never boxed) *)
+let pack ~duration ~matrix calls =
+  let n = Array.length calls in
+  let times = Array.make n 0. in
+  let holdings = Array.make n 0. in
+  let us = Array.make n 0. in
+  let ends = Array.make n 0. in
+  let srcs = Array.make n 0 in
+  let dsts = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let c = calls.(i) in
+    times.(i) <- c.time;
+    srcs.(i) <- c.src;
+    dsts.(i) <- c.dst;
+    holdings.(i) <- c.holding;
+    us.(i) <- c.u;
+    ends.(i) <- c.time +. c.holding
+  done;
+  { calls; times; srcs; dsts; holdings; us; ends; duration; matrix }
 
 let generate ?(mean_holding = 1.) ~rng ~duration matrix =
   if duration <= 0. then invalid_arg "Trace.generate: duration <= 0";
@@ -37,18 +69,60 @@ let generate ?(mean_holding = 1.) ~rng ~duration matrix =
     pairs.(!lo)
   in
   let holding_rate = 1. /. mean_holding in
-  let out = ref [] in
-  let count = ref 0 in
-  let t = ref (Rng.exponential rng ~rate:total) in
-  while !t < duration do
+  (* generate straight into the SoA columns (amortised doubling); the
+     record view is derived once at the end.  The current time lives in
+     a one-element float array so the accumulator stays unboxed. *)
+  let cap = ref 1024 in
+  let times = ref (Array.make !cap 0.) in
+  let holdings = ref (Array.make !cap 0.) in
+  let us = ref (Array.make !cap 0.) in
+  let srcs = ref (Array.make !cap 0) in
+  let dsts = ref (Array.make !cap 0) in
+  let n = ref 0 in
+  let grow () =
+    let cap' = 2 * !cap in
+    let extend mk a = let b = mk cap' in Array.blit a 0 b 0 !cap; b in
+    times := extend (fun c -> Array.make c 0.) !times;
+    holdings := extend (fun c -> Array.make c 0.) !holdings;
+    us := extend (fun c -> Array.make c 0.) !us;
+    srcs := extend (fun c -> Array.make c 0) !srcs;
+    dsts := extend (fun c -> Array.make c 0) !dsts;
+    cap := cap'
+  in
+  let t = Array.make 1 (Rng.exponential rng ~rate:total) in
+  while t.(0) < duration do
     let src, dst, _ = pick_pair (Rng.float rng !acc) in
     let holding = Rng.exponential rng ~rate:holding_rate in
     let u = Rng.uniform rng in
-    out := { time = !t; src; dst; holding; u } :: !out;
-    incr count;
-    t := !t +. Rng.exponential rng ~rate:total
+    if !n = !cap then grow ();
+    let i = !n in
+    !times.(i) <- t.(0);
+    !holdings.(i) <- holding;
+    !us.(i) <- u;
+    !srcs.(i) <- src;
+    !dsts.(i) <- dst;
+    n := i + 1;
+    t.(0) <- t.(0) +. Rng.exponential rng ~rate:total
   done;
-  { calls = Array.of_list (List.rev !out); duration; matrix }
+  let n = !n in
+  let times = Array.sub !times 0 n in
+  let holdings = Array.sub !holdings 0 n in
+  let us = Array.sub !us 0 n in
+  let srcs = Array.sub !srcs 0 n in
+  let dsts = Array.sub !dsts 0 n in
+  let ends = Array.make n 0. in
+  for i = 0 to n - 1 do
+    ends.(i) <- times.(i) +. holdings.(i)
+  done;
+  let calls =
+    Array.init n (fun i ->
+        { time = times.(i);
+          src = srcs.(i);
+          dst = dsts.(i);
+          holding = holdings.(i);
+          u = us.(i) })
+  in
+  { calls; times; srcs; dsts; holdings; us; ends; duration; matrix }
 
 let of_calls ~matrix ~duration calls =
   if duration <= 0. then invalid_arg "Trace.of_calls: duration <= 0";
@@ -65,14 +139,13 @@ let of_calls ~matrix ~duration calls =
     c.time
   in
   let (_ : float) = List.fold_left check 0. calls in
-  { calls = Array.of_list calls; duration; matrix }
+  pack ~duration ~matrix (Array.of_list calls)
 
 let shift t dt =
   if dt < 0. || not (Float.is_finite dt) then
     invalid_arg "Trace.shift: negative shift";
-  { t with
-    calls = Array.map (fun c -> { c with time = c.time +. dt }) t.calls;
-    duration = t.duration +. dt }
+  pack ~duration:(t.duration +. dt) ~matrix:t.matrix
+    (Array.map (fun c -> { c with time = c.time +. dt }) t.calls)
 
 let merge a b =
   if Matrix.nodes a.matrix <> Matrix.nodes b.matrix then
@@ -93,9 +166,10 @@ let merge a b =
       incr j
     end
   done;
-  { calls = out;
-    duration = Float.max a.duration b.duration;
-    matrix = Matrix.add a.matrix b.matrix }
+  pack
+    ~duration:(Float.max a.duration b.duration)
+    ~matrix:(Matrix.add a.matrix b.matrix)
+    out
 
 let call_count t = Array.length t.calls
 

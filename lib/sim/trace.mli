@@ -20,9 +20,22 @@ type call = {
 
 type t = private {
   calls : call array;  (** sorted by arrival time *)
+  times : float array;  (** packed column of [calls.(i).time] *)
+  srcs : int array;  (** packed column of [calls.(i).src] *)
+  dsts : int array;  (** packed column of [calls.(i).dst] *)
+  holdings : float array;  (** packed column of [calls.(i).holding] *)
+  us : float array;  (** packed column of [calls.(i).u] *)
+  ends : float array;  (** departure deadlines [time +. holding] *)
   duration : float;
   matrix : Matrix.t;  (** the demands that generated it *)
 }
+(** A trace carries the workload twice: [calls] is the record (AoS)
+    view every policy consumes, and the packed columns are the
+    structure-of-arrays view the simulation hot path reads.  The float
+    columns are unboxed, so the engine's inner loop compares times and
+    queues departures ({!Event_queue.push_at} on [ends]) without boxing
+    a single float.  Both views are built once at construction and are
+    always consistent; treat the arrays as read-only. *)
 
 val generate :
   ?mean_holding:float -> rng:Rng.t -> duration:float -> Matrix.t -> t

@@ -411,6 +411,59 @@ let prop_yen_prefix_of_enumeration =
         List.map Path.nodes yen
         = List.map Path.nodes (List.filteri (fun i _ -> i < k) all))
 
+(* the precomputed alternate arrays must match the List.filter semantics
+   they replaced: candidates minus the table primary, in attempt order *)
+let prop_alternate_array_equiv =
+  QCheck2.Test.make ~count:60
+    ~name:"alternate_array = primary-excluded all_paths (filter semantics)"
+    QCheck2.Gen.(pair graph_gen (int_range 1 4))
+    (fun ((n, edges), h) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:1 edges in
+      let t = Route_table.build ~h g in
+      let nodes = List.init n (fun i -> i) in
+      List.for_all
+        (fun src ->
+          List.for_all
+            (fun dst ->
+              src = dst
+              || (not (Route_table.has_route t ~src ~dst))
+              ||
+              let p = Route_table.primary t ~src ~dst in
+              let arr =
+                Array.to_list (Route_table.alternate_array t ~src ~dst)
+              in
+              let reference =
+                List.filter
+                  (fun q -> not (Path.equal q p))
+                  (Route_table.all_paths t ~src ~dst)
+              in
+              List.map Path.nodes arr = List.map Path.nodes reference
+              && List.map Path.nodes
+                   (Route_table.alternates_excluding t ~src ~dst p)
+                 = List.map Path.nodes reference
+              &&
+              (* attempt order is by increasing hop count *)
+              let hs = List.map Path.hops arr in
+              List.sort compare hs = hs)
+            nodes)
+        nodes)
+
+let test_alternate_attempt_order_golden () =
+  let g = k4 () in
+  let t = Route_table.build g in
+  Alcotest.(check (list (list int)))
+    "K4 0->3: two 2-hop alternates then two 3-hop, lexicographic within"
+    [ [ 0; 1; 3 ]; [ 0; 2; 3 ]; [ 0; 1; 2; 3 ]; [ 0; 2; 1; 3 ] ]
+    (List.map Path.nodes
+       (Array.to_list (Route_table.alternate_array t ~src:0 ~dst:3)));
+  Alcotest.(check (list (list int)))
+    "alternates_excluding the primary agrees with the array"
+    (List.map Path.nodes
+       (Array.to_list (Route_table.alternate_array t ~src:0 ~dst:3)))
+    (List.map Path.nodes
+       (Route_table.alternates_excluding t ~src:0 ~dst:3
+          (Route_table.primary t ~src:0 ~dst:3)))
+
 let prop_bfs_is_shortest =
   QCheck2.Test.make ~count:80 ~name:"bfs path length equals distance"
     graph_gen (fun (n, edges) ->
@@ -472,9 +525,12 @@ let () =
           Alcotest.test_case "custom primary" `Quick
             test_route_table_custom_primary;
           Alcotest.test_case "disconnected" `Quick test_route_table_disconnected;
-          Alcotest.test_case "nsfnet stats" `Quick test_route_table_stats ] );
+          Alcotest.test_case "nsfnet stats" `Quick test_route_table_stats;
+          Alcotest.test_case "alternate attempt order golden" `Quick
+            test_alternate_attempt_order_golden ] );
       ( "properties",
         List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_enumerated_paths_valid;
             prop_yen_prefix_of_enumeration;
+            prop_alternate_array_equiv;
             prop_bfs_is_shortest ] ) ]

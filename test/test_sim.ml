@@ -100,6 +100,127 @@ let prop_event_queue_sorts =
       in
       drain [] = List.sort compare times)
 
+(* interleaved push/pop against a multiset model.  Times are drawn from
+   a 10-value range so duplicate timestamps are common; ties carry no
+   ordering guarantee between payloads, so the model only demands that
+   each pop returns the minimum outstanding time and a payload that was
+   pushed with exactly that time and not yet popped. *)
+let prop_event_queue_model =
+  QCheck2.Test.make ~count:300
+    ~name:"interleaved push/pop agrees with sorted-multiset model"
+    QCheck2.Gen.(
+      list_size (int_range 0 80)
+        (oneof
+           [ map (fun t -> Some (float_of_int t)) (int_range 0 9);
+             pure None ]))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let outstanding = ref [] in
+      let next_id = ref 0 in
+      let ok = ref true in
+      let remove_first pair l =
+        let rec go acc = function
+          | [] -> ok := false; List.rev acc
+          | x :: rest ->
+            if x = pair then List.rev_append acc rest else go (x :: acc) rest
+        in
+        go [] l
+      in
+      let take () =
+        match Event_queue.pop q with
+        | None -> if !outstanding <> [] then ok := false
+        | Some (t, i) ->
+          let min_t =
+            List.fold_left (fun m (u, _) -> Float.min m u) infinity !outstanding
+          in
+          if t <> min_t then ok := false;
+          outstanding := remove_first (t, i) !outstanding
+      in
+      List.iter
+        (function
+          | Some t ->
+            let i = !next_id in
+            incr next_id;
+            Event_queue.push q ~time:t i;
+            outstanding := (t, i) :: !outstanding
+          | None -> take ())
+        ops;
+      while not (Event_queue.is_empty q) do
+        take ()
+      done;
+      !ok && !outstanding = [])
+
+let test_event_queue_pop_until_boundary () =
+  let q = Event_queue.create () in
+  List.iter (fun t -> Event_queue.push q ~time:t t) [ 1.; 2.; 2.; 3. ];
+  let popped = ref [] in
+  Event_queue.pop_until q ~time:2. ~f:(fun t _ -> popped := t :: !popped);
+  (* [pop_until ~time] is inclusive: both events at exactly t = time go *)
+  Alcotest.(check (list (float 0.)))
+    "events at exactly t = time are popped" [ 1.; 2.; 2. ]
+    (List.rev !popped);
+  Alcotest.(check int) "later event remains" 1 (Event_queue.length q);
+  Alcotest.(check (option (float 0.))) "head is the later event" (Some 3.)
+    (Event_queue.peek_time q)
+
+let test_event_queue_indexed_api () =
+  let q = Event_queue.create () in
+  let times = [| 3.; 1.; 2. |] in
+  Event_queue.push_at q ~times 0 "c";
+  Event_queue.push_at q ~times 1 "a";
+  Event_queue.push_at q ~times 2 "b";
+  Alcotest.(check (option (float 0.))) "peek" (Some 1.)
+    (Event_queue.peek_time q);
+  let deadlines = [| 0.5; 1.; 2.5 |] in
+  Alcotest.(check bool) "not due before head" false
+    (Event_queue.next_due q ~deadlines 0);
+  Alcotest.(check bool) "due at exactly the deadline" true
+    (Event_queue.next_due q ~deadlines 1);
+  Alcotest.(check string) "payloads pop in time order" "a"
+    (Event_queue.pop_payload q);
+  Alcotest.(check bool) "due below deadline" true
+    (Event_queue.next_due q ~deadlines 2);
+  Alcotest.(check string) "second payload" "b" (Event_queue.pop_payload q);
+  Alcotest.(check bool) "head beyond deadline" false
+    (Event_queue.next_due q ~deadlines 2);
+  Alcotest.(check string) "last payload" "c" (Event_queue.pop_payload q);
+  Alcotest.(check bool) "empty queue never due" false
+    (Event_queue.next_due q ~deadlines 2);
+  check_invalid "pop_payload on empty" (fun () ->
+      ignore (Event_queue.pop_payload q : string));
+  check_invalid "push_at non-finite" (fun () ->
+      Event_queue.push_at q ~times:[| Float.nan |] 0 "x")
+
+(* the space-leak fix: popped and cleared payloads must become
+   unreachable.  Observed through a weak array; the pops happen inside a
+   never-inlined helper so no stack slot keeps the payload alive. *)
+let[@inline never] pop_and_discard q =
+  match Event_queue.pop q with Some _ -> () | None -> ()
+
+let test_event_queue_payload_release () =
+  let q = Event_queue.create () in
+  let weak = Weak.create 3 in
+  let push i time =
+    let payload = Array.make 4 i in
+    Weak.set weak i (Some payload);
+    Event_queue.push q ~time payload
+  in
+  push 0 1.;
+  push 1 2.;
+  push 2 3.;
+  pop_and_discard q;
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload released" true
+    (Weak.get weak 0 = None);
+  Alcotest.(check bool) "queued payload retained" true
+    (Weak.get weak 1 <> None);
+  Alcotest.(check bool) "queued payload retained (tail slot)" true
+    (Weak.get weak 2 <> None);
+  Event_queue.clear q;
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared payloads released" true
+    (Weak.get weak 1 = None && Weak.get weak 2 = None)
+
 (* ------------------------------------------------------------------ *)
 (* Trace *)
 
@@ -484,7 +605,13 @@ let () =
       ( "event-queue",
         [ Alcotest.test_case "ordering" `Quick test_event_queue_ordering;
           Alcotest.test_case "pop_until" `Quick test_event_queue_pop_until;
-          QCheck_alcotest.to_alcotest prop_event_queue_sorts ] );
+          Alcotest.test_case "pop_until boundary" `Quick
+            test_event_queue_pop_until_boundary;
+          Alcotest.test_case "indexed api" `Quick test_event_queue_indexed_api;
+          Alcotest.test_case "payload release" `Quick
+            test_event_queue_payload_release;
+          QCheck_alcotest.to_alcotest prop_event_queue_sorts;
+          QCheck_alcotest.to_alcotest prop_event_queue_model ] );
       ( "trace",
         [ Alcotest.test_case "generation" `Quick test_trace_generation;
           Alcotest.test_case "pair frequencies" `Quick
