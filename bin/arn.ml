@@ -606,17 +606,87 @@ let lint_cmd =
     Arg.(value & opt_all string [] & info [ "check" ] ~docv:"NAME" ~doc)
   in
   let list_checks =
-    let doc = "List the registered checks and exit." in
-    Arg.(value & flag & info [ "list-checks" ] ~doc)
+    let doc =
+      "List every registered check with its diagnostic codes and exit \
+       (includes the $(b,--source) pass)."
+    in
+    Arg.(value & flag & info [ "list"; "list-checks" ] ~doc)
+  in
+  let source =
+    let doc =
+      "Lint this repository's own OCaml sources for shared-mutable-state \
+       sites instead of linting a network configuration (the network \
+       arguments are ignored)."
+    in
+    Arg.(value & flag & info [ "source" ] ~doc)
+  in
+  let srcs =
+    let doc =
+      "Directory to scan under $(b,--source); repeatable.  Defaults to \
+       $(b,lib)."
+    in
+    Arg.(value & opt_all string [] & info [ "src" ] ~docv:"DIR" ~doc)
+  in
+  let allow =
+    let doc =
+      "Shared-state allowlist for $(b,--source) (see lint/allow.sexp).  \
+       The default path is used only when the file exists; an explicitly \
+       given file must exist."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "allow" ] ~docv:"FILE" ~doc)
   in
   let run network capacity h scale demand format strict overrides only
-      list_checks =
+      list_checks source srcs allow =
     let module A = Arnet_analysis in
-    if list_checks then
+    if list_checks then begin
       List.iter
         (fun (c : A.Check.t) ->
-          Format.fprintf ppf "%-12s %s@." c.A.Check.name c.A.Check.describe)
-        (A.Check.registered ())
+          Format.fprintf ppf "%-12s %s@." c.A.Check.name c.A.Check.describe;
+          List.iter
+            (fun (code, meaning) ->
+              Format.fprintf ppf "  %-18s %s@." code meaning)
+            c.A.Check.codes)
+        (A.Check.registered ());
+      Format.fprintf ppf "%-12s %s@." "source"
+        "shared-mutable-state audit of this repository's own code \
+         (--source)";
+      List.iter
+        (fun (code, meaning) ->
+          Format.fprintf ppf "  %-18s %s@." code meaning)
+        A.Src_check.codes
+    end
+    else if source then begin
+      let dirs = match srcs with [] -> [ "lib" ] | dirs -> dirs in
+      let allow_file =
+        match allow with
+        | Some path ->
+          if not (Sys.file_exists path) then begin
+            Printf.eprintf "arn lint: --allow %s: no such file\n" path;
+            exit 2
+          end;
+          Some path
+        | None ->
+          let default = "lint/allow.sexp" in
+          if Sys.file_exists default then Some default else None
+      in
+      let findings =
+        try A.Src_check.run ?allow_file ~dirs ()
+        with
+        | A.Allowlist.Parse_error (line, msg) ->
+          Printf.eprintf "arn lint: %s: line %d: %s\n"
+            (Option.value ~default:"allowlist" allow_file)
+            line msg;
+          exit 2
+        | Sys_error msg ->
+          Printf.eprintf "arn lint: %s\n" msg;
+          exit 2
+      in
+      (match format with
+      | `Text -> Format.fprintf ppf "%a" A.Lint.pp_text findings
+      | `Json -> Format.fprintf ppf "%s@." (A.Lint.to_json findings));
+      exit (A.Lint.exit_code ~strict findings)
+    end
     else begin
       let config =
         (* exit 2 on anything that prevents even assembling the
@@ -680,7 +750,9 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Statically verify a routing configuration (topology, routes, \
-          protection levels, traffic) before running it"
+          protection levels, traffic) before running it — or, with \
+          $(b,--source), audit this repository's own code for unguarded \
+          shared mutable state"
        ~man:
          [
            `S Manpage.s_exit_status;
@@ -690,11 +762,14 @@ let lint_cmd =
            `Noblank;
            `P "1 when findings remain;";
            `Noblank;
-           `P "2 when the configuration cannot be loaded at all.";
+           `P
+             "2 when the configuration (or, under $(b,--source), the \
+              allowlist or a scan directory) cannot be loaded at all.";
          ])
     Term.(
       const run $ network_arg $ capacity_arg $ h $ scale $ demand
-      $ format_arg $ strict $ overrides $ only $ list_checks)
+      $ format_arg $ strict $ overrides $ only $ list_checks $ source
+      $ srcs $ allow)
 
 (* ------------------------------------------------------------------ *)
 (* arn trace *)

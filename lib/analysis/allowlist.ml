@@ -1,0 +1,183 @@
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+type entry = {
+  file : string;
+  ident : string;
+  code : string;
+  reason : string;
+  line : int;
+}
+
+type t = entry list
+
+(* ------------------------------------------------------------------ *)
+(* a tiny s-expression lexer: parens, bare atoms, double-quoted strings
+   with backslash escapes (quote, backslash, n), and semicolon-to-end-
+   of-line comments.  Kept dependency-free like Diagnostic's JSON
+   reader: the container ships no sexp library. *)
+
+type token = Lparen of int | Rparen of int | Atom of int * string
+
+let tokenize s =
+  let n = String.length s in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  while !pos < n do
+    (match s.[!pos] with
+    | '\n' ->
+      incr line;
+      incr pos
+    | ' ' | '\t' | '\r' -> incr pos
+    | ';' ->
+      while !pos < n && s.[!pos] <> '\n' do
+        incr pos
+      done
+    | '(' ->
+      push (Lparen !line);
+      incr pos
+    | ')' ->
+      push (Rparen !line);
+      incr pos
+    | '"' ->
+      let start_line = !line in
+      let buf = Buffer.create 32 in
+      incr pos;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        (match s.[!pos] with
+        | '"' -> closed := true
+        | '\\' ->
+          if !pos + 1 >= n then fail start_line "truncated escape in string";
+          (match s.[!pos + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | c -> fail start_line (Printf.sprintf "bad escape \\%c" c));
+          incr pos
+        | '\n' ->
+          incr line;
+          Buffer.add_char buf '\n'
+        | c -> Buffer.add_char buf c);
+        incr pos
+      done;
+      if not !closed then fail start_line "unterminated string";
+      push (Atom (start_line, Buffer.contents buf))
+    | _ ->
+      let start = !pos in
+      let start_line = !line in
+      while
+        !pos < n
+        && not
+             (match s.[!pos] with
+             | ' ' | '\t' | '\r' | '\n' | '(' | ')' | ';' | '"' -> true
+             | _ -> false)
+      do
+        incr pos
+      done;
+      push (Atom (start_line, String.sub s start (!pos - start))));
+    ()
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* each entry is a list of (key value) pairs:
+     ((file lib/sim/engine.ml)
+      (ident simulated_calls)
+      (code SRC101)
+      (reason "why this shared site is safe")) *)
+
+let parse_entry line fields =
+  let lookup key =
+    match List.assoc_opt key fields with
+    | Some v -> v
+    | None ->
+      fail line (Printf.sprintf "entry is missing the (%s ...) field" key)
+  in
+  {
+    file = lookup "file";
+    ident = lookup "ident";
+    code = lookup "code";
+    reason = lookup "reason";
+    line;
+  }
+
+let parse_field = function
+  | [ Atom (_, key); Atom (_, value) ] -> (key, value)
+  | Atom (line, _) :: _ | Lparen line :: _ | Rparen line :: _ ->
+    fail line "field must be (key value)"
+  | [] -> fail 0 "empty field"
+
+let of_string s =
+  let tokens = tokenize s in
+  (* recursive descent over exactly two nesting levels: entries of
+     fields of atoms *)
+  let rec entries acc = function
+    | [] -> List.rev acc
+    | Lparen line :: rest ->
+      let fields, rest = fields line [] rest in
+      entries (parse_entry line fields :: acc) rest
+    | Rparen line :: _ -> fail line "unmatched )"
+    | Atom (line, a) :: _ ->
+      fail line (Printf.sprintf "expected ( to open an entry, got %S" a)
+  and fields entry_line acc = function
+    | Rparen _ :: rest -> (List.rev acc, rest)
+    | Lparen line :: rest ->
+      let toks, rest = field_tokens line [] rest in
+      fields entry_line (parse_field toks :: acc) rest
+    | Atom (line, a) :: _ ->
+      fail line (Printf.sprintf "expected a (key value) field, got %S" a)
+    | [] -> fail entry_line "unterminated entry"
+  and field_tokens field_line acc = function
+    | Rparen _ :: rest -> (List.rev acc, rest)
+    | (Atom _ as t) :: rest -> field_tokens field_line (t :: acc) rest
+    | Lparen line :: _ -> fail line "nested ( inside a field"
+    | [] -> fail field_line "unterminated field"
+  in
+  entries [] tokens
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let needs_quoting a =
+  a = ""
+  || String.exists
+       (function
+         | ' ' | '\t' | '\r' | '\n' | '(' | ')' | ';' | '"' | '\\' -> true
+         | _ -> false)
+       a
+
+let print_atom a =
+  if not (needs_quoting a) then a
+  else begin
+    let buf = Buffer.create (String.length a + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      a;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_string entries =
+  String.concat ""
+    (List.map
+       (fun e ->
+         Printf.sprintf "((file %s)\n (ident %s)\n (code %s)\n (reason %s))\n"
+           (print_atom e.file) (print_atom e.ident) (print_atom e.code)
+           (print_atom e.reason))
+       entries)
+
+let matches entry ~file ~ident ~code =
+  entry.file = file && entry.ident = ident && entry.code = code

@@ -1,0 +1,45 @@
+(** The checked-in shared-state allowlist read by [arn lint --source].
+
+    Every intentional shared-mutable-state site the {!Src_check} pass
+    finds must be declared here with a reason, so the shared-state
+    budget of the codebase is explicit (DESIGN.md, "shared-state
+    budget").  The file format is a sequence of s-expressions:
+
+    {v
+    ; engine.ml's process-wide benchmark odometer
+    ((file lib/sim/engine.ml)
+     (ident simulated_calls)
+     (code SRC101)
+     (reason "Atomic counter; racy reads only feed calls/sec reporting"))
+    v}
+
+    [file] is the path as scanned (repo-relative), [ident] the top-level
+    binding (or the ambient function path for SRC006 sites), [code] the
+    diagnostic the entry suppresses, and [reason] a one-line
+    justification.  Entries that match no current site are themselves
+    reported (SRC008), so the list cannot rot. *)
+
+type entry = {
+  file : string;
+  ident : string;
+  code : string;
+  reason : string;
+  line : int;  (** where the entry starts in the allowlist file *)
+}
+
+type t = entry list
+
+exception Parse_error of int * string
+(** Line number and reason, like {!Arnet_serial.Spec.Parse_error}. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val of_file : string -> t
+(** @raise Parse_error on malformed input, [Sys_error] on I/O. *)
+
+val to_string : t -> string
+(** Renders entries back in the canonical shape ([line] fields are not
+    preserved); [of_string (to_string t)] equals [t] up to lines. *)
+
+val matches : entry -> file:string -> ident:string -> code:string -> bool

@@ -26,10 +26,11 @@ let effective_loads c =
 type t = {
   name : string;
   describe : string;
+  codes : (string * string) list;
   run : config -> Diagnostic.t list;
 }
 
-let make ~name ~describe run = { name; describe; run }
+let make ?(codes = []) ~name ~describe run = { name; describe; codes; run }
 
 let registry : t list ref = ref []
 

@@ -37,12 +37,20 @@ val effective_loads : config -> float array option
 
 type t = {
   name : string;  (** short identifier, e.g. ["topology"] *)
-  describe : string;  (** one-line summary for [--list-checks] *)
+  describe : string;  (** one-line summary for [--list] *)
+  codes : (string * string) list;
+      (** every diagnostic code the check can emit, with a one-line
+          meaning — the source of truth behind [arn lint --list], so
+          the documented table cannot drift from the registry *)
   run : config -> Diagnostic.t list;
 }
 
 val make :
-  name:string -> describe:string -> (config -> Diagnostic.t list) -> t
+  ?codes:(string * string) list ->
+  name:string ->
+  describe:string ->
+  (config -> Diagnostic.t list) ->
+  t
 
 val register : t -> unit
 (** Add a check to the global registry.  Re-registering a name replaces

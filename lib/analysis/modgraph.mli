@@ -1,0 +1,38 @@
+(** The module dependency graph behind the domain-reachability half of
+    {!Src_check}.
+
+    Each node is one scanned compilation unit; edges point at the
+    modules it references.  A unit is {e domain-reachable} when worker
+    code spawned through OCaml domains (or threads) can execute it:
+    the unit spawns itself, calls a spawning entry point such as
+    [Pool.map], or is in the dependency closure of one that does.
+    Shared-mutable-state sites found by {!Src_check} in a
+    domain-reachable unit are errors; elsewhere they are warnings
+    (process-wide state is still worth declaring before the sharding
+    work in ROADMAP.md makes it reachable). *)
+
+type node = {
+  name : string;  (** capitalized unit name, e.g. ["Engine"] *)
+  file : string;
+  deps : string list;  (** referenced module names, resolved or not *)
+  spawn_entries : string list;
+      (** top-level functions whose bodies call [Domain.spawn] or
+          [Thread.create]; nonempty marks the unit a spawner *)
+  calls : (string * string) list;
+      (** qualified value references, e.g. [("Pool", "map")] *)
+}
+
+type t
+
+val create : node list -> t
+val mem : t -> string -> bool
+
+val roots : t -> string list
+(** Spawner units plus direct callers of their spawning entries,
+    sorted. *)
+
+val domain_reachable : t -> string list
+(** The dependency closure of {!roots}, restricted to scanned units,
+    sorted. *)
+
+val is_domain_reachable : t -> string -> bool

@@ -76,4 +76,10 @@ let check =
     ~describe:
       "0 <= r <= C, Theorem-1 ratio <= 1/H at r and > 1/H at r-1 \
        (minimality, cross-checked against Protection.level)"
+    ~codes:
+      [ ("prot-length", "reserves/loads arrays do not match the link count");
+        ("prot-range", "r outside [0, C]");
+        ("prot-unsafe", "Theorem-1 ratio > 1/H at r");
+        ("prot-not-minimal", "ratio already <= 1/H at a smaller r");
+        ("prot-zero-load", "reserve on a link with no primary demand") ]
     run

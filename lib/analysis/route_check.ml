@@ -120,4 +120,14 @@ let check =
     ~describe:
       "every connected pair has a primary; alternates simple, sorted by \
        hop count and bounded by H"
+    ~codes:
+      [ ("route-graph-mismatch",
+         "route table built over a different node count");
+        ("route-missing-primary", "connected ordered pair without a primary");
+        ("route-endpoints", "stored path does not join its O-D pair");
+        ("route-malformed-path", "path not simple, or uses a nonexistent link");
+        ("route-alt-order", "alternates not in nondecreasing hop order");
+        ("route-alt-hops", "alternate longer than H");
+        ("route-primary-detour",
+         "primary longer than min-hop (custom SI policy?)") ]
     run

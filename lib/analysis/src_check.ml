@@ -1,0 +1,669 @@
+open Parsetree
+
+(* ------------------------------------------------------------------ *)
+(* the inventory *)
+
+type kind =
+  | Ref_cell
+  | Lazy_block
+  | Container of string
+  | Array_value
+  | Mutable_record of string
+  | Dls_slot
+  | Ambient of string
+
+type guard = Unguarded | Atomic | Mutex_protected | Domain_local
+
+type site = {
+  file : string;
+  line : int;
+  modname : string;
+  ident : string;
+  kind : kind;
+  guard : guard;
+}
+
+type unit_info = {
+  u_file : string;
+  u_modname : string;
+  u_sites : site list;
+  u_deps : string list;
+  u_spawn_entries : string list;
+  u_calls : (string * string) list;
+  u_error : (int * string) option;
+}
+
+let codes =
+  [ ("SRC001", "unguarded top-level ref");
+    ("SRC002", "unguarded top-level lazy");
+    ("SRC003",
+     "unguarded top-level mutable container \
+      (Hashtbl/Buffer/Queue/Stack/Bytes/Weak)");
+    ("SRC004", "unguarded top-level array");
+    ("SRC005", "unguarded top-level value with mutable record fields");
+    ("SRC006",
+     "ambient-state mutation at module initialization (Random.self_init, \
+      Printexc.register_printer, Sys.set_signal, ...)");
+    ("SRC007", "source file cannot be parsed");
+    ("SRC008", "stale allowlist entry matches no current site");
+    ("SRC101", "Atomic-guarded shared site (declare it in the allowlist)");
+    ("SRC102", "Mutex-guarded shared site (declare it in the allowlist)");
+    ("SRC103", "Domain.DLS slot (declare it in the allowlist)") ]
+
+(* ------------------------------------------------------------------ *)
+(* small parsetree helpers *)
+
+let path_of lid = Longident.flatten lid
+
+let rec pat_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) -> pat_name p
+  | Ppat_tuple ps -> List.find_map pat_name ps
+  | _ -> None
+
+(* module components of a reference: every component but the last names
+   a module for value/constructor/field/type paths *)
+let module_components ~value comps =
+  if not value then comps
+  else match List.rev comps with [] | [ _ ] -> [] | _ :: ms -> List.rev ms
+
+let rec has_pair a b = function
+  | x :: (y :: _ as rest) -> (x = a && y = b) || has_pair a b rest
+  | _ -> false
+
+let is_spawn_path comps =
+  has_pair "Domain" "spawn" comps || has_pair "Thread" "create" comps
+
+(* ------------------------------------------------------------------ *)
+(* classification tables *)
+
+let allocator = function
+  | [ "ref" ] -> Some (Ref_cell, Unguarded)
+  | [ "Atomic"; "make" ] -> Some (Ref_cell, Atomic)
+  | [ "Domain"; "DLS"; "new_key" ] -> Some (Dls_slot, Domain_local)
+  | [ (("Hashtbl" | "Buffer" | "Queue" | "Stack" | "Weak") as m); "create" ]
+    ->
+    Some (Container m, Unguarded)
+  | [ "Bytes"; ("create" | "make") ] -> Some (Container "Bytes", Unguarded)
+  | [ "Array"; ("make" | "init" | "create_float" | "make_matrix") ] ->
+    Some (Array_value, Unguarded)
+  | _ -> None
+
+let ambient = function
+  | [ "Random"; ("self_init" | "init" | "full_init" | "set_state") ]
+  | [ "Printexc"; "register_printer" ]
+  | [ "Sys"; "set_signal" ]
+  | [ "Callback"; "register" ]
+  | [ "at_exit" ] ->
+    true
+  | _ -> false
+
+(* mutable labels declared by the unit's own record types:
+   label -> (type name, a Mutex.t field sits in the same record) *)
+let record_labels str =
+  let labels = Hashtbl.create 8 in
+  let note_decls decls =
+    List.iter
+      (fun d ->
+        match d.ptype_kind with
+        | Ptype_record fields ->
+          let has_mutex =
+            List.exists
+              (fun f ->
+                match f.pld_type.ptyp_desc with
+                | Ptyp_constr ({ txt; _ }, _) ->
+                  path_of txt = [ "Mutex"; "t" ]
+                | _ -> false)
+              fields
+          in
+          List.iter
+            (fun f ->
+              if f.pld_mutable = Asttypes.Mutable then
+                Hashtbl.replace labels f.pld_name.txt
+                  (d.ptype_name.txt, has_mutex))
+            fields
+        | _ -> ())
+      decls
+  in
+  let rec items str =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_type (_, decls) -> note_decls decls
+        | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ }
+          ->
+          items sub
+        | _ -> ())
+      str
+  in
+  items str;
+  labels
+
+(* ------------------------------------------------------------------ *)
+(* module-initialization-time walk: everything outside a function body
+   is evaluated once when the unit is linked, so any mutable value it
+   allocates is process-wide.  Expressions under [fun]/[function] are
+   per-call and therefore worker-local by construction — the Pool
+   idiom — and are not sites. *)
+
+let init_sites ~file ~modname ~labels str =
+  let sites = ref [] in
+  let add ?(guard = Unguarded) ~loc ~ident kind =
+    sites :=
+      {
+        file;
+        line = loc.Location.loc_start.Lexing.pos_lnum;
+        modname;
+        ident;
+        kind;
+        guard;
+      }
+      :: !sites
+  in
+  let rec walk ~ident e =
+    let loc = e.pexp_loc in
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> ()
+    | Pexp_lazy _ -> add ~loc ~ident Lazy_block
+    | Pexp_array [] -> ()
+    | Pexp_array es ->
+      add ~loc ~ident Array_value;
+      List.iter (walk ~ident) es
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      let path = path_of txt in
+      match allocator path with
+      | Some (kind, guard) -> add ~guard ~loc ~ident kind
+      | None ->
+        if ambient path then
+          add ~loc ~ident:(String.concat "." path)
+            (Ambient (String.concat "." path));
+        List.iter (fun (_, a) -> walk ~ident a) args)
+    | Pexp_apply (f, args) ->
+      walk ~ident f;
+      List.iter (fun (_, a) -> walk ~ident a) args
+    | Pexp_record (fields, base) -> (
+      let mutable_of (lid, _) =
+        match List.rev (path_of lid.Location.txt) with
+        | label :: _ -> Hashtbl.find_opt labels label
+        | [] -> None
+      in
+      match List.find_map mutable_of fields with
+      | Some (type_name, has_mutex) ->
+        add
+          ~guard:(if has_mutex then Mutex_protected else Unguarded)
+          ~loc ~ident (Mutable_record type_name)
+      | None ->
+        List.iter (fun (_, e) -> walk ~ident e) fields;
+        Option.iter (walk ~ident) base)
+    | Pexp_let (_, vbs, body) ->
+      List.iter (fun vb -> walk ~ident vb.pvb_expr) vbs;
+      walk ~ident body
+    | Pexp_sequence (a, b) ->
+      walk ~ident a;
+      walk ~ident b
+    | Pexp_ifthenelse (c, t, e) ->
+      walk ~ident c;
+      walk ~ident t;
+      Option.iter (walk ~ident) e
+    | Pexp_match (e, cases) | Pexp_try (e, cases) ->
+      walk ~ident e;
+      List.iter
+        (fun case ->
+          Option.iter (walk ~ident) case.pc_guard;
+          walk ~ident case.pc_rhs)
+        cases
+    | Pexp_tuple es -> List.iter (walk ~ident) es
+    | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
+      Option.iter (walk ~ident) arg
+    | Pexp_field (e, _) -> walk ~ident e
+    | Pexp_setfield (a, _, b) ->
+      walk ~ident a;
+      walk ~ident b
+    | Pexp_open (_, e)
+    | Pexp_constraint (e, _)
+    | Pexp_coerce (e, _, _)
+    | Pexp_letmodule (_, _, e) ->
+      walk ~ident e
+    | _ -> ()
+  in
+  let rec items ~prefix str =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let ident =
+                prefix ^ Option.value ~default:"_" (pat_name vb.pvb_pat)
+              in
+              walk ~ident vb.pvb_expr)
+            vbs
+        | Pstr_eval (e, _) -> walk ~ident:(prefix ^ "_") e
+        | Pstr_module
+            ({ pmb_expr = { pmod_desc = Pmod_structure sub; _ }; _ } as mb)
+          ->
+          let sub_prefix =
+            match mb.pmb_name.Location.txt with
+            | Some name -> prefix ^ name ^ "."
+            | None -> prefix
+          in
+          items ~prefix:sub_prefix sub
+        | _ -> ())
+      str
+  in
+  items ~prefix:"" str;
+  List.rev !sites
+
+(* ------------------------------------------------------------------ *)
+(* Mutex-guard upgrade: a still-unguarded site whose every use in the
+   unit sits inside an argument of a [Mutex.*] application (the
+   [Mutex.protect m (fun () -> ...)] idiom) is reclassified as
+   Mutex-guarded.  lock/...work.../unlock sequences are not recognized
+   — the paper-trail for those belongs in the allowlist. *)
+
+let mutex_guarded_idents str tracked =
+  let bare = Hashtbl.create 8 in
+  let guarded = Hashtbl.create 8 in
+  let depth = ref 0 in
+  let count tbl name =
+    Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+  in
+  let default = Ast_iterator.default_iterator in
+  let iter =
+    {
+      default with
+      expr =
+        (fun it e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident name; _ }
+            when List.mem name tracked ->
+            count (if !depth > 0 then guarded else bare) name
+          | Pexp_apply
+              (({ pexp_desc = Pexp_ident { txt; _ }; _ } as f), args)
+            when (match path_of txt with
+                 | "Mutex" :: _ -> true
+                 | _ -> false) ->
+            it.Ast_iterator.expr it f;
+            incr depth;
+            List.iter (fun (_, a) -> it.Ast_iterator.expr it a) args;
+            decr depth
+          | _ -> default.Ast_iterator.expr it e);
+    }
+  in
+  iter.Ast_iterator.structure iter str;
+  List.filter
+    (fun name ->
+      Hashtbl.mem guarded name && not (Hashtbl.mem bare name))
+    tracked
+
+(* ------------------------------------------------------------------ *)
+(* full-tree reference collection: module dependency edges, qualified
+   value references (for spawn-entry call detection) and the spawning
+   top-level bindings themselves *)
+
+let collect_refs str =
+  let deps = Hashtbl.create 32 in
+  let calls = Hashtbl.create 32 in
+  let note ~value lid =
+    let comps = path_of lid in
+    List.iter
+      (fun m ->
+        if m <> "" && m.[0] >= 'A' && m.[0] <= 'Z' then
+          Hashtbl.replace deps m ())
+      (module_components ~value comps);
+    if value then
+      match List.rev comps with
+      | f :: m :: _ -> Hashtbl.replace calls (m, f) ()
+      | _ -> ()
+  in
+  let default = Ast_iterator.default_iterator in
+  let iter =
+    {
+      default with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } | Pexp_new { txt; _ } ->
+            note ~value:true txt
+          | Pexp_construct ({ txt; _ }, _) -> note ~value:true txt
+          | Pexp_field (_, { txt; _ }) | Pexp_setfield (_, { txt; _ }, _) ->
+            note ~value:true txt
+          | Pexp_record (fields, _) ->
+            List.iter
+              (fun ({ Location.txt; _ }, _) -> note ~value:true txt)
+              fields
+          | _ -> ());
+          default.Ast_iterator.expr it e);
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_construct ({ txt; _ }, _) -> note ~value:true txt
+          | Ppat_record (fields, _) ->
+            List.iter
+              (fun ({ Location.txt; _ }, _) -> note ~value:true txt)
+              fields
+          | Ppat_open ({ txt; _ }, _) -> note ~value:false txt
+          | _ -> ());
+          default.Ast_iterator.pat it p);
+      typ =
+        (fun it t ->
+          (match t.ptyp_desc with
+          | Ptyp_constr ({ txt; _ }, _) | Ptyp_class ({ txt; _ }, _) ->
+            note ~value:true txt
+          | _ -> ());
+          default.Ast_iterator.typ it t);
+      module_expr =
+        (fun it me ->
+          (match me.pmod_desc with
+          | Pmod_ident { txt; _ } -> note ~value:false txt
+          | _ -> ());
+          default.Ast_iterator.module_expr it me);
+      module_type =
+        (fun it mt ->
+          (match mt.pmty_desc with
+          | Pmty_ident { txt; _ } -> note ~value:false txt
+          | _ -> ());
+          default.Ast_iterator.module_type it mt);
+    }
+  in
+  iter.Ast_iterator.structure iter str;
+  let spawn_in_expr e =
+    let found = ref false in
+    let spawn_iter =
+      {
+        default with
+        expr =
+          (fun it e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; _ } ->
+              if is_spawn_path (path_of txt) then found := true
+            | _ -> ());
+            default.Ast_iterator.expr it e);
+      }
+    in
+    spawn_iter.Ast_iterator.expr spawn_iter e;
+    !found
+  in
+  let spawn_entries =
+    List.concat_map
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.filter_map
+            (fun vb ->
+              match pat_name vb.pvb_pat with
+              | Some name when spawn_in_expr vb.pvb_expr -> Some name
+              | _ -> None)
+            vbs
+        | _ -> [])
+      str
+  in
+  let to_list tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+  ( List.sort String.compare (to_list deps),
+    List.sort compare (to_list calls),
+    spawn_entries )
+
+(* ------------------------------------------------------------------ *)
+(* per-unit scan *)
+
+let normalize_file file =
+  if String.length file > 2 && String.sub file 0 2 = "./" then
+    String.sub file 2 (String.length file - 2)
+  else file
+
+let modname_of_file file =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename file))
+
+let failed_unit ~file ~modname (line, msg) =
+  {
+    u_file = file;
+    u_modname = modname;
+    u_sites = [];
+    u_deps = [];
+    u_spawn_entries = [];
+    u_calls = [];
+    u_error = Some (line, msg);
+  }
+
+let scan_lexbuf ~file lexbuf =
+  let modname = modname_of_file file in
+  match Parse.implementation lexbuf with
+  | exception exn ->
+    let error =
+      match exn with
+      | Syntaxerr.Error e ->
+        ( (Syntaxerr.location_of_error e).Location.loc_start.Lexing.pos_lnum,
+          "syntax error" )
+      | Lexer.Error (_, loc) ->
+        (loc.Location.loc_start.Lexing.pos_lnum, "lexer error")
+      | exn -> (1, Printexc.to_string exn)
+    in
+    failed_unit ~file ~modname error
+  | str ->
+    let labels = record_labels str in
+    let sites = init_sites ~file ~modname ~labels str in
+    let unguarded =
+      List.filter_map
+        (fun s ->
+          match (s.guard, s.kind) with
+          | Unguarded, (Ref_cell | Container _ | Array_value) ->
+            Some s.ident
+          | _ -> None)
+        sites
+    in
+    let promoted = mutex_guarded_idents str unguarded in
+    let sites =
+      List.map
+        (fun s ->
+          if s.guard = Unguarded && List.mem s.ident promoted then
+            { s with guard = Mutex_protected }
+          else s)
+        sites
+    in
+    let deps, calls, spawn_entries = collect_refs str in
+    {
+      u_file = file;
+      u_modname = modname;
+      u_sites = sites;
+      u_deps = deps;
+      u_spawn_entries = spawn_entries;
+      u_calls = calls;
+      u_error = None;
+    }
+
+let scan_string ?(filename = "<string>") source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf filename;
+  scan_lexbuf ~file:(normalize_file filename) lexbuf
+
+let scan_file file =
+  let file = normalize_file file in
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | source -> scan_string ~filename:file source
+  | exception Sys_error msg ->
+    failed_unit ~file ~modname:(modname_of_file file) (1, msg)
+
+(* ------------------------------------------------------------------ *)
+(* repository walk *)
+
+let ml_files_under dirs =
+  let rec walk acc dir =
+    let entries = Sys.readdir dir in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
+        else if try Sys.is_directory path with Sys_error _ -> false then
+          walk acc path
+        else if Filename.check_suffix entry ".ml" then path :: acc
+        else acc)
+      acc entries
+  in
+  List.rev (List.fold_left walk [] (List.map normalize_file dirs))
+
+let scan_dirs dirs = List.map scan_file (ml_files_under dirs)
+
+(* ------------------------------------------------------------------ *)
+(* reporting *)
+
+let graph units =
+  Modgraph.create
+    (List.map
+       (fun u ->
+         {
+           Modgraph.name = u.u_modname;
+           file = u.u_file;
+           deps = u.u_deps;
+           spawn_entries = u.u_spawn_entries;
+           calls = u.u_calls;
+         })
+       units)
+
+let domain_reachable units = Modgraph.domain_reachable (graph units)
+
+let code_of site =
+  match (site.guard, site.kind) with
+  | Atomic, _ -> "SRC101"
+  | Mutex_protected, _ -> "SRC102"
+  | Domain_local, _ -> "SRC103"
+  | Unguarded, Ref_cell -> "SRC001"
+  | Unguarded, Lazy_block -> "SRC002"
+  | Unguarded, Container _ -> "SRC003"
+  | Unguarded, Array_value -> "SRC004"
+  | Unguarded, Mutable_record _ -> "SRC005"
+  | Unguarded, Ambient _ -> "SRC006"
+  | Unguarded, Dls_slot -> "SRC103"
+
+let describe_kind = function
+  | Ref_cell -> "ref"
+  | Lazy_block -> "lazy block"
+  | Container m -> m ^ " container"
+  | Array_value -> "array"
+  | Mutable_record t -> Printf.sprintf "value of mutable record type %s" t
+  | Dls_slot -> "Domain.DLS slot"
+  | Ambient f -> "call to " ^ f
+
+let guard_label = function
+  | Atomic -> "Atomic-guarded"
+  | Mutex_protected -> "Mutex-guarded"
+  | Domain_local -> "domain-local"
+  | Unguarded -> "unguarded"
+
+let report ?(allow = []) ?(allow_file = "lint/allow.sexp") units =
+  let g = graph units in
+  let reachable = domain_reachable units in
+  let is_reachable m = List.mem m reachable in
+  let used = Array.make (List.length allow) false in
+  let allowed site code =
+    let rec find i = function
+      | [] -> false
+      | entry :: rest ->
+        if
+          Allowlist.matches entry ~file:site.file ~ident:site.ident
+            ~code
+        then begin
+          used.(i) <- true;
+          true
+        end
+        else find (i + 1) rest
+    in
+    find 0 allow
+  in
+  let site_diag site =
+    let code = code_of site in
+    if allowed site code then None
+    else
+      let loc = Diagnostic.Src { file = site.file; line = site.line } in
+      let shape = describe_kind site.kind in
+      match site.guard with
+      | Unguarded -> (
+        match site.kind with
+        | Ambient f ->
+          Some
+            (Diagnostic.warning ~code loc
+               (Printf.sprintf
+                  "%s mutates process-wide ambient state at module \
+                   initialization; workers inherit it implicitly — declare \
+                   the site in %s or move the mutation under an explicit \
+                   entry point"
+                  f allow_file))
+        | _ ->
+          if is_reachable site.modname then
+            Some
+              (Diagnostic.error ~code loc
+                 (Printf.sprintf
+                    "unguarded top-level %s `%s` is shared mutable state in \
+                     domain-reachable module %s (worker closures spawned \
+                     through %s can race on it): guard it with Atomic or a \
+                     Mutex, move it under Domain.DLS or per-worker \
+                     regeneration, or declare it in %s"
+                    shape site.ident site.modname
+                    (String.concat ", " (Modgraph.roots g))
+                    allow_file))
+          else
+            Some
+              (Diagnostic.warning ~code loc
+                 (Printf.sprintf
+                    "unguarded top-level %s `%s` in module %s is process-wide \
+                     mutable state; no domain-spawning entry point reaches it \
+                     today, but guard it or declare it in %s before the \
+                     sharding work does"
+                    shape site.ident site.modname allow_file)))
+      | guard ->
+        Some
+          (Diagnostic.info ~code loc
+             (Printf.sprintf
+                "%s shared site `%s` (%s) is safe but undeclared: add it to \
+                 %s with a reason so the shared-state budget stays explicit"
+                (guard_label guard) site.ident shape allow_file))
+  in
+  let parse_diags =
+    List.filter_map
+      (fun u ->
+        Option.map
+          (fun (line, msg) ->
+            Diagnostic.error ~code:"SRC007"
+              (Diagnostic.Src { file = u.u_file; line })
+              (Printf.sprintf "cannot parse %s: %s" u.u_file msg))
+          u.u_error)
+      units
+  in
+  let site_diags =
+    List.concat_map
+      (fun u -> List.filter_map site_diag u.u_sites)
+      units
+  in
+  let stale_diags =
+    List.concat
+      (List.mapi
+         (fun i (entry : Allowlist.entry) ->
+           if used.(i) then []
+           else
+             [ Diagnostic.warning ~code:"SRC008"
+                 (Diagnostic.Src { file = allow_file; line = entry.line })
+                 (Printf.sprintf
+                    "allowlist entry (%s, %s, %s) matches no current site: \
+                     the declared shared state is gone — delete the entry"
+                    entry.file entry.ident entry.code) ]
+         )
+         allow)
+  in
+  List.sort_uniq Diagnostic.compare
+    (parse_diags @ site_diags @ stale_diags)
+
+let run ?allow_file ~dirs () =
+  let allow =
+    match allow_file with
+    | Some path -> Allowlist.of_file path
+    | None -> []
+  in
+  let allow_file = Option.value ~default:"lint/allow.sexp" allow_file in
+  report ~allow ~allow_file (scan_dirs dirs)

@@ -89,4 +89,11 @@ let check =
     ~describe:
       "positive capacities, no self-loops or duplicate links, strong \
        connectivity, reverse-link symmetry"
+    ~codes:
+      [ ("topo-capacity", "link capacity is zero or negative");
+        ("topo-self-loop", "link with src = dst");
+        ("topo-duplicate-link", "two links share an ordered node pair");
+        ("topo-disconnected", "graph not strongly connected");
+        ("topo-asymmetric", "link without an equal-capacity reverse twin");
+        ("topo-no-links", "graph has no links at all") ]
     run

@@ -101,4 +101,10 @@ let check =
     ~describe:
       "finite nonnegative demands, zero diagonal, declared loads agree \
        with Equation 1, overloaded links flagged"
+    ~codes:
+      [ ("traffic-size", "matrix node count differs from the graph");
+        ("traffic-negative", "demand negative, NaN or infinite");
+        ("traffic-diagonal", "nonzero self-demand");
+        ("traffic-load-mismatch", "declared loads disagree with Equation 1");
+        ("traffic-overload", "primary demand at or above link capacity") ]
     run

@@ -85,6 +85,11 @@ type conn = {
   buf : Buffer.t;  (** bytes read but not yet framed into a line *)
 }
 
+(* the longest legal command line; generous next to real commands
+   (SETUP is ~40 bytes) but a hard ceiling on what one connection can
+   make the daemon buffer *)
+let max_line_bytes = 8192
+
 let write_all fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
@@ -162,14 +167,39 @@ let serve ?metrics ?snapshot ?on_listen ~state addr =
     match cmd with Some Wire.Quit -> close_conn c | _ -> ()
   in
   let chunk = Bytes.create 4096 in
+  let reject_too_long c =
+    (match metrics with
+    | Some m -> Service_metrics.record_malformed m
+    | None -> ());
+    (try
+       write_all c.fd
+         (Wire.print_response
+            (Wire.Err
+               {
+                 code = "toolong";
+                 detail =
+                   Printf.sprintf "line exceeds %d bytes" max_line_bytes;
+               })
+         ^ "\n")
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+    close_conn c
+  in
   let handle_readable c =
     match Unix.read c.fd chunk 0 (Bytes.length chunk) with
     | 0 -> close_conn c
     | n ->
       Buffer.add_subbytes c.buf chunk 0 n;
       List.iter
-        (fun line -> if Hashtbl.mem conns c.fd then handle_command c line)
-        (drain_lines c.buf)
+        (fun line ->
+          if Hashtbl.mem conns c.fd then
+            if String.length line > max_line_bytes then reject_too_long c
+            else handle_command c line)
+        (drain_lines c.buf);
+      (* an unterminated line can also outgrow the ceiling: without
+         this, a client sending no newline at all grows [buf] without
+         bound *)
+      if Hashtbl.mem conns c.fd && Buffer.length c.buf > max_line_bytes
+      then reject_too_long c
     | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn c
   in
   let rec loop () =

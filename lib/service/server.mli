@@ -23,6 +23,12 @@ val addr_of_string : string -> (addr, string) result
 val addr_to_string : addr -> string
 (** Round-trips through {!addr_of_string}. *)
 
+val max_line_bytes : int
+(** The longest command line {!serve} accepts (8192 bytes).  A client
+    whose line — terminated or not — exceeds it is sent
+    [ERR toolong] and disconnected, so one connection can never make
+    the daemon buffer unbounded input. *)
+
 val serve :
   ?metrics:Service_metrics.t ->
   ?snapshot:string ->

@@ -1,0 +1,54 @@
+; Shared-state allowlist for `arn lint --source` (see Allowlist in
+; lib/analysis and DESIGN.md, "shared-state budget").  Every entry
+; declares one intentional process-wide mutable site with the reason it
+; is safe under OCaml 5 domains.  Keep this list short: the CI lint job
+; fails on any site not declared here, and entries that stop matching
+; are flagged stale (SRC008).
+
+; The benchmark odometer: workers race on purpose, Atomic.fetch_and_add
+; keeps the count exact and the racy reads only feed calls/sec output.
+((file lib/sim/engine.ml)
+ (ident simulated_calls)
+ (code SRC101)
+ (reason "Atomic odometer; increments are fetch_and_add, reads feed reporting only"))
+
+; Exception-printer registrations run once at link time, before any
+; domain is spawned, and Printexc's own table is thread-safe.
+((file lib/sim/engine.ml)
+ (ident Printexc.register_printer)
+ (code SRC006)
+ (reason "printer registered at link time before any Domain.spawn; never re-run"))
+((file lib/sim/pool.ml)
+ (ident Printexc.register_printer)
+ (code SRC006)
+ (reason "printer registered at link time before any Domain.spawn; never re-run"))
+
+; The check registry is written only by top-level Check.register calls
+; at link time; every later access (arn lint, tests) is a read.
+((file lib/analysis/check.ml)
+ (ident registry)
+ (code SRC001)
+ (reason "mutated only by link-time register calls on the main domain; read-only afterwards"))
+
+; Student-t quantile lookup table: OCaml float arrays are always
+; mutable, but nothing ever writes this one after initialization.
+((file lib/sim/stats.ml)
+ (ident t_quantile_95)
+ (code SRC004)
+ (reason "read-only constant lookup table; no write site exists"))
+
+; NSFNET node names: a string array constant, never written.
+((file lib/topology/nsfnet.ml)
+ (ident labels)
+ (code SRC004)
+ (reason "read-only constant label table; no write site exists"))
+
+; Test fixtures and harness state (the CI lint job also scans test/).
+((file test/test_obs.ml)
+ (ident specimen_events)
+ (code SRC004)
+ (reason "read-only specimen trace compared against golden output; never written"))
+((file test/test_service.ml)
+ (ident socket_path)
+ (code SRC001)
+ (reason "unique-socket-name counter; tests call it sequentially from the main thread"))

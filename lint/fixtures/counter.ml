@@ -1,0 +1,7 @@
+(* Intentionally broken: an unguarded top-level ref that worker code
+   reaches through Main -> Mypool.run.  The linter must report SRC001
+   at error severity for this site. *)
+
+let hits = ref 0
+
+let bump () = incr hits

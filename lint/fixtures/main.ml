@@ -1,0 +1,5 @@
+(* The spawning entry-point caller: the closure handed to Mypool.run
+   executes on a worker domain and mutates Counter.hits, so Counter is
+   domain-reachable. *)
+
+let () = Mypool.run (fun () -> Counter.bump ())

@@ -1,0 +1,9 @@
+(* Intentionally-broken fixture for the CI lint job: a minimal domain
+   pool.  No dune stanza covers this directory, so the build never
+   compiles it — only `arn lint --source --src lint/fixtures` reads it
+   (and must exit 1; see .github/workflows/ci.yml and
+   test/test_src_check.ml). *)
+
+let run f =
+  let d = Domain.spawn f in
+  Domain.join d

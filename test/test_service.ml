@@ -480,6 +480,54 @@ let test_socket_sharded_connections () =
   Alcotest.(check int) "no wire errors" 0 result.Loadgen.errors;
   Alcotest.(check bool) "drained" true (State.drained st)
 
+let test_socket_line_cap () =
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let addr = Server.Unix_sock (socket_path ()) in
+  let st = State.create ~matrix g in
+  let server = Thread.create (fun () -> Server.serve ~state:st addr) () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let ic, oc = Server.connect ~retry_for:5. addr in
+         ignore (Server.request ic oc Wire.Drain : Wire.response);
+         close_out_noerr oc;
+         ignore (ic : in_channel)
+       with _ -> ());
+      Thread.join server)
+    (fun () ->
+      let oversized = String.make (Server.max_line_bytes + 1) 'a' in
+      let expect_toolong_and_close ~terminated ic oc =
+        output_string oc oversized;
+        if terminated then output_char oc '\n';
+        flush oc;
+        let reply = input_line ic in
+        Alcotest.(check bool)
+          (Printf.sprintf "ERR toolong reply (terminated=%b)" terminated)
+          true
+          (match Wire.parse_response reply with
+          | Ok (Wire.Err { code = "toolong"; _ }) -> true
+          | _ -> false);
+        Alcotest.check_raises
+          (Printf.sprintf "connection closed (terminated=%b)" terminated)
+          End_of_file
+          (fun () -> ignore (input_line ic : string));
+        close_out_noerr oc
+      in
+      (* an oversized complete line *)
+      let ic, oc = Server.connect ~retry_for:5. addr in
+      expect_toolong_and_close ~terminated:true ic oc;
+      (* a newline-free flood must not buffer without bound either *)
+      let ic, oc = Server.connect ~retry_for:5. addr in
+      expect_toolong_and_close ~terminated:false ic oc;
+      (* only the offending connections died: the daemon still answers *)
+      let ic, oc = Server.connect ~retry_for:5. addr in
+      (match Server.request ic oc Wire.Stats with
+      | Wire.Stats_reply _ -> ()
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.print_response r));
+      close_out_noerr oc;
+      ignore (ic : in_channel))
+
 (* ------------------------------------------------------------------ *)
 
 let qcheck = QCheck_alcotest.to_alcotest
@@ -516,4 +564,6 @@ let () =
           Alcotest.test_case "drain writes the snapshot" `Slow
             test_socket_drain_snapshot;
           Alcotest.test_case "sharded connections" `Slow
-            test_socket_sharded_connections ] ) ]
+            test_socket_sharded_connections;
+          Alcotest.test_case "oversized lines are rejected" `Quick
+            test_socket_line_cap ] ) ]

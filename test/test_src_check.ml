@@ -1,0 +1,307 @@
+(* the source-level domain-safety linter: classification goldens over
+   small in-memory units, the reachability set, allowlist round-trips,
+   and diagnostics over the checked-in broken fixture *)
+
+module A = Arnet_analysis
+module S = A.Src_check
+
+let scan ?(filename = "lib/fake/unit.ml") source =
+  S.scan_string ~filename source
+
+let site_pp ppf (s : S.site) =
+  Format.fprintf ppf "%s:%d %s %s" s.S.file s.S.line s.S.ident
+    (match s.S.guard with
+    | S.Unguarded -> "unguarded"
+    | S.Atomic -> "atomic"
+    | S.Mutex_protected -> "mutex"
+    | S.Domain_local -> "dls")
+
+let site = Alcotest.testable site_pp ( = )
+
+let sites source = (scan source).S.u_sites
+
+let check_sites name expected source =
+  Alcotest.(check (list site)) name expected (sites source)
+
+let mk ?(file = "lib/fake/unit.ml") ?(modname = "Unit") ~line ~ident kind
+    guard =
+  { S.file; line; modname; ident; kind; guard }
+
+(* ------------------------------------------------------------------ *)
+(* classification goldens *)
+
+let test_unsafe_ref () =
+  check_sites "top-level ref"
+    [ mk ~line:1 ~ident:"hits" S.Ref_cell S.Unguarded ]
+    "let hits = ref 0\nlet bump () = incr hits\n"
+
+let test_atomic_counter () =
+  check_sites "atomic counter"
+    [ mk ~line:1 ~ident:"calls" S.Ref_cell S.Atomic ]
+    "let calls = Atomic.make 0\nlet bump () = Atomic.incr calls\n"
+
+let test_dls_slot () =
+  check_sites "DLS slot"
+    [ mk ~line:1 ~ident:"rng" S.Dls_slot S.Domain_local ]
+    "let rng = Domain.DLS.new_key (fun () -> 7)\n"
+
+let test_mutable_field_behind_mutex () =
+  (* a record type with its own Mutex.t field: the allocation is
+     classified Mutex-guarded, not unguarded *)
+  check_sites "record with a lock"
+    [ mk ~line:2 ~ident:"shared" (S.Mutable_record "guarded")
+        S.Mutex_protected ]
+    "type guarded = { lock : Mutex.t; mutable n : int }\n\
+     let shared = { lock = Mutex.create (); n = 0 }\n"
+
+let test_mutable_field_without_mutex () =
+  check_sites "bare mutable record"
+    [ mk ~line:2 ~ident:"shared" (S.Mutable_record "cell") S.Unguarded ]
+    "type cell = { mutable n : int }\nlet shared = { n = 0 }\n"
+
+let test_mutex_usage_upgrade () =
+  (* every use of the table sits under Mutex.protect: upgraded *)
+  check_sites "Mutex.protect usage"
+    [ mk ~line:2 ~ident:"table" (S.Container "Hashtbl") S.Mutex_protected ]
+    "let m = Mutex.create ()\n\
+     let table = Hashtbl.create 8\n\
+     let add k v = Mutex.protect m (fun () -> Hashtbl.replace table k v)\n\
+     let find k = Mutex.protect m (fun () -> Hashtbl.find_opt table k)\n"
+
+let test_mutex_upgrade_needs_all_uses () =
+  (* one bare use outside the lock keeps the site unguarded *)
+  check_sites "bare use defeats the upgrade"
+    [ mk ~line:2 ~ident:"table" (S.Container "Hashtbl") S.Unguarded ]
+    "let m = Mutex.create ()\n\
+     let table = Hashtbl.create 8\n\
+     let add k v = Mutex.protect m (fun () -> Hashtbl.replace table k v)\n\
+     let size () = Hashtbl.length table\n"
+
+let test_closure_hidden_state () =
+  (* allocation under [fun] is per-call, but state captured from
+     outside the [fun] is not: the walk stops at function boundaries
+     yet still sees through [let ... in fun] *)
+  check_sites "hidden counter behind a closure"
+    [ mk ~line:1 ~ident:"fresh" S.Ref_cell S.Unguarded ]
+    "let fresh = let n = ref 0 in fun () -> incr n; !n\n";
+  check_sites "per-call allocation is local"
+    []
+    "let f () = let n = ref 0 in incr n; !n\n"
+
+let test_ambient_and_containers () =
+  check_sites "ambient + containers"
+    [ mk ~line:1 ~ident:"Random.self_init" (S.Ambient "Random.self_init")
+        S.Unguarded;
+      mk ~line:2 ~ident:"log" (S.Container "Buffer") S.Unguarded;
+      mk ~line:3 ~ident:"table" S.Array_value S.Unguarded;
+      mk ~line:4 ~ident:"boot" S.Lazy_block S.Unguarded ]
+    "let () = Random.self_init ()\n\
+     let log = Buffer.create 80\n\
+     let table = [| 1; 2 |]\n\
+     let boot = lazy (print_string \"up\")\n"
+
+let test_empty_array_and_constants () =
+  check_sites "nothing to report" []
+    "let empty = [||]\nlet pi = 4.0 *. atan 1.0\nlet name = \"arn\"\n"
+
+let test_parse_error () =
+  let u = scan "let let let\n" in
+  Alcotest.(check bool) "parse error recorded" true (u.S.u_error <> None)
+
+(* ------------------------------------------------------------------ *)
+(* reachability over in-memory units *)
+
+let test_reachability () =
+  let units =
+    [ S.scan_string ~filename:"lib/fake/mypool.ml"
+        "let run f = Domain.join (Domain.spawn f)\n";
+      S.scan_string ~filename:"lib/fake/worker.ml" "let hits = ref 0\n";
+      S.scan_string ~filename:"lib/fake/main.ml"
+        "let () = Mypool.run (fun () -> incr Worker.hits)\n";
+      S.scan_string ~filename:"lib/fake/offline.ml"
+        "let cache = Hashtbl.create 8\n" ]
+  in
+  Alcotest.(check (list string))
+    "closure covers pool, caller and its deps"
+    [ "Main"; "Mypool"; "Worker" ]
+    (S.domain_reachable units);
+  let severities code =
+    List.filter_map
+      (fun (d : A.Diagnostic.t) ->
+        if d.A.Diagnostic.code = code then
+          Some (A.Diagnostic.severity_label d.A.Diagnostic.severity)
+        else None)
+      (S.report units)
+  in
+  (* reachable ref is an error; unreachable container only warns *)
+  Alcotest.(check (list string)) "SRC001 severity" [ "error" ]
+    (severities "SRC001");
+  Alcotest.(check (list string)) "SRC003 severity" [ "warning" ]
+    (severities "SRC003")
+
+(* ------------------------------------------------------------------ *)
+(* allowlist *)
+
+let test_allowlist_roundtrip () =
+  let text =
+    "; comment\n\
+     ((file lib/a.ml) (ident x) (code SRC001)\n\
+    \ (reason \"both domains; quoted \\\"text\\\"\"))\n"
+  in
+  let entries = A.Allowlist.of_string text in
+  Alcotest.(check int) "one entry" 1 (List.length entries);
+  let e = List.hd entries in
+  Alcotest.(check string) "file" "lib/a.ml" e.A.Allowlist.file;
+  Alcotest.(check string) "reason" "both domains; quoted \"text\""
+    e.A.Allowlist.reason;
+  let reparsed = A.Allowlist.of_string (A.Allowlist.to_string entries) in
+  Alcotest.(check bool) "round-trips up to line numbers" true
+    (List.for_all2
+       (fun (a : A.Allowlist.entry) (b : A.Allowlist.entry) ->
+         a.A.Allowlist.file = b.A.Allowlist.file
+         && a.A.Allowlist.ident = b.A.Allowlist.ident
+         && a.A.Allowlist.code = b.A.Allowlist.code
+         && a.A.Allowlist.reason = b.A.Allowlist.reason)
+       entries reparsed)
+
+let test_allowlist_errors () =
+  List.iter
+    (fun (text, expect_line) ->
+      match A.Allowlist.of_string text with
+      | _ -> Alcotest.failf "expected Parse_error on %S" text
+      | exception A.Allowlist.Parse_error (line, _) ->
+        Alcotest.(check int) (Printf.sprintf "line of %S" text) expect_line
+          line)
+    [ ("stray\n", 1);
+      ("((file a))\n", 1);
+      ("\n((file a) (ident b) (code c)\n", 2);
+      ("((file a) (ident b) (code c) (reason \"unterminated\n", 1) ]
+
+let test_allowlist_suppression_and_staleness () =
+  let units = [ S.scan_string ~filename:"lib/fake/w.ml" "let n = ref 0\n" ] in
+  let entry ~file ~ident ~code =
+    { A.Allowlist.file; ident; code; reason = "r"; line = 3 }
+  in
+  let allow =
+    [ entry ~file:"lib/fake/w.ml" ~ident:"n" ~code:"SRC001";
+      entry ~file:"lib/gone.ml" ~ident:"zz" ~code:"SRC001" ]
+  in
+  let report = S.report ~allow ~allow_file:"allow.sexp" units in
+  let codes = List.map (fun (d : A.Diagnostic.t) -> d.A.Diagnostic.code) report in
+  Alcotest.(check (list string)) "match suppressed, stale reported"
+    [ "SRC008" ] codes;
+  match report with
+  | [ { A.Diagnostic.location = A.Diagnostic.Src { file; line }; _ } ] ->
+    Alcotest.(check string) "stale points at the allowlist" "allow.sexp" file;
+    Alcotest.(check int) "at the entry's own line" 3 line
+  | _ -> Alcotest.fail "expected exactly one Src-located diagnostic"
+
+(* ------------------------------------------------------------------ *)
+(* the checked-in broken fixture used by CI *)
+
+let test_broken_fixture () =
+  (* dune runtest runs this binary from _build/default/test with the
+     fixture tree staged one level up (the (deps) in test/dune); a bare
+     `dune exec` runs it from the repo root *)
+  let dir =
+    if Sys.file_exists "lint/fixtures" then "lint/fixtures"
+    else "../lint/fixtures"
+  in
+  let report = S.run ~dirs:[ dir ] () in
+  let errors = List.filter A.Diagnostic.is_error report in
+  Alcotest.(check int) "exactly one error" 1 (List.length errors);
+  (match errors with
+  | [ { A.Diagnostic.code = "SRC001";
+        location = A.Diagnostic.Src { file; _ };
+        _ } ]
+    when Filename.basename file = "counter.ml" ->
+    ()
+  | _ -> Alcotest.fail "expected SRC001 at counter.ml");
+  Alcotest.(check int) "nonzero exit" 1 (A.Lint.exit_code report);
+  (* and the finding survives the JSON round-trip *)
+  Alcotest.(check bool) "JSON round-trips" true
+    (A.Diagnostic.list_of_json (A.Lint.to_json report) = report)
+
+(* ------------------------------------------------------------------ *)
+(* property: classification is stable under alpha-renaming *)
+
+let ident_gen =
+  let open QCheck in
+  let letter = Gen.oneof [ Gen.char_range 'a' 'z'; Gen.return '_' ] in
+  let body =
+    Gen.oneof
+      [ Gen.char_range 'a' 'z'; Gen.char_range '0' '9'; Gen.return '_' ]
+  in
+  make
+    ~print:Fun.id
+    Gen.(
+      map2
+        (fun c s -> String.make 1 c ^ s)
+        letter
+        (string_size ~gen:body (int_range 0 12)))
+
+let shapes =
+  (* each shape is a function from the bound name to a unit source *)
+  [ Printf.sprintf "let %s = ref 0\n";
+    Printf.sprintf "let %s = Atomic.make 0\n";
+    Printf.sprintf "let %s = Hashtbl.create 8\n";
+    Printf.sprintf "let %s = Domain.DLS.new_key (fun () -> 0)\n";
+    Printf.sprintf "let %s = lazy 3\n";
+    Printf.sprintf "let %s = let n = ref 0 in fun () -> incr n\n";
+    Printf.sprintf "let %s () = ref 0\n" ]
+
+let strip (s : S.site) = (s.S.line, s.S.kind, s.S.guard)
+
+let prop_alpha_renaming =
+  QCheck.Test.make ~count:200 ~name:"classification ignores the spelling"
+    QCheck.(pair ident_gen (int_bound (List.length shapes - 1)))
+    (fun (name, i) ->
+      let shape = List.nth shapes i in
+      let renamed_unit = scan (shape name) in
+      (* a generated name can collide with an OCaml keyword; those
+         sources do not parse and say nothing about stability *)
+      QCheck.assume (renamed_unit.S.u_error = None);
+      let canonical = (scan (shape "canonical_name")).S.u_sites in
+      let renamed = renamed_unit.S.u_sites in
+      List.map strip canonical = List.map strip renamed
+      && List.for_all
+           (fun (s : S.site) -> s.S.ident = name)
+           (List.filter (fun (s : S.site) -> s.S.ident <> "_") renamed))
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "src_check"
+    [ ( "classify",
+        [ Alcotest.test_case "unsafe ref" `Quick test_unsafe_ref;
+          Alcotest.test_case "atomic counter" `Quick test_atomic_counter;
+          Alcotest.test_case "DLS slot" `Quick test_dls_slot;
+          Alcotest.test_case "mutable field behind a mutex" `Quick
+            test_mutable_field_behind_mutex;
+          Alcotest.test_case "mutable field without a mutex" `Quick
+            test_mutable_field_without_mutex;
+          Alcotest.test_case "Mutex.protect usage upgrade" `Quick
+            test_mutex_usage_upgrade;
+          Alcotest.test_case "bare use defeats the upgrade" `Quick
+            test_mutex_upgrade_needs_all_uses;
+          Alcotest.test_case "closure-hidden state" `Quick
+            test_closure_hidden_state;
+          Alcotest.test_case "ambient and containers" `Quick
+            test_ambient_and_containers;
+          Alcotest.test_case "constants are silent" `Quick
+            test_empty_array_and_constants;
+          Alcotest.test_case "parse errors surface" `Quick test_parse_error;
+          qcheck prop_alpha_renaming ] );
+      ( "reachability",
+        [ Alcotest.test_case "closure and severities" `Quick
+            test_reachability ] );
+      ( "allowlist",
+        [ Alcotest.test_case "roundtrip" `Quick test_allowlist_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_allowlist_errors;
+          Alcotest.test_case "suppression and staleness" `Quick
+            test_allowlist_suppression_and_staleness ] );
+      ( "fixtures",
+        [ Alcotest.test_case "broken fixture fails" `Quick
+            test_broken_fixture ] ) ]
