@@ -12,7 +12,9 @@
      BENCH_2.json whatever ARNET_DOMAINS says.
    Environment: ARNET_QUICK=1 for a fast pass (3 seeds, short window),
    ARNET_SEEDS=n to override the seed count, ARNET_DOMAINS=n to shard
-   replication runs across n OCaml domains (bit-identical results). *)
+   replication runs across n OCaml domains (bit-identical results),
+   ARNET_BENCH_JSON=path for the run record (default BENCH_7.json) —
+   compare records across versions with `arn bench diff`. *)
 
 open Arnet_experiments
 
@@ -563,7 +565,7 @@ let () =
       | Some r -> [ ("service", Arnet_service.Loadgen.to_json r) ])
   in
   let path =
-    Option.value ~default:"BENCH_5.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
+    Option.value ~default:"BENCH_7.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
   in
   let oc = open_out path in
   output_string oc (J.to_string doc);

@@ -369,6 +369,14 @@ let simulate_cmd =
     Option.iter Obs.Sink.close sink;
     Option.iter
       (fun (path, m) ->
+        (* the same per-link capacity/r^k gauges the daemon's /metrics
+           serves: one registry shape across sim and serve *)
+        Obs.Metrics_sink.set_network m
+          ~capacities:
+            (Array.map (fun l -> l.Arnet_topology.Link.capacity)
+               (Graph.links g))
+          ~reserves:
+            (Protection.levels routes matrix ~h:(Route_table.h routes));
         let oc = open_out path in
         output_string oc (Obs.Metrics.to_prometheus (Obs.Metrics_sink.registry m));
         close_out oc;
@@ -1074,69 +1082,140 @@ let serve_cmd =
     let doc = "Demand-estimator smoothing factor in (0, 1]." in
     Arg.(value & opt (some float) None & info [ "smoothing" ] ~doc)
   in
+  let telemetry =
+    let doc =
+      "Serve live telemetry over HTTP/1.0 on a second socket (same \
+       address forms as $(b,--listen)): $(b,GET /metrics) is the \
+       Prometheus exposition of the full registry — command latency \
+       histograms, per-link occupancy/capacity/r^k gauges, per-pair \
+       accept/block counters — rendered from the running daemon, \
+       $(b,GET /healthz) a liveness probe, $(b,GET /statz) a JSON \
+       status document including the slow-command log."
+    in
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "telemetry" ] ~docv:"ADDR" ~doc)
+  in
+  let slow_ms =
+    let doc =
+      "Slow-command threshold in milliseconds: commands at or above it \
+       enter the slow log (shown by $(b,/statz)) and are logged at \
+       warn level."
+    in
+    Arg.(value & opt float 10. & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
+  let log_level =
+    let level_conv =
+      Arg.conv
+        ( (fun s ->
+            match Obs.Logger.level_of_string s with
+            | Some l -> Ok l
+            | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf
+                      "unknown level %S (debug, info, warn, error)" s))),
+          fun ppf l ->
+            Format.pp_print_string ppf (Obs.Logger.level_to_string l) )
+    in
+    let doc = "Log threshold: debug, info, warn or error." in
+    Arg.(
+      value & opt level_conv Obs.Logger.Info
+      & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let log_json =
+    let doc = "Log JSONL (one JSON object per line) instead of text." in
+    Arg.(value & flag & info [ "log-json" ] ~doc)
+  in
   let run network capacity listen h scale demand unprotected seed
-      reload_every snapshot trace_file metrics_file window smoothing =
+      reload_every snapshot trace_file metrics_file window smoothing
+      telemetry slow_ms log_level log_json =
+    let logger =
+      Obs.Logger.create ~level:log_level
+        ~format:(if log_json then Obs.Logger.Jsonl else Obs.Logger.Text)
+        stderr
+    in
     let g = build_graph network capacity in
     let matrix =
       if unprotected then None
       else Some (build_matrix network g ~scale ~demand)
     in
+    let metrics =
+      Service.Service_metrics.create ~slow_threshold:(slow_ms /. 1000.) ()
+    in
     let trace_sink = Option.map Obs.Jsonl.sink_of_file trace_file in
-    let observer = Option.map Obs.Sink.observer trace_sink in
+    (* every decision event feeds the live registry; the JSONL trace
+       tees off the same stream when requested *)
+    let observer =
+      let to_metrics = Service.Service_metrics.observer metrics in
+      match Option.map Obs.Sink.observer trace_sink with
+      | None -> to_metrics
+      | Some to_trace ->
+        fun ev ->
+          to_trace ev;
+          to_metrics ev
+    in
     let state =
       try
         Service.State.create ?h ?matrix ?window ?smoothing ?reload_every
-          ?observer g
+          ~observer g
       with Invalid_argument msg ->
         Printf.eprintf "arn serve: %s\n" msg;
         exit 2
     in
-    let metrics = Service.Service_metrics.create () in
     let on_listen addr =
-      Format.fprintf ppf
-        "arn serve: %s (%d nodes, %d links, H=%d, seed %d) listening on %s@."
-        (network_to_string network)
-        (Graph.node_count g) (Graph.link_count g)
-        (Route_table.h (Service.State.routes state))
-        seed
-        (Service.Server.addr_to_string addr);
-      Format.pp_print_flush ppf ()
+      Obs.Logger.info logger "arn serve: listening"
+        ~fields:
+          [ ("network", Obs.Jsonu.String (network_to_string network));
+            ("nodes", Obs.Jsonu.Int (Graph.node_count g));
+            ("links", Obs.Jsonu.Int (Graph.link_count g));
+            ("h", Obs.Jsonu.Int (Route_table.h (Service.State.routes state)));
+            ("seed", Obs.Jsonu.Int seed);
+            ("addr", Obs.Jsonu.String (Service.Server.addr_to_string addr)) ]
     in
-    (try Service.Server.serve ~metrics ?snapshot ~on_listen ~state listen
+    (try
+       Service.Server.serve ~metrics ?telemetry ~logger ?snapshot ~on_listen
+         ~state listen
      with Unix.Unix_error (err, fn, arg) ->
-       Printf.eprintf "arn serve: cannot listen on %s: %s (%s %s)\n"
-         (Service.Server.addr_to_string listen)
+       Printf.eprintf "arn serve: cannot listen: %s (%s %s)\n"
          (Unix.error_message err) fn arg;
        exit 2);
     Option.iter Obs.Sink.close trace_sink;
+    let wrote path =
+      Obs.Logger.info logger "wrote"
+        ~fields:[ ("path", Obs.Jsonu.String path) ]
+    in
     Option.iter
       (fun path ->
+        Service.Service_metrics.refresh metrics state;
         let oc = open_out path in
         output_string oc (Service.Service_metrics.to_prometheus metrics);
         close_out oc;
-        Format.fprintf ppf "wrote %s@." path)
+        wrote path)
       metrics_file;
-    (match trace_file with
-    | Some path -> Format.fprintf ppf "wrote %s@." path
-    | None -> ());
-    Option.iter (fun path -> Format.fprintf ppf "wrote %s@." path) snapshot;
+    Option.iter wrote trace_file;
+    Option.iter wrote snapshot;
     let s = Service.State.stats state in
-    Format.fprintf ppf
-      "arn serve: drained after %d accepted, %d blocked, %d torn down, %d \
-       dropped, %d reloads@."
-      s.Service.Wire.accepted s.Service.Wire.blocked s.Service.Wire.torn_down
-      s.Service.Wire.dropped s.Service.Wire.reloads
+    Obs.Logger.info logger "arn serve: drained"
+      ~fields:
+        [ ("accepted", Obs.Jsonu.Int s.Service.Wire.accepted);
+          ("blocked", Obs.Jsonu.Int s.Service.Wire.blocked);
+          ("torn_down", Obs.Jsonu.Int s.Service.Wire.torn_down);
+          ("dropped", Obs.Jsonu.Int s.Service.Wire.dropped);
+          ("reloads", Obs.Jsonu.Int s.Service.Wire.reloads) ]
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the live admission-control daemon (SETUP/TEARDOWN over a \
           line protocol; FAIL/REPAIR reroute, RELOAD reprotects, DRAIN \
-          exits cleanly)")
+          exits cleanly; --telemetry serves live /metrics)")
     Term.(
       const run $ network_arg $ capacity_arg $ listen $ h $ scale $ demand
       $ unprotected $ seed $ reload_every $ snapshot $ trace_file
-      $ metrics_file $ window $ smoothing)
+      $ metrics_file $ window $ smoothing $ telemetry $ slow_ms $ log_level
+      $ log_json)
 
 let load_cmd =
   let connect =
@@ -1233,6 +1312,81 @@ let load_cmd =
       $ connections $ scale $ demand $ no_timestamps $ retry_for $ json
       $ drain)
 
+(* ------------------------------------------------------------------ *)
+(* arn bench *)
+
+let bench_diff_cmd =
+  let old_file =
+    let doc = "Baseline BENCH_*.json document ($(b,-) reads stdin)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc)
+  in
+  let new_file =
+    let doc = "Candidate BENCH_*.json document ($(b,-) reads stdin)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc)
+  in
+  let tolerance =
+    let doc =
+      "Regression tolerance in percent: throughputs may drop and \
+       allocation rates rise by up to $(docv) before the exit status \
+       turns nonzero."
+    in
+    Arg.(value & opt float 10. & info [ "tolerance" ] ~docv:"PCT" ~doc)
+  in
+  let json =
+    let doc = "Emit the comparison as JSON instead of the delta table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let read_doc name =
+    let contents =
+      if name = "-" then In_channel.input_all Stdlib.stdin
+      else In_channel.with_open_bin name In_channel.input_all
+    in
+    Obs.Jsonu.parse contents
+  in
+  let run old_file new_file tolerance json =
+    if old_file = "-" && new_file = "-" then begin
+      Printf.eprintf "arn bench diff: only one input can be stdin\n";
+      exit 2
+    end;
+    let doc name =
+      try read_doc name with
+      | Sys_error msg ->
+        Printf.eprintf "arn bench diff: %s\n" msg;
+        exit 2
+      | Obs.Jsonu.Parse_error msg ->
+        Printf.eprintf "arn bench diff: %s: %s\n" name msg;
+        exit 2
+    in
+    let old_doc = doc old_file in
+    let new_doc = doc new_file in
+    let report =
+      try
+        Arnet_experiments.Bench_diff.compare ~tolerance ~old_doc ~new_doc ()
+      with
+      | Obs.Jsonu.Parse_error msg | Invalid_argument msg ->
+        Printf.eprintf "arn bench diff: %s\n" msg;
+        exit 2
+    in
+    if json then
+      print_endline
+        (Obs.Jsonu.to_string (Arnet_experiments.Bench_diff.to_json report))
+    else Format.fprintf ppf "%a" Arnet_experiments.Bench_diff.print report;
+    if Arnet_experiments.Bench_diff.regressions report <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two BENCH_*.json documents (calls/s, req/s, minor \
+          words/call) and exit nonzero on a regression past the \
+          tolerance")
+    Term.(const run $ old_file $ new_file $ tolerance $ json)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Operate on the bench trajectory (BENCH_*.json documents)")
+    [ bench_diff_cmd ]
+
 let () =
   let info =
     Cmd.info "arn" ~version:"1.0.0"
@@ -1244,6 +1398,7 @@ let () =
     Cmd.group info
       [ erlang_cmd; protection_cmd; paths_cmd; topology_cmd; fit_cmd;
         bound_cmd; simulate_cmd; experiment_cmd; dalfar_cmd; spec_cmd;
-        lint_cmd; adaptive_cmd; mdp_cmd; trace_cmd; serve_cmd; load_cmd ]
+        lint_cmd; adaptive_cmd; mdp_cmd; trace_cmd; serve_cmd; load_cmd;
+        bench_cmd ]
   in
   exit (Cmd.eval group)

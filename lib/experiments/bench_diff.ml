@@ -1,0 +1,184 @@
+module J = Arnet_obs.Jsonu
+
+type direction = Higher | Lower
+
+type row = {
+  section : string;
+  metric : string;
+  old_value : float;
+  new_value : float;
+  delta_pct : float;
+  direction : direction;
+  regressed : bool;
+}
+
+type report = {
+  tolerance : float;
+  rows : row list;
+  missing_in_new : string list;
+  extra_in_new : string list;
+}
+
+(* metrics gated per section, in render order.  Latency quantiles are
+   deliberately absent: across container generations they move by
+   integer factors without any code change, so they would only teach
+   people to bump the tolerance *)
+let section_metrics =
+  [ ("calls_per_s", Higher); ("minor_words_per_call", Lower) ]
+
+let delta_pct ~old_value ~new_value =
+  if old_value = 0. then if new_value = 0. then 0. else infinity
+  else (new_value -. old_value) /. Float.abs old_value *. 100.
+
+(* Higher-is-better regresses on a relative drop.  Lower-is-better
+   (allocation rates) regresses on a relative rise measured against
+   max(old, 1): an 0.02 -> 0.03 words/call wobble on an allocation-free
+   path is noise, a 10 -> 14 climb is not *)
+let regressed ~tolerance ~direction ~old_value ~new_value =
+  match direction with
+  | Higher -> new_value < old_value *. (1. -. (tolerance /. 100.))
+  | Lower ->
+    new_value -. old_value > Float.max (Float.abs old_value) 1. *. (tolerance /. 100.)
+
+let row ~tolerance ~section ~metric ~direction ~old_value ~new_value =
+  { section;
+    metric;
+    old_value;
+    new_value;
+    delta_pct = delta_pct ~old_value ~new_value;
+    direction;
+    regressed = regressed ~tolerance ~direction ~old_value ~new_value }
+
+let shape msg = raise (J.Parse_error ("bench document: " ^ msg))
+
+let sections doc =
+  match J.member "sections" doc with
+  | None -> shape "no \"sections\" array"
+  | Some (J.List sections) ->
+    List.map
+      (fun s ->
+        match J.member "name" s with
+        | Some (J.String name) -> (name, s)
+        | _ -> shape "section without a \"name\"")
+      sections
+  | Some _ -> shape "\"sections\" is not an array"
+
+let float_member name doc =
+  match J.member name doc with
+  | Some (J.Int _ | J.Float _) as v -> Some (J.as_float (Option.get v))
+  | _ -> None
+
+let compare ?(tolerance = 10.) ~old_doc ~new_doc () =
+  if tolerance < 0. then invalid_arg "Bench_diff.compare: tolerance < 0";
+  let old_sections = sections old_doc and new_sections = sections new_doc in
+  let missing_in_new =
+    List.filter_map
+      (fun (n, _) ->
+        if List.mem_assoc n new_sections then None else Some n)
+      old_sections
+  and extra_in_new =
+    List.filter_map
+      (fun (n, _) ->
+        if List.mem_assoc n old_sections then None else Some n)
+      new_sections
+  in
+  let section_rows =
+    List.concat_map
+      (fun (name, old_s) ->
+        match List.assoc_opt name new_sections with
+        | None -> []
+        | Some new_s ->
+          List.filter_map
+            (fun (metric, direction) ->
+              match
+                (float_member metric old_s, float_member metric new_s)
+              with
+              | Some old_value, Some new_value ->
+                Some
+                  (row ~tolerance ~section:name ~metric ~direction
+                     ~old_value ~new_value)
+              | _ -> None)
+            section_metrics)
+      old_sections
+  in
+  let service_rows =
+    match (J.member "service" old_doc, J.member "service" new_doc) with
+    | Some old_s, Some new_s -> (
+      match
+        (float_member "requests_per_s" old_s, float_member "requests_per_s" new_s)
+      with
+      | Some old_value, Some new_value ->
+        [ row ~tolerance ~section:"service" ~metric:"requests_per_s"
+            ~direction:Higher ~old_value ~new_value ]
+      | _ -> [])
+    | _ -> []
+  in
+  (* totals sum over whatever sections a run recorded: only comparable
+     when the two runs recorded the same set *)
+  let total_rows =
+    if missing_in_new = [] && extra_in_new = [] then
+      match
+        ( float_member "total_calls_per_s" old_doc,
+          float_member "total_calls_per_s" new_doc )
+      with
+      | Some old_value, Some new_value ->
+        [ row ~tolerance ~section:"total" ~metric:"calls_per_s"
+            ~direction:Higher ~old_value ~new_value ]
+      | _ -> []
+    else []
+  in
+  { tolerance;
+    rows = section_rows @ service_rows @ total_rows;
+    missing_in_new;
+    extra_in_new }
+
+let regressions report = List.filter (fun r -> r.regressed) report.rows
+
+let value_str v =
+  if Float.abs v >= 1000. then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3g" v
+
+let print ppf report =
+  Format.fprintf ppf "%-14s %-22s %12s %12s %9s@." "section" "metric" "old"
+    "new" "delta";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-14s %-22s %12s %12s %+8.1f%%%s@." r.section
+        r.metric (value_str r.old_value) (value_str r.new_value) r.delta_pct
+        (if r.regressed then "  REGRESSED" else ""))
+    report.rows;
+  List.iter
+    (fun n -> Format.fprintf ppf "%-14s (only in the old run)@." n)
+    report.missing_in_new;
+  List.iter
+    (fun n -> Format.fprintf ppf "%-14s (only in the new run)@." n)
+    report.extra_in_new;
+  match regressions report with
+  | [] ->
+    Format.fprintf ppf "no regression beyond %.0f%% across %d comparisons@."
+      report.tolerance
+      (List.length report.rows)
+  | rs ->
+    Format.fprintf ppf "%d of %d comparisons regressed beyond %.0f%%@."
+      (List.length rs) (List.length report.rows) report.tolerance
+
+let to_json report =
+  let row_json r =
+    J.Obj
+      [ ("section", J.String r.section);
+        ("metric", J.String r.metric);
+        ("old", J.Float r.old_value);
+        ("new", J.Float r.new_value);
+        ("delta_pct", J.Float r.delta_pct);
+        ("direction",
+         J.String (match r.direction with Higher -> "higher" | Lower -> "lower"));
+        ("regressed", J.Bool r.regressed) ]
+  in
+  J.Obj
+    [ ("tolerance_pct", J.Float report.tolerance);
+      ("rows", J.List (List.map row_json report.rows));
+      ("missing_in_new",
+       J.List (List.map (fun s -> J.String s) report.missing_in_new));
+      ("extra_in_new",
+       J.List (List.map (fun s -> J.String s) report.extra_in_new));
+      ("regressed", J.Bool (regressions report <> [])) ]

@@ -1,0 +1,55 @@
+(** The bench regression comparator behind [arn bench diff]: two
+    [BENCH_*.json] documents in, a per-section delta table out, with a
+    regression verdict against a percentage tolerance.
+
+    Compared quantities, when both documents carry them:
+    - per section (matched by name): [calls_per_s] (higher is better)
+      and [minor_words_per_call] (lower is better — measured against
+      [max(old, 1)] word/call so allocation-free sections cannot
+      regress on noise);
+    - [service.requests_per_s] (higher is better);
+    - [total_calls_per_s], only when the two runs recorded exactly the
+      same section set (totals over different sections are not
+      comparable).
+
+    Latency quantiles are recorded in the documents but deliberately
+    not gated: they shift by integer factors across container
+    generations without any code change. *)
+
+type direction = Higher | Lower
+
+type row = {
+  section : string;
+  metric : string;
+  old_value : float;
+  new_value : float;
+  delta_pct : float;  (** signed, relative to the old value *)
+  direction : direction;
+  regressed : bool;
+}
+
+type report = {
+  tolerance : float;
+  rows : row list;  (** sections in old-document order, then service/total *)
+  missing_in_new : string list;  (** section names only the old run has *)
+  extra_in_new : string list;
+}
+
+val compare :
+  ?tolerance:float ->
+  old_doc:Arnet_obs.Jsonu.t ->
+  new_doc:Arnet_obs.Jsonu.t ->
+  unit ->
+  report
+(** [tolerance] is a percentage (default 10).
+    @raise Invalid_argument on a negative tolerance.
+    @raise Arnet_obs.Jsonu.Parse_error when a document does not have
+    the BENCH shape (a [sections] array of named objects). *)
+
+val regressions : report -> row list
+(** The rows past tolerance; empty means exit 0. *)
+
+val print : Format.formatter -> report -> unit
+(** The human delta table plus a one-line verdict. *)
+
+val to_json : report -> Arnet_obs.Jsonu.t

@@ -1,0 +1,75 @@
+type response = {
+  status : int;
+  reason : string;
+  content_type : string;
+  body : string;
+}
+
+let text_content_type = "text/plain; charset=utf-8"
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
+let json_content_type = "application/json"
+
+let response ~status ~reason ~content_type body =
+  { status; reason; content_type; body }
+
+let ok ~content_type body = response ~status:200 ~reason:"OK" ~content_type body
+
+let bad_request detail =
+  response ~status:400 ~reason:"Bad Request" ~content_type:text_content_type
+    ("bad request: " ^ detail ^ "\n")
+
+let not_found path =
+  response ~status:404 ~reason:"Not Found" ~content_type:text_content_type
+    ("not found: " ^ path ^ "\n")
+
+let method_not_allowed meth =
+  response ~status:405 ~reason:"Method Not Allowed"
+    ~content_type:text_content_type
+    ("method not allowed: " ^ meth ^ " (GET only)\n")
+
+(* every byte a request line may legally contain; control characters
+   (telnet negotiation, TLS ClientHello bytes on a plaintext port)
+   mean this is not HTTP at all *)
+let printable s =
+  String.for_all (fun c -> Char.code c >= 0x20 && Char.code c < 0x7f) s
+
+let parse_request_line line =
+  if not (printable line) then Error "request line is not printable ASCII"
+  else
+    match String.split_on_char ' ' line with
+    | [ meth; target; version ]
+      when meth <> "" && target <> ""
+           && String.length version > 5
+           && String.sub version 0 5 = "HTTP/" ->
+      Ok (meth, target)
+    | _ -> Error "expected METHOD TARGET HTTP/VERSION"
+
+(* the path part of a request target: strip ?query and #fragment *)
+let path_of_target target =
+  let cut c s =
+    match String.index_opt s c with Some i -> String.sub s 0 i | None -> s
+  in
+  cut '#' (cut '?' target)
+
+let handle ~routes line =
+  match parse_request_line line with
+  | Error detail -> bad_request detail
+  | Ok (meth, target) ->
+    if meth <> "GET" && meth <> "HEAD" then method_not_allowed meth
+    else begin
+      let path = path_of_target target in
+      match List.assoc_opt path routes with
+      | None -> not_found path
+      | Some body_fn ->
+        let content_type, body = body_fn () in
+        let r = ok ~content_type body in
+        if meth = "HEAD" then { r with body = "" } else r
+    end
+
+let render r =
+  (* Content-Length counts the GET body even on HEAD-stripped
+     responses we build directly; render what we were given *)
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    r.status r.reason r.content_type (String.length r.body) r.body

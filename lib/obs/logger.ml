@@ -1,0 +1,94 @@
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type format = Text | Jsonl
+
+type t = {
+  threshold : level;
+  format : format;
+  chan : out_channel option;  (* None: the null logger, drops everything *)
+  clock : unit -> float;
+}
+
+let create ?(level = Info) ?(format = Text) ?(clock = Unix.gettimeofday) chan
+    =
+  { threshold = level; format; chan = Some chan; clock }
+
+let null =
+  { threshold = Error; format = Text; chan = None; clock = (fun () -> 0.) }
+
+let enabled t level =
+  t.chan <> None && severity level >= severity t.threshold
+
+(* ISO-8601 UTC with millisecond precision: sortable, parseable, and
+   unambiguous across the daemon/load-generator pair of logs *)
+let timestamp now =
+  let tm = Unix.gmtime now in
+  let ms = int_of_float ((now -. Float.of_int (int_of_float now)) *. 1000.) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+    (max 0 (min 999 ms))
+
+let render_text ~ts ~level ~msg fields =
+  let b = Buffer.create 96 in
+  Buffer.add_string b ts;
+  Buffer.add_char b ' ';
+  Buffer.add_string b (String.uppercase_ascii (level_to_string level));
+  Buffer.add_char b ' ';
+  Buffer.add_string b msg;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b
+        (match v with
+        | Jsonu.String s -> s
+        | v -> Jsonu.to_string v))
+    fields;
+  Buffer.contents b
+
+let render_jsonl ~ts ~level ~msg fields =
+  Jsonu.to_string
+    (Jsonu.Obj
+       (("ts", Jsonu.String ts)
+       :: ("level", Jsonu.String (level_to_string level))
+       :: ("msg", Jsonu.String msg)
+       :: fields))
+
+let log t level ?(fields = []) msg =
+  match t.chan with
+  | None -> ()
+  | Some chan ->
+    if severity level >= severity t.threshold then begin
+      let ts = timestamp (t.clock ()) in
+      let line =
+        match t.format with
+        | Text -> render_text ~ts ~level ~msg fields
+        | Jsonl -> render_jsonl ~ts ~level ~msg fields
+      in
+      output_string chan line;
+      output_char chan '\n';
+      (* flushed per line: daemon logs must survive a kill *)
+      flush chan
+    end
+
+let debug t ?fields msg = log t Debug ?fields msg
+let info t ?fields msg = log t Info ?fields msg
+let warn t ?fields msg = log t Warn ?fields msg
+let error t ?fields msg = log t Error ?fields msg

@@ -1,0 +1,44 @@
+(** A leveled structured logger for the long-running components (the
+    admission daemon, the load generator) — the replacement for ad-hoc
+    [Printf.eprintf] scattered through them.
+
+    Two output formats over one call site: [Text] for a human tail
+    ([2026-08-07T12:00:00.000Z INFO listening addr=tcp:...]) and
+    [Jsonl] for machine consumption (one JSON object per line, fields
+    inline).  Every line is flushed as it is written, so logs survive a
+    kill.  The logger is plain synchronous output on the daemon's
+    single thread — no buffering task, no locks. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+
+val level_of_string : string -> level option
+(** Accepts ["debug"], ["info"], ["warn"]/["warning"], ["error"]. *)
+
+type format = Text | Jsonl
+
+type t
+
+val create :
+  ?level:level -> ?format:format -> ?clock:(unit -> float) -> out_channel -> t
+(** [create chan] logs lines at or above [level] (default [Info]) to
+    [chan] in [format] (default [Text]).  [clock] (default
+    [Unix.gettimeofday]) stamps each line — injectable for
+    deterministic tests. *)
+
+val null : t
+(** Drops everything; the default wherever a logger is optional. *)
+
+val enabled : t -> level -> bool
+(** Whether a line at [level] would be written — guard any expensive
+    field construction with this. *)
+
+val log : t -> level -> ?fields:(string * Jsonu.t) list -> string -> unit
+(** One line: timestamp, level, message, then [fields] (rendered
+    [k=v] in text, inline members in JSONL). *)
+
+val debug : t -> ?fields:(string * Jsonu.t) list -> string -> unit
+val info : t -> ?fields:(string * Jsonu.t) list -> string -> unit
+val warn : t -> ?fields:(string * Jsonu.t) list -> string -> unit
+val error : t -> ?fields:(string * Jsonu.t) list -> string -> unit

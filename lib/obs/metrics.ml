@@ -188,6 +188,41 @@ let escape_label_value s =
     s;
   Buffer.contents buf
 
+let unescape_label_value s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '\\' when !i + 1 < n -> (
+      incr i;
+      match s.[!i] with
+      | '\\' -> Buffer.add_char buf '\\'
+      | '"' -> Buffer.add_char buf '"'
+      | 'n' -> Buffer.add_char buf '\n'
+      | c ->
+        (* not an escape we emit: keep both characters verbatim *)
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c)
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+(* HELP text has its own (smaller) escape set in the exposition format:
+   backslash and newline only — a raw newline would otherwise break the
+   line-oriented parse of every scraper *)
+let escape_help s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let render_labels labels =
   match labels with
   | [] -> ""
@@ -213,7 +248,8 @@ let to_prometheus t =
     (fun name ->
       let fam = Hashtbl.find t.families name in
       if fam.help <> "" then
-        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name fam.help);
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" name (escape_help fam.help));
       Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name fam.kind);
       List.iter
         (fun s ->

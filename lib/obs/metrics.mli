@@ -62,9 +62,23 @@ val histogram_buckets : histogram -> (float * int) list
 
 (** {1 Rendering} *)
 
+val escape_label_value : string -> string
+(** Exposition-format label-value escaping: [\\] → [\\\\], ["] → [\\"],
+    newline → [\\n]. *)
+
+val unescape_label_value : string -> string
+(** Inverse of {!escape_label_value}; escape sequences it does not emit
+    (and a trailing backslash) pass through verbatim, so
+    [unescape_label_value (escape_label_value s) = s] for every [s]. *)
+
+val escape_help : string -> string
+(** [# HELP] text escaping — the exposition format's smaller set:
+    [\\] → [\\\\] and newline → [\\n] (quotes stay literal). *)
+
 val to_prometheus : t -> string
 (** Prometheus text exposition format: [# HELP]/[# TYPE] headers, one
     line per series, histogram [_bucket]/[_sum]/[_count] expansion.
+    Label values and help text are escaped per the format.
     Families render in registration order. *)
 
 val to_json : t -> Jsonu.t

@@ -5,6 +5,10 @@ type t = {
   by_kind : (string, Metrics.counter) Hashtbl.t;
   occupancy : (int, Metrics.gauge) Hashtbl.t;
   rejected : (int, Metrics.counter) Hashtbl.t;
+  capacity : (int, Metrics.gauge) Hashtbl.t;
+  reserve : (int, Metrics.gauge) Hashtbl.t;
+  pair_accepted : (int * int, Metrics.counter) Hashtbl.t;
+  pair_blocked : (int * int, Metrics.counter) Hashtbl.t;
   offered : Metrics.counter;
   blocked : Metrics.counter;
   admitted_primary : Metrics.counter;
@@ -22,6 +26,10 @@ let create registry =
     by_kind = Hashtbl.create 8;
     occupancy = Hashtbl.create 64;
     rejected = Hashtbl.create 64;
+    capacity = Hashtbl.create 64;
+    reserve = Hashtbl.create 64;
+    pair_accepted = Hashtbl.create 256;
+    pair_blocked = Hashtbl.create 256;
     offered =
       Metrics.counter registry ~help:"Calls offered (arrivals)"
         "arnet_calls_offered_total";
@@ -89,6 +97,56 @@ let rejected_counter t link =
     Hashtbl.add t.rejected link c;
     c
 
+(* per-(src,dst) counters, cached like the per-link series so the
+   per-event cost stays a hash lookup *)
+let pair_counter t table name help (src, dst) =
+  match Hashtbl.find_opt table (src, dst) with
+  | Some c -> c
+  | None ->
+    let c =
+      Metrics.counter t.registry
+        ~labels:[ ("src", string_of_int src); ("dst", string_of_int dst) ]
+        ~help name
+    in
+    Hashtbl.add table (src, dst) c;
+    c
+
+let pair_accepted t pair =
+  pair_counter t t.pair_accepted "arnet_pair_accepted_total"
+    "Calls admitted, by origin-destination pair" pair
+
+let pair_blocked t pair =
+  pair_counter t t.pair_blocked "arnet_pair_blocked_total"
+    "Calls lost, by origin-destination pair" pair
+
+let network_gauge t table name help link =
+  match Hashtbl.find_opt table link with
+  | Some g -> g
+  | None ->
+    let g =
+      Metrics.gauge t.registry
+        ~labels:[ ("link", string_of_int link) ]
+        ~help name
+    in
+    Hashtbl.add table link g;
+    g
+
+let set_network t ~capacities ~reserves =
+  Array.iteri
+    (fun k c ->
+      Metrics.set
+        (network_gauge t t.capacity "arnet_link_capacity"
+           "Circuits installed on the link" k)
+        (float_of_int c))
+    capacities;
+  Array.iteri
+    (fun k r ->
+      Metrics.set
+        (network_gauge t t.reserve "arnet_link_reserve"
+           "Trunk-reservation protection level r^k on the link" k)
+        (float_of_int r))
+    reserves
+
 let refresh_rates t =
   let wall = Unix.gettimeofday () -. t.started_at in
   Metrics.set t.wall_seconds wall;
@@ -102,9 +160,12 @@ let emit t ev =
   | Event.Arrival { holding; _ } ->
     Metrics.inc t.offered;
     Metrics.observe t.holding holding
-  | Event.Block _ -> Metrics.inc t.blocked
-  | Event.Admit { primary; hops; links; _ } ->
+  | Event.Block { src; dst; _ } ->
+    Metrics.inc t.blocked;
+    Metrics.inc (pair_blocked t (src, dst))
+  | Event.Admit { src; dst; primary; hops; links; _ } ->
     Metrics.inc (if primary then t.admitted_primary else t.admitted_alternate);
+    Metrics.inc (pair_accepted t (src, dst));
     Metrics.observe t.hops (float_of_int hops);
     Array.iter (fun k -> Metrics.add (link_gauge t k) 1.) links
   | Event.Departure { links; _ } ->

@@ -9,6 +9,10 @@
       rejections
     - [arnet_link_occupancy{link=...}] — live occupancy gauge,
       maintained from admit/departure link sets
+    - [arnet_pair_accepted_total{src,dst}],
+      [arnet_pair_blocked_total{src,dst}] — per-O-D-pair outcomes
+    - [arnet_link_capacity{link=...}], [arnet_link_reserve{link=...}] —
+      static/reload-time network shape, set through {!set_network}
     - [arnet_call_holding_time] — log-bucket histogram
     - [arnet_admitted_hops] — path-length histogram
     - [arnet_events_per_second], [arnet_wall_seconds] — wall-clock
@@ -25,6 +29,12 @@ val create : Metrics.t -> t
 
 val emit : t -> Event.t -> unit
 val sink : t -> Sink.t
+
+val set_network : t -> capacities:int array -> reserves:int array -> unit
+(** Publish the per-link capacity and protection-level gauges, indexed
+    by link id.  Events carry occupancy but not the network shape, so
+    the owner (the daemon on scrape, [arn sim] before its snapshot)
+    pushes it here whenever levels may have changed. *)
 
 val events : t -> int
 (** Events seen so far. *)

@@ -7,6 +7,17 @@ type t = {
 
 let now () = Unix.gettimeofday ()
 
+(* no mtime/ptime in the dependency budget: monotonize the wall clock
+   instead.  Each clock owns its own high-water mark, so a backwards
+   step (NTP slew, VM migration) reads as a zero-length interval rather
+   than a negative latency *)
+let monotonic () =
+  let last = ref (Unix.gettimeofday ()) in
+  fun () ->
+    let t = Unix.gettimeofday () in
+    if t > !last then last := t;
+    !last
+
 let start name = { name; started_at = now (); duration = None; meta = [] }
 
 let stop t =

@@ -8,6 +8,13 @@
 
 type t
 
+val monotonic : unit -> unit -> float
+(** [monotonic ()] is a fresh non-decreasing clock: [Unix.gettimeofday]
+    clamped to its own high-water mark, the dependency-free stand-in
+    for [CLOCK_MONOTONIC].  A wall-clock step backwards reads as a
+    zero-length interval, never a negative one.  Each clock carries its
+    own state — create one per measuring site. *)
+
 val start : string -> t
 (** Starts timing immediately ([Unix.gettimeofday]). *)
 

@@ -233,7 +233,9 @@ let to_json r =
           else 0.));
       ("latency_mean_s", J.Float (mean_latency r));
       ("latency_p50_s", J.Float (quantile r 0.5));
-      ("latency_p99_s", J.Float (quantile r 0.99)) ]
+      ("latency_p95_s", J.Float (quantile r 0.95));
+      ("latency_p99_s", J.Float (quantile r 0.99));
+      ("latency_max_s", J.Float (quantile r 1.0)) ]
 
 let print ppf r =
   Format.fprintf ppf "calls      %d (accepted %d, blocked %d, errors %d)@."
@@ -244,7 +246,10 @@ let print ppf r =
   Format.fprintf ppf "requests   %d in %.2fs  (%.0f req/s)@." r.requests
     r.wall_s (requests_per_second r);
   Format.fprintf ppf
-    "latency    mean %.1f us   p50 %.1f us   p99 %.1f us@."
+    "latency    mean %.1f us   p50 %.1f us   p95 %.1f us   p99 %.1f us   \
+     max %.1f us@."
     (1e6 *. mean_latency r)
     (1e6 *. quantile r 0.5)
+    (1e6 *. quantile r 0.95)
     (1e6 *. quantile r 0.99)
+    (1e6 *. quantile r 1.0)

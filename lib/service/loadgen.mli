@@ -66,6 +66,10 @@ val quantile : result -> float -> float
     @raise Invalid_argument outside (0, 1]. *)
 
 val to_json : result -> Arnet_obs.Jsonu.t
+(** Counts, [requests_per_s], blocking, and the latency summary
+    ([latency_mean_s], [_p50_s], [_p95_s], [_p99_s], [_max_s]) — the
+    machine-readable form the bench's [serve] section embeds. *)
 
 val print : Format.formatter -> result -> unit
-(** The human summary [arn load] prints. *)
+(** The human summary [arn load] prints: counts, blocking, req/s, and
+    mean/p50/p95/p99/max latency. *)

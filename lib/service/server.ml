@@ -80,9 +80,14 @@ let request ic oc cmd =
 (* ------------------------------------------------------------------ *)
 (* server side *)
 
+type proto =
+  | Command  (** the SETUP/TEARDOWN line protocol *)
+  | Http  (** a telemetry connection: one GET, one response, close *)
+
 type conn = {
   fd : Unix.file_descr;
   buf : Buffer.t;  (** bytes read but not yet framed into a line *)
+  proto : proto;
 }
 
 (* the longest legal command line; generous next to real commands
@@ -119,20 +124,19 @@ let drain_lines buf =
   in
   split [] 0
 
-let serve ?metrics ?snapshot ?on_listen ~state addr =
-  (* a client that disconnects mid-response must cost a dropped
-     connection, not the whole daemon *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ | Sys_error _ -> ());
+(* bind-and-listen with the unix-path replace semantics; [cleanup]
+   closes and unlinks, safe to call twice *)
+let bind_listener addr =
   let domain, sockaddr = sockaddr_of addr in
   (match addr with
   | Unix_sock path when Sys.file_exists path -> Unix.unlink path
   | _ -> ());
   let listener = Unix.socket domain Unix.SOCK_STREAM 0 in
-  let cleanup_listener () =
+  let cleanup () =
     (try Unix.close listener with Unix.Unix_error _ -> ());
     match addr with
-    | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    | Unix_sock path -> (
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
     | Tcp _ -> ()
   in
   (try
@@ -142,25 +146,118 @@ let serve ?metrics ?snapshot ?on_listen ~state addr =
      Unix.bind listener sockaddr;
      Unix.listen listener 64
    with e ->
-     cleanup_listener ();
+     cleanup ();
      raise e);
+  (listener, cleanup)
+
+(* a complete HTTP request head: headers (if any) ended by a blank line *)
+let head_complete data =
+  let n = String.length data in
+  let rec scan i =
+    if i + 1 >= n then false
+    else if data.[i] = '\n' && data.[i + 1] = '\n' then true
+    else if
+      i + 3 < n
+      && data.[i] = '\r' && data.[i + 1] = '\n'
+      && data.[i + 2] = '\r' && data.[i + 3] = '\n'
+    then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let chomp_cr line =
+  if line <> "" && line.[String.length line - 1] = '\r' then
+    String.sub line 0 (String.length line - 1)
+  else line
+
+let serve ?metrics ?telemetry ?(logger = Arnet_obs.Logger.null) ?snapshot
+    ?on_listen ~state addr =
+  let module Log = Arnet_obs.Logger in
+  let module Http = Arnet_obs.Http_exporter in
+  (* a client that disconnects mid-response must cost a dropped
+     connection, not the whole daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  (* a telemetry endpoint without a caller-shared registry still needs
+     one to serve from *)
+  let metrics =
+    match (metrics, telemetry) with
+    | None, Some _ -> Some (Service_metrics.create ())
+    | m, _ -> m
+  in
+  let listener, cleanup_listener = bind_listener addr in
+  let telemetry_listener =
+    match telemetry with
+    | None -> None
+    | Some taddr -> (
+      match bind_listener taddr with
+      | l -> Some l
+      | exception e ->
+        cleanup_listener ();
+        raise e)
+  in
+  let cleanup_listeners () =
+    cleanup_listener ();
+    match telemetry_listener with Some (_, c) -> c () | None -> ()
+  in
   (match on_listen with Some f -> f addr | None -> ());
+  Log.info logger "listening"
+    ~fields:[ ("addr", Arnet_obs.Jsonu.String (addr_to_string addr)) ];
+  Option.iter
+    (fun taddr ->
+      Log.info logger "telemetry listening"
+        ~fields:[ ("addr", Arnet_obs.Jsonu.String (addr_to_string taddr)) ])
+    telemetry;
+  let clock = Arnet_obs.Span.monotonic () in
+  let routes =
+    match metrics with
+    | None -> []
+    | Some m ->
+      [ ("/metrics",
+         fun () ->
+           (Http.prometheus_content_type, Service_metrics.scrape m state));
+        ("/healthz", fun () -> (Http.text_content_type, "ok\n"));
+        ("/statz",
+         fun () ->
+           ( Http.json_content_type,
+             Arnet_obs.Jsonu.to_string (Service_metrics.statz m state) ^ "\n"
+           )) ]
+  in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let close_conn c =
     Hashtbl.remove conns c.fd;
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   in
   let handle_command c line =
+    (* timed only when someone records the result: the metrics-free
+       daemon (the bench baseline) keeps its exact pre-telemetry path *)
+    let t0 = match metrics with Some _ -> clock () | None -> 0. in
     let cmd_result = Wire.parse_command line in
     let cmd, response =
       match cmd_result with
       | Error (code, detail) -> (None, Wire.Err { code; detail })
       | Ok cmd -> (Some cmd, Session.handle state cmd)
     in
-    (match (metrics, cmd) with
-    | Some m, Some cmd -> Service_metrics.record m state cmd response
-    | Some m, None -> Service_metrics.record_malformed m
-    | None, _ -> ());
+    (match metrics with
+    | Some m ->
+      let verb =
+        match cmd with
+        | Some cmd ->
+          Service_metrics.record m state cmd response;
+          Service_metrics.verb cmd
+        | None ->
+          Service_metrics.record_malformed m;
+          "malformed"
+      in
+      let verdict = Service_metrics.verdict response in
+      let seconds = clock () -. t0 in
+      if Service_metrics.record_latency m ~verb ~verdict seconds then
+        Arnet_obs.Logger.warn logger "slow command"
+          ~fields:
+            [ ("verb", Arnet_obs.Jsonu.String verb);
+              ("verdict", Arnet_obs.Jsonu.String verdict);
+              ("seconds", Arnet_obs.Jsonu.Float seconds) ]
+    | None -> ());
     (try write_all c.fd (Wire.print_response response ^ "\n")
      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
        close_conn c);
@@ -184,38 +281,82 @@ let serve ?metrics ?snapshot ?on_listen ~state addr =
      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
     close_conn c
   in
+  let http_respond c (resp : Http.response) =
+    if resp.Http.status <> 200 then
+      Log.warn logger "telemetry request refused"
+        ~fields:
+          [ ("status", Arnet_obs.Jsonu.Int resp.Http.status);
+            ("reason", Arnet_obs.Jsonu.String resp.Http.reason) ];
+    (try write_all c.fd (Http.render resp)
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+    close_conn c
+  in
+  (* answer as soon as the request head is complete ([eof] stands in
+     for the blank line when the client half-closes instead); a first
+     line that is already malformed is refused without waiting.  Every
+     outcome — 200, 400, 404, 405 — is one response then close, and
+     none of them touches the command loop *)
+  let handle_http ?(eof = false) c =
+    let data = Buffer.contents c.buf in
+    match String.index_opt data '\n' with
+    | None ->
+      if Buffer.length c.buf > max_line_bytes then
+        http_respond c (Http.bad_request "request line too long")
+      else if eof then close_conn c
+    | Some i -> (
+      let first = chomp_cr (String.sub data 0 i) in
+      match Http.parse_request_line first with
+      | Error detail -> http_respond c (Http.bad_request detail)
+      | Ok _ ->
+        if head_complete data || eof then
+          http_respond c (Http.handle ~routes first)
+        else if Buffer.length c.buf > max_line_bytes then
+          http_respond c (Http.bad_request "request head too long"))
+  in
   let handle_readable c =
     match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-    | 0 -> close_conn c
-    | n ->
+    | 0 -> (
+      match c.proto with
+      | Http -> handle_http ~eof:true c
+      | Command -> close_conn c)
+    | n -> (
       Buffer.add_subbytes c.buf chunk 0 n;
-      List.iter
-        (fun line ->
-          if Hashtbl.mem conns c.fd then
-            if String.length line > max_line_bytes then reject_too_long c
-            else handle_command c line)
-        (drain_lines c.buf);
-      (* an unterminated line can also outgrow the ceiling: without
-         this, a client sending no newline at all grows [buf] without
-         bound *)
-      if Hashtbl.mem conns c.fd && Buffer.length c.buf > max_line_bytes
-      then reject_too_long c
+      match c.proto with
+      | Http -> handle_http c
+      | Command ->
+        List.iter
+          (fun line ->
+            if Hashtbl.mem conns c.fd then
+              if String.length line > max_line_bytes then reject_too_long c
+              else handle_command c line)
+          (drain_lines c.buf);
+        (* an unterminated line can also outgrow the ceiling: without
+           this, a client sending no newline at all grows [buf] without
+           bound *)
+        if Hashtbl.mem conns c.fd && Buffer.length c.buf > max_line_bytes
+        then reject_too_long c)
     | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn c
+  in
+  let accept_from listener proto =
+    let conn_fd, _ = Unix.accept listener in
+    Hashtbl.replace conns conn_fd
+      { fd = conn_fd; buf = Buffer.create 256; proto }
   in
   let rec loop () =
     if State.drained state then ()
     else begin
       let fds = listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+      let telemetry_fd = Option.map fst telemetry_listener in
+      let fds =
+        match telemetry_fd with Some tl -> tl :: fds | None -> fds
+      in
       match Unix.select fds [] [] (-1.) with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | readable, _, _ ->
         List.iter
           (fun fd ->
-            if fd = listener then begin
-              let conn_fd, _ = Unix.accept listener in
-              Hashtbl.replace conns conn_fd
-                { fd = conn_fd; buf = Buffer.create 256 }
-            end
+            if fd = listener then accept_from listener Command
+            else if telemetry_fd = Some fd then accept_from fd Http
             else
               match Hashtbl.find_opt conns fd with
               | Some c -> handle_readable c
@@ -227,7 +368,7 @@ let serve ?metrics ?snapshot ?on_listen ~state addr =
   Fun.protect
     ~finally:(fun () ->
       Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
-      cleanup_listener ())
+      cleanup_listeners ())
     (fun () ->
       loop ();
       State.finish state;

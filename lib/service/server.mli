@@ -31,6 +31,8 @@ val max_line_bytes : int
 
 val serve :
   ?metrics:Service_metrics.t ->
+  ?telemetry:addr ->
+  ?logger:Arnet_obs.Logger.t ->
   ?snapshot:string ->
   ?on_listen:(addr -> unit) ->
   state:State.t ->
@@ -40,7 +42,22 @@ val serve :
     drain-time {!State.snapshot} is written to.  [on_listen] fires
     once the socket is accepting (the bench and tests use it to
     release the client).  A pre-existing Unix-socket path is replaced.
-    @raise Unix.Unix_error when the address cannot be bound. *)
+
+    [telemetry] opens a second listening socket in the same select
+    loop speaking one-shot HTTP/1.0: [GET /metrics] renders the
+    {!Service_metrics} registry live ({!Service_metrics.scrape}),
+    [GET /healthz] answers [ok], [GET /statz] the
+    {!Service_metrics.statz} JSON.  A malformed request line is
+    answered [400] and the connection closed; the command loop never
+    notices.  When [telemetry] is given without [metrics], a private
+    {!Service_metrics.t} is created so the endpoint always serves.
+
+    With [metrics] present every command is timed on a monotonized
+    clock into [arn_command_latency_seconds{verb,verdict}], and
+    commands crossing the slow threshold enter the slow log and are
+    warned through [logger] (default: silent).  Without [metrics] the
+    command path is exactly the pre-telemetry one — no clock reads.
+    @raise Unix.Unix_error when an address cannot be bound. *)
 
 val connect : ?retry_for:float -> addr -> in_channel * out_channel
 (** Client side: connect to a serving daemon, retrying refused

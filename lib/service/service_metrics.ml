@@ -1,8 +1,19 @@
 module M = Arnet_obs.Metrics
+module J = Arnet_obs.Jsonu
+
+type slow_entry = {
+  at : float;
+  verb : string;
+  verdict : string;
+  seconds : float;
+}
 
 type t = {
   registry : M.t;
+  net : Arnet_obs.Metrics_sink.t;
+  started_at : float;
   commands : (string, M.counter) Hashtbl.t;
+  latency : (string * string, M.histogram) Hashtbl.t;
   admitted : M.counter;
   blocked : M.counter;
   errors : M.counter;
@@ -12,12 +23,28 @@ type t = {
   occupancy : M.gauge;
   failed : M.gauge;
   hops : M.histogram;
+  scrapes : M.counter;
+  uptime : M.gauge;
+  gc_minor_words : M.gauge;
+  gc_major_words : M.gauge;
+  gc_major_collections : M.gauge;
+  live_words : M.gauge;
+  slow_threshold : float;
+  (* keep-newest ring of threshold-crossing commands: [slow_next] is the
+     write cursor, [slow_len] the fill level *)
+  slow_buf : slow_entry option array;
+  mutable slow_next : int;
+  mutable slow_len : int;
 }
 
-let create () =
+let create ?(slow_threshold = 0.010) ?(slow_keep = 32) () =
+  if slow_keep < 1 then invalid_arg "Service_metrics.create: slow_keep < 1";
   let registry = M.create () in
   { registry;
+    net = Arnet_obs.Metrics_sink.create registry;
+    started_at = Unix.gettimeofday ();
     commands = Hashtbl.create 8;
+    latency = Hashtbl.create 16;
     admitted =
       M.counter registry ~help:"Calls admitted" "arn_service_admitted_total";
     blocked =
@@ -43,9 +70,33 @@ let create () =
     hops =
       M.histogram registry ~help:"Admitted path length (hops)"
         ~buckets:[| 1.; 2.; 3.; 4.; 6.; 8.; 12. |]
-        "arn_service_admitted_hops" }
+        "arn_service_admitted_hops";
+    scrapes =
+      M.counter registry ~help:"Telemetry scrapes served"
+        "arn_process_scrapes_total";
+    uptime =
+      M.gauge registry ~help:"Seconds since the daemon started"
+        "arn_process_uptime_seconds";
+    gc_minor_words =
+      M.gauge registry ~help:"Words allocated in the minor heap (lifetime)"
+        "arn_process_gc_minor_words";
+    gc_major_words =
+      M.gauge registry ~help:"Words allocated in the major heap (lifetime)"
+        "arn_process_gc_major_words";
+    gc_major_collections =
+      M.gauge registry ~help:"Completed major collection cycles"
+        "arn_process_gc_major_collections";
+    live_words =
+      M.gauge registry ~help:"Live words on the heap at last scrape"
+        "arn_process_live_words";
+    slow_threshold;
+    slow_buf = Array.make slow_keep None;
+    slow_next = 0;
+    slow_len = 0 }
 
 let registry t = t.registry
+let observer t ev = Arnet_obs.Metrics_sink.emit t.net ev
+let slow_threshold t = t.slow_threshold
 
 let verb = function
   | Wire.Setup _ -> "setup"
@@ -57,6 +108,12 @@ let verb = function
   | Wire.Drain -> "drain"
   | Wire.Quit -> "quit"
 
+let verdict = function
+  | Wire.Admitted _ -> "admitted"
+  | Wire.Blocked -> "blocked"
+  | Wire.Err _ -> "error"
+  | Wire.Done | Wire.Reloaded _ | Wire.Stats_reply _ -> "ok"
+
 let command_counter t v =
   match Hashtbl.find_opt t.commands v with
   | Some c -> c
@@ -67,6 +124,43 @@ let command_counter t v =
     in
     Hashtbl.add t.commands v c;
     c
+
+let latency_buckets = M.log_buckets ~lo:1e-6 ~hi:10.0 ~per_decade:3
+
+let latency_histogram t key =
+  match Hashtbl.find_opt t.latency key with
+  | Some h -> h
+  | None ->
+    let v, d = key in
+    let h =
+      M.histogram t.registry
+        ~labels:[ ("verb", v); ("verdict", d) ]
+        ~help:"Wire command handling latency, wall seconds"
+        ~buckets:latency_buckets "arn_command_latency_seconds"
+    in
+    Hashtbl.add t.latency key h;
+    h
+
+let push_slow t e =
+  let cap = Array.length t.slow_buf in
+  t.slow_buf.(t.slow_next) <- Some e;
+  t.slow_next <- (t.slow_next + 1) mod cap;
+  if t.slow_len < cap then t.slow_len <- t.slow_len + 1
+
+let record_latency t ~verb ~verdict seconds =
+  M.observe (latency_histogram t (verb, verdict)) seconds;
+  if seconds >= t.slow_threshold then begin
+    push_slow t { at = Unix.gettimeofday (); verb; verdict; seconds };
+    true
+  end
+  else false
+
+let slow_log t =
+  let cap = Array.length t.slow_buf in
+  List.init t.slow_len (fun i ->
+      match t.slow_buf.(((t.slow_next - 1 - i) mod cap + cap) mod cap) with
+      | Some e -> e
+      | None -> assert false (* within [slow_len] of the cursor *))
 
 let record t st cmd resp =
   M.inc (command_counter t (verb cmd));
@@ -90,5 +184,54 @@ let record t st cmd resp =
   M.set t.failed (float_of_int (List.length (State.failed_links st)))
 
 let record_malformed t = M.inc t.errors
+
+let refresh t st =
+  M.set t.uptime (Unix.gettimeofday () -. t.started_at);
+  (* the monotone counters come from quick_stat, read before the heap
+     walk below so the forced major it triggers is not charged to the
+     scrape that observed it *)
+  let gc = Gc.quick_stat () in
+  M.set t.gc_minor_words gc.Gc.minor_words;
+  M.set t.gc_major_words gc.Gc.major_words;
+  M.set t.gc_major_collections (float_of_int gc.Gc.major_collections);
+  (* quick_stat reports live_words as 0; the full walk is scrape-time
+     only, never on the command path *)
+  M.set t.live_words (float_of_int (Gc.stat ()).Gc.live_words);
+  let g = State.graph st in
+  let capacities =
+    Array.map (fun l -> l.Arnet_topology.Link.capacity) (Arnet_topology.Graph.links g)
+  in
+  Arnet_obs.Metrics_sink.set_network t.net ~capacities
+    ~reserves:(State.reserves st)
+
+let scrape t st =
+  M.inc t.scrapes;
+  refresh t st;
+  M.to_prometheus t.registry
+
+let slow_entry_json e =
+  J.Obj
+    [ ("at", J.Float e.at);
+      ("verb", J.String e.verb);
+      ("verdict", J.String e.verdict);
+      ("seconds", J.Float e.seconds) ]
+
+let statz t st =
+  let s = State.stats st in
+  J.Obj
+    [ ("uptime_s", J.Float (Unix.gettimeofday () -. t.started_at));
+      ("clock", J.Float (State.clock st));
+      ("accepted", J.Int s.Wire.accepted);
+      ("blocked", J.Int s.Wire.blocked);
+      ("torn_down", J.Int s.Wire.torn_down);
+      ("dropped", J.Int s.Wire.dropped);
+      ("active", J.Int s.Wire.active);
+      ("reloads", J.Int s.Wire.reloads);
+      ("draining", J.Bool s.Wire.draining);
+      ("failed_links", J.List (List.map (fun k -> J.Int k) s.Wire.failed));
+      ("occupancy_circuits",
+       J.Int (Array.fold_left ( + ) 0 (State.occupancy st)));
+      ("slow_threshold_s", J.Float t.slow_threshold);
+      ("slow_commands", J.List (List.map slow_entry_json (slow_log t))) ]
 
 let to_prometheus t = M.to_prometheus t.registry

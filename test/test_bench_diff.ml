@@ -1,0 +1,165 @@
+(* The bench regression comparator: identical documents are clean,
+   injected regressions are flagged per direction, totals are only
+   compared over identical section sets, and malformed documents fail
+   loudly rather than reporting a hollow pass. *)
+
+module BD = Arnet_experiments.Bench_diff
+module J = Arnet_obs.Jsonu
+
+let doc ?(total = None) ?(service = None) sections =
+  let section (name, fields) =
+    J.Obj (("name", J.String name) :: fields)
+  in
+  J.Obj
+    (("sections", J.List (List.map section sections))
+     :: (match total with
+        | Some t -> [ ("total_calls_per_s", J.Float t) ]
+        | None -> [])
+    @ match service with
+      | Some r -> [ ("service", J.Obj [ ("requests_per_s", J.Float r) ]) ]
+      | None -> [])
+
+let fig3 ~calls_per_s ~words =
+  ("fig3",
+   [ ("calls_per_s", J.Float calls_per_s);
+     ("minor_words_per_call", J.Float words) ])
+
+let find report ~section ~metric =
+  match
+    List.find_opt
+      (fun r -> r.BD.section = section && r.BD.metric = metric)
+      report.BD.rows
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "no row for %s/%s" section metric
+
+let test_identical () =
+  let d =
+    doc ~total:(Some 5000.) ~service:(Some 12000.)
+      [ fig3 ~calls_per_s:4000. ~words:0.3;
+        ("serve", [ ("calls_per_s", J.Float 1000. ) ]) ]
+  in
+  let report = BD.compare ~old_doc:d ~new_doc:d () in
+  Alcotest.(check int) "all comparisons present" 5 (List.length report.BD.rows);
+  Alcotest.(check (list string)) "nothing missing" [] report.BD.missing_in_new;
+  Alcotest.(check int) "no regressions" 0 (List.length (BD.regressions report));
+  List.iter
+    (fun r -> Alcotest.(check (float 0.)) "zero delta" 0. r.BD.delta_pct)
+    report.BD.rows
+
+let test_throughput_regression () =
+  let old_doc = doc ~total:(Some 4000.) [ fig3 ~calls_per_s:4000. ~words:0.3 ]
+  and new_doc = doc ~total:(Some 3000.) [ fig3 ~calls_per_s:3000. ~words:0.3 ] in
+  let report = BD.compare ~tolerance:10. ~old_doc ~new_doc () in
+  let r = find report ~section:"fig3" ~metric:"calls_per_s" in
+  Alcotest.(check bool) "25% drop regresses" true r.BD.regressed;
+  Alcotest.(check (float 0.01)) "signed delta" (-25.) r.BD.delta_pct;
+  let t = find report ~section:"total" ~metric:"calls_per_s" in
+  Alcotest.(check bool) "totals regress too" true t.BD.regressed;
+  (* a wide tolerance swallows the same drop *)
+  let lax = BD.compare ~tolerance:30. ~old_doc ~new_doc () in
+  Alcotest.(check int) "30% tolerance passes" 0
+    (List.length (BD.regressions lax));
+  (* improvements never regress, whatever the size *)
+  let report = BD.compare ~tolerance:10. ~old_doc:new_doc ~new_doc:old_doc () in
+  Alcotest.(check int) "speedup is clean" 0 (List.length (BD.regressions report))
+
+let test_allocation_floor () =
+  (* 0.02 -> 0.9 words/call is under the 1-word absolute floor at 100%
+     of... no: floor is max(|old|,1)*tol/100 = 0.1 words at 10%.  So a
+     +0.08 wobble passes and a +0.2 climb fails *)
+  let with_words w = doc [ fig3 ~calls_per_s:4000. ~words:w ] in
+  let report =
+    BD.compare ~tolerance:10. ~old_doc:(with_words 0.02)
+      ~new_doc:(with_words 0.1) ()
+  in
+  Alcotest.(check bool) "sub-floor wobble is noise" false
+    (find report ~section:"fig3" ~metric:"minor_words_per_call").BD.regressed;
+  let report =
+    BD.compare ~tolerance:10. ~old_doc:(with_words 0.02)
+      ~new_doc:(with_words 0.25) ()
+  in
+  Alcotest.(check bool) "past the floor regresses" true
+    (find report ~section:"fig3" ~metric:"minor_words_per_call").BD.regressed;
+  (* on an allocating section the floor is relative again *)
+  let with_words w = doc [ fig3 ~calls_per_s:4000. ~words:w ] in
+  let report =
+    BD.compare ~tolerance:10. ~old_doc:(with_words 50.)
+      ~new_doc:(with_words 60.) ()
+  in
+  Alcotest.(check bool) "+20% allocation regresses" true
+    (find report ~section:"fig3" ~metric:"minor_words_per_call").BD.regressed
+
+let test_section_sets () =
+  let old_doc =
+    doc ~total:(Some 5000.)
+      [ fig3 ~calls_per_s:4000. ~words:0.3;
+        ("serve", [ ("calls_per_s", J.Float 1000.) ]) ]
+  and new_doc =
+    doc ~total:(Some 4200.)
+      [ fig3 ~calls_per_s:4100. ~words:0.3;
+        ("pool", [ ("calls_per_s", J.Float 100.) ]) ]
+  in
+  let report = BD.compare ~old_doc ~new_doc () in
+  Alcotest.(check (list string)) "missing" [ "serve" ] report.BD.missing_in_new;
+  Alcotest.(check (list string)) "extra" [ "pool" ] report.BD.extra_in_new;
+  Alcotest.(check bool) "totals not compared over different sets" true
+    (List.for_all (fun r -> r.BD.section <> "total") report.BD.rows)
+
+let test_service_row () =
+  let mk r = doc ~service:(Some r) [ fig3 ~calls_per_s:4000. ~words:0.3 ] in
+  let report = BD.compare ~tolerance:10. ~old_doc:(mk 10000.) ~new_doc:(mk 8000.) () in
+  let r = find report ~section:"service" ~metric:"requests_per_s" in
+  Alcotest.(check bool) "service throughput gated" true r.BD.regressed
+
+let test_malformed () =
+  let check_shape name d =
+    match BD.compare ~old_doc:d ~new_doc:d () with
+    | _ -> Alcotest.failf "%s: accepted a malformed document" name
+    | exception J.Parse_error _ -> ()
+  in
+  check_shape "no sections" (J.Obj [ ("totals", J.Int 3) ]);
+  check_shape "sections not a list" (J.Obj [ ("sections", J.Int 3) ]);
+  check_shape "unnamed section"
+    (J.Obj [ ("sections", J.List [ J.Obj [ ("calls", J.Int 1) ] ]) ]);
+  let d = doc [ fig3 ~calls_per_s:1. ~words:0. ] in
+  match BD.compare ~tolerance:(-1.) ~old_doc:d ~new_doc:d () with
+  | _ -> Alcotest.fail "negative tolerance accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_json_shape () =
+  let old_doc = doc [ fig3 ~calls_per_s:4000. ~words:0.3 ]
+  and new_doc = doc [ fig3 ~calls_per_s:3000. ~words:0.3 ] in
+  let report = BD.compare ~tolerance:10. ~old_doc ~new_doc () in
+  let j = BD.to_json report in
+  let rows = J.as_list (J.member_exn "rows" j) in
+  Alcotest.(check int) "rows serialised" (List.length report.BD.rows)
+    (List.length rows);
+  let first = List.hd rows in
+  Alcotest.(check string) "section" "fig3"
+    (J.as_string (J.member_exn "section" first));
+  Alcotest.(check bool) "regressed flag" true
+    (J.as_bool
+       (J.member_exn "regressed"
+          (List.find
+             (fun r -> J.as_string (J.member_exn "metric" r) = "calls_per_s")
+             rows)));
+  (* the report prints and ends with a verdict line *)
+  let text = Format.asprintf "%a" BD.print report in
+  Alcotest.(check bool) "verdict line present" true
+    (let needle = "regressed beyond" in
+     let nl = String.length needle and hl = String.length text in
+     let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+     go 0)
+
+let () =
+  Alcotest.run "bench_diff"
+    [ ( "compare",
+        [ Alcotest.test_case "identical runs are clean" `Quick test_identical;
+          Alcotest.test_case "throughput regression" `Quick
+            test_throughput_regression;
+          Alcotest.test_case "allocation floor" `Quick test_allocation_floor;
+          Alcotest.test_case "differing section sets" `Quick test_section_sets;
+          Alcotest.test_case "service row" `Quick test_service_row;
+          Alcotest.test_case "malformed documents" `Quick test_malformed;
+          Alcotest.test_case "json report" `Quick test_json_shape ] ) ]

@@ -516,6 +516,189 @@ let test_span_recorder () =
       (Obs.Span.finished a && Obs.Span.finished b)
   | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
 
+(* ------------------------------------------------------------------ *)
+(* exposition escaping *)
+
+let test_escaping_goldens () =
+  Alcotest.(check string) "label escaping" {|a\\b\"c\nd|}
+    (Obs.Metrics.escape_label_value "a\\b\"c\nd");
+  Alcotest.(check string) "unknown escapes pass through" {|\x|}
+    (Obs.Metrics.unescape_label_value {|\x|});
+  Alcotest.(check string) "trailing backslash passes through" {|a\|}
+    (Obs.Metrics.unescape_label_value {|a\|});
+  Alcotest.(check string) "help escaping" {|multi\nline \\ slash "quoted"|}
+    (Obs.Metrics.escape_help "multi\nline \\ slash \"quoted\"");
+  (* a help text with specials renders escaped, on one line *)
+  let reg = Obs.Metrics.create () in
+  ignore
+    (Obs.Metrics.counter reg ~help:"line one\nline two \\ done" "weird_total");
+  let text = Obs.Metrics.to_prometheus reg in
+  check_contains "escaped help line" text
+    {|# HELP weird_total line one\nline two \\ done|};
+  List.iter
+    (fun line ->
+      if contains line "# HELP" then
+        check_contains "help stays on its line" line "weird_total")
+    (String.split_on_char '\n' text)
+
+let test_escape_round_trip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:1000 ~name:"unescape (escape s) = s"
+       QCheck.(string_gen_of_size Gen.(0 -- 64) Gen.char)
+       (fun s ->
+         Obs.Metrics.unescape_label_value (Obs.Metrics.escape_label_value s)
+         = s))
+
+(* ------------------------------------------------------------------ *)
+(* the HTTP exporter's pure half *)
+
+let test_http_parse () =
+  (match Obs.Http_exporter.parse_request_line "GET /metrics HTTP/1.0" with
+  | Ok (meth, target) ->
+    Alcotest.(check string) "method" "GET" meth;
+    Alcotest.(check string) "target" "/metrics" target
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  let bad line =
+    match Obs.Http_exporter.parse_request_line line with
+    | Ok _ -> Alcotest.failf "accepted %S" line
+    | Error _ -> ()
+  in
+  bad "";
+  bad "GET /metrics";
+  bad "GET  /metrics  HTTP/1.0";
+  bad "\x16\x03\x01\x02\x00";
+  bad "SETUP 0 1";
+  Alcotest.(check string) "query stripped" "/metrics"
+    (Obs.Http_exporter.path_of_target "/metrics?seconds=5");
+  Alcotest.(check string) "fragment stripped" "/statz"
+    (Obs.Http_exporter.path_of_target "/statz#top")
+
+let test_http_handle () =
+  let hits = ref 0 in
+  let routes =
+    [ ("/metrics",
+       fun () ->
+         incr hits;
+         (Obs.Http_exporter.prometheus_content_type, "# TYPE x counter\n"))
+    ]
+  in
+  let handle = Obs.Http_exporter.handle ~routes in
+  let r = handle "GET /metrics HTTP/1.1" in
+  Alcotest.(check int) "200" 200 r.Obs.Http_exporter.status;
+  Alcotest.(check string) "exposition content type"
+    "text/plain; version=0.0.4; charset=utf-8"
+    r.Obs.Http_exporter.content_type;
+  Alcotest.(check int) "producer ran once" 1 !hits;
+  let r = handle "GET /metrics?x=1 HTTP/1.0" in
+  Alcotest.(check int) "query ignored" 200 r.Obs.Http_exporter.status;
+  let r = handle "HEAD /metrics HTTP/1.0" in
+  Alcotest.(check int) "HEAD allowed" 200 r.Obs.Http_exporter.status;
+  Alcotest.(check string) "HEAD has no body" "" r.Obs.Http_exporter.body;
+  Alcotest.(check int) "404" 404
+    (handle "GET /nope HTTP/1.0").Obs.Http_exporter.status;
+  Alcotest.(check int) "405" 405
+    (handle "POST /metrics HTTP/1.0").Obs.Http_exporter.status;
+  Alcotest.(check int) "400" 400
+    (handle "gibberish" ).Obs.Http_exporter.status;
+  (* a 404/400 never runs a producer *)
+  Alcotest.(check int) "producers untouched by errors" 3 !hits
+
+let test_http_render () =
+  let r = Obs.Http_exporter.ok ~content_type:"text/plain; charset=utf-8" "ok\n" in
+  Alcotest.(check string) "wire bytes"
+    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\n\
+     Content-Length: 3\r\nConnection: close\r\n\r\nok\n"
+    (Obs.Http_exporter.render r)
+
+(* ------------------------------------------------------------------ *)
+(* logger *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let with_log_file f =
+  let path = Filename.temp_file "arnet-log" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc);
+      read_file path)
+
+let test_logger_text () =
+  let out =
+    with_log_file (fun oc ->
+        let l = Obs.Logger.create ~clock:(fun () -> 0.) oc in
+        Alcotest.(check bool) "info enabled" true (Obs.Logger.enabled l Obs.Logger.Info);
+        Alcotest.(check bool) "debug filtered" false
+          (Obs.Logger.enabled l Obs.Logger.Debug);
+        Obs.Logger.debug l "dropped";
+        Obs.Logger.info l "listening"
+          ~fields:[ ("addr", J.String "unix:/tmp/s"); ("n", J.Int 4) ];
+        Obs.Logger.warn l "slow")
+  in
+  Alcotest.(check string) "text lines"
+    "1970-01-01T00:00:00.000Z INFO listening addr=unix:/tmp/s n=4\n\
+     1970-01-01T00:00:00.000Z WARN slow\n"
+    out;
+  (* the null logger swallows everything without a channel *)
+  Obs.Logger.error Obs.Logger.null "nobody hears this"
+
+let test_logger_jsonl () =
+  let out =
+    with_log_file (fun oc ->
+        let l =
+          Obs.Logger.create ~level:Obs.Logger.Debug ~format:Obs.Logger.Jsonl
+            ~clock:(fun () -> 86400.) oc
+        in
+        Obs.Logger.debug l "probe" ~fields:[ ("seconds", J.Float 0.25) ])
+  in
+  let doc = J.parse (String.trim out) in
+  Alcotest.(check string) "ts" "1970-01-02T00:00:00.000Z"
+    (J.as_string (J.member_exn "ts" doc));
+  Alcotest.(check string) "level" "debug"
+    (J.as_string (J.member_exn "level" doc));
+  Alcotest.(check string) "msg" "probe" (J.as_string (J.member_exn "msg" doc));
+  Alcotest.(check (float 0.)) "field" 0.25
+    (J.as_float (J.member_exn "seconds" doc));
+  Alcotest.(check (option string)) "level parsing" (Some "warn")
+    (Option.map Obs.Logger.level_to_string (Obs.Logger.level_of_string "warning"))
+
+(* ------------------------------------------------------------------ *)
+(* network time series (per-pair counters, capacity/reserve gauges) *)
+
+let test_network_series () =
+  let m = Obs.Metrics_sink.create (Obs.Metrics.create ()) in
+  let emit = Obs.Metrics_sink.emit m in
+  emit (E.Admit { time = 1.; src = 0; dst = 1; hops = 1; primary = true;
+                  links = [| 0 |] });
+  emit (E.Admit { time = 2.; src = 0; dst = 1; hops = 1; primary = true;
+                  links = [| 0 |] });
+  emit (E.Block { time = 3.; src = 2; dst = 0 });
+  Obs.Metrics_sink.set_network m ~capacities:[| 20; 20 |] ~reserves:[| 3; 0 |];
+  let reg = Obs.Metrics_sink.registry m in
+  let counter labels name =
+    Obs.Metrics.counter_value (Obs.Metrics.counter reg ~labels name)
+  in
+  let gauge labels name =
+    Obs.Metrics.gauge_value (Obs.Metrics.gauge reg ~labels name)
+  in
+  Alcotest.(check (float 0.)) "pair accepted" 2.
+    (counter [ ("src", "0"); ("dst", "1") ] "arnet_pair_accepted_total");
+  Alcotest.(check (float 0.)) "pair blocked" 1.
+    (counter [ ("src", "2"); ("dst", "0") ] "arnet_pair_blocked_total");
+  Alcotest.(check (float 0.)) "capacity gauge" 20.
+    (gauge [ ("link", "1") ] "arnet_link_capacity");
+  Alcotest.(check (float 0.)) "reserve gauge" 3.
+    (gauge [ ("link", "0") ] "arnet_link_reserve");
+  (* re-publishing updates in place, no duplicate series *)
+  Obs.Metrics_sink.set_network m ~capacities:[| 20; 20 |] ~reserves:[| 4; 0 |];
+  Alcotest.(check (float 0.)) "reserve gauge updated" 4.
+    (gauge [ ("link", "0") ] "arnet_link_reserve");
+  let text = Obs.Metrics.to_prometheus reg in
+  check_contains "pair series rendered" text
+    {|arnet_pair_accepted_total{dst="1",src="0"} 2.0|};
+  check_contains "reserve rendered" text {|arnet_link_reserve{link="0"} 4.0|}
+
 let () =
   Alcotest.run "obs"
     [ ( "json",
@@ -544,7 +727,17 @@ let () =
         [ Alcotest.test_case "registry" `Quick test_metrics_registry;
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
           Alcotest.test_case "rendering" `Quick test_metrics_rendering;
-          Alcotest.test_case "engine bridge" `Quick test_metrics_sink ] );
+          Alcotest.test_case "engine bridge" `Quick test_metrics_sink;
+          Alcotest.test_case "escaping goldens" `Quick test_escaping_goldens;
+          test_escape_round_trip;
+          Alcotest.test_case "network series" `Quick test_network_series ] );
+      ( "http",
+        [ Alcotest.test_case "request line parsing" `Quick test_http_parse;
+          Alcotest.test_case "routing" `Quick test_http_handle;
+          Alcotest.test_case "wire rendering" `Quick test_http_render ] );
+      ( "logger",
+        [ Alcotest.test_case "text format" `Quick test_logger_text;
+          Alcotest.test_case "jsonl format" `Quick test_logger_jsonl ] );
       ( "spans",
         [ Alcotest.test_case "span lifecycle" `Quick test_span;
           Alcotest.test_case "recorder" `Quick test_span_recorder ] ) ]

@@ -529,6 +529,195 @@ let test_socket_line_cap () =
       ignore (ic : in_channel))
 
 (* ------------------------------------------------------------------ *)
+(* the telemetry plane: live scrapes over a second listener *)
+
+module J = Arnet_obs.Jsonu
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains what hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: %S not found in %S" what needle hay
+
+(* a one-shot HTTP/1.0 exchange; [raw] sends the bytes verbatim so
+   malformed request lines can be exercised *)
+let http_get ?(raw = false) addr target =
+  let ic, oc = Server.connect ~retry_for:5. addr in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      ignore (ic : in_channel))
+    (fun () ->
+      output_string oc
+        (if raw then target
+         else Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" target);
+      flush oc;
+      In_channel.input_all ic)
+
+let http_body resp =
+  let marker = "\r\n\r\n" in
+  let rec find i =
+    if i + 4 > String.length resp then
+      Alcotest.failf "no header/body split in %S" resp
+    else if String.sub resp i 4 = marker then
+      String.sub resp (i + 4) (String.length resp - i - 4)
+    else find (i + 1)
+  in
+  find 0
+
+let drain_and_join addr server =
+  (try
+     let ic, oc = Server.connect ~retry_for:5. addr in
+     ignore (Server.request ic oc Wire.Drain : Wire.response);
+     close_out_noerr oc;
+     ignore (ic : in_channel)
+   with _ -> ());
+  Thread.join server
+
+let test_telemetry_endpoints () =
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let addr = Server.Unix_sock (socket_path ()) in
+  let tel = Server.Unix_sock (socket_path ()) in
+  (* threshold 0: every command lands in the slow log *)
+  let metrics = Service_metrics.create ~slow_threshold:0. () in
+  let st =
+    State.create ~matrix ~observer:(Service_metrics.observer metrics) g
+  in
+  let server =
+    Thread.create
+      (fun () -> Server.serve ~metrics ~telemetry:tel ~state:st addr)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> drain_and_join addr server)
+    (fun () ->
+      (* drive some traffic so every series has a value; each call is
+         torn down at once so the daemon can drain even if an
+         assertion below fails *)
+      let ic, oc = Server.connect ~retry_for:5. addr in
+      for _ = 1 to 50 do
+        match
+          Server.request ic oc (Wire.Setup { src = 0; dst = 2; time = None })
+        with
+        | Wire.Admitted { id; _ } ->
+          (match Server.request ic oc (Wire.Teardown { id }) with
+          | Wire.Done -> ()
+          | r -> Alcotest.failf "teardown: %s" (Wire.print_response r))
+        | Wire.Blocked -> ()
+        | r -> Alcotest.failf "unexpected reply %s" (Wire.print_response r)
+      done;
+      close_out_noerr oc;
+      ignore (ic : in_channel);
+      let resp = http_get tel "/metrics" in
+      check_contains "status line" resp "HTTP/1.0 200 OK";
+      check_contains "exposition content type" resp
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8";
+      check_contains "connection close" resp "Connection: close";
+      check_contains "type lines" resp "# TYPE";
+      check_contains "latency histogram" resp
+        "arn_command_latency_seconds_bucket";
+      check_contains "latency verb label" resp {|verb="setup"|};
+      check_contains "command counters" resp "arn_service_commands_total";
+      check_contains "occupancy series" resp "arnet_link_occupancy";
+      check_contains "capacity series" resp "arnet_link_capacity";
+      check_contains "reserve series" resp "arnet_link_reserve";
+      check_contains "pair counters" resp "arnet_pair_accepted_total";
+      check_contains "uptime" resp "arn_process_uptime_seconds";
+      check_contains "gc series" resp "arn_process_gc_minor_words";
+      check_contains "live heap" resp "arn_process_live_words";
+      (* health + stats endpoints *)
+      let resp = http_get tel "/healthz" in
+      check_contains "healthz" resp "HTTP/1.0 200 OK";
+      Alcotest.(check string) "healthz body" "ok\n" (http_body resp);
+      let resp = http_get tel "/statz" in
+      check_contains "statz" resp "HTTP/1.0 200 OK";
+      check_contains "statz is json" resp "Content-Type: application/json";
+      let doc = J.parse (http_body resp) in
+      Alcotest.(check int) "statz accepted+blocked" 50
+        (J.as_int (J.member_exn "accepted" doc)
+        + J.as_int (J.member_exn "blocked" doc));
+      Alcotest.(check bool) "slow log populated" true
+        (J.as_list (J.member_exn "slow_commands" doc) <> []);
+      (* unknown path and wrong method *)
+      check_contains "404" (http_get tel "/nope") "HTTP/1.0 404";
+      check_contains "405"
+        (http_get ~raw:true tel "POST /metrics HTTP/1.0\r\n\r\n")
+        "HTTP/1.0 405";
+      (* a malformed request line answers 400 and must not take the
+         select loop down with it *)
+      check_contains "400" (http_get ~raw:true tel "gibberish\r\n")
+        "HTTP/1.0 400";
+      check_contains "400 on binary garbage"
+        (http_get ~raw:true tel "\x16\x03\x01\x02\x00\r\n")
+        "HTTP/1.0 400";
+      check_contains "scrapes survive bad requests" (http_get tel "/healthz")
+        "HTTP/1.0 200 OK";
+      let ic, oc = Server.connect ~retry_for:5. addr in
+      (match Server.request ic oc Wire.Stats with
+      | Wire.Stats_reply s ->
+        Alcotest.(check int) "commands survive bad requests" 50
+          (s.Wire.accepted + s.Wire.blocked)
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.print_response r));
+      close_out_noerr oc;
+      ignore (ic : in_channel))
+
+let test_telemetry_scrape_determinism () =
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let go ~scrape () =
+    let addr = Server.Unix_sock (socket_path ()) in
+    let tel = Server.Unix_sock (socket_path ()) in
+    let metrics = Service_metrics.create () in
+    let st =
+      State.create ~matrix ~observer:(Service_metrics.observer metrics) g
+    in
+    let server =
+      Thread.create
+        (fun () -> Server.serve ~metrics ~telemetry:tel ~state:st addr)
+        ()
+    in
+    let stop = Atomic.make false in
+    let scrapes = ref 0 in
+    let scraper =
+      if not scrape then None
+      else
+        Some
+          (Thread.create
+             (fun () ->
+               while not (Atomic.get stop) do
+                 (try
+                    let resp = http_get tel "/metrics" in
+                    if contains resp "HTTP/1.0 200 OK" then incr scrapes
+                  with _ -> ());
+                 Thread.yield ()
+               done)
+             ())
+    in
+    let result =
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          Option.iter Thread.join scraper;
+          drain_and_join addr server)
+        (fun () ->
+          Loadgen.run ~retry_for:5. ~seed:7 ~calls:800 ~matrix ~addr ())
+    in
+    (!scrapes, result)
+  in
+  let _, plain = go ~scrape:false () in
+  let scrapes, scraped = go ~scrape:true () in
+  Alcotest.(check bool) "the scraper actually ran" true (scrapes > 0);
+  Alcotest.(check int) "accepted unchanged by live scraping"
+    plain.Loadgen.accepted scraped.Loadgen.accepted;
+  Alcotest.(check int) "blocked unchanged by live scraping"
+    plain.Loadgen.blocked scraped.Loadgen.blocked;
+  Alcotest.(check int) "no wire errors" 0 scraped.Loadgen.errors
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck = QCheck_alcotest.to_alcotest
 
@@ -566,4 +755,8 @@ let () =
           Alcotest.test_case "sharded connections" `Slow
             test_socket_sharded_connections;
           Alcotest.test_case "oversized lines are rejected" `Quick
-            test_socket_line_cap ] ) ]
+            test_socket_line_cap ] );
+      ( "telemetry",
+        [ Alcotest.test_case "live endpoints" `Quick test_telemetry_endpoints;
+          Alcotest.test_case "scraping does not perturb admission" `Slow
+            test_telemetry_scrape_determinism ] ) ]
