@@ -6,14 +6,14 @@
                exp_h6 exp_failures exp_fairness exp_minloss exp_robustness
                exp_ablation exp_overload ext_cellular ext_multirate
                ext_bistability ext_signalling ext_random_mesh ext_analytic
-               ext_optimality ext_dimensioning serve perf
+               ext_optimality ext_dimensioning ext_failure serve storm perf
      default: all of them.  fig3_d1/fig6_d1 rerun the headline sweeps
      pinned to a single domain so their calls/s stays comparable with
      BENCH_2.json whatever ARNET_DOMAINS says.
    Environment: ARNET_QUICK=1 for a fast pass (3 seeds, short window),
    ARNET_SEEDS=n to override the seed count, ARNET_DOMAINS=n to shard
    replication runs across n OCaml domains (bit-identical results),
-   ARNET_BENCH_JSON=path for the run record (default BENCH_7.json) —
+   ARNET_BENCH_JSON=path for the run record (default BENCH_8.json) —
    compare records across versions with `arn bench diff`. *)
 
 open Arnet_experiments
@@ -380,6 +380,37 @@ let ext_bistability () =
     ~paper:"high-blocking regime tamed"
     ~measured:"prot-cold = prot-hot everywhere; ignition run stays low"
 
+let ext_failure () =
+  Report.section ppf ~id:"ext_failure"
+    ~title:
+      "Failure-rate sweep: Theorem-1 reservation vs Suurballe protection \
+       under link churn";
+  let r = Failure_exp.run ~config:(Lazy.force config) () in
+  Failure_exp.print ppf r;
+  match List.rev r with
+  | [] -> ()
+  | worst :: _ ->
+    let cell name =
+      List.find (fun c -> c.Failure_exp.scheme = name) worst.Failure_exp.cells
+    in
+    Report.paper_vs_measured ppf ~what:"trunk reservation under churn"
+      ~paper:"(extension) the Theorem-1 guarantee should survive failures"
+      ~measured:
+        (Printf.sprintf "at rate %g: ctl %s vs unc %s blocking"
+           worst.Failure_exp.rate
+           (Report.pct (cell "controlled").Failure_exp.blocking.Arnet_sim.Stats.mean)
+           (Report.pct (cell "uncontrolled").Failure_exp.blocking.Arnet_sim.Stats.mean));
+    Report.paper_vs_measured ppf ~what:"link-disjoint protection paths"
+      ~paper:"(extension) disjoint alternates dodge the failed primary"
+      ~measured:
+        (Printf.sprintf
+           "at rate %g: %.0f drops and %.0f failovers per run (protected) \
+            vs %.0f and %.0f (controlled)"
+           worst.Failure_exp.rate (cell "protected").Failure_exp.dropped
+           (cell "protected").Failure_exp.failovers
+           (cell "controlled").Failure_exp.dropped
+           (cell "controlled").Failure_exp.failovers)
+
 (* ------------------------------------------------------------------ *)
 (* the admission-control daemon, measured over its own wire *)
 
@@ -431,6 +462,76 @@ let serve () =
       (Printf.sprintf "%d/%d blocked over the wire, %.0f req/s"
          result.Service.Loadgen.blocked result.Service.Loadgen.calls
          (Service.Loadgen.requests_per_second result))
+
+(* the daemon again, now riding out a scripted failure storm while the
+   same Poisson load plays against it: the availability record for
+   cross-version comparison *)
+let storm_result :
+    (Arnet_service.Loadgen.result * Arnet_service.Wire.stats * int) option ref =
+  ref None
+
+let storm () =
+  Report.section ppf ~id:"storm"
+    ~title:"arnet_service daemon availability under a scripted failure storm";
+  let module Service = Arnet_service in
+  let calls =
+    match Option.bind (Sys.getenv_opt "ARNET_STORM_CALLS") int_of_string_opt with
+    | Some n when n >= 1 -> n
+    | _ -> 20_000
+  in
+  let g = Arnet_topology.Builders.full_mesh ~nodes:4 ~capacity:20 in
+  let matrix =
+    Arnet_traffic.Matrix.uniform
+      ~nodes:(Arnet_topology.Graph.node_count g)
+      ~demand:15.
+  in
+  (* the load spans about calls/total virtual time units; draw the storm
+     over 80% of that so failures (and most repairs) land while SETUPs
+     are still advancing the daemon's virtual clock *)
+  let span = float_of_int calls /. Arnet_traffic.Matrix.total matrix in
+  let script =
+    Arnet_failure.Model.independent
+      ~rng:(Arnet_sim.Rng.substream (Arnet_sim.Rng.create ~seed:42) "storm")
+      ~duration:(0.8 *. span) ~mtbf:span ~mttr:(span /. 25.) g
+  in
+  Format.fprintf ppf "failure script: %d events over %.1f virtual tu@."
+    (Arnet_failure.Script.length script) (0.8 *. span);
+  let addr =
+    Service.Server.Unix_sock
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "arnet-storm-%d.sock" (Unix.getpid ())))
+  in
+  let state = Service.State.create ~matrix ~failure_script:script g in
+  let server = Thread.create (fun () -> Service.Server.serve ~state addr) () in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        (try
+           let ic, oc = Service.Server.connect ~retry_for:5. addr in
+           ignore (Service.Server.request ic oc Service.Wire.Drain);
+           close_out_noerr oc;
+           ignore ic
+         with _ -> ());
+        Thread.join server)
+      (fun () ->
+        Service.Loadgen.run ~retry_for:5. ~seed:42 ~calls ~matrix ~addr ())
+  in
+  (* the server thread is joined: the drained state is safe to read *)
+  let stats = Service.State.stats state in
+  storm_result := Some (result, stats, Arnet_failure.Script.length script);
+  Format.fprintf ppf "%a@." Service.Loadgen.print result;
+  Format.fprintf ppf
+    "storm      dropped %d in-flight, %d failovers, %d links still down@."
+    stats.Service.Wire.dropped stats.Service.Wire.failovers
+    (List.length stats.Service.Wire.failed);
+  Report.paper_vs_measured ppf ~what:"daemon availability under the storm"
+    ~paper:"(extension) alternates should carry calls around the cuts"
+    ~measured:
+      (Printf.sprintf "%.1f%% of %d calls accepted, %d rerouted past a cut"
+         (100.
+         *. float_of_int result.Service.Loadgen.accepted
+         /. float_of_int result.Service.Loadgen.calls)
+         result.Service.Loadgen.calls stats.Service.Wire.failovers)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels *)
@@ -510,8 +611,8 @@ let sections =
     ("ext_multirate", ext_multirate); ("ext_bistability", ext_bistability);
     ("ext_signalling", ext_signalling); ("ext_random_mesh", ext_random_mesh);
     ("ext_analytic", ext_analytic); ("ext_optimality", ext_optimality);
-    ("ext_dimensioning", ext_dimensioning); ("serve", serve);
-    ("perf", perf) ]
+    ("ext_dimensioning", ext_dimensioning); ("ext_failure", ext_failure);
+    ("serve", serve); ("storm", storm); ("perf", perf) ]
 
 let () =
   let requested =
@@ -559,13 +660,33 @@ let () =
           J.Float
             (if total_wall > 0. then float_of_int total_calls /. total_wall
              else 0.)) ]
+      @ (match !serve_result with
+        | None -> []
+        | Some r -> [ ("service", Arnet_service.Loadgen.to_json r) ])
       @
-      match !serve_result with
+      match !storm_result with
       | None -> []
-      | Some r -> [ ("service", Arnet_service.Loadgen.to_json r) ])
+      | Some (r, stats, events) ->
+        [ ("storm",
+           J.Obj
+             [ ("script_events", J.Int events);
+               ("calls", J.Int r.Arnet_service.Loadgen.calls);
+               ("accepted", J.Int r.Arnet_service.Loadgen.accepted);
+               ("blocked", J.Int r.Arnet_service.Loadgen.blocked);
+               ("errors", J.Int r.Arnet_service.Loadgen.errors);
+               ("dropped", J.Int stats.Arnet_service.Wire.dropped);
+               ("failovers", J.Int stats.Arnet_service.Wire.failovers);
+               ("failed_links_at_drain",
+                J.Int (List.length stats.Arnet_service.Wire.failed));
+               ("availability",
+                J.Float
+                  (float_of_int r.Arnet_service.Loadgen.accepted
+                  /. float_of_int r.Arnet_service.Loadgen.calls));
+               ("requests_per_s",
+                J.Float (Arnet_service.Loadgen.requests_per_second r)) ]) ])
   in
   let path =
-    Option.value ~default:"BENCH_7.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
+    Option.value ~default:"BENCH_8.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
   in
   let oc = open_out path in
   output_string oc (J.to_string doc);

@@ -456,7 +456,7 @@ let experiment_cmd =
           ~doc:
             "One of: fig1 fig2 fig3 fig6 table1 exp_h6 exp_fairness \
              exp_minloss exp_overload ext_cellular ext_bistability \
-             ext_signalling ext_random_mesh")
+             ext_signalling ext_random_mesh ext_failure")
   in
   let csv =
     let doc = "Also write the sweep as CSV to this file (fig3/fig6 only)." in
@@ -496,6 +496,7 @@ let experiment_cmd =
     | "ext_signalling" -> E.Signalling_exp.print ppf (E.Signalling_exp.run ~config ())
     | "ext_random_mesh" -> E.Random_mesh.print ppf (E.Random_mesh.run ~config ())
     | "exp_overload" -> E.Overload_exp.print ppf (E.Overload_exp.run ~config ())
+    | "ext_failure" -> E.Failure_exp.print ppf (E.Failure_exp.run ~config ())
     | other -> Format.fprintf ppf "unknown experiment %S@." other
   in
   Cmd.v
@@ -1074,6 +1075,19 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
   in
+  let failure_script =
+    let doc =
+      "Replay a timed failure script against the live daemon: each line \
+       is $(b,TIME FAIL|REPAIR LINK) (virtual time; $(b,#) comments).  \
+       Events fire as the virtual clock passes their timestamp, before \
+       the triggering SETUP is decided, so a run with a script is as \
+       reproducible as one driven by FAIL/REPAIR on the wire."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failure-script" ] ~docv:"FILE" ~doc)
+  in
   let window =
     let doc = "Demand-estimator window length (virtual time)." in
     Arg.(value & opt (some float) None & info [ "window" ] ~doc)
@@ -1129,8 +1143,8 @@ let serve_cmd =
     Arg.(value & flag & info [ "log-json" ] ~doc)
   in
   let run network capacity listen h scale demand unprotected seed
-      reload_every snapshot trace_file metrics_file window smoothing
-      telemetry slow_ms log_level log_json =
+      reload_every snapshot trace_file failure_script metrics_file window
+      smoothing telemetry slow_ms log_level log_json =
     let logger =
       Obs.Logger.create ~level:log_level
         ~format:(if log_json then Obs.Logger.Jsonl else Obs.Logger.Text)
@@ -1156,10 +1170,20 @@ let serve_cmd =
           to_trace ev;
           to_metrics ev
     in
+    let failure_script =
+      Option.map
+        (fun path ->
+          match Arnet_failure.Script.of_file path with
+          | Ok s -> s
+          | Error msg ->
+            Printf.eprintf "arn serve: %s\n" msg;
+            exit 2)
+        failure_script
+    in
     let state =
       try
         Service.State.create ?h ?matrix ?window ?smoothing ?reload_every
-          ~observer g
+          ?failure_script ~observer g
       with Invalid_argument msg ->
         Printf.eprintf "arn serve: %s\n" msg;
         exit 2
@@ -1203,6 +1227,7 @@ let serve_cmd =
           ("blocked", Obs.Jsonu.Int s.Service.Wire.blocked);
           ("torn_down", Obs.Jsonu.Int s.Service.Wire.torn_down);
           ("dropped", Obs.Jsonu.Int s.Service.Wire.dropped);
+          ("failovers", Obs.Jsonu.Int s.Service.Wire.failovers);
           ("reloads", Obs.Jsonu.Int s.Service.Wire.reloads) ]
   in
   Cmd.v
@@ -1214,8 +1239,8 @@ let serve_cmd =
     Term.(
       const run $ network_arg $ capacity_arg $ listen $ h $ scale $ demand
       $ unprotected $ seed $ reload_every $ snapshot $ trace_file
-      $ metrics_file $ window $ smoothing $ telemetry $ slow_ms $ log_level
-      $ log_json)
+      $ failure_script $ metrics_file $ window $ smoothing $ telemetry
+      $ slow_ms $ log_level $ log_json)
 
 let load_cmd =
   let connect =

@@ -42,6 +42,11 @@ let controlled ?(choice = Controller.Table) ?observer ~reserves routes =
   two_tier ?observer ~name:"controlled" ~choice ~allow_alternates:true
     ~admission routes
 
+let protected ?(choice = Controller.Table) ?observer ~reserves routes =
+  let admission = Admission.make ~capacities:(capacities_of routes) ~reserves in
+  two_tier ?observer ~name:"protected" ~choice ~allow_alternates:true
+    ~admission routes
+
 let controlled_auto ?(choice = Controller.Table) ?observer ?h ~matrix routes =
   let h = match h with None -> Route_table.h routes | Some h -> h in
   let reserves = Protection.levels routes matrix ~h in

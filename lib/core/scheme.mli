@@ -38,6 +38,17 @@ val controlled :
     [capacity - reserve].  [reserves] is indexed by link id — usually
     {!Protection.levels}. *)
 
+val protected :
+  ?choice:Controller.primary_choice ->
+  ?observer:(Arnet_obs.Event.t -> unit) ->
+  reserves:int array -> Route_table.t -> Engine.policy
+(** Protection-path routing (named ["protected"]): same two-tier
+    decision rule as {!controlled}, intended for a
+    {!Arnet_paths.Route_table.protected} table, where the single
+    alternate per pair is the Suurballe link-disjoint mate of the
+    primary — so overflow (and, in the live daemon, failover) always
+    lands on a path sharing no link with the primary. *)
+
 val controlled_auto :
   ?choice:Controller.primary_choice ->
   ?observer:(Arnet_obs.Event.t -> unit) ->

@@ -1,0 +1,70 @@
+open Arnet_topology
+open Arnet_paths
+open Arnet_sim
+open Arnet_core
+
+let capacities_of routes =
+  let g = Route_table.graph routes in
+  let capacities = Array.make (Graph.link_count g) 0 in
+  Graph.iter_links (fun l -> capacities.(l.Link.id) <- l.Link.capacity) g;
+  capacities
+
+let two_tier ~name ~admission ~allow_alternates routes =
+  let decide ~occupancy ~alive ~(call : Trace.call) =
+    let src = call.Trace.src and dst = call.Trace.dst in
+    if not (Route_table.has_route routes ~src ~dst) then Engine.Lost
+    else begin
+      let primary = Route_table.primary routes ~src ~dst in
+      if
+        Failure_engine.path_alive alive primary
+        && Admission.path_admits_primary admission ~occupancy primary
+      then Engine.Routed primary
+      else if not allow_alternates then Engine.Lost
+      else begin
+        let alternates = Route_table.alternate_array routes ~src ~dst in
+        let rec scan i =
+          if i >= Array.length alternates then Engine.Lost
+          else
+            let p = Array.unsafe_get alternates i in
+            if
+              Failure_engine.path_alive alive p
+              && Admission.path_admits_alternate admission ~occupancy p
+            then Engine.Routed p
+            else scan (i + 1)
+        in
+        scan 0
+      end
+    end
+  in
+  let is_primary ~(call : Trace.call) p =
+    Route_table.has_route routes ~src:call.Trace.src ~dst:call.Trace.dst
+    && Path.equal p
+         (Route_table.primary routes ~src:call.Trace.src ~dst:call.Trace.dst)
+  in
+  let primary_of ~(call : Trace.call) =
+    if Route_table.has_route routes ~src:call.Trace.src ~dst:call.Trace.dst
+    then
+      Some (Route_table.primary routes ~src:call.Trace.src ~dst:call.Trace.dst)
+    else None
+  in
+  { Failure_engine.name; decide; is_primary; primary_of }
+
+let single_path routes =
+  let admission = Admission.unprotected ~capacities:(capacities_of routes) in
+  two_tier ~name:"single-path" ~admission ~allow_alternates:false routes
+
+let uncontrolled routes =
+  let admission = Admission.unprotected ~capacities:(capacities_of routes) in
+  two_tier ~name:"uncontrolled" ~admission ~allow_alternates:true routes
+
+let controlled ~reserves routes =
+  let admission =
+    Admission.make ~capacities:(capacities_of routes) ~reserves
+  in
+  two_tier ~name:"controlled" ~admission ~allow_alternates:true routes
+
+let protected ~reserves routes =
+  let admission =
+    Admission.make ~capacities:(capacities_of routes) ~reserves
+  in
+  two_tier ~name:"protected" ~admission ~allow_alternates:true routes

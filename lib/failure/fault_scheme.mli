@@ -1,0 +1,38 @@
+(** Failure-aware routing policies over a {!Arnet_paths.Route_table}.
+
+    The liveness-filtered twins of the {!Arnet_core.Scheme} two-tier
+    constructors, and the batch twins of the daemon's SETUP logic: try
+    the table primary if every link of it is up, otherwise walk the
+    alternates in attempt order, skipping dead paths, under the usual
+    per-link admission rule.  Over a {!Arnet_paths.Route_table.build}
+    table this is Theorem-1 reservation under churn; over a
+    {!Arnet_paths.Route_table.protected} table the single alternate is
+    the Suurballe link-disjoint mate, i.e. protection-path routing. *)
+
+open Arnet_paths
+open Arnet_core
+
+val two_tier :
+  name:string -> admission:Admission.t -> allow_alternates:bool ->
+  Route_table.t -> Failure_engine.policy
+(** The generic constructor the wrappers below specialize.
+    [primary_of] reports the table primary whenever the pair has a
+    route, so the engine can tell failovers from overflow. *)
+
+val single_path : Route_table.t -> Failure_engine.policy
+(** Primary or nothing (named ["single-path"]): a failed primary blocks
+    the pair outright — the baseline protection routing is measured
+    against. *)
+
+val uncontrolled : Route_table.t -> Failure_engine.policy
+(** All alternates, no reservation (named ["uncontrolled"]). *)
+
+val controlled : reserves:int array -> Route_table.t -> Failure_engine.policy
+(** Theorem-1 trunk reservation (named ["controlled"]): alternates
+    admitted only below [capacity - reserve] per link.
+    @raise Invalid_argument on a reserve outside [0 .. capacity]. *)
+
+val protected : reserves:int array -> Route_table.t -> Failure_engine.policy
+(** Same admission rule, named ["protected"] — pass a
+    {!Arnet_paths.Route_table.protected} table so the alternate tier is
+    the precomputed link-disjoint mate. *)

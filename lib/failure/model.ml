@@ -1,0 +1,153 @@
+open Arnet_topology
+open Arnet_sim
+
+let check_positive name value what =
+  if not (Float.is_finite value) || value <= 0. then
+    invalid_arg (Printf.sprintf "%s: %s must be positive and finite" name what)
+
+(* one alternating up/down renewal process emitting FAIL/REPAIR for
+   every link in [links]; an outage open at the horizon stays open *)
+let renewal ~rng ~duration ~mtbf ~mttr links acc =
+  let rec go t acc =
+    let fail_at = t +. Rng.exponential rng ~rate:(1. /. mtbf) in
+    if fail_at >= duration then acc
+    else begin
+      let repair_at = fail_at +. Rng.exponential rng ~rate:(1. /. mttr) in
+      let acc =
+        List.fold_left
+          (fun acc link ->
+            { Script.time = fail_at; link; action = Script.Fail } :: acc)
+          acc links
+      in
+      if repair_at >= duration then acc
+      else
+        let acc =
+          List.fold_left
+            (fun acc link ->
+              { Script.time = repair_at; link; action = Script.Repair }
+              :: acc)
+            acc links
+        in
+        go repair_at acc
+    end
+  in
+  go 0. acc
+
+let independent ~rng ~duration ~mtbf ~mttr g =
+  check_positive "Model.independent" duration "duration";
+  check_positive "Model.independent" mtbf "mtbf";
+  check_positive "Model.independent" mttr "mttr";
+  let acc = ref [] in
+  for link = 0 to Graph.link_count g - 1 do
+    let s = Rng.substream rng (Printf.sprintf "link-%d" link) in
+    acc := renewal ~rng:s ~duration ~mtbf ~mttr [ link ] !acc
+  done;
+  Script.of_events (List.rev !acc)
+
+let srlg ~rng ~duration ~mtbf ~mttr ~groups g =
+  check_positive "Model.srlg" duration "duration";
+  check_positive "Model.srlg" mtbf "mtbf";
+  check_positive "Model.srlg" mttr "mttr";
+  let m = Graph.link_count g in
+  let seen = Array.make m false in
+  List.iter
+    (fun group ->
+      if group = [] then invalid_arg "Model.srlg: empty group";
+      List.iter
+        (fun link ->
+          if link < 0 || link >= m then
+            invalid_arg "Model.srlg: link id outside the graph";
+          if seen.(link) then
+            invalid_arg "Model.srlg: link id appears in two groups";
+          seen.(link) <- true)
+        group)
+    groups;
+  let acc = ref [] in
+  List.iteri
+    (fun i group ->
+      let s = Rng.substream rng (Printf.sprintf "srlg-%d" i) in
+      acc := renewal ~rng:s ~duration ~mtbf ~mttr group !acc)
+    groups;
+  Script.of_events (List.rev !acc)
+
+let edge_groups g =
+  let tbl = Hashtbl.create 64 in
+  Graph.iter_links
+    (fun l ->
+      let key = (min l.Link.src l.Link.dst, max l.Link.src l.Link.dst) in
+      let ids = try Hashtbl.find tbl key with Not_found -> [] in
+      Hashtbl.replace tbl key (l.Link.id :: ids))
+    g;
+  Hashtbl.fold (fun key ids acc -> (key, List.sort compare ids) :: acc) tbl []
+  |> List.sort compare
+  |> List.map snd
+
+let unit_square_coords ~rng ~nodes =
+  if nodes < 0 then invalid_arg "Model.unit_square_coords: nodes < 0";
+  let s = Rng.substream rng "coords" in
+  let coords = Array.make nodes (0., 0.) in
+  for i = 0 to nodes - 1 do
+    let x = Rng.uniform s in
+    let y = Rng.uniform s in
+    coords.(i) <- (x, y)
+  done;
+  coords
+
+let regional ?coords ~rng ~duration ~rate ~mttr ~radius g =
+  check_positive "Model.regional" duration "duration";
+  check_positive "Model.regional" rate "rate";
+  check_positive "Model.regional" mttr "mttr";
+  check_positive "Model.regional" radius "radius";
+  let n = Graph.node_count g in
+  let coords =
+    match coords with
+    | None -> unit_square_coords ~rng ~nodes:n
+    | Some c ->
+      if Array.length c <> n then
+        invalid_arg "Model.regional: coords length <> node count";
+      Array.iter
+        (fun (x, y) ->
+          if not (Float.is_finite x && Float.is_finite y) then
+            invalid_arg "Model.regional: non-finite coordinate")
+        c;
+      c
+  in
+  let within epicenter node =
+    let ex, ey = epicenter and x, y = coords.(node) in
+    let dx = x -. ex and dy = y -. ey in
+    (dx *. dx) +. (dy *. dy) <= radius *. radius
+  in
+  let s = Rng.substream rng "regional" in
+  let rec go t acc =
+    let t = t +. Rng.exponential s ~rate in
+    if t >= duration then acc
+    else begin
+      let ex = Rng.uniform s in
+      let ey = Rng.uniform s in
+      let down = Rng.exponential s ~rate:(1. /. mttr) in
+      let hit = ref [] in
+      Graph.iter_links
+        (fun l ->
+          if within (ex, ey) l.Link.src || within (ex, ey) l.Link.dst then
+            hit := l.Link.id :: !hit)
+        g;
+      let hit = List.rev !hit in
+      let acc =
+        List.fold_left
+          (fun acc link ->
+            { Script.time = t; link; action = Script.Fail } :: acc)
+          acc hit
+      in
+      let acc =
+        if t +. down >= duration then acc
+        else
+          List.fold_left
+            (fun acc link ->
+              { Script.time = t +. down; link; action = Script.Repair }
+              :: acc)
+            acc hit
+      in
+      go t acc
+    end
+  in
+  Script.of_events (List.rev (go 0. []))

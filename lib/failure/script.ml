@@ -1,0 +1,109 @@
+type action = Fail | Repair
+
+type event = { time : float; link : int; action : action }
+
+(* invariant: sorted by time, stable w.r.t. the order given *)
+type t = event array
+
+let validate_event e =
+  if not (Float.is_finite e.time) || e.time < 0. then
+    invalid_arg "Script.of_events: time must be finite and >= 0";
+  if e.link < 0 then invalid_arg "Script.of_events: negative link id"
+
+let of_events evs =
+  List.iter validate_event evs;
+  let a = Array.of_list evs in
+  Array.stable_sort (fun a b -> Float.compare a.time b.time) a;
+  a
+
+let empty = [||]
+let events t = Array.to_list t
+let to_array t = Array.copy t
+let length t = Array.length t
+let is_empty t = Array.length t = 0
+let max_link t = Array.fold_left (fun m e -> max m e.link) (-1) t
+let merge a b = of_events (Array.to_list a @ Array.to_list b)
+
+(* structural equality is exact here: times are validated finite, so no
+   NaN ever defeats (=) *)
+let equal (a : t) (b : t) = a = b
+
+(* shortest decimal that round-trips, same policy as the wire codec *)
+let float_to_text f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let action_to_string = function Fail -> "FAIL" | Repair -> "REPAIR"
+
+let action_of_string = function
+  | "FAIL" -> Some Fail
+  | "REPAIR" -> Some Repair
+  | _ -> None
+
+let pp ppf t =
+  Array.iter
+    (fun e ->
+      Format.fprintf ppf "%s %s %d@." (float_to_text e.time)
+        (action_to_string e.action) e.link)
+    t
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Array.iter
+    (fun e ->
+      Buffer.add_string b (float_to_text e.time);
+      Buffer.add_char b ' ';
+      Buffer.add_string b (action_to_string e.action);
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int e.link);
+      Buffer.add_char b '\n')
+    t;
+  Buffer.contents b
+
+let parse_line line =
+  let fields =
+    String.split_on_char ' '
+      (String.map (function '\t' -> ' ' | c -> c) line)
+    |> List.filter (fun f -> f <> "")
+  in
+  match fields with
+  | [ time; verb; link ] -> (
+    match
+      (float_of_string_opt time, action_of_string verb,
+       int_of_string_opt link)
+    with
+    | Some time, Some action, Some link
+      when Float.is_finite time && time >= 0. && link >= 0 ->
+      Some { time; link; action }
+    | _ -> None)
+  | _ -> None
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go n acc = function
+    | [] -> Ok (of_events (List.rev acc))
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go (n + 1) acc rest
+      else (
+        match parse_line trimmed with
+        | Some e -> go (n + 1) (e :: acc) rest
+        | None ->
+          Error
+            (Printf.sprintf
+               "line %d: expected \"<time> FAIL|REPAIR <link>\", got %S" n
+               trimmed))
+  in
+  go 1 [] lines
+
+let to_file path t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string t))
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> (
+    match of_string contents with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | exception Sys_error msg -> Error msg

@@ -9,6 +9,8 @@ type t = {
   reserve : (int, Metrics.gauge) Hashtbl.t;
   pair_accepted : (int * int, Metrics.counter) Hashtbl.t;
   pair_blocked : (int * int, Metrics.counter) Hashtbl.t;
+  link_failed : (int, Metrics.gauge) Hashtbl.t;
+  failovers : Metrics.counter;
   offered : Metrics.counter;
   blocked : Metrics.counter;
   admitted_primary : Metrics.counter;
@@ -30,6 +32,11 @@ let create registry =
     reserve = Hashtbl.create 64;
     pair_accepted = Hashtbl.create 256;
     pair_blocked = Hashtbl.create 256;
+    link_failed = Hashtbl.create 64;
+    failovers =
+      Metrics.counter registry
+        ~help:"Calls admitted around a failed primary path"
+        "arnet_failover_total";
     offered =
       Metrics.counter registry ~help:"Calls offered (arrivals)"
         "arnet_calls_offered_total";
@@ -146,6 +153,28 @@ let set_network t ~capacities ~reserves =
            "Trunk-reservation protection level r^k on the link" k)
         (float_of_int r))
     reserves
+
+let set_failed_links t ~link_count failed =
+  for k = 0 to link_count - 1 do
+    Metrics.set
+      (network_gauge t t.link_failed "arnet_link_failed"
+         "1 while the link is failed, else 0" k)
+      0.
+  done;
+  List.iter
+    (fun k ->
+      Metrics.set
+        (network_gauge t t.link_failed "arnet_link_failed"
+           "1 while the link is failed, else 0" k)
+        1.)
+    failed
+
+(* counters only move forward; syncing to an externally held total is
+   the shared idiom for state the sink does not observe event-by-event *)
+let sync_failovers t total =
+  let target = float_of_int total in
+  let current = Metrics.counter_value t.failovers in
+  if target > current then Metrics.inc_by t.failovers (target -. current)
 
 let refresh_rates t =
   let wall = Unix.gettimeofday () -. t.started_at in

@@ -13,6 +13,10 @@
       [arnet_pair_blocked_total{src,dst}] — per-O-D-pair outcomes
     - [arnet_link_capacity{link=...}], [arnet_link_reserve{link=...}] —
       static/reload-time network shape, set through {!set_network}
+    - [arnet_link_failed{link=...}] — 0/1 liveness gauge, set through
+      {!set_failed_links}
+    - [arnet_failover_total] — calls admitted around a failed primary,
+      synced through {!sync_failovers}
     - [arnet_call_holding_time] — log-bucket histogram
     - [arnet_admitted_hops] — path-length histogram
     - [arnet_events_per_second], [arnet_wall_seconds] — wall-clock
@@ -35,6 +39,16 @@ val set_network : t -> capacities:int array -> reserves:int array -> unit
     by link id.  Events carry occupancy but not the network shape, so
     the owner (the daemon on scrape, [arn sim] before its snapshot)
     pushes it here whenever levels may have changed. *)
+
+val set_failed_links : t -> link_count:int -> int list -> unit
+(** Publish the per-link 0/1 [arnet_link_failed] gauges: every link in
+    [0, link_count) reads 0 except the listed failed ids.  Like
+    {!set_network}, pushed by the owner whenever liveness may have
+    changed (the daemon syncs it per scrape). *)
+
+val sync_failovers : t -> int -> unit
+(** Advance [arnet_failover_total] to the given running total (counters
+    never move backward; a smaller total is ignored). *)
 
 val events : t -> int
 (** Events seen so far. *)

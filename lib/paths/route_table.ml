@@ -45,6 +45,28 @@ let build ?h ?primary g =
   let entries = Array.init n (fun src -> Array.init n (entry src)) in
   { graph = g; h; entries }
 
+let protected ?weight g =
+  let n = Graph.node_count g in
+  let entry src dst =
+    if src = dst then
+      { primary = None; candidates = []; primary_alternates = [||] }
+    else
+      match Suurballe.disjoint_pair ?weight g ~src ~dst with
+      | Some (p, mate) ->
+        { primary = Some p;
+          candidates = [ p; mate ];
+          primary_alternates = [| mate |] }
+      | None -> (
+        (* no two link-disjoint paths: protection is impossible, route
+           on the min-hop primary alone *)
+        match Bfs.min_hop_path g ~src ~dst with
+        | None -> { primary = None; candidates = []; primary_alternates = [||] }
+        | Some p ->
+          { primary = Some p; candidates = [ p ]; primary_alternates = [||] })
+  in
+  let entries = Array.init n (fun src -> Array.init n (entry src)) in
+  { graph = g; h = n - 1; entries }
+
 let graph t = t.graph
 let h t = t.h
 

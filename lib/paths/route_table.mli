@@ -30,6 +30,17 @@ val build :
     @raise Invalid_argument if [h < 1] or some pair has no primary path
     while the graph claims connectivity for it. *)
 
+val protected : ?weight:(Link.t -> float) -> Graph.t -> t
+(** [protected g] is the protection-path table: per ordered pair, the
+    Suurballe minimum-total-weight link-disjoint pair (default weight:
+    hop count) — the shorter path is the primary and the mate is the
+    single alternate, so any one link failure leaves the pair routable.
+    A pair with no disjoint pair falls back to its minimum-hop path with
+    no alternates (protection is impossible there, not the table's
+    fault); a disconnected pair has no route.  [h] reports
+    [node_count - 1], the bound disjoint mates respect by loop-freedom.
+    @raise Invalid_argument when a weight is negative or non-finite. *)
+
 val graph : t -> Graph.t
 val h : t -> int
 

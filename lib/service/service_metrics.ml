@@ -175,9 +175,12 @@ let record t st cmd resp =
     match cmd with Wire.Teardown _ -> M.inc t.torn_down | _ -> ())
   | Wire.Stats_reply _ -> ());
   (* sync rather than inc: [--reload-every] cadence reloads happen inside
-     State without a RELOAD command on the wire *)
+     State without a RELOAD command on the wire (likewise failovers,
+     which only State's decision loop can classify) *)
   M.inc_by t.reloads
     (float_of_int (State.stats st).Wire.reloads -. M.counter_value t.reloads);
+  Arnet_obs.Metrics_sink.sync_failovers t.net
+    (State.stats st).Wire.failovers;
   M.set t.active (float_of_int (State.active_calls st));
   M.set t.occupancy
     (float_of_int (Array.fold_left ( + ) 0 (State.occupancy st)));
@@ -202,7 +205,11 @@ let refresh t st =
     Array.map (fun l -> l.Arnet_topology.Link.capacity) (Arnet_topology.Graph.links g)
   in
   Arnet_obs.Metrics_sink.set_network t.net ~capacities
-    ~reserves:(State.reserves st)
+    ~reserves:(State.reserves st);
+  Arnet_obs.Metrics_sink.set_failed_links t.net
+    ~link_count:(Array.length capacities) (State.failed_links st);
+  Arnet_obs.Metrics_sink.sync_failovers t.net
+    (State.stats st).Wire.failovers
 
 let scrape t st =
   M.inc t.scrapes;
@@ -225,6 +232,7 @@ let statz t st =
       ("blocked", J.Int s.Wire.blocked);
       ("torn_down", J.Int s.Wire.torn_down);
       ("dropped", J.Int s.Wire.dropped);
+      ("failovers", J.Int s.Wire.failovers);
       ("active", J.Int s.Wire.active);
       ("reloads", J.Int s.Wire.reloads);
       ("draining", J.Bool s.Wire.draining);

@@ -25,18 +25,32 @@ type t = {
   mutable blocked : int;
   mutable torn_down : int;
   mutable dropped : int;
+  mutable failovers : int;
   mutable reloads : int;
   mutable draining : bool;
   mutable finished : bool;
   reload_every : int option;
   mutable decisions : int;  (** setups that reached a verdict *)
+  script : Arnet_failure.Script.event array;
+      (** scripted FAIL/REPAIRs, applied as the virtual clock passes them *)
+  mutable script_pos : int;
   observer : (Obs.Event.t -> unit) option;
 }
 
-let create ?h ?matrix ?window ?smoothing ?reload_every ?observer g =
+let create ?h ?matrix ?window ?smoothing ?reload_every ?failure_script
+    ?observer g =
   (match reload_every with
   | Some n when n < 1 -> invalid_arg "State.create: reload_every < 1"
   | _ -> ());
+  let script =
+    match failure_script with
+    | None -> [||]
+    | Some s ->
+      if Arnet_failure.Script.max_link s >= Graph.link_count g then
+        invalid_arg "State.create: failure script mentions a link outside \
+                     the graph";
+      Arnet_failure.Script.to_array s
+  in
   let routes = Route_table.build ?h g in
   let h = Route_table.h routes in
   let capacities =
@@ -83,11 +97,14 @@ let create ?h ?matrix ?window ?smoothing ?reload_every ?observer g =
     blocked = 0;
     torn_down = 0;
     dropped = 0;
+    failovers = 0;
     reloads = 0;
     draining = false;
     finished = false;
     reload_every;
     decisions = 0;
+    script;
+    script_pos = 0;
     observer }
 
 let emit t ev = match t.observer with Some f -> f ev | None -> ()
@@ -137,6 +154,57 @@ let do_reload t =
 let reload t = do_reload t
 
 (* ------------------------------------------------------------------ *)
+(* FAIL/REPAIR internals: shared by the wire commands and the scripted
+   failure replay *)
+
+let release t (c : call) =
+  Array.iter
+    (fun k ->
+      assert (t.occupancy.(k) > 0);
+      t.occupancy.(k) <- t.occupancy.(k) - 1)
+    c.links
+
+let apply_fail t ~link =
+  if not t.failed.(link) then begin
+    t.failed.(link) <- true;
+    (* calls holding a circuit on the dead link are lost with it *)
+    let victims =
+      Hashtbl.fold
+        (fun id c acc ->
+          if Array.exists (fun k -> k = link) c.links then (id, c) :: acc
+          else acc)
+        t.active []
+    in
+    List.iter
+      (fun (id, c) ->
+        release t c;
+        Hashtbl.remove t.active id;
+        t.dropped <- t.dropped + 1;
+        emit t (Obs.Event.Departure { time = t.clock; links = c.links }))
+      (List.sort compare victims)
+  end
+
+let apply_repair t ~link = t.failed.(link) <- false
+
+(* scripted events fire as the virtual clock passes their times, so the
+   daemon's behaviour stays a pure function of the command stream: a
+   SETUP timestamp advances the clock, due FAIL/REPAIRs apply, then the
+   decision runs against the updated liveness *)
+let run_script t =
+  while
+    t.script_pos < Array.length t.script
+    && t.script.(t.script_pos).Arnet_failure.Script.time <= t.clock
+  do
+    let e = t.script.(t.script_pos) in
+    t.script_pos <- t.script_pos + 1;
+    match e.Arnet_failure.Script.action with
+    | Arnet_failure.Script.Fail ->
+      apply_fail t ~link:e.Arnet_failure.Script.link
+    | Arnet_failure.Script.Repair ->
+      apply_repair t ~link:e.Arnet_failure.Script.link
+  done
+
+(* ------------------------------------------------------------------ *)
 (* SETUP: Controller.decide restricted to all-alive paths *)
 
 let path_alive t (p : Path.t) =
@@ -176,6 +244,7 @@ let setup t ~src ~dst ~time =
     else begin
       (* the clock only moves forward: stale client timestamps clamp *)
       (match time with Some u -> t.clock <- Float.max t.clock u | None -> ());
+      run_script t;
       let now = t.clock in
       emit t (Obs.Event.Arrival { time = now; src; dst; holding = 0. });
       if not (Route_table.has_route t.routes ~src ~dst) then
@@ -216,7 +285,11 @@ let setup t ~src ~dst ~time =
                   Admission.alternate_refusal t.admission
                     ~occupancy:t.occupancy p
                 with
-                | None -> admit t ~now ~src ~dst ~primary:false p
+                | None ->
+                  (* rerouting around a *dead* primary is a failover;
+                     around a busy one, ordinary overflow *)
+                  if not primary_alive then t.failovers <- t.failovers + 1;
+                  admit t ~now ~src ~dst ~primary:false p
                 | Some (link, occ, threshold) ->
                   emit t
                     (Obs.Event.Alternate_rejected
@@ -237,13 +310,6 @@ let setup t ~src ~dst ~time =
   end
 
 (* ------------------------------------------------------------------ *)
-
-let release t (c : call) =
-  Array.iter
-    (fun k ->
-      assert (t.occupancy.(k) > 0);
-      t.occupancy.(k) <- t.occupancy.(k) - 1)
-    c.links
 
 let teardown t ~id =
   match Hashtbl.find_opt t.active id with
@@ -267,31 +333,14 @@ let fail t ~link =
   match check_link t link with
   | Some e -> e
   | None ->
-    if not t.failed.(link) then begin
-      t.failed.(link) <- true;
-      (* calls holding a circuit on the dead link are lost with it *)
-      let victims =
-        Hashtbl.fold
-          (fun id c acc ->
-            if Array.exists (fun k -> k = link) c.links then (id, c) :: acc
-            else acc)
-          t.active []
-      in
-      List.iter
-        (fun (id, c) ->
-          release t c;
-          Hashtbl.remove t.active id;
-          t.dropped <- t.dropped + 1;
-          emit t (Obs.Event.Departure { time = t.clock; links = c.links }))
-        (List.sort compare victims)
-    end;
+    apply_fail t ~link;
     Wire.Done
 
 let repair t ~link =
   match check_link t link with
   | Some e -> e
   | None ->
-    t.failed.(link) <- false;
+    apply_repair t ~link;
     Wire.Done
 
 let drain t =
@@ -303,6 +352,7 @@ let stats t =
     blocked = t.blocked;
     torn_down = t.torn_down;
     dropped = t.dropped;
+    failovers = t.failovers;
     active = Hashtbl.length t.active;
     reloads = t.reloads;
     failed = failed_links t;
@@ -325,5 +375,6 @@ let snapshot t =
         ("blocked", t.blocked);
         ("torn_down", t.torn_down);
         ("dropped", t.dropped);
+        ("failovers", t.failovers);
         ("reloads", t.reloads) ]
     t.graph

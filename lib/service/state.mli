@@ -32,6 +32,7 @@ val create :
   ?window:float ->
   ?smoothing:float ->
   ?reload_every:int ->
+  ?failure_script:Arnet_failure.Script.t ->
   ?observer:(Arnet_obs.Event.t -> unit) ->
   Graph.t ->
   t
@@ -46,12 +47,17 @@ val create :
     [window]/[smoothing] tune the estimators.  [reload_every = n]
     recomputes [r^k] automatically after every [n] admission decisions
     (the [--reload-every] cadence); [RELOAD] works either way.
-    [observer] receives the server-side event stream ([Run_start] on
-    creation, then [Arrival]/[Primary_attempt]/[Alternate_rejected]/
-    [Admit]/[Block]/[Departure] per command).
+    [failure_script] replays scripted FAIL/REPAIRs against the daemon:
+    each event fires once the virtual clock (advanced by SETUP
+    timestamps) passes its time, applied before the setup's own
+    decision — so behaviour stays a pure function of the command
+    stream, and a timestamped load replay is as deterministic with a
+    storm as without one.  [observer] receives the server-side event
+    stream ([Run_start] on creation, then [Arrival]/[Primary_attempt]/
+    [Alternate_rejected]/[Admit]/[Block]/[Departure] per command).
 
-    @raise Invalid_argument for [reload_every < 1] or estimator/route
-    parameter violations. *)
+    @raise Invalid_argument for [reload_every < 1], a script event on a
+    link outside the graph, or estimator/route parameter violations. *)
 
 (** {1 Commands} *)
 

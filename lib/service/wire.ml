@@ -13,6 +13,7 @@ type stats = {
   blocked : int;
   torn_down : int;
   dropped : int;
+  failovers : int;
   active : int;
   reloads : int;
   failed : int list;
@@ -59,9 +60,9 @@ let print_path path =
 
 let print_stats s =
   Printf.sprintf
-    "STATS accepted=%d blocked=%d torn_down=%d dropped=%d active=%d \
-     reloads=%d draining=%d failed=%s"
-    s.accepted s.blocked s.torn_down s.dropped s.active s.reloads
+    "STATS accepted=%d blocked=%d torn_down=%d dropped=%d failovers=%d \
+     active=%d reloads=%d draining=%d failed=%s"
+    s.accepted s.blocked s.torn_down s.dropped s.failovers s.active s.reloads
     (if s.draining then 1 else 0)
     (String.concat "," (List.map string_of_int s.failed))
 
@@ -160,35 +161,40 @@ let parse_stats fields =
       int_field "blocked" (fun blocked ->
           int_field "torn_down" (fun torn_down ->
               int_field "dropped" (fun dropped ->
-                  int_field "active" (fun active ->
-                      int_field "reloads" (fun reloads ->
-                          int_field "draining" (fun draining ->
-                              match lookup "failed" with
-                              | None -> Error "STATS is missing field failed"
-                              | Some "" ->
-                                Ok
-                                  (Stats_reply
-                                     { accepted; blocked; torn_down; dropped;
-                                       active; reloads; failed = [];
-                                       draining = draining <> 0 })
-                              | Some s -> (
-                                let parts = String.split_on_char ',' s in
-                                match
-                                  List.fold_right
-                                    (fun p acc ->
-                                      match (acc, int_of_string_opt p) with
-                                      | Some acc, Some n -> Some (n :: acc)
-                                      | _ -> None)
-                                    parts (Some [])
-                                with
-                                | Some failed ->
-                                  Ok
-                                    (Stats_reply
-                                       { accepted; blocked; torn_down;
-                                         dropped; active; reloads; failed;
-                                         draining = draining <> 0 })
-                                | None ->
-                                  Error "STATS failed= must be link ids"))))))))
+                  int_field "failovers" (fun failovers ->
+                      int_field "active" (fun active ->
+                          int_field "reloads" (fun reloads ->
+                              int_field "draining" (fun draining ->
+                                  match lookup "failed" with
+                                  | None ->
+                                    Error "STATS is missing field failed"
+                                  | Some "" ->
+                                    Ok
+                                      (Stats_reply
+                                         { accepted; blocked; torn_down;
+                                           dropped; failovers; active;
+                                           reloads; failed = [];
+                                           draining = draining <> 0 })
+                                  | Some s -> (
+                                    let parts = String.split_on_char ',' s in
+                                    match
+                                      List.fold_right
+                                        (fun p acc ->
+                                          match (acc, int_of_string_opt p)
+                                          with
+                                          | Some acc, Some n -> Some (n :: acc)
+                                          | _ -> None)
+                                        parts (Some [])
+                                    with
+                                    | Some failed ->
+                                      Ok
+                                        (Stats_reply
+                                           { accepted; blocked; torn_down;
+                                             dropped; failovers; active;
+                                             reloads; failed;
+                                             draining = draining <> 0 })
+                                    | None ->
+                                      Error "STATS failed= must be link ids")))))))))
 
 let parse_response line =
   let line = String.trim line in

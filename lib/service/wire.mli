@@ -44,6 +44,7 @@ type stats = {
   blocked : int;  (** calls refused *)
   torn_down : int;  (** calls released by TEARDOWN *)
   dropped : int;  (** calls killed by link failures *)
+  failovers : int;  (** calls admitted around a failed primary path *)
   active : int;  (** calls currently holding circuits *)
   reloads : int;  (** protection-level recomputations *)
   failed : int list;  (** currently failed link ids, ascending *)

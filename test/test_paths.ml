@@ -293,6 +293,67 @@ let prop_suurballe_optimal =
         | Some t -> Path.hops a + Path.hops b = t
         | None -> false))
 
+(* the weighted variant: pseudo-random small-integer link weights (so
+   float sums stay exact) on graphs up to 7 nodes, brute-forced over
+   weighted totals rather than hops *)
+let graph_gen_weighted =
+  QCheck2.Gen.(
+    let* n = int_range 3 7 in
+    let all =
+      List.concat_map
+        (fun i -> List.init (n - i - 1) (fun j -> (i, i + j + 1)))
+        (List.init n (fun i -> i))
+    in
+    let spanning = List.init (n - 1) (fun i -> (i, i + 1)) in
+    let* extra = list_size (int_range 0 6) (oneofl all) in
+    let* wseed = int_range 0 999 in
+    return (n, List.sort_uniq compare (spanning @ extra), wseed))
+
+let weight_of ~wseed (l : Link.t) =
+  float_of_int (1 + (((l.Link.src * 7) + (l.Link.dst * 13) + wseed) mod 9))
+
+let path_cost g ~wseed p =
+  let links = Graph.links g in
+  List.fold_left
+    (fun acc id -> acc +. weight_of ~wseed links.(id))
+    0. (Path.link_ids p)
+
+let brute_force_weighted g ~wseed ~src ~dst =
+  let all = Enumerate.simple_paths g ~src ~dst in
+  let best = ref None in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if Suurballe.is_link_disjoint a b then begin
+            let total = path_cost g ~wseed a +. path_cost g ~wseed b in
+            match !best with
+            | Some t when t <= total -> ()
+            | _ -> best := Some total
+          end)
+        all)
+    all;
+  !best
+
+let prop_suurballe_weighted_optimal =
+  QCheck2.Test.make ~count:60
+    ~name:"suurballe (weighted) matches brute-force optimal disjoint total"
+    graph_gen_weighted
+    (fun (n, edges, wseed) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:1 edges in
+      let weight = weight_of ~wseed in
+      let brute = brute_force_weighted g ~wseed ~src:0 ~dst:(n - 1) in
+      match Suurballe.disjoint_pair ~weight g ~src:0 ~dst:(n - 1) with
+      | None -> brute = None
+      | Some (a, b) -> (
+        Suurballe.is_link_disjoint a b
+        && Path.src a = 0
+        && Path.dst b = n - 1
+        &&
+        match brute with
+        | Some t -> path_cost g ~wseed a +. path_cost g ~wseed b = t
+        | None -> false))
+
 (* ------------------------------------------------------------------ *)
 (* Route_table *)
 
@@ -362,6 +423,59 @@ let test_route_table_stats () =
   Alcotest.(check int) "min 5 (paper)" 5 !mn;
   Alcotest.(check int) "max 15 (paper)" 15 !mx;
   Alcotest.(check bool) "avg near paper's ~9" true (avg > 7.5 && avg < 9.5)
+
+let test_route_table_protected () =
+  let g = k4 () in
+  let t = Route_table.protected g in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then begin
+            let p = Route_table.primary t ~src ~dst in
+            let alts = Route_table.alternate_array t ~src ~dst in
+            Alcotest.(check int) "one protection alternate" 1
+              (Array.length alts);
+            Alcotest.(check bool) "mate is link-disjoint" true
+              (Suurballe.is_link_disjoint p alts.(0));
+            Alcotest.(check bool) "primary no longer than mate" true
+              (Path.hops p <= Path.hops alts.(0))
+          end)
+        [ 0; 1; 2; 3 ])
+    [ 0; 1; 2; 3 ];
+  (* a bridge graph still routes, just without protection *)
+  let line = Builders.line ~nodes:3 ~capacity:1 in
+  let t = Route_table.protected line in
+  Alcotest.(check bool) "bridge pair still routed" true
+    (Route_table.has_route t ~src:0 ~dst:2);
+  Alcotest.(check int) "but has no protection mate" 0
+    (Array.length (Route_table.alternate_array t ~src:0 ~dst:2))
+
+let prop_protected_table =
+  QCheck2.Test.make ~count:60
+    ~name:"protected table: one link-disjoint mate exactly when one exists"
+    graph_gen_small
+    (fun (n, edges) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:1 edges in
+      let t = Route_table.protected g in
+      let nodes = List.init n (fun i -> i) in
+      List.for_all
+        (fun src ->
+          List.for_all
+            (fun dst ->
+              src = dst
+              || (not (Route_table.has_route t ~src ~dst))
+              ||
+              let p = Route_table.primary t ~src ~dst in
+              let alts = Route_table.alternate_array t ~src ~dst in
+              match Suurballe.disjoint_pair g ~src ~dst with
+              | Some (a, b) ->
+                Array.length alts = 1
+                && Path.equal p a
+                && Path.equal alts.(0) b
+              | None -> Array.length alts = 0)
+            nodes)
+        nodes)
 
 (* ------------------------------------------------------------------ *)
 (* properties *)
@@ -516,7 +630,8 @@ let () =
             test_suurballe_no_pair;
           Alcotest.test_case "nsfnet 2-edge-connected" `Quick
             test_suurballe_nsfnet;
-          QCheck_alcotest.to_alcotest prop_suurballe_optimal ] );
+          QCheck_alcotest.to_alcotest prop_suurballe_optimal;
+          QCheck_alcotest.to_alcotest prop_suurballe_weighted_optimal ] );
       ( "route-table",
         [ Alcotest.test_case "basics" `Quick test_route_table_basics;
           Alcotest.test_case "h cap" `Quick test_route_table_h_cap;
@@ -527,7 +642,10 @@ let () =
           Alcotest.test_case "disconnected" `Quick test_route_table_disconnected;
           Alcotest.test_case "nsfnet stats" `Quick test_route_table_stats;
           Alcotest.test_case "alternate attempt order golden" `Quick
-            test_alternate_attempt_order_golden ] );
+            test_alternate_attempt_order_golden;
+          Alcotest.test_case "protected (Suurballe) table" `Quick
+            test_route_table_protected;
+          QCheck_alcotest.to_alcotest prop_protected_table ] );
       ( "properties",
         List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_enumerated_paths_valid;

@@ -54,14 +54,16 @@ let response_gen =
         return Wire.Done;
         map (fun changed -> Wire.Reloaded { changed }) (int_bound 200);
         map3
-          (fun (accepted, blocked, torn_down) (dropped, active, reloads)
-               (failed, draining) ->
+          (fun (accepted, blocked, torn_down) (dropped, failovers, active)
+               (reloads, failed, draining) ->
             Wire.Stats_reply
-              { Wire.accepted; blocked; torn_down; dropped; active; reloads;
-                failed; draining })
+              { Wire.accepted; blocked; torn_down; dropped; failovers;
+                active; reloads; failed; draining })
           (triple (int_bound 9999) (int_bound 9999) (int_bound 9999))
           (triple (int_bound 9999) (int_bound 9999) (int_bound 9999))
-          (pair (list_size (int_bound 5) (int_bound 40)) bool);
+          (triple (int_bound 9999)
+             (list_size (int_bound 5) (int_bound 40))
+             bool);
         map2
           (fun code words ->
             Wire.Err { code; detail = String.concat " " words })
@@ -285,6 +287,90 @@ let test_all_paths_dead_blocks () =
   | Wire.Blocked -> ()
   | r -> Alcotest.failf "expected BLOCKED, got %s" (Wire.print_response r)
 
+let test_fail_repair_edge_cases () =
+  let g = quadrangle ~capacity:5 () in
+  let st = State.create g in
+  let direct =
+    (Route_table.primary (State.routes st) ~src:0 ~dst:1).Path.link_ids.(0)
+  in
+  let expect_done what resp =
+    match resp with
+    | Wire.Done -> ()
+    | r -> Alcotest.failf "%s: %s" what (Wire.print_response r)
+  in
+  (* out-of-range links answer a typed ERR, not an exception *)
+  (match State.fail st ~link:(Graph.link_count g) with
+  | Wire.Err { code = "no-such-link"; _ } -> ()
+  | r -> Alcotest.failf "fail out of range: %s" (Wire.print_response r));
+  (match State.repair st ~link:(-1) with
+  | Wire.Err { code = "no-such-link"; _ } -> ()
+  | r -> Alcotest.failf "repair out of range: %s" (Wire.print_response r));
+  (* REPAIR of a link that never failed is an idempotent no-op *)
+  expect_done "repair of healthy link" (State.repair st ~link:direct);
+  Alcotest.(check (list int)) "nothing failed" [] (State.failed_links st);
+  (* an admitted call, then a double FAIL: the second changes nothing *)
+  (match State.setup st ~src:0 ~dst:1 ~time:None with
+  | Wire.Admitted _ -> ()
+  | r -> Alcotest.failf "setup: %s" (Wire.print_response r));
+  expect_done "first fail" (State.fail st ~link:direct);
+  expect_done "second fail (idempotent)" (State.fail st ~link:direct);
+  Alcotest.(check int) "victim dropped exactly once" 1
+    (State.stats st).Wire.dropped;
+  Alcotest.(check (list int)) "listed exactly once" [ direct ]
+    (State.failed_links st);
+  (* SETUP racing the failed primary lands on an alternate and is
+     counted as a failover *)
+  (match State.setup st ~src:0 ~dst:1 ~time:None with
+  | Wire.Admitted { path; _ } ->
+    Alcotest.(check bool) "routed around the cut" true (List.length path > 2)
+  | r -> Alcotest.failf "setup racing the cut: %s" (Wire.print_response r));
+  Alcotest.(check int) "failover counted" 1 (State.stats st).Wire.failovers;
+  (* after repair the primary carries again, with no new failover *)
+  expect_done "repair" (State.repair st ~link:direct);
+  (match State.setup st ~src:0 ~dst:1 ~time:None with
+  | Wire.Admitted { path; _ } ->
+    Alcotest.(check (list int)) "direct again" [ 0; 1 ] path
+  | r -> Alcotest.failf "setup after repair: %s" (Wire.print_response r));
+  Alcotest.(check int) "failovers unchanged" 1 (State.stats st).Wire.failovers
+
+let test_failure_script_follows_clock () =
+  let module S = Arnet_failure.Script in
+  let g = quadrangle ~capacity:5 () in
+  let link = (Graph.find_link_exn g ~src:0 ~dst:1).Link.id in
+  let script =
+    S.of_events
+      [ { S.time = 5.; link; action = S.Fail };
+        { S.time = 8.; link; action = S.Repair } ]
+  in
+  let st = State.create ~failure_script:script g in
+  let path_at t =
+    match State.setup st ~src:0 ~dst:1 ~time:(Some t) with
+    | Wire.Admitted { id; path } ->
+      ignore (State.teardown st ~id : Wire.response);
+      path
+    | r -> Alcotest.failf "setup at %g: %s" t (Wire.print_response r)
+  in
+  Alcotest.(check (list int)) "before the cut: primary" [ 0; 1 ] (path_at 4.);
+  Alcotest.(check (list int)) "no event fired yet" []
+    (State.failed_links st);
+  Alcotest.(check (list int)) "during the cut: alternate dodges it" [ 0; 2; 1 ]
+    (path_at 6.);
+  Alcotest.(check (list int)) "cut visible in stats" [ link ]
+    (State.failed_links st);
+  Alcotest.(check int) "counted as a failover" 1
+    (State.stats st).Wire.failovers;
+  Alcotest.(check (list int)) "after the scripted repair: primary again"
+    [ 0; 1 ] (path_at 9.);
+  Alcotest.(check (list int)) "repaired" [] (State.failed_links st);
+  (* a script mentioning a link outside the graph is refused up front *)
+  let bad =
+    S.of_events
+      [ { S.time = 1.; link = Graph.link_count g; action = S.Fail } ]
+  in
+  match State.create ~failure_script:bad g with
+  | _ -> Alcotest.fail "out-of-graph script should raise"
+  | exception Invalid_argument _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* online reconfiguration: reload tracks a drifting load *)
 
@@ -389,9 +475,9 @@ let socket_path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "arnet-test-%d-%d.sock" (Unix.getpid ()) !counter)
 
-let serve_and_load ?snapshot ~seed ~calls ~matrix g =
+let serve_and_load ?snapshot ?failure_script ~seed ~calls ~matrix g =
   let addr = Server.Unix_sock (socket_path ()) in
-  let st = State.create ~matrix g in
+  let st = State.create ~matrix ?failure_script g in
   let server =
     Thread.create (fun () -> Server.serve ?snapshot ~state:st addr) ()
   in
@@ -479,6 +565,120 @@ let test_socket_sharded_connections () =
     (result.Loadgen.accepted + result.Loadgen.blocked);
   Alcotest.(check int) "no wire errors" 0 result.Loadgen.errors;
   Alcotest.(check bool) "drained" true (State.drained st)
+
+(* drive a trace over the socket in engine order, recording every
+   response verbatim: the transcript *is* the run, so two identical
+   transcripts mean decision-for-decision determinism *)
+let drive_transcript addr (calls : Trace.call array) =
+  let ic, oc = Server.connect ~retry_for:5. addr in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      ignore (ic : in_channel))
+    (fun () ->
+      let departures = Event_queue.create () in
+      let log = Buffer.create 4096 in
+      let request cmd =
+        let r = Server.request ic oc cmd in
+        Buffer.add_string log (Wire.print_response r);
+        Buffer.add_char log '\n';
+        r
+      in
+      Array.iter
+        (fun (call : Trace.call) ->
+          Event_queue.pop_until departures ~time:call.Trace.time
+            ~f:(fun _ id -> ignore (request (Wire.Teardown { id })));
+          match
+            request
+              (Wire.Setup
+                 { src = call.Trace.src;
+                   dst = call.Trace.dst;
+                   time = Some call.Trace.time })
+          with
+          | Wire.Admitted { id; _ } ->
+            Event_queue.push departures
+              ~time:(call.Trace.time +. call.Trace.holding)
+              id
+          | _ -> ())
+        calls;
+      let rec flush () =
+        match Event_queue.pop departures with
+        | Some (_, id) ->
+          ignore (request (Wire.Teardown { id }));
+          flush ()
+        | None -> ()
+      in
+      flush ();
+      Buffer.contents log)
+
+let test_socket_failure_storm () =
+  let module S = Arnet_failure.Script in
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  (* 2000 arrivals at aggregate rate 180/tu span ~11 tu of virtual
+     time; the storm cuts three directed links mid-load and repairs
+     every one before the tail of the run *)
+  let id src dst = (Graph.find_link_exn g ~src ~dst).Link.id in
+  let ev time link action = { S.time; link; action } in
+  let script =
+    S.of_events
+      [ ev 2. (id 0 1) S.Fail;
+        ev 3. (id 1 2) S.Fail;
+        ev 5. (id 0 1) S.Repair;
+        ev 5.5 (id 2 3) S.Fail;
+        ev 7. (id 1 2) S.Repair;
+        ev 8. (id 2 3) S.Repair ]
+  in
+  let trace =
+    Trace.generate ~rng:(Rng.create ~seed:42) ~duration:11. matrix
+  in
+  let go () =
+    let addr = Server.Unix_sock (socket_path ()) in
+    let st = State.create ~matrix ~failure_script:script g in
+    let server = Thread.create (fun () -> Server.serve ~state:st addr) () in
+    let transcript =
+      Fun.protect
+        ~finally:(fun () ->
+          (try
+             let ic, oc = Server.connect ~retry_for:5. addr in
+             ignore (Server.request ic oc Wire.Drain : Wire.response);
+             close_out_noerr oc;
+             ignore (ic : in_channel)
+           with _ -> ());
+          Thread.join server)
+        (fun () -> drive_transcript addr trace.Trace.calls)
+    in
+    (st, transcript)
+  in
+  let st1, t1 = go () in
+  let st2, t2 = go () in
+  Alcotest.(check string)
+    "identical accept/block/ERR transcript across fresh daemons" t1 t2;
+  let s1 = State.stats st1 and s2 = State.stats st2 in
+  Alcotest.(check bool) "the storm dropped in-flight calls" true
+    (s1.Wire.dropped > 0);
+  Alcotest.(check bool) "and forced failovers" true (s1.Wire.failovers > 0);
+  Alcotest.(check int) "drops reproduce" s1.Wire.dropped s2.Wire.dropped;
+  Alcotest.(check int) "failovers reproduce" s1.Wire.failovers
+    s2.Wire.failovers;
+  (* each dropped call surfaces as exactly one ERR unknown-call when its
+     teardown arrives *)
+  let count_err t =
+    List.length
+      (List.filter
+         (fun line ->
+           match Wire.parse_response line with
+           | Ok (Wire.Err { code = "unknown-call"; _ }) -> true
+           | _ -> false)
+         (String.split_on_char '\n' t))
+  in
+  Alcotest.(check int) "ERR per dropped call" s1.Wire.dropped (count_err t1);
+  List.iter
+    (fun st ->
+      Alcotest.(check (list int)) "all cuts repaired" []
+        (State.failed_links st);
+      Alcotest.(check bool) "clean drain" true (State.drained st))
+    [ st1; st2 ]
 
 let test_socket_line_cap () =
   let g = quadrangle () in
@@ -738,7 +938,11 @@ let () =
           Alcotest.test_case "failure rerouting" `Quick
             test_failure_rerouting;
           Alcotest.test_case "all paths dead blocks" `Quick
-            test_all_paths_dead_blocks ] );
+            test_all_paths_dead_blocks;
+          Alcotest.test_case "fail/repair edge cases" `Quick
+            test_fail_repair_edge_cases;
+          Alcotest.test_case "failure script follows the clock" `Quick
+            test_failure_script_follows_clock ] );
       ( "reload",
         [ Alcotest.test_case "tracks a load step" `Quick
             test_reload_tracks_load_step;
@@ -754,6 +958,8 @@ let () =
             test_socket_drain_snapshot;
           Alcotest.test_case "sharded connections" `Slow
             test_socket_sharded_connections;
+          Alcotest.test_case "failure storm is deterministic" `Slow
+            test_socket_failure_storm;
           Alcotest.test_case "oversized lines are rejected" `Quick
             test_socket_line_cap ] );
       ( "telemetry",
