@@ -6,15 +6,18 @@
                exp_h6 exp_failures exp_fairness exp_minloss exp_robustness
                exp_ablation exp_overload ext_cellular ext_multirate
                ext_bistability ext_signalling ext_random_mesh ext_analytic
-               ext_optimality ext_dimensioning ext_failure serve storm perf
+               ext_optimality ext_dimensioning ext_failure serve storm
+               compile perf
      default: all of them.  fig3_d1/fig6_d1 rerun the headline sweeps
      pinned to a single domain so their calls/s stays comparable with
      BENCH_2.json whatever ARNET_DOMAINS says.
    Environment: ARNET_QUICK=1 for a fast pass (3 seeds, short window),
    ARNET_SEEDS=n to override the seed count, ARNET_DOMAINS=n to shard
    replication runs across n OCaml domains (bit-identical results),
-   ARNET_BENCH_JSON=path for the run record (default BENCH_8.json) —
-   compare records across versions with `arn bench diff`. *)
+   ARNET_COMPILE_NODES=a,b,c for the compile-sweep mesh sizes (default
+   100,500,1000), ARNET_BENCH_JSON=path for the run record (default
+   BENCH_9.json) — compare records across versions with
+   `arn bench diff`. *)
 
 open Arnet_experiments
 
@@ -534,6 +537,112 @@ let storm () =
          result.Service.Loadgen.calls stats.Service.Wire.failovers)
 
 (* ------------------------------------------------------------------ *)
+(* route compilation at ISP scale: the sequential per-pair pipeline vs
+   the memoized/parallel builder vs the incremental patch *)
+
+type compile_row = {
+  cr_nodes : int;
+  cr_links : int;
+  cr_pairs : int;
+  cr_reference_s : float;
+  cr_memoized_s : float;
+  cr_parallel_s : float;
+  cr_parallel_domains : int;
+  cr_patch_s : float;
+  cr_patch_recomputed : int;
+}
+
+let compile_rows : compile_row list ref = ref []
+
+let compile () =
+  Report.section ppf ~id:"compile"
+    ~title:
+      "Route compilation at ISP scale: sequential vs parallel vs \
+       incremental";
+  let module Ingest = Arnet_ingest in
+  let module RT = Arnet_paths.Route_table in
+  let sizes =
+    match Sys.getenv_opt "ARNET_COMPILE_NODES" with
+    | None -> [ 100; 500; 1000 ]
+    | Some s ->
+      List.filter_map int_of_string_opt (String.split_on_char ',' s)
+  in
+  (* unbounded H enumerates exponentially many loop-free alternates on a
+     sparse 1000-node mesh; a deployment at this scale caps the
+     alternate hop length, so the sweep does too *)
+  let h = 6 in
+  let domains = max 2 (Lazy.force config).Config.domains in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  Format.fprintf ppf
+    "  H = %d alternate hops, degree-4 gravity meshes, %d domains@." h
+    domains;
+  Format.fprintf ppf
+    "  %6s %6s %9s %9s %9s %9s %8s@." "nodes" "links" "ref-s"
+    "memo-s" "par-s" "patch-s" "recomp";
+  List.iter
+    (fun nodes ->
+      let t = Ingest.Mesh.random_mesh ~nodes () in
+      let g = t.Ingest.Topo.graph in
+      let reference, cr_reference_s =
+        time (fun () -> RT.build_reference ~h g)
+      in
+      let memoized, cr_memoized_s = time (fun () -> RT.build ~h g) in
+      let parallel, cr_parallel_s =
+        time (fun () -> RT.build ~domains ~h g)
+      in
+      (* the headline guarantees, asserted on every run: the memoized
+         and sharded builders reproduce the per-pair oracle path for
+         path, and patching a removal back in restores the table *)
+      if not (RT.equal reference memoized) then
+        failwith "compile bench: memoized build differs from the oracle";
+      if not (RT.equal memoized parallel) then
+        failwith "compile bench: parallel build differs from sequential";
+      let l = (Arnet_topology.Graph.links g).(0) in
+      let src = l.Arnet_topology.Link.src
+      and dst = l.Arnet_topology.Link.dst
+      and capacity = l.Arnet_topology.Link.capacity in
+      let (patched, cr_patch_recomputed), cr_patch_s =
+        time (fun () -> RT.patch memoized [ RT.Remove_link { src; dst } ])
+      in
+      let restored, _ = RT.patch patched [ RT.Add_link { src; dst; capacity } ] in
+      if not (RT.equal restored memoized) then
+        failwith "compile bench: patch round-trip lost routes";
+      Format.fprintf ppf "  %6d %6d %9.2f %9.2f %9.2f %9.2f %8d@." nodes
+        (Arnet_topology.Graph.link_count g)
+        cr_reference_s cr_memoized_s cr_parallel_s cr_patch_s
+        cr_patch_recomputed;
+      compile_rows :=
+        { cr_nodes = nodes;
+          cr_links = Arnet_topology.Graph.link_count g;
+          cr_pairs = nodes * (nodes - 1);
+          cr_reference_s;
+          cr_memoized_s;
+          cr_parallel_s;
+          cr_parallel_domains = domains;
+          cr_patch_s;
+          cr_patch_recomputed }
+        :: !compile_rows)
+    sizes;
+  compile_rows := List.rev !compile_rows;
+  match List.rev !compile_rows with
+  | [] -> ()
+  | biggest :: _ ->
+    Report.paper_vs_measured ppf
+      ~what:"recompilation cost at the largest mesh"
+      ~paper:"(extension) full per-pair rebuilds cannot track topology"
+      ~measured:
+        (Printf.sprintf
+           "%d nodes: memoized %.1fx, single-link patch %.1fx faster \
+            than the sequential full rebuild"
+           biggest.cr_nodes
+           (biggest.cr_reference_s /. Float.max 1e-9 biggest.cr_memoized_s)
+           (biggest.cr_reference_s /. Float.max 1e-9 biggest.cr_patch_s))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels *)
 
 let perf () =
@@ -612,7 +721,10 @@ let sections =
     ("ext_signalling", ext_signalling); ("ext_random_mesh", ext_random_mesh);
     ("ext_analytic", ext_analytic); ("ext_optimality", ext_optimality);
     ("ext_dimensioning", ext_dimensioning); ("ext_failure", ext_failure);
-    ("serve", serve); ("storm", storm); ("perf", perf) ]
+    ("serve", serve); ("storm", storm); ("perf", perf);
+    (* last: the big route tables it builds bloat the major heap, which
+       would tax the Bechamel stabilization passes of [perf] *)
+    ("compile", compile) ]
 
 let () =
   let requested =
@@ -630,7 +742,7 @@ let () =
   let calls_at_start = Arnet_sim.Engine.calls_simulated () in
   (* sections that are single-domain by construction, whatever the
      configured count: the pinned reruns and the Bechamel kernels *)
-  let single_domain = [ "fig3_d1"; "fig6_d1"; "perf" ] in
+  let single_domain = [ "fig3_d1"; "fig6_d1"; "compile"; "perf" ] in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
@@ -663,6 +775,32 @@ let () =
       @ (match !serve_result with
         | None -> []
         | Some r -> [ ("service", Arnet_service.Loadgen.to_json r) ])
+      @ (match !compile_rows with
+        | [] -> []
+        | rows ->
+          [ ("compile",
+             J.List
+               (List.map
+                  (fun r ->
+                    J.Obj
+                      [ ("nodes", J.Int r.cr_nodes);
+                        ("links", J.Int r.cr_links);
+                        ("pairs", J.Int r.cr_pairs);
+                        ("reference_s", J.Float r.cr_reference_s);
+                        ("memoized_s", J.Float r.cr_memoized_s);
+                        ("parallel_s", J.Float r.cr_parallel_s);
+                        ("parallel_domains", J.Int r.cr_parallel_domains);
+                        ("patch_s", J.Float r.cr_patch_s);
+                        ("patch_recomputed", J.Int r.cr_patch_recomputed);
+                        ("memoized_speedup",
+                         J.Float
+                           (r.cr_reference_s
+                           /. Float.max 1e-9 r.cr_memoized_s));
+                        ("patch_speedup",
+                         J.Float
+                           (r.cr_reference_s /. Float.max 1e-9 r.cr_patch_s))
+                      ])
+                  rows)) ])
       @
       match !storm_result with
       | None -> []
@@ -686,7 +824,7 @@ let () =
                 J.Float (Arnet_service.Loadgen.requests_per_second r)) ]) ])
   in
   let path =
-    Option.value ~default:"BENCH_8.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
+    Option.value ~default:"BENCH_9.json" (Sys.getenv_opt "ARNET_BENCH_JSON")
   in
   let oc = open_out path in
   output_string oc (J.to_string doc);

@@ -219,6 +219,186 @@ let topology_cmd =
     Term.(const run $ network_arg $ capacity_arg $ dot)
 
 (* ------------------------------------------------------------------ *)
+(* arn topo: real-topology ingestion (GraphViz dot, Topology-Zoo GML) *)
+
+module Ingest = Arnet_ingest
+
+let topo_format_conv =
+  let parse = function
+    | "gml" -> Ok `Gml
+    | "dot" | "gv" -> Ok `Dot
+    | s -> Error (`Msg (Printf.sprintf "unknown topology format %S" s))
+  in
+  let print ppf = function
+    | `Gml -> Format.fprintf ppf "gml"
+    | `Dot -> Format.fprintf ppf "dot"
+  in
+  Arg.conv (parse, print)
+
+let topo_format_of_path path =
+  match String.lowercase_ascii (Filename.extension path) with
+  | ".gml" -> Some `Gml
+  | ".dot" | ".gv" -> Some `Dot
+  | _ -> None
+
+(* Imported meshes can be big and sparse, where the unrestricted
+   default H = node_count - 1 makes alternate enumeration explode; when
+   --topology is given without an explicit -H, cap alternates at the
+   deployment-style hop length the compile bench uses. *)
+let default_import_h = 6
+
+let import_h h topology =
+  match (h, topology) with
+  | None, Some _ -> Some default_import_h
+  | _ -> h
+
+let load_topo ?format path =
+  let format =
+    match format with
+    | Some f -> f
+    | None -> (
+      match topo_format_of_path path with
+      | Some f -> f
+      | None ->
+        Printf.eprintf
+          "arn topo: %s: unrecognised extension (expected .gml, .dot or \
+           .gv); pass --format\n"
+          path;
+        exit 2)
+  in
+  try
+    match format with
+    | `Gml -> Ingest.Gml.load path
+    | `Dot -> Ingest.Dot.load path
+  with
+  | Ingest.Gml.Error msg | Ingest.Dot.Error msg ->
+    Printf.eprintf "arn topo: %s: %s\n" path msg;
+    exit 2
+  | Sys_error msg ->
+    Printf.eprintf "arn topo: %s\n" msg;
+    exit 2
+
+let render_topo ~format topo =
+  match format with
+  | `Gml -> Ingest.Gml.to_gml topo
+  | `Dot -> Ingest.Dot.to_dot topo
+
+let topo_write out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Format.fprintf ppf "wrote %s@." path
+
+let topo_file_arg =
+  let doc = "Topology file: Topology-Zoo GML ($(b,.gml)) or GraphViz \
+             ($(b,.dot), $(b,.gv))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let topo_fmt_arg =
+  let doc = "Input format ($(b,gml) or $(b,dot)); default from the file \
+             extension." in
+  Arg.(value & opt (some topo_format_conv) None & info [ "format" ] ~doc)
+
+let topo_out_arg =
+  let doc = "Write to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let topo_to_arg default =
+  let doc = "Output codec: $(b,gml) or $(b,dot)." in
+  Arg.(value & opt topo_format_conv default & info [ "to" ] ~doc)
+
+let topo_import_cmd =
+  let run file fmt out =
+    let t = load_topo ?format:fmt file in
+    Format.fprintf ppf "imported %s: %d nodes, %d links@." t.Ingest.Topo.name
+      (Graph.node_count t.Ingest.Topo.graph)
+      (Graph.link_count t.Ingest.Topo.graph);
+    if t.Ingest.Topo.merged_parallel > 0 then
+      Format.fprintf ppf "  merged %d parallel edge(s), capacities summed@."
+        t.Ingest.Topo.merged_parallel;
+    if t.Ingest.Topo.dropped_self_loops > 0 then
+      Format.fprintf ppf "  dropped %d self loop(s)@."
+        t.Ingest.Topo.dropped_self_loops;
+    (* -o normalises: the canonical GML is a fixpoint of parse/print *)
+    Option.iter
+      (fun path -> topo_write (Some path) (Ingest.Gml.to_gml t))
+      out
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:
+         "Parse a topology file, report what the importer cleaned up, \
+          and optionally write the canonical GML form")
+    Term.(const run $ topo_file_arg $ topo_fmt_arg $ topo_out_arg)
+
+let topo_export_cmd =
+  let run file fmt target out =
+    topo_write out (render_topo ~format:target (load_topo ?format:fmt file))
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Convert a topology file between the GML and dot codecs \
+          (export then import is the identity)")
+    Term.(
+      const run $ topo_file_arg $ topo_fmt_arg $ topo_to_arg `Dot
+      $ topo_out_arg)
+
+let topo_stats_cmd =
+  let run file fmt =
+    let t = load_topo ?format:fmt file in
+    Format.fprintf ppf "%a@."
+      (Ingest.Topo.pp_summary ~name:t.Ingest.Topo.name)
+      (Ingest.Topo.summarize t)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Summarize a topology file")
+    Term.(const run $ topo_file_arg $ topo_fmt_arg)
+
+let topo_gen_cmd =
+  let nodes =
+    let doc = "Number of nodes (>= 2)." in
+    Arg.(value & opt int 100 & info [ "nodes"; "n" ] ~doc)
+  in
+  let degree =
+    let doc = "Maximum undirected degree (>= 2)." in
+    Arg.(value & opt int 4 & info [ "degree" ] ~doc)
+  in
+  let seed =
+    let doc = "Generator seed; the mesh is a pure function of \
+               (seed, capacity, degree, nodes)." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc)
+  in
+  let run nodes degree capacity seed target out =
+    let t =
+      try Ingest.Mesh.random_mesh ~seed ~capacity ~degree ~nodes ()
+      with Invalid_argument msg ->
+        Printf.eprintf "arn topo gen: %s\n" msg;
+        exit 2
+    in
+    topo_write out (render_topo ~format:target t)
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a deterministic ISP-like mesh (sparse, geographic, \
+          degree-bounded) for scale tests")
+    Term.(
+      const run $ nodes $ degree $ capacity_arg $ seed $ topo_to_arg `Gml
+      $ topo_out_arg)
+
+let topo_cmd =
+  Cmd.group
+    (Cmd.info "topo"
+       ~doc:
+         "Import, convert, summarize and generate network topologies \
+          (Topology-Zoo GML, GraphViz dot)")
+    [ topo_import_cmd; topo_export_cmd; topo_stats_cmd; topo_gen_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* arn fit *)
 
 let fit_cmd =
@@ -271,6 +451,17 @@ let simulate_cmd =
     let doc = "Traffic scale (NSFNet) or per-pair Erlangs (synthetic)." in
     Arg.(value & opt float 1.0 & info [ "load"; "l" ] ~doc)
   in
+  let topology =
+    let doc =
+      "Simulate an imported topology file ($(b,.gml), $(b,.dot)/$(b,.gv)) \
+       instead of a built-in network, with degree-weighted gravity \
+       traffic scaled by $(b,--load).  Alternates are capped at H = 6 \
+       unless $(b,--max-hops) says otherwise (the unrestricted default \
+       explodes on large sparse meshes)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "topology" ] ~docv:"FILE" ~doc)
+  in
   let h =
     let doc = "Maximum alternate hop length." in
     Arg.(value & opt (some int) None & info [ "max-hops"; "H" ] ~doc)
@@ -314,18 +505,29 @@ let simulate_cmd =
     Arg.(
       value & opt (some positive) None & info [ "domains"; "j" ] ~docv:"N" ~doc)
   in
-  let run network capacity scale h with_ott quick trace_file metrics_file
-      json domains_opt =
+  let run network capacity scale h with_ott quick topology trace_file
+      metrics_file json domains_opt =
     let config = config_of_quick quick in
-    let g = build_graph network capacity in
-    let matrix = build_matrix network g ~scale:1.0 ~demand:1.0 in
-    let matrix =
-      match network with
-      | `Nsfnet | `File _ -> Matrix.scale matrix scale
-      | `Quadrangle | `Mesh _ | `Ring _ ->
-        Matrix.uniform ~nodes:(Graph.node_count g) ~demand:scale
+    (* an imported topology overrides --network: its gravity matrix is
+       the natural demand for a graph with no fitted matrix of its own *)
+    let g, matrix =
+      match topology with
+      | Some path ->
+        let t = load_topo path in
+        ( t.Ingest.Topo.graph,
+          Matrix.scale (Ingest.Mesh.gravity t) scale )
+      | None ->
+        let g = build_graph network capacity in
+        let matrix = build_matrix network g ~scale:1.0 ~demand:1.0 in
+        let matrix =
+          match network with
+          | `Nsfnet | `File _ -> Matrix.scale matrix scale
+          | `Quadrangle | `Mesh _ | `Ring _ ->
+            Matrix.uniform ~nodes:(Graph.node_count g) ~demand:scale
+        in
+        (g, matrix)
     in
-    let routes = Route_table.build ?h g in
+    let routes = Route_table.build ?h:(import_h h topology) g in
     (* observability: fan the event stream out to whichever consumers
        were requested; [None] leaves the engine hot path untouched *)
     let trace_sink = Option.map Obs.Jsonl.sink_of_file trace_file in
@@ -385,7 +587,13 @@ let simulate_cmd =
     (match trace_file with
     | Some path when not json -> Format.fprintf ppf "wrote %s@." path
     | _ -> ());
-    let bound = Arnet_bound.Erlang_bound.compute g matrix in
+    (* the cut-set bound enumerates every cut — exponential in nodes, and
+       Cutset refuses past 24; on larger imports just omit the line *)
+    let bound =
+      if Graph.node_count g <= 24 then
+        Some (Arnet_bound.Erlang_bound.compute g matrix)
+      else None
+    in
     if json then begin
       let summary_json (s : Stats.summary) =
         Obs.Jsonu.Obj
@@ -414,13 +622,20 @@ let simulate_cmd =
       in
       let doc =
         Obs.Jsonu.Obj
-          [ ("network", Obs.Jsonu.String (network_to_string network));
+          ([ ("network",
+             Obs.Jsonu.String
+               (match topology with
+               | Some path -> "topo:" ^ path
+               | None -> network_to_string network));
             ("load", Obs.Jsonu.Float scale);
             ("seeds", Obs.Jsonu.List (List.map (fun s -> Obs.Jsonu.Int s) seeds));
             ("duration", Obs.Jsonu.Float duration);
             ("warmup", Obs.Jsonu.Float warmup);
-            ("policies", Obs.Jsonu.List (List.map policy_json results));
-            ("erlang_bound", Obs.Jsonu.Float bound) ]
+            ("policies", Obs.Jsonu.List (List.map policy_json results)) ]
+          @
+          match bound with
+          | Some b -> [ ("erlang_bound", Obs.Jsonu.Float b) ]
+          | None -> [])
       in
       print_endline (Obs.Jsonu.to_string doc)
     end
@@ -435,14 +650,17 @@ let simulate_cmd =
             "  %-22s blocking %.4f +/- %.4f   alternate-routed %.1f%%@." name
             s.Stats.mean s.Stats.std_error (100. *. alt.Stats.mean))
         results;
-      Format.fprintf ppf "  %-22s blocking %.4f@." "erlang-bound" bound
+      Option.iter
+        (fun b -> Format.fprintf ppf "  %-22s blocking %.4f@." "erlang-bound" b)
+        bound
     end
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Call-by-call simulation of the schemes")
     Term.(
       const run $ network_arg $ capacity_arg $ scale $ h $ with_ott
-      $ quick_arg $ trace_file $ metrics_file $ json $ domains_opt)
+      $ quick_arg $ topology $ trace_file $ metrics_file $ json
+      $ domains_opt)
 
 (* ------------------------------------------------------------------ *)
 (* arn experiment *)
@@ -607,6 +825,26 @@ let lint_cmd =
       & opt_all reserve_conv []
       & info [ "reserve"; "r" ] ~docv:"LINK=RESERVE" ~doc)
   in
+  let topology =
+    let doc =
+      "Lint an imported topology file ($(b,.gml), $(b,.dot)/$(b,.gv)) \
+       instead of a built-in network: the import checks (merged parallel \
+       edges, dropped self loops, missing coordinates, isolated nodes) \
+       run alongside the structural ones, against degree-weighted \
+       gravity traffic.  Alternates are capped at H = 6 unless \
+       $(b,--max-hops) says otherwise."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "topology" ] ~docv:"FILE" ~doc)
+  in
+  let regional =
+    let doc =
+      "The configuration is meant to drive the regional failure model, \
+       so nodes without coordinates are errors, not infos (only \
+       meaningful with $(b,--topology))."
+    in
+    Arg.(value & flag & info [ "regional" ] ~doc)
+  in
   let only =
     let doc =
       "Run only this check (repeatable): one of the names shown by \
@@ -645,8 +883,8 @@ let lint_cmd =
     Arg.(
       value & opt (some string) None & info [ "allow" ] ~docv:"FILE" ~doc)
   in
-  let run network capacity h scale demand format strict overrides only
-      list_checks source srcs allow =
+  let run network capacity h scale demand format strict overrides topology
+      regional only list_checks source srcs allow =
     let module A = Arnet_analysis in
     if list_checks then begin
       List.iter
@@ -705,23 +943,38 @@ let lint_cmd =
           (* load file specs directly: parse failures must reach the
              catch below (exit 2), not load_spec's generic [exit 1],
              which would collide with "1 = findings" *)
-          let g, spec_matrix =
-            match network with
-            | `File path ->
-              let spec = Arnet_serial.Spec.of_file path in
-              (spec.Arnet_serial.Spec.graph, spec.Arnet_serial.Spec.matrix)
-            | _ -> (build_graph network capacity, None)
+          let g, spec_matrix, import =
+            match topology with
+            | Some path ->
+              (* load_topo exits 2 on parse errors itself, matching the
+                 invalid-configuration convention *)
+              let t = load_topo path in
+              ( t.Ingest.Topo.graph,
+                Some (Matrix.scale (Ingest.Mesh.gravity t) scale),
+                Some
+                  { A.Check.coords = t.Ingest.Topo.coords;
+                    merged_parallel = t.Ingest.Topo.merged_parallel;
+                    dropped_self_loops = t.Ingest.Topo.dropped_self_loops } )
+            | None -> (
+              match network with
+              | `File path ->
+                let spec = Arnet_serial.Spec.of_file path in
+                ( spec.Arnet_serial.Spec.graph,
+                  spec.Arnet_serial.Spec.matrix,
+                  None )
+              | _ -> (build_graph network capacity, None, None))
           in
           let matrix =
-            match (network, spec_matrix) with
-            | `File _, Some m -> Matrix.scale m scale
-            | `File _, None ->
+            match (topology, network, spec_matrix) with
+            | Some _, _, Some m -> m
+            | _, `File _, Some m -> Matrix.scale m scale
+            | _, `File _, None ->
               Matrix.uniform
                 ~nodes:(Graph.node_count g)
                 ~demand:(demand *. scale)
             | _ -> build_matrix network g ~scale ~demand
           in
-          let routes = Route_table.build ?h g in
+          let routes = Route_table.build ?h:(import_h h topology) g in
           let reserves =
             Protection.levels routes matrix ~h:(Route_table.h routes)
           in
@@ -732,7 +985,7 @@ let lint_cmd =
                   (Printf.sprintf "--reserve %d=%d: no link with id %d" k r k);
               reserves.(k) <- r)
             overrides;
-          A.Check.config ~routes ~matrix ~reserves g
+          A.Check.config ~routes ~matrix ~reserves ?import ~regional g
         with
         | Invalid_argument msg | Failure msg | Sys_error msg ->
           Printf.eprintf "arn lint: invalid configuration: %s\n" msg;
@@ -777,8 +1030,8 @@ let lint_cmd =
          ])
     Term.(
       const run $ network_arg $ capacity_arg $ h $ scale $ demand
-      $ format_arg $ strict $ overrides $ only $ list_checks $ source
-      $ srcs $ allow)
+      $ format_arg $ strict $ overrides $ topology $ regional $ only
+      $ list_checks $ source $ srcs $ allow)
 
 (* ------------------------------------------------------------------ *)
 (* arn trace *)
@@ -1422,7 +1675,7 @@ let () =
   let group =
     Cmd.group info
       [ erlang_cmd; protection_cmd; paths_cmd; topology_cmd; fit_cmd;
-        bound_cmd; simulate_cmd; experiment_cmd; dalfar_cmd; spec_cmd;
+        bound_cmd; topo_cmd; simulate_cmd; experiment_cmd; dalfar_cmd; spec_cmd;
         lint_cmd; adaptive_cmd; mdp_cmd; trace_cmd; serve_cmd; load_cmd;
         bench_cmd ]
   in

@@ -13,6 +13,18 @@ open Arnet_topology
 open Arnet_paths
 open Arnet_traffic
 
+type import = {
+  coords : (float * float) option array;
+      (** per-node [(longitude, latitude)]; length = node count *)
+  merged_parallel : int;  (** parallel edges the importer merged *)
+  dropped_self_loops : int;  (** self-loop edges the importer dropped *)
+}
+(** What a topology importer saw in the raw file before sanitising it —
+    {!Ingest_check} reports on this, since the merged graph alone can no
+    longer show it.  Mirrors the metadata of [Arnet_ingest.Topo.t]
+    (kept structural here so analysis does not depend on the ingest
+    library). *)
+
 type config = {
   graph : Graph.t;
   routes : Route_table.t option;
@@ -21,6 +33,12 @@ type config = {
   loads : float array option;
       (** declared primary load [Lambda^k] per link id; when absent,
           checks derive loads from [routes] and [matrix] by Equation 1 *)
+  import : import option;
+      (** importer metadata; [None] for programmatically built graphs,
+          which silences the import checks *)
+  regional : bool;
+      (** the deployment intends to drive the regional failure model,
+          so missing coordinates escalate from info to error *)
 }
 
 val config :
@@ -28,8 +46,13 @@ val config :
   ?matrix:Matrix.t ->
   ?reserves:int array ->
   ?loads:float array ->
+  ?import:import ->
+  ?regional:bool ->
   Graph.t ->
   config
+(** [regional] defaults to [false].
+    @raise Invalid_argument when [import] coordinates do not have one
+    slot per node. *)
 
 val effective_loads : config -> float array option
 (** The declared [loads] when present, otherwise

@@ -1,0 +1,71 @@
+open Arnet_topology
+
+let counter_findings (i : Check.import) =
+  let finding code count what =
+    if count = 0 then []
+    else
+      [ Diagnostic.warning ~code Diagnostic.Network
+          (Printf.sprintf
+             "the source file had %d %s%s; the importer %s" count what
+             (if count = 1 then "" else "s")
+             (if code = "import-parallel-edge" then
+                "merged them, summing capacities"
+              else "dropped them")) ]
+  in
+  finding "import-parallel-edge" i.Check.merged_parallel "parallel edge"
+  @ finding "import-self-loop" i.Check.dropped_self_loops "self-loop edge"
+
+let coord_findings (c : Check.config) (i : Check.import) =
+  let missing = ref [] in
+  Array.iteri
+    (fun v coord -> if coord = None then missing := v :: !missing)
+    i.Check.coords;
+  List.rev_map
+    (fun v ->
+      let msg =
+        Printf.sprintf "node %s has no coordinates%s" (Graph.label c.graph v)
+          (if c.Check.regional then
+             ": the regional failure model needs a planar position for \
+              every node"
+           else "")
+      in
+      if c.Check.regional then
+        Diagnostic.error ~code:"import-no-coords" (Diagnostic.Node v) msg
+      else Diagnostic.info ~code:"import-no-coords" (Diagnostic.Node v) msg)
+    !missing
+
+let isolation_findings (c : Check.config) =
+  let g = c.Check.graph in
+  let acc = ref [] in
+  for v = Graph.node_count g - 1 downto 0 do
+    if Graph.degree_out g v = 0 && Graph.degree_in g v = 0 then
+      acc :=
+        Diagnostic.warning ~code:"import-isolated-node" (Diagnostic.Node v)
+          (Printf.sprintf
+             "node %s has no links at all: every pair involving it is \
+              unroutable"
+             (Graph.label g v))
+        :: !acc
+  done;
+  !acc
+
+let run (c : Check.config) =
+  match c.Check.import with
+  | None -> []
+  | Some i -> counter_findings i @ coord_findings c i @ isolation_findings c
+
+let check =
+  Check.make ~name:"import"
+    ~describe:
+      "import hygiene: merged parallel edges, dropped self-loops, \
+       isolated nodes, missing coordinates (errors under --regional)"
+    ~codes:
+      [ ("import-parallel-edge",
+         "the source file had parallel edges; the importer merged them");
+        ("import-self-loop",
+         "the source file had self-loop edges; the importer dropped them");
+        ("import-isolated-node", "an imported node has no links at all");
+        ("import-no-coords",
+         "a node lacks coordinates (error when the regional failure \
+          model is requested)") ]
+    run

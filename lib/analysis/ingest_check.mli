@@ -1,0 +1,15 @@
+(** Import hygiene: findings about what a topology file contained
+    before the importer sanitised it.
+
+    The importer merges parallel edges, drops self-loops and tolerates
+    missing coordinates, so the resulting graph always passes the
+    structural {!Topology_check}s those raw defects would trip.  This
+    check reads the {!Check.config.import} metadata instead and reports
+    what was cleaned up — and, when the configuration declares the
+    regional failure model ({!Check.config.regional}), escalates missing
+    coordinates to errors, since that model needs planar positions for
+    every node.  Silent when the configuration carries no import
+    metadata. *)
+
+val check : Check.t
+(** Registered as ["import"] by {!Lint}. *)

@@ -1,5 +1,6 @@
 let () =
   Check.register Topology_check.check;
+  Check.register Ingest_check.check;
   Check.register Route_check.check;
   Check.register Protection_check.check;
   Check.register Traffic_check.check

@@ -45,22 +45,30 @@ let rec scan_alternates admission occupancy paths outcomes i =
   then Array.unsafe_get outcomes i
   else scan_alternates admission occupancy paths outcomes (i + 1)
 
-let compile ~name ~routes ~admission ~allow_alternates =
+let compile ?(domains = 1) ~name ~routes ~admission ~allow_alternates () =
   let n = Graph.node_count (Route_table.graph routes) in
-  let plans =
-    Array.init (n * n) (fun idx ->
-        let src = idx / n and dst = idx mod n in
-        if src = dst || not (Route_table.has_route routes ~src ~dst) then
-          unroutable
-        else begin
-          let p = Route_table.primary routes ~src ~dst in
-          let alts = Route_table.alternate_array routes ~src ~dst in
-          { plan_primary = Some p;
-            routed_primary = Engine.Routed p;
-            alt_paths = alts;
-            alt_outcomes = Array.map (fun q -> Engine.Routed q) alts }
-        end)
+  let plan_for src dst =
+    if src = dst || not (Route_table.has_route routes ~src ~dst) then
+      unroutable
+    else begin
+      let p = Route_table.primary routes ~src ~dst in
+      let alts = Route_table.alternate_array routes ~src ~dst in
+      { plan_primary = Some p;
+        routed_primary = Engine.Routed p;
+        alt_paths = alts;
+        alt_outcomes = Array.map (fun q -> Engine.Routed q) alts }
+    end
   in
+  (* per-source rows shard across domains; each plan depends only on its
+     own pair's table entry, so the assembled array is bit-identical to
+     the sequential Array.init for every domain count *)
+  let rows =
+    Pool.map ~domains
+      (fun src -> Array.init n (fun dst -> plan_for src dst))
+      (List.init n Fun.id)
+  in
+  let plans = Array.make (n * n) unroutable in
+  List.iteri (fun src row -> Array.blit row 0 plans (src * n) n) rows;
   let decide ~occupancy ~(call : Trace.call) =
     let plan = plans.((call.Trace.src * n) + call.Trace.dst) in
     match plan.plan_primary with

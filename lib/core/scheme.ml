@@ -13,12 +13,13 @@ let is_primary_checker routes choice ~call p =
   | Some primary -> Path.equal p primary
   | None -> false
 
-let two_tier ?observer ~name ~choice ~allow_alternates ~admission routes =
+let two_tier ?observer ?domains ~name ~choice ~allow_alternates ~admission
+    routes =
   match (observer, choice) with
   | None, Controller.Table ->
     (* the benchmark configuration: compiled, allocation-free decisions
        (identical outcomes to the generic path below) *)
-    Controller.compile ~name ~routes ~admission ~allow_alternates
+    Controller.compile ?domains ~name ~routes ~admission ~allow_alternates ()
   | _ ->
     { Engine.name;
       decide =
@@ -27,30 +28,33 @@ let two_tier ?observer ~name ~choice ~allow_alternates ~admission routes =
             ~allow_alternates ~occupancy call);
       is_primary = is_primary_checker routes choice }
 
-let single_path ?(choice = Controller.Table) ?observer routes =
+let single_path ?(choice = Controller.Table) ?observer ?domains routes =
   let admission = Admission.unprotected ~capacities:(capacities_of routes) in
-  two_tier ?observer ~name:"single-path" ~choice ~allow_alternates:false
-    ~admission routes
+  two_tier ?observer ?domains ~name:"single-path" ~choice
+    ~allow_alternates:false ~admission routes
 
-let uncontrolled ?(choice = Controller.Table) ?observer routes =
+let uncontrolled ?(choice = Controller.Table) ?observer ?domains routes =
   let admission = Admission.unprotected ~capacities:(capacities_of routes) in
-  two_tier ?observer ~name:"uncontrolled" ~choice ~allow_alternates:true
-    ~admission routes
+  two_tier ?observer ?domains ~name:"uncontrolled" ~choice
+    ~allow_alternates:true ~admission routes
 
-let controlled ?(choice = Controller.Table) ?observer ~reserves routes =
+let controlled ?(choice = Controller.Table) ?observer ?domains ~reserves
+    routes =
   let admission = Admission.make ~capacities:(capacities_of routes) ~reserves in
-  two_tier ?observer ~name:"controlled" ~choice ~allow_alternates:true
-    ~admission routes
+  two_tier ?observer ?domains ~name:"controlled" ~choice
+    ~allow_alternates:true ~admission routes
 
-let protected ?(choice = Controller.Table) ?observer ~reserves routes =
+let protected ?(choice = Controller.Table) ?observer ?domains ~reserves
+    routes =
   let admission = Admission.make ~capacities:(capacities_of routes) ~reserves in
-  two_tier ?observer ~name:"protected" ~choice ~allow_alternates:true
-    ~admission routes
+  two_tier ?observer ?domains ~name:"protected" ~choice
+    ~allow_alternates:true ~admission routes
 
-let controlled_auto ?(choice = Controller.Table) ?observer ?h ~matrix routes =
+let controlled_auto ?(choice = Controller.Table) ?observer ?domains ?h
+    ~matrix routes =
   let h = match h with None -> Route_table.h routes | Some h -> h in
   let reserves = Protection.levels routes matrix ~h in
-  controlled ~choice ?observer ~reserves routes
+  controlled ~choice ?observer ?domains ~reserves routes
 
 let controlled_per_link_h ?(choice = Controller.Table) ?observer ~matrix
     routes =

@@ -20,12 +20,19 @@ open Arnet_sim
 val single_path :
   ?choice:Controller.primary_choice ->
   ?observer:(Arnet_obs.Event.t -> unit) ->
+  ?domains:int ->
   Route_table.t -> Engine.policy
-(** Tier 1 only: a call completes on its primary path or is lost. *)
+(** Tier 1 only: a call completes on its primary path or is lost.
+    [?domains] (here and on the other compiled constructors) shards
+    {!Controller.compile}'s per-source plan rows across OCaml domains —
+    it changes compilation wall-clock at 1000+ nodes, never the compiled
+    decisions — and is ignored on the observed/bifurcated generic
+    path. *)
 
 val uncontrolled :
   ?choice:Controller.primary_choice ->
   ?observer:(Arnet_obs.Event.t -> unit) ->
+  ?domains:int ->
   Route_table.t -> Engine.policy
 (** Alternate routing with no protection: any alternate with a free
     circuit on every link is taken. *)
@@ -33,6 +40,7 @@ val uncontrolled :
 val controlled :
   ?choice:Controller.primary_choice ->
   ?observer:(Arnet_obs.Event.t -> unit) ->
+  ?domains:int ->
   reserves:int array -> Route_table.t -> Engine.policy
 (** The paper's scheme: alternates admitted per-link only below
     [capacity - reserve].  [reserves] is indexed by link id — usually
@@ -41,6 +49,7 @@ val controlled :
 val protected :
   ?choice:Controller.primary_choice ->
   ?observer:(Arnet_obs.Event.t -> unit) ->
+  ?domains:int ->
   reserves:int array -> Route_table.t -> Engine.policy
 (** Protection-path routing (named ["protected"]): same two-tier
     decision rule as {!controlled}, intended for a
@@ -52,6 +61,7 @@ val protected :
 val controlled_auto :
   ?choice:Controller.primary_choice ->
   ?observer:(Arnet_obs.Event.t -> unit) ->
+  ?domains:int ->
   ?h:int -> matrix:Matrix.t -> Route_table.t -> Engine.policy
 (** Convenience: computes reserves from the matrix via
     {!Protection.levels} with [h] defaulting to the route table's own

@@ -101,6 +101,42 @@ let compare ?(tolerance = 10.) ~old_doc ~new_doc () =
             section_metrics)
       old_sections
   in
+  (* the compile sweep: rows matched by mesh size; the gated quantities
+     are the speedups of the memoized and incremental builders over the
+     sequential per-pair rebuild, which are machine-relative and so
+     comparable across containers where raw seconds are not *)
+  let compile_rows =
+    let rows_of doc =
+      match J.member "compile" doc with
+      | Some (J.List rows) ->
+        List.filter_map
+          (fun r ->
+            match J.member "nodes" r with
+            | Some (J.Int n) -> Some (n, r)
+            | _ -> None)
+          rows
+      | _ -> []
+    in
+    let old_rows = rows_of old_doc and new_rows = rows_of new_doc in
+    List.concat_map
+      (fun (nodes, old_r) ->
+        match List.assoc_opt nodes new_rows with
+        | None -> []
+        | Some new_r ->
+          List.filter_map
+            (fun metric ->
+              match
+                (float_member metric old_r, float_member metric new_r)
+              with
+              | Some old_value, Some new_value ->
+                Some
+                  (row ~tolerance
+                     ~section:(Printf.sprintf "compile:n%d" nodes)
+                     ~metric ~direction:Higher ~old_value ~new_value)
+              | _ -> None)
+            [ "memoized_speedup"; "patch_speedup" ])
+      old_rows
+  in
   let service_rows =
     match (J.member "service" old_doc, J.member "service" new_doc) with
     | Some old_s, Some new_s -> (
@@ -128,7 +164,7 @@ let compare ?(tolerance = 10.) ~old_doc ~new_doc () =
     else []
   in
   { tolerance;
-    rows = section_rows @ service_rows @ total_rows;
+    rows = section_rows @ compile_rows @ service_rows @ total_rows;
     missing_in_new;
     extra_in_new }
 

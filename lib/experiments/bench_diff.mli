@@ -7,6 +7,11 @@
       and [minor_words_per_call] (lower is better — measured against
       [max(old, 1)] word/call so allocation-free sections cannot
       regress on noise);
+    - per compile-sweep row (matched by mesh size):
+      [memoized_speedup] and [patch_speedup] over the sequential
+      per-pair rebuild (higher is better — speedups are
+      machine-relative, so they compare across containers where raw
+      seconds would not);
     - [service.requests_per_s] (higher is better);
     - [total_calls_per_s], only when the two runs recorded exactly the
       same section set (totals over different sections are not

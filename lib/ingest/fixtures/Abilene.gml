@@ -1,0 +1,146 @@
+# Abilene, the Internet2 backbone (11 PoPs, 14 trunks), in the
+# Topology-Zoo GML dialect.  Capacities are in calls, matching the
+# repo-wide convention (Section 2 of the paper): one OC-192 trunk is
+# modelled as 100 circuits.
+graph [
+  directed 0
+  label "Abilene"
+  Network "Abilene"
+  Creator "hand-transcribed fixture"
+  node [
+    id 0
+    label "Seattle"
+    Longitude -122.33
+    Latitude 47.61
+  ]
+  node [
+    id 1
+    label "Sunnyvale"
+    Longitude -122.04
+    Latitude 37.37
+  ]
+  node [
+    id 2
+    label "Los Angeles"
+    Longitude -118.24
+    Latitude 34.05
+  ]
+  node [
+    id 3
+    label "Denver"
+    Longitude -104.98
+    Latitude 39.74
+  ]
+  node [
+    id 4
+    label "Kansas City"
+    Longitude -94.58
+    Latitude 39.10
+  ]
+  node [
+    id 5
+    label "Houston"
+    Longitude -95.37
+    Latitude 29.76
+  ]
+  node [
+    id 6
+    label "Chicago"
+    Longitude -87.63
+    Latitude 41.88
+  ]
+  node [
+    id 7
+    label "Indianapolis"
+    Longitude -86.16
+    Latitude 39.77
+  ]
+  node [
+    id 8
+    label "Atlanta"
+    Longitude -84.39
+    Latitude 33.75
+  ]
+  node [
+    id 9
+    label "Washington DC"
+    Longitude -77.04
+    Latitude 38.91
+  ]
+  node [
+    id 10
+    label "New York"
+    Longitude -74.01
+    Latitude 40.71
+  ]
+  edge [
+    source 0
+    target 1
+    capacity 100
+  ]
+  edge [
+    source 0
+    target 3
+    capacity 100
+  ]
+  edge [
+    source 1
+    target 2
+    capacity 100
+  ]
+  edge [
+    source 1
+    target 3
+    capacity 100
+  ]
+  edge [
+    source 2
+    target 5
+    capacity 100
+  ]
+  edge [
+    source 3
+    target 4
+    capacity 100
+  ]
+  edge [
+    source 4
+    target 5
+    capacity 100
+  ]
+  edge [
+    source 4
+    target 7
+    capacity 100
+  ]
+  edge [
+    source 5
+    target 8
+    capacity 100
+  ]
+  edge [
+    source 6
+    target 7
+    capacity 100
+  ]
+  edge [
+    source 6
+    target 10
+    capacity 100
+  ]
+  edge [
+    source 7
+    target 8
+    capacity 100
+  ]
+  edge [
+    source 8
+    target 9
+    capacity 100
+  ]
+  edge [
+    source 9
+    target 10
+    capacity 100
+  ]
+]

@@ -1,0 +1,172 @@
+# A GEANT-shaped European core (12 PoPs, 17 trunks) in the
+# Topology-Zoo GML dialect.  Deliberately messier than Abilene to
+# exercise the importer: capacities arrive as "bandwidth" or
+# "LinkSpeed" (or are missing and take the default), and the
+# London--Paris trunk appears twice — the importer merges the parallel
+# edge (summing capacities) and the lint layer reports it.
+graph [
+  directed 0
+  label "Geant"
+  Network "Geant"
+  node [
+    id 1
+    label "London"
+    Longitude -0.13
+    Latitude 51.51
+  ]
+  node [
+    id 2
+    label "Paris"
+    Longitude 2.35
+    Latitude 48.86
+  ]
+  node [
+    id 3
+    label "Amsterdam"
+    Longitude 4.90
+    Latitude 52.37
+  ]
+  node [
+    id 4
+    label "Brussels"
+    Longitude 4.35
+    Latitude 50.85
+  ]
+  node [
+    id 5
+    label "Frankfurt"
+    Longitude 8.68
+    Latitude 50.11
+  ]
+  node [
+    id 6
+    label "Geneva"
+    Longitude 6.14
+    Latitude 46.20
+  ]
+  node [
+    id 7
+    label "Milan"
+    Longitude 9.19
+    Latitude 45.46
+  ]
+  node [
+    id 8
+    label "Vienna"
+    Longitude 16.37
+    Latitude 48.21
+  ]
+  node [
+    id 9
+    label "Prague"
+    Longitude 14.42
+    Latitude 50.09
+  ]
+  node [
+    id 10
+    label "Budapest"
+    Longitude 19.04
+    Latitude 47.50
+  ]
+  node [
+    id 11
+    label "Madrid"
+    Longitude -3.70
+    Latitude 40.42
+  ]
+  node [
+    id 12
+    label "Copenhagen"
+    Longitude 12.57
+    Latitude 55.68
+  ]
+  edge [
+    source 1
+    target 2
+    bandwidth 60
+  ]
+  edge [
+    source 1
+    target 2
+    bandwidth 60
+  ]
+  edge [
+    source 1
+    target 3
+    bandwidth 120
+  ]
+  edge [
+    source 2
+    target 4
+    LinkSpeed 80
+  ]
+  edge [
+    source 4
+    target 3
+    LinkSpeed 80
+  ]
+  edge [
+    source 3
+    target 5
+    bandwidth 120
+  ]
+  edge [
+    source 3
+    target 12
+    bandwidth 80
+  ]
+  edge [
+    source 5
+    target 12
+    bandwidth 80
+  ]
+  edge [
+    source 5
+    target 9
+    bandwidth 80
+  ]
+  edge [
+    source 5
+    target 6
+    bandwidth 120
+  ]
+  edge [
+    source 2
+    target 6
+    bandwidth 120
+  ]
+  edge [
+    source 6
+    target 7
+    bandwidth 80
+  ]
+  edge [
+    source 7
+    target 8
+    bandwidth 80
+  ]
+  edge [
+    source 8
+    target 9
+    bandwidth 80
+  ]
+  edge [
+    source 8
+    target 10
+    bandwidth 60
+  ]
+  edge [
+    source 9
+    target 10
+  ]
+  edge [
+    source 2
+    target 11
+    bandwidth 60
+  ]
+  edge [
+    source 11
+    target 6
+    bandwidth 60
+  ]
+]

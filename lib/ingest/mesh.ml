@@ -1,0 +1,73 @@
+open Arnet_topology
+
+let dist coords i j =
+  let xi, yi = coords.(i) and xj, yj = coords.(j) in
+  let dx = xi -. xj and dy = yi -. yj in
+  (dx *. dx) +. (dy *. dy)
+
+let random_mesh ?(seed = 0) ?(capacity = 100) ?(degree = 4) ~nodes () =
+  if nodes < 2 then invalid_arg "Mesh.random_mesh: nodes < 2";
+  if degree < 2 then invalid_arg "Mesh.random_mesh: degree < 2";
+  if capacity < 0 then invalid_arg "Mesh.random_mesh: capacity < 0";
+  let rng = Random.State.make [| 0x6d657368; seed; nodes; degree |] in
+  let coords =
+    Array.init nodes (fun _ ->
+        let x = Random.State.float rng 1. in
+        let y = Random.State.float rng 1. in
+        (x, y))
+  in
+  let deg = Array.make nodes 0 in
+  let linked = Hashtbl.create (nodes * degree) in
+  let edges = ref [] in
+  let connect i j =
+    Hashtbl.add linked (min i j, max i j) ();
+    deg.(i) <- deg.(i) + 1;
+    deg.(j) <- deg.(j) + 1;
+    edges := (i, j) :: !edges
+  in
+  (* spanning structure: node i joins its nearest predecessor with spare
+     degree.  Predecessors 0..i-1 carry i-1 edges in total, so with
+     degree >= 2 a spare slot always exists. *)
+  for i = 1 to nodes - 1 do
+    let best = ref (-1) in
+    for j = 0 to i - 1 do
+      if
+        deg.(j) < degree
+        && (!best < 0 || dist coords i j < dist coords i !best)
+      then best := j
+    done;
+    connect i !best
+  done;
+  (* chords: spend remaining degree budget on nearest neighbours,
+     closest pairs first per node *)
+  for i = 0 to nodes - 1 do
+    if deg.(i) < degree then begin
+      let others =
+        List.init nodes Fun.id
+        |> List.filter (fun j ->
+               j <> i && not (Hashtbl.mem linked (min i j, max i j)))
+        |> List.sort (fun a b -> compare (dist coords i a) (dist coords i b))
+      in
+      List.iter
+        (fun j ->
+          if deg.(i) < degree && deg.(j) < degree then connect i j)
+        others
+    end
+  done;
+  let labels = Array.init nodes (Printf.sprintf "n%d") in
+  let graph =
+    Graph.of_edges ~labels ~nodes ~capacity (List.rev !edges)
+  in
+  Topo.make
+    ~name:(Printf.sprintf "mesh%d-d%d-s%d" nodes degree seed)
+    ~coords:(Array.map (fun c -> Some c) coords)
+    graph
+
+let gravity ?total (t : Topo.t) =
+  let g = t.Topo.graph in
+  let total =
+    match total with
+    | Some x -> x
+    | None -> 5. *. float_of_int (Graph.node_count g)
+  in
+  Arnet_traffic.Gravity.degree_weighted g ~total

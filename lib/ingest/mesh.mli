@@ -1,0 +1,25 @@
+(** ISP-scale synthetic topologies for the compile benchmarks.
+
+    Real backbone meshes are sparse, geographic and degree-bounded;
+    {!random_mesh} reproduces that shape deterministically: nodes are
+    scattered uniformly on the unit square, a spanning tree connects
+    each node to its nearest already-placed neighbour with spare degree,
+    and remaining degree budget is spent on nearest-neighbour chords.
+    Every edge is a pair of opposite links, so the result is symmetric
+    and strongly connected, and no node's undirected degree exceeds the
+    bound. *)
+
+val random_mesh :
+  ?seed:int -> ?capacity:int -> ?degree:int -> nodes:int -> unit -> Topo.t
+(** [random_mesh ~nodes ()] builds a mesh over [nodes >= 2] nodes named
+    [n0 .. n<n-1>], every link of the given [capacity] (default 100),
+    undirected degree at most [degree] (default 4, minimum 2).  The
+    result is a pure function of [(seed, capacity, degree, nodes)];
+    [seed] defaults to 0.  Coordinates are populated, so the regional
+    failure model and the coordinate lint checks apply.
+    @raise Invalid_argument on a bad parameter. *)
+
+val gravity : ?total:float -> Topo.t -> Arnet_traffic.Matrix.t
+(** Degree-weighted gravity traffic for a topology
+    ({!Arnet_traffic.Gravity.degree_weighted}); [total] (default
+    [5 * nodes]) is the summed offered load in Erlangs. *)

@@ -17,56 +17,83 @@ type stats = {
   total_blocked_bandwidth : int;
 }
 
-let run ?(warmup = 10.) ~graph ~workload ~policy ~duration calls =
+(* the same structure-of-arrays treatment as Engine.run: departure
+   payloads are call indices (an immediate int), the seized link ids are
+   remembered by aliasing the routed path's own immutable link_ids (no
+   per-admit copy), deadlines are read from the trace's packed
+   [ends]/[times] columns, and the primary-hop lookup keys a dense
+   [n*n] int table instead of a tuple-keyed hashtable — so the per-call
+   steady-state path allocates no minor-heap words *)
+let run ?(warmup = 10.) ~graph ~workload ~policy ~duration
+    (trace : Mr_trace.t) =
   if warmup < 0. || warmup >= duration then
     invalid_arg "Mr_engine.run: warmup must be in [0, duration)";
   if Mr_trace.nodes workload <> Graph.node_count graph then
     invalid_arg "Mr_engine.run: workload/graph size mismatch";
+  let calls = trace.Mr_trace.calls in
+  let times = trace.Mr_trace.times and ends = trace.Mr_trace.ends in
   let classes = workload.Mr_trace.classes in
   let nc = Array.length classes in
+  let n = Graph.node_count graph in
   let m = Graph.link_count graph in
   let capacity = Array.make m 0 in
   Graph.iter_links (fun l -> capacity.(l.Link.id) <- l.Link.capacity) graph;
+  let class_bw =
+    Array.map (fun (c : Call_class.t) -> c.Call_class.bandwidth) classes
+  in
   let occupancy = Array.make m 0 in
-  let departures : (int array * int) Event_queue.t = Event_queue.create () in
+  let departures : int Event_queue.t = Event_queue.create () in
+  let admitted = Array.make (max 1 (Array.length calls)) [||] in
   let offered = Array.make nc 0 and blocked = Array.make nc 0 in
   let carried_alternate = ref 0 in
   let offered_bw = ref 0 and blocked_bw = ref 0 in
-  let routes_primary_hops = Hashtbl.create 64 in
+  (* min_int = not computed yet; -1 = unroutable pair *)
+  let hops_table = Array.make (n * n) min_int in
   let primary_hops src dst =
-    match Hashtbl.find_opt routes_primary_hops (src, dst) with
-    | Some h -> h
-    | None ->
+    let key = (src * n) + dst in
+    let h = Array.unsafe_get hops_table key in
+    if h <> min_int then h
+    else begin
       let h =
         match Bfs.min_hop_path graph ~src ~dst with
         | Some p -> Path.hops p
         | None -> -1
       in
-      Hashtbl.add routes_primary_hops (src, dst) h;
+      hops_table.(key) <- h;
       h
+    end
   in
-  let release _time (link_ids, bandwidth) =
-    Array.iter
-      (fun id ->
-        occupancy.(id) <- occupancy.(id) - bandwidth;
-        assert (occupancy.(id) >= 0))
-      link_ids
+  let rec release_ids ids bandwidth i =
+    if i < Array.length ids then begin
+      let id = Array.unsafe_get ids i in
+      occupancy.(id) <- occupancy.(id) - bandwidth;
+      assert (occupancy.(id) >= 0);
+      release_ids ids bandwidth (i + 1)
+    end
   in
-  let admit (call : Mr_trace.call) (p : Path.t) bandwidth =
-    Array.iter
-      (fun id ->
-        if occupancy.(id) + bandwidth > capacity.(id) then
-          invalid_arg "Mr_engine.run: policy oversubscribed a link";
-        occupancy.(id) <- occupancy.(id) + bandwidth)
-      p.Path.link_ids;
-    Event_queue.push departures
-      ~time:(call.Mr_trace.time +. call.Mr_trace.holding)
-      (Array.copy p.Path.link_ids, bandwidth)
+  let release j =
+    let ids = admitted.(j) in
+    let bandwidth = class_bw.((Array.unsafe_get calls j).Mr_trace.class_index) in
+    release_ids ids bandwidth 0;
+    admitted.(j) <- [||]  (* drop the alias once the call departs *)
   in
-  let handle (call : Mr_trace.call) =
-    Event_queue.pop_until departures ~time:call.Mr_trace.time ~f:release;
+  let rec occupy ids bandwidth i =
+    if i < Array.length ids then begin
+      let id = Array.unsafe_get ids i in
+      if id < 0 || id >= m then
+        invalid_arg "Mr_engine.run: policy routed over unknown link";
+      if occupancy.(id) + bandwidth > capacity.(id) then
+        invalid_arg "Mr_engine.run: policy oversubscribed a link";
+      occupancy.(id) <- occupancy.(id) + bandwidth;
+      occupy ids bandwidth (i + 1)
+    end
+  in
+  let handle i (call : Mr_trace.call) =
+    while Event_queue.next_due departures ~deadlines:times i do
+      release (Event_queue.pop_payload departures)
+    done;
     let ci = call.Mr_trace.class_index in
-    let bandwidth = classes.(ci).Call_class.bandwidth in
+    let bandwidth = Array.unsafe_get class_bw ci in
     let measured = call.Mr_trace.time >= warmup in
     if measured then begin
       offered.(ci) <- offered.(ci) + 1;
@@ -81,13 +108,15 @@ let run ?(warmup = 10.) ~graph ~workload ~policy ~duration calls =
     | Routed p ->
       if Path.src p <> call.Mr_trace.src || Path.dst p <> call.Mr_trace.dst
       then invalid_arg "Mr_engine.run: wrong endpoints";
-      admit call p bandwidth;
+      occupy p.Path.link_ids bandwidth 0;
+      admitted.(i) <- p.Path.link_ids;
+      Event_queue.push_at departures ~times:ends i i;
       if
         measured
         && Path.hops p > primary_hops call.Mr_trace.src call.Mr_trace.dst
       then incr carried_alternate
   in
-  Array.iter handle calls;
+  Array.iteri handle calls;
   { offered;
     blocked;
     carried_alternate = !carried_alternate;
@@ -114,17 +143,17 @@ let replicate ?warmup ?(domains = 1) ~seeds ~duration ~graph ~workload
   if seeds = [] then invalid_arg "Mr_engine.replicate: no seeds";
   if domains < 1 then
     invalid_arg "Mr_engine.replicate: domains must be >= 1";
-  let calls_for seed =
+  let trace_for seed =
     let rng = Rng.substream (Rng.create ~seed) "mr-trace" in
     Mr_trace.generate ~rng ~duration workload
   in
   if domains = 1 then begin
     let results = List.map (fun p -> (p.name, ref [])) policies in
     let one_seed seed =
-      let calls = calls_for seed in
+      let trace = trace_for seed in
       List.iter2
         (fun policy (_, acc) ->
-          acc := run ?warmup ~graph ~workload ~policy ~duration calls :: !acc)
+          acc := run ?warmup ~graph ~workload ~policy ~duration trace :: !acc)
         policies results
     in
     List.iter one_seed seeds;
@@ -142,8 +171,8 @@ let replicate ?warmup ?(domains = 1) ~seeds ~duration ~graph ~workload
         (List.init (Array.length seed_arr) Fun.id)
     in
     let one (si, pi) =
-      let calls = calls_for seed_arr.(si) in
-      run ?warmup ~graph ~workload ~policy:policy_arr.(pi) ~duration calls
+      let trace = trace_for seed_arr.(si) in
+      run ?warmup ~graph ~workload ~policy:policy_arr.(pi) ~duration trace
     in
     let stats =
       try Pool.map ~domains one jobs

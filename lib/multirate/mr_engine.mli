@@ -25,8 +25,13 @@ type stats = {
 val run :
   ?warmup:float ->
   graph:Graph.t -> workload:Mr_trace.workload -> policy:policy ->
-  duration:float -> Mr_trace.call array -> stats
-(** @raise Invalid_argument if the policy oversubscribes a link or on
+  duration:float -> Mr_trace.t -> stats
+(** Replays a trace.  Structured like {!Arnet_sim.Engine.run}: the
+    steady-state per-call path (admit, departure drain, class counters)
+    allocates no minor-heap words — departure payloads are call
+    indices, seized links alias the routed path's own [link_ids], and
+    event times come from the trace's packed columns.
+    @raise Invalid_argument if the policy oversubscribes a link or on
     size mismatches. *)
 
 val class_blocking : stats -> int -> float

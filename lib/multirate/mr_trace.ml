@@ -34,6 +34,26 @@ type call = {
   u : float;
 }
 
+type t = {
+  calls : call array;
+  times : float array;
+  ends : float array;
+}
+
+let of_calls calls =
+  let n = Array.length calls in
+  let times = Array.make n 0. and ends = Array.make n 0. in
+  let prev = ref neg_infinity in
+  Array.iteri
+    (fun i c ->
+      if c.time < !prev then
+        invalid_arg "Mr_trace.of_calls: calls not sorted by time";
+      prev := c.time;
+      times.(i) <- c.time;
+      ends.(i) <- c.time +. c.holding)
+    calls;
+  { calls; times; ends }
+
 let generate ~rng ~duration w =
   if duration <= 0. then invalid_arg "Mr_trace.generate: bad duration";
   (* flatten (class, pair) streams into one inverse-cdf table *)
@@ -71,4 +91,4 @@ let generate ~rng ~duration w =
     out := { time = !t; src; dst; holding; class_index = ci; u } :: !out;
     t := !t +. Rng.exponential rng ~rate:total
   done;
-  Array.of_list (List.rev !out)
+  of_calls (Array.of_list (List.rev !out))

@@ -24,8 +24,23 @@ type call = {
   u : float;
 }
 
-val generate :
-  rng:Arnet_sim.Rng.t -> duration:float -> workload -> call array
+type t = private {
+  calls : call array;
+  times : float array;  (** [times.(i) = calls.(i).time] *)
+  ends : float array;  (** [ends.(i) = calls.(i).time + calls.(i).holding] *)
+}
+(** A replayable trace: the call records plus packed arrival/departure
+    columns, the same structure-of-arrays split as
+    {!Arnet_sim.Trace.t} — the engine's drain loop and departure pushes
+    read the float columns directly, so the per-call hot path never
+    boxes a time. *)
+
+val of_calls : call array -> t
+(** Wrap a hand-built call array (must be sorted by [time]), deriving
+    the packed columns.
+    @raise Invalid_argument when out of order. *)
+
+val generate : rng:Arnet_sim.Rng.t -> duration:float -> workload -> t
 (** Superposed Poisson arrivals over classes and pairs, holding times
     exponential with each class's mean; sorted by time.
     @raise Invalid_argument when total demand is zero. *)

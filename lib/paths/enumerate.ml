@@ -25,6 +25,32 @@ let dfs ?max_hops g ~src ~dst ~visit =
   in
   explore src 0
 
+let paths_from ?max_hops g ~src =
+  let n = Graph.node_count g in
+  if src < 0 || src >= n then invalid_arg "Enumerate.paths_from: bad node index";
+  let cap = match max_hops with None -> n - 1 | Some h -> min h (n - 1) in
+  if cap < 1 then invalid_arg "Enumerate.paths_from: max_hops < 1";
+  let acc = Array.make n [] in
+  let on_path = Array.make n false in
+  let stack = Array.make (cap + 1) 0 in
+  (* one DFS tree for the whole row: every visited prefix *is* a simple
+     path to its endpoint, so each destination's bucket collects exactly
+     the set the per-pair [dfs] would have found — at the cost of one
+     tree instead of [n - 1] almost-identical ones *)
+  let rec explore v depth =
+    stack.(depth) <- v;
+    if v <> src then
+      acc.(v) <- Path.of_nodes_unchecked g (Array.sub stack 0 (depth + 1)) :: acc.(v);
+    if depth < cap then begin
+      on_path.(v) <- true;
+      let step w = if not on_path.(w) && w <> src then explore w (depth + 1) in
+      List.iter step (Graph.successors g v);
+      on_path.(v) <- false
+    end
+  in
+  explore src 0;
+  Array.map (List.sort Path.compare_by_length) acc
+
 let simple_paths ?max_hops g ~src ~dst =
   let acc = ref [] in
   dfs ?max_hops g ~src ~dst ~visit:(fun nodes ->

@@ -14,6 +14,14 @@ val simple_paths : ?max_hops:int -> Graph.t -> src:int -> dst:int -> Path.t list
     sorted by {!Path.compare_by_length}.
     @raise Invalid_argument if [src = dst] or indices are bad. *)
 
+val paths_from : ?max_hops:int -> Graph.t -> src:int -> Path.t list array
+(** One whole route-table row at once: slot [dst] holds exactly
+    [simple_paths ?max_hops g ~src ~dst] (slot [src] is empty).  A single
+    shared DFS tree replaces [n - 1] per-pair trees that would each
+    re-explore almost the same prefixes, which is what makes route-table
+    construction tractable at 1000+ nodes.
+    @raise Invalid_argument on a bad index or [max_hops < 1]. *)
+
 val count_simple_paths : ?max_hops:int -> Graph.t -> src:int -> dst:int -> int
 (** Path count without materializing paths. *)
 

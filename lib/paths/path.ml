@@ -17,6 +17,13 @@ let resolve g nodes =
 
 let of_nodes_unchecked g nodes = resolve g nodes
 
+let with_link_ids_unchecked ~nodes ~link_ids =
+  if Array.length nodes < 2 then
+    invalid_arg "Path.with_link_ids_unchecked: need at least two nodes";
+  if Array.length link_ids <> Array.length nodes - 1 then
+    invalid_arg "Path.with_link_ids_unchecked: link_ids/nodes length mismatch";
+  { nodes; link_ids }
+
 let make g node_list =
   let nodes = Array.of_list node_list in
   let seen = Hashtbl.create (Array.length nodes) in

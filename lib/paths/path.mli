@@ -26,6 +26,16 @@ val of_nodes_unchecked : Graph.t -> int array -> t
 (** Trusted constructor for algorithms that already guarantee validity.
     Still resolves (and therefore checks existence of) every link. *)
 
+val with_link_ids_unchecked : nodes:int array -> link_ids:int array -> t
+(** Fully trusted constructor: no graph lookup at all.  The caller owns
+    both invariants — [nodes] is a loop-free path and [link_ids.(i)] is
+    the id of link [nodes.(i) -> nodes.(i+1)] in whatever graph the path
+    will be used against.  Exists for {!Route_table.patch}, which
+    relocates surviving paths onto a graph whose link ids were renumbered
+    by {!Arnet_topology.Graph.without_links}; both arrays are adopted
+    without copying (see the aliasing invariant above).
+    @raise Invalid_argument on a length mismatch. *)
+
 val hops : t -> int
 (** Number of links. *)
 

@@ -11,20 +11,63 @@ type entry = {
    order — precomputed at build time so the per-call decision never
    filters a list (Controller iterates it index-wise, allocation-free). *)
 
-type t = { graph : Graph.t; h : int; entries : entry array array }
+type kind = Minhop | Custom | Protected
+(* Minhop tables (the default build) are the only patchable kind: the
+   primary is a pure function of the pair's min-hop path set, so the
+   affected-pair analysis of [patch] is exact.  Custom-primary and
+   Suurballe-protected tables must be rebuilt from scratch. *)
 
-let build ?h ?primary g =
+type t = { graph : Graph.t; h : int; entries : entry array array; kind : kind }
+
+let empty_entry = { primary = None; candidates = []; primary_alternates = [||] }
+
+let mk_entry primary candidates =
+  let primary_alternates =
+    match primary with
+    | None -> [||]
+    | Some p ->
+      Array.of_list (List.filter (fun q -> not (Path.equal q p)) candidates)
+  in
+  { primary; candidates; primary_alternates }
+
+(* the greedy walk of Bfs.min_hop_path, lifted out so one backward BFS
+   per destination serves every source — identical output, since the
+   walk depends only on the distance field and the sorted successors *)
+let primary_from_dist g dist ~src ~dst =
+  if dist.(src) = max_int then None
+  else begin
+    let rec walk v acc =
+      if v = dst then List.rev (v :: acc)
+      else
+        let next =
+          List.find
+            (fun w -> dist.(w) <> max_int && dist.(w) = dist.(v) - 1)
+            (Graph.successors g v)
+        in
+        walk next (v :: acc)
+    in
+    Some (Path.of_nodes_unchecked g (Array.of_list (walk src [])))
+  end
+
+let check_h = function
+  | Some h when h < 1 -> invalid_arg "Route_table.build: h < 1"
+  | _ -> ()
+
+(* the pre-memoization pipeline: one backward BFS and one DFS tree per
+   ordered pair.  Kept verbatim as the differential-testing oracle and
+   the "sequential full rebuild" baseline of the compile bench. *)
+let build_reference ?h ?primary g =
   let n = Graph.node_count g in
+  check_h h;
   let h = match h with None -> n - 1 | Some h -> h in
-  if h < 1 then invalid_arg "Route_table.build: h < 1";
+  let kind = match primary with None -> Minhop | Some _ -> Custom in
   let primary_of =
     match primary with
     | Some f -> f
     | None -> fun ~src ~dst -> Bfs.min_hop_path g ~src ~dst
   in
   let entry src dst =
-    if src = dst then
-      { primary = None; candidates = []; primary_alternates = [||] }
+    if src = dst then empty_entry
     else
       let primary = primary_of ~src ~dst in
       let candidates = Enumerate.simple_paths ~max_hops:h g ~src ~dst in
@@ -33,23 +76,39 @@ let build ?h ?primary g =
         invalid_arg "Route_table.build: primary policy returned no path \
                      for a connected pair"
       | _ -> ());
-      let primary_alternates =
-        match primary with
-        | None -> [||]
-        | Some p ->
-          Array.of_list
-            (List.filter (fun q -> not (Path.equal q p)) candidates)
-      in
-      { primary; candidates; primary_alternates }
+      mk_entry primary candidates
   in
   let entries = Array.init n (fun src -> Array.init n (entry src)) in
-  { graph = g; h; entries }
+  { graph = g; h; entries; kind }
 
-let protected ?weight g =
+let build ?(domains = 1) ?h ?primary g =
+  if domains < 1 then invalid_arg "Route_table.build: domains must be >= 1";
+  match primary with
+  | Some _ ->
+    (* a caller-supplied closure may be impure; run it on one domain in
+       the reference per-pair order *)
+    build_reference ?h ?primary g
+  | None ->
+    let n = Graph.node_count g in
+    check_h h;
+    let h = match h with None -> n - 1 | Some h -> h in
+    (* one backward BFS per destination, shared by all n sources (the
+       reference pipeline repeats it per ordered pair) *)
+    let dist_to = Array.init n (fun dst -> Bfs.distances_to g ~dst) in
+    let row src =
+      let buckets = Enumerate.paths_from ~max_hops:h g ~src in
+      Array.init n (fun dst ->
+          if src = dst then empty_entry
+          else
+            mk_entry (primary_from_dist g dist_to.(dst) ~src ~dst) buckets.(dst))
+    in
+    let rows = Arnet_pool.map ~domains row (List.init n Fun.id) in
+    { graph = g; h; entries = Array.of_list rows; kind = Minhop }
+
+let protected ?(domains = 1) ?weight g =
   let n = Graph.node_count g in
   let entry src dst =
-    if src = dst then
-      { primary = None; candidates = []; primary_alternates = [||] }
+    if src = dst then empty_entry
     else
       match Suurballe.disjoint_pair ?weight g ~src ~dst with
       | Some (p, mate) ->
@@ -60,12 +119,13 @@ let protected ?weight g =
         (* no two link-disjoint paths: protection is impossible, route
            on the min-hop primary alone *)
         match Bfs.min_hop_path g ~src ~dst with
-        | None -> { primary = None; candidates = []; primary_alternates = [||] }
+        | None -> empty_entry
         | Some p ->
           { primary = Some p; candidates = [ p ]; primary_alternates = [||] })
   in
-  let entries = Array.init n (fun src -> Array.init n (entry src)) in
-  { graph = g; h = n - 1; entries }
+  let row src = Array.init n (entry src) in
+  let rows = Arnet_pool.map ~domains row (List.init n Fun.id) in
+  { graph = g; h = n - 1; entries = Array.of_list rows; kind = Protected }
 
 let graph t = t.graph
 let h t = t.h
@@ -135,6 +195,212 @@ let alternate_count_stats t ~min:mn ~max:mx =
     done
   done;
   if !pairs = 0 then 0. else float_of_int !total /. float_of_int !pairs
+
+(* ------------------------------------------------------------------ *)
+(* incremental recompile: rebuild only the ordered pairs a topology
+   change can affect.
+
+   The affected-pair analysis is exact because the default primary is
+   canonical — the lexicographically-smallest min-hop path, a function
+   of the pair's path set alone:
+
+   - removing link k: a pair changes iff its primary or some candidate
+     traverses k.  Otherwise the pair's min-hop set still contains its
+     old primary (so the lexmin is unchanged) and its <= h candidate set
+     loses nothing.
+   - adding link u->v: any *new* path for (s, d) traverses u->v, so its
+     hop count is at least dist(s, u) + 1 + dist(v, d).  A pair can
+     change only when that lower bound fits under max h (hops primary)
+     (or the pair was unroutable and both distances are now finite);
+     such pairs are recomputed — possibly needlessly, never wrongly.
+   - a capacity change affects no pair: routing here is hop-based. *)
+
+type change =
+  | Add_link of { src : int; dst : int; capacity : int }
+  | Remove_link of { src : int; dst : int }
+  | Set_capacity of { src : int; dst : int; capacity : int }
+
+let labels_of g = Array.init (Graph.node_count g) (Graph.label g)
+
+(* relocate a surviving path onto the renumbered graph: node sequence
+   unchanged, link ids translated through [id_map] *)
+let remap_path id_map (p : Path.t) =
+  Path.with_link_ids_unchecked ~nodes:p.Path.nodes
+    ~link_ids:(Array.map (fun k -> id_map.(k)) p.Path.link_ids)
+
+let remap_entry id_map e =
+  match e.primary with
+  | None -> e
+  | Some p ->
+    mk_entry (Some (remap_path id_map p)) (List.map (remap_path id_map) e.candidates)
+
+(* recompute the affected pairs, grouped by destination so each group
+   shares one backward BFS; groups shard across domains *)
+let recompute ~domains g' ~h by_dst =
+  let groups =
+    Hashtbl.fold (fun dst srcs acc -> (dst, srcs) :: acc) by_dst []
+    |> List.sort compare
+  in
+  let one (dst, srcs) =
+    let dist = Bfs.distances_to g' ~dst in
+    List.map
+      (fun src ->
+        ( src,
+          dst,
+          mk_entry
+            (primary_from_dist g' dist ~src ~dst)
+            (Enumerate.simple_paths ~max_hops:h g' ~src ~dst) ))
+      srcs
+  in
+  List.concat (Arnet_pool.map ~domains one groups)
+
+let check_pair_nodes ~n ~op src dst =
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg (Printf.sprintf "Route_table.patch: %s: bad node index" op);
+  if src = dst then
+    invalid_arg (Printf.sprintf "Route_table.patch: %s: src = dst" op)
+
+let apply_remove ~domains t ~src:u ~dst:v =
+  let g = t.graph in
+  let n = Graph.node_count g in
+  check_pair_nodes ~n ~op:"remove" u v;
+  let doomed =
+    match Graph.find_link g ~src:u ~dst:v with
+    | Some l -> l.Link.id
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Route_table.patch: remove: no link %d->%d" u v)
+  in
+  let g' = Graph.without_links g [ (u, v) ] in
+  (* without_links renumbers link ids: translate survivors, -1 marks the
+     removed id (never read — pairs that used it are recomputed) *)
+  let id_map = Array.make (Graph.link_count g) (-1) in
+  Graph.iter_links
+    (fun (l : Link.t) ->
+      if l.Link.id <> doomed then
+        id_map.(l.Link.id) <-
+          (Graph.find_link_exn g' ~src:l.Link.src ~dst:l.Link.dst).Link.id)
+    g;
+  let by_dst = Hashtbl.create 16 in
+  let affected = ref 0 in
+  let entries' =
+    Array.mapi
+      (fun src row ->
+        Array.mapi
+          (fun dst e ->
+            if src = dst then e
+            else begin
+              let uses p = Path.mem_link p doomed in
+              let hit =
+                (match e.primary with Some p -> uses p | None -> false)
+                || List.exists uses e.candidates
+              in
+              if hit then begin
+                incr affected;
+                Hashtbl.replace by_dst dst
+                  (src :: Option.value ~default:[] (Hashtbl.find_opt by_dst dst));
+                empty_entry (* placeholder, overwritten below *)
+              end
+              else remap_entry id_map e
+            end)
+          row)
+      t.entries
+  in
+  List.iter
+    (fun (src, dst, e) -> entries'.(src).(dst) <- e)
+    (recompute ~domains g' ~h:t.h by_dst);
+  ({ t with graph = g'; entries = entries' }, !affected)
+
+let apply_add ~domains t ~src:u ~dst:v ~capacity =
+  let g = t.graph in
+  let n = Graph.node_count g in
+  check_pair_nodes ~n ~op:"add" u v;
+  if Graph.find_link g ~src:u ~dst:v <> None then
+    invalid_arg
+      (Printf.sprintf "Route_table.patch: add: link %d->%d already exists" u v);
+  let m = Graph.link_count g in
+  let links =
+    Array.to_list (Graph.links g)
+    @ [ Link.make ~id:m ~src:u ~dst:v ~capacity ]
+  in
+  (* appending keeps every existing link id stable, so untouched entries
+     carry over without remapping *)
+  let g' = Graph.create ~labels:(labels_of g) ~nodes:n links in
+  let du = Bfs.distances_to g' ~dst:u in
+  let dv = Bfs.distances g' ~src:v in
+  let by_dst = Hashtbl.create 16 in
+  let affected = ref 0 in
+  let entries' = Array.map Array.copy t.entries in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst && du.(src) <> max_int && dv.(dst) <> max_int then begin
+        let hit =
+          match t.entries.(src).(dst).primary with
+          | None -> true (* newly routable: every new path uses u->v *)
+          | Some p -> du.(src) + 1 + dv.(dst) <= max t.h (Path.hops p)
+        in
+        if hit then begin
+          incr affected;
+          Hashtbl.replace by_dst dst
+            (src :: Option.value ~default:[] (Hashtbl.find_opt by_dst dst))
+        end
+      end
+    done
+  done;
+  List.iter
+    (fun (src, dst, e) -> entries'.(src).(dst) <- e)
+    (recompute ~domains g' ~h:t.h by_dst);
+  ({ t with graph = g'; entries = entries' }, !affected)
+
+let apply_capacity t ~src ~dst ~capacity =
+  let n = Graph.node_count t.graph in
+  check_pair_nodes ~n ~op:"capacity" src dst;
+  let g' = Graph.with_capacities t.graph [ (src, dst, capacity) ] in
+  ({ t with graph = g' }, 0)
+
+let patch ?(domains = 1) t changes =
+  if domains < 1 then invalid_arg "Route_table.patch: domains must be >= 1";
+  (match t.kind with
+  | Minhop -> ()
+  | Custom ->
+    invalid_arg
+      "Route_table.patch: table was built with a custom primary policy; \
+       rebuild it instead"
+  | Protected ->
+    invalid_arg
+      "Route_table.patch: protected tables are not patchable; rebuild \
+       with Route_table.protected");
+  List.fold_left
+    (fun (t, total) change ->
+      let t, changed =
+        match change with
+        | Add_link { src; dst; capacity } ->
+          apply_add ~domains t ~src ~dst ~capacity
+        | Remove_link { src; dst } -> apply_remove ~domains t ~src ~dst
+        | Set_capacity { src; dst; capacity } ->
+          apply_capacity t ~src ~dst ~capacity
+      in
+      (t, total + changed))
+    (t, 0) changes
+
+let equal a b =
+  let opt_equal p q =
+    match (p, q) with
+    | None, None -> true
+    | Some p, Some q -> Path.equal p q
+    | _ -> false
+  in
+  let array_equal eq x y =
+    Array.length x = Array.length y && Array.for_all2 eq x y
+  in
+  let entry_equal (ea : entry) (eb : entry) =
+    opt_equal ea.primary eb.primary
+    && List.equal Path.equal ea.candidates eb.candidates
+    && array_equal Path.equal ea.primary_alternates eb.primary_alternates
+  in
+  a.h = b.h
+  && Graph.node_count a.graph = Graph.node_count b.graph
+  && array_equal (array_equal entry_equal) a.entries b.entries
 
 let pp ppf t =
   let n = Graph.node_count t.graph in

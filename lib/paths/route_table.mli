@@ -15,10 +15,11 @@ open Arnet_topology
 type t
 
 val build :
+  ?domains:int ->
   ?h:int ->
   ?primary:(src:int -> dst:int -> Path.t option) ->
   Graph.t -> t
-(** [build ?h ?primary g] computes routes for every ordered pair.
+(** [build ?domains ?h ?primary g] computes routes for every ordered pair.
 
     [h] is the maximum alternate hop length [H]; default: [node_count - 1]
     (unrestricted loop-free, the paper's "H = 11" case on NSFNet).
@@ -27,10 +28,30 @@ val build :
     whatever primary path is in force at call time, see
     {!alternates_excluding}).
 
-    @raise Invalid_argument if [h < 1] or some pair has no primary path
-    while the graph claims connectivity for it. *)
+    With the default primary the construction is memoized: one backward
+    BFS per destination (shared by all sources) and one DFS tree per
+    source ({!Enumerate.paths_from}) replace the per-ordered-pair sweeps,
+    and [domains] (default 1) shards the per-source rows across OCaml
+    domains.  The resulting table is identical — path for path — to the
+    sequential per-pair construction for every domain count.  A custom
+    [primary] closure may be impure, so it always builds sequentially on
+    the calling domain in per-pair order; [domains] is ignored.
 
-val protected : ?weight:(Link.t -> float) -> Graph.t -> t
+    @raise Invalid_argument if [h < 1], [domains < 1], or some pair has
+    no primary path while the graph claims connectivity for it. *)
+
+val build_reference :
+  ?h:int ->
+  ?primary:(src:int -> dst:int -> Path.t option) ->
+  Graph.t -> t
+(** The pre-memoization pipeline — one backward BFS and one bounded DFS
+    per ordered pair, exactly as [build] computed before shared-subtree
+    memoization existed.  Kept as the differential-testing oracle
+    ([equal (build g) (build_reference g)] must always hold) and as the
+    "sequential full rebuild" baseline of the compile bench.  Quadratic
+    BFS/DFS work: do not call it on large graphs outside benchmarks. *)
+
+val protected : ?domains:int -> ?weight:(Link.t -> float) -> Graph.t -> t
 (** [protected g] is the protection-path table: per ordered pair, the
     Suurballe minimum-total-weight link-disjoint pair (default weight:
     hop count) — the shorter path is the primary and the mate is the
@@ -39,7 +60,48 @@ val protected : ?weight:(Link.t -> float) -> Graph.t -> t
     no alternates (protection is impossible there, not the table's
     fault); a disconnected pair has no route.  [h] reports
     [node_count - 1], the bound disjoint mates respect by loop-freedom.
+    [domains] (default 1) shards per-source rows across OCaml domains;
+    the table is identical for every domain count.
     @raise Invalid_argument when a weight is negative or non-finite. *)
+
+(** {1 Incremental recompilation}
+
+    A link-level topology change invalidates only the ordered pairs
+    whose path sets it touches; {!patch} rebuilds exactly those (plus,
+    for additions, a provably-safe superset) instead of the whole
+    table.  This is what keeps failure storms over 1000-node graphs
+    from triggering full recompiles.  Only default-primary (min-hop)
+    tables are patchable: the canonical lexicographically-smallest
+    min-hop primary depends on the pair's path set alone, which makes
+    the affected-pair analysis exact. *)
+
+type change =
+  | Add_link of { src : int; dst : int; capacity : int }
+      (** a new directed link; its id is [link_count] of the patched
+          graph's predecessor (appending keeps existing ids stable) *)
+  | Remove_link of { src : int; dst : int }
+      (** drops the directed link; surviving link ids are renumbered
+          exactly as {!Arnet_topology.Graph.without_links} renumbers
+          them, and surviving paths are relocated accordingly *)
+  | Set_capacity of { src : int; dst : int; capacity : int }
+      (** capacity-only change: affects no route (routing is hop-based),
+          the patched table just carries the updated graph *)
+
+val patch : ?domains:int -> t -> change list -> t * int
+(** [patch t changes] applies the changes left to right and returns the
+    patched table plus the number of ordered-pair entries recomputed.
+    The result is {!equal} to a from-scratch [build ~h] on the final
+    graph.  [domains] shards the recomputed pairs (grouped by
+    destination, sharing one backward BFS per group).
+    @raise Invalid_argument when the table was built with a custom
+    primary or {!protected}, when a named link is absent (remove /
+    capacity) or already present (add), or on bad node indices. *)
+
+val equal : t -> t -> bool
+(** Entry-wise equality by {!Path.equal} (node sequences): same [h],
+    same primaries, candidates and alternate orders for every pair.
+    Link-id numbering is deliberately ignored — a patched table and a
+    rebuilt table may number links differently after removals. *)
 
 val graph : t -> Graph.t
 val h : t -> int

@@ -1,0 +1,50 @@
+(** A work pool over OCaml 5 domains for embarrassingly parallel jobs.
+
+    The paper's evaluation replays identical call arrivals under many
+    seeds and policies; those runs share no state, so they shard
+    perfectly across cores.  {!map} is the only primitive the simulator
+    needs: a deterministic, order-preserving parallel [List.map] with
+    fail-fast error propagation.
+
+    Jobs are pulled from a shared counter, so long and short jobs
+    balance automatically; results are written into per-index slots, so
+    the output order never depends on scheduling. *)
+
+exception Worker of { index : int; exn : exn }
+(** A job failed.  [index] is the position of the failing job in the
+    input list (0-based) and [exn] the exception it raised.  When
+    several jobs fail, the lowest recorded index wins.  A registered
+    printer renders the payload. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] is [List.map f xs] computed by up to [domains]
+    domains (clamped to the number of jobs).  Results are returned in
+    input order regardless of which domain ran which job.
+
+    [domains = 1] (the default) runs everything on the calling domain —
+    no domain is spawned.  With [domains > 1], [f] must be safe to call
+    concurrently from several domains: it must not write shared mutable
+    state without synchronization.
+
+    A raising job cancels the pool: queued jobs are skipped (jobs
+    already started run to completion) and the first failure re-raises
+    on the caller as {!Worker}.  This holds for every domain count, so
+    callers see one error surface.
+
+    @raise Invalid_argument when [domains < 1].
+    @raise Worker when a job raises. *)
+
+val available : unit -> int
+(** The runtime's recommendation for how many domains this machine runs
+    well ([Domain.recommended_domain_count ()]); at least 1. *)
+
+val domains_of_string : string -> (int, string) result
+(** Parse a user-supplied domain count: [Ok n] for an integer [>= 1],
+    otherwise a one-line error naming the valid range — the shared
+    validation behind the [--domains] flag and {!of_env}. *)
+
+val of_env : ?var:string -> unit -> int
+(** Domain count requested through the environment: parses [var]
+    (default [ARNET_DOMAINS]) as a positive integer.  Unset, empty,
+    non-numeric or non-positive values mean 1 — the sequential path is
+    always the default. *)

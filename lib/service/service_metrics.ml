@@ -104,6 +104,8 @@ let verb = function
   | Wire.Fail _ -> "fail"
   | Wire.Repair _ -> "repair"
   | Wire.Reload -> "reload"
+  | Wire.Link_add _ -> "link-add"
+  | Wire.Link_del _ -> "link-del"
   | Wire.Stats -> "stats"
   | Wire.Drain -> "drain"
   | Wire.Quit -> "quit"
@@ -112,7 +114,7 @@ let verdict = function
   | Wire.Admitted _ -> "admitted"
   | Wire.Blocked -> "blocked"
   | Wire.Err _ -> "error"
-  | Wire.Done | Wire.Reloaded _ | Wire.Stats_reply _ -> "ok"
+  | Wire.Done | Wire.Reloaded _ | Wire.Patched _ | Wire.Stats_reply _ -> "ok"
 
 let command_counter t v =
   match Hashtbl.find_opt t.commands v with
@@ -170,7 +172,7 @@ let record t st cmd resp =
     M.observe t.hops (float_of_int (List.length path - 1))
   | Wire.Blocked -> M.inc t.blocked
   | Wire.Err _ -> M.inc t.errors
-  | Wire.Reloaded _ -> ()
+  | Wire.Reloaded _ | Wire.Patched _ -> ()
   | Wire.Done -> (
     match cmd with Wire.Teardown _ -> M.inc t.torn_down | _ -> ())
   | Wire.Stats_reply _ -> ());

@@ -4,6 +4,9 @@ let handle st = function
   | Wire.Fail { link } -> State.fail st ~link
   | Wire.Repair { link } -> State.repair st ~link
   | Wire.Reload -> State.reload st
+  | Wire.Link_add { src; dst; capacity } ->
+    State.link_add st ~src ~dst ~capacity
+  | Wire.Link_del { src; dst } -> State.link_del st ~src ~dst
   | Wire.Stats -> Wire.Stats_reply (State.stats st)
   | Wire.Drain -> State.drain st
   | Wire.Quit -> Wire.Done

@@ -9,15 +9,15 @@ type call = {
 }
 
 type t = {
-  graph : Graph.t;
-  routes : Route_table.t;
+  mutable graph : Graph.t;
+  mutable routes : Route_table.t;
   h : int;  (** protection-rule H: the route table's alternate cap *)
-  capacities : int array;
-  reserves : int array;
+  mutable capacities : int array;
+  mutable reserves : int array;
   mutable admission : Admission.t;
-  occupancy : int array;
-  failed : bool array;
-  estimators : Estimator.t array;
+  mutable occupancy : int array;
+  mutable failed : bool array;
+  mutable estimators : Estimator.t array;
   active : (int, call) Hashtbl.t;
   mutable next_id : int;
   mutable clock : float;
@@ -34,6 +34,9 @@ type t = {
   script : Arnet_failure.Script.event array;
       (** scripted FAIL/REPAIRs, applied as the virtual clock passes them *)
   mutable script_pos : int;
+  est_window : float option;  (** remembered so LINK ADD can mint a
+                                  consistent estimator for the new link *)
+  est_smoothing : float option;
   observer : (Obs.Event.t -> unit) option;
 }
 
@@ -105,6 +108,8 @@ let create ?h ?matrix ?window ?smoothing ?reload_every ?failure_script
     decisions = 0;
     script;
     script_pos = 0;
+    est_window = window;
+    est_smoothing = smoothing;
     observer }
 
 let emit t ev = match t.observer with Some f -> f ev | None -> ()
@@ -164,24 +169,29 @@ let release t (c : call) =
       t.occupancy.(k) <- t.occupancy.(k) - 1)
     c.links
 
+(* calls holding a circuit on [link] are released, counted as dropped,
+   and reported as departures -- shared by FAIL and LINK DEL *)
+let drop_calls_on t ~link =
+  let victims =
+    Hashtbl.fold
+      (fun id c acc ->
+        if Array.exists (fun k -> k = link) c.links then (id, c) :: acc
+        else acc)
+      t.active []
+  in
+  List.iter
+    (fun (id, c) ->
+      release t c;
+      Hashtbl.remove t.active id;
+      t.dropped <- t.dropped + 1;
+      emit t (Obs.Event.Departure { time = t.clock; links = c.links }))
+    (List.sort compare victims)
+
 let apply_fail t ~link =
   if not t.failed.(link) then begin
     t.failed.(link) <- true;
     (* calls holding a circuit on the dead link are lost with it *)
-    let victims =
-      Hashtbl.fold
-        (fun id c acc ->
-          if Array.exists (fun k -> k = link) c.links then (id, c) :: acc
-          else acc)
-        t.active []
-    in
-    List.iter
-      (fun (id, c) ->
-        release t c;
-        Hashtbl.remove t.active id;
-        t.dropped <- t.dropped + 1;
-        emit t (Obs.Event.Departure { time = t.clock; links = c.links }))
-      (List.sort compare victims)
+    drop_calls_on t ~link
   end
 
 let apply_repair t ~link = t.failed.(link) <- false
@@ -342,6 +352,102 @@ let repair t ~link =
   | None ->
     apply_repair t ~link;
     Wire.Done
+
+(* ------------------------------------------------------------------ *)
+(* LINK ADD / LINK DEL: incremental topology patches.  The route table
+   is patched in place via {!Route_table.patch} -- only the ordered
+   pairs whose route sets touch the edited arc are recompiled -- and
+   every per-link array is remapped to the patched graph's link ids. *)
+
+(* scripted failure events address links by id; once the topology can
+   shift ids under them the replay would silently corrupt, so patches
+   are refused while a script is loaded *)
+let script_guard t =
+  if Array.length t.script > 0 then
+    Some
+      (err "script-active"
+         "topology patches are refused while a failure script is loaded")
+  else None
+
+let install t routes =
+  t.routes <- routes;
+  t.graph <- Route_table.graph routes;
+  t.capacities <-
+    Array.map (fun (l : Link.t) -> l.Link.capacity) (Graph.links t.graph);
+  t.admission <- Admission.make ~capacities:t.capacities ~reserves:t.reserves
+
+let link_add t ~src ~dst ~capacity =
+  match script_guard t with
+  | Some e -> e
+  | None ->
+    let n = Graph.node_count t.graph in
+    if src < 0 || src >= n || dst < 0 || dst >= n then
+      err "bad-argument" (Printf.sprintf "node out of range [0, %d)" n)
+    else if src = dst then err "bad-argument" "src = dst"
+    else if capacity < 0 then err "bad-argument" "negative capacity"
+    else if Graph.find_link t.graph ~src ~dst <> None then
+      err "link-exists" (Printf.sprintf "link %d -> %d already exists" src dst)
+    else begin
+      let routes, recomputed =
+        Route_table.patch t.routes
+          [ Route_table.Add_link { src; dst; capacity } ]
+      in
+      (* the new link's id is the old link count: every existing id is
+         stable, so the per-link state just grows by one slot *)
+      let append a x = Array.append a [| x |] in
+      t.reserves <- append t.reserves 0;
+      t.occupancy <- append t.occupancy 0;
+      t.failed <- append t.failed false;
+      t.estimators <-
+        append t.estimators
+          (Estimator.create ?window:t.est_window ?smoothing:t.est_smoothing
+             ());
+      install t routes;
+      Wire.Patched { recomputed }
+    end
+
+let link_del t ~src ~dst =
+  match script_guard t with
+  | Some e -> e
+  | None ->
+    (match Graph.find_link t.graph ~src ~dst with
+    | None ->
+      err "no-such-link" (Printf.sprintf "no link %d -> %d" src dst)
+    | Some dead ->
+      let old_id = dead.Link.id in
+      (* calls holding a circuit on the removed link go with it *)
+      drop_calls_on t ~link:old_id;
+      let routes, recomputed =
+        Route_table.patch t.routes [ Route_table.Remove_link { src; dst } ]
+      in
+      let g' = Route_table.graph routes in
+      (* removal renumbers ids: re-locate every surviving link by its
+         endpoints and remap all per-link state through the table *)
+      let m = Array.length t.capacities in
+      let id_map = Array.make m (-1) in
+      Graph.iter_links
+        (fun l ->
+          if l.Link.id <> old_id then
+            id_map.(l.Link.id) <-
+              (Graph.find_link_exn g' ~src:l.Link.src ~dst:l.Link.dst).Link.id)
+        t.graph;
+      let remap old default =
+        let fresh = Array.make (m - 1) default in
+        Array.iteri
+          (fun k v -> if k <> old_id then fresh.(id_map.(k)) <- v)
+          old;
+        fresh
+      in
+      t.reserves <- remap t.reserves 0;
+      t.occupancy <- remap t.occupancy 0;
+      t.failed <- remap t.failed false;
+      t.estimators <- remap t.estimators (Estimator.create ());
+      Hashtbl.iter
+        (fun _ c ->
+          Array.iteri (fun i k -> c.links.(i) <- id_map.(k)) c.links)
+        t.active;
+      install t routes;
+      Wire.Patched { recomputed })
 
 let drain t =
   t.draining <- true;

@@ -80,6 +80,25 @@ val fail : t -> link:int -> Wire.response
 val repair : t -> link:int -> Wire.response
 (** Bring a failed link back into service (empty).  Idempotent. *)
 
+val link_add : t -> src:int -> dst:int -> capacity:int -> Wire.response
+(** Add a directed link [src -> dst] and incrementally patch the route
+    table ({!Arnet_routes.Route_table.patch} semantics: only the pairs
+    whose route sets change are recompiled).  The new link gets the
+    next free id; existing ids are untouched, and its fresh estimator
+    inherits the daemon's window/smoothing settings.  Returns [Patched]
+    with the recompiled-pair count, or [Err] for bad endpoints, a
+    duplicate link ([link-exists]), or when a failure script is loaded
+    ([script-active] — scripts address links by id, and patches shift
+    ids). *)
+
+val link_del : t -> src:int -> dst:int -> Wire.response
+(** Remove the directed link [src -> dst].  Calls holding a circuit on
+    it are dropped (counted in [stats.dropped]), link ids above it
+    shift down with all per-link state (occupancy, reserves, failure
+    flags, estimators) remapped, and only the affected pairs are
+    recompiled.  Returns [Patched], or [Err no-such-link] /
+    [script-active] as for {!link_add}. *)
+
 val reload : t -> Wire.response
 (** Recompute every [r^k] by the Theorem-1 rule at the estimators'
     current demand estimates; returns [Reloaded] with the number of

@@ -4,6 +4,8 @@ type command =
   | Fail of { link : int }
   | Repair of { link : int }
   | Reload
+  | Link_add of { src : int; dst : int; capacity : int }
+  | Link_del of { src : int; dst : int }
   | Stats
   | Drain
   | Quit
@@ -25,6 +27,7 @@ type response =
   | Blocked
   | Done
   | Reloaded of { changed : int }
+  | Patched of { recomputed : int }
   | Stats_reply of stats
   | Err of { code : string; detail : string }
 
@@ -49,6 +52,9 @@ let print_command = function
   | Fail { link } -> Printf.sprintf "FAIL %d" link
   | Repair { link } -> Printf.sprintf "REPAIR %d" link
   | Reload -> "RELOAD"
+  | Link_add { src; dst; capacity } ->
+    Printf.sprintf "LINK ADD %d %d %d" src dst capacity
+  | Link_del { src; dst } -> Printf.sprintf "LINK DEL %d %d" src dst
   | Stats -> "STATS"
   | Drain -> "DRAIN"
   | Quit -> "QUIT"
@@ -71,6 +77,7 @@ let print_response = function
   | Blocked -> "BLOCKED"
   | Done -> "OK"
   | Reloaded { changed } -> Printf.sprintf "RELOADED %d" changed
+  | Patched { recomputed } -> Printf.sprintf "PATCHED %d" recomputed
   | Stats_reply s -> print_stats s
   | Err { code; detail } ->
     if code = "" || String.contains code ' ' then
@@ -118,6 +125,21 @@ let parse_command line =
     | "REPAIR", _ -> Error ("bad-argument", "usage: REPAIR <link>")
     | "RELOAD", [] -> Ok Reload
     | "RELOAD", _ -> Error ("bad-argument", "RELOAD takes no argument")
+    | "LINK", sub :: rest -> (
+      match (String.uppercase_ascii sub, rest) with
+      | "ADD", [ a; b; c ] ->
+        int_arg "src" a (fun src ->
+            int_arg "dst" b (fun dst ->
+                int_arg "capacity" c (fun capacity ->
+                    Ok (Link_add { src; dst; capacity }))))
+      | "ADD", _ ->
+        Error ("bad-argument", "usage: LINK ADD <src> <dst> <capacity>")
+      | "DEL", [ a; b ] ->
+        int_arg "src" a (fun src ->
+            int_arg "dst" b (fun dst -> Ok (Link_del { src; dst })))
+      | "DEL", _ -> Error ("bad-argument", "usage: LINK DEL <src> <dst>")
+      | _ -> Error ("bad-argument", "usage: LINK ADD|DEL ..."))
+    | "LINK", [] -> Error ("bad-argument", "usage: LINK ADD|DEL ...")
     | "STATS", [] -> Ok Stats
     | "STATS", _ -> Error ("bad-argument", "STATS takes no argument")
     | "DRAIN", [] -> Ok Drain
@@ -214,6 +236,10 @@ let parse_response line =
       match int_of_string_opt n with
       | Some changed -> Ok (Reloaded { changed })
       | None -> Error "RELOADED count must be an integer")
+    | "PATCHED", [ n ] -> (
+      match int_of_string_opt n with
+      | Some recomputed -> Ok (Patched { recomputed })
+      | None -> Error "PATCHED count must be an integer")
     | "STATS", fields -> parse_stats fields
     | "ERR", code :: _ ->
       (* detail = everything after the first space following the code
@@ -251,6 +277,9 @@ let equal_command a b =
   | Fail a, Fail b -> a.link = b.link
   | Repair a, Repair b -> a.link = b.link
   | Reload, Reload | Stats, Stats | Drain, Drain | Quit, Quit -> true
+  | Link_add a, Link_add b ->
+    a.src = b.src && a.dst = b.dst && a.capacity = b.capacity
+  | Link_del a, Link_del b -> a.src = b.src && a.dst = b.dst
   | _ -> false
 
 let equal_response a b =
@@ -258,6 +287,7 @@ let equal_response a b =
   | Admitted a, Admitted b -> a.id = b.id && a.path = b.path
   | Blocked, Blocked | Done, Done -> true
   | Reloaded a, Reloaded b -> a.changed = b.changed
+  | Patched a, Patched b -> a.recomputed = b.recomputed
   | Stats_reply a, Stats_reply b -> a = b
   | Err a, Err b -> a.code = b.code && a.detail = b.detail
   | _ -> false

@@ -15,6 +15,8 @@
     FAIL <link>                     fail a link by id (drops calls on it)
     REPAIR <link>                   bring a failed link back
     RELOAD                          recompute protection levels r^k now
+    LINK ADD <src> <dst> <cap>      add a link and patch the routes
+    LINK DEL <src> <dst>            remove a link and patch the routes
     STATS                           one-line state summary
     DRAIN                           stop admitting; exit when empty
     QUIT                            close this connection
@@ -23,6 +25,7 @@
     BLOCKED                         call refused (no admissible path)
     OK                              generic success
     RELOADED <changed>              r^k recomputed; links that changed
+    PATCHED <recomputed>            routes patched; pairs recomputed
     STATS accepted=..blocked=..     the summary (see {!stats})
     ERR <code> <detail>             typed error, code is one token
     v} *)
@@ -35,6 +38,14 @@ type command =
   | Fail of { link : int }
   | Repair of { link : int }
   | Reload
+  | Link_add of { src : int; dst : int; capacity : int }
+      (** Add one directed link and incrementally patch the route
+          table ({!Arnet_routes.Route_table.patch}); the new link gets
+          the next free id. *)
+  | Link_del of { src : int; dst : int }
+      (** Remove the directed link [src -> dst]: active calls holding
+          it are dropped, link ids above it shift down, and only the
+          affected pairs are recompiled. *)
   | Stats
   | Drain
   | Quit
@@ -57,11 +68,15 @@ type response =
   | Blocked
   | Done
   | Reloaded of { changed : int }
+  | Patched of { recomputed : int }
+      (** Route table patched in place; [recomputed] counts the
+          src/dst pairs whose route sets were rebuilt. *)
   | Stats_reply of stats
   | Err of { code : string; detail : string }
       (** [code] is a single lowercase token ([bad-command],
-          [bad-argument], [unknown-call], [no-such-link], [draining]);
-          [detail] is free text without newlines. *)
+          [bad-argument], [unknown-call], [no-such-link], [link-exists],
+          [script-active], [draining]); [detail] is free text without
+          newlines. *)
 
 val print_command : command -> string
 (** Without the trailing newline.

@@ -1,85 +1,5 @@
-exception Worker of { index : int; exn : exn }
-
-let () =
-  Printexc.register_printer (function
-    | Worker { index; exn } ->
-      Some
-        (Printf.sprintf "Arnet_sim.Pool.Worker(index=%d): %s" index
-           (Printexc.to_string exn))
-    | _ -> None)
-
-let available () = Stdlib.max 1 (Domain.recommended_domain_count ())
-
-let domains_of_string s =
-  match int_of_string_opt (String.trim s) with
-  | Some n when n >= 1 -> Ok n
-  | Some n ->
-    Error
-      (Printf.sprintf
-         "domain count must be at least 1 (got %d); valid range is 1 to the \
-          machine's core count"
-         n)
-  | None ->
-    Error
-      (Printf.sprintf
-         "domain count must be an integer >= 1 (got %S); valid range is 1 to \
-          the machine's core count"
-         (String.trim s))
-
-let of_env ?(var = "ARNET_DOMAINS") () =
-  match Sys.getenv_opt var with
-  | None -> 1
-  | Some s -> ( match domains_of_string s with Ok n -> n | Error _ -> 1)
-
-let map_seq f xs =
-  List.mapi
-    (fun index x ->
-      try f x with exn -> raise (Worker { index; exn }))
-    xs
-
-(* Record the failure with the lowest job index: deterministic enough
-   for callers that report one culprit, and it biases towards the
-   failure a sequential run would have hit first. *)
-let rec record_failure failed index exn =
-  match Atomic.get failed with
-  | Some (i, _) when i <= index -> ()
-  | prev ->
-    if not (Atomic.compare_and_set failed prev (Some (index, exn))) then
-      record_failure failed index exn
-
-let map ?(domains = 1) f xs =
-  if domains < 1 then invalid_arg "Pool.map: domains must be >= 1";
-  let jobs = Array.of_list xs in
-  let n = Array.length jobs in
-  let width = Stdlib.min domains n in
-  if width <= 1 then map_seq f xs
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failed = Atomic.make None in
-    let worker () =
-      let continue = ref true in
-      while !continue do
-        if Option.is_some (Atomic.get failed) then continue := false
-        else begin
-          let i = Atomic.fetch_and_add next 1 in
-          if i >= n then continue := false
-          else
-            match f jobs.(i) with
-            | r -> results.(i) <- Some r
-            | exception exn -> record_failure failed i exn
-        end
-      done
-    in
-    let spawned = Array.init (width - 1) (fun _ -> Domain.spawn worker) in
-    (* the calling domain is the pool's last worker *)
-    worker ();
-    Array.iter Domain.join spawned;
-    match Atomic.get failed with
-    | Some (index, exn) -> raise (Worker { index; exn })
-    | None ->
-      Array.to_list
-        (Array.map
-           (function Some r -> r | None -> assert false)
-           results)
-  end
+(* The pool now lives in the dependency-free [arnet_pool] library so
+   that route compilation (arnet_paths) can shard over domains without a
+   cycle through arnet_sim; this module keeps the historical
+   [Arnet_sim.Pool] address working for simulator callers. *)
+include Arnet_pool

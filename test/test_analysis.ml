@@ -189,11 +189,89 @@ let test_json_roundtrip () =
 let test_registry () =
   Alcotest.(check (list string))
     "built-in checks registered"
-    [ "topology"; "routes"; "protection"; "traffic" ]
+    [ "topology"; "import"; "routes"; "protection"; "traffic" ]
     (List.map (fun c -> c.Check.name) (Check.registered ()));
   Alcotest.check_raises "unknown check name"
     (Invalid_argument "Check.run: unknown check nonsense") (fun () ->
       ignore (Check.run ~only:[ "nonsense" ] (quadrangle_config ())))
+
+(* ------------------------------------------------------------------ *)
+(* import checks: silent without importer metadata, escalating with it *)
+
+let import_of ?(coords = None) ?(merged = 0) ?(loops = 0) g =
+  let coords =
+    match coords with
+    | Some c -> c
+    | None -> Array.make (Graph.node_count g) None
+  in
+  { Check.coords; merged_parallel = merged; dropped_self_loops = loops }
+
+let codes ds = List.map (fun d -> d.Diagnostic.code) ds
+
+let test_import_silent_without_metadata () =
+  (* programmatically built graphs carry no import block: the check
+     must contribute nothing, whatever the graph looks like *)
+  let ds = Lint.run ~only:[ "import" ] (quadrangle_config ()) in
+  Alcotest.(check int) "silent" 0 (List.length ds)
+
+let test_import_counters_and_coords () =
+  let g = Builders.full_mesh ~nodes:4 ~capacity:100 in
+  let all_placed = Array.make 4 (Some (1., 2.)) in
+  let clean =
+    Check.config ~import:(import_of ~coords:(Some all_placed) g) g
+  in
+  Alcotest.(check (list string)) "clean import" []
+    (codes (Lint.run ~only:[ "import" ] clean));
+  let messy =
+    Check.config
+      ~import:(import_of ~coords:(Some all_placed) ~merged:3 ~loops:1 g)
+      g
+  in
+  let ds = Lint.run ~only:[ "import" ] messy in
+  Alcotest.(check (list string)) "cleanup counters surface as warnings"
+    [ "import-parallel-edge"; "import-self-loop" ]
+    (codes ds);
+  Alcotest.(check bool) "warnings only" false (Lint.has_errors ds)
+
+let test_import_coords_escalate_with_regional () =
+  let g = Builders.full_mesh ~nodes:4 ~capacity:100 in
+  let partial = [| Some (1., 2.); None; Some (3., 4.); None |] in
+  let relaxed =
+    Check.config ~import:(import_of ~coords:(Some partial) g) g
+  in
+  let ds = Lint.run ~only:[ "import" ] relaxed in
+  Alcotest.(check (list string)) "one info per unplaced node"
+    [ "import-no-coords"; "import-no-coords" ]
+    (codes ds);
+  Alcotest.(check bool) "informational without --regional" false
+    (Lint.has_errors ds);
+  let regional =
+    Check.config ~import:(import_of ~coords:(Some partial) g) ~regional:true
+      g
+  in
+  let ds = Lint.run ~only:[ "import" ] regional in
+  Alcotest.(check bool) "regional deployments need coordinates" true
+    (Lint.has_errors ds);
+  Alcotest.(check int) "exit code" 1 (Lint.exit_code ds)
+
+let test_import_isolated_node () =
+  (* node 3 exists but no edge touches it *)
+  let g =
+    Graph.of_edges ~nodes:4 ~capacity:10 [ (0, 1); (1, 2); (2, 0) ]
+  in
+  let ds = Lint.run ~only:[ "import" ] (Check.config ~import:(import_of g) g) in
+  Alcotest.(check bool) "isolation reported" true
+    (List.mem "import-isolated-node" (codes ds));
+  (match
+     List.find_opt (fun d -> d.Diagnostic.code = "import-isolated-node") ds
+   with
+  | Some d ->
+    Alcotest.(check bool) "names the node" true
+      (d.Diagnostic.location = Diagnostic.Node 3)
+  | None -> Alcotest.fail "missing diagnostic");
+  match Check.config ~import:(import_of (Builders.ring ~nodes:3 ~capacity:1)) g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "coords length mismatch accepted"
 
 (* ------------------------------------------------------------------ *)
 (* Protection.level minimality property (Theorem 1, Section 3.1) *)
@@ -263,6 +341,17 @@ let () =
           Alcotest.test_case "ordering" `Quick test_ordering;
           Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ( "import",
+        [
+          Alcotest.test_case "silent without metadata" `Quick
+            test_import_silent_without_metadata;
+          Alcotest.test_case "counters and coords" `Quick
+            test_import_counters_and_coords;
+          Alcotest.test_case "regional escalation" `Quick
+            test_import_coords_escalate_with_regional;
+          Alcotest.test_case "isolated node" `Quick
+            test_import_isolated_node;
         ] );
       ( "properties",
         [

@@ -127,6 +127,36 @@ let test_malformed () =
   | _ -> Alcotest.fail "negative tolerance accepted"
   | exception Invalid_argument _ -> ()
 
+let test_compile_rows () =
+  (* the compile sweep gates the machine-relative speedups, matched by
+     mesh size, and contributes nothing when either document lacks it *)
+  let compile_doc ~memoized ~patch =
+    let row =
+      J.Obj
+        [ ("nodes", J.Int 1000);
+          ("reference_s", J.Float 184.);
+          ("memoized_speedup", J.Float memoized);
+          ("patch_speedup", J.Float patch) ]
+    in
+    match doc [ fig3 ~calls_per_s:4000. ~words:0.3 ] with
+    | J.Obj fields -> J.Obj (fields @ [ ("compile", J.List [ row ]) ])
+    | _ -> assert false
+  in
+  let old_doc = compile_doc ~memoized:14. ~patch:21.
+  and new_doc = compile_doc ~memoized:9. ~patch:22. in
+  let report = BD.compare ~tolerance:10. ~old_doc ~new_doc () in
+  let r = find report ~section:"compile:n1000" ~metric:"memoized_speedup" in
+  Alcotest.(check bool) "memoized slowdown regresses" true r.BD.regressed;
+  let p = find report ~section:"compile:n1000" ~metric:"patch_speedup" in
+  Alcotest.(check bool) "patch speedup gain is clean" false p.BD.regressed;
+  let plain = doc [ fig3 ~calls_per_s:4000. ~words:0.3 ] in
+  let report = BD.compare ~old_doc:plain ~new_doc ~tolerance:10. () in
+  Alcotest.(check bool) "absent sweep contributes no rows" true
+    (List.for_all
+       (fun r -> not (String.length r.BD.section >= 8
+                      && String.sub r.BD.section 0 8 = "compile:"))
+       report.BD.rows)
+
 let test_json_shape () =
   let old_doc = doc [ fig3 ~calls_per_s:4000. ~words:0.3 ]
   and new_doc = doc [ fig3 ~calls_per_s:3000. ~words:0.3 ] in
@@ -162,4 +192,5 @@ let () =
           Alcotest.test_case "differing section sets" `Quick test_section_sets;
           Alcotest.test_case "service row" `Quick test_service_row;
           Alcotest.test_case "malformed documents" `Quick test_malformed;
+          Alcotest.test_case "compile sweep rows" `Quick test_compile_rows;
           Alcotest.test_case "json report" `Quick test_json_shape ] ) ]

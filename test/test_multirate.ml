@@ -109,8 +109,16 @@ let test_workload_and_trace () =
   feq_at 1e-9 "offered bandwidth" ((5. *. 6.) +. (6. *. 6.))
     (Mr_trace.offered_bandwidth w);
   let rng = Rng.create ~seed:2 in
-  let calls = Mr_trace.generate ~rng ~duration:20. w in
+  let trace = Mr_trace.generate ~rng ~duration:20. w in
+  let calls = trace.Mr_trace.calls in
   Alcotest.(check bool) "calls generated" true (Array.length calls > 400);
+  Alcotest.(check bool) "columns match records" true
+    (Array.for_all2
+       (fun c t -> c.Mr_trace.time = t)
+       calls trace.Mr_trace.times
+    && Array.for_all2
+         (fun (c : Mr_trace.call) e -> c.Mr_trace.time +. c.Mr_trace.holding = e)
+         calls trace.Mr_trace.ends);
   let sorted = ref true and prev = ref 0. in
   let narrow_count = ref 0 and wide_count = ref 0 in
   Array.iter
@@ -154,7 +162,8 @@ let test_mr_engine_bandwidth_accounting () =
   let calls =
     [| mk_call 1. 0 1 10. 1; mk_call 2. 0 1 10. 1; mk_call 3. 0 1 10. 0 |]
   in
-  let s = Mr_engine.run ~warmup:0. ~graph:g ~workload:w ~policy ~duration:20. calls in
+  let s = Mr_engine.run ~warmup:0. ~graph:g ~workload:w ~policy ~duration:20.
+      (Mr_trace.of_calls calls) in
   Alcotest.(check int) "wideband offered" 2 s.Mr_engine.offered.(1);
   Alcotest.(check int) "wideband blocked" 1 s.Mr_engine.blocked.(1);
   Alcotest.(check int) "narrowband carried" 0 s.Mr_engine.blocked.(0);
@@ -166,7 +175,8 @@ let test_mr_engine_departure () =
   let g, routes, w = one_link_setup 6 in
   let policy = Mr_scheme.single_path routes w in
   let calls = [| mk_call 1. 0 1 2. 1; mk_call 4. 0 1 2. 1 |] in
-  let s = Mr_engine.run ~warmup:0. ~graph:g ~workload:w ~policy ~duration:20. calls in
+  let s = Mr_engine.run ~warmup:0. ~graph:g ~workload:w ~policy ~duration:20.
+      (Mr_trace.of_calls calls) in
   Alcotest.(check int) "capacity recycled" 0 s.Mr_engine.blocked.(1)
 
 let test_mr_controlled_protects () =
@@ -184,7 +194,9 @@ let test_mr_controlled_protects () =
   let controlled = Mr_scheme.controlled ~reserves routes w in
   let uncontrolled = Mr_scheme.uncontrolled routes w in
   (* saturate direct 0->1 with a wideband call, then try another *)
-  let calls = [| mk_call 1. 0 1 10. 1; mk_call 2. 0 1 10. 1 |] in
+  let calls =
+    Mr_trace.of_calls [| mk_call 1. 0 1 10. 1; mk_call 2. 0 1 10. 1 |]
+  in
   let s_ctl =
     Mr_engine.run ~warmup:0. ~graph:g ~workload:w ~policy:controlled
       ~duration:20. calls
@@ -249,23 +261,24 @@ let test_mr_degenerates_to_single_rate_engine () =
   let w = Mr_trace.workload [ (Call_class.narrowband, matrix) ] in
   let rng = Rng.substream (Rng.create ~seed:21) "trace" in
   let trace = Trace.generate ~rng ~duration:50. matrix in
-  let mr_calls =
-    Array.map
-      (fun (c : Trace.call) ->
-        { Mr_trace.time = c.Trace.time;
-          src = c.Trace.src;
-          dst = c.Trace.dst;
-          holding = c.Trace.holding;
-          class_index = 0;
-          u = c.Trace.u })
-      trace.Trace.calls
+  let mr_trace =
+    Mr_trace.of_calls
+      (Array.map
+         (fun (c : Trace.call) ->
+           { Mr_trace.time = c.Trace.time;
+             src = c.Trace.src;
+             dst = c.Trace.dst;
+             holding = c.Trace.holding;
+             class_index = 0;
+             u = c.Trace.u })
+         trace.Trace.calls)
   in
   List.iter
     (fun (sr_policy, mr_policy) ->
       let sr = Engine.run ~warmup:10. ~graph:g ~policy:sr_policy trace in
       let mr =
         Mr_engine.run ~warmup:10. ~graph:g ~workload:w ~policy:mr_policy
-          ~duration:50. mr_calls
+          ~duration:50. mr_trace
       in
       Alcotest.(check int)
         (Printf.sprintf "%s: same offered" sr_policy.Engine.name)

@@ -578,6 +578,151 @@ let test_alternate_attempt_order_golden () =
        (Route_table.alternates_excluding t ~src:0 ~dst:3
           (Route_table.primary t ~src:0 ~dst:3)))
 
+(* ------------------------------------------------------------------ *)
+(* memoized/parallel build and incremental patch *)
+
+let prop_paths_from_row =
+  QCheck2.Test.make ~count:80
+    ~name:"paths_from row = per-pair simple_paths"
+    QCheck2.Gen.(pair graph_gen (int_range 1 5))
+    (fun ((n, edges), h) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:1 edges in
+      let row = Enumerate.paths_from ~max_hops:h g ~src:0 in
+      List.for_all
+        (fun dst ->
+          let expect =
+            if dst = 0 then []
+            else Enumerate.simple_paths ~max_hops:h g ~src:0 ~dst
+          in
+          List.map Path.nodes row.(dst) = List.map Path.nodes expect
+          && List.map Path.link_ids row.(dst) = List.map Path.link_ids expect)
+        (List.init n (fun i -> i)))
+
+let prop_build_matches_reference =
+  QCheck2.Test.make ~count:60
+    ~name:"memoized build = per-pair reference build (and under domains)"
+    QCheck2.Gen.(pair graph_gen (int_range 1 5))
+    (fun ((n, edges), h) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:1 edges in
+      let reference = Route_table.build_reference ~h g in
+      Route_table.equal reference (Route_table.build ~h g)
+      && Route_table.equal reference (Route_table.build ~domains:3 ~h g))
+
+(* random meshes up to 8 nodes, as the issue asks: spanning path plus
+   random chords, so removals can disconnect pairs *)
+let mesh_gen_8 =
+  QCheck2.Gen.(
+    let* n = int_range 4 8 in
+    let all =
+      List.concat_map
+        (fun i -> List.init (n - i - 1) (fun j -> (i, i + j + 1)))
+        (List.init n (fun i -> i))
+    in
+    let spanning = List.init (n - 1) (fun i -> (i, i + 1)) in
+    let* extra = list_size (int_range 0 8) (oneofl all) in
+    let* h = int_range 1 5 in
+    let* ops = list_size (int_range 1 3) (int_bound 9999) in
+    return (n, List.sort_uniq compare (spanning @ extra), h, ops))
+
+(* derive a concrete change from an op seed against the *current* graph,
+   so sequences stay applicable as the graph evolves *)
+let change_of_seed g seed =
+  let m = Graph.link_count g in
+  let n = Graph.node_count g in
+  match seed mod 3 with
+  | 0 when m > 0 ->
+    let l = Graph.link g (seed / 3 mod m) in
+    Some (Route_table.Remove_link { src = l.Link.src; dst = l.Link.dst })
+  | 1 ->
+    let missing = ref [] in
+    for src = n - 1 downto 0 do
+      for dst = n - 1 downto 0 do
+        if src <> dst && Graph.find_link g ~src ~dst = None then
+          missing := (src, dst) :: !missing
+      done
+    done;
+    (match !missing with
+    | [] -> None
+    | l ->
+      let src, dst = List.nth l (seed / 3 mod List.length l) in
+      Some (Route_table.Add_link { src; dst; capacity = 1 + (seed mod 7) }))
+  | _ when m > 0 ->
+    let l = Graph.link g (seed / 3 mod m) in
+    Some
+      (Route_table.Set_capacity
+         { src = l.Link.src; dst = l.Link.dst; capacity = seed mod 5 })
+  | _ -> None
+
+let prop_patch_equals_rebuild =
+  QCheck2.Test.make ~count:80
+    ~name:"incremental patch = from-scratch rebuild (random <=8-node meshes)"
+    mesh_gen_8
+    (fun (n, edges, h, ops) ->
+      let g = Graph.of_edges ~nodes:n ~capacity:1 edges in
+      let t = ref (Route_table.build ~h g) in
+      let ok = ref true in
+      List.iter
+        (fun seed ->
+          match change_of_seed (Route_table.graph !t) seed with
+          | None -> ()
+          | Some change ->
+            let patched, recomputed = Route_table.patch !t [ change ] in
+            let rebuilt = Route_table.build ~h (Route_table.graph patched) in
+            if not (Route_table.equal patched rebuilt) then ok := false;
+            if recomputed < 0 || recomputed > n * (n - 1) then ok := false;
+            (match change with
+            | Route_table.Set_capacity _ when recomputed <> 0 -> ok := false
+            | _ -> ());
+            t := patched)
+        ops;
+      !ok)
+
+let test_patch_nsfnet_golden () =
+  (* one link failure on NSFNet at the paper's H: the canonical
+     incremental-recompile scenario the failure layer feeds *)
+  let g = Nsfnet.graph () in
+  let t = Route_table.build g in
+  let l = Graph.link g 0 in
+  let patched, recomputed =
+    Route_table.patch t
+      [ Route_table.Remove_link { src = l.Link.src; dst = l.Link.dst } ]
+  in
+  let g' = Graph.without_links g [ (l.Link.src, l.Link.dst) ] in
+  Alcotest.(check bool) "patched table equals rebuild" true
+    (Route_table.equal patched (Route_table.build g'));
+  (* at the unrestricted H = 11, 85 of the 132 ordered pairs hold some
+     candidate through link 0 — the rest carry over untouched *)
+  Alcotest.(check int) "pairs recomputed (of 132)" 85 recomputed;
+  (* repairing the link restores the original table *)
+  let restored, _ =
+    Route_table.patch patched
+      [ Route_table.Add_link
+          { src = l.Link.src; dst = l.Link.dst; capacity = l.Link.capacity } ]
+  in
+  Alcotest.(check bool) "add-back restores the original" true
+    (Route_table.equal restored t)
+
+let test_patch_validation () =
+  let g = k4 () in
+  let t = Route_table.build g in
+  check_invalid "remove absent link" (fun () ->
+      ignore (Route_table.patch t [ Route_table.Remove_link { src = 0; dst = 0 } ]));
+  check_invalid "add existing link" (fun () ->
+      ignore
+        (Route_table.patch t
+           [ Route_table.Add_link { src = 0; dst = 1; capacity = 1 } ]));
+  check_invalid "custom-primary tables are not patchable" (fun () ->
+      let custom =
+        Route_table.build ~primary:(fun ~src ~dst -> Bfs.min_hop_path g ~src ~dst) g
+      in
+      ignore
+        (Route_table.patch custom
+           [ Route_table.Remove_link { src = 0; dst = 1 } ]));
+  check_invalid "protected tables are not patchable" (fun () ->
+      ignore
+        (Route_table.patch (Route_table.protected g)
+           [ Route_table.Remove_link { src = 0; dst = 1 } ]))
+
 let prop_bfs_is_shortest =
   QCheck2.Test.make ~count:80 ~name:"bfs path length equals distance"
     graph_gen (fun (n, edges) ->
@@ -646,6 +791,13 @@ let () =
           Alcotest.test_case "protected (Suurballe) table" `Quick
             test_route_table_protected;
           QCheck_alcotest.to_alcotest prop_protected_table ] );
+      ( "patch",
+        [ Alcotest.test_case "nsfnet one-link-failure golden" `Quick
+            test_patch_nsfnet_golden;
+          Alcotest.test_case "validation" `Quick test_patch_validation;
+          QCheck_alcotest.to_alcotest prop_paths_from_row;
+          QCheck_alcotest.to_alcotest prop_build_matches_reference;
+          QCheck_alcotest.to_alcotest prop_patch_equals_rebuild ] );
       ( "properties",
         List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_enumerated_paths_valid;

@@ -35,6 +35,12 @@ let command_gen =
         map (fun link -> Wire.Fail { link }) (int_range (-2) 500);
         map (fun link -> Wire.Repair { link }) (int_range (-2) 500);
         return Wire.Reload;
+        map3
+          (fun src dst capacity -> Wire.Link_add { src; dst; capacity })
+          (int_range (-2) 40) (int_range (-2) 40) (int_range (-2) 500);
+        map2
+          (fun src dst -> Wire.Link_del { src; dst })
+          (int_range (-2) 40) (int_range (-2) 40);
         return Wire.Stats;
         return Wire.Drain;
         return Wire.Quit ])
@@ -53,6 +59,7 @@ let response_gen =
         return Wire.Blocked;
         return Wire.Done;
         map (fun changed -> Wire.Reloaded { changed }) (int_bound 200);
+        map (fun recomputed -> Wire.Patched { recomputed }) (int_bound 500);
         map3
           (fun (accepted, blocked, torn_down) (dropped, failovers, active)
                (reloads, failed, draining) ->
@@ -332,6 +339,92 @@ let test_fail_repair_edge_cases () =
     Alcotest.(check (list int)) "direct again" [ 0; 1 ] path
   | r -> Alcotest.failf "setup after repair: %s" (Wire.print_response r));
   Alcotest.(check int) "failovers unchanged" 1 (State.stats st).Wire.failovers
+
+(* LINK ADD / LINK DEL: the service-layer face of Route_table.patch.
+   A patched daemon must agree with a freshly built one, survivors'
+   circuits must follow the renumbered link ids, and scripted daemons
+   must refuse patches outright. *)
+let test_link_patch () =
+  let g = quadrangle ~capacity:5 () in
+  let st = State.create g in
+  let m = Graph.link_count g in
+  let expect_patched what resp =
+    match resp with
+    | Wire.Patched { recomputed } ->
+      Alcotest.(check bool) (what ^ " recompiled something") true
+        (recomputed >= 1)
+    | r -> Alcotest.failf "%s: %s" what (Wire.print_response r)
+  in
+  (* typed errors, not exceptions *)
+  (match State.link_add st ~src:0 ~dst:0 ~capacity:5 with
+  | Wire.Err { code = "bad-argument"; _ } -> ()
+  | r -> Alcotest.failf "self loop: %s" (Wire.print_response r));
+  (match State.link_add st ~src:0 ~dst:1 ~capacity:5 with
+  | Wire.Err { code = "link-exists"; _ } -> ()
+  | r -> Alcotest.failf "duplicate: %s" (Wire.print_response r));
+  (match State.link_del st ~src:0 ~dst:99 with
+  | Wire.Err { code = "no-such-link"; _ } -> ()
+  | r -> Alcotest.failf "missing link: %s" (Wire.print_response r));
+  (* a bystander call on another pair, and a victim on 0 -> 1 *)
+  let bystander =
+    match State.setup st ~src:2 ~dst:3 ~time:None with
+    | Wire.Admitted { id; _ } -> id
+    | r -> Alcotest.failf "bystander setup: %s" (Wire.print_response r)
+  in
+  (match State.setup st ~src:0 ~dst:1 ~time:None with
+  | Wire.Admitted { path; _ } ->
+    Alcotest.(check (list int)) "direct primary" [ 0; 1 ] path
+  | r -> Alcotest.failf "victim setup: %s" (Wire.print_response r));
+  expect_patched "del 0->1" (State.link_del st ~src:0 ~dst:1);
+  Alcotest.(check int) "one link fewer" (m - 1)
+    (Graph.link_count (State.graph st));
+  Alcotest.(check int) "call on the dead link dropped" 1
+    (State.stats st).Wire.dropped;
+  (* the patched table is exactly what a full rebuild would produce *)
+  Alcotest.(check bool) "patch = rebuild after del" true
+    (Route_table.equal (State.routes st)
+       (Route_table.build ~h:(Route_table.h (State.routes st))
+          (State.graph st)));
+  (* 0 -> 1 now rides a two-hop primary; no failover is counted because
+     the table itself changed, nothing failed *)
+  (match State.setup st ~src:0 ~dst:1 ~time:None with
+  | Wire.Admitted { id; path } ->
+    Alcotest.(check int) "two hops now" 3 (List.length path);
+    ignore (State.teardown st ~id : Wire.response)
+  | r -> Alcotest.failf "setup after del: %s" (Wire.print_response r));
+  Alcotest.(check int) "no failover" 0 (State.stats st).Wire.failovers;
+  (* the bystander's circuits were remapped with the shifted ids: its
+     teardown must release cleanly (release asserts occupancy > 0) *)
+  (match State.teardown st ~id:bystander with
+  | Wire.Done -> ()
+  | r -> Alcotest.failf "bystander teardown: %s" (Wire.print_response r));
+  Alcotest.(check (list int)) "occupancy fully drained" []
+    (Array.to_list (State.occupancy st)
+    |> List.filteri (fun _ o -> o <> 0));
+  (* restore the arc; the direct route comes back *)
+  expect_patched "add 0->1" (State.link_add st ~src:0 ~dst:1 ~capacity:5);
+  Alcotest.(check int) "link count restored" m
+    (Graph.link_count (State.graph st));
+  Alcotest.(check bool) "patch = rebuild after add" true
+    (Route_table.equal (State.routes st)
+       (Route_table.build ~h:(Route_table.h (State.routes st))
+          (State.graph st)));
+  (match State.setup st ~src:0 ~dst:1 ~time:None with
+  | Wire.Admitted { path; _ } ->
+    Alcotest.(check (list int)) "direct again" [ 0; 1 ] path
+  | r -> Alcotest.failf "setup after add: %s" (Wire.print_response r));
+  (* a daemon driving a failure script refuses patches: script events
+     address links by id, and patches shift ids *)
+  let module S = Arnet_failure.Script in
+  let scripted =
+    State.create
+      ~failure_script:
+        (S.of_events [ { S.time = 5.; link = 0; action = S.Fail } ])
+      (quadrangle ())
+  in
+  match State.link_del scripted ~src:0 ~dst:1 with
+  | Wire.Err { code = "script-active"; _ } -> ()
+  | r -> Alcotest.failf "scripted patch: %s" (Wire.print_response r)
 
 let test_failure_script_follows_clock () =
   let module S = Arnet_failure.Script in
@@ -941,6 +1034,8 @@ let () =
             test_all_paths_dead_blocks;
           Alcotest.test_case "fail/repair edge cases" `Quick
             test_fail_repair_edge_cases;
+          Alcotest.test_case "link add/del patches routes" `Quick
+            test_link_patch;
           Alcotest.test_case "failure script follows the clock" `Quick
             test_failure_script_follows_clock ] );
       ( "reload",
