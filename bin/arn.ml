@@ -1395,9 +1395,23 @@ let serve_cmd =
     let doc = "Log JSONL (one JSON object per line) instead of text." in
     Arg.(value & flag & info [ "log-json" ] ~doc)
   in
+  let domains_opt =
+    let doc =
+      "Shard the service plane across $(docv) domains: one dispatcher \
+       dealing connections to $(docv) worker loops that read, parse, \
+       frame and write in parallel, with admission decisions still a \
+       single total order under one lock.  1 (the default, or \
+       $(b,ARNET_DOMAINS)) is the unsharded single-threaded daemon."
+    in
+    let positive =
+      Arg.conv' (Pool.domains_of_string, Format.pp_print_int)
+    in
+    Arg.(
+      value & opt (some positive) None & info [ "domains"; "j" ] ~docv:"N" ~doc)
+  in
   let run network capacity listen h scale demand unprotected seed
       reload_every snapshot trace_file failure_script metrics_file window
-      smoothing telemetry slow_ms log_level log_json =
+      smoothing telemetry slow_ms log_level log_json domains_opt =
     let logger =
       Obs.Logger.create ~level:log_level
         ~format:(if log_json then Obs.Logger.Jsonl else Obs.Logger.Text)
@@ -1452,8 +1466,8 @@ let serve_cmd =
             ("addr", Obs.Jsonu.String (Service.Server.addr_to_string addr)) ]
     in
     (try
-       Service.Server.serve ~metrics ?telemetry ~logger ?snapshot ~on_listen
-         ~state listen
+       Service.Server.serve ?domains:domains_opt ~metrics ?telemetry ~logger
+         ?snapshot ~on_listen ~state listen
      with Unix.Unix_error (err, fn, arg) ->
        Printf.eprintf "arn serve: cannot listen: %s (%s %s)\n"
          (Unix.error_message err) fn arg;
@@ -1493,7 +1507,7 @@ let serve_cmd =
       const run $ network_arg $ capacity_arg $ listen $ h $ scale $ demand
       $ unprotected $ seed $ reload_every $ snapshot $ trace_file
       $ failure_script $ metrics_file $ window $ smoothing $ telemetry
-      $ slow_ms $ log_level $ log_json)
+      $ slow_ms $ log_level $ log_json $ domains_opt)
 
 let load_cmd =
   let connect =
@@ -1548,14 +1562,28 @@ let load_cmd =
     in
     Arg.(value & flag & info [ "drain" ] ~doc)
   in
+  let binary =
+    let doc =
+      "Upgrade each connection with HELLO binary and drive the binary \
+       batch framing instead of the line protocol."
+    in
+    Arg.(value & flag & info [ "binary" ] ~doc)
+  in
+  let batch =
+    let doc =
+      "Commands pipelined per binary frame (needs $(b,--binary)): one \
+       write/read syscall round per batch of $(docv)."
+    in
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc)
+  in
   let run network capacity connect seed calls connections scale demand
-      no_timestamps retry_for json drain =
+      no_timestamps retry_for json drain binary batch =
     let g = build_graph network capacity in
     let matrix = build_matrix network g ~scale ~demand in
     let result =
       try
         Service.Loadgen.run ~connections ~timestamps:(not no_timestamps)
-          ~retry_for ~seed ~calls ~matrix ~addr:connect ()
+          ~retry_for ~binary ~batch ~seed ~calls ~matrix ~addr:connect ()
       with
       | Invalid_argument msg ->
         Printf.eprintf "arn load: %s\n" msg;
@@ -1588,7 +1616,7 @@ let load_cmd =
     Term.(
       const run $ network_arg $ capacity_arg $ connect $ seed $ calls
       $ connections $ scale $ demand $ no_timestamps $ retry_for $ json
-      $ drain)
+      $ drain $ binary $ batch)
 
 (* ------------------------------------------------------------------ *)
 (* arn bench *)

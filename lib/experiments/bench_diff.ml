@@ -104,7 +104,11 @@ let compare ?(tolerance = 10.) ~old_doc ~new_doc () =
   (* the compile sweep: rows matched by mesh size; the gated quantities
      are the speedups of the memoized and incremental builders over the
      sequential per-pair rebuild, which are machine-relative and so
-     comparable across containers where raw seconds are not *)
+     comparable across containers where raw seconds are not.  A speedup
+     divides two independently timed runs, so its relative noise is the
+     two timings' noise combined — such ratio rows are gated at double
+     the tolerance of single-measurement metrics *)
+  let ratio_tolerance = 2. *. tolerance in
   let compile_rows =
     let rows_of doc =
       match J.member "compile" doc with
@@ -130,7 +134,7 @@ let compare ?(tolerance = 10.) ~old_doc ~new_doc () =
               with
               | Some old_value, Some new_value ->
                 Some
-                  (row ~tolerance
+                  (row ~tolerance:ratio_tolerance
                      ~section:(Printf.sprintf "compile:n%d" nodes)
                      ~metric ~direction:Higher ~old_value ~new_value)
               | _ -> None)
@@ -149,6 +153,25 @@ let compare ?(tolerance = 10.) ~old_doc ~new_doc () =
       | _ -> [])
     | _ -> []
   in
+  (* the service scaling record: the gated quantity is the batch-32
+     binary speedup over the line protocol — a ratio of two measured
+     rates like the compile speedups, so gated at the same widened
+     tolerance *)
+  let serve_scaling_rows =
+    match
+      (J.member "serve_scaling" old_doc, J.member "serve_scaling" new_doc)
+    with
+    | Some old_s, Some new_s -> (
+      match
+        ( float_member "binary_speedup" old_s,
+          float_member "binary_speedup" new_s )
+      with
+      | Some old_value, Some new_value ->
+        [ row ~tolerance:ratio_tolerance ~section:"serve_scaling"
+            ~metric:"binary_speedup" ~direction:Higher ~old_value ~new_value ]
+      | _ -> [])
+    | _ -> []
+  in
   (* totals sum over whatever sections a run recorded: only comparable
      when the two runs recorded the same set *)
   let total_rows =
@@ -164,7 +187,9 @@ let compare ?(tolerance = 10.) ~old_doc ~new_doc () =
     else []
   in
   { tolerance;
-    rows = section_rows @ compile_rows @ service_rows @ total_rows;
+    rows =
+      section_rows @ compile_rows @ service_rows @ serve_scaling_rows
+      @ total_rows;
     missing_in_new;
     extra_in_new }
 

@@ -13,6 +13,13 @@
       machine-relative, so they compare across containers where raw
       seconds would not);
     - [service.requests_per_s] (higher is better);
+    - [serve_scaling.binary_speedup] — the batch-32 binary-framing
+      throughput over the line protocol (higher is better;
+      machine-relative like the compile speedups);
+
+    Speedup rows divide two independently measured timings, so their
+    relative noise combines both measurements' noise; they are gated at
+    twice [tolerance] where single-measurement metrics use it as-is.
     - [total_calls_per_s], only when the two runs recorded exactly the
       same section set (totals over different sections are not
       comparable).

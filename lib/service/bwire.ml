@@ -1,0 +1,247 @@
+type frame = Commands of Wire.command list | Replies of Wire.response list
+
+type error =
+  | Truncated of { have : int; need : int }
+  | Oversized of { declared : int; limit : int }
+  | Corrupt of string
+
+let error_to_string = function
+  | Truncated { have; need } ->
+    Printf.sprintf "truncated frame: have %d bytes, need %d" have need
+  | Oversized { declared; limit } ->
+    Printf.sprintf "oversized frame: %d bytes declared, limit %d" declared
+      limit
+  | Corrupt detail -> "corrupt frame: " ^ detail
+
+let max_frame_payload = 1 lsl 20
+let max_batch = 4096
+
+(* item tags inside a command frame *)
+let tag_setup = 1
+let tag_setup_timed = 2
+let tag_teardown = 3
+let tag_cmd_line = 4
+
+(* item tags inside a reply frame *)
+let tag_admitted = 1
+let tag_blocked = 2
+let tag_ok = 3
+let tag_err = 4
+let tag_resp_line = 5
+
+let kind_commands = 1
+let kind_replies = 2
+
+(* ------------------------------------------------------------------ *)
+(* encoding *)
+
+let check_u16 what v =
+  if v < 0 || v > 0xFFFF then
+    invalid_arg (Printf.sprintf "Bwire: %s %d outside u16" what v)
+
+let check_u32 what v =
+  if v < 0 || v > 0xFFFFFFFF then
+    invalid_arg (Printf.sprintf "Bwire: %s %d outside u32" what v)
+
+let add_line buf what line =
+  let n = String.length line in
+  if n > 0xFFFF then
+    invalid_arg (Printf.sprintf "Bwire: %s line exceeds %d bytes" what 0xFFFF);
+  Buffer.add_uint16_be buf n;
+  Buffer.add_string buf line
+
+let add_command buf = function
+  | Wire.Setup { src; dst; time } -> (
+    check_u16 "setup src" src;
+    check_u16 "setup dst" dst;
+    match time with
+    | None ->
+      Buffer.add_uint8 buf tag_setup;
+      Buffer.add_uint16_be buf src;
+      Buffer.add_uint16_be buf dst
+    | Some t ->
+      if not (Float.is_finite t) || t < 0. then
+        invalid_arg "Bwire: setup time must be finite and >= 0";
+      Buffer.add_uint8 buf tag_setup_timed;
+      Buffer.add_uint16_be buf src;
+      Buffer.add_uint16_be buf dst;
+      Buffer.add_int64_be buf (Int64.bits_of_float t))
+  | Wire.Teardown { id } ->
+    check_u32 "teardown id" id;
+    Buffer.add_uint8 buf tag_teardown;
+    Buffer.add_int32_be buf (Int32.of_int id)
+  | cmd ->
+    Buffer.add_uint8 buf tag_cmd_line;
+    add_line buf "command" (Wire.print_command cmd)
+
+let add_response buf = function
+  | Wire.Admitted { id; path } ->
+    check_u32 "admitted id" id;
+    let nodes = List.length path in
+    if nodes < 2 || nodes > 0xFF then
+      invalid_arg "Bwire: admitted path needs 2..255 nodes";
+    List.iter (check_u16 "path node") path;
+    Buffer.add_uint8 buf tag_admitted;
+    Buffer.add_int32_be buf (Int32.of_int id);
+    Buffer.add_uint8 buf nodes;
+    List.iter (fun node -> Buffer.add_uint16_be buf node) path
+  | Wire.Blocked -> Buffer.add_uint8 buf tag_blocked
+  | Wire.Done -> Buffer.add_uint8 buf tag_ok
+  | Wire.Err { code; detail } ->
+    let cn = String.length code and dn = String.length detail in
+    if cn < 1 || cn > 0xFF then
+      invalid_arg "Bwire: err code must be 1..255 bytes";
+    if dn > 0xFFFF then invalid_arg "Bwire: err detail exceeds 65535 bytes";
+    Buffer.add_uint8 buf tag_err;
+    Buffer.add_uint8 buf cn;
+    Buffer.add_string buf code;
+    Buffer.add_uint16_be buf dn;
+    Buffer.add_string buf detail
+  | (Wire.Reloaded _ | Wire.Patched _ | Wire.Stats_reply _) as resp ->
+    Buffer.add_uint8 buf tag_resp_line;
+    add_line buf "response" (Wire.print_response resp)
+
+let encode kind add items =
+  let count = List.length items in
+  if count > max_batch then
+    invalid_arg
+      (Printf.sprintf "Bwire: batch of %d exceeds max_batch %d" count
+         max_batch);
+  let payload = Buffer.create 256 in
+  Buffer.add_uint8 payload kind;
+  Buffer.add_uint16_be payload count;
+  List.iter (add payload) items;
+  let n = Buffer.length payload in
+  if n > max_frame_payload then
+    invalid_arg
+      (Printf.sprintf "Bwire: frame payload of %d exceeds %d" n
+         max_frame_payload);
+  let frame = Buffer.create (n + 4) in
+  Buffer.add_int32_be frame (Int32.of_int n);
+  Buffer.add_buffer frame payload;
+  Buffer.contents frame
+
+let encode_commands cmds = encode kind_commands add_command cmds
+let encode_replies resps = encode kind_replies add_response resps
+
+(* ------------------------------------------------------------------ *)
+(* decoding *)
+
+exception Bad of error
+
+let decode ?(off = 0) data =
+  let len = String.length data in
+  if off < 0 || off > len then invalid_arg "Bwire.decode: offset out of range";
+  let have = len - off in
+  try
+    if have < 4 then raise (Bad (Truncated { have; need = 4 }));
+    let payload_len =
+      Int32.to_int (String.get_int32_be data off) land 0xFFFFFFFF
+    in
+    if payload_len > max_frame_payload then
+      raise (Bad (Oversized { declared = payload_len; limit = max_frame_payload }));
+    let need = 4 + payload_len in
+    if have < need then raise (Bad (Truncated { have; need }));
+    if payload_len < 3 then
+      raise (Bad (Corrupt "payload shorter than its kind and count"));
+    (* cursor bounded by the declared payload, not by the buffer: an
+       item running past the frame end is corruption even when more
+       bytes (the next frame) are already buffered *)
+    let limit = off + need in
+    let pos = ref (off + 4) in
+    let u8 () =
+      if !pos + 1 > limit then raise (Bad (Corrupt "item past frame end"));
+      let v = String.get_uint8 data !pos in
+      pos := !pos + 1;
+      v
+    in
+    let u16 () =
+      if !pos + 2 > limit then raise (Bad (Corrupt "item past frame end"));
+      let v = String.get_uint16_be data !pos in
+      pos := !pos + 2;
+      v
+    in
+    let u32 () =
+      if !pos + 4 > limit then raise (Bad (Corrupt "item past frame end"));
+      let v = Int32.to_int (String.get_int32_be data !pos) land 0xFFFFFFFF in
+      pos := !pos + 4;
+      v
+    in
+    let f64 () =
+      if !pos + 8 > limit then raise (Bad (Corrupt "item past frame end"));
+      let v = Int64.float_of_bits (String.get_int64_be data !pos) in
+      pos := !pos + 8;
+      v
+    in
+    let str n =
+      if !pos + n > limit then raise (Bad (Corrupt "item past frame end"));
+      let s = String.sub data !pos n in
+      pos := !pos + n;
+      s
+    in
+    let kind = u8 () in
+    let count = u16 () in
+    (* List.init's evaluation order is unspecified; the cursor demands
+       left to right *)
+    let read_list n f =
+      let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (f () :: acc) in
+      go n []
+    in
+    if count > max_batch then
+      raise
+        (Bad (Corrupt (Printf.sprintf "batch count %d exceeds %d" count max_batch)));
+    let command () =
+      match u8 () with
+      | t when t = tag_setup ->
+        let src = u16 () in
+        let dst = u16 () in
+        Wire.Setup { src; dst; time = None }
+      | t when t = tag_setup_timed ->
+        let src = u16 () in
+        let dst = u16 () in
+        let time = f64 () in
+        if not (Float.is_finite time) || time < 0. then
+          raise (Bad (Corrupt "setup time must be finite and >= 0"));
+        Wire.Setup { src; dst; time = Some time }
+      | t when t = tag_teardown -> Wire.Teardown { id = u32 () }
+      | t when t = tag_cmd_line -> (
+        let line = str (u16 ()) in
+        match Wire.parse_command line with
+        | Ok cmd -> cmd
+        | Error (code, detail) ->
+          raise
+            (Bad (Corrupt (Printf.sprintf "escaped line: %s %s" code detail))))
+      | t -> raise (Bad (Corrupt (Printf.sprintf "unknown command tag %d" t)))
+    in
+    let response () =
+      match u8 () with
+      | t when t = tag_admitted ->
+        let id = u32 () in
+        let nodes = u8 () in
+        if nodes < 2 then
+          raise (Bad (Corrupt "admitted path needs >= 2 nodes"));
+        let path = read_list nodes u16 in
+        Wire.Admitted { id; path }
+      | t when t = tag_blocked -> Wire.Blocked
+      | t when t = tag_ok -> Wire.Done
+      | t when t = tag_err ->
+        let code = str (u8 ()) in
+        if code = "" then raise (Bad (Corrupt "err code must be nonempty"));
+        let detail = str (u16 ()) in
+        Wire.Err { code; detail }
+      | t when t = tag_resp_line -> (
+        let line = str (u16 ()) in
+        match Wire.parse_response line with
+        | Ok resp -> resp
+        | Error msg -> raise (Bad (Corrupt ("escaped line: " ^ msg))))
+      | t -> raise (Bad (Corrupt (Printf.sprintf "unknown response tag %d" t)))
+    in
+    let frame =
+      if kind = kind_commands then Commands (read_list count command)
+      else if kind = kind_replies then Replies (read_list count response)
+      else raise (Bad (Corrupt (Printf.sprintf "unknown frame kind %d" kind)))
+    in
+    if !pos <> limit then
+      raise (Bad (Corrupt "frame payload longer than its items"));
+    Ok (frame, need)
+  with Bad e -> Error e

@@ -1,0 +1,88 @@
+(** The daemon's binary batch framing, negotiated from the line
+    protocol by [HELLO binary] ({!Wire.Hello}).
+
+    One frame carries a whole batch: up to {!max_batch} commands from
+    the client, answered by one reply frame holding exactly one verdict
+    per command, in order — so a batch costs one [read]/[write]
+    syscall pair on each side instead of one per decision.  The codec
+    is pure and total: encoding any representable batch then decoding
+    it yields the original values (the qcheck round-trip in
+    [test/test_service.ml]), and malformed bytes decode to a typed
+    {!error}, never an exception.
+
+    Frame layout (all integers big-endian):
+
+    {v
+    u32  payload length (bytes after this word; <= max_frame_payload)
+    u8   kind            1 = commands, 2 = replies
+    u16  count           items in the batch (<= max_batch)
+    ...  count items
+    v}
+
+    Command items ([BSETUP]/[BTEARDOWN], tag first):
+
+    {v
+    1  u16 src  u16 dst                  SETUP (untimed)
+    2  u16 src  u16 dst  f64 time       SETUP at a virtual instant
+    3  u32 id                            TEARDOWN
+    4  u16 len  bytes                    any other command, as its
+                                         line-protocol text
+    v}
+
+    Reply items ([BRESULT], tag first):
+
+    {v
+    1  u32 id  u8 nodes  nodes x u16     ADMITTED with its node path
+    2                                    BLOCKED
+    3                                    OK
+    4  u8 n  code  u16 m  detail         ERR
+    5  u16 len  bytes                    any other response, as its
+                                         line-protocol text
+    v}
+
+    Endpoints and path nodes are u16 (the route compiler's 1000+-node
+    meshes fit with room to spare); call ids are u32. *)
+
+type frame =
+  | Commands of Wire.command list
+  | Replies of Wire.response list
+
+type error =
+  | Truncated of { have : int; need : int }
+      (** Not enough bytes yet: [need] is the byte count known to be
+          required so far (4 until the length word is complete, then
+          the full frame size).  A streaming reader treats this as
+          "wait for more"; at end-of-stream it is a protocol error. *)
+  | Oversized of { declared : int; limit : int }
+      (** The length word claims more than {!max_frame_payload} —
+          connection-fatal, since trusting it would let one client
+          make the daemon buffer without bound. *)
+  | Corrupt of string
+      (** Structurally invalid payload: unknown kind or tag, an item
+          running past the frame end, trailing bytes, a non-finite
+          setup time, an unparseable escaped line. *)
+
+val error_to_string : error -> string
+
+val max_frame_payload : int
+(** 1 MiB: far above any real batch (a timed SETUP item is 13 bytes),
+    a hard ceiling on per-connection buffering. *)
+
+val max_batch : int
+(** 4096 commands per frame. *)
+
+val encode_commands : Wire.command list -> string
+(** One commands frame, header included.
+    @raise Invalid_argument when a value does not fit the layout:
+    endpoint or path node outside u16, id outside u32, non-finite or
+    negative time, batch beyond {!max_batch}, escaped line beyond
+    65535 bytes. *)
+
+val encode_replies : Wire.response list -> string
+(** One replies frame; same exceptions for unrepresentable values. *)
+
+val decode : ?off:int -> string -> (frame * int, error) result
+(** Decode the frame starting at [off] (default 0).  [Ok (frame, n)]
+    consumed [n] bytes including the length word; the next frame, if
+    any, starts at [off + n].
+    @raise Invalid_argument when [off] is outside the string. *)

@@ -10,6 +10,7 @@ type result = {
   teardowns : int;
   requests : int;
   wall_s : float;
+  in_flight_max : int;
   latency_buckets : (float * int) list;
   latency_sum : float;
   latency_count : int;
@@ -41,7 +42,21 @@ type per_conn = {
   histogram : Arnet_obs.Metrics.histogram;
 }
 
-let drive ~timestamps ~retry_for ~addr (calls : Trace.call array) =
+(* requests written but not yet answered, summed over every connection;
+   [peak] is the high-water mark the result reports *)
+type inflight = { cur : int Atomic.t; peak : int Atomic.t }
+
+let inflight_enter fl k =
+  let now = k + Atomic.fetch_and_add fl.cur k in
+  let rec bump () =
+    let old = Atomic.get fl.peak in
+    if now > old && not (Atomic.compare_and_set fl.peak old now) then bump ()
+  in
+  bump ()
+
+let inflight_exit fl k = ignore (Atomic.fetch_and_add fl.cur (-k) : int)
+
+let drive ~timestamps ~retry_for ~inflight ~addr (calls : Trace.call array) =
   let registry = Arnet_obs.Metrics.create () in
   let acc =
     { c_accepted = 0;
@@ -61,9 +76,11 @@ let drive ~timestamps ~retry_for ~addr (calls : Trace.call array) =
     (fun () ->
       let departures = Event_queue.create () in
       let timed_request cmd =
+        inflight_enter inflight 1;
         let t0 = Unix.gettimeofday () in
         let response = Server.request ic oc cmd in
         Arnet_obs.Metrics.observe acc.histogram (Unix.gettimeofday () -. t0);
+        inflight_exit inflight 1;
         response
       in
       let teardown id =
@@ -104,11 +121,148 @@ let drive ~timestamps ~retry_for ~addr (calls : Trace.call array) =
       flush_departures ());
   acc
 
-let run ?(connections = 1) ?(timestamps = true) ?(retry_for = 5.) ~seed ~calls
-    ~matrix ~addr () =
+(* one reply frame off the (buffered) channel: length word, payload,
+   decode.  Channel buffering means one [read] syscall typically covers
+   the whole frame — the client-side half of the batch amortization *)
+let read_reply_frame ic =
+  let hdr = Bytes.create 4 in
+  really_input ic hdr 0 4;
+  let n = Int32.to_int (Bytes.get_int32_be hdr 0) land 0xFFFFFFFF in
+  if n > Bwire.max_frame_payload then
+    failwith
+      (Printf.sprintf "Loadgen: reply frame declares %d bytes (limit %d)" n
+         Bwire.max_frame_payload);
+  let payload = Bytes.create n in
+  really_input ic payload 0 n;
+  match Bwire.decode (Bytes.to_string hdr ^ Bytes.to_string payload) with
+  | Ok (Bwire.Replies replies, _) -> replies
+  | Ok (Bwire.Commands _, _) -> failwith "Loadgen: command frame from daemon"
+  | Error e ->
+    failwith ("Loadgen: bad reply frame: " ^ Bwire.error_to_string e)
+
+(* the same event walk as [drive], pipelined: commands accumulate into
+   a batch of up to [batch], shipped as one Bwire frame and answered by
+   one reply frame — one write/read round per batch instead of per
+   request.  Departures can only be scheduled once their SETUP's
+   verdict is read, so a teardown never rides in the same frame as (or
+   an earlier frame than) its own setup; each request's recorded
+   latency is its batch's round-trip time *)
+let drive_binary ~timestamps ~retry_for ~batch ~inflight ~addr
+    (calls : Trace.call array) =
+  let registry = Arnet_obs.Metrics.create () in
+  let acc =
+    { c_accepted = 0;
+      c_blocked = 0;
+      c_errors = 0;
+      c_teardowns = 0;
+      histogram =
+        Arnet_obs.Metrics.histogram registry ~buckets:latency_bounds
+          "arn_load_request_latency_seconds" }
+  in
+  let ic, oc = Server.connect ~retry_for addr in
+  Fun.protect
+    (* no QUIT in binary mode: closing the socket is the goodbye *)
+    ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+    (fun () ->
+      (match Server.request ic oc (Wire.Hello { mode = "binary" }) with
+      | Wire.Done -> ()
+      | resp ->
+        failwith
+          ("Loadgen: HELLO binary refused: " ^ Wire.print_response resp));
+      let departures = Event_queue.create () in
+      (* pending batch, newest first, with the metadata the verdict
+         needs: the originating call for a SETUP, nothing for a
+         TEARDOWN *)
+      let pending = ref [] in
+      let pending_n = ref 0 in
+      let flush_batch () =
+        if !pending_n > 0 then begin
+          let items = List.rev !pending in
+          let k = !pending_n in
+          pending := [];
+          pending_n := 0;
+          inflight_enter inflight k;
+          let t0 = Unix.gettimeofday () in
+          output_string oc (Bwire.encode_commands (List.map fst items));
+          flush oc;
+          let replies = read_reply_frame ic in
+          let rtt = Unix.gettimeofday () -. t0 in
+          inflight_exit inflight k;
+          if List.length replies <> k then
+            failwith
+              (Printf.sprintf "Loadgen: %d commands answered by %d verdicts"
+                 k (List.length replies));
+          List.iter2
+            (fun (_, meta) resp ->
+              Arnet_obs.Metrics.observe acc.histogram rtt;
+              match (meta, resp) with
+              | Some (call : Trace.call), Wire.Admitted { id; _ } ->
+                acc.c_accepted <- acc.c_accepted + 1;
+                Event_queue.push departures
+                  ~time:(call.Trace.time +. call.Trace.holding)
+                  id
+              | Some _, Wire.Blocked -> acc.c_blocked <- acc.c_blocked + 1
+              | Some _, _ -> acc.c_errors <- acc.c_errors + 1
+              | None, Wire.Done -> acc.c_teardowns <- acc.c_teardowns + 1
+              | None, _ ->
+                acc.c_errors <- acc.c_errors + 1;
+                acc.c_teardowns <- acc.c_teardowns + 1)
+            items replies
+        end
+      in
+      let push_cmd cmd meta =
+        pending := (cmd, meta) :: !pending;
+        incr pending_n;
+        if !pending_n >= batch then flush_batch ()
+      in
+      (* departures due by [time]: a flush inside the loop may admit
+         setups whose departures are also due, so drain to fixpoint *)
+      let rec release time =
+        let due = ref [] in
+        Event_queue.pop_until departures ~time ~f:(fun _ id ->
+            due := id :: !due);
+        match List.rev !due with
+        | [] -> ()
+        | ids ->
+          List.iter (fun id -> push_cmd (Wire.Teardown { id }) None) ids;
+          release time
+      in
+      Array.iter
+        (fun (call : Trace.call) ->
+          release call.Trace.time;
+          let time = if timestamps then Some call.Trace.time else None in
+          push_cmd
+            (Wire.Setup { src = call.Trace.src; dst = call.Trace.dst; time })
+            (Some call))
+        calls;
+      flush_batch ();
+      let rec drain () =
+        match Event_queue.pop departures with
+        | Some (_, id) ->
+          push_cmd (Wire.Teardown { id }) None;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      flush_batch ());
+  acc
+
+let run ?(connections = 1) ?(timestamps = true) ?(retry_for = 5.)
+    ?(binary = false) ?(batch = 1) ~seed ~calls ~matrix ~addr () =
   if calls < 1 then invalid_arg "Loadgen.run: calls < 1";
   if connections < 1 then invalid_arg "Loadgen.run: connections < 1";
+  if batch < 1 || batch > Bwire.max_batch then
+    invalid_arg
+      (Printf.sprintf "Loadgen.run: batch outside 1..%d" Bwire.max_batch);
+  if batch > 1 && not binary then
+    invalid_arg "Loadgen.run: batch > 1 needs binary:true";
   let workload = generate_calls ~seed ~calls matrix in
+  let inflight = { cur = Atomic.make 0; peak = Atomic.make 0 } in
+  let drive_one shard =
+    if binary then
+      drive_binary ~timestamps ~retry_for ~batch ~inflight ~addr shard
+    else drive ~timestamps ~retry_for ~inflight ~addr shard
+  in
   let shards =
     if connections = 1 then [ workload ]
     else
@@ -122,7 +276,7 @@ let run ?(connections = 1) ?(timestamps = true) ?(retry_for = 5.) ~seed ~calls
   let t0 = Unix.gettimeofday () in
   let results =
     match shards with
-    | [ only ] -> [ drive ~timestamps ~retry_for ~addr only ]
+    | [ only ] -> [ drive_one only ]
     | shards ->
       (* threads cannot return values: collect per-connection results
          (or the first failure) through slots *)
@@ -133,9 +287,7 @@ let run ?(connections = 1) ?(timestamps = true) ?(retry_for = 5.) ~seed ~calls
             Thread.create
               (fun () ->
                 slots.(i) <-
-                  Some
-                    (try Ok (drive ~timestamps ~retry_for ~addr shard)
-                     with e -> Error e))
+                  Some (try Ok (drive_one shard) with e -> Error e))
               ())
           shards
       in
@@ -182,6 +334,7 @@ let run ?(connections = 1) ?(timestamps = true) ?(retry_for = 5.) ~seed ~calls
     teardowns;
     requests = calls + teardowns;
     wall_s;
+    in_flight_max = Atomic.get inflight.peak;
     latency_buckets = merged_buckets;
     latency_sum;
     latency_count }
@@ -227,6 +380,7 @@ let to_json r =
       ("requests", J.Int r.requests);
       ("wall_s", J.Float r.wall_s);
       ("requests_per_s", J.Float (requests_per_second r));
+      ("requests_in_flight", J.Int r.in_flight_max);
       ("blocking",
        J.Float
          (if r.calls > 0 then float_of_int r.blocked /. float_of_int r.calls
@@ -243,8 +397,8 @@ let print ppf r =
   Format.fprintf ppf "blocking   %.4f@."
     (if r.calls > 0 then float_of_int r.blocked /. float_of_int r.calls
      else 0.);
-  Format.fprintf ppf "requests   %d in %.2fs  (%.0f req/s)@." r.requests
-    r.wall_s (requests_per_second r);
+  Format.fprintf ppf "requests   %d in %.2fs  (%.0f req/s, %d in flight max)@."
+    r.requests r.wall_s (requests_per_second r) r.in_flight_max;
   Format.fprintf ppf
     "latency    mean %.1f us   p50 %.1f us   p95 %.1f us   p99 %.1f us   \
      max %.1f us@."

@@ -27,6 +27,11 @@ type result = {
   teardowns : int;
   requests : int;  (** total wire round-trips, setups + teardowns *)
   wall_s : float;
+  in_flight_max : int;
+      (** high-water mark of requests written but not yet answered,
+          summed over every connection: [connections] in line mode
+          (one outstanding each), up to [connections * batch] when
+          batching *)
   latency_buckets : (float * int) list;
       (** request-latency histogram in seconds: [(upper bound,
           cumulative count)], log-scale bounds ending at [infinity] —
@@ -39,6 +44,8 @@ val run :
   ?connections:int ->
   ?timestamps:bool ->
   ?retry_for:float ->
+  ?binary:bool ->
+  ?batch:int ->
   seed:int ->
   calls:int ->
   matrix:Matrix.t ->
@@ -51,8 +58,17 @@ val run :
     clock and hence its estimators; disable to exercise the untimed
     protocol path.  [connections] defaults to 1; [retry_for] (default
     5 s) tolerates a daemon still binding its socket.
-    @raise Invalid_argument for [calls < 1] or [connections < 1];
-    socket errors propagate as [Unix.Unix_error]. *)
+
+    [binary] (default false) upgrades each connection with
+    [HELLO binary] and drives the {!Bwire} batch framing: up to
+    [batch] (default 1) commands per frame, one write/read round per
+    batch.  The event walk is the same — a teardown is only scheduled
+    once its setup's verdict has been read, so it never precedes its
+    own setup on the wire — and each request's recorded latency is its
+    batch's round-trip time, observed once per request.
+    @raise Invalid_argument for [calls < 1], [connections < 1],
+    [batch] outside [1 .. Bwire.max_batch], or [batch > 1] without
+    [binary]; socket errors propagate as [Unix.Unix_error]. *)
 
 val requests_per_second : result -> float
 

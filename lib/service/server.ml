@@ -82,12 +82,13 @@ let request ic oc cmd =
 
 type proto =
   | Command  (** the SETUP/TEARDOWN line protocol *)
+  | Binary  (** the Bwire batch framing, after a HELLO binary upgrade *)
   | Http  (** a telemetry connection: one GET, one response, close *)
 
 type conn = {
   fd : Unix.file_descr;
   buf : Buffer.t;  (** bytes read but not yet framed into a line *)
-  proto : proto;
+  mutable proto : proto;
 }
 
 (* the longest legal command line; generous next to real commands
@@ -103,26 +104,23 @@ let write_all fd s =
     off := !off + Unix.write fd b !off (n - !off)
   done
 
-(* complete lines accumulated in [buf]; the tail stays buffered *)
-let drain_lines buf =
+let chomp_cr line =
+  if line <> "" && line.[String.length line - 1] = '\r' then
+    String.sub line 0 (String.length line - 1)
+  else line
+
+(* one complete line out of [buf] (CRLF-tolerant: telnet, nc -C); the
+   tail stays buffered.  One line at a time rather than all at once so
+   a HELLO binary upgrade leaves the bytes behind it — already binary
+   frames — untouched for the frame decoder *)
+let take_line buf =
   let data = Buffer.contents buf in
-  Buffer.clear buf;
-  let rec split acc start =
-    match String.index_from_opt data start '\n' with
-    | Some i ->
-      let line = String.sub data start (i - start) in
-      let line =
-        (* tolerate CRLF clients (telnet, nc -C) *)
-        if line <> "" && line.[String.length line - 1] = '\r' then
-          String.sub line 0 (String.length line - 1)
-        else line
-      in
-      split (line :: acc) (i + 1)
-    | None ->
-      Buffer.add_substring buf data start (String.length data - start);
-      List.rev acc
-  in
-  split [] 0
+  match String.index_opt data '\n' with
+  | None -> None
+  | Some i ->
+    Buffer.clear buf;
+    Buffer.add_substring buf data (i + 1) (String.length data - i - 1);
+    Some (chomp_cr (String.sub data 0 i))
 
 (* bind-and-listen with the unix-path replace semantics; [cleanup]
    closes and unlinks, safe to call twice *)
@@ -165,15 +163,265 @@ let head_complete data =
   in
   scan 0
 
-let chomp_cr line =
-  if line <> "" && line.[String.length line - 1] = '\r' then
-    String.sub line 0 (String.length line - 1)
-  else line
+(* ------------------------------------------------------------------ *)
+(* protocol machinery, shared by the single-domain loop and the
+   sharded per-worker loops.  Each maker closes over one loop's
+   connection table and serialization discipline. *)
 
-let serve ?metrics ?telemetry ?(logger = Arnet_obs.Logger.null) ?snapshot
-    ?on_listen ~state addr =
+(* commands that reconfigure shared decision inputs; each bumps the
+   control-plane epoch so a reload/patch is a fenced, observable event
+   rather than a silent mid-stream mutation *)
+let is_control = function
+  | Wire.Fail _ | Wire.Repair _ | Wire.Reload | Wire.Link_add _
+  | Wire.Link_del _ | Wire.Drain ->
+    true
+  | Wire.Setup _ | Wire.Teardown _ | Wire.Stats | Wire.Quit | Wire.Hello _ ->
+    false
+
+type source = Line of string | Parsed of Wire.command
+
+(* serialization discipline as a first-class (polymorphic) section:
+   the identity for the single-domain loop, the decision mutex for the
+   sharded ones *)
+type sync = { sync : 'a. (unit -> 'a) -> 'a }
+
+(* The decision core for one loop: [handle_line]/[handle_batch] parse
+   (lines), decide through {!Session}, account metrics and the tap, and
+   write the reply.  [sync] owns serialization — the identity
+   single-domain, the decision mutex sharded; [after] runs inside
+   [sync] after each line or batch (the sharded loop's drained
+   check). *)
+let command_handler ~metrics ~logger ~clock ~state ~tap ~epoch ~domain ~sync
+    ~after ~close_conn =
+  let module Log = Arnet_obs.Logger in
+  let decide_core cmd =
+    let response = Session.handle state cmd in
+    if is_control cmd then Atomic.incr epoch;
+    response
+  in
+  (* timed only when someone records the result: the metrics-free
+     daemon (the bench baseline) keeps its exact pre-telemetry path *)
+  let apply ~decide source =
+    let t0 = match metrics with Some _ -> clock () | None -> 0. in
+    let cmd_result =
+      match source with
+      | Line line -> Wire.parse_command line
+      | Parsed cmd -> Ok cmd
+    in
+    let cmd, response =
+      match cmd_result with
+      | Error (code, detail) -> (None, Wire.Err { code; detail })
+      | Ok cmd -> (Some cmd, decide cmd)
+    in
+    (match metrics with
+    | Some m ->
+      let verb =
+        match cmd with
+        | Some cmd ->
+          Service_metrics.record m state cmd response;
+          Service_metrics.verb cmd
+        | None ->
+          Service_metrics.record_malformed m;
+          "malformed"
+      in
+      Service_metrics.record_domain m domain;
+      let verdict = Service_metrics.verdict response in
+      let seconds = clock () -. t0 in
+      if Service_metrics.record_latency m ~verb ~verdict seconds then
+        Log.warn logger "slow command"
+          ~fields:
+            [ ("verb", Arnet_obs.Jsonu.String verb);
+              ("verdict", Arnet_obs.Jsonu.String verdict);
+              ("seconds", Arnet_obs.Jsonu.Float seconds) ]
+    | None -> ());
+    (match (tap, cmd) with Some f, Some cmd -> f cmd response | _ -> ());
+    (cmd, response)
+  in
+  (* HELLO is transport negotiation, never a State command: the mode
+     switch happens here, after the OK is committed to the line
+     framing, so the client reads one last text response and everything
+     after it is frames *)
+  let decide_line c cmd =
+    match cmd with
+    | Wire.Hello { mode } -> (
+      match String.lowercase_ascii mode with
+      | "binary" ->
+        c.proto <- Binary;
+        Wire.Done
+      | "line" -> Wire.Done
+      | _ ->
+        Wire.Err
+          { code = "bad-argument";
+            detail =
+              Printf.sprintf "unknown framing mode %S (line | binary)" mode })
+    | cmd -> decide_core cmd
+  in
+  let handle_line c line =
+    let cmd, response =
+      sync.sync (fun () ->
+          let r = apply ~decide:(decide_line c) (Line line) in
+          after ();
+          r)
+    in
+    (try write_all c.fd (Wire.print_response response ^ "\n")
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+       close_conn c);
+    match cmd with Some Wire.Quit -> close_conn c | _ -> ()
+  in
+  (* one lock round and one reply write for the whole frame — the
+     syscall amortization the binary framing exists for *)
+  let handle_batch c cmds =
+    let responses =
+      sync.sync (fun () ->
+          (match metrics with
+          | Some m -> Service_metrics.record_batch m (List.length cmds)
+          | None -> ());
+          let rs =
+            List.map
+              (fun cmd -> snd (apply ~decide:decide_core (Parsed cmd)))
+              cmds
+          in
+          after ();
+          rs)
+    in
+    (try write_all c.fd (Bwire.encode_replies responses)
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+       close_conn c);
+    if List.exists (function Wire.Quit -> true | _ -> false) cmds then
+      close_conn c
+  in
+  let reject_too_long c =
+    (match metrics with
+    | Some m -> sync.sync (fun () -> Service_metrics.record_malformed m)
+    | None -> ());
+    (try
+       write_all c.fd
+         (Wire.print_response
+            (Wire.Err
+               {
+                 code = "toolong";
+                 detail =
+                   Printf.sprintf "line exceeds %d bytes" max_line_bytes;
+               })
+         ^ "\n")
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+    close_conn c
+  in
+  (* a structurally bad frame is connection-fatal: answer one ERR
+     reply frame (the client may be mid-read on a batch) and drop *)
+  let binary_fatal c err =
+    (match metrics with
+    | Some m -> sync.sync (fun () -> Service_metrics.record_malformed m)
+    | None -> ());
+    (try
+       write_all c.fd
+         (Bwire.encode_replies
+            [ Wire.Err
+                { code = "bad-frame"; detail = Bwire.error_to_string err } ])
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+    close_conn c
+  in
+  (handle_line, handle_batch, reject_too_long, binary_fatal)
+
+let http_handler ~logger ~routes ~close_conn =
   let module Log = Arnet_obs.Logger in
   let module Http = Arnet_obs.Http_exporter in
+  let http_respond c (resp : Http.response) =
+    if resp.Http.status <> 200 then
+      Log.warn logger "telemetry request refused"
+        ~fields:
+          [ ("status", Arnet_obs.Jsonu.Int resp.Http.status);
+            ("reason", Arnet_obs.Jsonu.String resp.Http.reason) ];
+    (try write_all c.fd (Http.render resp)
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+    close_conn c
+  in
+  (* answer as soon as the request head is complete ([eof] stands in
+     for the blank line when the client half-closes instead); a first
+     line that is already malformed is refused without waiting.  Every
+     outcome — 200, 400, 404, 405 — is one response then close, and
+     none of them touches the command loop *)
+  fun ?(eof = false) c ->
+    let data = Buffer.contents c.buf in
+    match String.index_opt data '\n' with
+    | None ->
+      if Buffer.length c.buf > max_line_bytes then
+        http_respond c (Http.bad_request "request line too long")
+      else if eof then close_conn c
+    | Some i -> (
+      let first = chomp_cr (String.sub data 0 i) in
+      match Http.parse_request_line first with
+      | Error detail -> http_respond c (Http.bad_request detail)
+      | Ok _ ->
+        if head_complete data || eof then
+          http_respond c (Http.handle ~routes first)
+        else if Buffer.length c.buf > max_line_bytes then
+          http_respond c (Http.bad_request "request head too long"))
+
+(* read-side pump for one loop's connections: bytes into lines, frames
+   or an HTTP head depending on the connection's (switchable) proto *)
+let conn_pump ~conns ~(handle_http : ?eof:bool -> conn -> unit) ~handle_line
+    ~handle_batch ~reject_too_long ~binary_fatal ~close_conn ~chunk =
+  let alive c = Hashtbl.mem conns c.fd in
+  let pump_binary c =
+    let data = Buffer.contents c.buf in
+    Buffer.clear c.buf;
+    let n = String.length data in
+    let rec go off =
+      if not (alive c) then ()
+      else if off >= n then ()
+      else
+        match Bwire.decode ~off data with
+        | Ok (Bwire.Commands cmds, used) ->
+          handle_batch c cmds;
+          go (off + used)
+        | Ok (Bwire.Replies _, _) ->
+          binary_fatal c (Bwire.Corrupt "reply frame from a client")
+        | Error (Bwire.Truncated _) ->
+          (* an incomplete frame waits for more bytes; Bwire's
+             oversize check bounds how much one connection can make us
+             hold *)
+          Buffer.add_substring c.buf data off (n - off)
+        | Error err -> binary_fatal c err
+    in
+    go 0
+  in
+  let rec pump c =
+    if alive c then
+      match c.proto with
+      | Http -> handle_http c
+      | Binary -> pump_binary c
+      | Command -> (
+        match take_line c.buf with
+        | Some line ->
+          if String.length line > max_line_bytes then reject_too_long c
+          else begin
+            handle_line c line;
+            (* the line may have been HELLO binary: pump again so the
+               rest of the buffer is framed under the new proto *)
+            pump c
+          end
+        | None ->
+          (* an unterminated line can also outgrow the ceiling: without
+             this, a client sending no newline at all grows [buf]
+             without bound *)
+          if Buffer.length c.buf > max_line_bytes then reject_too_long c)
+  in
+  fun c ->
+    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> (
+      match c.proto with
+      | Http -> handle_http ~eof:true c
+      | Command | Binary -> close_conn c)
+    | n ->
+      Buffer.add_subbytes c.buf chunk 0 n;
+      pump c
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn c
+
+(* shared front matter: sigpipe, the default registry behind a
+   telemetry endpoint, both listeners, the listen log lines *)
+let serve_setup ~metrics ~telemetry ~logger ~on_listen addr =
+  let module Log = Arnet_obs.Logger in
   (* a client that disconnects mid-response must cost a dropped
      connection, not the whole daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -208,134 +456,56 @@ let serve ?metrics ?telemetry ?(logger = Arnet_obs.Logger.null) ?snapshot
       Log.info logger "telemetry listening"
         ~fields:[ ("addr", Arnet_obs.Jsonu.String (addr_to_string taddr)) ])
     telemetry;
-  let clock = Arnet_obs.Span.monotonic () in
-  let routes =
-    match metrics with
-    | None -> []
-    | Some m ->
-      [ ("/metrics",
-         fun () ->
-           (Http.prometheus_content_type, Service_metrics.scrape m state));
-        ("/healthz", fun () -> (Http.text_content_type, "ok\n"));
-        ("/statz",
-         fun () ->
-           ( Http.json_content_type,
-             Arnet_obs.Jsonu.to_string (Service_metrics.statz m state) ^ "\n"
-           )) ]
+  (metrics, listener, telemetry_listener, cleanup_listeners)
+
+let telemetry_routes ~metrics ~state ~epoch ~sync =
+  let module Http = Arnet_obs.Http_exporter in
+  match metrics with
+  | None -> []
+  | Some m ->
+    [ ("/metrics",
+       fun () ->
+         sync.sync (fun () ->
+             Service_metrics.set_epoch m (Atomic.get epoch);
+             (Http.prometheus_content_type, Service_metrics.scrape m state)));
+      ("/healthz", fun () -> (Http.text_content_type, "ok\n"));
+      ("/statz",
+       fun () ->
+         sync.sync (fun () ->
+             ( Http.json_content_type,
+               Arnet_obs.Jsonu.to_string (Service_metrics.statz m state)
+               ^ "\n" ))) ]
+
+(* ------------------------------------------------------------------ *)
+(* the single-domain loop: one select over the listeners and every
+   connection, decisions applied inline in wire-read order — the
+   pre-sharding daemon, kept as its own loop so [--domains 1] is the
+   same code path (and the same decision stream) it always was *)
+
+let serve_single ~metrics ~telemetry ~logger ~snapshot ~on_listen ~tap ~state
+    addr =
+  let metrics, listener, telemetry_listener, cleanup_listeners =
+    serve_setup ~metrics ~telemetry ~logger ~on_listen addr
   in
+  let clock = Arnet_obs.Span.monotonic () in
+  let epoch = Atomic.make 0 in
+  let sync = { sync = (fun f -> f ()) } in
+  let routes = telemetry_routes ~metrics ~state ~epoch ~sync in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let close_conn c =
     Hashtbl.remove conns c.fd;
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   in
-  let handle_command c line =
-    (* timed only when someone records the result: the metrics-free
-       daemon (the bench baseline) keeps its exact pre-telemetry path *)
-    let t0 = match metrics with Some _ -> clock () | None -> 0. in
-    let cmd_result = Wire.parse_command line in
-    let cmd, response =
-      match cmd_result with
-      | Error (code, detail) -> (None, Wire.Err { code; detail })
-      | Ok cmd -> (Some cmd, Session.handle state cmd)
-    in
-    (match metrics with
-    | Some m ->
-      let verb =
-        match cmd with
-        | Some cmd ->
-          Service_metrics.record m state cmd response;
-          Service_metrics.verb cmd
-        | None ->
-          Service_metrics.record_malformed m;
-          "malformed"
-      in
-      let verdict = Service_metrics.verdict response in
-      let seconds = clock () -. t0 in
-      if Service_metrics.record_latency m ~verb ~verdict seconds then
-        Arnet_obs.Logger.warn logger "slow command"
-          ~fields:
-            [ ("verb", Arnet_obs.Jsonu.String verb);
-              ("verdict", Arnet_obs.Jsonu.String verdict);
-              ("seconds", Arnet_obs.Jsonu.Float seconds) ]
-    | None -> ());
-    (try write_all c.fd (Wire.print_response response ^ "\n")
-     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-       close_conn c);
-    match cmd with Some Wire.Quit -> close_conn c | _ -> ()
+  let handle_line, handle_batch, reject_too_long, binary_fatal =
+    command_handler ~metrics ~logger ~clock ~state ~tap ~epoch ~domain:0 ~sync
+      ~after:(fun () -> ())
+      ~close_conn
   in
+  let handle_http = http_handler ~logger ~routes ~close_conn in
   let chunk = Bytes.create 4096 in
-  let reject_too_long c =
-    (match metrics with
-    | Some m -> Service_metrics.record_malformed m
-    | None -> ());
-    (try
-       write_all c.fd
-         (Wire.print_response
-            (Wire.Err
-               {
-                 code = "toolong";
-                 detail =
-                   Printf.sprintf "line exceeds %d bytes" max_line_bytes;
-               })
-         ^ "\n")
-     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
-    close_conn c
-  in
-  let http_respond c (resp : Http.response) =
-    if resp.Http.status <> 200 then
-      Log.warn logger "telemetry request refused"
-        ~fields:
-          [ ("status", Arnet_obs.Jsonu.Int resp.Http.status);
-            ("reason", Arnet_obs.Jsonu.String resp.Http.reason) ];
-    (try write_all c.fd (Http.render resp)
-     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
-    close_conn c
-  in
-  (* answer as soon as the request head is complete ([eof] stands in
-     for the blank line when the client half-closes instead); a first
-     line that is already malformed is refused without waiting.  Every
-     outcome — 200, 400, 404, 405 — is one response then close, and
-     none of them touches the command loop *)
-  let handle_http ?(eof = false) c =
-    let data = Buffer.contents c.buf in
-    match String.index_opt data '\n' with
-    | None ->
-      if Buffer.length c.buf > max_line_bytes then
-        http_respond c (Http.bad_request "request line too long")
-      else if eof then close_conn c
-    | Some i -> (
-      let first = chomp_cr (String.sub data 0 i) in
-      match Http.parse_request_line first with
-      | Error detail -> http_respond c (Http.bad_request detail)
-      | Ok _ ->
-        if head_complete data || eof then
-          http_respond c (Http.handle ~routes first)
-        else if Buffer.length c.buf > max_line_bytes then
-          http_respond c (Http.bad_request "request head too long"))
-  in
-  let handle_readable c =
-    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-    | 0 -> (
-      match c.proto with
-      | Http -> handle_http ~eof:true c
-      | Command -> close_conn c)
-    | n -> (
-      Buffer.add_subbytes c.buf chunk 0 n;
-      match c.proto with
-      | Http -> handle_http c
-      | Command ->
-        List.iter
-          (fun line ->
-            if Hashtbl.mem conns c.fd then
-              if String.length line > max_line_bytes then reject_too_long c
-              else handle_command c line)
-          (drain_lines c.buf);
-        (* an unterminated line can also outgrow the ceiling: without
-           this, a client sending no newline at all grows [buf] without
-           bound *)
-        if Hashtbl.mem conns c.fd && Buffer.length c.buf > max_line_bytes
-        then reject_too_long c)
-    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn c
+  let handle_readable =
+    conn_pump ~conns ~handle_http ~handle_line ~handle_batch ~reject_too_long
+      ~binary_fatal ~close_conn ~chunk
   in
   let accept_from listener proto =
     let conn_fd, _ = Unix.accept listener in
@@ -375,3 +545,219 @@ let serve ?metrics ?telemetry ?(logger = Arnet_obs.Logger.null) ?snapshot
       match snapshot with
       | Some path -> Arnet_serial.Snapshot.to_file path (State.snapshot state)
       | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* the sharded loops: domain 0 (the calling domain) is the dispatcher —
+   it accepts, deals connections round-robin to D spawned worker
+   domains, and serves telemetry — while each worker runs its own
+   select loop over its own connections, doing all reads, parsing,
+   framing and writes in parallel.  Only the decision itself is
+   serialized, under one mutex, batch-at-a-time: admissions stay a
+   total order (the paper's call-by-call semantics, and what makes the
+   merged-order replay test meaningful) while the syscall work — the
+   measured bottleneck — shards.  Unix-domain listeners get nothing
+   from SO_REUSEPORT, so one dispatcher covers both address families. *)
+
+type worker_slot = {
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;  (** self-pipe: new conns, or stop *)
+  queue : Unix.file_descr list ref;  (** conns dealt, not yet adopted *)
+  queue_mu : Mutex.t;
+}
+
+let serve_sharded ~domains ~metrics ~telemetry ~logger ~snapshot ~on_listen
+    ~tap ~state addr =
+  let metrics, listener, telemetry_listener, cleanup_listeners =
+    serve_setup ~metrics ~telemetry ~logger ~on_listen addr
+  in
+  let lock = Mutex.create () in
+  let epoch = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let clock = Arnet_obs.Span.monotonic () in
+  let slots =
+    Array.init domains (fun _ ->
+        let wake_r, wake_w = Unix.pipe () in
+        { wake_r; wake_w; queue = ref []; queue_mu = Mutex.create () })
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  let wake fd =
+    try ignore (Unix.write fd (Bytes.of_string "!") 0 1 : int)
+    with Unix.Unix_error _ -> ()
+  in
+  let drain_pipe fd =
+    let b = Bytes.create 64 in
+    try ignore (Unix.read fd b 0 64 : int) with Unix.Unix_error _ -> ()
+  in
+  (* first drained observation wins; every loop is poked exactly once *)
+  let announce_stop () =
+    if not (Atomic.exchange stop true) then begin
+      Array.iter (fun s -> wake s.wake_w) slots;
+      wake stop_w
+    end
+  in
+  let sync =
+    { sync =
+        (fun f ->
+          Mutex.lock lock;
+          Fun.protect ~finally:(fun () -> Mutex.unlock lock) f) }
+  in
+  let after () = if State.drained state then announce_stop () in
+  let worker index slot () =
+    let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+    let close_conn c =
+      Hashtbl.remove conns c.fd;
+      try Unix.close c.fd with Unix.Unix_error _ -> ()
+    in
+    let handle_line, handle_batch, reject_too_long, binary_fatal =
+      command_handler ~metrics ~logger ~clock ~state ~tap ~epoch
+        ~domain:(index + 1) ~sync ~after ~close_conn
+    in
+    (* workers never serve HTTP; a route-less handler keeps the pump
+       total if a conn record were ever mislabeled *)
+    let handle_http = http_handler ~logger ~routes:[] ~close_conn in
+    let chunk = Bytes.create 4096 in
+    let handle_readable =
+      conn_pump ~conns ~handle_http ~handle_line ~handle_batch
+        ~reject_too_long ~binary_fatal ~close_conn ~chunk
+    in
+    let adopt () =
+      Mutex.lock slot.queue_mu;
+      let fresh = !(slot.queue) in
+      slot.queue := [];
+      Mutex.unlock slot.queue_mu;
+      List.iter
+        (fun fd ->
+          Hashtbl.replace conns fd
+            { fd; buf = Buffer.create 256; proto = Command })
+        fresh
+    in
+    let rec loop () =
+      if Atomic.get stop then ()
+      else begin
+        adopt ();
+        let fds =
+          slot.wake_r :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+        in
+        match Unix.select fds [] [] (-1.) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | readable, _, _ ->
+          List.iter
+            (fun fd ->
+              if fd = slot.wake_r then drain_pipe slot.wake_r
+              else
+                match Hashtbl.find_opt conns fd with
+                | Some c -> handle_readable c
+                | None -> ())
+            readable;
+          loop ()
+      end
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Hashtbl.iter
+          (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+          conns)
+      loop
+  in
+  let spawned = Array.mapi (fun i slot -> Domain.spawn (worker i slot)) slots in
+  (* a domain may be joined only once; stop-and-join runs in the normal
+     path and again from [finally] on an exceptional exit *)
+  let joined = ref false in
+  let stop_and_join () =
+    if not !joined then begin
+      joined := true;
+      announce_stop ();
+      Array.iter Domain.join spawned
+    end
+  in
+  (* dispatcher: accept-and-deal plus telemetry, no decisions *)
+  let routes = telemetry_routes ~metrics ~state ~epoch ~sync in
+  let http_conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
+  let close_http c =
+    Hashtbl.remove http_conns c.fd;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let handle_http = http_handler ~logger ~routes ~close_conn:close_http in
+  let chunk = Bytes.create 4096 in
+  let next = ref 0 in
+  let deal fd =
+    let slot = slots.(!next mod domains) in
+    incr next;
+    Mutex.lock slot.queue_mu;
+    slot.queue := fd :: !(slot.queue);
+    Mutex.unlock slot.queue_mu;
+    wake slot.wake_w
+  in
+  let rec loop () =
+    if Atomic.get stop then ()
+    else begin
+      let fds =
+        listener :: stop_r
+        :: Hashtbl.fold (fun fd _ acc -> fd :: acc) http_conns []
+      in
+      let telemetry_fd = Option.map fst telemetry_listener in
+      let fds = match telemetry_fd with Some tl -> tl :: fds | None -> fds in
+      match Unix.select fds [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = stop_r then drain_pipe stop_r
+            else if fd = listener then begin
+              let conn_fd, _ = Unix.accept listener in
+              deal conn_fd
+            end
+            else if telemetry_fd = Some fd then begin
+              let conn_fd, _ = Unix.accept fd in
+              Hashtbl.replace http_conns conn_fd
+                { fd = conn_fd; buf = Buffer.create 256; proto = Http }
+            end
+            else
+              match Hashtbl.find_opt http_conns fd with
+              | Some c -> (
+                match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+                | 0 -> handle_http ~eof:true c
+                | n ->
+                  Buffer.add_subbytes c.buf chunk 0 n;
+                  handle_http c
+                | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                  close_http c)
+              | None -> ())
+          readable;
+        loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_and_join ();
+      Hashtbl.iter
+        (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        http_conns;
+      Array.iter
+        (fun s ->
+          (try Unix.close s.wake_r with Unix.Unix_error _ -> ());
+          try Unix.close s.wake_w with Unix.Unix_error _ -> ())
+        slots;
+      (try Unix.close stop_r with Unix.Unix_error _ -> ());
+      (try Unix.close stop_w with Unix.Unix_error _ -> ());
+      cleanup_listeners ())
+    (fun () ->
+      loop ();
+      stop_and_join ();
+      State.finish state;
+      match snapshot with
+      | Some path -> Arnet_serial.Snapshot.to_file path (State.snapshot state)
+      | None -> ())
+
+let serve ?domains ?metrics ?telemetry ?(logger = Arnet_obs.Logger.null)
+    ?snapshot ?on_listen ?tap ~state addr =
+  let domains =
+    match domains with Some d -> d | None -> Arnet_pool.of_env ()
+  in
+  if domains < 1 then invalid_arg "Server.serve: domains must be >= 1";
+  if domains = 1 then
+    serve_single ~metrics ~telemetry ~logger ~snapshot ~on_listen ~tap ~state
+      addr
+  else
+    serve_sharded ~domains ~metrics ~telemetry ~logger ~snapshot ~on_listen
+      ~tap ~state addr

@@ -1,11 +1,33 @@
 (** The socket front end of the daemon.
 
-    A single-threaded [Unix.select] loop multiplexing any number of
+    With [domains = 1] (the default when [ARNET_DOMAINS] is unset): a
+    single-threaded [Unix.select] loop multiplexing any number of
     client connections over a Unix-domain or TCP listening socket.
     Commands are applied to the shared {!State.t} in the order the
     loop reads them — that serialization is the daemon's concurrency
     model (admission decisions are a total order, as in the paper's
-    call-by-call semantics), so no locking exists anywhere.
+    call-by-call semantics), so no locking exists anywhere on the
+    decision path.  This is the pre-sharding daemon, byte-for-byte.
+
+    With [domains = D > 1] the service plane shards: the calling
+    domain becomes a dispatcher that accepts and deals connections
+    round-robin to [D] spawned worker domains (and serves telemetry),
+    while each worker runs its own select loop doing reads, parsing,
+    framing and writes in parallel.  Only the decision itself —
+    {!Session.handle} plus metrics/tap accounting — is serialized,
+    under one mutex, a line or a whole binary batch at a time, so
+    admissions remain a total order while the syscall and codec work
+    scales out.  Control-plane commands (FAIL/REPAIR/RELOAD/LINK
+    PATCH/DRAIN) bump an epoch counter inside that lock — an
+    epoch-fenced broadcast: every decision after the bump sees the new
+    configuration, none before it does — published to telemetry as
+    [arnet_service_epoch].
+
+    Any connection may upgrade from the line protocol to the {!Bwire}
+    binary batch framing by sending [HELLO binary]: the [OK] comes
+    back as the last line-framed response, and everything after is
+    frames — one commands frame in, one replies frame out, one
+    read/write syscall pair per batch.
 
     The loop runs until the state reports {!State.drained}: a [DRAIN]
     followed by the teardown of every active call ends the serve,
@@ -30,11 +52,13 @@ val max_line_bytes : int
     the daemon buffer unbounded input. *)
 
 val serve :
+  ?domains:int ->
   ?metrics:Service_metrics.t ->
   ?telemetry:addr ->
   ?logger:Arnet_obs.Logger.t ->
   ?snapshot:string ->
   ?on_listen:(addr -> unit) ->
+  ?tap:(Wire.command -> Wire.response -> unit) ->
   state:State.t ->
   addr ->
   unit
@@ -42,6 +66,13 @@ val serve :
     drain-time {!State.snapshot} is written to.  [on_listen] fires
     once the socket is accepting (the bench and tests use it to
     release the client).  A pre-existing Unix-socket path is replaced.
+
+    [domains] (default {!Arnet_pool.of_env}, i.e. [ARNET_DOMAINS] or
+    1) selects the single-domain loop or the sharded one — see the
+    module header.  [tap] observes every decided (command, response)
+    pair in decision order, called inside the serialization discipline
+    — the merged-order equivalence test records through it.
+    @raise Invalid_argument when [domains < 1].
 
     [telemetry] opens a second listening socket in the same select
     loop speaking one-shot HTTP/1.0: [GET /metrics] renders the

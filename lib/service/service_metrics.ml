@@ -14,6 +14,9 @@ type t = {
   started_at : float;
   commands : (string, M.counter) Hashtbl.t;
   latency : (string * string, M.histogram) Hashtbl.t;
+  domains : (int, M.counter) Hashtbl.t;
+  batch_size : M.histogram;
+  epoch : M.gauge;
   admitted : M.counter;
   blocked : M.counter;
   errors : M.counter;
@@ -45,6 +48,16 @@ let create ?(slow_threshold = 0.010) ?(slow_keep = 32) () =
     started_at = Unix.gettimeofday ();
     commands = Hashtbl.create 8;
     latency = Hashtbl.create 16;
+    domains = Hashtbl.create 8;
+    batch_size =
+      M.histogram registry ~help:"Commands per binary frame"
+        ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.;
+                    2048.; 4096. |]
+        "arnet_batch_size";
+    epoch =
+      M.gauge registry
+        ~help:"Control-plane epoch: bumped by FAIL/REPAIR/RELOAD/LINK/DRAIN"
+        "arnet_service_epoch";
     admitted =
       M.counter registry ~help:"Calls admitted" "arn_service_admitted_total";
     blocked =
@@ -109,6 +122,7 @@ let verb = function
   | Wire.Stats -> "stats"
   | Wire.Drain -> "drain"
   | Wire.Quit -> "quit"
+  | Wire.Hello _ -> "hello"
 
 let verdict = function
   | Wire.Admitted _ -> "admitted"
@@ -189,6 +203,24 @@ let record t st cmd resp =
   M.set t.failed (float_of_int (List.length (State.failed_links st)))
 
 let record_malformed t = M.inc t.errors
+
+let record_batch t size = M.observe t.batch_size (float_of_int size)
+
+let domain_counter t d =
+  match Hashtbl.find_opt t.domains d with
+  | Some c -> c
+  | None ->
+    let c =
+      M.counter t.registry
+        ~labels:[ ("domain", string_of_int d) ]
+        ~help:"Wire requests served, by owning domain"
+        "arnet_domain_requests_total"
+    in
+    Hashtbl.add t.domains d c;
+    c
+
+let record_domain t d = M.inc (domain_counter t d)
+let set_epoch t n = M.set t.epoch (float_of_int n)
 
 let refresh t st =
   M.set t.uptime (Unix.gettimeofday () -. t.started_at);

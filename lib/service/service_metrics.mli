@@ -52,6 +52,19 @@ val record : t -> State.t -> Wire.command -> Wire.response -> unit
 val record_malformed : t -> unit
 (** Account an input line that failed to parse (answered [ERR]). *)
 
+val record_batch : t -> int -> unit
+(** Observe one binary frame's command count into [arnet_batch_size]. *)
+
+val record_domain : t -> int -> unit
+(** Count one wire request against
+    [arnet_domain_requests_total{domain}] — the sharding-balance
+    series (domain 0 is the single-domain loop / the dispatcher). *)
+
+val set_epoch : t -> int -> unit
+(** Publish the control-plane epoch ([arnet_service_epoch]): the
+    server bumps its epoch on every FAIL/REPAIR/RELOAD/LINK
+    PATCH/DRAIN and pushes it here at scrape time. *)
+
 val record_latency :
   t -> verb:string -> verdict:string -> float -> bool
 (** Observe one command's handling latency (seconds).  Returns [true]

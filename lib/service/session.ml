@@ -10,6 +10,13 @@ let handle st = function
   | Wire.Stats -> Wire.Stats_reply (State.stats st)
   | Wire.Drain -> State.drain st
   | Wire.Quit -> Wire.Done
+  (* framing negotiation belongs to the transport; a HELLO that reaches
+     the decision layer (direct Session use, or a mode the server did
+     not recognize) is refused rather than silently accepted *)
+  | Wire.Hello { mode } ->
+    Wire.Err
+      { code = "bad-argument";
+        detail = Printf.sprintf "unknown framing mode %S (line | binary)" mode }
 
 let handle_line st line =
   match Wire.parse_command line with

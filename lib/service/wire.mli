@@ -20,6 +20,7 @@
     STATS                           one-line state summary
     DRAIN                           stop admitting; exit when empty
     QUIT                            close this connection
+    HELLO <mode>                    negotiate the framing (line | binary)
 
     ADMITTED <id> <n0-n1-...-nk>    call admitted on that node path
     BLOCKED                         call refused (no admissible path)
@@ -49,6 +50,12 @@ type command =
   | Stats
   | Drain
   | Quit
+  | Hello of { mode : string }
+      (** Framing negotiation, handled by the transport (the server
+          loop), never by {!Session}: [HELLO binary] answers [OK] and
+          switches the connection to the {!Bwire} batch framing;
+          [HELLO line] answers [OK] and is a no-op.  [mode] is one
+          verbatim token (matched case-insensitively by the server). *)
 
 type stats = {
   accepted : int;  (** calls admitted since start *)
@@ -80,10 +87,20 @@ type response =
 
 val print_command : command -> string
 (** Without the trailing newline.
-    @raise Invalid_argument on a non-finite or negative [Setup] time. *)
+    @raise Invalid_argument on a non-finite or negative [Setup] time,
+    or a {!Hello} mode that is empty or not a single token. *)
 
 val parse_command : string -> (command, string * string) result
-(** [Error (code, detail)] mirrors the payload of {!Err}. *)
+(** [Error (code, detail)] mirrors the payload of {!Err}.
+
+    Internally a non-allocating scanner handles well-formed [SETUP]
+    and [TEARDOWN] lines (the load path) and defers everything else —
+    other verbs, exotic integer forms, embedded tabs — to
+    {!parse_command_general}; the two agree on every input. *)
+
+val parse_command_general : string -> (command, string * string) result
+(** The token-splitting reference parser {!parse_command} is checked
+    against (the equivalence qcheck in [test/test_service.ml]). *)
 
 val print_response : response -> string
 (** @raise Invalid_argument on an {!Admitted} path shorter than two

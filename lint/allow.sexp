@@ -18,7 +18,7 @@
  (ident Printexc.register_printer)
  (code SRC006)
  (reason "printer registered at link time before any Domain.spawn; never re-run"))
-((file lib/sim/pool.ml)
+((file lib/pool/arnet_pool.ml)
  (ident Printexc.register_printer)
  (code SRC006)
  (reason "printer registered at link time before any Domain.spawn; never re-run"))

@@ -149,6 +149,16 @@ let test_compile_rows () =
   Alcotest.(check bool) "memoized slowdown regresses" true r.BD.regressed;
   let p = find report ~section:"compile:n1000" ~metric:"patch_speedup" in
   Alcotest.(check bool) "patch speedup gain is clean" false p.BD.regressed;
+  (* speedup rows are ratios of two timed runs, gated at 2x tolerance:
+     a -14% drop regresses a single-measurement metric at 10% but not a
+     ratio row *)
+  let report =
+    BD.compare ~tolerance:10. ~old_doc
+      ~new_doc:(compile_doc ~memoized:12. ~patch:21.) ()
+  in
+  let r = find report ~section:"compile:n1000" ~metric:"memoized_speedup" in
+  Alcotest.(check bool) "ratio wobble inside 2x tolerance is noise" false
+    r.BD.regressed;
   let plain = doc [ fig3 ~calls_per_s:4000. ~words:0.3 ] in
   let report = BD.compare ~old_doc:plain ~new_doc ~tolerance:10. () in
   Alcotest.(check bool) "absent sweep contributes no rows" true

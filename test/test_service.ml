@@ -25,6 +25,10 @@ let time_gen =
           (fun a b -> Some (float_of_int a /. float_of_int (b + 1)))
           (int_bound 1_000_000) (int_bound 997) ])
 
+let word_gen =
+  QCheck.Gen.(
+    string_size ~gen:(map Char.chr (int_range 97 122)) (int_range 1 8))
+
 let command_gen =
   QCheck.Gen.(
     oneof
@@ -43,11 +47,8 @@ let command_gen =
           (int_range (-2) 40) (int_range (-2) 40);
         return Wire.Stats;
         return Wire.Drain;
-        return Wire.Quit ])
-
-let word_gen =
-  QCheck.Gen.(
-    string_size ~gen:(map Char.chr (int_range 97 122)) (int_range 1 8))
+        return Wire.Quit;
+        map (fun mode -> Wire.Hello { mode }) word_gen ])
 
 let response_gen =
   QCheck.Gen.(
@@ -92,6 +93,159 @@ let prop_response_roundtrip =
       match Wire.parse_response (Wire.print_response r) with
       | Ok r' -> Wire.equal_response r r'
       | Error _ -> false)
+
+(* the non-allocating SETUP/TEARDOWN scanner must be indistinguishable
+   from the token-splitting reference parser — on well-formed lines, on
+   garbage, and on the adversarial spacing in between *)
+let scanner_line_gen =
+  QCheck.Gen.(
+    let soup =
+      string_size
+        ~gen:
+          (oneofl
+             [ 'S'; 'E'; 'T'; 'U'; 'P'; 's'; 'e'; 't'; 'u'; 'p'; 'T'; 'D';
+               'O'; 'W'; 'N'; 'R'; 'A'; 'I'; 'L'; '0'; '1'; '2'; '7'; '9';
+               ' '; ' '; ' '; '\t'; '\r'; '-'; '+'; '.'; 'x'; '_' ])
+        (int_range 0 28)
+    in
+    let pad = oneofl [ ""; " "; "  "; "\t"; " \t " ] in
+    let num =
+      oneofl
+        [ "0"; "1"; "39"; "65536"; "-1"; "007"; "1_0"; "0x2"; "1e2"; "2.5";
+          "-0.5"; "nan"; "inf"; "."; "x" ]
+    in
+    let verb =
+      oneofl [ "SETUP"; "setup"; "SetUp"; "TEARDOWN"; "teardown"; "SETUPX" ]
+    in
+    let templated =
+      map
+        (fun ((p0, v), (p1, a), (p2, b), (p3, c)) ->
+          p0 ^ v ^ p1 ^ " " ^ a ^ p2 ^ " " ^ b ^ p3 ^ " " ^ c)
+        (quad (pair pad verb) (pair pad num) (pair pad num) (pair pad num))
+    in
+    let short =
+      map2 (fun v a -> v ^ " " ^ a) verb num
+    in
+    oneof [ map Wire.print_command command_gen; templated; short; soup ])
+
+let prop_scanner_matches_general =
+  QCheck.Test.make ~count:3000 ~name:"Wire: fast scanner = general parser"
+    (QCheck.make scanner_line_gen ~print:String.escaped)
+    (fun line ->
+      match (Wire.parse_command line, Wire.parse_command_general line) with
+      | Ok a, Ok b -> Wire.equal_command a b
+      | Error (c1, d1), Error (c2, d2) -> c1 = c2 && d1 = d2
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* binary batch framing: decode (encode batch) = batch, and malformed
+   bytes decode to the typed error, never an exception *)
+
+let bwire_command_gen =
+  (* every constructor the codec must carry: the dense SETUP/TEARDOWN
+     tags and the escaped-line fallback for the rest *)
+  QCheck.Gen.(
+    oneof
+      [ map3
+          (fun src dst time -> Wire.Setup { src; dst; time })
+          (int_bound 65535) (int_bound 65535)
+          (oneof
+             [ return None;
+               map (fun n -> Some (float_of_int n /. 8.)) (int_bound 10_000);
+               map2
+                 (fun a b -> Some (float_of_int a /. float_of_int (b + 1)))
+                 (int_bound 1_000_000) (int_bound 997) ]);
+        map (fun id -> Wire.Teardown { id }) (int_bound 0xFFFF_FFFF);
+        map (fun link -> Wire.Fail { link }) (int_bound 500);
+        map (fun link -> Wire.Repair { link }) (int_bound 500);
+        return Wire.Reload;
+        map3
+          (fun src dst capacity -> Wire.Link_add { src; dst; capacity })
+          (int_bound 40) (int_bound 40) (int_bound 500);
+        map2
+          (fun src dst -> Wire.Link_del { src; dst })
+          (int_bound 40) (int_bound 40);
+        return Wire.Stats;
+        return Wire.Drain;
+        return Wire.Quit;
+        map (fun mode -> Wire.Hello { mode }) word_gen ])
+
+let prop_bwire_commands_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"Bwire: decode (encode cmds) = cmds"
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 40) bwire_command_gen)
+       ~print:(fun l ->
+         String.concat "; " (List.map Wire.print_command l)))
+    (fun cmds ->
+      let s = Bwire.encode_commands cmds in
+      match Bwire.decode s with
+      | Ok (Bwire.Commands cmds', n) ->
+        n = String.length s
+        && List.length cmds = List.length cmds'
+        && List.for_all2 Wire.equal_command cmds cmds'
+      | _ -> false)
+
+let prop_bwire_replies_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"Bwire: decode (encode replies) = replies"
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 40) response_gen)
+       ~print:(fun l ->
+         String.concat "; " (List.map Wire.print_response l)))
+    (fun resps ->
+      let s = Bwire.encode_replies resps in
+      match Bwire.decode s with
+      | Ok (Bwire.Replies resps', n) ->
+        n = String.length s
+        && List.length resps = List.length resps'
+        && List.for_all2 Wire.equal_response resps resps'
+      | _ -> false)
+
+let test_bwire_malformed () =
+  let frame =
+    Bwire.encode_commands
+      [ Wire.Setup { src = 0; dst = 1; time = Some 2.5 }; Wire.Stats ]
+  in
+  (* every strict prefix is Truncated, with have/need consistent *)
+  for i = 0 to String.length frame - 1 do
+    match Bwire.decode (String.sub frame 0 i) with
+    | Error (Bwire.Truncated { have; need }) ->
+      Alcotest.(check int) "have is what arrived" i have;
+      Alcotest.(check bool) "need beyond have" true (need > have);
+      Alcotest.(check bool) "need within the full frame" true
+        (need <= String.length frame)
+    | _ -> Alcotest.failf "prefix of %d bytes should be Truncated" i
+  done;
+  (* a length word past the ceiling is Oversized, not a huge buffer *)
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int (Bwire.max_frame_payload + 1));
+  (match Bwire.decode (Bytes.to_string b) with
+  | Error (Bwire.Oversized { declared; limit }) ->
+    Alcotest.(check int) "declared" (Bwire.max_frame_payload + 1) declared;
+    Alcotest.(check int) "limit" Bwire.max_frame_payload limit
+  | _ -> Alcotest.fail "oversized length word should be refused");
+  (* unknown kind byte *)
+  let b = Bytes.of_string frame in
+  Bytes.set b 4 '\x07';
+  (match Bwire.decode (Bytes.to_string b) with
+  | Error (Bwire.Corrupt _) -> ()
+  | _ -> Alcotest.fail "unknown kind should be Corrupt");
+  (* trailing bytes inside a well-formed frame *)
+  let b = Bytes.of_string (frame ^ "\x00") in
+  Bytes.set_int32_be b 0 (Int32.of_int (String.length frame - 4 + 1));
+  (match Bwire.decode (Bytes.to_string b) with
+  | Error (Bwire.Corrupt _) -> ()
+  | _ -> Alcotest.fail "trailing bytes should be Corrupt");
+  (* frames decode back to back through [off] *)
+  let second = Bwire.encode_replies [ Wire.Blocked; Wire.Done ] in
+  let both = frame ^ second in
+  match Bwire.decode both with
+  | Ok (Bwire.Commands _, n) -> (
+    match Bwire.decode ~off:n both with
+    | Ok (Bwire.Replies [ Wire.Blocked; Wire.Done ], n2) ->
+      Alcotest.(check int) "both frames consumed" (String.length both)
+        (n + n2)
+    | _ -> Alcotest.fail "second frame should decode at off")
+  | _ -> Alcotest.fail "first frame should decode"
 
 let test_malformed_commands () =
   let expect code line =
@@ -1011,6 +1165,323 @@ let test_telemetry_scrape_determinism () =
   Alcotest.(check int) "no wire errors" 0 scraped.Loadgen.errors
 
 (* ------------------------------------------------------------------ *)
+(* the sharded daemon and the binary framing *)
+
+(* [--domains 1] must be the pre-sharding daemon byte-for-byte: this
+   session was recorded against the tree before the sharding refactor
+   and frozen as service_transcript_d1.golden.  The drive below is the
+   recorder, verbatim — raw lines (including the malformed ones) so
+   whitespace tolerance and error text are pinned too. *)
+let transcript_fixed_lines =
+  [ "SETUP 0 1"; "SETUP 0 1 0.25"; "setup 0 1 0.5"; "  SETUP  0   1  0.75  ";
+    "SETUP 0 1 1.0"; "SETUP 0 1 1.25"; "SETUP 0 1 1.5"; "SETUP 1 3 1.75";
+    "SETUP 2 0 2.0"; "SETUP 0 9"; "SETUP x 1"; "SETUP 0 1 -1";
+    "SETUP 0 1 0x2"; "TEARDOWN 1"; "TEARDOWN 1"; "TEARDOWN zz"; "STATS";
+    "FAIL 0"; "SETUP 0 1 2.5"; "REPAIR 0"; "RELOAD"; "LINK DEL 0 1";
+    "LINK ADD 0 1 3"; "LINK ADD 0 1 3"; "LINK DEL 9 9"; "FAIL 99";
+    "HELLOBAD"; ""; "STATS" ]
+
+let test_golden_transcript_d1 () =
+  let g = Builders.full_mesh ~nodes:4 ~capacity:3 in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let st = State.create ~matrix g in
+  let addr = Server.Unix_sock (socket_path ()) in
+  let server =
+    Thread.create (fun () -> Server.serve ~domains:1 ~state:st addr) ()
+  in
+  let transcript =
+    Fun.protect
+      ~finally:(fun () -> drain_and_join addr server)
+      (fun () ->
+        let ic, oc = Server.connect ~retry_for:5. addr in
+        Fun.protect
+          ~finally:(fun () ->
+            close_out_noerr oc;
+            ignore (ic : in_channel))
+          (fun () ->
+            let log = Buffer.create 4096 in
+            let live = ref [] in
+            let exchange line =
+              Buffer.add_string log ("> " ^ line ^ "\n");
+              output_string oc (line ^ "\n");
+              flush oc;
+              let reply = input_line ic in
+              Buffer.add_string log ("< " ^ reply ^ "\n");
+              (* track live calls: admitted ids in, OK-teardown ids out
+                 (a call dropped by FAIL stays tracked — its teardown
+                 answers ERR unknown-call, and the golden pins that) *)
+              match Wire.parse_response reply with
+              | Ok (Wire.Admitted { id; _ }) -> live := id :: !live
+              | Ok Wire.Done -> (
+                match Wire.parse_command line with
+                | Ok (Wire.Teardown { id }) ->
+                  live := List.filter (fun i -> i <> id) !live
+                | _ -> ())
+              | _ -> ()
+            in
+            List.iter exchange transcript_fixed_lines;
+            exchange "DRAIN";
+            exchange "SETUP 0 1 9.9";
+            List.iter
+              (fun id -> exchange (Printf.sprintf "TEARDOWN %d" id))
+              (List.sort compare !live);
+            Buffer.contents log))
+  in
+  let golden =
+    (* cwd is test/ under dune runtest, the project root under
+       dune exec *)
+    let name = "service_transcript_d1.golden" in
+    let path =
+      if Sys.file_exists name then name else Filename.concat "test" name
+    in
+    In_channel.with_open_bin path In_channel.input_all
+  in
+  Alcotest.(check string) "pre-sharding transcript, byte for byte" golden
+    transcript;
+  Alcotest.(check bool) "drained" true (State.drained st)
+
+(* the sharded daemon's one ordering guarantee: decisions are a total
+   order.  Whatever interleaving the workers produce, replaying the
+   tap-recorded merged order through a fresh state must reproduce
+   every response — ids, paths, errors — and the aggregate counters. *)
+let test_sharded_merged_order () =
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let st = State.create ~matrix g in
+  let addr = Server.Unix_sock (socket_path ()) in
+  let taped = ref [] in
+  let tap cmd resp = taped := (cmd, resp) :: !taped in
+  let server =
+    Thread.create
+      (fun () -> Server.serve ~domains:3 ~tap ~state:st addr)
+      ()
+  in
+  let anomalies = Atomic.make 0 in
+  Fun.protect
+    ~finally:(fun () -> drain_and_join addr server)
+    (fun () ->
+      let worker k =
+        Thread.create
+          (fun () ->
+            let ic, oc = Server.connect ~retry_for:5. addr in
+            Fun.protect
+              ~finally:(fun () ->
+                close_out_noerr oc;
+                ignore (ic : in_channel))
+              (fun () ->
+                for i = 0 to 59 do
+                  let src = (k + i) mod 4 in
+                  let dst = (src + 1 + (i mod 3)) mod 4 in
+                  match
+                    Server.request ic oc (Wire.Setup { src; dst; time = None })
+                  with
+                  | Wire.Admitted { id; _ } -> (
+                    match Server.request ic oc (Wire.Teardown { id }) with
+                    | Wire.Done -> ()
+                    | _ -> Atomic.incr anomalies)
+                  | Wire.Blocked -> ()
+                  | _ -> Atomic.incr anomalies
+                done;
+                (* sprinkle control traffic into the merged order *)
+                match Server.request ic oc Wire.Stats with
+                | Wire.Stats_reply _ -> ()
+                | _ -> Atomic.incr anomalies))
+          ()
+      in
+      List.iter Thread.join (List.init 6 worker));
+  Alcotest.(check int) "no anomalous replies" 0 (Atomic.get anomalies);
+  Alcotest.(check bool) "drained" true (State.drained st);
+  let order = List.rev !taped in
+  Alcotest.(check bool) "tap saw the run" true (List.length order > 360);
+  let st2 = State.create ~matrix (quadrangle ()) in
+  List.iteri
+    (fun i (cmd, resp) ->
+      let replayed = Session.handle st2 cmd in
+      if not (Wire.equal_response resp replayed) then
+        Alcotest.failf "decision %d: daemon said %s, replay says %s" i
+          (Wire.print_response resp)
+          (Wire.print_response replayed))
+    order;
+  let s = State.stats st and s2 = State.stats st2 in
+  Alcotest.(check int) "accepted reproduce" s.Wire.accepted s2.Wire.accepted;
+  Alcotest.(check int) "blocked reproduce" s.Wire.blocked s2.Wire.blocked;
+  Alcotest.(check int) "torn down reproduce" s.Wire.torn_down
+    s2.Wire.torn_down
+
+(* HELLO negotiation and hand-rolled frames over a live socket *)
+let read_frame ic =
+  let head = really_input_string ic 4 in
+  let n = Int32.to_int (String.get_int32_be head 0) in
+  let payload = really_input_string ic n in
+  match Bwire.decode (head ^ payload) with
+  | Ok (frame, _) -> frame
+  | Error e -> Alcotest.failf "reply frame: %s" (Bwire.error_to_string e)
+
+let expect_eof what ic =
+  Alcotest.check_raises what End_of_file (fun () ->
+      ignore (input_char ic : char))
+
+let test_binary_upgrade () =
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let st = State.create ~matrix g in
+  let addr = Server.Unix_sock (socket_path ()) in
+  let server = Thread.create (fun () -> Server.serve ~state:st addr) () in
+  Fun.protect
+    ~finally:(fun () -> drain_and_join addr server)
+    (fun () ->
+      (* HELLO line is a no-op; an unknown mode is a typed ERR and the
+         connection stays in line framing *)
+      let ic, oc = Server.connect ~retry_for:5. addr in
+      (match Server.request ic oc (Wire.Hello { mode = "line" }) with
+      | Wire.Done -> ()
+      | r -> Alcotest.failf "HELLO line: %s" (Wire.print_response r));
+      (match Server.request ic oc (Wire.Hello { mode = "morse" }) with
+      | Wire.Err { code = "bad-argument"; _ } -> ()
+      | r -> Alcotest.failf "HELLO morse: %s" (Wire.print_response r));
+      (match Server.request ic oc Wire.Stats with
+      | Wire.Stats_reply _ -> ()
+      | r -> Alcotest.failf "still line framed: %s" (Wire.print_response r));
+      close_out_noerr oc;
+      (* upgrade, then one frame of mixed commands: one reply frame
+         back, verdicts in order *)
+      let ic, oc = Server.connect ~retry_for:5. addr in
+      (match Server.request ic oc (Wire.Hello { mode = "binary" }) with
+      | Wire.Done -> ()
+      | r -> Alcotest.failf "HELLO binary: %s" (Wire.print_response r));
+      output_string oc
+        (Bwire.encode_commands
+           [ Wire.Setup { src = 0; dst = 1; time = None };
+             Wire.Setup { src = 0; dst = 2; time = None };
+             Wire.Teardown { id = 999_999 };
+             Wire.Stats ]);
+      flush oc;
+      let ids =
+        match read_frame ic with
+        | Bwire.Replies
+            [ Wire.Admitted { id = a; _ };
+              Wire.Admitted { id = b; _ };
+              Wire.Err { code = "unknown-call"; _ };
+              Wire.Stats_reply s ] ->
+          Alcotest.(check int) "stats through the frame" 2 s.Wire.accepted;
+          [ a; b ]
+        | Bwire.Replies rs ->
+          Alcotest.failf "unexpected verdicts: %s"
+            (String.concat "; " (List.map Wire.print_response rs))
+        | Bwire.Commands _ -> Alcotest.fail "commands frame from the server"
+      in
+      (* a QUIT inside a batch: the frame is answered whole, then the
+         connection closes *)
+      output_string oc
+        (Bwire.encode_commands
+           (List.map (fun id -> Wire.Teardown { id }) ids @ [ Wire.Quit ]));
+      flush oc;
+      (match read_frame ic with
+      | Bwire.Replies [ Wire.Done; Wire.Done; Wire.Done ] -> ()
+      | _ -> Alcotest.fail "teardown+quit batch");
+      expect_eof "closed after QUIT" ic;
+      close_out_noerr oc;
+      (* a reply frame from a client is connection-fatal: one ERR
+         bad-frame reply frame, then close *)
+      let ic, oc = Server.connect ~retry_for:5. addr in
+      ignore
+        (Server.request ic oc (Wire.Hello { mode = "binary" })
+          : Wire.response);
+      output_string oc (Bwire.encode_replies [ Wire.Blocked ]);
+      flush oc;
+      (match read_frame ic with
+      | Bwire.Replies [ Wire.Err { code = "bad-frame"; _ } ] -> ()
+      | _ -> Alcotest.fail "reply frame should be refused");
+      expect_eof "closed after bad frame" ic;
+      close_out_noerr oc;
+      (* an oversized length word likewise *)
+      let ic, oc = Server.connect ~retry_for:5. addr in
+      ignore
+        (Server.request ic oc (Wire.Hello { mode = "binary" })
+          : Wire.response);
+      let b = Bytes.create 4 in
+      Bytes.set_int32_be b 0 (Int32.of_int (Bwire.max_frame_payload + 1));
+      output_string oc (Bytes.to_string b);
+      flush oc;
+      (match read_frame ic with
+      | Bwire.Replies [ Wire.Err { code = "bad-frame"; _ } ] -> ()
+      | _ -> Alcotest.fail "oversized frame should be refused");
+      expect_eof "closed after oversized frame" ic;
+      close_out_noerr oc;
+      (* only the offending connections died *)
+      let ic, oc = Server.connect ~retry_for:5. addr in
+      (match Server.request ic oc Wire.Stats with
+      | Wire.Stats_reply _ -> ()
+      | r -> Alcotest.failf "daemon gone: %s" (Wire.print_response r));
+      close_out_noerr oc;
+      ignore (ic : in_channel))
+
+let test_binary_batch_loadgen () =
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let addr = Server.Unix_sock (socket_path ()) in
+  let st = State.create ~matrix g in
+  let server =
+    Thread.create (fun () -> Server.serve ~domains:2 ~state:st addr) ()
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> drain_and_join addr server)
+      (fun () ->
+        Loadgen.run ~connections:2 ~retry_for:5. ~seed:11 ~calls:600 ~matrix
+          ~addr ~binary:true ~batch:16 ())
+  in
+  Alcotest.(check int) "all calls sent" 600 result.Loadgen.calls;
+  Alcotest.(check int) "accept + block = calls" 600
+    (result.Loadgen.accepted + result.Loadgen.blocked);
+  Alcotest.(check int) "no wire errors" 0 result.Loadgen.errors;
+  Alcotest.(check bool) "a full batch was in flight" true
+    (result.Loadgen.in_flight_max >= 16);
+  Alcotest.(check bool) "never more than both pipelines" true
+    (result.Loadgen.in_flight_max <= 32);
+  Alcotest.(check bool) "drained" true (State.drained st)
+
+let test_batch_metrics_scrape () =
+  let g = quadrangle () in
+  let matrix = Matrix.uniform ~nodes:4 ~demand:15. in
+  let addr = Server.Unix_sock (socket_path ()) in
+  let tel = Server.Unix_sock (socket_path ()) in
+  let metrics = Service_metrics.create () in
+  let st =
+    State.create ~matrix ~observer:(Service_metrics.observer metrics) g
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve ~domains:2 ~metrics ~telemetry:tel ~state:st addr)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> drain_and_join addr server)
+    (fun () ->
+      ignore
+        (Loadgen.run ~connections:2 ~retry_for:5. ~seed:3 ~calls:400 ~matrix
+           ~addr ~binary:true ~batch:8 ()
+          : Loadgen.result);
+      (* a control command bumps the epoch the scrape reports *)
+      let ic, oc = Server.connect ~retry_for:5. addr in
+      (match Server.request ic oc Wire.Reload with
+      | Wire.Reloaded _ -> ()
+      | r -> Alcotest.failf "reload: %s" (Wire.print_response r));
+      close_out_noerr oc;
+      ignore (ic : in_channel);
+      let resp = http_get tel "/metrics" in
+      check_contains "scrape alive" resp "HTTP/1.0 200 OK";
+      check_contains "batch histogram" resp "arnet_batch_size_bucket";
+      check_contains "full batches observed" resp
+        {|arnet_batch_size_bucket{le="8.0"}|};
+      check_contains "per-domain counters" resp
+        {|arnet_domain_requests_total{domain="1"}|};
+      check_contains "both workers saw traffic" resp
+        {|arnet_domain_requests_total{domain="2"}|};
+      check_contains "epoch gauge" resp "arnet_service_epoch 1.0")
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck = QCheck_alcotest.to_alcotest
 
@@ -1019,10 +1490,15 @@ let () =
     [ ( "wire",
         [ qcheck prop_command_roundtrip;
           qcheck prop_response_roundtrip;
+          qcheck prop_scanner_matches_general;
           Alcotest.test_case "malformed commands" `Quick
             test_malformed_commands;
           Alcotest.test_case "malformed responses" `Quick
             test_malformed_responses ] );
+      ( "bwire",
+        [ qcheck prop_bwire_commands_roundtrip;
+          qcheck prop_bwire_replies_roundtrip;
+          Alcotest.test_case "malformed frames" `Quick test_bwire_malformed ] );
       ( "protocol",
         [ Alcotest.test_case "session errors" `Quick test_session_errors ] );
       ( "decisions",
@@ -1060,4 +1536,15 @@ let () =
       ( "telemetry",
         [ Alcotest.test_case "live endpoints" `Quick test_telemetry_endpoints;
           Alcotest.test_case "scraping does not perturb admission" `Slow
-            test_telemetry_scrape_determinism ] ) ]
+            test_telemetry_scrape_determinism ] );
+      ( "sharded",
+        [ Alcotest.test_case "--domains 1 is the pre-sharding daemon" `Slow
+            test_golden_transcript_d1;
+          Alcotest.test_case "merged order replays decision for decision"
+            `Slow test_sharded_merged_order;
+          Alcotest.test_case "HELLO binary upgrade and raw frames" `Slow
+            test_binary_upgrade;
+          Alcotest.test_case "batched binary load conserves counts" `Slow
+            test_binary_batch_loadgen;
+          Alcotest.test_case "batch and domain series scrape" `Slow
+            test_batch_metrics_scrape ] ) ]
